@@ -1,0 +1,577 @@
+//! Small dense matrix helpers used throughout the spectral-element stack.
+//!
+//! Spectral-element operators are matrix-free at the element level, but the
+//! *setup* of the method needs small dense factorizations: Vandermonde
+//! inversion for modal transforms, generalized symmetric eigenproblems for
+//! the fast diagonalization method (FDM), and Gram-matrix eigenproblems for
+//! streaming POD. Matrices here are on the order of the polynomial degree
+//! (≤ ~32) or the POD window size (≤ ~200), so simple O(n³) algorithms with
+//! good constants are the right tool; no external LAPACK is used.
+
+/// A dense, row-major, heap-allocated `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Create a zero-initialized matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create an identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DMat {
+        let mut t = DMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &DMat) -> DMat {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = DMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for (a, &xj) in self.row(i).iter().zip(x) {
+                acc += a * xj;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Solve `self * x = b` for a single right-hand side via partially
+    /// pivoted LU. The matrix must be square and nonsingular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+        let lu = LuFactors::new(self)?;
+        Ok(lu.solve(b))
+    }
+
+    /// Matrix inverse via LU with partial pivoting.
+    pub fn inverse(&self) -> Result<DMat, SingularMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let lu = LuFactors::new(self)?;
+        let mut inv = DMat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = lu.solve(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Cholesky factor `L` (lower-triangular) of an SPD matrix, `self = L Lᵀ`.
+    pub fn cholesky(&self) -> Result<DMat, SingularMatrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut l = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(SingularMatrix);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Error returned when a factorization encounters a (numerically) singular
+/// or non-positive-definite matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular or not positive definite")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU factorization with partial pivoting, reusable across right-hand sides.
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factor a square matrix.
+    pub fn new(a: &DMat) -> Result<Self, SingularMatrix> {
+        assert_eq!(a.rows, a.cols, "LU of non-square matrix");
+        let n = a.rows;
+        let mut lu = a.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: find the largest entry in column k at/below row k.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in k + 1..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 {
+                return Err(SingularMatrix);
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in k + 1..n {
+                let m = lu[i * n + k] / pivot;
+                lu[i * n + k] = m;
+                for j in k + 1..n {
+                    lu[i * n + j] -= m * lu[k * n + j];
+                }
+            }
+        }
+        Ok(Self { n, lu, piv })
+    }
+
+    /// Solve `A x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-lower L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+}
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi rotation
+/// method: returns `(eigenvalues, eigenvectors)` with eigenvectors stored as
+/// *columns* of the returned matrix, sorted ascending by eigenvalue.
+///
+/// Robust and accurate for the small symmetric systems that arise in FDM
+/// setup and POD Gram matrices.
+pub fn sym_eig(a: &DMat) -> (Vec<f64>, DMat) {
+    assert_eq!(a.rows, a.cols, "sym_eig of non-square matrix");
+    let n = a.rows;
+    let mut m = a.clone();
+    let mut v = DMat::eye(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm as the convergence measure.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * (1.0 + m.norm_fro()) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation G(p,q,θ) on both sides: m ← Gᵀ m G.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    eigs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN eigenvalue"));
+    let vals: Vec<f64> = eigs.iter().map(|e| e.0).collect();
+    let mut vecs = DMat::zeros(n, n);
+    for (new_col, &(_, old_col)) in eigs.iter().enumerate() {
+        for r in 0..n {
+            vecs[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    (vals, vecs)
+}
+
+/// Generalized symmetric eigenproblem `A x = λ B x` with `B` SPD, solved by
+/// Cholesky reduction to a standard symmetric problem. Returns eigenvalues
+/// (ascending) and **B-orthonormal** eigenvectors as columns: `XᵀBX = I`.
+pub fn gen_sym_eig(a: &DMat, b: &DMat) -> Result<(Vec<f64>, DMat), SingularMatrix> {
+    assert_eq!(a.rows, a.cols);
+    assert_eq!(b.rows, b.cols);
+    assert_eq!(a.rows, b.rows);
+    let n = a.rows;
+    let l = b.cholesky()?;
+    // C = L⁻¹ A L⁻ᵀ, computed by triangular solves.
+    // First Y = L⁻¹ A (solve L Y = A column-wise on rows):
+    let mut y = a.clone();
+    for j in 0..n {
+        for i in 0..n {
+            let mut acc = y[(i, j)];
+            for k in 0..i {
+                acc -= l[(i, k)] * y[(k, j)];
+            }
+            y[(i, j)] = acc / l[(i, i)];
+        }
+    }
+    // Then C = Y L⁻ᵀ: solve Lᵀ on the right, i.e. C L ᵀ = Y → per row solve.
+    let mut c = DMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = y[(i, j)];
+            for k in 0..j {
+                acc -= c[(i, k)] * l[(j, k)];
+            }
+            c[(i, j)] = acc / l[(j, j)];
+        }
+    }
+    // Symmetrize against round-off before Jacobi.
+    for i in 0..n {
+        for j in i + 1..n {
+            let m = 0.5 * (c[(i, j)] + c[(j, i)]);
+            c[(i, j)] = m;
+            c[(j, i)] = m;
+        }
+    }
+    let (vals, z) = sym_eig(&c);
+    // Back-transform X = L⁻ᵀ Z (solve Lᵀ X = Z).
+    let mut x = z;
+    for j in 0..n {
+        for i in (0..n).rev() {
+            let mut acc = x[(i, j)];
+            for k in i + 1..n {
+                acc -= l[(k, i)] * x[(k, j)];
+            }
+            x[(i, j)] = acc / l[(i, i)];
+        }
+    }
+    Ok((vals, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DMat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let i3 = DMat::eye(3);
+        assert_eq!(a.matmul(&i3), a);
+        assert_eq!(i3.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = DMat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = DMat::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_close(c[(0, 0)], 58.0, 1e-12);
+        assert_close(c[(0, 1)], 64.0, 1e-12);
+        assert_close(c[(1, 0)], 139.0, 1e-12);
+        assert_close(c[(1, 1)], 154.0, 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_recovers_solution() {
+        let a = DMat::from_vec(3, 3, vec![4., 1., 0., 1., 4., 1., 0., 1., 4.]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert_close(*xi, *ti, 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = DMat::from_vec(2, 2, vec![0., 1., 1., 0.]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert_close(x[0], 5.0, 1e-14);
+        assert_close(x[1], 3.0, 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = DMat::from_vec(2, 2, vec![1., 2., 2., 4.]);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+        assert!(a.inverse().is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = DMat::from_vec(3, 3, vec![2., 1., 0., 1., 3., 1., 0., 1., 2.]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(prod[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_of_spd() {
+        let a = DMat::from_vec(2, 2, vec![4., 2., 2., 3.]);
+        let l = a.cholesky().unwrap();
+        let recon = l.matmul(&l.transpose());
+        assert_close(recon[(0, 0)], 4.0, 1e-12);
+        assert_close(recon[(1, 0)], 2.0, 1e-12);
+        assert_close(recon[(1, 1)], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DMat::from_vec(2, 2, vec![1., 2., 2., 1.]);
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn sym_eig_diagonal() {
+        let a = DMat::from_vec(3, 3, vec![3., 0., 0., 0., 1., 0., 0., 0., 2.]);
+        let (vals, _) = sym_eig(&a);
+        assert_close(vals[0], 1.0, 1e-12);
+        assert_close(vals[1], 2.0, 1e-12);
+        assert_close(vals[2], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn sym_eig_reconstructs_matrix() {
+        let a = DMat::from_vec(3, 3, vec![2., -1., 0., -1., 2., -1., 0., -1., 2.]);
+        let (vals, vecs) = sym_eig(&a);
+        // A = V Λ Vᵀ
+        let mut lam = DMat::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = vals[i];
+        }
+        let recon = vecs.matmul(&lam).matmul(&vecs.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(recon[(i, j)], a[(i, j)], 1e-10);
+            }
+        }
+        // Known eigenvalues of tridiag(-1,2,-1) of size 3: 2 - √2, 2, 2 + √2.
+        assert_close(vals[0], 2.0 - std::f64::consts::SQRT_2, 1e-10);
+        assert_close(vals[1], 2.0, 1e-10);
+        assert_close(vals[2], 2.0 + std::f64::consts::SQRT_2, 1e-10);
+    }
+
+    #[test]
+    fn gen_sym_eig_b_orthonormal() {
+        let a = DMat::from_vec(3, 3, vec![2., -1., 0., -1., 2., -1., 0., -1., 2.]);
+        let b = DMat::from_vec(3, 3, vec![2., 0.5, 0., 0.5, 2., 0.5, 0., 0.5, 2.]);
+        let (vals, x) = gen_sym_eig(&a, &b).unwrap();
+        // Check A x = λ B x columnwise.
+        for j in 0..3 {
+            let col: Vec<f64> = (0..3).map(|i| x[(i, j)]).collect();
+            let ax = a.matvec(&col);
+            let bx = b.matvec(&col);
+            for i in 0..3 {
+                assert_close(ax[i], vals[j] * bx[i], 1e-10);
+            }
+        }
+        // XᵀBX = I.
+        let xtbx = x.transpose().matmul(&b).matmul(&x);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(xtbx[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = DMat::from_fn(4, 4, |i, j| ((i + 1) * (j + 2)) as f64);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = a.matvec(&x);
+        let xm = DMat::from_vec(4, 1, x.to_vec());
+        let ym = a.matmul(&xm);
+        for i in 0..4 {
+            assert_close(y[i], ym[(i, 0)], 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DMat::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

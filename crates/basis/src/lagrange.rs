@@ -1,0 +1,206 @@
+//! Lagrange interpolation and collocation differentiation matrices.
+//!
+//! The spectral-element method represents fields nodally on GLL points; all
+//! operators reduce to small dense 1-D matrices applied in tensor-product
+//! form. This module builds the interpolation matrix between arbitrary point
+//! sets (used for dealiasing and multigrid restriction/prolongation) and the
+//! collocation derivative matrix on a given node set, both via barycentric
+//! formulas for numerical stability.
+
+use crate::dense::DMat;
+
+/// Barycentric weights `w_j = 1 / Π_{k≠j} (x_j - x_k)` for a node set.
+pub fn barycentric_weights(points: &[f64]) -> Vec<f64> {
+    let n = points.len();
+    let mut w = vec![1.0; n];
+    for j in 0..n {
+        for k in 0..n {
+            if k != j {
+                w[j] *= points[j] - points[k];
+            }
+        }
+        w[j] = 1.0 / w[j];
+    }
+    w
+}
+
+/// Interpolation matrix `J` mapping nodal values on `from` to values at
+/// `to`: `(J u)[i] = Σ_j l_j(to[i]) u[j]` where `l_j` are the Lagrange
+/// cardinal functions of `from`. Dimensions `to.len() × from.len()`.
+pub fn interp_matrix(from: &[f64], to: &[f64]) -> DMat {
+    let n = from.len();
+    let m = to.len();
+    let w = barycentric_weights(from);
+    let mut j = DMat::zeros(m, n);
+    for (i, &x) in to.iter().enumerate() {
+        // Exact node hit: cardinal function is a Kronecker delta.
+        if let Some(hit) = from.iter().position(|&xk| (x - xk).abs() < 1e-14) {
+            j[(i, hit)] = 1.0;
+            continue;
+        }
+        let mut denom = 0.0;
+        for k in 0..n {
+            denom += w[k] / (x - from[k]);
+        }
+        for k in 0..n {
+            j[(i, k)] = (w[k] / (x - from[k])) / denom;
+        }
+    }
+    j
+}
+
+/// Collocation derivative matrix `D` on a node set: `(D u)[i] = u'(x_i)`
+/// for the interpolating polynomial through the nodal values `u`.
+///
+/// Built with the standard barycentric formula
+/// `D_ij = (w_j / w_i) / (x_i - x_j)` for `i ≠ j` and negative row sums on
+/// the diagonal (ensures `D · 1 = 0` exactly).
+pub fn deriv_matrix(points: &[f64]) -> DMat {
+    let n = points.len();
+    let w = barycentric_weights(points);
+    let mut d = DMat::zeros(n, n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = (w[j] / w[i]) / (points[i] - points[j]);
+                d[(i, j)] = v;
+                row_sum += v;
+            }
+        }
+        d[(i, i)] = -row_sum;
+    }
+    d
+}
+
+/// Evaluate the Lagrange cardinal functions of `from` at a single point,
+/// returning the interpolation row vector (length `from.len()`).
+pub fn cardinal_row(from: &[f64], x: f64) -> Vec<f64> {
+    let n = from.len();
+    if let Some(hit) = from.iter().position(|&xk| (x - xk).abs() < 1e-14) {
+        let mut row = vec![0.0; n];
+        row[hit] = 1.0;
+        return row;
+    }
+    let w = barycentric_weights(from);
+    let mut row = vec![0.0; n];
+    let mut denom = 0.0;
+    for k in 0..n {
+        row[k] = w[k] / (x - from[k]);
+        denom += row[k];
+    }
+    for v in &mut row {
+        *v /= denom;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::{gauss, gll};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn interp_reproduces_polynomials_exactly() {
+        // Interpolating a degree-(n-1) polynomial from n nodes is exact.
+        let from = gll(6).points;
+        let to = gauss(9).points;
+        let j = interp_matrix(&from, &to);
+        let poly = |x: f64| 3.0 * x.powi(5) - 2.0 * x.powi(3) + x - 0.5;
+        let u: Vec<f64> = from.iter().map(|&x| poly(x)).collect();
+        let v = j.matvec(&u);
+        for (i, &x) in to.iter().enumerate() {
+            assert_close(v[i], poly(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn interp_matrix_rows_sum_to_one() {
+        // Partition of unity: interpolating the constant 1 gives 1.
+        let from = gll(8).points;
+        let to = vec![-0.95, -0.33, 0.0, 0.41, 0.99];
+        let j = interp_matrix(&from, &to);
+        for i in 0..to.len() {
+            let s: f64 = j.row(i).iter().sum();
+            assert_close(s, 1.0, 1e-13);
+        }
+    }
+
+    #[test]
+    fn interp_identity_on_same_points() {
+        let pts = gll(7).points;
+        let j = interp_matrix(&pts, &pts);
+        for i in 0..pts.len() {
+            for k in 0..pts.len() {
+                assert_close(j[(i, k)], if i == k { 1.0 } else { 0.0 }, 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn deriv_matrix_exact_on_polynomials() {
+        let pts = gll(8).points;
+        let d = deriv_matrix(&pts);
+        let poly = |x: f64| x.powi(6) - 4.0 * x.powi(4) + 2.0 * x;
+        let dpoly = |x: f64| 6.0 * x.powi(5) - 16.0 * x.powi(3) + 2.0;
+        let u: Vec<f64> = pts.iter().map(|&x| poly(x)).collect();
+        let du = d.matvec(&u);
+        for (i, &x) in pts.iter().enumerate() {
+            assert_close(du[i], dpoly(x), 1e-10);
+        }
+    }
+
+    #[test]
+    fn deriv_of_constant_is_zero() {
+        let pts = gll(10).points;
+        let d = deriv_matrix(&pts);
+        let u = vec![1.0; pts.len()];
+        for v in d.matvec(&u) {
+            assert_close(v, 0.0, 1e-13);
+        }
+    }
+
+    #[test]
+    fn deriv_spectral_convergence_on_smooth_function() {
+        // Error of d/dx sin(2x) at GLL nodes should fall fast with n.
+        let mut prev_err = f64::MAX;
+        for n in [4usize, 6, 8, 10, 12] {
+            let pts = gll(n).points;
+            let d = deriv_matrix(&pts);
+            let u: Vec<f64> = pts.iter().map(|&x| (2.0 * x).sin()).collect();
+            let du = d.matvec(&u);
+            let err: f64 = pts
+                .iter()
+                .zip(&du)
+                .map(|(&x, &v)| (v - 2.0 * (2.0 * x).cos()).abs())
+                .fold(0.0, f64::max);
+            assert!(err < prev_err || err < 1e-12, "n={n}: {err} !< {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-6, "final error {prev_err}");
+    }
+
+    #[test]
+    fn cardinal_row_matches_interp_matrix() {
+        let from = gll(6).points;
+        let x = 0.123456;
+        let row = cardinal_row(&from, x);
+        let j = interp_matrix(&from, &[x]);
+        for k in 0..from.len() {
+            assert_close(row[k], j[(0, k)], 1e-14);
+        }
+    }
+
+    #[test]
+    fn cardinal_row_at_node_is_delta() {
+        let from = gll(5).points;
+        let row = cardinal_row(&from, from[2]);
+        for (k, &v) in row.iter().enumerate() {
+            assert_close(v, if k == 2 { 1.0 } else { 0.0 }, 0.0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Legendre polynomials and their derivatives.
+//!
+//! The Legendre polynomials `P_n` are the orthogonal basis underlying both
+//! the Gauss-Lobatto-Legendre (GLL) collocation used by the spectral-element
+//! method and the modal representation used by the lossy compression scheme
+//! (paper Eq. 2). All evaluations use the stable three-term recurrence.
+
+/// Evaluate the Legendre polynomial `P_n(x)`.
+pub fn legendre(n: usize, x: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut p0 = 1.0;
+            let mut p1 = x;
+            for k in 2..=n {
+                let kf = k as f64;
+                let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+                p0 = p1;
+                p1 = p2;
+            }
+            p1
+        }
+    }
+}
+
+/// Evaluate the derivative `P'_n(x)`.
+///
+/// Uses the recurrence `(1-x²) P'_n = n (P_{n-1} - x P_n)` away from the
+/// endpoints and the exact endpoint values `P'_n(±1) = (±1)^{n-1} n(n+1)/2`.
+pub fn legendre_deriv(n: usize, x: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let one_minus_x2 = 1.0 - x * x;
+    if one_minus_x2.abs() < 1e-13 {
+        // P'_n(1) = n(n+1)/2 ; P'_n(-1) = (-1)^{n-1} n(n+1)/2.
+        let mag = 0.5 * (n as f64) * (n as f64 + 1.0);
+        return if x > 0.0 || n % 2 == 1 { mag } else { -mag };
+    }
+    let pn = legendre(n, x);
+    let pnm1 = legendre(n - 1, x);
+    (n as f64) * (pnm1 - x * pn) / one_minus_x2
+}
+
+/// Evaluate `P_0..=P_n` at `x`, returning a vector of length `n + 1`.
+pub fn legendre_all(n: usize, x: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n + 1);
+    out.push(1.0);
+    if n >= 1 {
+        out.push(x);
+    }
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * out[k - 1] - (kf - 1.0) * out[k - 2]) / kf;
+        out.push(p2);
+    }
+    out
+}
+
+/// The L² norm-squared of `P_n` on `[-1, 1]`: `∫ P_n² dx = 2 / (2n + 1)`.
+#[inline]
+pub fn legendre_norm_sq(n: usize) -> f64 {
+    2.0 / (2.0 * n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn low_order_values() {
+        // P_2(x) = (3x² - 1)/2, P_3(x) = (5x³ - 3x)/2.
+        for &x in &[-1.0, -0.3, 0.0, 0.5, 1.0] {
+            assert_close(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
+            assert_close(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
+        }
+    }
+
+    #[test]
+    fn endpoint_values() {
+        for n in 0..12 {
+            assert_close(legendre(n, 1.0), 1.0, 1e-13);
+            assert_close(legendre(n, -1.0), if n % 2 == 0 { 1.0 } else { -1.0 }, 1e-13);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for n in 1..10 {
+            for &x in &[-0.7, -0.2, 0.1, 0.6, 0.9] {
+                let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+                assert_close(legendre_deriv(n, x), fd, 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_at_endpoints() {
+        for n in 1..10usize {
+            let expect = 0.5 * (n as f64) * (n as f64 + 1.0);
+            assert_close(legendre_deriv(n, 1.0), expect, 1e-12);
+            let sign = if n % 2 == 1 { 1.0 } else { -1.0 };
+            assert_close(legendre_deriv(n, -1.0), sign * expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn legendre_all_consistent() {
+        let vals = legendre_all(8, 0.37);
+        for (n, v) in vals.iter().enumerate() {
+            assert_close(*v, legendre(n, 0.37), 1e-14);
+        }
+    }
+
+    #[test]
+    fn orthogonality_via_fine_quadrature() {
+        // Trapezoidal integration on a fine grid demonstrates orthogonality.
+        let m = 20_000;
+        let dx = 2.0 / m as f64;
+        for a in 0..5usize {
+            for b in 0..5usize {
+                let mut s = 0.0;
+                for i in 0..=m {
+                    let x = -1.0 + i as f64 * dx;
+                    let w = if i == 0 || i == m { 0.5 } else { 1.0 };
+                    s += w * legendre(a, x) * legendre(b, x) * dx;
+                }
+                let expect = if a == b { legendre_norm_sq(a) } else { 0.0 };
+                assert_close(s, expect, 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Nodal ↔ modal (Legendre) transforms on GLL elements.
+//!
+//! The lossy compression scheme (paper §5.2, Eq. 2) projects each element's
+//! nodal field onto the orthogonal Legendre basis, `u(x) = Σ ûᵢ φᵢ(x)`,
+//! truncates small coefficients and encodes the rest. This module builds the
+//! 1-D Vandermonde transform pair and applies it in tensor-product form.
+
+use crate::dense::DMat;
+use crate::legendre::legendre_all;
+use crate::quadrature::gll;
+use crate::tensor::{tensor_apply3, TensorScratch};
+
+/// Transform pair between nodal values on `n` GLL points and Legendre modal
+/// coefficients of degree `≤ n-1`.
+#[derive(Debug, Clone)]
+pub struct ModalBasis {
+    n: usize,
+    /// Vandermonde: `V[i,m] = P_m(x_i)`; maps modal → nodal.
+    pub v: DMat,
+    /// Inverse Vandermonde; maps nodal → modal.
+    pub v_inv: DMat,
+    /// GLL points of the nodal grid.
+    pub points: Vec<f64>,
+    /// GLL weights of the nodal grid.
+    pub weights: Vec<f64>,
+    /// Discrete mode norms `γ̃_m = Σ_q w_q·P_m(x_q)²` under the GLL rule.
+    /// They match the continuous `2/(2m+1)` for `m < n-1` but differ for
+    /// the highest mode (`2/p` instead of `2/(2p+1)`), which matters for
+    /// energy accounting in the compression pipeline.
+    pub discrete_norms: Vec<f64>,
+}
+
+impl ModalBasis {
+    /// Build the transform pair for an `n`-point GLL grid (`n ≥ 2`).
+    pub fn new(n: usize) -> Self {
+        let q = gll(n);
+        let v = DMat::from_fn(n, n, |i, m| legendre_all(n - 1, q.points[i])[m]);
+        let v_inv = v
+            .inverse()
+            .expect("GLL Vandermonde is provably nonsingular");
+        let discrete_norms: Vec<f64> = (0..n)
+            .map(|m| {
+                q.points
+                    .iter()
+                    .zip(&q.weights)
+                    .map(|(&x, &w)| {
+                        let pm = legendre_all(m, x)[m];
+                        w * pm * pm
+                    })
+                    .sum()
+            })
+            .collect();
+        Self { n, v, v_inv, points: q.points, weights: q.weights, discrete_norms }
+    }
+
+    /// Number of 1-D points/modes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nodal → modal for a 3-D element slab of `n³` values.
+    pub fn to_modal(&self, nodal: &[f64], modal: &mut [f64], scratch: &mut TensorScratch) {
+        tensor_apply3(&self.v_inv, &self.v_inv, &self.v_inv, nodal, modal, scratch);
+    }
+
+    /// Modal → nodal for a 3-D element slab of `n³` values.
+    pub fn to_nodal(&self, modal: &[f64], nodal: &mut [f64], scratch: &mut TensorScratch) {
+        tensor_apply3(&self.v, &self.v, &self.v, modal, nodal, scratch);
+    }
+
+    /// The L² norm-squared (on the reference element) contributed by mode
+    /// `(p, q, r)`: product of 1-D Legendre norms `2/(2p+1)` etc.
+    pub fn mode_norm_sq(&self, p: usize, q: usize, r: usize) -> f64 {
+        use crate::legendre::legendre_norm_sq as g;
+        g(p) * g(q) * g(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let basis = ModalBasis::new(6);
+        let n = basis.n();
+        let mut scratch = TensorScratch::new();
+        let nodal: Vec<f64> = (0..n * n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut modal = vec![0.0; n * n * n];
+        let mut back = vec![0.0; n * n * n];
+        basis.to_modal(&nodal, &mut modal, &mut scratch);
+        basis.to_nodal(&modal, &mut back, &mut scratch);
+        for (a, b) in back.iter().zip(&nodal) {
+            assert_close(*a, *b, 1e-11);
+        }
+    }
+
+    #[test]
+    fn pure_mode_maps_to_unit_coefficient() {
+        let basis = ModalBasis::new(5);
+        let n = basis.n();
+        let mut scratch = TensorScratch::new();
+        // Nodal samples of P_2(x)·P_1(y)·P_0(z).
+        let mut nodal = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let px = 0.5 * (3.0 * basis.points[i] * basis.points[i] - 1.0);
+                    let py = basis.points[j];
+                    nodal[i + n * (j + n * k)] = px * py;
+                }
+            }
+        }
+        let mut modal = vec![0.0; n * n * n];
+        basis.to_modal(&nodal, &mut modal, &mut scratch);
+        for r in 0..n {
+            for q in 0..n {
+                for p in 0..n {
+                    let expect = if (p, q, r) == (2, 1, 0) { 1.0 } else { 0.0 };
+                    assert_close(modal[p + n * (q + n * r)], expect, 1e-11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_field_is_mode_zero() {
+        let basis = ModalBasis::new(8);
+        let n = basis.n();
+        let mut scratch = TensorScratch::new();
+        let nodal = vec![3.5; n * n * n];
+        let mut modal = vec![0.0; n * n * n];
+        basis.to_modal(&nodal, &mut modal, &mut scratch);
+        assert_close(modal[0], 3.5, 1e-11);
+        let tail: f64 = modal[1..].iter().map(|v| v.abs()).sum();
+        assert!(tail < 1e-10, "non-constant leakage {tail}");
+    }
+
+    #[test]
+    fn smooth_field_coefficients_decay() {
+        let basis = ModalBasis::new(10);
+        let n = basis.n();
+        let mut scratch = TensorScratch::new();
+        let mut nodal = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y, z) = (basis.points[i], basis.points[j], basis.points[k]);
+                    nodal[i + n * (j + n * k)] = (x + 0.5 * y - 0.3 * z).sin();
+                }
+            }
+        }
+        let mut modal = vec![0.0; n * n * n];
+        basis.to_modal(&nodal, &mut modal, &mut scratch);
+        // Energy in the highest total-degree shell must be tiny relative to
+        // the lowest shell: spectral decay of a smooth function.
+        let mut low = 0.0;
+        let mut high = 0.0;
+        for r in 0..n {
+            for q in 0..n {
+                for p in 0..n {
+                    let e = modal[p + n * (q + n * r)].powi(2);
+                    if p + q + r <= 2 {
+                        low += e;
+                    }
+                    if p + q + r >= 2 * n / 3 * 3 - 6 {
+                        high += e;
+                    }
+                }
+            }
+        }
+        assert!(high < 1e-10 * low, "no spectral decay: low={low} high={high}");
+    }
+}

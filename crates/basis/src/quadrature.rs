@@ -1,0 +1,220 @@
+//! Gauss-Legendre and Gauss-Lobatto-Legendre quadrature rules.
+//!
+//! GLL points are the collocation nodes of the spectral-element method;
+//! GL (interior Gauss) points are used for over-integration (dealiasing by
+//! the 3/2-rule, paper §6). Nodes are computed by Newton iteration from
+//! Chebyshev initial guesses and are accurate to machine precision.
+
+use crate::legendre::{legendre, legendre_deriv};
+
+/// A 1-D quadrature rule on the reference interval `[-1, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quadrature {
+    /// Node coordinates, ascending in `[-1, 1]`.
+    pub points: Vec<f64>,
+    /// Quadrature weights matching `points`.
+    pub weights: Vec<f64>,
+}
+
+impl Quadrature {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the rule has no nodes (never produced by the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrate samples `f(points[i])` against the rule.
+    pub fn integrate(&self, f: &[f64]) -> f64 {
+        assert_eq!(f.len(), self.len());
+        self.weights.iter().zip(f).map(|(w, v)| w * v).sum()
+    }
+}
+
+/// Gauss-Lobatto-Legendre rule with `n` points (`n >= 2`).
+///
+/// Nodes are `±1` plus the roots of `P'_{n-1}`; the rule integrates
+/// polynomials of degree `≤ 2n - 3` exactly. Weights are
+/// `w_j = 2 / (n (n-1) P_{n-1}(x_j)²)`.
+///
+/// ```
+/// let q = rbx_basis::gll(8); // degree-7 element nodes (the paper's order)
+/// assert_eq!(q.points[0], -1.0);
+/// assert_eq!(q.points[7], 1.0);
+/// // ∫ x² dx over [-1, 1] = 2/3.
+/// let fx: Vec<f64> = q.points.iter().map(|x| x * x).collect();
+/// assert!((q.integrate(&fx) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn gll(n: usize) -> Quadrature {
+    assert!(n >= 2, "GLL needs at least 2 points");
+    let p = n - 1; // polynomial degree
+    let mut points = vec![0.0; n];
+    points[0] = -1.0;
+    points[n - 1] = 1.0;
+    // Interior nodes: roots of P'_p via Newton, seeded by near-Chebyshev
+    // estimates that interlace well for all n of interest.
+    for j in 1..p {
+        let mut x = -(std::f64::consts::PI * j as f64 / p as f64).cos();
+        for _ in 0..100 {
+            let d1 = legendre_deriv(p, x);
+            // d/dx P'_p from the Legendre ODE: (1-x²)P'' = 2xP' - p(p+1)P.
+            let d2 = (2.0 * x * d1 - (p as f64) * (p as f64 + 1.0) * legendre(p, x))
+                / (1.0 - x * x);
+            let dx = d1 / d2;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        points[j] = x;
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).expect("non-finite GLL node"));
+    let nf = n as f64;
+    let weights: Vec<f64> = points
+        .iter()
+        .map(|&x| {
+            let lp = legendre(p, x);
+            2.0 / (nf * (nf - 1.0) * lp * lp)
+        })
+        .collect();
+    Quadrature { points, weights }
+}
+
+/// Gauss-Legendre rule with `n` points (`n >= 1`); exact for degree `≤ 2n-1`.
+///
+/// Nodes are the roots of `P_n`; weights `w_j = 2 / ((1-x_j²) P'_n(x_j)²)`.
+pub fn gauss(n: usize) -> Quadrature {
+    assert!(n >= 1, "Gauss rule needs at least 1 point");
+    let mut points = vec![0.0; n];
+    for j in 0..n {
+        // Standard asymptotic initial guess for Legendre roots.
+        let mut x = (std::f64::consts::PI * (j as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            let f = legendre(n, x);
+            let d = legendre_deriv(n, x);
+            let dx = f / d;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        points[j] = x;
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).expect("non-finite Gauss node"));
+    let weights: Vec<f64> = points
+        .iter()
+        .map(|&x| {
+            let d = legendre_deriv(n, x);
+            2.0 / ((1.0 - x * x) * d * d)
+        })
+        .collect();
+    Quadrature { points, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    fn poly_integral_exact(k: u32) -> f64 {
+        // ∫_{-1}^{1} x^k dx
+        if k % 2 == 1 {
+            0.0
+        } else {
+            2.0 / (k as f64 + 1.0)
+        }
+    }
+
+    #[test]
+    fn gll_weights_sum_to_two() {
+        for n in 2..=16 {
+            let q = gll(n);
+            let s: f64 = q.weights.iter().sum();
+            assert_close(s, 2.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gll_exact_for_degree_2n_minus_3() {
+        for n in 2..=12usize {
+            let q = gll(n);
+            let max_deg = 2 * n - 3;
+            for k in 0..=max_deg as u32 {
+                let f: Vec<f64> = q.points.iter().map(|x| x.powi(k as i32)).collect();
+                assert_close(q.integrate(&f), poly_integral_exact(k), 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gll_not_exact_beyond_order() {
+        // Degree 2n-2 should show a quadrature error for the GLL rule:
+        // specifically x^{2n-2} under-integrates.
+        let n = 5;
+        let q = gll(n);
+        let k = (2 * n - 2) as u32;
+        let f: Vec<f64> = q.points.iter().map(|x| x.powi(k as i32)).collect();
+        let err = (q.integrate(&f) - poly_integral_exact(k)).abs();
+        assert!(err > 1e-6, "expected visible quadrature error, got {err}");
+    }
+
+    #[test]
+    fn gll_endpoints_and_symmetry() {
+        for n in 2..=10 {
+            let q = gll(n);
+            assert_close(q.points[0], -1.0, 0.0);
+            assert_close(q.points[n - 1], 1.0, 0.0);
+            for j in 0..n {
+                assert_close(q.points[j], -q.points[n - 1 - j], 1e-13);
+                assert_close(q.weights[j], q.weights[n - 1 - j], 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_exact_for_degree_2n_minus_1() {
+        for n in 1..=12usize {
+            let q = gauss(n);
+            for k in 0..=(2 * n - 1) as u32 {
+                let f: Vec<f64> = q.points.iter().map(|x| x.powi(k as i32)).collect();
+                assert_close(q.integrate(&f), poly_integral_exact(k), 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_nodes_interior() {
+        for n in 1..=12 {
+            let q = gauss(n);
+            for &x in &q.points {
+                assert!(x > -1.0 && x < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_integrates_transcendental_accurately() {
+        // ∫ e^x dx over [-1,1] = e - 1/e.
+        let q = gauss(12);
+        let f: Vec<f64> = q.points.iter().map(|x| x.exp()).collect();
+        assert_close(q.integrate(&f), 1f64.exp() - (-1f64).exp(), 1e-13);
+    }
+
+    #[test]
+    fn known_gll_5_point_rule() {
+        // Classic tabulated 5-point GLL rule: nodes ±1, ±√(3/7), 0 with
+        // weights 1/10, 49/90, 32/45.
+        let q = gll(5);
+        assert_close(q.points[1], -(3.0f64 / 7.0).sqrt(), 1e-13);
+        assert_close(q.points[2], 0.0, 1e-13);
+        assert_close(q.weights[0], 0.1, 1e-13);
+        assert_close(q.weights[1], 49.0 / 90.0, 1e-13);
+        assert_close(q.weights[2], 32.0 / 45.0, 1e-13);
+    }
+}

@@ -1,0 +1,610 @@
+//! Tensor-product kernels for 3-D spectral elements.
+//!
+//! All element-local operators in the SEM factor into 1-D matrices applied
+//! along each coordinate direction ("sum factorization"), turning an
+//! O(n⁶) dense apply into O(n⁴) work per element. These kernels are the
+//! hot path of the whole solver: the Helmholtz/Laplacian apply, dealiasing
+//! interpolation, multigrid restriction/prolongation and the modal
+//! compression transform all reduce to calls in this module.
+//!
+//! Element data layout: `idx = i + nx·(j + ny·k)` — the x index is fastest,
+//! matching the inner loops below so that the innermost accesses are
+//! contiguous.
+
+use crate::dense::DMat;
+
+/// Reusable scratch buffers for [`tensor_apply3`], avoiding per-call
+/// allocation on the hot path. One scratch per worker thread.
+#[derive(Debug, Default, Clone)]
+pub struct TensorScratch {
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+}
+
+impl TensorScratch {
+    /// Create an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Apply the tensor-product operator `(Az ⊗ Ay ⊗ Ax)` to `u`.
+///
+/// `u` has logical dimensions `(nx, ny, nz)` where `nx = ax.cols()` etc.;
+/// `out` receives dimensions `(ax.rows(), ay.rows(), az.rows())`:
+///
+/// `out[a,b,c] = Σ_{i,j,k} Ax[a,i] · Ay[b,j] · Az[c,k] · u[i,j,k]`
+///
+/// Rectangular matrices are supported (dealiasing / grid transfer).
+///
+/// # Panics
+/// Panics if buffer lengths do not match the matrix dimensions.
+pub fn tensor_apply3(
+    ax: &DMat,
+    ay: &DMat,
+    az: &DMat,
+    u: &[f64],
+    out: &mut [f64],
+    scratch: &mut TensorScratch,
+) {
+    let (nx, ny, nz) = (ax.cols(), ay.cols(), az.cols());
+    let (mx, my, mz) = (ax.rows(), ay.rows(), az.rows());
+    assert_eq!(u.len(), nx * ny * nz, "input length mismatch");
+    assert_eq!(out.len(), mx * my * mz, "output length mismatch");
+
+    scratch.t1.clear();
+    scratch.t1.resize(mx * ny * nz, 0.0);
+    scratch.t2.clear();
+    scratch.t2.resize(mx * my * nz, 0.0);
+    let t1 = &mut scratch.t1;
+    let t2 = &mut scratch.t2;
+
+    // Pass 1 — contract x: t1[a,j,k] = Σ_i Ax[a,i] u[i,j,k].
+    for col in 0..ny * nz {
+        let uin = &u[col * nx..(col + 1) * nx];
+        let tout = &mut t1[col * mx..(col + 1) * mx];
+        for a in 0..mx {
+            let arow = ax.row(a);
+            let mut acc = 0.0;
+            for (am, &uv) in arow.iter().zip(uin.iter()) {
+                acc += am * uv;
+            }
+            tout[a] = acc;
+        }
+    }
+
+    // Pass 2 — contract y: t2[a,b,k] = Σ_j Ay[b,j] t1[a,j,k].
+    for k in 0..nz {
+        let t1k = &t1[k * mx * ny..(k + 1) * mx * ny];
+        let t2k = &mut t2[k * mx * my..(k + 1) * mx * my];
+        for b in 0..my {
+            let brow = ay.row(b);
+            let dst = &mut t2k[b * mx..(b + 1) * mx];
+            dst.fill(0.0);
+            for (j, &bm) in brow.iter().enumerate() {
+                if bm == 0.0 {
+                    continue;
+                }
+                let src = &t1k[j * mx..(j + 1) * mx];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += bm * s;
+                }
+            }
+        }
+    }
+
+    // Pass 3 — contract z: out[a,b,c] = Σ_k Az[c,k] t2[a,b,k].
+    let plane = mx * my;
+    for c in 0..mz {
+        let crow = az.row(c);
+        let dst = &mut out[c * plane..(c + 1) * plane];
+        dst.fill(0.0);
+        for (k, &cm) in crow.iter().enumerate() {
+            if cm == 0.0 {
+                continue;
+            }
+            let src = &t2[k * plane..(k + 1) * plane];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += cm * s;
+            }
+        }
+    }
+}
+
+/// Reference-space partial derivative in x: `out[i,j,k] = Σ_m D[i,m] u[m,j,k]`.
+///
+/// `d` is the square `n×n` collocation derivative matrix. Common node
+/// counts (4, 6, 8, 12 — polynomial degrees 3, 5, 7, 11) dispatch to
+/// const-generic specializations whose compile-time loop bounds let the
+/// compiler unroll and vectorize the inner contraction (the CPU analogue
+/// of the paper's auto-tuned device kernels; see `rbx_basis::autotune`).
+pub fn deriv_x(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
+    match n {
+        4 => deriv_x_fixed::<4>(d, u, out),
+        6 => deriv_x_fixed::<6>(d, u, out),
+        8 => deriv_x_fixed::<8>(d, u, out),
+        12 => deriv_x_fixed::<12>(d, u, out),
+        _ => deriv_x_generic(d, u, out, n),
+    }
+}
+
+/// Generic (runtime-`n`) x-derivative kernel; the baseline the auto-tuner
+/// compares against.
+pub fn deriv_x_generic(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
+    debug_assert_eq!(d.rows(), n);
+    debug_assert_eq!(d.cols(), n);
+    debug_assert_eq!(u.len(), n * n * n);
+    debug_assert_eq!(out.len(), n * n * n);
+    for col in 0..n * n {
+        let uin = &u[col * n..(col + 1) * n];
+        let dst = &mut out[col * n..(col + 1) * n];
+        for i in 0..n {
+            let drow = d.row(i);
+            let mut acc = 0.0;
+            for (dm, &uv) in drow.iter().zip(uin.iter()) {
+                acc += dm * uv;
+            }
+            dst[i] = acc;
+        }
+    }
+}
+
+/// Const-specialized x-derivative: compile-time `N` lets the optimizer
+/// fully unroll the `N×N` contraction per pencil.
+fn deriv_x_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(d.rows(), N);
+    debug_assert_eq!(u.len(), N * N * N);
+    debug_assert_eq!(out.len(), N * N * N);
+    let dd = d.data();
+    for col in 0..N * N {
+        let uin: &[f64; N] = u[col * N..(col + 1) * N].try_into().expect("pencil length N");
+        let dst = &mut out[col * N..(col + 1) * N];
+        for i in 0..N {
+            let drow: &[f64; N] =
+                dd[i * N..(i + 1) * N].try_into().expect("row length N");
+            let mut acc = 0.0;
+            for m in 0..N {
+                acc += drow[m] * uin[m];
+            }
+            dst[i] = acc;
+        }
+    }
+}
+
+/// Reference-space partial derivative in y: `out[i,j,k] = Σ_m D[j,m] u[i,m,k]`.
+///
+/// Common node counts dispatch to const-generic specializations (see
+/// [`deriv_x`]).
+pub fn deriv_y(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
+    match n {
+        4 => deriv_y_fixed::<4>(d, u, out),
+        6 => deriv_y_fixed::<6>(d, u, out),
+        8 => deriv_y_fixed::<8>(d, u, out),
+        12 => deriv_y_fixed::<12>(d, u, out),
+        _ => deriv_y_generic(d, u, out, n),
+    }
+}
+
+/// Generic (runtime-`n`) y-derivative kernel.
+pub fn deriv_y_generic(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
+    debug_assert_eq!(u.len(), n * n * n);
+    let plane = n * n;
+    for k in 0..n {
+        let uk = &u[k * plane..(k + 1) * plane];
+        let ok = &mut out[k * plane..(k + 1) * plane];
+        for j in 0..n {
+            let drow = d.row(j);
+            let dst = &mut ok[j * n..(j + 1) * n];
+            dst.fill(0.0);
+            for (m, &dm) in drow.iter().enumerate() {
+                if dm == 0.0 {
+                    continue;
+                }
+                let src = &uk[m * n..(m + 1) * n];
+                for (o, &s) in dst.iter_mut().zip(src) {
+                    *o += dm * s;
+                }
+            }
+        }
+    }
+}
+
+/// Const-specialized y-derivative.
+fn deriv_y_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(u.len(), N * N * N);
+    let dd = d.data();
+    let plane = N * N;
+    for k in 0..N {
+        let uk = &u[k * plane..(k + 1) * plane];
+        let ok = &mut out[k * plane..(k + 1) * plane];
+        for j in 0..N {
+            let drow: &[f64; N] =
+                dd[j * N..(j + 1) * N].try_into().expect("row length N");
+            let dst: &mut [f64] = &mut ok[j * N..(j + 1) * N];
+            dst.fill(0.0);
+            for m in 0..N {
+                let dm = drow[m];
+                let src: &[f64; N] =
+                    uk[m * N..(m + 1) * N].try_into().expect("pencil length N");
+                for i in 0..N {
+                    dst[i] += dm * src[i];
+                }
+            }
+        }
+    }
+}
+
+/// Reference-space partial derivative in z: `out[i,j,k] = Σ_m D[k,m] u[i,j,m]`.
+///
+/// Common node counts dispatch to const-generic specializations (see
+/// [`deriv_x`]).
+pub fn deriv_z(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
+    match n {
+        4 => deriv_z_fixed::<4>(d, u, out),
+        6 => deriv_z_fixed::<6>(d, u, out),
+        8 => deriv_z_fixed::<8>(d, u, out),
+        12 => deriv_z_fixed::<12>(d, u, out),
+        _ => deriv_z_generic(d, u, out, n),
+    }
+}
+
+/// Generic (runtime-`n`) z-derivative kernel.
+pub fn deriv_z_generic(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
+    debug_assert_eq!(u.len(), n * n * n);
+    let plane = n * n;
+    for k in 0..n {
+        let drow = d.row(k);
+        let dst = &mut out[k * plane..(k + 1) * plane];
+        dst.fill(0.0);
+        for (m, &dm) in drow.iter().enumerate() {
+            if dm == 0.0 {
+                continue;
+            }
+            let src = &u[m * plane..(m + 1) * plane];
+            for (o, &s) in dst.iter_mut().zip(src) {
+                *o += dm * s;
+            }
+        }
+    }
+}
+
+/// Const-specialized z-derivative.
+fn deriv_z_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(u.len(), N * N * N);
+    let dd = d.data();
+    let plane = N * N;
+    for k in 0..N {
+        let drow: &[f64; N] = dd[k * N..(k + 1) * N].try_into().expect("row length N");
+        let dst = &mut out[k * plane..(k + 1) * plane];
+        dst.fill(0.0);
+        for m in 0..N {
+            let dm = drow[m];
+            let src = &u[m * plane..(m + 1) * plane];
+            for (o, &s) in dst.iter_mut().zip(src.iter()) {
+                *o += dm * s;
+            }
+        }
+    }
+}
+
+/// Accumulate the transpose derivative in x: `out[i,j,k] += Σ_m D[m,i] w[m,j,k]`.
+pub fn deriv_x_t_add(d: &DMat, w: &[f64], out: &mut [f64], n: usize) {
+    for col in 0..n * n {
+        let win = &w[col * n..(col + 1) * n];
+        let dst = &mut out[col * n..(col + 1) * n];
+        for (m, &wv) in win.iter().enumerate() {
+            if wv == 0.0 {
+                continue;
+            }
+            let drow = d.row(m);
+            for (o, &dm) in dst.iter_mut().zip(drow.iter()) {
+                *o += dm * wv;
+            }
+        }
+    }
+}
+
+/// Accumulate the transpose derivative in y: `out[i,j,k] += Σ_m D[m,j] w[i,m,k]`.
+pub fn deriv_y_t_add(d: &DMat, w: &[f64], out: &mut [f64], n: usize) {
+    let plane = n * n;
+    for k in 0..n {
+        let wk = &w[k * plane..(k + 1) * plane];
+        let ok = &mut out[k * plane..(k + 1) * plane];
+        for m in 0..n {
+            let src = &wk[m * n..(m + 1) * n];
+            let drow = d.row(m);
+            for (j, &dm) in drow.iter().enumerate() {
+                if dm == 0.0 {
+                    continue;
+                }
+                let dst = &mut ok[j * n..(j + 1) * n];
+                for (o, &s) in dst.iter_mut().zip(src) {
+                    *o += dm * s;
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate the transpose derivative in z: `out[i,j,k] += Σ_m D[m,k] w[i,j,m]`.
+pub fn deriv_z_t_add(d: &DMat, w: &[f64], out: &mut [f64], n: usize) {
+    let plane = n * n;
+    for m in 0..n {
+        let src = &w[m * plane..(m + 1) * plane];
+        let drow = d.row(m);
+        for (k, &dm) in drow.iter().enumerate() {
+            if dm == 0.0 {
+                continue;
+            }
+            let dst = &mut out[k * plane..(k + 1) * plane];
+            for (o, &s) in dst.iter_mut().zip(src) {
+                *o += dm * s;
+            }
+        }
+    }
+}
+
+/// Compute all three reference-space derivatives of `u` in one call.
+pub fn grad_ref(
+    d: &DMat,
+    u: &[f64],
+    ur: &mut [f64],
+    us: &mut [f64],
+    ut: &mut [f64],
+    n: usize,
+) {
+    deriv_x(d, u, ur, n);
+    deriv_y(d, u, us, n);
+    deriv_z(d, u, ut, n);
+}
+
+/// Interpolate an `(n,n,n)` element slab to `(m,m,m)` with the same 1-D
+/// interpolation matrix in every direction (`j` is `m×n`).
+pub fn interp3(j: &DMat, u: &[f64], out: &mut [f64], scratch: &mut TensorScratch) {
+    tensor_apply3(j, j, j, u, out, scratch);
+}
+
+/// Naive dense tensor-product apply, used only to validate the fast path.
+pub fn tensor_apply3_naive(ax: &DMat, ay: &DMat, az: &DMat, u: &[f64]) -> Vec<f64> {
+    let (nx, ny, nz) = (ax.cols(), ay.cols(), az.cols());
+    let (mx, my, mz) = (ax.rows(), ay.rows(), az.rows());
+    let mut out = vec![0.0; mx * my * mz];
+    for c in 0..mz {
+        for b in 0..my {
+            for a in 0..mx {
+                let mut acc = 0.0;
+                for k in 0..nz {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            acc += ax[(a, i)]
+                                * ay[(b, j)]
+                                * az[(c, k)]
+                                * u[i + nx * (j + ny * k)];
+                        }
+                    }
+                }
+                out[a + mx * (b + my * c)] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrange::{deriv_matrix, interp_matrix};
+    use crate::quadrature::gll;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+        // Tiny deterministic LCG; no external RNG needed for these checks.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_apply_matches_naive_square() {
+        let n = 5;
+        let a = DMat::from_fn(n, n, |i, j| ((i + 1) as f64).sin() * (j as f64 + 0.5));
+        let b = DMat::from_fn(n, n, |i, j| (i as f64 - j as f64) * 0.3 + 1.0);
+        let c = DMat::from_fn(n, n, |i, j| if i == j { 2.0 } else { 0.1 });
+        let u = rand_vec(n * n * n, 42);
+        let mut out = vec![0.0; n * n * n];
+        let mut scratch = TensorScratch::new();
+        tensor_apply3(&a, &b, &c, &u, &mut out, &mut scratch);
+        let naive = tensor_apply3_naive(&a, &b, &c, &u);
+        for (f, s) in out.iter().zip(&naive) {
+            assert_close(*f, *s, 1e-11);
+        }
+    }
+
+    #[test]
+    fn fast_apply_matches_naive_rectangular() {
+        let (n, m) = (4, 7);
+        let a = DMat::from_fn(m, n, |i, j| (i * n + j) as f64 * 0.01 + 1.0);
+        let u = rand_vec(n * n * n, 7);
+        let mut out = vec![0.0; m * m * m];
+        let mut scratch = TensorScratch::new();
+        tensor_apply3(&a, &a, &a, &u, &mut out, &mut scratch);
+        let naive = tensor_apply3_naive(&a, &a, &a, &u);
+        for (f, s) in out.iter().zip(&naive) {
+            assert_close(*f, *s, 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_apply_is_noop() {
+        let n = 6;
+        let i = DMat::eye(n);
+        let u = rand_vec(n * n * n, 3);
+        let mut out = vec![0.0; n * n * n];
+        let mut scratch = TensorScratch::new();
+        tensor_apply3(&i, &i, &i, &u, &mut out, &mut scratch);
+        for (a, b) in out.iter().zip(&u) {
+            assert_close(*a, *b, 0.0);
+        }
+    }
+
+    #[test]
+    fn derivs_exact_on_trilinear_monomials() {
+        let n = 6;
+        let pts = gll(n).points;
+        let d = deriv_matrix(&pts);
+        // u = x² y³ + z ⇒ ∂u/∂x = 2xy³, ∂u/∂y = 3x²y², ∂u/∂z = 1.
+        let mut u = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y, z) = (pts[i], pts[j], pts[k]);
+                    u[i + n * (j + n * k)] = x * x * y.powi(3) + z;
+                }
+            }
+        }
+        let mut ur = vec![0.0; n * n * n];
+        let mut us = vec![0.0; n * n * n];
+        let mut ut = vec![0.0; n * n * n];
+        grad_ref(&d, &u, &mut ur, &mut us, &mut ut, n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y, _z) = (pts[i], pts[j], pts[k]);
+                    let idx = i + n * (j + n * k);
+                    assert_close(ur[idx], 2.0 * x * y.powi(3), 1e-10);
+                    assert_close(us[idx], 3.0 * x * x * y * y, 1e-10);
+                    assert_close(ut[idx], 1.0, 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_derivs_are_adjoint() {
+        // ⟨D_x u, w⟩ == ⟨u, D_xᵀ w⟩ for all three directions.
+        let n = 5;
+        let pts = gll(n).points;
+        let d = deriv_matrix(&pts);
+        let u = rand_vec(n * n * n, 11);
+        let w = rand_vec(n * n * n, 13);
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+
+        let mut du = vec![0.0; n * n * n];
+        let mut dtw = vec![0.0; n * n * n];
+
+        deriv_x(&d, &u, &mut du, n);
+        dtw.fill(0.0);
+        deriv_x_t_add(&d, &w, &mut dtw, n);
+        assert_close(dot(&du, &w), dot(&u, &dtw), 1e-10);
+
+        deriv_y(&d, &u, &mut du, n);
+        dtw.fill(0.0);
+        deriv_y_t_add(&d, &w, &mut dtw, n);
+        assert_close(dot(&du, &w), dot(&u, &dtw), 1e-10);
+
+        deriv_z(&d, &u, &mut du, n);
+        dtw.fill(0.0);
+        deriv_z_t_add(&d, &w, &mut dtw, n);
+        assert_close(dot(&du, &w), dot(&u, &dtw), 1e-10);
+    }
+
+    #[test]
+    fn interp3_preserves_polynomials() {
+        // Interpolating a degree-(n-1) trivariate polynomial to a finer GLL
+        // grid and back must be the identity (both grids resolve it).
+        let n = 5;
+        let m = 8;
+        let coarse = gll(n).points;
+        let fine = gll(m).points;
+        let up = interp_matrix(&coarse, &fine);
+        let down = interp_matrix(&fine, &coarse);
+        let mut u = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y, z) = (coarse[i], coarse[j], coarse[k]);
+                    u[i + n * (j + n * k)] = x.powi(4) + y * z - 2.0 * x * y;
+                }
+            }
+        }
+        let mut scratch = TensorScratch::new();
+        let mut fine_u = vec![0.0; m * m * m];
+        interp3(&up, &u, &mut fine_u, &mut scratch);
+        let mut back = vec![0.0; n * n * n];
+        interp3(&down, &fine_u, &mut back, &mut scratch);
+        for (a, b) in back.iter().zip(&u) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        // The same scratch must be reusable for different problem sizes.
+        let mut scratch = TensorScratch::new();
+        for n in [3usize, 6, 4] {
+            let i = DMat::eye(n);
+            let u = rand_vec(n * n * n, n as u64);
+            let mut out = vec![0.0; n * n * n];
+            tensor_apply3(&i, &i, &i, &u, &mut out, &mut scratch);
+            assert_eq!(out, u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod dispatch_tests {
+    use super::*;
+    use crate::lagrange::deriv_matrix;
+    use crate::quadrature::gll;
+
+    #[test]
+    fn specialized_kernels_match_generic_bitwise() {
+        for n in [4usize, 6, 8, 12, 5, 7] {
+            let d = deriv_matrix(&gll(n).points);
+            let u: Vec<f64> =
+                (0..n * n * n).map(|i| ((i * 29 % 97) as f64) * 0.07 - 3.0).collect();
+            let mut a = vec![0.0; n * n * n];
+            let mut b = vec![0.0; n * n * n];
+            deriv_x(&d, &u, &mut a, n);
+            deriv_x_generic(&d, &u, &mut b, n);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n = {n}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod yz_dispatch_tests {
+    use super::*;
+    use crate::lagrange::deriv_matrix;
+    use crate::quadrature::gll;
+
+    #[test]
+    fn yz_specializations_match_generic_bitwise() {
+        for n in [4usize, 6, 8, 12, 5, 9] {
+            let d = deriv_matrix(&gll(n).points);
+            let u: Vec<f64> =
+                (0..n * n * n).map(|i| ((i * 17 % 89) as f64) * 0.11 - 4.0).collect();
+            let mut a = vec![0.0; n * n * n];
+            let mut b = vec![0.0; n * n * n];
+            deriv_y(&d, &u, &mut a, n);
+            deriv_y_generic(&d, &u, &mut b, n);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "deriv_y n = {n}");
+            }
+            deriv_z(&d, &u, &mut a, n);
+            deriv_z_generic(&d, &u, &mut b, n);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "deriv_z n = {n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the compression pipeline (transform +
+//! truncation + codecs), per Fig. 5's workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbx::basis::ModalBasis;
+use rbx::compress::{
+    compress_field, decompress_field, lossless_encode, Codec, CompressionConfig,
+};
+use rbx::mesh::generators::box_mesh;
+use rbx::mesh::GeomFactors;
+use std::hint::black_box;
+
+fn turbulentish_field(geom: &GeomFactors) -> Vec<f64> {
+    (0..geom.total_nodes())
+        .map(|i| {
+            let (x, y, z) = (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
+            (7.0 * x).sin() * (5.0 * y).cos() * (3.0 * z).sin()
+                + 0.3 * (13.0 * x + 11.0 * y).sin()
+                + 0.05 * (29.0 * z).cos()
+        })
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mesh = box_mesh(3, 3, 3, [0., 1.], [0., 1.], [0., 1.], false, false);
+    let geom = GeomFactors::new(&mesh, 7);
+    let basis = ModalBasis::new(8);
+    let field = turbulentish_field(&geom);
+    let cfg = CompressionConfig::default();
+
+    c.bench_function("compress_p7_27elem", |b| {
+        b.iter(|| black_box(compress_field(black_box(&field), &geom, &basis, &cfg)))
+    });
+
+    let compressed = compress_field(&field, &geom, &basis, &cfg);
+    c.bench_function("decompress_p7_27elem", |b| {
+        b.iter(|| black_box(decompress_field(black_box(&compressed), &basis)))
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    // Sparse bytes resembling the truncated bitmap+coefficient stream.
+    let data: Vec<u8> = (0..262_144)
+        .map(|i| if i % 17 == 0 { (i % 251) as u8 } else { 0 })
+        .collect();
+    let mut group = c.benchmark_group("lossless_encode_256k");
+    for codec in [Codec::Rle, Codec::Range] {
+        group.bench_function(format!("{codec:?}"), |b| {
+            b.iter(|| black_box(lossless_encode(codec, black_box(&data))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = compression;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_pipeline, bench_codecs
+}
+criterion_main!(compression);

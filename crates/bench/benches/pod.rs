@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the streaming POD update (the per-snapshot
+//! cost the in-situ consumer pays, paper §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbx::insitu::{PodBatch, StreamingPod};
+use std::hint::black_box;
+
+fn snapshots(n: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..m)
+        .map(|t| {
+            (0..n)
+                .map(|i| {
+                    let x = i as f64 / n as f64;
+                    (2.0 * (0.4 * t as f64).cos()) * (std::f64::consts::PI * x).sin()
+                        + (0.6 * t as f64).sin() * (4.0 * std::f64::consts::PI * x).sin()
+                        + 0.1 * ((i * 7 + t * 13) % 97) as f64 / 97.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_streaming_update(c: &mut Criterion) {
+    let n = 13_824; // one rank's share of a production field
+    let snaps = snapshots(n, 24);
+    let w = vec![1.0 / n as f64; n];
+    c.bench_function("streaming_pod_update_14k_rank16", |b| {
+        b.iter(|| {
+            let mut pod = StreamingPod::new(&w, 16);
+            for s in &snaps {
+                pod.update(black_box(s));
+            }
+            black_box(pod.rank())
+        })
+    });
+}
+
+fn bench_batch_pod(c: &mut Criterion) {
+    let n = 13_824;
+    let snaps = snapshots(n, 24);
+    let w = vec![1.0 / n as f64; n];
+    let comm = rbx::comm::SingleComm::new();
+    c.bench_function("batch_pod_14k_24snaps", |b| {
+        b.iter(|| {
+            let pod = PodBatch::new(w.clone());
+            black_box(pod.compute(black_box(&snaps), &comm))
+        })
+    });
+}
+
+criterion_group! {
+    name = pod;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_streaming_update, bench_batch_pod
+}
+criterion_main!(pod);

@@ -1,0 +1,79 @@
+//! **Ablation** — pressure preconditioner variants.
+//!
+//! The design choice the paper's §5.3 is built on: how much does the
+//! two-level Schwarz preconditioner buy over plain Jacobi, and what does
+//! the task overlap add on top? Measured on the real solver: pressure
+//! GMRES iterations and accumulated pressure-phase seconds over a fixed
+//! number of steps.
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin ablation_preconditioner
+//! ```
+
+use rbx::core::Phase;
+use rbx::la::SchwarzMode;
+use rbx_bench::{out_dir, write_csv};
+
+const STEPS: usize = 30;
+
+struct Variant {
+    name: &'static str,
+    schwarz: bool,
+    mode: SchwarzMode,
+    coarse_order: usize,
+}
+
+fn main() {
+    println!("pressure preconditioner ablation ({STEPS} RBC steps, degree 6)\n");
+    let variants = [
+        Variant { name: "jacobi", schwarz: false, mode: SchwarzMode::Serial, coarse_order: 1 },
+        Variant { name: "schwarz-serial", schwarz: true, mode: SchwarzMode::Serial, coarse_order: 1 },
+        Variant { name: "schwarz-overlapped", schwarz: true, mode: SchwarzMode::Overlapped, coarse_order: 1 },
+        Variant { name: "schwarz-coarse-p2", schwarz: true, mode: SchwarzMode::Serial, coarse_order: 2 },
+    ];
+    println!("  variant              p-iters/step   pressure time [s]   total [s]");
+    let mut rows = Vec::new();
+    for v in &variants {
+        let mut sim = {
+            // coarse_order is fixed at construction, so rebuild per variant.
+            let case = rbx::core::rbc_box_case(2.0, 3, 3, false, 1);
+            let cfg = rbx::core::SolverConfig {
+                ra: 1e5,
+                order: 6,
+                dt: 2e-3,
+                ic_noise: 0.05,
+                coarse_order: v.coarse_order,
+                schwarz_enabled: v.schwarz,
+                schwarz_mode: v.mode,
+                ..Default::default()
+            };
+            let mut sim = rbx_bench::leaked_sim(case, cfg);
+            for _ in 0..5 {
+                assert!(sim.step().converged);
+            }
+            sim
+        };
+        sim.timers.reset();
+        let mut total_iters = 0usize;
+        for _ in 0..STEPS {
+            let st = sim.step();
+            assert!(st.converged, "{}: {st:?}", v.name);
+            total_iters += st.p_iters;
+        }
+        let iters = total_iters as f64 / STEPS as f64;
+        let p_time = sim.timers.seconds(Phase::Pressure);
+        let total = sim.timers.total();
+        println!(
+            "  {:<20} {:>12.1}   {:>17.3}   {:>9.3}",
+            v.name, iters, p_time, total
+        );
+        rows.push(format!("{},{iters},{p_time},{total}", v.name));
+    }
+    let dir = out_dir("ablation_preconditioner");
+    write_csv(
+        &dir.join("preconditioner.csv"),
+        "variant,p_iters_per_step,pressure_s,total_s",
+        &rows,
+    );
+    println!("\nwrote {}", dir.join("preconditioner.csv").display());
+}

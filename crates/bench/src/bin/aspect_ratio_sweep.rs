@@ -1,0 +1,69 @@
+//! **§4.3 / §8.1** — aspect-ratio dependence of the RBC cell.
+//!
+//! The paper argues (citing Ahlers et al. 2022) that the aspect ratio
+//! plays a role in the transition to the ultimate regime, and plans runs
+//! "at high Ra and different aspect ratios". This experiment runs the
+//! cylindrical cell at several Γ = D/H at fixed Ra and reports the heat
+//! transport and solver behaviour — the sweep an aspect-ratio campaign
+//! automates.
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin aspect_ratio_sweep [steps]
+//! ```
+
+use rbx::comm::SingleComm;
+use rbx::core::{Observables, Simulation, SolverConfig};
+use rbx::mesh::BoundaryTag;
+use rbx_bench::{out_dir, write_csv};
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("aspect-ratio sweep: cylindrical RBC at Ra = 1e5, {steps} steps each\n");
+    println!("  Γ       elems   Nu(vol)   Nu(hot)   KE          p-its/step");
+    let mut rows = Vec::new();
+    for gamma in [0.5, 1.0, 2.0] {
+        let case = rbx::core::rbc_cylinder_case(gamma, 1, 1);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 1e5,
+            order: 5,
+            dt: 1e-3,
+            ic_noise: 0.05,
+            ..Default::default()
+        };
+        let mut sim =
+            Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+        sim.init_rbc();
+        let mut iters = 0usize;
+        for s in 1..=steps {
+            let st = sim.step();
+            assert!(st.converged, "Γ = {gamma}, step {s}: {st:?}");
+            iters += st.p_iters;
+        }
+        let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+        let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
+        let nu_h = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        let ke = obs.kinetic_energy(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        let ipx = iters as f64 / steps as f64;
+        println!(
+            "  {gamma:<5}   {:>5}   {nu_v:7.4}   {nu_h:7.4}   {ke:9.3e}   {ipx:8.1}",
+            case.mesh.num_elements()
+        );
+        rows.push(format!("{gamma},{},{nu_v},{nu_h},{ke},{ipx}", case.mesh.num_elements()));
+    }
+    println!("\nnote: short runs demonstrate the sweep machinery; the paper's");
+    println!("scientific campaign would run each Γ to statistical convergence.");
+    let dir = out_dir("aspect_ratio_sweep");
+    write_csv(
+        &dir.join("sweep.csv"),
+        "gamma,elements,nu_volume,nu_hot,kinetic_energy,p_iters_per_step",
+        &rows,
+    );
+    println!("wrote {}", dir.join("sweep.csv").display());
+}

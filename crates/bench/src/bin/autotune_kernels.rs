@@ -1,0 +1,46 @@
+//! **§5.1 auto-tuning** — specialized vs generic tensor kernels.
+//!
+//! The paper's device layer auto-tunes key kernels per architecture. The
+//! CPU analogue here: the x-derivative contraction has const-generic
+//! specializations for common polynomial degrees; this binary measures the
+//! benefit on the running machine for each node count and reports which
+//! path the dispatcher uses.
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin autotune_kernels
+//! ```
+
+use rbx::basis::autotune_deriv;
+use rbx_bench::{out_dir, write_csv};
+
+fn main() {
+    println!("kernel auto-tuning: generic vs dispatched x-derivative\n");
+    println!("  n (pts)   degree   generic [µs]   dispatched [µs]   speedup   specialized?");
+    let mut rows = Vec::new();
+    for n in [4usize, 5, 6, 7, 8, 10, 12] {
+        let r = autotune_deriv(n, 64, 50);
+        let specialized = matches!(n, 4 | 6 | 8 | 12);
+        println!(
+            "  {n:>7}   {:>6}   {:>12.2}   {:>15.2}   {:>7.2}   {}",
+            n - 1,
+            1e6 * r.generic_secs,
+            1e6 * r.dispatched_secs,
+            r.speedup(),
+            specialized
+        );
+        rows.push(format!(
+            "{n},{},{},{},{specialized}",
+            r.generic_secs,
+            r.dispatched_secs,
+            r.speedup()
+        ));
+    }
+    println!("\n(dispatched == generic for node counts without a specialization)");
+    let dir = out_dir("autotune_kernels");
+    write_csv(
+        &dir.join("autotune.csv"),
+        "n,generic_s,dispatched_s,speedup,specialized",
+        &rows,
+    );
+    println!("wrote {}", dir.join("autotune.csv").display());
+}

@@ -1,0 +1,89 @@
+//! **§1 / §8.1 — time-to-solution and storage for the ultimate-regime
+//! campaign.**
+//!
+//! The paper's Gordon Bell justification: the workflow "puts answering
+//! this question within reach of modern computational science with regards
+//! to time-to-solution, storage requirements, and pre/post-processing."
+//! This planner quantifies exactly that with RBX's models:
+//!
+//! * mesh sizes across a Ra sweep from the resolution law `H/η ~ Ra^{3/8}`
+//!   (paper §4.1), anchored to the paper's 108 M-element mesh at 10¹⁵;
+//! * wall time per Rayleigh number from the cost model at 16,384 LUMI
+//!   GCDs, with the CFL-driven time-step shrink `Δt ~ Ra^{-1/8}` (finer
+//!   grid) over a fixed number of free-fall times;
+//! * storage for the snapshot database with and without the §5.2
+//!   compression (97 % reduction at the Fig. 5 operating point).
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin campaign_planner
+//! ```
+
+use rbx::perf::{lumi, CaseSize, CostModel, SolverMix};
+use rbx_bench::{out_dir, write_csv};
+
+const RANKS: usize = 16384;
+const FREE_FALL_TIMES: f64 = 200.0; // statistics window per Ra
+const SNAPSHOTS: f64 = 1000.0; // stored instantaneous fields per Ra
+const FIELDS_PER_SNAPSHOT: f64 = 5.0; // u, v, w, p, T
+
+fn main() {
+    println!("ultimate-regime campaign planner (LUMI model, {RANKS} GCDs)\n");
+    let machine = lumi();
+
+    // Anchor: the paper's Ra = 10¹⁵ case.
+    let anchor_ra: f64 = 1e15;
+    let anchor_elems = 108_000_000f64;
+    let anchor_dt = 1e-4; // free-fall units, representative of the case
+
+    println!("  Ra        elements    grid points   t/step    steps      wall time   snapshots raw → compressed");
+    let mut rows = Vec::new();
+    for exp in [14.0, 15.0, 16.0] {
+        let ra = 10f64.powf(exp);
+        // Resolution law: linear resolution ~ Ra^{3/8} ⇒ elements ~ Ra^{9/8}.
+        let nelem = (anchor_elems * (ra / anchor_ra).powf(9.0 / 8.0)).round() as usize;
+        let case = CaseSize { nelem, order: 7 };
+        let model = CostModel::new(machine.clone(), case, SolverMix::default());
+        let t_step = model.time_per_step(RANKS).total();
+        // Finer grids need smaller steps: Δt ~ Ra^{-1/8} (advective CFL on
+        // the Ra^{3/8} grid with free-fall velocities ~Ra^{1/4} boundary
+        // layer dynamics folded into the anchor).
+        let dt = anchor_dt * (ra / anchor_ra).powf(-1.0 / 8.0);
+        let steps = (FREE_FALL_TIMES / dt).ceil();
+        let wall_s = steps * t_step;
+        let wall_h = wall_s / 3600.0;
+        let pts = case.unique_grid_points();
+        let raw_tb = SNAPSHOTS * FIELDS_PER_SNAPSHOT * pts * 8.0 / 1e12;
+        let compressed_tb = raw_tb * 0.03; // Fig. 5: 97 % reduction
+        println!(
+            "  1e{exp:<5.0} {nelem:>11}   {:>8.1}e9   {:>6.1} ms  {:>8.2e}  {:>8.1} h   {:>7.1} TB → {:>5.1} TB",
+            pts / 1e9,
+            1e3 * t_step,
+            steps,
+            wall_h,
+            raw_tb,
+            compressed_tb
+        );
+        rows.push(format!(
+            "{ra},{nelem},{pts},{t_step},{steps},{wall_h},{raw_tb},{compressed_tb}"
+        ));
+    }
+
+    println!("\nreading the table:");
+    println!("  - at Ra = 10¹⁵ (the paper's case) a {FREE_FALL_TIMES}-free-fall-time statistics");
+    println!("    window is a multi-day, not multi-year, computation on 80 % of LUMI —");
+    println!("    the paper's time-to-solution claim;");
+    println!("  - the snapshot database shrinks by ~33× under the §5.2 compression at");
+    println!("    the Fig. 5 operating point, turning petabyte-scale storage into");
+    println!("    tens of terabytes — the paper's storage claim;");
+    println!("  - one decade higher in Ra costs ~{:.0}× more wall time (mesh growth ×",
+        10f64.powf(9.0 / 8.0) * 10f64.powf(1.0 / 8.0));
+    println!("    step-count growth), which is why 10¹⁶ defines the exascale frontier.");
+
+    let dir = out_dir("campaign_planner");
+    write_csv(
+        &dir.join("campaign.csv"),
+        "ra,elements,grid_points,t_step_s,steps,wall_hours,raw_tb,compressed_tb",
+        &rows,
+    );
+    println!("\nwrote {}", dir.join("campaign.csv").display());
+}

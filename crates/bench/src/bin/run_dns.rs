@@ -1,0 +1,265 @@
+//! `run_dns` — the production-style DNS driver.
+//!
+//! A configurable Rayleigh-Bénard run with the full workflow of the paper:
+//! time stepping, running statistics and z-profiles, periodic compressed
+//! field output, checkpointing, and optional in-situ streaming POD.
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin run_dns -- \
+//!     --case cylinder --gamma 1.0 --ra 1e5 --order 5 --dt 1.5e-3 \
+//!     --steps 500 --sample-every 20 --checkpoint-every 200 --pod
+//! ```
+//!
+//! All flags are optional; defaults give a small box run. Outputs land in
+//! `target/dns_run/` (override with `--out`).
+
+use rbx::basis::ModalBasis;
+use rbx::comm::SingleComm;
+use rbx::compress::{compress_field, CompressionConfig};
+use rbx::core::stats::{RunStatistics, ZProfiles};
+use rbx::core::{write_checkpoint, Observables, Simulation, SolverConfig};
+use rbx::insitu::PodConsumer;
+use rbx::io::{staging_channel, AsyncBplWriter, StepData, Variable};
+use rbx::mesh::BoundaryTag;
+use std::path::PathBuf;
+
+#[derive(Debug)]
+struct Args {
+    case: String,
+    gamma: f64,
+    ra: f64,
+    order: usize,
+    dt: f64,
+    steps: usize,
+    resolution: usize,
+    sample_every: usize,
+    checkpoint_every: usize,
+    pod: bool,
+    restart: Option<PathBuf>,
+    out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            case: "box".into(),
+            gamma: 2.0,
+            ra: 1e5,
+            order: 5,
+            dt: 2e-3,
+            steps: 300,
+            resolution: 3,
+            sample_every: 20,
+            checkpoint_every: 0,
+            pod: false,
+            restart: None,
+            out: PathBuf::from("target/dns_run"),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--case" => args.case = value("--case"),
+            "--gamma" => args.gamma = value("--gamma").parse().expect("gamma"),
+            "--ra" => args.ra = value("--ra").parse().expect("ra"),
+            "--order" => args.order = value("--order").parse().expect("order"),
+            "--dt" => args.dt = value("--dt").parse().expect("dt"),
+            "--steps" => args.steps = value("--steps").parse().expect("steps"),
+            "--resolution" => args.resolution = value("--resolution").parse().expect("resolution"),
+            "--sample-every" => args.sample_every = value("--sample-every").parse().expect("sample-every"),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every").parse().expect("checkpoint-every")
+            }
+            "--pod" => args.pod = true,
+            "--restart" => args.restart = Some(PathBuf::from(value("--restart"))),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
+                     --steps N --resolution R --sample-every N --checkpoint-every N \
+                     --pod --restart CHECKPOINT.bpl --out DIR"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    let case = match args.case.as_str() {
+        "box" => rbx::core::rbc_box_case(args.gamma, args.resolution, args.resolution, false, 1),
+        "cylinder" => rbx::core::rbc_cylinder_case(args.gamma, (args.resolution / 2).max(1), 1),
+        other => panic!("unknown case {other} (box|cylinder)"),
+    };
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: args.ra,
+        order: args.order,
+        dt: args.dt,
+        ic_noise: 0.05,
+        ..Default::default()
+    };
+    println!("run_dns: {} case, Γ = {}, Ra = {:.1e}, degree {}, dt = {}",
+        args.case, args.gamma, args.ra, args.order, args.dt);
+    println!("  {} elements, {} grid points, {} steps",
+        case.mesh.num_elements(),
+        case.mesh.num_elements() * (args.order + 1).pow(3),
+        args.steps);
+    println!("  config: {}", cfg.to_json());
+
+    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    if let Some(chk) = &args.restart {
+        rbx::core::read_checkpoint(&mut sim, chk).expect("read checkpoint");
+        println!("  restarted from {} at step {} (t = {:.4})",
+            chk.display(), sim.state.istep, sim.state.time);
+    }
+
+    // Mesh quality report (pre-flight check, as a production campaign
+    // would run before burning machine time).
+    let (aspect, jac_ratio) = rbx::mesh::quality_summary(&sim.geom);
+    println!("  mesh quality: max aspect ratio {aspect:.2}, max Jacobian ratio {jac_ratio:.2}");
+
+    // Output channels: async field file, observables CSV, optional POD.
+    let fields = AsyncBplWriter::create(&args.out.join("fields.bpl"), 4).expect("field file");
+    let basis = ModalBasis::new(args.order + 1);
+    let comp_cfg = CompressionConfig::default();
+    let pod = if args.pod {
+        let (w, r) = staging_channel(4);
+        Some((w, PodConsumer::spawn(r, "uz", sim.geom.mass.clone(), 12)))
+    } else {
+        None
+    };
+    let mut stats = RunStatistics::default();
+    let mut profiles = ZProfiles::new(0.0, 1.0, 8);
+    let mut obs_rows = Vec::new();
+
+    let t0 = std::time::Instant::now();
+    for step in 1..=args.steps {
+        let st = sim.step();
+        assert!(st.converged, "step {step} failed: {st:?}");
+
+        if args.sample_every > 0 && step % args.sample_every == 0 {
+            let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+            let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
+            let nu_h = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+            let nu_c = obs.nusselt_wall(&sim.state.t, BoundaryTag::ColdWall, &comm);
+            let ke = obs.kinetic_energy(
+                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+                &comm,
+            );
+            let cfl = obs.cfl(
+                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+                cfg.dt,
+                &comm,
+            );
+            stats.nu_volume.push(nu_v);
+            stats.nu_hot.push(nu_h);
+            stats.nu_cold.push(nu_c);
+            stats.kinetic_energy.push(ke);
+            profiles.sample(
+                &sim.geom,
+                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+                &sim.state.t,
+            );
+            obs_rows.push(format!(
+                "{step},{},{nu_v},{nu_h},{nu_c},{ke},{cfl},{}",
+                sim.state.time, st.p_iters
+            ));
+            println!(
+                "  step {step:>6}  t = {:.3}  Nu = {nu_v:.4}  KE = {ke:.3e}  CFL = {cfl:.3}  p-its = {}",
+                sim.state.time, st.p_iters
+            );
+
+            // Compressed field sample to the async file engine.
+            let c = compress_field(&sim.state.u[2], &sim.geom, &basis, &comp_cfg);
+            fields.put(StepData {
+                step: step as u64,
+                time: sim.state.time,
+                vars: vec![Variable::bytes(
+                    "uz_compressed",
+                    vec![c.data.len() as u64],
+                    c.data,
+                )],
+            });
+            if let Some((w, _)) = &pod {
+                w.put(StepData {
+                    step: step as u64,
+                    time: sim.state.time,
+                    vars: vec![Variable::f64(
+                        "uz",
+                        vec![sim.n_local() as u64],
+                        sim.state.u[2].clone(),
+                    )],
+                });
+            }
+        }
+        if args.checkpoint_every > 0 && step % args.checkpoint_every == 0 {
+            let path = args.out.join(format!("checkpoint_{step:06}.bpl"));
+            write_checkpoint(&sim, &path).expect("write checkpoint");
+            println!("  wrote {}", path.display());
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Finalize outputs.
+    use std::io::Write;
+    let mut f = std::fs::File::create(args.out.join("observables.csv")).unwrap();
+    writeln!(f, "step,time,nu_volume,nu_hot,nu_cold,kinetic_energy,cfl,p_iters").unwrap();
+    for r in &obs_rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    profiles
+        .write_csv(&comm, &args.out.join("z_profiles.csv"))
+        .expect("profiles");
+    let written = fields.close().expect("close field file");
+
+    println!("\nrun complete: {:.1} s ({:.1} ms/step)", elapsed, 1e3 * elapsed / args.steps as f64);
+    if stats.nu_volume.count() > 0 {
+        println!(
+            "  time-averaged Nu(vol) = {:.4} ± {:.4} over {} samples",
+            stats.nu_volume.mean(),
+            stats.nu_volume.std(),
+            stats.nu_volume.count()
+        );
+    }
+    println!("  {} compressed field samples in fields.bpl", written);
+    if let Some((w, consumer)) = pod {
+        w.close();
+        let p = consumer.join();
+        println!("  in-situ POD: {} snapshots, rank {}", p.count(), p.rank());
+        let sv = p.singular_values();
+        if !sv.is_empty() {
+            let total: f64 = sv.iter().map(|s| s * s).sum();
+            println!(
+                "  leading mode energy fraction: {:.4}",
+                sv[0] * sv[0] / total
+            );
+        }
+    }
+    // Post-run resolution check (spectral tail energy of the temperature).
+    let indicator = rbx::core::SpectralIndicator::new(args.order + 1);
+    let under = indicator.underresolved_fraction(&sim.geom, &sim.state.t, 1e-4, &comm);
+    println!(
+        "  resolution monitor: {:.1} % of elements exceed 1e-4 spectral tail energy",
+        100.0 * under
+    );
+    let pct = sim.timers.percentages();
+    println!(
+        "  phase split: P {:.0} % | V {:.0} % | T {:.0} % | other {:.0} %",
+        pct[0], pct[1], pct[2], pct[3]
+    );
+    println!("  outputs in {}", args.out.display());
+}

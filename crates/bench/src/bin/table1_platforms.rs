@@ -1,0 +1,51 @@
+//! **Table 1** — hardware and software details of the experimental
+//! platforms (LUMI, Leonardo).
+//!
+//! Prints the machine-model registry that parameterizes every performance
+//! simulation in this repository, alongside the paper's reported values.
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin table1_platforms
+//! ```
+
+use rbx::perf::{leonardo, lumi};
+
+fn main() {
+    let machines = [lumi(), leonardo()];
+    println!("Table 1: Hardware details of the experimental platforms");
+    println!("(paper values; per-GPU bandwidth and peak performance)\n");
+    println!("{}", rbx::perf::machine::table1(&machines));
+
+    println!("model-only parameters (substitution layer, see DESIGN.md):");
+    println!(
+        "  {:<22}{:<28}{:<28}",
+        "", machines[0].name, machines[1].name
+    );
+    println!(
+        "  {:<22}{:<28}{:<28}",
+        "launch latency [µs]",
+        machines[0].launch_latency_us,
+        machines[1].launch_latency_us
+    );
+    println!(
+        "  {:<22}{:<28}{:<28}",
+        "link latency [µs]", machines[0].link_latency_us, machines[1].link_latency_us
+    );
+    println!(
+        "  {:<22}{:<28}{:<28}",
+        "allreduce hop [µs]",
+        machines[0].allreduce_hop_us,
+        machines[1].allreduce_hop_us
+    );
+    println!(
+        "  {:<22}{:<28}{:<28}",
+        "sustained BW frac", machines[0].bw_efficiency, machines[1].bw_efficiency
+    );
+
+    // Paper cross-checks.
+    assert_eq!(machines[0].peak_tflops_fp64, 47.9);
+    assert_eq!(machines[1].peak_tflops_fp64, 9.7);
+    assert_eq!(machines[0].n_devices, 10240);
+    assert_eq!(machines[1].n_devices, 13824);
+    println!("\nall Table 1 values verified against the paper.");
+}

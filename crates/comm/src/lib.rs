@@ -1,0 +1,211 @@
+//! # rbx-comm — message-passing runtime
+//!
+//! The paper's solver distributes elements across MPI ranks (one rank per
+//! logical GPU). Supercomputer MPI is not available here, so this crate
+//! provides the substitution described in DESIGN.md: a [`Communicator`]
+//! trait with the collective and point-to-point operations the solver
+//! needs, implemented by
+//!
+//! * [`SingleComm`] — a one-rank communicator for serial runs, and
+//! * [`ThreadComm`] — a multi-rank runtime where ranks are OS threads
+//!   exchanging messages over crossbeam channels.
+//!
+//! The solver stack (gather-scatter, Krylov dot products, coarse-grid
+//! solves, timers) is written exclusively against the trait, exactly as the
+//! production code is written against MPI, so the communication structure of
+//! the paper's code paths is exercised for real across ranks.
+
+mod single;
+mod thread;
+
+pub use single::SingleComm;
+pub use thread::{run_on_ranks, ThreadComm};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Typed message payloads exchanged between ranks.
+///
+/// Solver traffic is `f64` (field data, reduction partials); `u64` carries
+/// global ids during gather-scatter setup; `Bytes` serves the I/O layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Double-precision data (field values, residuals, …).
+    F64(Vec<f64>),
+    /// Unsigned ids (global numbering exchange during setup).
+    U64(Vec<u64>),
+    /// Raw bytes (serialized I/O buffers).
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Borrow as `f64` slice.
+    ///
+    /// # Panics
+    /// Panics if the payload holds a different type.
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {}", other.kind()),
+        }
+    }
+
+    /// Consume into a `f64` vector.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {}", other.kind()),
+        }
+    }
+
+    /// Consume into a `u64` vector.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {}", other.kind()),
+        }
+    }
+
+    /// Consume into raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {}", other.kind()),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+            Payload::Bytes(_) => "Bytes",
+        }
+    }
+}
+
+/// Tag namespace reserved for internal collective traffic; user tags must
+/// stay below this value.
+pub const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
+
+/// The communication interface the solver is written against.
+///
+/// Object-safe so that the solver can hold an `Arc<dyn Communicator>`; all
+/// methods are blocking, mirroring the synchronous MPI calls used in the
+/// paper's measurement methodology (`MPI_Wtime` around synchronized
+/// regions).
+pub trait Communicator: Send + Sync {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Send a tagged message to `dest` (non-blocking buffered send).
+    fn send(&self, dest: usize, tag: u64, payload: Payload);
+
+    /// Receive the next message with tag `tag` from `src` (blocking).
+    fn recv(&self, src: usize, tag: u64) -> Payload;
+
+    /// Synchronize all ranks.
+    fn barrier(&self);
+
+    /// Element-wise sum-allreduce of a small vector, in place on all ranks.
+    fn allreduce_sum(&self, x: &mut [f64]);
+
+    /// Element-wise max-allreduce, in place on all ranks.
+    fn allreduce_max(&self, x: &mut [f64]);
+
+    /// Element-wise min-allreduce, in place on all ranks.
+    fn allreduce_min(&self, x: &mut [f64]);
+
+    /// Broadcast `x` from `root` to all ranks, in place.
+    fn bcast(&self, root: usize, x: &mut Payload);
+
+    /// Seconds since the communicator's shared epoch (the `MPI_Wtime`
+    /// equivalent used for all measurements).
+    fn wtime(&self) -> f64;
+}
+
+/// Convenience: sum-allreduce a scalar.
+pub fn allreduce_scalar(comm: &dyn Communicator, x: f64) -> f64 {
+    let mut buf = [x];
+    comm.allreduce_sum(&mut buf);
+    buf[0]
+}
+
+/// Convenience: max-allreduce a scalar.
+pub fn allreduce_scalar_max(comm: &dyn Communicator, x: f64) -> f64 {
+    let mut buf = [x];
+    comm.allreduce_max(&mut buf);
+    buf[0]
+}
+
+/// Pairwise symmetric neighbour exchange: send `outgoing[i]` to
+/// `neighbors[i]` and receive one message from each, returned in the same
+/// neighbour order. The pattern must be symmetric (if a sends to b, b sends
+/// to a), which is guaranteed for gather-scatter shared-node traffic.
+pub fn neighbor_exchange(
+    comm: &dyn Communicator,
+    tag: u64,
+    neighbors: &[usize],
+    outgoing: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    assert_eq!(neighbors.len(), outgoing.len());
+    for (&nbr, data) in neighbors.iter().zip(outgoing) {
+        comm.send(nbr, tag, Payload::F64(data.clone()));
+    }
+    neighbors
+        .iter()
+        .map(|&nbr| comm.recv(nbr, tag).into_f64())
+        .collect()
+}
+
+/// Shared epoch helper for `wtime` implementations.
+#[derive(Debug, Clone)]
+pub struct Epoch(Arc<Instant>);
+
+impl Epoch {
+    /// Capture a new epoch (time zero).
+    pub fn now() -> Self {
+        Self(Arc::new(Instant::now()))
+    }
+
+    /// Seconds elapsed since the epoch.
+    pub fn elapsed(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Self::now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_accessors() {
+        let p = Payload::F64(vec![1.0, 2.0]);
+        assert_eq!(p.as_f64(), &[1.0, 2.0]);
+        assert_eq!(p.into_f64(), vec![1.0, 2.0]);
+        assert_eq!(Payload::U64(vec![7]).into_u64(), vec![7]);
+        assert_eq!(Payload::Bytes(vec![1, 2]).into_bytes(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn payload_type_mismatch_panics() {
+        let _ = Payload::U64(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn epoch_monotone() {
+        let e = Epoch::now();
+        let a = e.elapsed();
+        let b = e.elapsed();
+        assert!(b >= a);
+    }
+}

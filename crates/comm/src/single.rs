@@ -1,0 +1,95 @@
+//! One-rank communicator for serial runs.
+
+use crate::{Communicator, Epoch, Payload};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// A communicator with a single rank. Point-to-point traffic is allowed only
+/// rank 0 → rank 0 (self-sends), which the gather-scatter setup uses for
+/// uniformity; collectives are identities.
+#[derive(Debug, Default)]
+pub struct SingleComm {
+    epoch: Epoch,
+    self_queue: Mutex<HashMap<u64, VecDeque<Payload>>>,
+}
+
+impl SingleComm {
+    /// Create a new single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SingleComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn send(&self, dest: usize, tag: u64, payload: Payload) {
+        assert_eq!(dest, 0, "SingleComm has only rank 0");
+        self.self_queue.lock().entry(tag).or_default().push_back(payload);
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        assert_eq!(src, 0, "SingleComm has only rank 0");
+        self.self_queue
+            .lock()
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .expect("SingleComm recv with no matching buffered self-send")
+    }
+
+    fn barrier(&self) {}
+
+    fn allreduce_sum(&self, _x: &mut [f64]) {}
+
+    fn allreduce_max(&self, _x: &mut [f64]) {}
+
+    fn allreduce_min(&self, _x: &mut [f64]) {}
+
+    fn bcast(&self, root: usize, _x: &mut Payload) {
+        assert_eq!(root, 0, "SingleComm has only rank 0");
+    }
+
+    fn wtime(&self) -> f64 {
+        self.epoch.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce_scalar;
+
+    #[test]
+    fn self_send_recv_fifo_per_tag() {
+        let c = SingleComm::new();
+        c.send(0, 1, Payload::F64(vec![1.0]));
+        c.send(0, 2, Payload::F64(vec![2.0]));
+        c.send(0, 1, Payload::F64(vec![3.0]));
+        assert_eq!(c.recv(0, 2).into_f64(), vec![2.0]);
+        assert_eq!(c.recv(0, 1).into_f64(), vec![1.0]);
+        assert_eq!(c.recv(0, 1).into_f64(), vec![3.0]);
+    }
+
+    #[test]
+    fn collectives_are_identity() {
+        let c = SingleComm::new();
+        assert_eq!(allreduce_scalar(&c, 5.0), 5.0);
+        let mut v = [1.0, -2.0];
+        c.allreduce_max(&mut v);
+        assert_eq!(v, [1.0, -2.0]);
+        c.barrier();
+    }
+
+    #[test]
+    #[should_panic(expected = "no matching buffered")]
+    fn recv_without_send_panics() {
+        let c = SingleComm::new();
+        let _ = c.recv(0, 9);
+    }
+}

@@ -1,0 +1,438 @@
+//! Multi-rank communicator with ranks as OS threads.
+//!
+//! [`run_on_ranks`] is the `mpirun` equivalent: it wires `n` ranks with
+//! crossbeam channels, spawns one thread per rank and runs the given
+//! closure on each, returning all results rank-ordered.
+
+use crate::{Communicator, Epoch, Payload, COLLECTIVE_TAG_BASE};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Barrier};
+
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// One rank's endpoint in a thread-backed communicator.
+///
+/// Message matching is by `(src, tag)` with per-pair FIFO ordering, the
+/// same guarantee MPI provides, so collective algorithms built from
+/// point-to-point messages need no extra sequencing.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    epoch: Epoch,
+    senders: Vec<Sender<Msg>>,
+    inbox: Receiver<Msg>,
+    /// Buffer for messages that arrived before a matching `recv`.
+    pending: Mutex<HashMap<(usize, u64), VecDeque<Payload>>>,
+    barrier: Arc<Barrier>,
+}
+
+const TAG_REDUCE: u64 = COLLECTIVE_TAG_BASE;
+const TAG_BCAST: u64 = COLLECTIVE_TAG_BASE + 1;
+
+impl ThreadComm {
+    fn pop_pending(&self, src: usize, tag: u64) -> Option<Payload> {
+        let mut pending = self.pending.lock();
+        let q = pending.get_mut(&(src, tag))?;
+        let p = q.pop_front();
+        if q.is_empty() {
+            pending.remove(&(src, tag));
+        }
+        p
+    }
+
+    /// Recursive-doubling allreduce (the ⌈log₂P⌉-depth algorithm real MPI
+    /// implementations use, and the one the `rbx-perf` cost model prices).
+    ///
+    /// Non-power-of-two sizes fold the excess ranks into the power-of-two
+    /// core first and broadcast back after. Operands are always combined
+    /// in rank order, so **every rank produces bitwise-identical results**
+    /// — the property collective-driven solver decisions rely on.
+    fn reduce_impl(&self, x: &mut [f64], op: impl Fn(f64, f64) -> f64) {
+        if self.size == 1 {
+            return;
+        }
+        let p2 = self.size.next_power_of_two() >> usize::from(!self.size.is_power_of_two());
+        let rem = self.size - p2;
+        let rank = self.rank;
+
+        // Fold phase: ranks ≥ p2 send their data down; ranks < rem absorb.
+        if rank >= p2 {
+            self.send(rank - p2, TAG_REDUCE, Payload::F64(x.to_vec()));
+        } else {
+            if rank < rem {
+                let part = self.recv(rank + p2, TAG_REDUCE).into_f64();
+                assert_eq!(part.len(), x.len(), "allreduce length mismatch");
+                // Higher rank's data is the right operand.
+                for (xi, pi) in x.iter_mut().zip(part) {
+                    *xi = op(*xi, pi);
+                }
+            }
+            // Recursive doubling among the power-of-two core.
+            let mut mask = 1;
+            while mask < p2 {
+                let partner = rank ^ mask;
+                self.send(partner, TAG_REDUCE, Payload::F64(x.to_vec()));
+                let part = self.recv(partner, TAG_REDUCE).into_f64();
+                assert_eq!(part.len(), x.len(), "allreduce length mismatch");
+                // Rank-ordered combination keeps results identical on all
+                // ranks.
+                if partner > rank {
+                    for (xi, pi) in x.iter_mut().zip(part) {
+                        *xi = op(*xi, pi);
+                    }
+                } else {
+                    for (xi, pi) in x.iter_mut().zip(part) {
+                        *xi = op(pi, *xi);
+                    }
+                }
+                mask <<= 1;
+            }
+        }
+
+        // Unfold phase: send results back to the folded ranks.
+        if rank < rem {
+            self.send(rank + p2, TAG_REDUCE, Payload::F64(x.to_vec()));
+        } else if rank >= p2 {
+            let result = self.recv(rank - p2, TAG_REDUCE).into_f64();
+            x.copy_from_slice(&result);
+        }
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, dest: usize, tag: u64, payload: Payload) {
+        if dest == self.rank {
+            self.pending
+                .lock()
+                .entry((self.rank, tag))
+                .or_default()
+                .push_back(payload);
+            return;
+        }
+        self.senders[dest]
+            .send(Msg { src: self.rank, tag, payload })
+            .expect("receiving rank has shut down");
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        loop {
+            if let Some(p) = self.pop_pending(src, tag) {
+                return p;
+            }
+            let msg = self.inbox.recv().expect("all senders disconnected");
+            if msg.src == src && msg.tag == tag {
+                return msg.payload;
+            }
+            self.pending
+                .lock()
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        }
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn allreduce_sum(&self, x: &mut [f64]) {
+        self.reduce_impl(x, |a, b| a + b);
+    }
+
+    fn allreduce_max(&self, x: &mut [f64]) {
+        self.reduce_impl(x, f64::max);
+    }
+
+    fn allreduce_min(&self, x: &mut [f64]) {
+        self.reduce_impl(x, f64::min);
+    }
+
+    fn bcast(&self, root: usize, x: &mut Payload) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == root {
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, TAG_BCAST, x.clone());
+                }
+            }
+        } else {
+            *x = self.recv(root, TAG_BCAST);
+        }
+    }
+
+    fn wtime(&self) -> f64 {
+        self.epoch.elapsed()
+    }
+}
+
+/// Launch `n` ranks, run `f` on each (receiving its own [`ThreadComm`]),
+/// and return the per-rank results in rank order. Panics in any rank
+/// propagate after all threads are joined.
+///
+/// ```
+/// use rbx_comm::{run_on_ranks, allreduce_scalar, Communicator};
+/// let sums = run_on_ranks(4, |comm| allreduce_scalar(comm, comm.rank() as f64));
+/// assert_eq!(sums, vec![6.0; 4]); // 0 + 1 + 2 + 3 on every rank
+/// ```
+pub fn run_on_ranks<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
+    assert!(n >= 1, "need at least one rank");
+    let epoch = Epoch::now();
+    let barrier = Arc::new(Barrier::new(n));
+    let mut senders = Vec::with_capacity(n);
+    let mut inboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    let comms: Vec<ThreadComm> = inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| ThreadComm {
+            rank,
+            size: n,
+            epoch: epoch.clone(),
+            senders: senders.clone(),
+            inbox,
+            pending: Mutex::new(HashMap::new()),
+            barrier: barrier.clone(),
+        })
+        .collect();
+    // Drop the extra sender handles so channels close when ranks finish.
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allreduce_scalar, neighbor_exchange};
+
+    #[test]
+    fn ranks_get_distinct_ids() {
+        let ids = run_on_ranks(4, |c| (c.rank(), c.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = run_on_ranks(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, Payload::F64(vec![c.rank() as f64]));
+            c.recv(prev, 7).into_f64()[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_across_ranks() {
+        let out = run_on_ranks(5, |c| allreduce_scalar(c, (c.rank() + 1) as f64));
+        for v in out {
+            assert_eq!(v, 15.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vector_and_minmax() {
+        let out = run_on_ranks(3, |c| {
+            let r = c.rank() as f64;
+            let mut sum = vec![r, 2.0 * r];
+            c.allreduce_sum(&mut sum);
+            let mut mx = vec![r];
+            c.allreduce_max(&mut mx);
+            let mut mn = vec![r];
+            c.allreduce_min(&mut mn);
+            (sum, mx[0], mn[0])
+        });
+        for (sum, mx, mn) in out {
+            assert_eq!(sum, vec![3.0, 6.0]);
+            assert_eq!(mx, 2.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduces_do_not_interleave() {
+        let out = run_on_ranks(4, |c| {
+            let mut acc = Vec::new();
+            for k in 0..20 {
+                acc.push(allreduce_scalar(c, (k * (c.rank() + 1)) as f64));
+            }
+            acc
+        });
+        for row in out {
+            for (k, v) in row.iter().enumerate() {
+                // Σ_r k(r+1) for r = 0..4 → 10k.
+                assert_eq!(*v, (10 * k) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = run_on_ranks(4, |c| {
+            let mut p = if c.rank() == 2 {
+                Payload::F64(vec![42.0])
+            } else {
+                Payload::F64(vec![0.0])
+            };
+            c.bcast(2, &mut p);
+            p.into_f64()[0]
+        });
+        assert_eq!(out, vec![42.0; 4]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 100, Payload::F64(vec![1.0]));
+                c.send(1, 200, Payload::F64(vec![2.0]));
+                0.0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = c.recv(0, 200).into_f64()[0];
+                let a = c.recv(0, 100).into_f64()[0];
+                10.0 * a + b
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn self_send_is_buffered() {
+        let out = run_on_ranks(2, |c| {
+            c.send(c.rank(), 5, Payload::U64(vec![c.rank() as u64]));
+            c.recv(c.rank(), 5).into_u64()[0]
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn neighbor_exchange_symmetric() {
+        let out = run_on_ranks(3, |c| {
+            // Full exchange: everyone is everyone's neighbour.
+            let neighbors: Vec<usize> = (0..c.size()).filter(|&r| r != c.rank()).collect();
+            let outgoing: Vec<Vec<f64>> =
+                neighbors.iter().map(|_| vec![c.rank() as f64]).collect();
+            let incoming = neighbor_exchange(c, 9, &neighbors, &outgoing);
+            incoming.iter().map(|v| v[0]).sum::<f64>()
+        });
+        // Each rank receives the sum of the other two ranks' ids.
+        assert_eq!(out, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn barrier_all_ranks_proceed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_on_ranks(4, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn wtime_shared_epoch() {
+        let times = run_on_ranks(2, |c| {
+            c.barrier();
+            c.wtime()
+        });
+        assert!((times[0] - times[1]).abs() < 0.5);
+    }
+}
+
+#[cfg(test)]
+mod allreduce_algorithm_tests {
+    use super::*;
+    use crate::allreduce_scalar;
+
+    #[test]
+    fn results_bitwise_identical_on_all_ranks() {
+        // Floating-point reductions must agree bit-for-bit across ranks
+        // (solver decisions driven by dot products depend on it).
+        for nranks in [2usize, 3, 4, 5, 6, 7, 8] {
+            let results = run_on_ranks(nranks, |c| {
+                // Rank-dependent irrational-ish contributions.
+                let mut v: Vec<f64> = (0..10)
+                    .map(|i| ((c.rank() * 31 + i * 7) as f64 * 0.1234567).sin() / 3.0)
+                    .collect();
+                c.allreduce_sum(&mut v);
+                v
+            });
+            for r in 1..nranks {
+                for (a, b) in results[0].iter().zip(&results[r]) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{nranks} ranks: rank {r} differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonpower_of_two_sizes_reduce_correctly() {
+        for nranks in [3usize, 5, 6, 7] {
+            let out = run_on_ranks(nranks, |c| allreduce_scalar(c, (c.rank() + 1) as f64));
+            let expect = (nranks * (nranks + 1) / 2) as f64;
+            for v in out {
+                assert_eq!(v, expect, "{nranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_across_many_sizes() {
+        for nranks in [2usize, 3, 8] {
+            let out = run_on_ranks(nranks, |c| {
+                let mut mn = vec![c.rank() as f64];
+                c.allreduce_min(&mut mn);
+                let mut mx = vec![c.rank() as f64];
+                c.allreduce_max(&mut mx);
+                (mn[0], mx[0])
+            });
+            for (mn, mx) in out {
+                assert_eq!(mn, 0.0);
+                assert_eq!(mx, (nranks - 1) as f64);
+            }
+        }
+    }
+}

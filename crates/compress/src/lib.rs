@@ -1,0 +1,26 @@
+// Index-style loops mirror the tensor/lattice math throughout; the
+// iterator forms clippy suggests would obscure the stencil structure.
+#![allow(clippy::needless_range_loop)]
+
+//! # rbx-compress — in-situ lossy compression of spectral-element fields
+//!
+//! Implements the paper's §5.2 compression scheme (Eq. 2): each element's
+//! nodal field is L²-projected onto the orthogonal Legendre basis,
+//! coefficients are truncated under a user-specified error bound (optimal
+//! greedy truncation of the smallest-energy modes), optionally quantized,
+//! and finally passed through a lossless encoder. Because turbulence data
+//! has high Shannon entropy in nodal space but strong spectral decay in
+//! modal space, the transform+truncate step is what makes the lossless
+//! stage effective — the paper reports 97 % reduction at 2.5 % relative
+//! error, with 85–90 % as conservative production levels.
+//!
+//! The decompression path reconstructs the nodal field; the weighted-L²
+//! (RMS) error measure of the paper's §6.2 is provided for evaluation.
+
+pub mod codec;
+pub mod pipeline;
+
+pub use codec::{lossless_decode, lossless_encode, Codec};
+pub use pipeline::{
+    compress_field, decompress_field, weighted_l2_error, Compressed, CompressionConfig,
+};

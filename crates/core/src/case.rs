@@ -1,0 +1,109 @@
+//! Pre-packaged RBC cases: the paper's cylindrical cell and a box variant.
+
+use rbx_mesh::cylinder::{cylinder_mesh, CylinderParams};
+use rbx_mesh::generators::box_mesh_graded;
+use rbx_mesh::partition::{part_elements, partition_rcb};
+use rbx_mesh::HexMesh;
+
+/// A mesh plus its partition, ready to build one [`crate::Simulation`]
+/// per rank.
+pub struct CaseSetup {
+    /// The global mesh.
+    pub mesh: HexMesh,
+    /// Rank of every element.
+    pub part: Vec<usize>,
+    /// Per-rank element lists.
+    pub elems: Vec<Vec<usize>>,
+}
+
+impl CaseSetup {
+    fn from_mesh(mesh: HexMesh, nranks: usize) -> Self {
+        let part = partition_rcb(&mesh, nranks);
+        let elems = part_elements(&part, nranks);
+        Self { mesh, part, elems }
+    }
+}
+
+/// The paper's cylindrical RBC cell: unit height, aspect ratio
+/// `Γ = D/H`, boundary-layer-graded plates. `resolution` scales the
+/// element counts (1 = smallest sensible mesh).
+pub fn rbc_cylinder_case(aspect_ratio: f64, resolution: usize, nranks: usize) -> CaseSetup {
+    assert!(aspect_ratio > 0.0 && resolution >= 1 && nranks >= 1);
+    let params = CylinderParams {
+        radius: 0.5 * aspect_ratio,
+        height: 1.0,
+        n_square: resolution.max(1),
+        n_rings: resolution.max(1),
+        n_z: (4 * resolution).max(2),
+        beta_z: 1.8,
+    };
+    CaseSetup::from_mesh(cylinder_mesh(params), nranks)
+}
+
+/// A box RBC cell of unit height and horizontal extent `gamma` (a common
+/// validation geometry), optionally periodic in x and y.
+pub fn rbc_box_case(
+    gamma: f64,
+    nx: usize,
+    nz: usize,
+    periodic: bool,
+    nranks: usize,
+) -> CaseSetup {
+    assert!(gamma > 0.0 && nx >= 1 && nz >= 1 && nranks >= 1);
+    let mesh = box_mesh_graded(
+        nx,
+        nx,
+        nz,
+        [0.0, gamma],
+        [0.0, gamma],
+        [0.0, 1.0],
+        periodic,
+        periodic,
+        1.5,
+    );
+    CaseSetup::from_mesh(mesh, nranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_mesh::BoundaryTag;
+
+    #[test]
+    fn cylinder_case_partitions_cover_everything() {
+        let case = rbc_cylinder_case(1.0, 1, 3);
+        assert!(case.mesh.validate().is_empty());
+        let total: usize = case.elems.iter().map(|e| e.len()).sum();
+        assert_eq!(total, case.mesh.num_elements());
+        for (r, list) in case.elems.iter().enumerate() {
+            for &e in list {
+                assert_eq!(case.part[e], r);
+            }
+        }
+    }
+
+    #[test]
+    fn box_case_has_plates() {
+        let case = rbc_box_case(2.0, 3, 3, false, 2);
+        let hot = case
+            .mesh
+            .face_tags
+            .iter()
+            .flatten()
+            .filter(|t| **t == BoundaryTag::HotWall)
+            .count();
+        assert_eq!(hot, 9);
+    }
+
+    #[test]
+    fn aspect_ratio_sets_radius() {
+        let case = rbc_cylinder_case(0.1, 1, 1);
+        let rmax = case
+            .mesh
+            .vertices
+            .iter()
+            .map(|v| (v[0] * v[0] + v[1] * v[1]).sqrt())
+            .fold(0.0f64, f64::max);
+        assert!((rmax - 0.05).abs() < 1e-12, "radius {rmax}");
+    }
+}

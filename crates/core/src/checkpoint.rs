@@ -1,0 +1,222 @@
+//! Checkpoint / restart through the BPL container.
+//!
+//! Production DNS campaigns run for weeks; the paper's workflow stores
+//! "selected instantaneous data" and restarts across allocations. A
+//! checkpoint carries the full solver state needed to resume time
+//! integration at full order: the current fields plus the BDF/EXT lag
+//! arrays, the simulated time and step counter.
+//!
+//! The pressure solution-projection space is deliberately *not* stored
+//! (it is a pure accelerator and rebuilds within a few steps), so a
+//! restarted run reproduces the original trajectory to solver tolerance,
+//! not bitwise.
+
+use crate::sim::Simulation;
+use rbx_io::{read_bpl, write_bpl, StepData, VarData, Variable};
+use std::path::Path;
+
+fn var(name: &str, data: &[f64]) -> Variable {
+    Variable::f64(name, vec![data.len() as u64], data.to_vec())
+}
+
+fn take(step: &StepData, name: &str, n: usize) -> Vec<f64> {
+    match &step.var(name).unwrap_or_else(|| panic!("checkpoint missing {name}")).data {
+        VarData::F64(v) => {
+            assert_eq!(v.len(), n, "checkpoint field {name} has wrong length");
+            v.clone()
+        }
+        _ => panic!("checkpoint field {name} has wrong type"),
+    }
+}
+
+/// Write a checkpoint of `sim` (one rank's state) to `path`.
+pub fn write_checkpoint(sim: &Simulation<'_>, path: &Path) -> std::io::Result<()> {
+    let s = &sim.state;
+    let mut vars = vec![
+        var("u0", &s.u[0]),
+        var("u1", &s.u[1]),
+        var("u2", &s.u[2]),
+        var("p", &s.p),
+        var("t", &s.t),
+        Variable::f64("meta", vec![2], vec![s.time, s.istep as f64]),
+        Variable::f64(
+            "lag_depths",
+            vec![3],
+            vec![s.u_lag.len() as f64, s.f_lag.len() as f64, s.t_lag.len() as f64],
+        ),
+        Variable::f64("dt_hist", vec![s.dt_hist.len() as u64], s.dt_hist.clone()),
+    ];
+    for (i, ul) in s.u_lag.iter().enumerate() {
+        for d in 0..3 {
+            vars.push(var(&format!("u_lag{i}_{d}"), &ul[d]));
+        }
+    }
+    for (i, tl) in s.t_lag.iter().enumerate() {
+        vars.push(var(&format!("t_lag{i}"), tl));
+    }
+    for (i, fl) in s.f_lag.iter().enumerate() {
+        for d in 0..3 {
+            vars.push(var(&format!("f_lag{i}_{d}"), &fl[d]));
+        }
+    }
+    for (i, ftl) in s.ft_lag.iter().enumerate() {
+        vars.push(var(&format!("ft_lag{i}"), ftl));
+    }
+    write_bpl(path, &[StepData { step: s.istep as u64, time: s.time, vars }])
+}
+
+/// Restore a checkpoint written by [`write_checkpoint`] into `sim` (which
+/// must have been built with the same mesh/partition/order).
+pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> std::io::Result<()> {
+    let steps = read_bpl(path)?;
+    assert_eq!(steps.len(), 1, "checkpoint must contain exactly one step");
+    let step = &steps[0];
+    let n = sim.n_local();
+    for d in 0..3 {
+        sim.state.u[d] = take(step, &format!("u{d}"), n);
+    }
+    sim.state.p = take(step, "p", n);
+    sim.state.t = take(step, "t", n);
+    let meta = take(step, "meta", 2);
+    sim.state.time = meta[0];
+    sim.state.istep = meta[1] as usize;
+    let depths = take(step, "lag_depths", 3);
+    let (du, df, dt_) = (depths[0] as usize, depths[1] as usize, depths[2] as usize);
+    sim.state.u_lag = (0..du)
+        .map(|i| {
+            [
+                take(step, &format!("u_lag{i}_0"), n),
+                take(step, &format!("u_lag{i}_1"), n),
+                take(step, &format!("u_lag{i}_2"), n),
+            ]
+        })
+        .collect();
+    sim.state.t_lag = (0..dt_).map(|i| take(step, &format!("t_lag{i}"), n)).collect();
+    sim.state.f_lag = (0..df)
+        .map(|i| {
+            [
+                take(step, &format!("f_lag{i}_0"), n),
+                take(step, &format!("f_lag{i}_1"), n),
+                take(step, &format!("f_lag{i}_2"), n),
+            ]
+        })
+        .collect();
+    sim.state.ft_lag = (0..df).map(|i| take(step, &format!("ft_lag{i}"), n)).collect();
+    sim.state.dt_hist = match &step
+        .var("dt_hist")
+        .expect("checkpoint missing dt_hist")
+        .data
+    {
+        VarData::F64(v) => v.clone(),
+        _ => panic!("checkpoint field dt_hist has wrong type"),
+    };
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig {
+            ra: 1e4,
+            order: 3,
+            dt: 2e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn restart_continues_the_trajectory() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let dir = std::env::temp_dir().join("rbx_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chk.bpl");
+
+        // Reference: run 5 + 5 steps uninterrupted.
+        let mut a = Simulation::new(cfg(), &mesh, &part, my.clone(), &comm);
+        a.init_rbc();
+        for _ in 0..5 {
+            assert!(a.step().converged);
+        }
+        write_checkpoint(&a, &path).unwrap();
+        for _ in 0..5 {
+            assert!(a.step().converged);
+        }
+
+        // Restarted: fresh sim, restore at step 5, run 5 more.
+        let mut b = Simulation::new(cfg(), &mesh, &part, my, &comm);
+        read_checkpoint(&mut b, &path).unwrap();
+        assert_eq!(b.state.istep, 5);
+        assert!((b.state.time - 5.0 * 2e-3).abs() < 1e-14);
+        for _ in 0..5 {
+            assert!(b.step().converged);
+        }
+
+        // Trajectories agree to solver tolerance (the projection space is
+        // rebuilt, so not bitwise).
+        let mut max_d = 0.0f64;
+        for (x, y) in a.state.t.iter().zip(&b.state.t) {
+            max_d = max_d.max((x - y).abs());
+        }
+        for d in 0..3 {
+            for (x, y) in a.state.u[d].iter().zip(&b.state.u[d]) {
+                max_d = max_d.max((x - y).abs());
+            }
+        }
+        assert!(max_d < 1e-7, "restart diverged: {max_d:.3e}");
+    }
+
+    #[test]
+    fn checkpoint_preserves_lag_depth_and_order() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let dir = std::env::temp_dir().join("rbx_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lag.bpl");
+
+        let mut a = Simulation::new(cfg(), &mesh, &part, vec![0, 1], &comm);
+        a.init_rbc();
+        for _ in 0..4 {
+            a.step();
+        }
+        write_checkpoint(&a, &path).unwrap();
+        let mut b = Simulation::new(cfg(), &mesh, &part, vec![0, 1], &comm);
+        read_checkpoint(&mut b, &path).unwrap();
+        assert_eq!(b.state.u_lag.len(), a.state.u_lag.len());
+        assert_eq!(b.state.f_lag.len(), a.state.f_lag.len());
+        for (x, y) in a.state.u_lag[0][2].iter().zip(&b.state.u_lag[0][2]) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Next step from the restored state is at full BDF order
+        // immediately (lag history present) and converges.
+        assert!(b.step().converged);
+        assert_eq!(b.state.istep, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn corrupt_checkpoint_detected() {
+        let mesh = box_mesh(1, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let dir = std::env::temp_dir().join("rbx_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bpl");
+        // A BPL file that is not a checkpoint.
+        rbx_io::write_bpl(
+            &path,
+            &[StepData { step: 0, time: 0.0, vars: vec![] }],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(cfg(), &mesh, &[0], vec![0], &comm);
+        let _ = read_checkpoint(&mut sim, &path);
+    }
+}

@@ -1,0 +1,104 @@
+//! Solver state: velocity, pressure, temperature, and the BDF/EXT
+//! histories.
+
+/// Per-rank flow state in element-local storage.
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// Velocity components at the current time level.
+    pub u: [Vec<f64>; 3],
+    /// Pressure at the current time level.
+    pub p: Vec<f64>,
+    /// Temperature at the current time level.
+    pub t: Vec<f64>,
+    /// Lagged velocity levels (most recent first), for BDF.
+    pub u_lag: Vec<[Vec<f64>; 3]>,
+    /// Lagged temperature levels (most recent first).
+    pub t_lag: Vec<Vec<f64>>,
+    /// Lagged explicit forcing `f = −(u·∇)u + T·e_z` (most recent first),
+    /// for EXT.
+    pub f_lag: Vec<[Vec<f64>; 3]>,
+    /// Lagged explicit temperature forcing `−(u·∇)T`.
+    pub ft_lag: Vec<Vec<f64>>,
+    /// Simulated time.
+    pub time: f64,
+    /// Completed steps.
+    pub istep: usize,
+    /// Step sizes of previous steps (most recent first), for variable-step
+    /// BDF/EXT coefficients.
+    pub dt_hist: Vec<f64>,
+}
+
+impl FlowState {
+    /// Zero-initialized state for `n` local nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            u: [vec![0.0; n], vec![0.0; n], vec![0.0; n]],
+            p: vec![0.0; n],
+            t: vec![0.0; n],
+            u_lag: Vec::new(),
+            t_lag: Vec::new(),
+            f_lag: Vec::new(),
+            ft_lag: Vec::new(),
+            time: 0.0,
+            istep: 0,
+            dt_hist: Vec::new(),
+        }
+    }
+
+    /// Local node count.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True if the state has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Push the current solution into the lag arrays (front = most
+    /// recent), keeping at most `depth` levels.
+    pub fn push_solution_lag(&mut self, depth: usize) {
+        self.u_lag.insert(0, self.u.clone());
+        self.t_lag.insert(0, self.t.clone());
+        self.u_lag.truncate(depth);
+        self.t_lag.truncate(depth);
+    }
+
+    /// Push explicit forcings into the lag arrays, keeping `depth` levels.
+    pub fn push_forcing_lag(&mut self, f: [Vec<f64>; 3], ft: Vec<f64>, depth: usize) {
+        self.f_lag.insert(0, f);
+        self.ft_lag.insert(0, ft);
+        self.f_lag.truncate(depth);
+        self.ft_lag.truncate(depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_depth_is_bounded() {
+        let mut s = FlowState::new(4);
+        for step in 0..5 {
+            s.u[0][0] = step as f64;
+            s.push_solution_lag(3);
+        }
+        assert_eq!(s.u_lag.len(), 3);
+        // Most recent first.
+        assert_eq!(s.u_lag[0][0][0], 4.0);
+        assert_eq!(s.u_lag[2][0][0], 2.0);
+    }
+
+    #[test]
+    fn forcing_lag_ordering() {
+        let mut s = FlowState::new(2);
+        for step in 0..4 {
+            let f = [vec![step as f64; 2], vec![0.0; 2], vec![0.0; 2]];
+            s.push_forcing_lag(f, vec![step as f64; 2], 3);
+        }
+        assert_eq!(s.f_lag.len(), 3);
+        assert_eq!(s.f_lag[0][0][0], 3.0);
+        assert_eq!(s.ft_lag[1][0], 2.0);
+    }
+}

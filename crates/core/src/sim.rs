@@ -1,0 +1,1132 @@
+//! The time-stepping driver: Karniadakis splitting with BDF/EXT.
+//!
+//! Each [`Simulation::step`] advances one Δt (paper §6):
+//!
+//! 1. **Explicit forcing** — dealiased advection `−(u·∇)u`, buoyancy
+//!    `T·e_z`, and `−(u·∇)T`, pushed into the EXT history.
+//! 2. **Pressure** — weak-divergence right-hand side of the extrapolated
+//!    momentum (with the rotational `−ν∇×∇×u` correction), solved with
+//!    GMRES + the hybrid Schwarz preconditioner, null space deflated.
+//! 3. **Velocity** — three Helmholtz solves `(bd₀/Δt·B + ν·A)u = rhs`
+//!    with block-Jacobi CG.
+//! 4. **Temperature** — one Helmholtz solve with Dirichlet lifting for the
+//!    hot/cold plates.
+//!
+//! Wall time is attributed to the paper's Fig. 4 phases throughout.
+
+use crate::config::{SolverConfig, ThermalBc};
+use crate::diffops::{curl, phys_grad, weak_divergence, Dealias, DiffScratch};
+use crate::fields::FlowState;
+use crate::timeint::{bdf_coeffs_variable, effective_order, ext_coeffs_variable};
+use crate::timers::{Phase, PhaseTimers};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbx_comm::Communicator;
+use rbx_gs::{GatherScatter, GsOp};
+use rbx_la::bc::{dirichlet_mask, set_on_tagged_faces};
+use rbx_la::helmholtz::{HelmholtzOp, HelmholtzScratch};
+use rbx_la::jacobi::{assembled_diagonal, jacobi_apply};
+use rbx_la::krylov::{fgmres, pcg, SolveStats};
+use rbx_la::ops::{hadamard, ortho_project_mean, DotProduct};
+use rbx_la::{CoarseGrid, ElementFdm, SchwarzMg, SolutionProjection};
+use rbx_mesh::{BoundaryTag, GeomFactors, HexMesh};
+use std::sync::Arc;
+
+/// Velocity Dirichlet tags: every wall of the RBC cell is no-slip.
+pub const VELOCITY_WALLS: [BoundaryTag; 3] =
+    [BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall];
+
+/// Temperature Dirichlet tags: isothermal plates only (side walls
+/// adiabatic → natural).
+pub const TEMPERATURE_WALLS: [BoundaryTag; 2] = [BoundaryTag::HotWall, BoundaryTag::ColdWall];
+
+/// Iteration counts and diagnostics from one time step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Pressure GMRES iterations.
+    pub p_iters: usize,
+    /// Final pressure residual.
+    pub p_residual: f64,
+    /// Velocity CG iterations (per component).
+    pub v_iters: [usize; 3],
+    /// Temperature CG iterations.
+    pub t_iters: usize,
+    /// Whether all solves met their tolerances.
+    pub converged: bool,
+}
+
+/// One rank's share of an RBC simulation.
+pub struct Simulation<'a> {
+    /// Solver configuration.
+    pub cfg: SolverConfig,
+    /// The global mesh (replicated; only `my_elems` are computed on).
+    pub mesh: &'a HexMesh,
+    /// This rank's global element ids.
+    pub my_elems: Vec<usize>,
+    /// Communicator.
+    pub comm: &'a dyn Communicator,
+    /// Fine geometry of the local elements.
+    pub geom: GeomFactors,
+    /// Fine gather-scatter.
+    pub gs: Arc<GatherScatter>,
+    /// Node multiplicities.
+    pub mult: Vec<f64>,
+    /// Globally consistent inner product.
+    pub dp: DotProduct,
+    /// Velocity Dirichlet mask.
+    pub mask_v: Vec<f64>,
+    /// Temperature Dirichlet mask.
+    pub mask_t: Vec<f64>,
+    /// Pressure "mask" (all ones; pure Neumann).
+    pub mask_p: Vec<f64>,
+    /// Temperature Dirichlet lifting field (±0.5 on the plates).
+    pub t_lift: Vec<f64>,
+    /// Pressure preconditioner.
+    pub schwarz: SchwarzMg,
+    /// Assembled diagonal of the stiffness `A`.
+    diag_a: Vec<f64>,
+    /// Assembled diagonal of the mass `B`.
+    diag_b: Vec<f64>,
+    /// Dealiasing apparatus.
+    pub dealias: Dealias,
+    /// Flow state.
+    pub state: FlowState,
+    /// Precomputed surface-flux contribution to the temperature RHS.
+    flux_rhs: Vec<f64>,
+    /// Per-phase timers (Fig. 4).
+    pub timers: PhaseTimers,
+    /// Stats of the most recent step.
+    pub last: StepStats,
+    /// Previous-solution recycling space for the pressure solve.
+    p_proj: SolutionProjection,
+    scratch_h: HelmholtzScratch,
+    scratch_d: DiffScratch,
+}
+
+impl<'a> Simulation<'a> {
+    /// Build the per-rank solver.
+    ///
+    /// `part` assigns every global element to a rank; `my_elems` are this
+    /// rank's elements (consistent with `comm.rank()`).
+    pub fn new(
+        cfg: SolverConfig,
+        mesh: &'a HexMesh,
+        part: &[usize],
+        my_elems: Vec<usize>,
+        comm: &'a dyn Communicator,
+    ) -> Self {
+        let p = cfg.order;
+        let sub = mesh.extract(&my_elems);
+        let geom = GeomFactors::new(&sub, p);
+        let gs = Arc::new(GatherScatter::build(mesh, p, part, &my_elems, comm));
+        let mult = gs.multiplicity(comm);
+        let dp = DotProduct::new(&mult);
+        let mask_v = dirichlet_mask(mesh, p, &my_elems, &VELOCITY_WALLS, &gs, comm);
+        // Thermal Dirichlet set depends on the plate condition: a flux-
+        // heated bottom plate has no temperature constraint there.
+        let t_dirichlet: &[BoundaryTag] = match cfg.thermal_bc {
+            ThermalBc::Isothermal => &TEMPERATURE_WALLS,
+            ThermalBc::BottomFluxTopIsothermal { .. } => &[BoundaryTag::ColdWall],
+        };
+        let mask_t = dirichlet_mask(mesh, p, &my_elems, t_dirichlet, &gs, comm);
+        let mask_p = vec![1.0; geom.total_nodes()];
+        let mut t_lift = vec![0.0; geom.total_nodes()];
+        if matches!(cfg.thermal_bc, ThermalBc::Isothermal) {
+            set_on_tagged_faces(mesh, p, &my_elems, BoundaryTag::HotWall, 0.5, &mut t_lift);
+        }
+        set_on_tagged_faces(mesh, p, &my_elems, BoundaryTag::ColdWall, -0.5, &mut t_lift);
+
+        // Weak-form surface term for the imposed bottom flux:
+        // rhs_T += ∮ φ·q dS on the hot plate.
+        let mut flux_rhs = vec![0.0; geom.total_nodes()];
+        if let ThermalBc::BottomFluxTopIsothermal { q } = cfg.thermal_bc {
+            use rbx_mesh::topology::face_to_volume;
+            let n = p + 1;
+            let nn = n * n * n;
+            for (le, &ge) in my_elems.iter().enumerate() {
+                for f in 0..6 {
+                    if mesh.face_tags[ge][f] == BoundaryTag::HotWall {
+                        let w = geom.face_area_weights(le, f);
+                        for b in 0..n {
+                            for a in 0..n {
+                                let (i, j, k) = face_to_volume(f, a, b, p);
+                                flux_rhs[le * nn + i + n * (j + n * k)] +=
+                                    q * w[a + n * b];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let fdm = ElementFdm::new(&geom);
+        let coarse = CoarseGrid::build_with_order(mesh, p, cfg.coarse_order, part, &my_elems, &[], comm);
+        let schwarz = SchwarzMg::new(
+            fdm,
+            coarse,
+            gs.clone(),
+            &mult,
+            mask_p.clone(),
+            &geom.mass,
+            1.0,
+            0.0,
+        );
+
+        let diag_a = assembled_diagonal(&geom, &gs, 1.0, 0.0, comm);
+        let diag_b = assembled_diagonal(&geom, &gs, 0.0, 1.0, comm);
+        let dealias = Dealias::new(&geom, cfg.dealias);
+        let state = FlowState::new(geom.total_nodes());
+        let p_proj = SolutionProjection::new(geom.total_nodes(), cfg.p_projection);
+
+        Self {
+            cfg,
+            mesh,
+            my_elems,
+            comm,
+            geom,
+            gs,
+            mult,
+            dp,
+            mask_v,
+            mask_t,
+            mask_p,
+            t_lift,
+            schwarz,
+            diag_a,
+            diag_b,
+            dealias,
+            state,
+            flux_rhs,
+            timers: PhaseTimers::new(false),
+            last: StepStats::default(),
+            p_proj,
+            scratch_h: HelmholtzScratch::default(),
+            scratch_d: DiffScratch::default(),
+        }
+    }
+
+    /// Local node count.
+    pub fn n_local(&self) -> usize {
+        self.geom.total_nodes()
+    }
+
+    /// Change the time-step size; subsequent steps use variable-step
+    /// BDF/EXT coefficients built from the stored step history, so no
+    /// restart of the multistep scheme is needed.
+    pub fn set_dt(&mut self, dt: f64) {
+        assert!(dt > 0.0, "time step must be positive");
+        self.cfg.dt = dt;
+    }
+
+    /// CFL-targeting step-size controller: measures the current advective
+    /// CFL and rescales `dt` toward `target_cfl`, limiting the change to
+    /// ±20 % per call and `dt ≤ dt_max`. Returns the new step size.
+    pub fn adapt_dt(&mut self, target_cfl: f64, dt_max: f64) -> f64 {
+        assert!(target_cfl > 0.0 && dt_max > 0.0);
+        let obs = crate::observables::Observables::new(&self.geom, self.mesh, &self.my_elems);
+        let cfl = obs.cfl(
+            [&self.state.u[0], &self.state.u[1], &self.state.u[2]],
+            self.cfg.dt,
+            self.comm,
+        );
+        let ratio = if cfl > 1e-12 { (target_cfl / cfl).clamp(0.8, 1.2) } else { 1.2 };
+        let new_dt = (self.cfg.dt * ratio).min(dt_max);
+        self.cfg.dt = new_dt;
+        new_dt
+    }
+
+    /// Initialize the RBC state: zero velocity, conductive temperature
+    /// profile plus a smooth deterministic perturbation that vanishes at
+    /// the plates, plate temperatures enforced exactly.
+    ///
+    /// Assumes the cell spans `z ∈ [0, 1]` (both RBC generators do).
+    pub fn init_rbc(&mut self) {
+        let n = self.n_local();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        // A handful of smooth modes with seeded amplitudes: continuous by
+        // construction, so no gather needed; identical on every rank.
+        let modes: Vec<(f64, f64, f64, f64)> = (0..6)
+            .map(|_| {
+                (
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(1.0..4.0f64).round(),
+                    rng.gen_range(1.0..4.0f64).round(),
+                    rng.gen_range(1.0..3.0f64).round(),
+                )
+            })
+            .collect();
+        for i in 0..n {
+            let x = self.geom.coords[0][i];
+            let y = self.geom.coords[1][i];
+            let z = self.geom.coords[2][i];
+            let mut noise = 0.0;
+            for &(a, kx, ky, kz) in &modes {
+                noise += a
+                    * (std::f64::consts::PI * kx * x).sin()
+                    * (std::f64::consts::PI * ky * y).sin()
+                    * (std::f64::consts::PI * kz * z).sin();
+            }
+            let conductive = match self.cfg.thermal_bc {
+                ThermalBc::Isothermal => 0.5 - z,
+                ThermalBc::BottomFluxTopIsothermal { q } => {
+                    -0.5 + (q / self.cfg.diffusivity()) * (1.0 - z)
+                }
+            };
+            self.state.t[i] =
+                conductive + self.cfg.ic_noise * noise * (std::f64::consts::PI * z).sin();
+            for d in 0..3 {
+                self.state.u[d][i] = 0.0;
+            }
+            self.state.p[i] = 0.0;
+        }
+        // Enforce the plate values exactly.
+        for i in 0..n {
+            if self.mask_t[i] == 0.0 {
+                self.state.t[i] = self.t_lift[i];
+            }
+        }
+    }
+
+    /// Compute the explicit forcings from the current state:
+    /// `f = −(u·∇)u + T·e_z`, `f_T = −(u·∇)T`.
+    fn compute_forcing(&mut self) -> ([Vec<f64>; 3], Vec<f64>) {
+        let n = self.n_local();
+        let u = &self.state.u;
+        let mut f = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        for d in 0..3 {
+            self.dealias.advect(
+                &self.geom,
+                [&u[0], &u[1], &u[2]],
+                &u[d],
+                &mut f[d],
+                &mut self.scratch_d,
+            );
+        }
+        let mut ft = vec![0.0; n];
+        self.dealias.advect(
+            &self.geom,
+            [&u[0], &u[1], &u[2]],
+            &self.state.t,
+            &mut ft,
+            &mut self.scratch_d,
+        );
+        for i in 0..n {
+            f[0][i] = -f[0][i];
+            f[1][i] = -f[1][i];
+            f[2][i] = -f[2][i] + self.state.t[i]; // buoyancy T·e_z
+            ft[i] = -ft[i];
+        }
+        (f, ft)
+    }
+
+    /// Advance one time step; returns the per-solve statistics.
+    pub fn step(&mut self) -> StepStats {
+        let n = self.n_local();
+        let dt = self.cfg.dt;
+        let nu = self.cfg.viscosity();
+        let alpha = self.cfg.diffusivity();
+        let istep = self.state.istep + 1;
+        let k = effective_order(istep, self.cfg.time_order);
+        // Step-size history (current step first) for variable-step
+        // coefficients; uniform histories reproduce the classic tables.
+        let mut dts = vec![dt];
+        dts.extend(self.state.dt_hist.iter().take(k.saturating_sub(1)));
+        while dts.len() < k {
+            dts.push(dt);
+        }
+        let bd = bdf_coeffs_variable(k, &dts);
+        let ext = ext_coeffs_variable(k, &dts);
+        let mut stats = StepStats { converged: true, ..Default::default() };
+
+        // ---- explicit forcing + histories (Other) --------------------------
+        struct Sums {
+            su: [Vec<f64>; 3],
+            st: Vec<f64>,
+            u_ext: [Vec<f64>; 3],
+        }
+        let comm = self.comm;
+        let sums = {
+            let mut timers = std::mem::take(&mut self.timers);
+            let out = timers.region(Phase::Other, comm, || {
+                let (f, ft) = self.compute_forcing();
+                self.state.push_forcing_lag(f, ft, self.cfg.time_order);
+                self.state.push_solution_lag(self.cfg.time_order);
+
+                let mut su = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+                let mut st = vec![0.0; n];
+                for (i, &bdi) in bd.iter().enumerate().skip(1) {
+                    let ul = &self.state.u_lag[i - 1];
+                    let tl = &self.state.t_lag[i - 1];
+                    let c = bdi / dt;
+                    for d in 0..3 {
+                        for (s, v) in su[d].iter_mut().zip(&ul[d]) {
+                            *s += c * v;
+                        }
+                    }
+                    for (s, v) in st.iter_mut().zip(tl) {
+                        *s += c * v;
+                    }
+                }
+                for (j, &ej) in ext.iter().enumerate() {
+                    let fl = &self.state.f_lag[j.min(self.state.f_lag.len() - 1)];
+                    let ftl = &self.state.ft_lag[j.min(self.state.ft_lag.len() - 1)];
+                    for d in 0..3 {
+                        for (s, v) in su[d].iter_mut().zip(&fl[d]) {
+                            *s += ej * v;
+                        }
+                    }
+                    for (s, v) in st.iter_mut().zip(ftl) {
+                        *s += ej * v;
+                    }
+                }
+                // Extrapolated velocity for the rotational pressure term.
+                let mut u_ext = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+                for (j, &ej) in ext.iter().enumerate() {
+                    let ul = &self.state.u_lag[j.min(self.state.u_lag.len() - 1)];
+                    for d in 0..3 {
+                        for (s, v) in u_ext[d].iter_mut().zip(&ul[d]) {
+                            *s += ej * v;
+                        }
+                    }
+                }
+                Sums { su, st, u_ext }
+            });
+            self.timers = timers;
+            out
+        };
+        let Sums { su, st, u_ext } = sums;
+
+        // ---- pressure ------------------------------------------------------
+        let p_stats = {
+            let mut timers = std::mem::take(&mut self.timers);
+            let out = timers.region(Phase::Pressure, comm, || {
+                self.pressure_solve(&su, &u_ext, nu)
+            });
+            self.timers = timers;
+            out
+        };
+        stats.p_iters = p_stats.iterations;
+        stats.p_residual = p_stats.final_residual;
+        stats.converged &= p_stats.converged;
+
+        // ---- velocity ------------------------------------------------------
+        let v_stats = {
+            let mut timers = std::mem::take(&mut self.timers);
+            let out = timers.region(Phase::Velocity, comm, || {
+                self.velocity_solve(&su, nu, bd[0] / dt)
+            });
+            self.timers = timers;
+            out
+        };
+        for d in 0..3 {
+            stats.v_iters[d] = v_stats[d].iterations;
+            stats.converged &= v_stats[d].converged;
+        }
+
+        // ---- temperature ---------------------------------------------------
+        let t_stats = {
+            let mut timers = std::mem::take(&mut self.timers);
+            let out = timers.region(Phase::Temperature, comm, || {
+                self.temperature_solve(&st, alpha, bd[0] / dt)
+            });
+            self.timers = timers;
+            out
+        };
+        stats.t_iters = t_stats.iterations;
+        stats.converged &= t_stats.converged;
+
+        self.state.istep = istep;
+        self.state.time += dt;
+        self.state.dt_hist.insert(0, dt);
+        self.state.dt_hist.truncate(self.cfg.time_order);
+        self.timers.complete_step();
+        self.last = stats;
+        stats
+    }
+
+    fn pressure_solve(
+        &mut self,
+        su: &[Vec<f64>; 3],
+        u_ext: &[Vec<f64>; 3],
+        nu: f64,
+    ) -> SolveStats {
+        let n = self.n_local();
+        // S̃ = S − ν ∇×∇×u_ext (rotational correction).
+        let mut sx = su[0].clone();
+        let mut sy = su[1].clone();
+        let mut sz = su[2].clone();
+        if self.cfg.rotational {
+            let mut wx = vec![0.0; n];
+            let mut wy = vec![0.0; n];
+            let mut wz = vec![0.0; n];
+            curl(
+                &self.geom,
+                [&u_ext[0], &u_ext[1], &u_ext[2]],
+                [&mut wx, &mut wy, &mut wz],
+                &mut self.scratch_d,
+            );
+            let mut cx = vec![0.0; n];
+            let mut cy = vec![0.0; n];
+            let mut cz = vec![0.0; n];
+            curl(
+                &self.geom,
+                [&wx, &wy, &wz],
+                [&mut cx, &mut cy, &mut cz],
+                &mut self.scratch_d,
+            );
+            for i in 0..n {
+                sx[i] -= nu * cx[i];
+                sy[i] -= nu * cy[i];
+                sz[i] -= nu * cz[i];
+            }
+        }
+        let mut rhs = vec![0.0; n];
+        weak_divergence(&self.geom, [&sx, &sy, &sz], &mut rhs, &mut self.scratch_d);
+        self.gs.apply(&mut rhs, GsOp::Add, self.comm);
+        // Consistency projection: the singular Neumann system needs
+        // ⟨rhs, 1⟩ = 0 in the *unique-dof* inner product, so the weights
+        // are the inverse multiplicities (mass weighting here would break
+        // solvability).
+        ortho_project_mean(&mut rhs, self.dp.weights(), self.comm);
+
+        let op = HelmholtzOp {
+            geom: &self.geom,
+            gs: &self.gs,
+            mask: &self.mask_p,
+            h1: 1.0,
+            h2: 0.0,
+        };
+        let dp = &self.dp;
+        let comm = self.comm;
+        let mut scratch = HelmholtzScratch::default();
+        let schwarz = &self.schwarz;
+        let mode = self.cfg.schwarz_mode;
+        let use_schwarz = self.cfg.schwarz_enabled;
+        let diag_a = &self.diag_a;
+        let mask_p = &self.mask_p;
+        let mass = &self.geom.mass;
+
+        if self.cfg.p_projection > 0 {
+            // Previous-solution recycling: remove the best approximation in
+            // the stored A-orthonormal space, solve only for the remainder.
+            let mut x0 = vec![0.0; n];
+            self.p_proj.project_out(&mut rhs, &mut x0, dp, comm);
+            let mut dx = vec![0.0; n];
+            let stats = fgmres(
+                |x, y| op.apply(x, y, &mut scratch, comm),
+                |r, z| {
+                    if use_schwarz {
+                        schwarz.apply(r, z, mode, comm);
+                    } else {
+                        jacobi_apply(diag_a, mask_p, r, z);
+                        ortho_project_mean(z, mass, comm);
+                    }
+                },
+                |a, b| dp.dot(a, b, comm),
+                &rhs,
+                &mut dx,
+                self.cfg.p_tol,
+                0.0,
+                self.cfg.p_maxit,
+                self.cfg.p_restart,
+            );
+            if !stats.converged {
+                // Production-style diagnostic: a stalled pressure solve is
+                // the first thing to debug in a failing DNS.
+                eprintln!(
+                    "[rbx] pressure GMRES stalled: {} iters, residual {:.3e} \
+                     (initial {:.3e}, deflated rhs {:.3e}, projected guess {:.3e}, space {} vecs)",
+                    stats.iterations,
+                    stats.final_residual,
+                    stats.initial_residual,
+                    dp.norm(&rhs, comm),
+                    dp.norm(&x0, comm),
+                    self.p_proj.len()
+                );
+            }
+            let p = &mut self.state.p;
+            for i in 0..n {
+                p[i] = x0[i] + dx[i];
+            }
+            ortho_project_mean(p, mass, comm);
+            // Absorb the *full* solution, not just the correction: when the
+            // space restarts (Fischer's policy clears it once full), the
+            // first stored direction must carry the dominant pressure
+            // content or the next solve cold-starts and can stall. Against
+            // a warm space the A-orthogonalization reduces this to the
+            // correction automatically.
+            let mut ap = vec![0.0; n];
+            let mut scratch2 = HelmholtzScratch::default();
+            op.apply(p, &mut ap, &mut scratch2, comm);
+            let p_snapshot = self.state.p.clone();
+            self.p_proj.absorb(&p_snapshot, &ap, dp, comm);
+            stats
+        } else {
+            let p = &mut self.state.p;
+            ortho_project_mean(p, mass, comm);
+            let stats = fgmres(
+                |x, y| op.apply(x, y, &mut scratch, comm),
+                |r, z| {
+                    if use_schwarz {
+                        schwarz.apply(r, z, mode, comm);
+                    } else {
+                        jacobi_apply(diag_a, mask_p, r, z);
+                        // Jacobi on pure Neumann: deflate constants.
+                        ortho_project_mean(z, mass, comm);
+                    }
+                },
+                |a, b| dp.dot(a, b, comm),
+                &rhs,
+                p,
+                self.cfg.p_tol,
+                0.0,
+                self.cfg.p_maxit,
+                self.cfg.p_restart,
+            );
+            ortho_project_mean(p, mass, comm);
+            stats
+        }
+    }
+
+    fn velocity_solve(&mut self, su: &[Vec<f64>; 3], nu: f64, bd0_dt: f64) -> [SolveStats; 3] {
+        let n = self.n_local();
+        // Pressure gradient (pointwise).
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        let mut gz = vec![0.0; n];
+        phys_grad(&self.geom, &self.state.p, &mut gx, &mut gy, &mut gz, &mut self.scratch_d);
+        let grads = [gx, gy, gz];
+
+        let diag: Vec<f64> = self
+            .diag_a
+            .iter()
+            .zip(&self.diag_b)
+            .map(|(a, b)| nu * a + bd0_dt * b)
+            .collect();
+        let op = HelmholtzOp {
+            geom: &self.geom,
+            gs: &self.gs,
+            mask: &self.mask_v,
+            h1: nu,
+            h2: bd0_dt,
+        };
+        let dp = &self.dp;
+        let comm = self.comm;
+        let mask_v = &self.mask_v;
+        let mut out = [SolveStats {
+            iterations: 0,
+            initial_residual: 0.0,
+            final_residual: 0.0,
+            converged: true,
+        }; 3];
+        for d in 0..3 {
+            let mut rhs = vec![0.0; n];
+            for i in 0..n {
+                rhs[i] = self.geom.mass[i] * (su[d][i] - grads[d][i]);
+            }
+            self.gs.apply(&mut rhs, GsOp::Add, comm);
+            hadamard(mask_v, &mut rhs);
+            // Initial guess: previous velocity (masked — walls are
+            // homogeneous).
+            let u = &mut self.state.u[d];
+            hadamard(mask_v, u);
+            let mut scratch = HelmholtzScratch::default();
+            out[d] = pcg(
+                |x, y| op.apply(x, y, &mut scratch, comm),
+                |r, z| jacobi_apply(&diag, mask_v, r, z),
+                |a, b| dp.dot(a, b, comm),
+                &rhs,
+                u,
+                0.0,
+                self.cfg.v_tol,
+                self.cfg.v_maxit,
+            );
+        }
+        out
+    }
+
+    fn temperature_solve(&mut self, st: &[f64], alpha: f64, bd0_dt: f64) -> SolveStats {
+        let n = self.n_local();
+        // Lifting: solve for θ = T − T_lift with homogeneous plate values.
+        let op_unmasked = HelmholtzOp {
+            geom: &self.geom,
+            gs: &self.gs,
+            mask: &self.mask_p, // all-ones: unmasked apply
+            h1: alpha,
+            h2: bd0_dt,
+        };
+        let mut h_lift = vec![0.0; n];
+        op_unmasked.apply(&self.t_lift, &mut h_lift, &mut self.scratch_h, self.comm);
+
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = self.geom.mass[i] * st[i] + self.flux_rhs[i];
+        }
+        self.gs.apply(&mut rhs, GsOp::Add, self.comm);
+        for i in 0..n {
+            rhs[i] -= h_lift[i];
+        }
+        hadamard(&self.mask_t, &mut rhs);
+
+        let diag: Vec<f64> = self
+            .diag_a
+            .iter()
+            .zip(&self.diag_b)
+            .map(|(a, b)| alpha * a + bd0_dt * b)
+            .collect();
+        let op = HelmholtzOp {
+            geom: &self.geom,
+            gs: &self.gs,
+            mask: &self.mask_t,
+            h1: alpha,
+            h2: bd0_dt,
+        };
+        let dp = &self.dp;
+        let comm = self.comm;
+        let mask_t = &self.mask_t;
+        // θ initial guess from the previous temperature.
+        let mut theta: Vec<f64> =
+            self.state.t.iter().zip(&self.t_lift).map(|(t, l)| t - l).collect();
+        hadamard(mask_t, &mut theta);
+        let mut scratch = HelmholtzScratch::default();
+        let stats = pcg(
+            |x, y| op.apply(x, y, &mut scratch, comm),
+            |r, z| jacobi_apply(&diag, mask_t, r, z),
+            |a, b| dp.dot(a, b, comm),
+            &rhs,
+            &mut theta,
+            0.0,
+            self.cfg.v_tol,
+            self.cfg.v_maxit,
+        );
+        for i in 0..n {
+            self.state.t[i] = theta[i] + self.t_lift[i];
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observables::Observables;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    fn small_sim<'a>(
+        cfg: SolverConfig,
+        mesh: &'a HexMesh,
+        comm: &'a SingleComm,
+    ) -> Simulation<'a> {
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        Simulation::new(cfg, mesh, &part, my, comm)
+    }
+
+    #[test]
+    fn conduction_state_is_steady_below_onset() {
+        // Ra far below onset: the conductive state must stay (nearly)
+        // motionless and Nu must stay 1.
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 100.0,
+            order: 4,
+            dt: 2e-3,
+            ic_noise: 0.0,
+            ..Default::default()
+        };
+        let mut sim = small_sim(cfg, &mesh, &comm);
+        sim.init_rbc();
+        for _ in 0..5 {
+            let stats = sim.step();
+            assert!(stats.converged, "{stats:?}");
+        }
+        let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
+        let ke = obs.kinetic_energy(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        assert!(ke < 1e-10, "kinetic energy {ke} should stay ~0");
+        let nu = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        assert!((nu - 1.0).abs() < 1e-6, "Nu = {nu}");
+    }
+
+    #[test]
+    fn perturbed_run_stays_bounded_and_divergence_free() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 5e3,
+            order: 4,
+            dt: 5e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        };
+        let mut sim = small_sim(cfg, &mesh, &comm);
+        sim.init_rbc();
+        for _ in 0..10 {
+            let stats = sim.step();
+            assert!(stats.converged, "{stats:?}");
+        }
+        let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
+        let ke = obs.kinetic_energy(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        assert!(ke.is_finite() && ke < 1.0, "kinetic energy {ke}");
+        let div = obs.divergence_norm(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        // Splitting schemes are not exactly divergence-free pointwise, but
+        // the norm must be small relative to the velocity scale.
+        assert!(div < 0.5, "divergence {div}");
+        // Temperature bounds (maximum principle up to small overshoots).
+        let tmax = sim.state.t.iter().cloned().fold(f64::MIN, f64::max);
+        let tmin = sim.state.t.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(tmax < 0.6 && tmin > -0.6, "T ∈ [{tmin}, {tmax}]");
+    }
+
+    #[test]
+    fn timers_attribute_pressure_dominance() {
+        // The paper's Fig. 4: pressure dominates the step cost.
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig { ra: 1e4, order: 5, dt: 2e-3, ..Default::default() };
+        let mut sim = small_sim(cfg, &mesh, &comm);
+        sim.init_rbc();
+        for _ in 0..3 {
+            sim.step();
+        }
+        let pct = sim.timers.percentages();
+        assert!(pct[0] > pct[2], "pressure {} !> temperature {}", pct[0], pct[2]);
+        assert!(sim.timers.avg_per_step() > 0.0);
+    }
+
+    #[test]
+    fn step_counter_and_time_advance() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig { ra: 1e3, order: 3, dt: 1e-3, ..Default::default() };
+        let mut sim = small_sim(cfg, &mesh, &comm);
+        sim.init_rbc();
+        sim.step();
+        sim.step();
+        assert_eq!(sim.state.istep, 2);
+        assert!((sim.state.time - 2e-3).abs() < 1e-15);
+    }
+}
+
+#[cfg(test)]
+mod projection_tests {
+    use super::*;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    #[test]
+    fn pressure_projection_reduces_iterations() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let run = |p_projection: usize| -> usize {
+            let cfg = SolverConfig {
+                ra: 1e4,
+                order: 4,
+                dt: 2e-3,
+                ic_noise: 1e-2,
+                p_projection,
+                ..Default::default()
+            };
+            let part = vec![0; mesh.num_elements()];
+            let my: Vec<usize> = (0..mesh.num_elements()).collect();
+            let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+            sim.init_rbc();
+            let mut total = 0;
+            for _ in 0..12 {
+                let st = sim.step();
+                assert!(st.converged, "{st:?}");
+                total += st.p_iters;
+            }
+            total
+        };
+        let without = run(0);
+        let with = run(8);
+        assert!(
+            with < without,
+            "projection did not reduce pressure iterations: {with} !< {without}"
+        );
+    }
+
+    #[test]
+    fn projection_preserves_solution_quality() {
+        // Fields with and without projection must agree (same operator,
+        // same tolerance).
+        let mesh = box_mesh(2, 2, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let run = |p_projection: usize| -> Vec<f64> {
+            let cfg = SolverConfig {
+                ra: 1e4,
+                order: 3,
+                dt: 2e-3,
+                ic_noise: 1e-2,
+                p_tol: 1e-10,
+                p_projection,
+                ..Default::default()
+            };
+            let part = vec![0; mesh.num_elements()];
+            let my: Vec<usize> = (0..mesh.num_elements()).collect();
+            let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+            sim.init_rbc();
+            for _ in 0..6 {
+                assert!(sim.step().converged);
+            }
+            sim.state.t.clone()
+        };
+        let a = run(0);
+        let b = run(8);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod adaptive_dt_tests {
+    use super::*;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    #[test]
+    fn variable_steps_keep_solution_accurate() {
+        // A run with deliberately nonuniform steps must track the
+        // uniform-step reference closely (variable-step coefficients keep
+        // full order through the changes).
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let base = SolverConfig {
+            ra: 1e4,
+            order: 4,
+            dt: 1e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        };
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+
+        // Reference: 12 uniform steps of 1e-3 → t = 0.012.
+        let mut a = Simulation::new(base.clone(), &mesh, &part, my.clone(), &comm);
+        a.init_rbc();
+        for _ in 0..12 {
+            assert!(a.step().converged);
+        }
+
+        // Variable: mix of 0.5e-3 and 1.5e-3 reaching the same time.
+        let mut b = Simulation::new(base, &mesh, &part, my, &comm);
+        b.init_rbc();
+        let pattern = [1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3];
+        for &dt in &pattern {
+            b.set_dt(dt);
+            assert!(b.step().converged);
+        }
+        assert!((a.state.time - b.state.time).abs() < 1e-12);
+        let max_d = a
+            .state
+            .t
+            .iter()
+            .zip(&b.state.t)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        // Different step sequences incur different (small) temporal errors;
+        // they must agree to the scheme's accuracy, far below field scale.
+        assert!(max_d < 1e-5, "variable-step run diverged: {max_d:.3e}");
+    }
+
+    #[test]
+    fn adapt_dt_moves_toward_target_cfl() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 1e5,
+            order: 4,
+            dt: 1e-4,
+            ic_noise: 0.05,
+            ..Default::default()
+        };
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+        sim.init_rbc();
+        for _ in 0..5 {
+            assert!(sim.step().converged);
+        }
+        // Velocities are tiny → CFL far below target → controller raises dt
+        // (capped at +20 % per call and by dt_max).
+        let dt0 = sim.cfg.dt;
+        let dt1 = sim.adapt_dt(0.3, 5e-3);
+        assert!(dt1 > dt0, "controller failed to raise dt: {dt0} → {dt1}");
+        assert!(dt1 <= dt0 * 1.2 + 1e-18, "rate limit violated");
+        // dt_max cap respected under repeated growth.
+        for _ in 0..40 {
+            sim.adapt_dt(0.3, 2e-3);
+        }
+        assert!(sim.cfg.dt <= 2e-3 + 1e-18);
+        // Still integrates stably at the adapted step.
+        assert!(sim.step().converged);
+    }
+}
+
+#[cfg(test)]
+mod thermal_bc_tests {
+    use super::*;
+    use crate::config::ThermalBc;
+    use crate::observables::Observables;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    #[test]
+    fn flux_bc_conductive_state_is_steady() {
+        // With q = α the conductive flux profile equals the isothermal one
+        // (slope −1); starting from it, the run must stay put (below onset)
+        // and the measured wall gradient must match −q/α.
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let ra = 100.0;
+        let alpha = 1.0 / (ra * 1.0f64).sqrt();
+        let cfg = SolverConfig {
+            ra,
+            order: 4,
+            dt: 2e-3,
+            ic_noise: 0.0,
+            thermal_bc: ThermalBc::BottomFluxTopIsothermal { q: alpha },
+            ..Default::default()
+        };
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+        sim.init_rbc();
+        // Initial profile: −0.5 + (1 − z), i.e. T(0) = 0.5, T(1) = −0.5.
+        let t0_max = sim.state.t.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((t0_max - 0.5).abs() < 1e-12, "bottom T {t0_max}");
+        for _ in 0..15 {
+            let st = sim.step();
+            assert!(st.converged, "{st:?}");
+        }
+        let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
+        // Hot-plate Nusselt (−∂T/∂z at the plate) must remain 1 — the flux
+        // condition imposes exactly the conduction gradient.
+        let nu = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        assert!((nu - 1.0).abs() < 1e-3, "imposed-flux gradient drifted: Nu {nu}");
+        let ke = obs.kinetic_energy(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        assert!(ke < 1e-10, "spurious motion under flux BC: {ke:.3e}");
+    }
+
+    #[test]
+    fn flux_bc_relaxes_to_imposed_gradient() {
+        // Start from the WRONG profile (isothermal-style) under a doubled
+        // flux; diffusion must steepen the plate gradient toward −q/α.
+        let mesh = box_mesh(1, 1, 3, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let ra = 25.0f64; // strongly diffusive
+        let alpha = 1.0 / ra.sqrt();
+        let q = 2.0 * alpha; // target slope −2
+        let cfg = SolverConfig {
+            ra,
+            order: 4,
+            dt: 5e-3,
+            ic_noise: 0.0,
+            thermal_bc: ThermalBc::BottomFluxTopIsothermal { q },
+            ..Default::default()
+        };
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+        sim.init_rbc();
+        // Overwrite the initial condition with the slope −1 profile.
+        for i in 0..sim.n_local() {
+            let z = sim.geom.coords[2][i];
+            sim.state.t[i] = 0.5 - z;
+        }
+        let g0 = Observables::new(&sim.geom, &mesh, &sim.my_elems)
+            .nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        assert!((g0 - 1.0).abs() < 1e-10);
+        for _ in 0..400 {
+            assert!(sim.step().converged);
+        }
+        let g1 = Observables::new(&sim.geom, &mesh, &sim.my_elems)
+            .nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        // −∂T/∂z at the plate approaches q/α = 2.
+        assert!(
+            (g1 - 2.0).abs() < 0.05,
+            "plate gradient {g1} did not relax toward 2"
+        );
+    }
+}
+
+#[cfg(test)]
+mod prandtl_tests {
+    use super::*;
+    use crate::observables::Observables;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    #[test]
+    fn water_like_prandtl_conduction_is_steady() {
+        // Pr = 7 (water): distinct ν and α exercise the independent
+        // Helmholtz coefficients; below onset the conduction state holds.
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 300.0,
+            pr: 7.0,
+            order: 4,
+            dt: 2e-3,
+            ic_noise: 0.0,
+            ..Default::default()
+        };
+        assert!((cfg.viscosity() / cfg.diffusivity() - 7.0).abs() < 1e-12);
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+        sim.init_rbc();
+        for _ in 0..10 {
+            let st = sim.step();
+            assert!(st.converged, "{st:?}");
+        }
+        let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
+        let nu = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        assert!((nu - 1.0).abs() < 1e-5, "Pr = 7 conduction Nu {nu}");
+        let ke = obs.kinetic_energy(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        assert!(ke < 1e-12, "Pr = 7 spurious motion {ke:.3e}");
+    }
+
+    #[test]
+    fn low_prandtl_runs_stably() {
+        // Pr = 0.1 (liquid-metal-like): advection-dominated temperature.
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 5e3,
+            pr: 0.1,
+            order: 4,
+            dt: 2e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        };
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let mut sim = Simulation::new(cfg, &mesh, &part, my, &comm);
+        sim.init_rbc();
+        for _ in 0..10 {
+            let st = sim.step();
+            assert!(st.converged, "{st:?}");
+        }
+        let tmax = sim.state.t.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(tmax.is_finite() && tmax < 0.7);
+    }
+}

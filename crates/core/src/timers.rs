@@ -1,0 +1,178 @@
+//! Per-phase wall-time accounting (the paper's Fig. 4 categories).
+//!
+//! The paper measures "average time per time-step … using MPI_Wtime
+//! timings around relevant code regions, with global synchronisation
+//! points" (§6.1) and reports the wall-time distribution of one time step
+//! split into Pressure, Velocity, Temperature and the rest (Fig. 4).
+
+use rbx_comm::Communicator;
+
+/// Time-step phase, matching Fig. 4's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Pressure RHS assembly + Poisson solve (incl. preconditioner).
+    Pressure,
+    /// Velocity RHS + the three Helmholtz solves.
+    Velocity,
+    /// Temperature RHS + Helmholtz solve.
+    Temperature,
+    /// Everything else (advection evaluation, lag shuffling, …).
+    Other,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 4] =
+        [Phase::Pressure, Phase::Velocity, Phase::Temperature, Phase::Other];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Pressure => "Pressure",
+            Phase::Velocity => "Velocity",
+            Phase::Temperature => "Temperature",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+/// Accumulating per-phase timers with optional global synchronization at
+/// region boundaries (the paper's methodology).
+#[derive(Debug, Clone)]
+pub struct PhaseTimers {
+    acc: [f64; 4],
+    steps: usize,
+    /// Synchronize ranks at region boundaries for honest attribution.
+    pub barrier_sync: bool,
+}
+
+impl Default for PhaseTimers {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl PhaseTimers {
+    /// Fresh timers; `barrier_sync` adds a barrier before each region
+    /// starts/ends so time is attributed like the paper's measurements.
+    pub fn new(barrier_sync: bool) -> Self {
+        Self { acc: [0.0; 4], steps: 0, barrier_sync }
+    }
+
+    fn slot(phase: Phase) -> usize {
+        match phase {
+            Phase::Pressure => 0,
+            Phase::Velocity => 1,
+            Phase::Temperature => 2,
+            Phase::Other => 3,
+        }
+    }
+
+    /// Time a region attributed to `phase`.
+    pub fn region<T>(
+        &mut self,
+        phase: Phase,
+        comm: &dyn Communicator,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        if self.barrier_sync {
+            comm.barrier();
+        }
+        let t0 = comm.wtime();
+        let out = f();
+        if self.barrier_sync {
+            comm.barrier();
+        }
+        let slot = Self::slot(phase);
+        self.acc[slot] += comm.wtime() - t0;
+        out
+    }
+
+    /// Mark one completed time step (for per-step averages).
+    pub fn complete_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Accumulated seconds for a phase.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.acc[Self::slot(phase)]
+    }
+
+    /// Total accumulated seconds across phases.
+    pub fn total(&self) -> f64 {
+        self.acc.iter().sum()
+    }
+
+    /// Completed steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Percentage breakdown in [`Phase::ALL`] order (the Fig. 4 pie).
+    pub fn percentages(&self) -> [f64; 4] {
+        let total = self.total().max(1e-300);
+        let mut out = [0.0; 4];
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            out[i] = 100.0 * self.seconds(*p) / total;
+        }
+        out
+    }
+
+    /// Average seconds per completed step.
+    pub fn avg_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total() / self.steps as f64
+        }
+    }
+
+    /// Reset all accumulators (e.g. after transient warm-up steps, as the
+    /// paper removes "initial transient iterations").
+    pub fn reset(&mut self) {
+        self.acc = [0.0; 4];
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_comm::SingleComm;
+
+    #[test]
+    fn regions_accumulate_and_break_down() {
+        let comm = SingleComm::new();
+        let mut t = PhaseTimers::new(false);
+        t.region(Phase::Pressure, &comm, || std::thread::sleep(std::time::Duration::from_millis(20)));
+        t.region(Phase::Velocity, &comm, || std::thread::sleep(std::time::Duration::from_millis(5)));
+        t.complete_step();
+        assert!(t.seconds(Phase::Pressure) >= 0.018);
+        assert!(t.seconds(Phase::Velocity) >= 0.004);
+        assert_eq!(t.seconds(Phase::Temperature), 0.0);
+        let pct = t.percentages();
+        assert!(pct[0] > pct[1]);
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!(t.avg_per_step() > 0.0);
+        assert_eq!(t.steps(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let comm = SingleComm::new();
+        let mut t = PhaseTimers::new(false);
+        t.region(Phase::Other, &comm, || {});
+        t.complete_step();
+        t.reset();
+        assert_eq!(t.total(), 0.0);
+        assert_eq!(t.steps(), 0);
+    }
+
+    #[test]
+    fn region_returns_value() {
+        let comm = SingleComm::new();
+        let mut t = PhaseTimers::new(true);
+        let v = t.region(Phase::Pressure, &comm, || 42);
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synchronous host backend: the reference implementation every other
+//! backend must agree with.
+
+/// Immediate executor. `launch` runs the kernel on the calling thread with
+/// no latency; useful as the semantics baseline in tests and for
+//  serial-per-rank production runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostBackend;
+
+impl HostBackend {
+    /// Create the host backend.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Run a kernel immediately on the calling thread.
+    pub fn launch<F: FnOnce()>(&self, kernel: F) {
+        kernel();
+    }
+
+    /// No queued work exists, so synchronization is a no-op.
+    pub fn synchronize(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_runs_inline() {
+        let backend = HostBackend::new();
+        let mut x = 0;
+        backend.launch(|| x = 42);
+        assert_eq!(x, 42);
+        backend.synchronize();
+    }
+}

@@ -1,0 +1,206 @@
+//! Data-parallel worker pool for element-loop kernels.
+//!
+//! SEM operators are embarrassingly parallel over elements; this module
+//! provides a minimal, dependency-light parallel-for built from scoped
+//! threads and an atomic work counter (dynamic chunk self-scheduling, the
+//! same load-balancing idea as a work-stealing pool for uniform loops),
+//! plus a deterministic parallel reduction that sums per-chunk partials in
+//! index order so results are bitwise reproducible regardless of thread
+//! count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reusable description of parallel resources (thread count). Threads are
+/// scoped per call — a design that keeps borrows of the caller's data safe
+/// with zero `unsafe`.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Pool using `threads` workers (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        Self { threads }
+    }
+
+    /// Pool sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(i)` for every `i in 0..n`, distributing dynamically in chunks.
+    pub fn for_each(&self, n: usize, chunk: usize, f: impl Fn(usize) + Sync) {
+        par_for_with(self.threads, n, chunk, f);
+    }
+
+    /// Deterministic sum-reduction: `Σ f(i)` with a fixed chunk partition
+    /// whose partials are combined in index order, independent of thread
+    /// scheduling.
+    pub fn sum(&self, n: usize, chunk: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+        par_reduce_with(self.threads, n, chunk, f)
+    }
+}
+
+/// Free-function parallel-for with an automatically sized pool.
+pub fn par_for(n: usize, f: impl Fn(usize) + Sync) {
+    let pool = WorkerPool::auto();
+    pool.for_each(n, default_chunk(n, pool.threads), f);
+}
+
+/// Free-function deterministic parallel sum with an automatic pool.
+pub fn par_reduce(n: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+    let pool = WorkerPool::auto();
+    pool.sum(n, default_chunk(n, pool.threads), f)
+}
+
+fn default_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads * 4)).max(1)
+}
+
+fn par_for_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) + Sync) {
+    assert!(chunk >= 1);
+    if n == 0 {
+        return;
+    }
+    if threads == 1 || n <= chunk {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    let f = &f;
+    let counter = &counter;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+fn par_reduce_with(
+    threads: usize,
+    n: usize,
+    chunk: usize,
+    f: impl Fn(usize) -> f64 + Sync,
+) -> f64 {
+    assert!(chunk >= 1);
+    if n == 0 {
+        return 0.0;
+    }
+    let nchunks = n.div_ceil(chunk);
+    let mut partials = vec![0.0f64; nchunks];
+    {
+        let counter = AtomicUsize::new(0);
+        let f = &f;
+        let counter = &counter;
+        // Each worker owns disjoint chunks; write partials through raw
+        // disjoint indices via a Mutex-free pattern: collect into a Vec of
+        // per-chunk cells using interior mutability on disjoint slots.
+        let cells: Vec<std::sync::atomic::AtomicU64> =
+            (0..nchunks).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let cells = &cells;
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(move || loop {
+                    let c = counter.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let mut acc = 0.0;
+                    for i in start..end {
+                        acc += f(i);
+                    }
+                    cells[c].store(acc.to_bits(), Ordering::Relaxed);
+                });
+            }
+        });
+        for (p, cell) in partials.iter_mut().zip(cells) {
+            *p = f64::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+    // Ordered combination → deterministic result.
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkerPool::new(4);
+        pool.for_each(n, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_empty_and_single() {
+        let pool = WorkerPool::new(3);
+        pool.for_each(0, 1, |_| panic!("must not run"));
+        let hit = AtomicUsize::new(0);
+        pool.for_each(1, 1, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let pool = WorkerPool::new(4);
+        let n = 10_000;
+        let serial: f64 = (0..n).map(|i| (i as f64 * 0.001).sin()).sum();
+        let parallel = pool.sum(n, 64, |i| (i as f64 * 0.001).sin());
+        assert!((serial - parallel).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_deterministic_across_thread_counts() {
+        let n = 5431;
+        let f = |i: usize| ((i * 2654435761) % 1000) as f64 * 1e-3 - 0.5;
+        let chunk = 37;
+        let r1 = WorkerPool::new(1).sum(n, chunk, f);
+        let r4 = WorkerPool::new(4).sum(n, chunk, f);
+        let r7 = WorkerPool::new(7).sum(n, chunk, f);
+        // Bitwise identical because partials combine in index order.
+        assert_eq!(r1.to_bits(), r4.to_bits());
+        assert_eq!(r1.to_bits(), r7.to_bits());
+    }
+
+    #[test]
+    fn free_functions_work() {
+        let hits = AtomicUsize::new(0);
+        par_for(100, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        let s = par_reduce(10, |i| i as f64);
+        assert_eq!(s, 45.0);
+    }
+}

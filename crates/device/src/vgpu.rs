@@ -1,0 +1,543 @@
+//! Virtual GPU: GPU-like scheduling semantics on CPU threads.
+//!
+//! Models the execution behaviour the paper's task-parallel additive
+//! Schwarz preconditioner exploits (§5.3, Fig. 2):
+//!
+//! * **asynchronous launches** — `Stream::launch` costs the host thread a
+//!   configurable *launch latency* (the driver/launch overhead that the
+//!   paper notes "throttles GPU execution" for the coarse-grid solve) and
+//!   returns before the kernel runs;
+//! * **in-order streams** — kernels on a stream execute FIFO, kernels on
+//!   different streams may overlap;
+//! * **stream priorities** — when executor slots are contended the highest
+//!   priority runnable stream wins, mirroring the CUDA stream priorities
+//!   the paper needs on NVIDIA hardware to let small coarse-solve kernels
+//!   progress next to large smoother kernels;
+//! * **bounded executors** — a fixed number of concurrent kernel slots
+//!   models the finite device;
+//! * **events** — recorded on one stream, waitable by another stream or by
+//!   the host, for cross-stream dependencies;
+//! * **tracing** — every kernel execution is recorded `(worker, stream,
+//!   name, start, end)` so a Fig. 2-style timeline can be printed.
+//!
+//! Kernels are real closures: the overlapped preconditioner runs its real
+//! math under these constraints.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Relative priority of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StreamPriority {
+    /// Default priority.
+    Normal,
+    /// Scheduled ahead of `Normal` work when executors are contended.
+    High,
+}
+
+/// Configuration of the virtual device.
+#[derive(Debug, Clone, Copy)]
+pub struct VgpuConfig {
+    /// Host-side cost of each `launch` call (kernel-launch latency).
+    pub launch_latency: Duration,
+    /// Number of kernels that may execute concurrently.
+    pub executors: usize,
+}
+
+impl Default for VgpuConfig {
+    fn default() -> Self {
+        Self { launch_latency: Duration::from_micros(8), executors: 2 }
+    }
+}
+
+/// One kernel-execution span for timeline output.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Executor slot that ran the kernel.
+    pub worker: usize,
+    /// Stream the kernel was launched on.
+    pub stream: usize,
+    /// Kernel label.
+    pub name: String,
+    /// Seconds from device creation when execution began.
+    pub start: f64,
+    /// Seconds from device creation when execution finished.
+    pub end: f64,
+}
+
+struct EventInner {
+    signaled: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A recorded device event.
+#[derive(Clone)]
+pub struct Event {
+    inner: Arc<EventInner>,
+}
+
+impl Event {
+    fn new() -> Self {
+        Self { inner: Arc::new(EventInner { signaled: Mutex::new(false), cv: Condvar::new() }) }
+    }
+
+    /// True once all work queued on the recording stream before the record
+    /// point has completed.
+    pub fn query(&self) -> bool {
+        *self.inner.signaled.lock()
+    }
+
+    /// Block the host until the event signals.
+    pub fn wait(&self) {
+        let mut sig = self.inner.signaled.lock();
+        while !*sig {
+            self.inner.cv.wait(&mut sig);
+        }
+    }
+
+    fn signal(&self) {
+        let mut sig = self.inner.signaled.lock();
+        *sig = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+enum Task {
+    Kernel { name: String, work: Box<dyn FnOnce() + Send> },
+    RecordEvent(Event),
+    WaitEvent(Event),
+}
+
+struct StreamState {
+    queue: VecDeque<Task>,
+    busy: bool,
+    priority: StreamPriority,
+}
+
+struct State {
+    streams: Vec<StreamState>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes executor workers when new work may be runnable.
+    work_cv: Condvar,
+    /// Wakes host threads blocked in `synchronize`.
+    host_cv: Condvar,
+    trace: Mutex<Vec<TraceEvent>>,
+    epoch: Instant,
+}
+
+/// The virtual device. Dropping it shuts down the executor threads after
+/// draining queued work.
+pub struct VirtualGpu {
+    inner: Arc<Inner>,
+    config: VgpuConfig,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl VirtualGpu {
+    /// Bring up a device with the given scheduling parameters.
+    pub fn new(config: VgpuConfig) -> Self {
+        assert!(config.executors >= 1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { streams: Vec::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+            host_cv: Condvar::new(),
+            trace: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        });
+        let workers = (0..config.executors)
+            .map(|worker_id| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("vgpu-exec-{worker_id}"))
+                    .spawn(move || executor_loop(&inner, worker_id))
+                    .expect("spawn vgpu executor")
+            })
+            .collect();
+        Self { inner, config, workers }
+    }
+
+    /// Create a stream with the given priority.
+    pub fn stream(&self, priority: StreamPriority) -> Stream {
+        let mut state = self.inner.state.lock();
+        state.streams.push(StreamState { queue: VecDeque::new(), busy: false, priority });
+        Stream {
+            inner: self.inner.clone(),
+            id: state.streams.len() - 1,
+            launch_latency: self.config.launch_latency,
+        }
+    }
+
+    /// Block until every stream is idle with an empty queue.
+    pub fn synchronize(&self) {
+        let mut state = self.inner.state.lock();
+        while state.streams.iter().any(|s| s.busy || !s.queue.is_empty()) {
+            self.inner.host_cv.wait(&mut state);
+        }
+    }
+
+    /// Snapshot of all kernel-execution spans so far.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.inner.trace.lock().clone()
+    }
+
+    /// Clear the recorded trace.
+    pub fn clear_trace(&self) {
+        self.inner.trace.lock().clear();
+    }
+
+    /// Seconds since device creation (the trace time base).
+    pub fn now(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> VgpuConfig {
+        self.config
+    }
+}
+
+impl Drop for VirtualGpu {
+    fn drop(&mut self) {
+        self.synchronize();
+        {
+            let mut state = self.inner.state.lock();
+            state.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// An in-order command queue on the virtual device.
+#[derive(Clone)]
+pub struct Stream {
+    inner: Arc<Inner>,
+    id: usize,
+    launch_latency: Duration,
+}
+
+impl Stream {
+    /// Stream id (index in the trace).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Enqueue a kernel. Costs the calling thread the device's launch
+    /// latency, then returns; the kernel runs asynchronously in stream
+    /// order.
+    pub fn launch(&self, name: impl Into<String>, work: impl FnOnce() + Send + 'static) {
+        // Host-side launch overhead (driver cost): burn real host time so
+        // that launching N kernels from one thread costs N·latency, which
+        // is exactly the effect the task-parallel formulation hides.
+        busy_wait(self.launch_latency);
+        let mut state = self.inner.state.lock();
+        state.streams[self.id]
+            .queue
+            .push_back(Task::Kernel { name: name.into(), work: Box::new(work) });
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Record an event that signals when all prior work on this stream has
+    /// completed.
+    pub fn record_event(&self) -> Event {
+        let ev = Event::new();
+        let mut state = self.inner.state.lock();
+        state.streams[self.id].queue.push_back(Task::RecordEvent(ev.clone()));
+        self.inner.work_cv.notify_all();
+        ev
+    }
+
+    /// Make this stream wait (device-side) for `event` before running any
+    /// later work.
+    pub fn wait_event(&self, event: &Event) {
+        let mut state = self.inner.state.lock();
+        state.streams[self.id].queue.push_back(Task::WaitEvent(event.clone()));
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Block the host until this stream is idle with an empty queue.
+    pub fn synchronize(&self) {
+        let mut state = self.inner.state.lock();
+        while state.streams[self.id].busy || !state.streams[self.id].queue.is_empty() {
+            self.inner.host_cv.wait(&mut state);
+        }
+    }
+}
+
+fn executor_loop(inner: &Inner, worker_id: usize) {
+    {
+        let mut state = inner.state.lock();
+        loop {
+            if state.shutdown {
+                return;
+            }
+            // Resolve any head-of-queue event records/waits (cheap; under
+            // the lock) and look for the highest-priority runnable kernel.
+            if let Some(sid) = pick_runnable(&mut state, inner) {
+                let task = state.streams[sid].queue.pop_front().expect("queue non-empty");
+                state.streams[sid].busy = true;
+                drop(state);
+                if let Task::Kernel { name, work } = task {
+                    let start = inner.epoch.elapsed().as_secs_f64();
+                    work();
+                    let end = inner.epoch.elapsed().as_secs_f64();
+                    inner.trace.lock().push(TraceEvent {
+                        worker: worker_id,
+                        stream: sid,
+                        name,
+                        start,
+                        end,
+                    });
+                } else {
+                    unreachable!("pick_runnable only returns kernel heads");
+                }
+                let mut state2 = inner.state.lock();
+                state2.streams[sid].busy = false;
+                inner.work_cv.notify_all();
+                inner.host_cv.notify_all();
+                state = state2;
+                continue;
+            }
+            inner.work_cv.wait(&mut state);
+        }
+    }
+}
+
+/// Resolve event tasks at queue heads, then return the stream id of the
+/// highest-priority stream whose head is a runnable kernel.
+fn pick_runnable(state: &mut State, inner: &Inner) -> Option<usize> {
+    // First pass: drain RecordEvent heads and satisfied WaitEvent heads.
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for s in state.streams.iter_mut() {
+            if s.busy {
+                continue;
+            }
+            while let Some(front) = s.queue.front() {
+                match front {
+                    Task::RecordEvent(_) => {
+                        if let Some(Task::RecordEvent(ev)) = s.queue.pop_front() {
+                            ev.signal();
+                            inner.host_cv.notify_all();
+                            progressed = true;
+                        }
+                    }
+                    Task::WaitEvent(ev) => {
+                        if ev.query() {
+                            s.queue.pop_front();
+                            progressed = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    Task::Kernel { .. } => break,
+                }
+            }
+        }
+    }
+    // Second pass: pick the best runnable kernel head.
+    let mut best: Option<(StreamPriority, usize)> = None;
+    for (sid, s) in state.streams.iter().enumerate() {
+        if s.busy {
+            continue;
+        }
+        if matches!(s.queue.front(), Some(Task::Kernel { .. })) {
+            let candidate = (s.priority, sid);
+            best = match best {
+                None => Some(candidate),
+                // Higher priority wins; ties go to the lower stream id.
+                Some((bp, bs)) => {
+                    if candidate.0 > bp {
+                        Some(candidate)
+                    } else {
+                        Some((bp, bs))
+                    }
+                }
+            };
+        }
+    }
+    best.map(|(_, sid)| sid)
+}
+
+/// Spin the calling thread for `d` (sub-millisecond precision, unlike
+/// `thread::sleep`); models both launch latencies and synthetic kernel
+/// durations in benchmarks.
+pub fn busy_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let t0 = Instant::now();
+    while t0.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quick_cfg(executors: usize) -> VgpuConfig {
+        VgpuConfig { launch_latency: Duration::from_micros(1), executors }
+    }
+
+    #[test]
+    fn kernels_on_one_stream_run_in_order() {
+        let gpu = VirtualGpu::new(quick_cfg(2));
+        let stream = gpu.stream(StreamPriority::Normal);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let log = log.clone();
+            stream.launch(format!("k{i}"), move || log.lock().push(i));
+        }
+        stream.synchronize();
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_streams_overlap() {
+        let gpu = VirtualGpu::new(quick_cfg(2));
+        let s1 = gpu.stream(StreamPriority::Normal);
+        let s2 = gpu.stream(StreamPriority::Normal);
+        let t0 = Instant::now();
+        let work = Duration::from_millis(30);
+        s1.launch("a", move || busy_wait(work));
+        s2.launch("b", move || busy_wait(work));
+        gpu.synchronize();
+        let wall = t0.elapsed();
+        assert!(
+            wall < Duration::from_millis(55),
+            "no overlap: wall = {wall:?} for 2×30 ms kernels on 2 executors"
+        );
+    }
+
+    #[test]
+    fn single_executor_serializes() {
+        let gpu = VirtualGpu::new(quick_cfg(1));
+        let s1 = gpu.stream(StreamPriority::Normal);
+        let s2 = gpu.stream(StreamPriority::Normal);
+        let t0 = Instant::now();
+        let work = Duration::from_millis(20);
+        s1.launch("a", move || busy_wait(work));
+        s2.launch("b", move || busy_wait(work));
+        gpu.synchronize();
+        assert!(t0.elapsed() >= Duration::from_millis(39));
+    }
+
+    #[test]
+    fn high_priority_stream_scheduled_first() {
+        // One executor busy with a long kernel; a high- and a low-priority
+        // kernel are queued behind it. The high one must run first.
+        let gpu = VirtualGpu::new(quick_cfg(1));
+        let low = gpu.stream(StreamPriority::Normal);
+        let high = gpu.stream(StreamPriority::High);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        low.launch("blocker", || busy_wait(Duration::from_millis(30)));
+        {
+            let order = order.clone();
+            low.launch("low", move || order.lock().push("low"));
+        }
+        {
+            let order = order.clone();
+            high.launch("high", move || order.lock().push("high"));
+        }
+        gpu.synchronize();
+        assert_eq!(order.lock().as_slice(), &["high", "low"]);
+    }
+
+    #[test]
+    fn event_cross_stream_dependency() {
+        let gpu = VirtualGpu::new(quick_cfg(2));
+        let producer = gpu.stream(StreamPriority::Normal);
+        let consumer = gpu.stream(StreamPriority::Normal);
+        let value = Arc::new(AtomicUsize::new(0));
+        {
+            let value = value.clone();
+            producer.launch("produce", move || {
+                busy_wait(Duration::from_millis(10));
+                value.store(7, Ordering::SeqCst);
+            });
+        }
+        let ev = producer.record_event();
+        consumer.wait_event(&ev);
+        let seen = Arc::new(AtomicUsize::new(0));
+        {
+            let value = value.clone();
+            let seen = seen.clone();
+            consumer.launch("consume", move || {
+                seen.store(value.load(Ordering::SeqCst), Ordering::SeqCst);
+            });
+        }
+        gpu.synchronize();
+        assert_eq!(seen.load(Ordering::SeqCst), 7);
+        assert!(ev.query());
+    }
+
+    #[test]
+    fn host_event_wait() {
+        let gpu = VirtualGpu::new(quick_cfg(1));
+        let s = gpu.stream(StreamPriority::Normal);
+        s.launch("w", || busy_wait(Duration::from_millis(5)));
+        let ev = s.record_event();
+        ev.wait();
+        assert!(ev.query());
+    }
+
+    #[test]
+    fn trace_records_spans() {
+        let gpu = VirtualGpu::new(quick_cfg(2));
+        let s = gpu.stream(StreamPriority::Normal);
+        s.launch("alpha", || busy_wait(Duration::from_millis(2)));
+        s.launch("beta", || busy_wait(Duration::from_millis(2)));
+        gpu.synchronize();
+        let trace = gpu.trace();
+        assert_eq!(trace.len(), 2);
+        let alpha = trace.iter().find(|t| t.name == "alpha").unwrap();
+        let beta = trace.iter().find(|t| t.name == "beta").unwrap();
+        assert!(alpha.end <= beta.start + 1e-9, "in-order violated");
+        assert!(alpha.end > alpha.start);
+        gpu.clear_trace();
+        assert!(gpu.trace().is_empty());
+    }
+
+    #[test]
+    fn launch_latency_costs_host_time() {
+        let cfg = VgpuConfig { launch_latency: Duration::from_millis(2), executors: 2 };
+        let gpu = VirtualGpu::new(cfg);
+        let s = gpu.stream(StreamPriority::Normal);
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            s.launch("nop", || {});
+        }
+        let host_cost = t0.elapsed();
+        gpu.synchronize();
+        assert!(host_cost >= Duration::from_millis(9), "host paid only {host_cost:?}");
+    }
+
+    #[test]
+    fn drop_drains_queued_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let gpu = VirtualGpu::new(quick_cfg(1));
+            let s = gpu.stream(StreamPriority::Normal);
+            for _ in 0..4 {
+                let done = done.clone();
+                s.launch("inc", move || {
+                    busy_wait(Duration::from_millis(1));
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop without explicit synchronize.
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+}

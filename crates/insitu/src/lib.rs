@@ -1,0 +1,29 @@
+// Index-style loops mirror the tensor/lattice math throughout; the
+// iterator forms clippy suggests would obscure the stencil structure.
+#![allow(clippy::needless_range_loop)]
+
+//! # rbx-insitu — streaming proper orthogonal decomposition
+//!
+//! The paper (§5.2) performs "streaming Proper Orthogonal Decomposition in
+//! parallel" on the compute nodes' CPUs while the GPUs advance the
+//! simulation, citing the split-and-merge SVD and partitioned
+//! method-of-snapshots literature. This crate provides:
+//!
+//! * [`PodBatch`] — the reference (offline) method of snapshots with
+//!   mass-weighted inner products, including the **partitioned** variant
+//!   where each rank holds its share of every snapshot and only the small
+//!   Gram matrix is reduced across ranks;
+//! * [`StreamingPod`] — an incremental (rank-capped Brand-style) SVD
+//!   update that ingests one snapshot at a time, never storing the
+//!   history;
+//! * [`PodConsumer`] — an asynchronous in-situ runner that subscribes to
+//!   an [`rbx_io`] staging stream on a CPU thread and feeds the streaming
+//!   POD while the solver keeps running.
+
+mod batch;
+mod consumer;
+mod streaming;
+
+pub use batch::{PodBatch, PodResult};
+pub use consumer::PodConsumer;
+pub use streaming::StreamingPod;

@@ -1,0 +1,298 @@
+//! The "BPL" container format: steps of named, shaped, typed variables.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "BPL1"
+//! per step:
+//!   marker u8 = 0x53 ('S')
+//!   step u64, time f64, nvars u32
+//!   per variable:
+//!     name_len u16, name bytes (UTF-8)
+//!     dtype u8 (0 = f64, 1 = bytes)
+//!     ndims u8, dims u64 × ndims
+//!     payload_len u64, payload
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BPL1";
+const STEP_MARKER: u8 = 0x53;
+
+/// Variable payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarData {
+    /// Double-precision array.
+    F64(Vec<f64>),
+    /// Opaque bytes (e.g. compressed fields).
+    Bytes(Vec<u8>),
+}
+
+impl VarData {
+    /// Number of scalar entries (f64) or bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            VarData::F64(v) => v.len(),
+            VarData::Bytes(v) => v.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named variable with a logical shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Variable name (unique within a step by convention).
+    pub name: String,
+    /// Logical dimensions (e.g. `[nelv, n³]`).
+    pub shape: Vec<u64>,
+    /// Payload.
+    pub data: VarData,
+}
+
+impl Variable {
+    /// Convenience constructor for f64 data.
+    pub fn f64(name: impl Into<String>, shape: Vec<u64>, data: Vec<f64>) -> Self {
+        Self { name: name.into(), shape, data: VarData::F64(data) }
+    }
+
+    /// Convenience constructor for byte data.
+    pub fn bytes(name: impl Into<String>, shape: Vec<u64>, data: Vec<u8>) -> Self {
+        Self { name: name.into(), shape, data: VarData::Bytes(data) }
+    }
+}
+
+/// One output step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepData {
+    /// Step index.
+    pub step: u64,
+    /// Simulated time.
+    pub time: f64,
+    /// Variables written this step.
+    pub vars: Vec<Variable>,
+}
+
+impl StepData {
+    /// Find a variable by name.
+    pub fn var(&self, name: &str) -> Option<&Variable> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+}
+
+/// Serialize one step to bytes.
+pub fn encode_step(step: &StepData) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(STEP_MARKER);
+    buf.put_u64_le(step.step);
+    buf.put_f64_le(step.time);
+    buf.put_u32_le(step.vars.len() as u32);
+    for v in &step.vars {
+        let name = v.name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "variable name too long");
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        match &v.data {
+            VarData::F64(_) => buf.put_u8(0),
+            VarData::Bytes(_) => buf.put_u8(1),
+        }
+        assert!(v.shape.len() <= u8::MAX as usize);
+        buf.put_u8(v.shape.len() as u8);
+        for &d in &v.shape {
+            buf.put_u64_le(d);
+        }
+        match &v.data {
+            VarData::F64(data) => {
+                buf.put_u64_le((data.len() * 8) as u64);
+                for &x in data {
+                    buf.put_f64_le(x);
+                }
+            }
+            VarData::Bytes(data) => {
+                buf.put_u64_le(data.len() as u64);
+                buf.put_slice(data);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_step(buf: &mut impl Buf) -> StepData {
+    let marker = buf.get_u8();
+    assert_eq!(marker, STEP_MARKER, "corrupt step marker");
+    let step = buf.get_u64_le();
+    let time = buf.get_f64_le();
+    let nvars = buf.get_u32_le();
+    let mut vars = Vec::with_capacity(nvars as usize);
+    for _ in 0..nvars {
+        let name_len = buf.get_u16_le() as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).expect("non-UTF-8 variable name");
+        let dtype = buf.get_u8();
+        let ndims = buf.get_u8() as usize;
+        let mut shape = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            shape.push(buf.get_u64_le());
+        }
+        let payload_len = buf.get_u64_le() as usize;
+        let data = match dtype {
+            0 => {
+                assert_eq!(payload_len % 8, 0);
+                let mut v = Vec::with_capacity(payload_len / 8);
+                for _ in 0..payload_len / 8 {
+                    v.push(buf.get_f64_le());
+                }
+                VarData::F64(v)
+            }
+            1 => {
+                let mut v = vec![0u8; payload_len];
+                buf.copy_to_slice(&mut v);
+                VarData::Bytes(v)
+            }
+            other => panic!("unknown dtype {other}"),
+        };
+        vars.push(Variable { name, shape, data });
+    }
+    StepData { step, time, vars }
+}
+
+/// Streaming file writer.
+pub struct BplWriter {
+    file: std::io::BufWriter<std::fs::File>,
+    steps_written: usize,
+}
+
+impl BplWriter {
+    /// Create/truncate the file and write the magic.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        file.write_all(MAGIC)?;
+        Ok(Self { file, steps_written: 0 })
+    }
+
+    /// Append one step.
+    pub fn write_step(&mut self, step: &StepData) -> std::io::Result<()> {
+        self.file.write_all(&encode_step(step))?;
+        self.steps_written += 1;
+        Ok(())
+    }
+
+    /// Steps written so far.
+    pub fn steps_written(&self) -> usize {
+        self.steps_written
+    }
+
+    /// Flush and close.
+    pub fn close(mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+/// Whole-file reader.
+pub struct BplReader {
+    steps: Vec<StepData>,
+}
+
+impl BplReader {
+    /// Read and parse the whole file.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut raw = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut raw)?;
+        assert!(raw.len() >= 4 && &raw[..4] == MAGIC, "not a BPL file");
+        let mut buf = &raw[4..];
+        let mut steps = Vec::new();
+        while buf.has_remaining() {
+            steps.push(decode_step(&mut buf));
+        }
+        Ok(Self { steps })
+    }
+
+    /// All parsed steps.
+    pub fn steps(&self) -> &[StepData] {
+        &self.steps
+    }
+}
+
+/// Convenience: write a list of steps to a file.
+pub fn write_bpl(path: &Path, steps: &[StepData]) -> std::io::Result<()> {
+    let mut w = BplWriter::create(path)?;
+    for s in steps {
+        w.write_step(s)?;
+    }
+    w.close()
+}
+
+/// Convenience: read all steps from a file.
+pub fn read_bpl(path: &Path) -> std::io::Result<Vec<StepData>> {
+    Ok(BplReader::open(path)?.steps.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_step(i: u64) -> StepData {
+        StepData {
+            step: i,
+            time: i as f64 * 0.5,
+            vars: vec![
+                Variable::f64("velocity_x", vec![2, 8], (0..16).map(|k| k as f64).collect()),
+                Variable::bytes("compressed_t", vec![5], vec![1, 2, 3, 4, 5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample_step(3);
+        let bytes = encode_step(&s);
+        let mut buf = &bytes[..];
+        let back = decode_step(&mut buf);
+        assert_eq!(back, s);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn file_roundtrip_multiple_steps() {
+        let dir = std::env::temp_dir().join("rbx_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("multi.bpl");
+        let steps: Vec<StepData> = (0..5).map(sample_step).collect();
+        write_bpl(&path, &steps).unwrap();
+        let back = read_bpl(&path).unwrap();
+        assert_eq!(back, steps);
+    }
+
+    #[test]
+    fn variable_lookup() {
+        let s = sample_step(0);
+        assert!(s.var("velocity_x").is_some());
+        assert!(s.var("missing").is_none());
+        assert_eq!(s.var("compressed_t").unwrap().data.len(), 5);
+    }
+
+    #[test]
+    fn empty_step_roundtrips() {
+        let s = StepData { step: 9, time: 1.25, vars: vec![] };
+        let bytes = encode_step(&s);
+        let mut buf = &bytes[..];
+        assert_eq!(decode_step(&mut buf), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a BPL file")]
+    fn rejects_garbage_file() {
+        let dir = std::env::temp_dir().join("rbx_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bpl");
+        std::fs::write(&path, b"nope").unwrap();
+        let _ = BplReader::open(&path);
+    }
+}

@@ -1,0 +1,172 @@
+//! Legacy-VTK (ASCII) export of spectral-element fields.
+//!
+//! Downstream users inspect DNS fields in ParaView/VisIt; this writer
+//! emits each element's GLL lattice as `(n−1)³` linear hexahedral
+//! sub-cells with point data — the standard "SEM to VTK" decomposition.
+//! Shared interface nodes are written per element (duplicated), which
+//! viewers handle fine and which keeps the writer independent of the
+//! gather-scatter layer.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write `fields` (name + nodal values in element-local layout) on the
+/// GLL lattice described by `coords`/`nx1`/`nelv` as a legacy VTK
+/// unstructured grid.
+///
+/// # Panics
+/// Panics if array lengths are inconsistent with `nelv · nx1³`.
+pub fn write_vtk(
+    path: &Path,
+    coords: [&[f64]; 3],
+    nx1: usize,
+    nelv: usize,
+    fields: &[(&str, &[f64])],
+) -> std::io::Result<()> {
+    let nn = nx1 * nx1 * nx1;
+    let total = nelv * nn;
+    for c in &coords {
+        assert_eq!(c.len(), total, "coordinate length mismatch");
+    }
+    for (name, f) in fields {
+        assert_eq!(f.len(), total, "field {name} length mismatch");
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "RBX spectral-element field export")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET UNSTRUCTURED_GRID")?;
+
+    writeln!(w, "POINTS {total} double")?;
+    for ((x, y), z) in coords[0].iter().zip(coords[1]).zip(coords[2]) {
+        writeln!(w, "{x} {y} {z}")?;
+    }
+
+    let cells_per_elem = (nx1 - 1) * (nx1 - 1) * (nx1 - 1);
+    let ncells = nelv * cells_per_elem;
+    writeln!(w, "CELLS {ncells} {}", ncells * 9)?;
+    for e in 0..nelv {
+        let base = e * nn;
+        let idx = |i: usize, j: usize, k: usize| base + i + nx1 * (j + nx1 * k);
+        for k in 0..nx1 - 1 {
+            for j in 0..nx1 - 1 {
+                for i in 0..nx1 - 1 {
+                    // VTK_HEXAHEDRON ordering: bottom quad CCW, then top.
+                    writeln!(
+                        w,
+                        "8 {} {} {} {} {} {} {} {}",
+                        idx(i, j, k),
+                        idx(i + 1, j, k),
+                        idx(i + 1, j + 1, k),
+                        idx(i, j + 1, k),
+                        idx(i, j, k + 1),
+                        idx(i + 1, j, k + 1),
+                        idx(i + 1, j + 1, k + 1),
+                        idx(i, j + 1, k + 1)
+                    )?;
+                }
+            }
+        }
+    }
+    writeln!(w, "CELL_TYPES {ncells}")?;
+    for _ in 0..ncells {
+        writeln!(w, "12")?;
+    }
+
+    if !fields.is_empty() {
+        writeln!(w, "POINT_DATA {total}")?;
+        for (name, f) in fields {
+            writeln!(w, "SCALARS {name} double 1")?;
+            writeln!(w, "LOOKUP_TABLE default")?;
+            for v in f.iter() {
+                writeln!(w, "{v}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtk_file_structure() {
+        let dir = std::env::temp_dir().join("rbx_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.vtk");
+        // One element at degree 2: 27 points, 8 sub-cells.
+        let n = 3;
+        let nn = n * n * n;
+        let mut x = vec![0.0; nn];
+        let mut y = vec![0.0; nn];
+        let mut z = vec![0.0; nn];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let idx = i + n * (j + n * k);
+                    x[idx] = i as f64 * 0.5;
+                    y[idx] = j as f64 * 0.5;
+                    z[idx] = k as f64 * 0.5;
+                }
+            }
+        }
+        let t: Vec<f64> = (0..nn).map(|i| i as f64).collect();
+        write_vtk(&path, [&x, &y, &z], n, 1, &[("temperature", &t)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("# vtk DataFile"));
+        assert!(content.contains("POINTS 27 double"));
+        assert!(content.contains("CELLS 8 72"));
+        assert!(content.contains("CELL_TYPES 8"));
+        assert!(content.contains("SCALARS temperature double 1"));
+        // Hex type id (12) once per sub-cell in the CELL_TYPES section.
+        let types_section = content
+            .split("CELL_TYPES 8")
+            .nth(1)
+            .expect("CELL_TYPES section");
+        let hex_lines = types_section
+            .lines()
+            .take_while(|l| !l.starts_with("POINT_DATA"))
+            .filter(|l| l.trim() == "12")
+            .count();
+        assert_eq!(hex_lines, 8);
+    }
+
+    #[test]
+    fn multiple_fields_and_elements() {
+        let dir = std::env::temp_dir().join("rbx_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("multi.vtk");
+        let n = 2;
+        let nn = n * n * n;
+        let nelv = 3;
+        let total = nelv * nn;
+        let coords: Vec<f64> = (0..total).map(|i| i as f64).collect();
+        let a = vec![1.0; total];
+        let b = vec![2.0; total];
+        write_vtk(
+            &path,
+            [&coords, &coords, &coords],
+            n,
+            nelv,
+            &[("a", &a), ("b", &b)],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains(&format!("POINTS {total} double")));
+        assert!(content.contains("CELLS 3 27")); // 1 sub-cell per element
+        assert!(content.contains("SCALARS a double 1"));
+        assert!(content.contains("SCALARS b double 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_field_length_detected() {
+        let dir = std::env::temp_dir().join("rbx_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.vtk");
+        let c = vec![0.0; 8];
+        let short = vec![0.0; 4];
+        let _ = write_vtk(&path, [&c, &c, &c], 2, 1, &[("f", &short)]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dirichlet masks from mesh boundary tags.
+//!
+//! A mask is 1.0 on free nodes and 0.0 on Dirichlet-constrained nodes.
+//! Because a node on the closure of a tagged face can belong to elements
+//! whose own faces are untagged, the element-local mask is made globally
+//! consistent with a gather-scatter `Min`.
+
+use rbx_comm::Communicator;
+use rbx_gs::{GatherScatter, GsOp};
+use rbx_mesh::topology::face_to_volume;
+use rbx_mesh::{BoundaryTag, HexMesh};
+
+/// Build the Dirichlet mask for this rank's elements: nodes on any face
+/// whose tag is in `dirichlet_tags` are constrained (0.0), everything else
+/// is free (1.0).
+pub fn dirichlet_mask(
+    mesh: &HexMesh,
+    p: usize,
+    my_elems: &[usize],
+    dirichlet_tags: &[BoundaryTag],
+    gs: &GatherScatter,
+    comm: &dyn Communicator,
+) -> Vec<f64> {
+    let n = p + 1;
+    let nn = n * n * n;
+    let mut mask = vec![1.0; my_elems.len() * nn];
+    for (le, &ge) in my_elems.iter().enumerate() {
+        for f in 0..6 {
+            if dirichlet_tags.contains(&mesh.face_tags[ge][f]) {
+                for b in 0..n {
+                    for a in 0..n {
+                        let (i, j, k) = face_to_volume(f, a, b, p);
+                        mask[le * nn + i + n * (j + n * k)] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+    // Propagate constraints to all copies of each shared node.
+    gs.apply(&mut mask, GsOp::Min, comm);
+    mask
+}
+
+/// Set `u` to `value` on all nodes of faces carrying `tag` (inhomogeneous
+/// Dirichlet lifting). Only this rank's elements are touched; callers
+/// should gather afterwards if the value varies.
+pub fn set_on_tagged_faces(
+    mesh: &HexMesh,
+    p: usize,
+    my_elems: &[usize],
+    tag: BoundaryTag,
+    value: f64,
+    u: &mut [f64],
+) {
+    let n = p + 1;
+    let nn = n * n * n;
+    for (le, &ge) in my_elems.iter().enumerate() {
+        for f in 0..6 {
+            if mesh.face_tags[ge][f] == tag {
+                for b in 0..n {
+                    for a in 0..n {
+                        let (i, j, k) = face_to_volume(f, a, b, p);
+                        u[le * nn + i + n * (j + n * k)] = value;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    #[test]
+    fn mask_zero_exactly_on_boundary() {
+        let p = 3;
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let geom = rbx_mesh::GeomFactors::new(&mesh, p);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let gs = GatherScatter::build(&mesh, p, &part, &my, &comm);
+        let mask = dirichlet_mask(
+            &mesh,
+            p,
+            &my,
+            &[BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall],
+            &gs,
+            &comm,
+        );
+        for (idx, &m) in mask.iter().enumerate() {
+            let x = geom.coords[0][idx];
+            let y = geom.coords[1][idx];
+            let z = geom.coords[2][idx];
+            let on_bnd = [x, y, z]
+                .iter()
+                .any(|&c| c.abs() < 1e-12 || (c - 1.0).abs() < 1e-12);
+            assert_eq!(m == 0.0, on_bnd, "node {idx} at ({x},{y},{z}) mask {m}");
+        }
+    }
+
+    #[test]
+    fn partial_tags_only_mask_selected_faces() {
+        let p = 2;
+        let mesh = box_mesh(1, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let gs = GatherScatter::build(&mesh, p, &[0], &[0], &comm);
+        // Only the hot (bottom) wall.
+        let mask = dirichlet_mask(&mesh, p, &[0], &[BoundaryTag::HotWall], &gs, &comm);
+        let n = p + 1;
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let m = mask[i + n * (j + n * k)];
+                    assert_eq!(m == 0.0, k == 0, "({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_on_tagged_faces_writes_values() {
+        let p = 2;
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let n = p + 1;
+        let nn = n * n * n;
+        let mut u = vec![0.0; 2 * nn];
+        set_on_tagged_faces(&mesh, p, &[0, 1], BoundaryTag::ColdWall, -0.5, &mut u);
+        // Cold wall is the top of element 1 only.
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let e0 = u[i + n * (j + n * k)];
+                    let e1 = u[nn + i + n * (j + n * k)];
+                    assert_eq!(e0, 0.0);
+                    assert_eq!(e1 != 0.0, k == n - 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Krylov solvers: preconditioned CG and flexible GMRES(m).
+//!
+//! The paper's solver configuration (§6): velocity and temperature use a
+//! block-Jacobi-preconditioned conjugate gradient; pressure uses GMRES with
+//! the hybrid Schwarz-multigrid preconditioner. Operators, preconditioners
+//! and inner products are passed as closures so any combination of
+//! [`crate::HelmholtzOp`], masks and communicators can be driven.
+
+/// Outcome of a Krylov solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Initial residual norm.
+    pub initial_residual: f64,
+    /// Final residual norm.
+    pub final_residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}
+
+/// Preconditioned conjugate gradients for an SPD operator.
+///
+/// Solves `A x = b` starting from the provided `x`. `op(p, ap)` computes
+/// `ap = A p`; `precond(r, z)` computes `z = M⁻¹ r` (copy for identity);
+/// `dot` is the globally consistent inner product. Convergence is declared
+/// when `‖r‖ ≤ tol_abs` or `‖r‖ ≤ tol_rel·‖r₀‖`.
+#[allow(clippy::too_many_arguments)]
+pub fn pcg(
+    mut op: impl FnMut(&[f64], &mut [f64]),
+    mut precond: impl FnMut(&[f64], &mut [f64]),
+    dot: impl Fn(&[f64], &[f64]) -> f64,
+    b: &[f64],
+    x: &mut [f64],
+    tol_abs: f64,
+    tol_rel: f64,
+    max_iter: usize,
+) -> SolveStats {
+    let n = b.len();
+    assert_eq!(x.len(), n);
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    // r = b - A x
+    op(x, &mut ap);
+    for i in 0..n {
+        r[i] = b[i] - ap[i];
+    }
+    let r0 = dot(&r, &r).sqrt();
+    let target = tol_abs.max(tol_rel * r0);
+    if r0 <= target {
+        return SolveStats {
+            iterations: 0,
+            initial_residual: r0,
+            final_residual: r0,
+            converged: true,
+        };
+    }
+
+    precond(&r, &mut z);
+    p.copy_from_slice(&z);
+    let mut rz = dot(&r, &z);
+    let mut rnorm = r0;
+    let mut iterations = 0;
+
+    for it in 1..=max_iter {
+        iterations = it;
+        op(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Loss of positive-definiteness (round-off or bad operator);
+            // bail with the current iterate.
+            break;
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        rnorm = dot(&r, &r).sqrt();
+        if rnorm <= target {
+            return SolveStats {
+                iterations,
+                initial_residual: r0,
+                final_residual: rnorm,
+                converged: true,
+            };
+        }
+        precond(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    SolveStats {
+        iterations,
+        initial_residual: r0,
+        final_residual: rnorm,
+        converged: rnorm <= target,
+    }
+}
+
+/// Flexible GMRES with restart length `m` and right preconditioning.
+///
+/// Flexibility (storing the preconditioned directions) permits a
+/// preconditioner that is itself an inner iteration — exactly the hybrid
+/// Schwarz preconditioner whose coarse level runs a fixed-iteration PCG.
+#[allow(clippy::too_many_arguments)]
+pub fn fgmres(
+    mut op: impl FnMut(&[f64], &mut [f64]),
+    mut precond: impl FnMut(&[f64], &mut [f64]),
+    dot: impl Fn(&[f64], &[f64]) -> f64,
+    b: &[f64],
+    x: &mut [f64],
+    tol_abs: f64,
+    tol_rel: f64,
+    max_iter: usize,
+    restart: usize,
+) -> SolveStats {
+    let n = b.len();
+    assert_eq!(x.len(), n);
+    assert!(restart >= 1);
+    let m = restart;
+
+    let mut r = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    op(x, &mut w);
+    for i in 0..n {
+        r[i] = b[i] - w[i];
+    }
+    let r0 = dot(&r, &r).sqrt();
+    let target = tol_abs.max(tol_rel * r0);
+    if r0 <= target {
+        return SolveStats {
+            iterations: 0,
+            initial_residual: r0,
+            final_residual: r0,
+            converged: true,
+        };
+    }
+
+    let mut total_iters = 0;
+    let mut beta = r0;
+
+    loop {
+        // Arnoldi basis V and preconditioned directions Z.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut zdirs: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut h = vec![vec![0.0f64; m]; m + 1]; // h[i][j]
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+
+        let mut v0 = r.clone();
+        for val in v0.iter_mut() {
+            *val /= beta;
+        }
+        v.push(v0);
+
+        let mut k_used = 0;
+        let mut res = beta;
+        for j in 0..m {
+            if total_iters >= max_iter {
+                break;
+            }
+            total_iters += 1;
+            k_used = j + 1;
+
+            let mut z = vec![0.0; n];
+            precond(&v[j], &mut z);
+            op(&z, &mut w);
+            zdirs.push(z);
+
+            // Modified Gram-Schmidt.
+            for (i, vi) in v.iter().enumerate() {
+                let hij = dot(&w, vi);
+                h[i][j] = hij;
+                for (wv, vv) in w.iter_mut().zip(vi) {
+                    *wv -= hij * vv;
+                }
+            }
+            let hnext = dot(&w, &w).sqrt();
+            h[j + 1][j] = hnext;
+            if hnext > 1e-300 {
+                let mut vnext = w.clone();
+                for val in vnext.iter_mut() {
+                    *val /= hnext;
+                }
+                v.push(vnext);
+            } else {
+                // Happy breakdown: exact solution in the current space.
+                v.push(vec![0.0; n]);
+            }
+
+            // Apply accumulated Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
+                h[i + 1][j] = -sn[i] * h[i][j] + cs[i] * h[i + 1][j];
+                h[i][j] = t;
+            }
+            let denom = (h[j][j] * h[j][j] + h[j + 1][j] * h[j + 1][j]).sqrt();
+            if denom > 0.0 {
+                cs[j] = h[j][j] / denom;
+                sn[j] = h[j + 1][j] / denom;
+            } else {
+                cs[j] = 1.0;
+                sn[j] = 0.0;
+            }
+            h[j][j] = cs[j] * h[j][j] + sn[j] * h[j + 1][j];
+            h[j + 1][j] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+            res = g[j + 1].abs();
+            if res <= target {
+                break;
+            }
+        }
+
+        // Solve the small triangular system and update x with Z directions.
+        if k_used > 0 {
+            let mut y = vec![0.0f64; k_used];
+            for i in (0..k_used).rev() {
+                let mut acc = g[i];
+                for j in i + 1..k_used {
+                    acc -= h[i][j] * y[j];
+                }
+                y[i] = acc / h[i][i];
+            }
+            for (j, yj) in y.iter().enumerate() {
+                for i in 0..n {
+                    x[i] += yj * zdirs[j][i];
+                }
+            }
+        }
+
+        // True residual for the restart / convergence decision.
+        op(x, &mut w);
+        for i in 0..n {
+            r[i] = b[i] - w[i];
+        }
+        beta = dot(&r, &r).sqrt();
+        if beta <= target || total_iters >= max_iter {
+            return SolveStats {
+                iterations: total_iters,
+                initial_residual: r0,
+                final_residual: beta,
+                converged: beta <= target,
+            };
+        }
+        // `res` (the Givens-estimated residual) guided the inner loop; the
+        // restart decision above uses the true residual.
+        let _ = res;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense SPD test operator: tridiagonal (−1, d, −1).
+    fn tridiag_apply(d: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        for i in 0..n {
+            let mut acc = d * x[i];
+            if i > 0 {
+                acc -= x[i - 1];
+            }
+            if i + 1 < n {
+                acc -= x[i + 1];
+            }
+            y[i] = acc;
+        }
+    }
+
+    fn plain_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let n = 50;
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut b = vec![0.0; n];
+        tridiag_apply(4.0, &x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| tridiag_apply(4.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-12,
+            0.0,
+            200,
+        );
+        assert!(stats.converged, "{stats:?}");
+        for (a, t) in x.iter().zip(&x_true) {
+            assert!((a - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_immediately() {
+        let n = 10;
+        let b = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| tridiag_apply(3.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-12,
+            0.0,
+            10,
+        );
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn jacobi_preconditioner_reduces_cg_iterations() {
+        // Strongly varying diagonal: D_i = 1 + i².
+        let n = 80;
+        let diag: Vec<f64> = (0..n).map(|i| 1.0 + (i * i) as f64).collect();
+        let apply = |x: &[f64], y: &mut [f64]| {
+            for i in 0..n {
+                let mut acc = diag[i] * x[i];
+                if i > 0 {
+                    acc -= 0.3 * x[i - 1];
+                }
+                if i + 1 < n {
+                    acc -= 0.3 * x[i + 1];
+                }
+                y[i] = acc;
+            }
+        };
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+
+        let mut x_plain = vec![0.0; n];
+        let plain = pcg(
+            apply,
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x_plain,
+            1e-10,
+            0.0,
+            500,
+        );
+        let mut x_prec = vec![0.0; n];
+        let prec = pcg(
+            apply,
+            |r, z| {
+                for i in 0..n {
+                    z[i] = r[i] / diag[i];
+                }
+            },
+            plain_dot,
+            &b,
+            &mut x_prec,
+            1e-10,
+            0.0,
+            500,
+        );
+        assert!(plain.converged && prec.converged);
+        assert!(
+            prec.iterations < plain.iterations,
+            "jacobi {} !< plain {}",
+            prec.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric_system() {
+        // Upwind-ish nonsymmetric operator.
+        let n = 40;
+        let apply = |x: &[f64], y: &mut [f64]| {
+            for i in 0..n {
+                let mut acc = 3.0 * x[i];
+                if i > 0 {
+                    acc -= 2.0 * x[i - 1];
+                }
+                if i + 1 < n {
+                    acc -= 0.5 * x[i + 1];
+                }
+                y[i] = acc;
+            }
+        };
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut b = vec![0.0; n];
+        apply(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            apply,
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-11,
+            0.0,
+            300,
+            20,
+        );
+        assert!(stats.converged, "{stats:?}");
+        for (a, t) in x.iter().zip(&x_true) {
+            assert!((a - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gmres_restarts_still_converge() {
+        let n = 60;
+        let apply = |x: &[f64], y: &mut [f64]| tridiag_apply(2.5, x, y);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            apply,
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-10,
+            0.0,
+            2000,
+            5, // tiny restart forces many cycles
+        );
+        assert!(stats.converged, "{stats:?}");
+    }
+
+    #[test]
+    fn gmres_flexible_with_inner_iteration_preconditioner() {
+        // Preconditioner = 3 CG iterations on the same operator (variable
+        // preconditioner: classic FGMRES territory).
+        let n = 30;
+        let apply = |x: &[f64], y: &mut [f64]| tridiag_apply(4.0, x, y);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            apply,
+            |r, z| {
+                z.fill(0.0);
+                let _ = pcg(
+                    |p, ap| tridiag_apply(4.0, p, ap),
+                    |rr, zz| zz.copy_from_slice(rr),
+                    plain_dot,
+                    r,
+                    z,
+                    0.0,
+                    0.0,
+                    3,
+                );
+            },
+            plain_dot,
+            &b,
+            &mut x,
+            1e-10,
+            0.0,
+            100,
+            30,
+        );
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.iterations < 15, "too many outer iterations: {stats:?}");
+    }
+
+    #[test]
+    fn stats_report_residual_drop() {
+        let n = 20;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| tridiag_apply(4.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-9,
+            0.0,
+            100,
+        );
+        assert!(stats.initial_residual > stats.final_residual);
+        assert!(stats.final_residual <= 1e-9);
+    }
+}

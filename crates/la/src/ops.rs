@@ -1,0 +1,161 @@
+//! Vector kernels and the rank-aware inner product.
+//!
+//! Fields are stored element-locally with shared nodes duplicated, so the
+//! global inner product weights each local entry by the inverse of its
+//! multiplicity before the cross-rank reduction — the same `1/mult`
+//! weighting the production code applies in its Krylov kernels.
+
+use rbx_comm::Communicator;
+
+/// `y ← a·x + y`.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (useful for CG direction updates).
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `y ← x`.
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= a;
+    }
+}
+
+/// Element-wise product `y ← x ∘ y`.
+pub fn hadamard(x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi *= xi;
+    }
+}
+
+/// Globally consistent inner product over duplicated-node storage.
+pub struct DotProduct {
+    /// Inverse multiplicity per local node.
+    mult_inv: Vec<f64>,
+}
+
+impl DotProduct {
+    /// Build from node multiplicities (from
+    /// [`rbx_gs::GatherScatter::multiplicity`]).
+    pub fn new(mult: &[f64]) -> Self {
+        Self { mult_inv: mult.iter().map(|&m| 1.0 / m).collect() }
+    }
+
+    /// Local length.
+    pub fn len(&self) -> usize {
+        self.mult_inv.len()
+    }
+
+    /// True if the vector space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mult_inv.is_empty()
+    }
+
+    /// Global `⟨a, b⟩ = Σ_unique a·b`, reduced across ranks.
+    pub fn dot(&self, a: &[f64], b: &[f64], comm: &dyn Communicator) -> f64 {
+        debug_assert_eq!(a.len(), self.mult_inv.len());
+        debug_assert_eq!(b.len(), self.mult_inv.len());
+        let local: f64 = a
+            .iter()
+            .zip(b)
+            .zip(&self.mult_inv)
+            .map(|((x, y), w)| x * y * w)
+            .sum();
+        rbx_comm::allreduce_scalar(comm, local)
+    }
+
+    /// Global L² norm.
+    pub fn norm(&self, a: &[f64], comm: &dyn Communicator) -> f64 {
+        self.dot(a, a, comm).sqrt()
+    }
+
+    /// Global number of unique degrees of freedom (`Σ 1/mult`).
+    pub fn unique_dofs(&self, comm: &dyn Communicator) -> f64 {
+        let local: f64 = self.mult_inv.iter().sum();
+        rbx_comm::allreduce_scalar(comm, local)
+    }
+
+    /// Inverse multiplicities (the `1/mult` weights).
+    pub fn weights(&self) -> &[f64] {
+        &self.mult_inv
+    }
+}
+
+/// Subtract the weighted mean of `x` so that `Σ B·x = 0`; used to keep
+/// pure-Neumann (pressure) iterates orthogonal to the constant null space.
+/// `bw` are the diagonal-mass weights times inverse multiplicity.
+pub fn ortho_project_mean(x: &mut [f64], bw: &[f64], comm: &dyn Communicator) {
+    debug_assert_eq!(x.len(), bw.len());
+    let mut sums = [0.0f64; 2];
+    for (xi, wi) in x.iter().zip(bw) {
+        sums[0] += xi * wi;
+        sums[1] += wi;
+    }
+    comm.allreduce_sum(&mut sums);
+    let mean = sums[0] / sums[1];
+    for xi in x.iter_mut() {
+        *xi -= mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_comm::SingleComm;
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn dot_weights_shared_nodes() {
+        // Two duplicated nodes with mult 2 count once.
+        let mult = vec![1.0, 2.0, 2.0];
+        let dp = DotProduct::new(&mult);
+        let comm = SingleComm::new();
+        let a = vec![3.0, 4.0, 4.0];
+        // ⟨a,a⟩ = 9 + 16/2 + 16/2 = 25.
+        assert!((dp.dot(&a, &a, &comm) - 25.0).abs() < 1e-14);
+        assert!((dp.norm(&a, &comm) - 5.0).abs() < 1e-14);
+        assert!((dp.unique_dofs(&comm) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ortho_projection_removes_mean() {
+        let comm = SingleComm::new();
+        let bw = vec![1.0, 2.0, 1.0];
+        let mut x = vec![1.0, 1.0, 5.0];
+        ortho_project_mean(&mut x, &bw, &comm);
+        let weighted: f64 = x.iter().zip(&bw).map(|(a, b)| a * b).sum();
+        assert!(weighted.abs() < 1e-13);
+    }
+
+    #[test]
+    fn hadamard_masks() {
+        let m = vec![1.0, 0.0, 1.0];
+        let mut y = vec![5.0, 6.0, 7.0];
+        hadamard(&m, &mut y);
+        assert_eq!(y, vec![5.0, 0.0, 7.0]);
+    }
+}

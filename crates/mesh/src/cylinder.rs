@@ -1,0 +1,344 @@
+//! Cylindrical Rayleigh-Bénard cell mesh (o-grid cross-section, extruded).
+//!
+//! The paper's production case is a cylinder of aspect ratio Γ = D/H = 1:10
+//! heated from below. The cross-section uses the classic o-grid topology: a
+//! central square block surrounded by rings of quads that blend from the
+//! square contour to the exact circle, with the outermost ring carrying a
+//! [`Curve::CylinderSide`] descriptor so the wall is geometrically exact at
+//! any polynomial degree. The z direction is extruded with optional tanh
+//! grading for boundary-layer refinement at the plates.
+
+use crate::{BoundaryTag, Curve, HexMesh};
+
+/// Parameters of the cylindrical RBC cell mesh.
+#[derive(Debug, Clone, Copy)]
+pub struct CylinderParams {
+    /// Cylinder radius (the paper's Γ = 1:10 cell of unit height has
+    /// radius 0.05).
+    pub radius: f64,
+    /// Cell height; z spans `[0, height]`.
+    pub height: f64,
+    /// Cells per side of the central square block (≥ 1).
+    pub n_square: usize,
+    /// Number of o-grid rings between the square and the wall (≥ 1).
+    pub n_rings: usize,
+    /// Element layers in z (≥ 1).
+    pub n_z: usize,
+    /// tanh grading strength toward the plates; 0 = uniform.
+    pub beta_z: f64,
+}
+
+impl Default for CylinderParams {
+    fn default() -> Self {
+        Self { radius: 0.5, height: 1.0, n_square: 2, n_rings: 2, n_z: 4, beta_z: 0.0 }
+    }
+}
+
+/// Generate the cylinder mesh. Element count is
+/// `(n_square² + 4·n_square·n_rings) · n_z`.
+pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
+    let CylinderParams { radius, height, n_square: n0, n_rings: nr, n_z: nz, beta_z } = params;
+    assert!(radius > 0.0 && height > 0.0);
+    assert!(n0 >= 1 && nr >= 1 && nz >= 1);
+
+    // Central square half-width: half the radius is the standard o-grid
+    // choice, keeping ring elements reasonably isotropic.
+    let a = 0.5 * radius;
+    let perim = 4 * n0;
+
+    // ---- 2-D disk vertices -------------------------------------------------
+    // Plane layout: (n0+1)² square vertices, then nr contours of `perim`
+    // ring vertices (contour level 1..=nr; level 0 is the square boundary).
+    let square_verts = (n0 + 1) * (n0 + 1);
+    let plane_verts = square_verts + nr * perim;
+
+    let sq_id = |i: usize, j: usize| -> usize { i + (n0 + 1) * j };
+
+    // Square-boundary vertex id for perimeter index m (counter-clockwise
+    // from the corner (-a, -a)).
+    let boundary_id = |m: usize| -> usize {
+        let side = m / n0;
+        let i = m % n0;
+        match side {
+            0 => sq_id(i, 0),           // bottom, (-a,-a) → (a,-a)
+            1 => sq_id(n0, i),          // right
+            2 => sq_id(n0 - i, n0),     // top
+            3 => sq_id(0, n0 - i),      // left
+            _ => unreachable!(),
+        }
+    };
+
+    let contour_id = |level: usize, m: usize| -> usize {
+        let m = m % perim;
+        if level == 0 {
+            boundary_id(m)
+        } else {
+            square_verts + (level - 1) * perim + m
+        }
+    };
+
+    // Square-perimeter point for index m (uniform arclength per side).
+    let square_pt = |m: usize| -> [f64; 2] {
+        let side = m / n0;
+        let f = (m % n0) as f64 / n0 as f64;
+        match side {
+            0 => [-a + 2.0 * a * f, -a],
+            1 => [a, -a + 2.0 * a * f],
+            2 => [a - 2.0 * a * f, a],
+            3 => [-a, a - 2.0 * a * f],
+            _ => unreachable!(),
+        }
+    };
+
+    // Circle point: uniform angle, anchored so corners map to diagonals.
+    let circle_pt = |m: usize| -> [f64; 2] {
+        let phi = -0.75 * std::f64::consts::PI
+            + 0.5 * std::f64::consts::PI * (m as f64 / n0 as f64);
+        [radius * phi.cos(), radius * phi.sin()]
+    };
+
+    let mut plane = vec![[0.0f64; 2]; plane_verts];
+    for j in 0..=n0 {
+        for i in 0..=n0 {
+            plane[sq_id(i, j)] = [-a + 2.0 * a * i as f64 / n0 as f64,
+                                  -a + 2.0 * a * j as f64 / n0 as f64];
+        }
+    }
+    for level in 1..=nr {
+        let b = level as f64 / nr as f64;
+        for m in 0..perim {
+            let s = square_pt(m);
+            let c = circle_pt(m);
+            plane[contour_id(level, m)] =
+                [(1.0 - b) * s[0] + b * c[0], (1.0 - b) * s[1] + b * c[1]];
+        }
+    }
+
+    // ---- z levels ----------------------------------------------------------
+    let zs: Vec<f64> = (0..=nz)
+        .map(|k| {
+            let t = k as f64 / nz as f64;
+            height * grade(t, beta_z)
+        })
+        .collect();
+
+    // ---- 3-D vertices ------------------------------------------------------
+    let mut vertices = Vec::with_capacity(plane_verts * (nz + 1));
+    for z in &zs {
+        for p in &plane {
+            vertices.push([p[0], p[1], *z]);
+        }
+    }
+    let vid = |plane_id: usize, k: usize| -> usize { plane_id + k * plane_verts };
+
+    // ---- elements ----------------------------------------------------------
+    let mut elems = Vec::new();
+    let mut face_tags = Vec::new();
+    let mut curves = std::collections::HashMap::new();
+
+    for k in 0..nz {
+        let bot_tag = if k == 0 { BoundaryTag::HotWall } else { BoundaryTag::None };
+        let top_tag = if k == nz - 1 { BoundaryTag::ColdWall } else { BoundaryTag::None };
+
+        // Central square block.
+        for j in 0..n0 {
+            for i in 0..n0 {
+                elems.push([
+                    vid(sq_id(i, j), k),
+                    vid(sq_id(i + 1, j), k),
+                    vid(sq_id(i, j + 1), k),
+                    vid(sq_id(i + 1, j + 1), k),
+                    vid(sq_id(i, j), k + 1),
+                    vid(sq_id(i + 1, j), k + 1),
+                    vid(sq_id(i, j + 1), k + 1),
+                    vid(sq_id(i + 1, j + 1), k + 1),
+                ]);
+                let mut tags = [BoundaryTag::None; 6];
+                tags[4] = bot_tag;
+                tags[5] = top_tag;
+                face_tags.push(tags);
+            }
+        }
+
+        // Rings. Local r runs clockwise (decreasing perimeter index) and s
+        // radially outward so that the Jacobian is positive and the curved
+        // wall is always local face 3 (+y).
+        for level in 1..=nr {
+            for m in 0..perim {
+                let inner_lo = contour_id(level - 1, m + 1);
+                let inner_hi = contour_id(level - 1, m);
+                let outer_lo = contour_id(level, m + 1);
+                let outer_hi = contour_id(level, m);
+                let e = elems.len();
+                elems.push([
+                    vid(inner_lo, k),
+                    vid(inner_hi, k),
+                    vid(outer_lo, k),
+                    vid(outer_hi, k),
+                    vid(inner_lo, k + 1),
+                    vid(inner_hi, k + 1),
+                    vid(outer_lo, k + 1),
+                    vid(outer_hi, k + 1),
+                ]);
+                let mut tags = [BoundaryTag::None; 6];
+                tags[4] = bot_tag;
+                tags[5] = top_tag;
+                if level == nr {
+                    tags[3] = BoundaryTag::Wall;
+                    curves.insert((e, 3), Curve::CylinderSide { radius });
+                }
+                face_tags.push(tags);
+            }
+        }
+    }
+
+    HexMesh { vertices, elems, face_tags, curves }
+}
+
+/// Symmetric tanh grading of `t ∈ [0, 1]` toward both endpoints.
+fn grade(t: f64, beta: f64) -> f64 {
+    if beta <= 0.0 {
+        return t;
+    }
+    let s = (beta * (2.0 * t - 1.0)).tanh() / beta.tanh();
+    0.5 * (1.0 + s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::GeomFactors;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn element_and_vertex_counts() {
+        let p = CylinderParams { n_square: 2, n_rings: 2, n_z: 3, ..Default::default() };
+        let m = cylinder_mesh(p);
+        assert_eq!(m.num_elements(), (4 + 16) * 3);
+        assert!(m.validate().is_empty());
+    }
+
+    #[test]
+    fn all_jacobians_positive() {
+        let m = cylinder_mesh(CylinderParams::default());
+        let geom = GeomFactors::new(&m, 4);
+        assert!(geom.min_jac > 0.0);
+    }
+
+    #[test]
+    fn volume_converges_to_cylinder() {
+        // With the curved outer ring the volume should be very close to
+        // π R² H already at moderate degree.
+        let params = CylinderParams {
+            radius: 0.5,
+            height: 1.0,
+            n_square: 2,
+            n_rings: 2,
+            n_z: 2,
+            beta_z: 0.0,
+        };
+        let m = cylinder_mesh(params);
+        let geom = GeomFactors::new(&m, 7);
+        let exact = std::f64::consts::PI * 0.25;
+        let vol = geom.volume();
+        assert!(
+            (vol - exact).abs() / exact < 1e-4,
+            "volume {vol} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn wall_nodes_on_exact_circle() {
+        let params = CylinderParams { radius: 0.3, ..Default::default() };
+        let m = cylinder_mesh(params);
+        let geom = GeomFactors::new(&m, 5);
+        let n = geom.nx1;
+        let nn = n * n * n;
+        let mut on_wall = 0;
+        for &(e, f) in m.curves.keys() {
+            assert_eq!(f, 3);
+            // Face 3 is s = +1 → j = n-1.
+            for k in 0..n {
+                for i in 0..n {
+                    let idx = e * nn + i + n * ((n - 1) + n * k);
+                    let x = geom.coords[0][idx];
+                    let y = geom.coords[1][idx];
+                    let r = (x * x + y * y).sqrt();
+                    assert_close(r, 0.3, 1e-12);
+                    on_wall += 1;
+                }
+            }
+        }
+        assert!(on_wall > 0);
+    }
+
+    #[test]
+    fn boundary_tags_cover_plates_and_wall() {
+        let params = CylinderParams { n_square: 2, n_rings: 1, n_z: 2, ..Default::default() };
+        let m = cylinder_mesh(params);
+        let per_layer = 4 + 8;
+        let hot = m
+            .face_tags
+            .iter()
+            .flatten()
+            .filter(|t| **t == BoundaryTag::HotWall)
+            .count();
+        let cold = m
+            .face_tags
+            .iter()
+            .flatten()
+            .filter(|t| **t == BoundaryTag::ColdWall)
+            .count();
+        let wall = m
+            .face_tags
+            .iter()
+            .flatten()
+            .filter(|t| **t == BoundaryTag::Wall)
+            .count();
+        assert_eq!(hot, per_layer);
+        assert_eq!(cold, per_layer);
+        assert_eq!(wall, 8 * 2); // outer ring faces × layers
+    }
+
+    #[test]
+    fn side_wall_area_converges() {
+        // Lateral area = 2π R H.
+        let params = CylinderParams {
+            radius: 0.4,
+            height: 2.0,
+            n_square: 2,
+            n_rings: 2,
+            n_z: 2,
+            beta_z: 0.0,
+        };
+        let m = cylinder_mesh(params);
+        let geom = GeomFactors::new(&m, 7);
+        let mut area = 0.0;
+        for &(e, f) in m.curves.keys() {
+            area += geom.face_area_weights(e, f).iter().sum::<f64>();
+        }
+        let exact = 2.0 * std::f64::consts::PI * 0.4 * 2.0;
+        assert!((area - exact).abs() / exact < 1e-6, "area {area} vs {exact}");
+    }
+
+    #[test]
+    fn graded_layers_thinner_at_plates() {
+        let params = CylinderParams {
+            n_square: 1,
+            n_rings: 1,
+            n_z: 6,
+            beta_z: 2.0,
+            ..Default::default()
+        };
+        let m = cylinder_mesh(params);
+        let mut zs: Vec<f64> = m.vertices.iter().map(|v| v[2]).collect();
+        zs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        zs.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+        let first = zs[1] - zs[0];
+        let mid = zs[zs.len() / 2] - zs[zs.len() / 2 - 1];
+        assert!(first < mid, "first layer {first} not thinner than mid {mid}");
+    }
+}

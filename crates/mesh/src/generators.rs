@@ -1,0 +1,233 @@
+//! Structured box mesh generator.
+//!
+//! Boxes serve the validation and unit-test cases (Poisson convergence,
+//! advected scalars, small RBC boxes). Periodicity in x and/or y is
+//! realized by vertex identification, so downstream gather-scatter and
+//! operators handle periodic problems with no special cases.
+
+use crate::{BoundaryTag, HexMesh};
+
+/// Generate an `nx × ny × nz` element box on `[x0,x1]×[y0,y1]×[z0,z1]`.
+///
+/// Boundary tags: bottom (`-z`) is [`BoundaryTag::HotWall`], top is
+/// [`BoundaryTag::ColdWall`], side walls are [`BoundaryTag::Wall`] unless
+/// that direction is periodic. Callers with different physics overwrite
+/// `face_tags` after generation.
+///
+/// # Panics
+/// Panics if any count is zero, if a periodic direction has fewer than two
+/// elements, or if a range is degenerate.
+#[allow(clippy::too_many_arguments)]
+pub fn box_mesh(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    x_range: [f64; 2],
+    y_range: [f64; 2],
+    z_range: [f64; 2],
+    periodic_x: bool,
+    periodic_y: bool,
+) -> HexMesh {
+    box_mesh_graded(nx, ny, nz, x_range, y_range, z_range, periodic_x, periodic_y, 0.0)
+}
+
+/// Like [`box_mesh`] but with tanh grading of the z spacing toward both
+/// walls; `beta = 0` gives uniform spacing, larger `beta` clusters more
+/// points near `z0` and `z1` (boundary-layer refinement, paper §6).
+#[allow(clippy::too_many_arguments)]
+pub fn box_mesh_graded(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    x_range: [f64; 2],
+    y_range: [f64; 2],
+    z_range: [f64; 2],
+    periodic_x: bool,
+    periodic_y: bool,
+    beta: f64,
+) -> HexMesh {
+    assert!(nx > 0 && ny > 0 && nz > 0, "element counts must be positive");
+    assert!(!periodic_x || nx >= 2, "periodic x needs at least 2 elements");
+    assert!(!periodic_y || ny >= 2, "periodic y needs at least 2 elements");
+    assert!(x_range[1] > x_range[0] && y_range[1] > y_range[0] && z_range[1] > z_range[0]);
+
+    // Number of distinct vertex planes per direction.
+    let nvx = if periodic_x { nx } else { nx + 1 };
+    let nvy = if periodic_y { ny } else { ny + 1 };
+    let nvz = nz + 1;
+
+    let xs: Vec<f64> = (0..nvx)
+        .map(|i| lerp(x_range, i as f64 / nx as f64))
+        .collect();
+    let ys: Vec<f64> = (0..nvy)
+        .map(|j| lerp(y_range, j as f64 / ny as f64))
+        .collect();
+    let zs: Vec<f64> = (0..nvz)
+        .map(|k| lerp(z_range, grade(k as f64 / nz as f64, beta)))
+        .collect();
+
+    let vid = |i: usize, j: usize, k: usize| -> usize {
+        let iw = i % nvx;
+        let jw = j % nvy;
+        iw + nvx * (jw + nvy * k)
+    };
+
+    let mut vertices = vec![[0.0; 3]; nvx * nvy * nvz];
+    for k in 0..nvz {
+        for j in 0..nvy {
+            for i in 0..nvx {
+                vertices[vid(i, j, k)] = [xs[i], ys[j], zs[k]];
+            }
+        }
+    }
+
+    let mut elems = Vec::with_capacity(nx * ny * nz);
+    let mut face_tags = Vec::with_capacity(nx * ny * nz);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                elems.push([
+                    vid(i, j, k),
+                    vid(i + 1, j, k),
+                    vid(i, j + 1, k),
+                    vid(i + 1, j + 1, k),
+                    vid(i, j, k + 1),
+                    vid(i + 1, j, k + 1),
+                    vid(i, j + 1, k + 1),
+                    vid(i + 1, j + 1, k + 1),
+                ]);
+                let mut tags = [BoundaryTag::None; 6];
+                if !periodic_x {
+                    if i == 0 {
+                        tags[0] = BoundaryTag::Wall;
+                    }
+                    if i == nx - 1 {
+                        tags[1] = BoundaryTag::Wall;
+                    }
+                }
+                if !periodic_y {
+                    if j == 0 {
+                        tags[2] = BoundaryTag::Wall;
+                    }
+                    if j == ny - 1 {
+                        tags[3] = BoundaryTag::Wall;
+                    }
+                }
+                if k == 0 {
+                    tags[4] = BoundaryTag::HotWall;
+                }
+                if k == nz - 1 {
+                    tags[5] = BoundaryTag::ColdWall;
+                }
+                face_tags.push(tags);
+            }
+        }
+    }
+
+    HexMesh { vertices, elems, face_tags, curves: Default::default() }
+}
+
+fn lerp(range: [f64; 2], t: f64) -> f64 {
+    range[0] + (range[1] - range[0]) * t
+}
+
+/// Symmetric tanh grading of `t ∈ [0, 1]`: clusters toward both endpoints.
+fn grade(t: f64, beta: f64) -> f64 {
+    if beta <= 0.0 {
+        return t;
+    }
+    // Map through tanh stretched about the midpoint.
+    let s = (beta * (2.0 * t - 1.0)).tanh() / beta.tanh();
+    0.5 * (1.0 + s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundaryTag;
+
+    #[test]
+    fn counts_and_validity() {
+        let m = box_mesh(3, 2, 4, [0., 3.], [0., 2.], [0., 1.], false, false);
+        assert_eq!(m.num_elements(), 24);
+        assert_eq!(m.num_vertices(), 4 * 3 * 5);
+        assert!(m.validate().is_empty());
+    }
+
+    #[test]
+    fn boundary_tags_on_outer_faces_only() {
+        let m = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let mut wall = 0;
+        let mut hot = 0;
+        let mut cold = 0;
+        let mut none = 0;
+        for tags in &m.face_tags {
+            for t in tags {
+                match t {
+                    BoundaryTag::Wall => wall += 1,
+                    BoundaryTag::HotWall => hot += 1,
+                    BoundaryTag::ColdWall => cold += 1,
+                    BoundaryTag::None => none += 1,
+                }
+            }
+        }
+        // 8 elements × 6 faces = 48; outer surface 6 sides × 4 faces = 24.
+        assert_eq!(wall, 16);
+        assert_eq!(hot, 4);
+        assert_eq!(cold, 4);
+        assert_eq!(none, 24);
+    }
+
+    #[test]
+    fn periodic_x_identifies_vertices() {
+        let np = box_mesh(4, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let p = box_mesh(4, 2, 2, [0., 1.], [0., 1.], [0., 1.], true, false);
+        assert_eq!(p.num_elements(), np.num_elements());
+        // One vertex plane fewer in x.
+        assert_eq!(p.num_vertices(), np.num_vertices() - 3 * 3);
+        assert!(p.validate().is_empty());
+        // Last element column wraps to the first vertex plane.
+        let last_col_elem = 3; // i = 3, j = 0, k = 0
+        let first_col_elem = 0;
+        assert_eq!(p.elems[last_col_elem][1], p.elems[first_col_elem][0]);
+        // No x-wall tags anywhere.
+        for tags in &p.face_tags {
+            assert_eq!(tags[0], BoundaryTag::None);
+            assert_eq!(tags[1], BoundaryTag::None);
+        }
+    }
+
+    #[test]
+    fn grading_clusters_near_walls() {
+        let uniform = box_mesh_graded(1, 1, 8, [0., 1.], [0., 1.], [0., 1.], false, false, 0.0);
+        let graded = box_mesh_graded(1, 1, 8, [0., 1.], [0., 1.], [0., 1.], false, false, 2.0);
+        // First element height must shrink under grading.
+        let h_uniform = uniform.vertices[uniform.elems[0][4]][2];
+        let h_graded = graded.vertices[graded.elems[0][4]][2];
+        assert!(h_graded < h_uniform);
+        // Endpoints preserved.
+        let zmax = graded
+            .vertices
+            .iter()
+            .map(|v| v[2])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((zmax - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grading_symmetric() {
+        let m = box_mesh_graded(1, 1, 6, [0., 1.], [0., 1.], [0., 1.], false, false, 1.5);
+        let mut zs: Vec<f64> = m.vertices.iter().map(|v| v[2]).collect();
+        zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        zs.dedup_by(|a, b| (*a - *b).abs() < 1e-13);
+        for (lo, hi) in zs.iter().zip(zs.iter().rev()) {
+            assert!((lo + hi - 1.0).abs() < 1e-12, "asymmetric grading");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic x needs")]
+    fn periodic_single_element_rejected() {
+        let _ = box_mesh(1, 1, 1, [0., 1.], [0., 1.], [0., 1.], true, false);
+    }
+}

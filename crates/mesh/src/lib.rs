@@ -1,0 +1,258 @@
+// Index-style loops mirror the tensor/lattice math throughout; the
+// iterator forms clippy suggests would obscure the stencil structure.
+#![allow(clippy::needless_range_loop)]
+
+//! # rbx-mesh — hexahedral spectral-element meshes
+//!
+//! Mesh data model and generators for the geometries the paper simulates:
+//! boxes (validation cases, optionally periodic) and the cylindrical
+//! Rayleigh-Bénard cell with curved side walls and boundary-layer-refined
+//! wall spacing (paper §6: "the mesh is designed carefully to get an
+//! adequate refinement in the near-wall regions").
+//!
+//! The mesh is pure topology + geometry: element→vertex connectivity,
+//! boundary tags per element face, and curvature descriptors. Node
+//! coordinates for a given polynomial degree and all metric factors needed
+//! by the matrix-free operators are computed in [`geometry`].
+
+pub mod cylinder;
+pub mod generators;
+pub mod geometry;
+pub mod partition;
+pub mod quality;
+pub mod topology;
+
+pub use cylinder::cylinder_mesh;
+pub use generators::box_mesh;
+pub use geometry::{element_nodes, GeomFactors};
+pub use partition::{partition_linear, partition_rcb};
+pub use quality::{element_quality, quality_summary, ElementQuality};
+pub use topology::{HEX_EDGES, HEX_FACES};
+
+/// Boundary condition tag attached to an element face.
+///
+/// Interpretation is up to the solver; for the RBC cases: `Wall` is no-slip
+/// adiabatic, `HotWall`/`ColdWall` are no-slip isothermal (T = ±0.5 in the
+/// paper's non-dimensionalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundaryTag {
+    /// Interior face (shared with a neighbouring element) — no condition.
+    #[default]
+    None,
+    /// No-slip, adiabatic wall.
+    Wall,
+    /// No-slip wall held at the hot temperature (bottom plate).
+    HotWall,
+    /// No-slip wall held at the cold temperature (top plate).
+    ColdWall,
+}
+
+/// Curvature descriptor for an element face.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Curve {
+    /// Face lies on the side wall of a z-axis cylinder of this radius
+    /// centred on the origin. By generator convention this is always local
+    /// face 3 (+y in reference coordinates, the radially outward face).
+    CylinderSide {
+        /// Cylinder radius.
+        radius: f64,
+    },
+}
+
+/// A conforming, unstructured hexahedral mesh.
+///
+/// Local vertex ordering follows the unit-cube convention
+/// `v(i,j,k) = i + 2j + 4k` with `i, j, k ∈ {0, 1}`:
+///
+/// ```text
+///     6-------7            z  y
+///    /|      /|            | /
+///   4-------5 |            |/
+///   | 2-----|-3            +--- x
+///   |/      |/
+///   0-------1
+/// ```
+#[derive(Debug, Clone)]
+pub struct HexMesh {
+    /// Vertex coordinates.
+    pub vertices: Vec<[f64; 3]>,
+    /// Eight vertex ids per element in unit-cube order.
+    pub elems: Vec<[usize; 8]>,
+    /// Boundary tag per element face (face order: -x, +x, -y, +y, -z, +z).
+    pub face_tags: Vec<[BoundaryTag; 6]>,
+    /// Curvature descriptors, keyed by `(element, face)`.
+    pub curves: std::collections::HashMap<(usize, usize), Curve>,
+}
+
+impl HexMesh {
+    /// Number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Coordinates of the 8 corners of element `e` in local order.
+    pub fn corners(&self, e: usize) -> [[f64; 3]; 8] {
+        let mut c = [[0.0; 3]; 8];
+        for (slot, &v) in self.elems[e].iter().enumerate() {
+            c[slot] = self.vertices[v];
+        }
+        c
+    }
+
+    /// Centroid of element `e` (mean of corners).
+    pub fn centroid(&self, e: usize) -> [f64; 3] {
+        let c = self.corners(e);
+        let mut out = [0.0; 3];
+        for corner in &c {
+            for d in 0..3 {
+                out[d] += corner[d] / 8.0;
+            }
+        }
+        out
+    }
+
+    /// Global vertex ids of face `f` of element `e`, in cyclic order.
+    pub fn face_vertices(&self, e: usize, f: usize) -> [usize; 4] {
+        let mut out = [0; 4];
+        for (slot, &local) in topology::HEX_FACES[f].iter().enumerate() {
+            out[slot] = self.elems[e][local];
+        }
+        out
+    }
+
+    /// Validate basic invariants: vertex indices in range, no degenerate
+    /// elements, curvature only on the conventional face. Returns a list of
+    /// human-readable problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.face_tags.len() != self.elems.len() {
+            problems.push(format!(
+                "face_tags length {} != element count {}",
+                self.face_tags.len(),
+                self.elems.len()
+            ));
+        }
+        for (e, verts) in self.elems.iter().enumerate() {
+            for &v in verts {
+                if v >= self.vertices.len() {
+                    problems.push(format!("element {e}: vertex id {v} out of range"));
+                }
+            }
+            let mut sorted = *verts;
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                problems.push(format!("element {e}: repeated vertex"));
+            }
+        }
+        for &(e, f) in self.curves.keys() {
+            if e >= self.elems.len() || f >= 6 {
+                problems.push(format!("curve on invalid (elem, face) = ({e}, {f})"));
+            } else if f != 3 {
+                problems.push(format!(
+                    "element {e}: curved face {f}, generators only curve face 3"
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Extract the sub-mesh containing only `elems_keep` (sorted global
+    /// element ids), remapping vertices to a compact local numbering.
+    pub fn extract(&self, elems_keep: &[usize]) -> HexMesh {
+        let mut vert_map = std::collections::HashMap::new();
+        let mut vertices = Vec::new();
+        let mut elems = Vec::new();
+        let mut face_tags = Vec::new();
+        let mut curves = std::collections::HashMap::new();
+        for (local_e, &ge) in elems_keep.iter().enumerate() {
+            let mut new_elem = [0usize; 8];
+            for (slot, &gv) in self.elems[ge].iter().enumerate() {
+                let nv = *vert_map.entry(gv).or_insert_with(|| {
+                    vertices.push(self.vertices[gv]);
+                    vertices.len() - 1
+                });
+                new_elem[slot] = nv;
+            }
+            elems.push(new_elem);
+            face_tags.push(self.face_tags[ge]);
+            for f in 0..6 {
+                if let Some(&c) = self.curves.get(&(ge, f)) {
+                    curves.insert((local_e, f), c);
+                }
+            }
+        }
+        HexMesh { vertices, elems, face_tags, curves }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cube() -> HexMesh {
+        let vertices = vec![
+            [0., 0., 0.],
+            [1., 0., 0.],
+            [0., 1., 0.],
+            [1., 1., 0.],
+            [0., 0., 1.],
+            [1., 0., 1.],
+            [0., 1., 1.],
+            [1., 1., 1.],
+        ];
+        HexMesh {
+            vertices,
+            elems: vec![[0, 1, 2, 3, 4, 5, 6, 7]],
+            face_tags: vec![[BoundaryTag::Wall; 6]],
+            curves: Default::default(),
+        }
+    }
+
+    #[test]
+    fn unit_cube_valid() {
+        let m = unit_cube();
+        assert!(m.validate().is_empty());
+        assert_eq!(m.num_elements(), 1);
+        assert_eq!(m.num_vertices(), 8);
+        assert_eq!(m.centroid(0), [0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn degenerate_element_detected() {
+        let mut m = unit_cube();
+        m.elems[0][1] = 0; // repeated vertex
+        assert!(!m.validate().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_vertex_detected() {
+        let mut m = unit_cube();
+        m.elems[0][7] = 99;
+        assert!(!m.validate().is_empty());
+    }
+
+    #[test]
+    fn face_vertices_cyclic() {
+        let m = unit_cube();
+        // Face 4 is -z: the bottom quad {0, 1, 3, 2}.
+        let mut fv = m.face_vertices(0, 4);
+        fv.sort_unstable();
+        assert_eq!(fv, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn extract_remaps_vertices() {
+        let m = generators::box_mesh(2, 1, 1, [0.0, 2.0], [0.0, 1.0], [0.0, 1.0], false, false);
+        let sub = m.extract(&[1]);
+        assert_eq!(sub.num_elements(), 1);
+        assert_eq!(sub.num_vertices(), 8);
+        assert!(sub.validate().is_empty());
+        let c = sub.centroid(0);
+        assert!((c[0] - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Element partitioning across ranks.
+//!
+//! The production code distributes elements over MPI ranks; we provide the
+//! same two strategies Nek-family codes commonly use at setup: a trivial
+//! linear (block) split, and recursive coordinate bisection (RCB) on the
+//! element centroids, which keeps partitions spatially compact and thereby
+//! minimizes gather-scatter surface traffic.
+
+use crate::HexMesh;
+
+/// Assign `nelem` elements to `nparts` contiguous blocks of near-equal
+/// size. Returns the part id per element.
+pub fn partition_linear(nelem: usize, nparts: usize) -> Vec<usize> {
+    assert!(nparts >= 1);
+    let mut out = vec![0; nelem];
+    let base = nelem / nparts;
+    let rem = nelem % nparts;
+    let mut e = 0;
+    for part in 0..nparts {
+        let count = base + usize::from(part < rem);
+        for _ in 0..count {
+            if e < nelem {
+                out[e] = part;
+                e += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Recursive coordinate bisection on element centroids. `nparts` may be
+/// any positive integer (not just a power of two); the recursion splits
+/// proportionally. Returns the part id per element.
+pub fn partition_rcb(mesh: &HexMesh, nparts: usize) -> Vec<usize> {
+    assert!(nparts >= 1);
+    let centroids: Vec<[f64; 3]> = (0..mesh.num_elements()).map(|e| mesh.centroid(e)).collect();
+    let mut part = vec![0usize; centroids.len()];
+    let mut order: Vec<usize> = (0..centroids.len()).collect();
+    rcb_recurse(&centroids, &mut order, 0, nparts, &mut part);
+    part
+}
+
+fn rcb_recurse(
+    centroids: &[[f64; 3]],
+    elems: &mut [usize],
+    part_base: usize,
+    nparts: usize,
+    out: &mut [usize],
+) {
+    if nparts == 1 || elems.is_empty() {
+        for &e in elems.iter() {
+            out[e] = part_base;
+        }
+        return;
+    }
+    // Split along the direction of largest centroid extent.
+    let mut lo = [f64::MAX; 3];
+    let mut hi = [f64::MIN; 3];
+    for &e in elems.iter() {
+        for d in 0..3 {
+            lo[d] = lo[d].min(centroids[e][d]);
+            hi[d] = hi[d].max(centroids[e][d]);
+        }
+    }
+    let dir = (0..3)
+        .max_by(|&a, &b| {
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("non-finite centroid")
+        })
+        .expect("3 directions");
+    elems.sort_by(|&a, &b| {
+        centroids[a][dir]
+            .partial_cmp(&centroids[b][dir])
+            .expect("non-finite centroid")
+    });
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    // Proportional element split so any nparts is balanced.
+    let cut = elems.len() * left_parts / nparts;
+    let (left, right) = elems.split_at_mut(cut);
+    rcb_recurse(centroids, left, part_base, left_parts, out);
+    rcb_recurse(centroids, right, part_base + left_parts, right_parts, out);
+}
+
+/// Per-part element lists from a part-id vector.
+pub fn part_elements(part: &[usize], nparts: usize) -> Vec<Vec<usize>> {
+    let mut lists = vec![Vec::new(); nparts];
+    for (e, &p) in part.iter().enumerate() {
+        lists[p].push(e);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::box_mesh;
+
+    #[test]
+    fn linear_partition_balanced() {
+        let p = partition_linear(10, 3);
+        let counts: Vec<usize> = (0..3).map(|k| p.iter().filter(|&&x| x == k).count()).collect();
+        assert_eq!(counts, vec![4, 3, 3]);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn linear_partition_single_part() {
+        let p = partition_linear(5, 1);
+        assert!(p.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn rcb_balanced_and_complete() {
+        let mesh = box_mesh(4, 4, 4, [0., 1.], [0., 1.], [0., 1.], false, false);
+        for nparts in [2usize, 3, 4, 7, 8] {
+            let p = partition_rcb(&mesh, nparts);
+            assert_eq!(p.len(), 64);
+            let lists = part_elements(&p, nparts);
+            let total: usize = lists.iter().map(|l| l.len()).sum();
+            assert_eq!(total, 64);
+            let min = lists.iter().map(|l| l.len()).min().unwrap();
+            let max = lists.iter().map(|l| l.len()).max().unwrap();
+            assert!(max - min <= 64 / nparts, "imbalance {min}..{max} for {nparts} parts");
+            assert!(min > 0, "empty part with {nparts} parts");
+        }
+    }
+
+    #[test]
+    fn rcb_partitions_spatially_compact() {
+        // With 2 parts on an elongated box the cut must be the long axis:
+        // all part-0 centroids left of all part-1 centroids in x.
+        let mesh = box_mesh(8, 2, 2, [0., 8.], [0., 1.], [0., 1.], false, false);
+        let p = partition_rcb(&mesh, 2);
+        let max0 = (0..mesh.num_elements())
+            .filter(|&e| p[e] == 0)
+            .map(|e| mesh.centroid(e)[0])
+            .fold(f64::MIN, f64::max);
+        let min1 = (0..mesh.num_elements())
+            .filter(|&e| p[e] == 1)
+            .map(|e| mesh.centroid(e)[0])
+            .fold(f64::MAX, f64::min);
+        assert!(max0 < min1, "parts overlap in x: {max0} vs {min1}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Reference-hex topology tables.
+//!
+//! Local vertex numbering is the unit-cube convention documented on
+//! [`crate::HexMesh`]: `v(i,j,k) = i + 2j + 4k`.
+
+/// The 12 edges of the reference hex as local vertex index pairs.
+///
+/// Order: the 4 x-directed edges (varying i), then y-directed, then
+/// z-directed.
+pub const HEX_EDGES: [(usize, usize); 12] = [
+    // x-directed
+    (0, 1),
+    (2, 3),
+    (4, 5),
+    (6, 7),
+    // y-directed
+    (0, 2),
+    (1, 3),
+    (4, 6),
+    (5, 7),
+    // z-directed
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// The 6 faces of the reference hex as cyclic corner loops, in the face
+/// order used throughout RBX: `0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z`.
+///
+/// Each loop starts at the face corner with the smallest (j,k)/(i,k)/(i,j)
+/// and proceeds so that consecutive corners share an edge.
+pub const HEX_FACES: [[usize; 4]; 6] = [
+    [0, 2, 6, 4], // -x
+    [1, 3, 7, 5], // +x
+    [0, 1, 5, 4], // -y
+    [2, 3, 7, 6], // +y
+    [0, 1, 3, 2], // -z
+    [4, 5, 7, 6], // +z
+];
+
+/// For face `f` and a face-local lattice coordinate `(a, b) ∈ [0, p]²`,
+/// return the volume lattice coordinate `(i, j, k)`.
+///
+/// The face parameterization is chosen so that `(a, b) = (0, 0)` is the
+/// first corner in [`HEX_FACES`]'s loop, `a` increases toward the second
+/// corner and `b` toward the fourth.
+pub fn face_to_volume(f: usize, a: usize, b: usize, p: usize) -> (usize, usize, usize) {
+    match f {
+        0 => (0, a, b), // -x: corners 0,2,6,4 → a along +y, b along +z
+        1 => (p, a, b), // +x: corners 1,3,7,5
+        2 => (a, 0, b), // -y: corners 0,1,5,4 → a along +x, b along +z
+        3 => (a, p, b), // +y: corners 2,3,7,6
+        4 => (a, b, 0), // -z: corners 0,1,3,2 → a along +x, b along +y
+        5 => (a, b, p), // +z: corners 4,5,7,6
+        _ => panic!("face index {f} out of range"),
+    }
+}
+
+/// For edge `e` and a 1-D lattice coordinate `t ∈ [0, p]` measured from the
+/// first vertex in [`HEX_EDGES`], return the volume lattice coordinate.
+pub fn edge_to_volume(e: usize, t: usize, p: usize) -> (usize, usize, usize) {
+    let (lo, _) = HEX_EDGES[e];
+    let (i0, j0, k0) = vertex_lattice(lo, p);
+    match e {
+        0..=3 => (t, j0, k0),
+        4..=7 => (i0, t, k0),
+        8..=11 => (i0, j0, t),
+        _ => panic!("edge index {e} out of range"),
+    }
+}
+
+/// Volume lattice coordinate of local vertex `v` for degree `p`.
+pub fn vertex_lattice(v: usize, p: usize) -> (usize, usize, usize) {
+    let i = if v & 1 != 0 { p } else { 0 };
+    let j = if v & 2 != 0 { p } else { 0 };
+    let k = if v & 4 != 0 { p } else { 0 };
+    (i, j, k)
+}
+
+/// Classification of a node within the reference element lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Coincides with local vertex `v`.
+    Vertex(usize),
+    /// Interior of local edge `e` at parameter `t ∈ 1..p` from the edge's
+    /// first vertex.
+    Edge {
+        /// Local edge index into [`HEX_EDGES`].
+        edge: usize,
+        /// Offset from the edge's first vertex.
+        t: usize,
+    },
+    /// Interior of local face `f` at face-local `(a, b) ∈ (1..p)²`.
+    Face {
+        /// Local face index into [`HEX_FACES`].
+        face: usize,
+        /// First face-local coordinate.
+        a: usize,
+        /// Second face-local coordinate.
+        b: usize,
+    },
+    /// Strictly interior node.
+    Interior,
+}
+
+/// Classify lattice node `(i, j, k)` of a degree-`p` element.
+pub fn classify_node(i: usize, j: usize, k: usize, p: usize) -> NodeClass {
+    let on_i = i == 0 || i == p;
+    let on_j = j == 0 || j == p;
+    let on_k = k == 0 || k == p;
+    let count = on_i as usize + on_j as usize + on_k as usize;
+    match count {
+        3 => {
+            let v = (i == p) as usize + 2 * ((j == p) as usize) + 4 * ((k == p) as usize);
+            NodeClass::Vertex(v)
+        }
+        2 => {
+            // The free direction determines the edge family.
+            if !on_i {
+                let base = ((j == p) as usize) + 2 * ((k == p) as usize);
+                NodeClass::Edge { edge: base, t: i }
+            } else if !on_j {
+                let base = 4 + ((i == p) as usize) + 2 * ((k == p) as usize);
+                NodeClass::Edge { edge: base, t: j }
+            } else {
+                let base = 8 + ((i == p) as usize) + 2 * ((j == p) as usize);
+                NodeClass::Edge { edge: base, t: k }
+            }
+        }
+        1 => {
+            if on_i {
+                let f = if i == p { 1 } else { 0 };
+                NodeClass::Face { face: f, a: j, b: k }
+            } else if on_j {
+                let f = if j == p { 3 } else { 2 };
+                NodeClass::Face { face: f, a: i, b: k }
+            } else {
+                let f = if k == p { 5 } else { 4 };
+                NodeClass::Face { face: f, a: i, b: j }
+            }
+        }
+        _ => NodeClass::Interior,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_table_consistent_with_lattice() {
+        let p = 4;
+        for (e, &(lo, hi)) in HEX_EDGES.iter().enumerate() {
+            // t = 0 lands on the first vertex, t = p on the second.
+            assert_eq!(edge_to_volume(e, 0, p), vertex_lattice(lo, p), "edge {e} start");
+            assert_eq!(edge_to_volume(e, p, p), vertex_lattice(hi, p), "edge {e} end");
+        }
+    }
+
+    #[test]
+    fn face_table_consistent_with_lattice() {
+        let p = 3;
+        for (f, loop_) in HEX_FACES.iter().enumerate() {
+            assert_eq!(face_to_volume(f, 0, 0, p), vertex_lattice(loop_[0], p));
+            assert_eq!(face_to_volume(f, p, 0, p), vertex_lattice(loop_[1], p));
+            assert_eq!(face_to_volume(f, p, p, p), vertex_lattice(loop_[2], p));
+            assert_eq!(face_to_volume(f, 0, p, p), vertex_lattice(loop_[3], p));
+        }
+    }
+
+    #[test]
+    fn classify_counts_match_lattice_partition() {
+        // For a degree-p element the lattice must partition into exactly
+        // 8 vertices, 12(p-1) edge nodes, 6(p-1)² face nodes and (p-1)³
+        // interior nodes.
+        let p = 5;
+        let (mut nv, mut ne, mut nf, mut ni) = (0, 0, 0, 0);
+        for k in 0..=p {
+            for j in 0..=p {
+                for i in 0..=p {
+                    match classify_node(i, j, k, p) {
+                        NodeClass::Vertex(_) => nv += 1,
+                        NodeClass::Edge { .. } => ne += 1,
+                        NodeClass::Face { .. } => nf += 1,
+                        NodeClass::Interior => ni += 1,
+                    }
+                }
+            }
+        }
+        assert_eq!(nv, 8);
+        assert_eq!(ne, 12 * (p - 1));
+        assert_eq!(nf, 6 * (p - 1) * (p - 1));
+        assert_eq!(ni, (p - 1) * (p - 1) * (p - 1));
+    }
+
+    #[test]
+    fn classify_agrees_with_tables() {
+        let p = 4;
+        // Every edge node must classify onto the edge whose endpoints it
+        // sits between, with the correct parameter.
+        for e in 0..12 {
+            for t in 1..p {
+                let (i, j, k) = edge_to_volume(e, t, p);
+                assert_eq!(classify_node(i, j, k, p), NodeClass::Edge { edge: e, t });
+            }
+        }
+        for f in 0..6 {
+            for a in 1..p {
+                for b in 1..p {
+                    let (i, j, k) = face_to_volume(f, a, b, p);
+                    assert_eq!(classify_node(i, j, k, p), NodeClass::Face { face: f, a, b });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faces_are_planar_loops() {
+        // Consecutive corners in each face loop must differ in exactly one
+        // lattice coordinate (they share an edge of the cube).
+        let p = 1;
+        for loop_ in &HEX_FACES {
+            for w in 0..4 {
+                let a = vertex_lattice(loop_[w], p);
+                let b = vertex_lattice(loop_[(w + 1) % 4], p);
+                let diff = (a.0 != b.0) as usize + (a.1 != b.1) as usize + (a.2 != b.2) as usize;
+                assert_eq!(diff, 1, "face loop {loop_:?} corner {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+// Index-style loops mirror the tensor/lattice math throughout; the
+// iterator forms clippy suggests would obscure the stencil structure.
+#![allow(clippy::needless_range_loop)]
+
+//! # rbx-perf — performance models at paper scale
+//!
+//! The paper's headline performance results (Figs. 3 and 4) were measured
+//! on 10k+ GPUs of LUMI and Leonardo. Per DESIGN.md, this crate is the
+//! substitution for those machines: an analytic per-timestep cost model
+//! whose terms mirror the real code path (memory-bound tensor-product
+//! kernels, kernel-launch latency, gather-scatter neighbour exchanges,
+//! log-P allreduces, and the serial vs overlapped Schwarz preconditioner),
+//! parameterized by the Table 1 hardware numbers and calibrated against
+//! the measured behaviour of the real solver in this repository.
+//!
+//! The model reproduces the *shape* of the paper's results — who scales,
+//! to what elements-per-GPU limit, and what the overlapped preconditioner
+//! buys — not the authors' absolute timings.
+
+pub mod cost;
+pub mod machine;
+pub mod regimes;
+pub mod scaling;
+
+pub use cost::{CaseSize, CostModel, SolverMix, StepBreakdown};
+pub use machine::{leonardo, lumi, Machine};
+pub use regimes::{fit_scaling_exponent, synthetic_nu_ra, RegimeFit, ScalingRegime};
+pub use scaling::{strong_scaling_sweep, weak_scaling_sweep, ScalingPoint};

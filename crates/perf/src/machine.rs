@@ -1,0 +1,173 @@
+//! Machine models: the paper's Table 1 platforms.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of one platform, per *logical* GPU (one MI250X
+/// Graphics Compute Die on LUMI, one A100 on Leonardo — the paper's
+/// rank-per-logical-GPU convention).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// System name.
+    pub name: String,
+    /// Computing device name (Table 1 row 1).
+    pub device: String,
+    /// Peak FP64 TFlop/s per *physical* device (Table 1 row 2).
+    pub peak_tflops_fp64: f64,
+    /// Peak memory bandwidth per physical device, GB/s (Table 1 row 3).
+    pub peak_bw_gbs: f64,
+    /// Number of physical devices (Table 1 row 4).
+    pub n_devices: usize,
+    /// Logical GPUs (ranks) per physical device.
+    pub logical_per_device: usize,
+    /// Interconnect description (Table 1 row 5).
+    pub interconnect: String,
+    /// Injection bandwidth per node, GB/s.
+    pub nic_gbs: f64,
+    /// Kernel-launch latency, µs (host-side cost per launched kernel).
+    pub launch_latency_us: f64,
+    /// Point-to-point message latency, µs.
+    pub link_latency_us: f64,
+    /// Per-hop allreduce latency, µs (multiplied by ⌈log₂ P⌉).
+    pub allreduce_hop_us: f64,
+    /// Fraction of peak memory bandwidth streaming kernels sustain.
+    pub bw_efficiency: f64,
+}
+
+impl Machine {
+    /// Total logical GPUs (ranks) the machine offers.
+    pub fn logical_gpus(&self) -> usize {
+        self.n_devices * self.logical_per_device
+    }
+
+    /// Sustained memory bandwidth per logical GPU, bytes/s.
+    pub fn sustained_bw_per_rank(&self) -> f64 {
+        self.peak_bw_gbs * 1e9 * self.bw_efficiency / self.logical_per_device as f64
+    }
+}
+
+/// LUMI (CSC, Finland): HPE Cray EX, AMD MI250X, Slingshot 11 — Table 1
+/// column 1. Latency/efficiency parameters are modelling choices
+/// (DESIGN.md), not Table 1 entries.
+pub fn lumi() -> Machine {
+    Machine {
+        name: "LUMI".into(),
+        device: "AMD MI250X".into(),
+        peak_tflops_fp64: 47.9,
+        peak_bw_gbs: 3300.0,
+        n_devices: 10240,
+        logical_per_device: 2, // one rank per GCD
+        interconnect: "HPE Slingshot 11, 200 GbE NICs (4x200 Gb/s)".into(),
+        nic_gbs: 100.0, // 4×200 Gb/s = 100 GB/s per node
+        launch_latency_us: 4.0,
+        link_latency_us: 2.0,
+        allreduce_hop_us: 0.8,
+        bw_efficiency: 0.75,
+    }
+}
+
+/// Leonardo (CINECA, Italy): Atos BullSequana XH2000, NVIDIA A100 —
+/// Table 1 column 2.
+pub fn leonardo() -> Machine {
+    Machine {
+        name: "Leonardo".into(),
+        device: "Nvidia A100".into(),
+        peak_tflops_fp64: 9.7,
+        peak_bw_gbs: 1550.0,
+        n_devices: 13824,
+        logical_per_device: 1,
+        interconnect: "Nvidia HDR 2x(2x100 Gb/s)".into(),
+        nic_gbs: 50.0, // 4×100 Gb/s = 50 GB/s per node
+        launch_latency_us: 5.0,
+        link_latency_us: 2.5,
+        allreduce_hop_us: 1.0,
+        bw_efficiency: 0.8,
+    }
+}
+
+/// Render the Table 1 comparison (both machines side by side).
+pub fn table1(machines: &[Machine]) -> String {
+    let mut out = String::new();
+    let row = |label: &str, values: Vec<String>| {
+        let mut line = format!("{label:<22}");
+        for v in values {
+            line.push_str(&format!("{v:<28}"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&row("System", machines.iter().map(|m| m.name.clone()).collect()));
+    out.push_str(&row(
+        "Computing device",
+        machines.iter().map(|m| m.device.clone()).collect(),
+    ));
+    out.push_str(&row(
+        "Peak TFlop FP64/s",
+        machines.iter().map(|m| format!("{}", m.peak_tflops_fp64)).collect(),
+    ));
+    out.push_str(&row(
+        "Peak BW/s (GB)",
+        machines.iter().map(|m| format!("{}", m.peak_bw_gbs)).collect(),
+    ));
+    out.push_str(&row(
+        "No. devices",
+        machines.iter().map(|m| format!("{}", m.n_devices)).collect(),
+    ));
+    out.push_str(&row(
+        "Logical GPUs",
+        machines.iter().map(|m| format!("{}", m.logical_gpus())).collect(),
+    ));
+    out.push_str(&row(
+        "Interconnect",
+        machines.iter().map(|m| m.interconnect.clone()).collect(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let l = lumi();
+        assert_eq!(l.peak_tflops_fp64, 47.9);
+        assert_eq!(l.peak_bw_gbs, 3300.0);
+        assert_eq!(l.n_devices, 10240);
+        assert_eq!(l.logical_gpus(), 20480);
+        let leo = leonardo();
+        assert_eq!(leo.peak_tflops_fp64, 9.7);
+        assert_eq!(leo.peak_bw_gbs, 1550.0);
+        assert_eq!(leo.n_devices, 13824);
+        assert_eq!(leo.logical_gpus(), 13824);
+    }
+
+    #[test]
+    fn paper_rank_counts_fit_in_machines() {
+        // Paper §7.1: LUMI runs on 4096/8192/16384 GCDs = 20/40/80 %,
+        // Leonardo on 3456/6912 GPUs = 25/50 %.
+        let l = lumi();
+        assert!((16384.0 / l.logical_gpus() as f64 - 0.8).abs() < 1e-12);
+        assert!((4096.0 / l.logical_gpus() as f64 - 0.2).abs() < 1e-12);
+        let leo = leonardo();
+        assert!((3456.0 / leo.logical_gpus() as f64 - 0.25).abs() < 1e-12);
+        assert!((6912.0 / leo.logical_gpus() as f64 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_bw_reasonable() {
+        let l = lumi();
+        // Per-GCD sustained bandwidth below the per-GCD peak.
+        assert!(l.sustained_bw_per_rank() < 3300.0e9 / 2.0);
+        assert!(l.sustained_bw_per_rank() > 0.5e12);
+    }
+
+    #[test]
+    fn table_renders_both_columns() {
+        let t = table1(&[lumi(), leonardo()]);
+        assert!(t.contains("LUMI"));
+        assert!(t.contains("Leonardo"));
+        assert!(t.contains("MI250X"));
+        assert!(t.contains("10240"));
+        assert!(t.contains("13824"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Nu(Ra) scaling-regime analysis: classical vs ultimate.
+//!
+//! The paper's scientific question (§3): does the heat transport follow
+//! the classical `Nu ∼ Ra^{1/3}` scaling indefinitely, or transition to
+//! Kraichnan's ultimate regime `Nu ∼ Ra^{1/2}`? This module provides the
+//! analysis tooling such a campaign needs: least-squares exponent fits on
+//! log-log data, windowed local exponents, transition detection, and a
+//! synthetic data generator with a controllable transition for validating
+//! the pipeline end-to-end.
+
+/// Scaling-regime label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingRegime {
+    /// `γ ≈ 1/3` (classical, Malkus/Grossmann-Lohse).
+    Classical,
+    /// `γ ≈ 1/2` (ultimate, Kraichnan).
+    Ultimate,
+    /// Neither within tolerance.
+    Other,
+}
+
+/// Result of a power-law fit `Nu = C·Ra^γ`.
+#[derive(Debug, Clone, Copy)]
+pub struct RegimeFit {
+    /// Fitted exponent γ.
+    pub gamma: f64,
+    /// Fitted prefactor C.
+    pub prefactor: f64,
+    /// RMS residual of the log-log fit.
+    pub rms_residual: f64,
+}
+
+impl RegimeFit {
+    /// Classify the exponent with tolerance `tol`.
+    pub fn classify(&self, tol: f64) -> ScalingRegime {
+        if (self.gamma - 1.0 / 3.0).abs() <= tol {
+            ScalingRegime::Classical
+        } else if (self.gamma - 0.5).abs() <= tol {
+            ScalingRegime::Ultimate
+        } else {
+            ScalingRegime::Other
+        }
+    }
+}
+
+/// Least-squares power-law fit on `(Ra, Nu)` points.
+pub fn fit_scaling_exponent(points: &[(f64, f64)]) -> RegimeFit {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(ra, nu) in points {
+        assert!(ra > 0.0 && nu > 0.0, "Ra and Nu must be positive");
+        let x = ra.ln();
+        let y = nu.ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    let gamma = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - gamma * sx) / n;
+    let mut ss = 0.0;
+    for &(ra, nu) in points {
+        let resid = nu.ln() - (gamma * ra.ln() + intercept);
+        ss += resid * resid;
+    }
+    RegimeFit {
+        gamma,
+        prefactor: intercept.exp(),
+        rms_residual: (ss / n).sqrt(),
+    }
+}
+
+/// Windowed local exponents: fit over sliding windows of `window` points,
+/// returning `(center Ra, local γ)`.
+pub fn local_exponents(points: &[(f64, f64)], window: usize) -> Vec<(f64, f64)> {
+    assert!(window >= 2 && window <= points.len());
+    let mut out = Vec::new();
+    for w in points.windows(window) {
+        let fit = fit_scaling_exponent(w);
+        let center = w[window / 2].0;
+        out.push((center, fit.gamma));
+    }
+    out
+}
+
+/// Detect the transition Rayleigh number: the first window centre whose
+/// local exponent crosses the midpoint `γ = 5/12` between classical and
+/// ultimate. Returns `None` if no crossing occurs.
+pub fn detect_transition(points: &[(f64, f64)], window: usize) -> Option<f64> {
+    let locals = local_exponents(points, window);
+    const MID: f64 = 5.0 / 12.0;
+    let mut prev: Option<(f64, f64)> = None;
+    for (ra, g) in locals {
+        if let Some((_pra, pg)) = prev {
+            if pg < MID && g >= MID {
+                return Some(ra);
+            }
+        }
+        prev = Some((ra, g));
+    }
+    None
+}
+
+/// Synthetic Nu(Ra) data with a smooth classical→ultimate transition at
+/// `ra_transition` (use `f64::INFINITY` for pure classical scaling), with
+/// multiplicative log-normal-ish noise of relative size `noise` seeded
+/// deterministically.
+pub fn synthetic_nu_ra(
+    ra_values: &[f64],
+    ra_transition: f64,
+    noise: f64,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    // Classical prefactor ~0.05 gives Nu ≈ 500 at Ra = 10¹² (realistic
+    // order of magnitude for RBC experiments).
+    const C_CLASSICAL: f64 = 0.05;
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next_noise = || -> f64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        1.0 + noise * u
+    };
+    ra_values
+        .iter()
+        .map(|&ra| {
+            let classical = C_CLASSICAL * ra.powf(1.0 / 3.0);
+            let nu = if ra_transition.is_finite() {
+                // Blend exponents smoothly over one decade around the
+                // transition; the ultimate branch is anchored to be
+                // continuous at Ra*.
+                let c_ult = C_CLASSICAL * ra_transition.powf(1.0 / 3.0 - 0.5);
+                let ultimate = c_ult * ra.powf(0.5);
+                let s = 0.5 * (1.0 + ((ra / ra_transition).log10() * 3.0).tanh());
+                classical.powf(1.0 - s) * ultimate.powf(s)
+            } else {
+                classical
+            };
+            (ra, nu * next_noise())
+        })
+        .collect()
+}
+
+/// Log-spaced Rayleigh numbers from `10^lo` to `10^hi` inclusive.
+pub fn log_spaced_ra(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2);
+    (0..count)
+        .map(|i| 10f64.powf(lo + (hi - lo) * i as f64 / (count - 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let points: Vec<(f64, f64)> = log_spaced_ra(8.0, 14.0, 20)
+            .into_iter()
+            .map(|ra| (ra, 0.07 * ra.powf(1.0 / 3.0)))
+            .collect();
+        let fit = fit_scaling_exponent(&points);
+        assert!((fit.gamma - 1.0 / 3.0).abs() < 1e-12);
+        assert!((fit.prefactor - 0.07).abs() < 1e-10);
+        assert!(fit.rms_residual < 1e-12);
+        assert_eq!(fit.classify(0.02), ScalingRegime::Classical);
+    }
+
+    #[test]
+    fn ultimate_classified() {
+        let points: Vec<(f64, f64)> = log_spaced_ra(13.0, 16.0, 10)
+            .into_iter()
+            .map(|ra| (ra, 1e-3 * ra.powf(0.5)))
+            .collect();
+        let fit = fit_scaling_exponent(&points);
+        assert_eq!(fit.classify(0.02), ScalingRegime::Ultimate);
+    }
+
+    #[test]
+    fn noisy_classical_still_classified() {
+        let ra = log_spaced_ra(9.0, 15.0, 30);
+        let points = synthetic_nu_ra(&ra, f64::INFINITY, 0.03, 11);
+        let fit = fit_scaling_exponent(&points);
+        assert_eq!(fit.classify(0.03), ScalingRegime::Classical, "γ = {}", fit.gamma);
+        assert!(fit.rms_residual < 0.1);
+    }
+
+    #[test]
+    fn transition_detected_near_truth() {
+        let ra = log_spaced_ra(10.0, 16.0, 60);
+        let truth = 1e14;
+        let points = synthetic_nu_ra(&ra, truth, 0.01, 5);
+        let detected = detect_transition(&points, 9).expect("no transition found");
+        let decades_off = (detected / truth).log10().abs();
+        assert!(
+            decades_off < 1.0,
+            "detected {detected:e} vs truth {truth:e}"
+        );
+    }
+
+    #[test]
+    fn no_false_transition_on_pure_classical() {
+        let ra = log_spaced_ra(9.0, 15.0, 40);
+        let points = synthetic_nu_ra(&ra, f64::INFINITY, 0.01, 3);
+        assert_eq!(detect_transition(&points, 9), None);
+    }
+
+    #[test]
+    fn local_exponents_ramp_through_transition() {
+        let ra = log_spaced_ra(10.0, 16.0, 50);
+        let points = synthetic_nu_ra(&ra, 1e13, 0.0, 1);
+        let locals = local_exponents(&points, 7);
+        let first = locals.first().unwrap().1;
+        let last = locals.last().unwrap().1;
+        assert!(first < 0.38, "early exponent {first}");
+        assert!(last > 0.45, "late exponent {last}");
+    }
+
+    #[test]
+    fn synthetic_data_is_deterministic() {
+        let ra = log_spaced_ra(9.0, 12.0, 10);
+        let a = synthetic_nu_ra(&ra, 1e11, 0.05, 9);
+        let b = synthetic_nu_ra(&ra, 1e11, 0.05, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn log_spacing_endpoints() {
+        let ra = log_spaced_ra(8.0, 15.0, 8);
+        assert!((ra[0] - 1e8).abs() / 1e8 < 1e-12);
+        assert!((ra[7] - 1e15).abs() / 1e15 < 1e-12);
+    }
+}

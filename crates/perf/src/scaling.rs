@@ -1,0 +1,184 @@
+//! Strong-scaling sweeps with confidence intervals (Fig. 3).
+//!
+//! Mirrors the paper's methodology (§6.1): the average time per step over
+//! 250 steps with initial transients removed, reported with 99 %
+//! confidence intervals. Step-to-step variability is modelled as a small
+//! multiplicative jitter (seeded, deterministic).
+
+use crate::cost::CostModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One point of a strong-scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Ranks (logical GPUs).
+    pub ranks: usize,
+    /// Elements per logical GPU.
+    pub elems_per_gpu: f64,
+    /// Mean time per step, seconds.
+    pub t_step: f64,
+    /// Half-width of the 99 % confidence interval, seconds.
+    pub ci99: f64,
+    /// Parallel efficiency relative to the smallest rank count in the
+    /// sweep.
+    pub efficiency: f64,
+    /// Speedup relative to the smallest rank count.
+    pub speedup: f64,
+}
+
+/// Sweep the model over `rank_counts` (ascending), sampling `samples`
+/// simulated steps per point (paper: 250).
+pub fn strong_scaling_sweep(
+    model: &CostModel,
+    rank_counts: &[usize],
+    samples: usize,
+    seed: u64,
+) -> Vec<ScalingPoint> {
+    assert!(!rank_counts.is_empty());
+    assert!(samples >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(rank_counts.len());
+    let mut base: Option<(usize, f64)> = None;
+    for &ranks in rank_counts {
+        let nominal = model.time_per_step(ranks).total();
+        // 250-step sample with ~2 % multiplicative jitter (OS noise,
+        // network contention), as in real measurements.
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..samples {
+            let t = nominal * (1.0 + rng.gen_range(-0.02..0.02));
+            sum += t;
+            sumsq += t * t;
+        }
+        let mean = sum / samples as f64;
+        let var = (sumsq / samples as f64 - mean * mean).max(0.0);
+        let ci99 = 2.576 * (var / samples as f64).sqrt();
+        let (r0, t0) = *base.get_or_insert((ranks, mean));
+        let speedup = t0 / mean;
+        let efficiency = t0 * r0 as f64 / (mean * ranks as f64);
+        points.push(ScalingPoint {
+            ranks,
+            elems_per_gpu: model.elems_per_rank(ranks),
+            t_step: mean,
+            ci99,
+            efficiency,
+            speedup,
+        });
+    }
+    points
+}
+
+/// Weak-scaling sweep: the per-rank workload is held at
+/// `elems_per_rank`, so the global problem grows with the machine. The
+/// reported efficiency is `T(smallest)/T(P)` — flat time per step = 1.
+pub fn weak_scaling_sweep(
+    model: &CostModel,
+    elems_per_rank: usize,
+    rank_counts: &[usize],
+    samples: usize,
+    seed: u64,
+) -> Vec<ScalingPoint> {
+    assert!(!rank_counts.is_empty() && elems_per_rank >= 1);
+    assert!(samples >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(rank_counts.len());
+    let mut base: Option<f64> = None;
+    for &ranks in rank_counts {
+        let mut scaled = model.clone();
+        scaled.case.nelem = elems_per_rank * ranks;
+        let nominal = scaled.time_per_step(ranks).total();
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..samples {
+            let t = nominal * (1.0 + rng.gen_range(-0.02..0.02));
+            sum += t;
+            sumsq += t * t;
+        }
+        let mean = sum / samples as f64;
+        let var = (sumsq / samples as f64 - mean * mean).max(0.0);
+        let ci99 = 2.576 * (var / samples as f64).sqrt();
+        let t0 = *base.get_or_insert(mean);
+        points.push(ScalingPoint {
+            ranks,
+            elems_per_gpu: elems_per_rank as f64,
+            t_step: mean,
+            ci99,
+            efficiency: t0 / mean,
+            speedup: 1.0, // weak scaling has no speedup notion
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CaseSize, SolverMix};
+    use crate::machine::lumi;
+
+    fn model() -> CostModel {
+        CostModel::new(lumi(), CaseSize::paper_ra1e15(), SolverMix::default())
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let m = model();
+        let a = strong_scaling_sweep(&m, &[4096, 8192, 16384], 250, 7);
+        let b = strong_scaling_sweep(&m, &[4096, 8192, 16384], 250, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t_step.to_bits(), y.t_step.to_bits());
+            assert_eq!(x.ci99.to_bits(), y.ci99.to_bits());
+        }
+    }
+
+    #[test]
+    fn first_point_has_unit_efficiency() {
+        let m = model();
+        let pts = strong_scaling_sweep(&m, &[4096, 8192], 100, 1);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-12);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_stays_high_through_paper_counts() {
+        let m = model();
+        let pts = strong_scaling_sweep(&m, &[4096, 8192, 16384], 250, 3);
+        for p in &pts {
+            assert!(
+                p.efficiency > 0.8,
+                "ranks {}: efficiency {}",
+                p.ranks,
+                p.efficiency
+            );
+        }
+        // Monotone decreasing step time.
+        assert!(pts[0].t_step > pts[1].t_step && pts[1].t_step > pts[2].t_step);
+    }
+
+    #[test]
+    fn weak_scaling_stays_near_flat() {
+        // With the per-rank load fixed at the paper's 16k-rank level, time
+        // per step should be nearly constant over the machine (only the
+        // log-P allreduce depth grows).
+        let m = model();
+        let pts = weak_scaling_sweep(&m, 6592, &[2048, 8192, 16384], 100, 9);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-12);
+        for p in &pts {
+            assert!(
+                p.efficiency > 0.9,
+                "weak efficiency {} at {} ranks",
+                p.efficiency,
+                p.ranks
+            );
+        }
+    }
+
+    #[test]
+    fn ci_is_small_relative_to_mean() {
+        let m = model();
+        let pts = strong_scaling_sweep(&m, &[4096], 250, 5);
+        assert!(pts[0].ci99 < 0.01 * pts[0].t_step);
+        assert!(pts[0].ci99 > 0.0);
+    }
+}

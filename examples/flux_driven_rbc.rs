@@ -1,0 +1,83 @@
+//! Constant-flux Rayleigh-Bénard convection.
+//!
+//! The canonical (paper) setup holds both plates at fixed temperature;
+//! laboratory cells are often closer to *constant heat flux* at the heated
+//! plate — a distinction that itself matters in the ultimate-regime
+//! debate. This example runs the flux-heated variant
+//! (`ThermalBc::BottomFluxTopIsothermal`) at supercritical Ra and shows
+//! how the plate temperature becomes a dynamic quantity while the injected
+//! flux is exactly controlled.
+//!
+//! ```sh
+//! cargo run --release --example flux_driven_rbc [steps]
+//! ```
+
+use rbx::comm::SingleComm;
+use rbx::core::config::ThermalBc;
+use rbx::core::{Observables, Simulation, SolverConfig};
+use rbx::mesh::BoundaryTag;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let ra = 1e5f64;
+    let alpha = 1.0 / ra.sqrt();
+    // Inject 1.5× the conductive flux: the fluid must transport the excess
+    // by convection once the instability develops.
+    let q = 1.5 * alpha;
+
+    let case = rbx::core::rbc_box_case(2.0, 3, 3, false, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra,
+        order: 5,
+        dt: 2e-3,
+        ic_noise: 0.05,
+        thermal_bc: ThermalBc::BottomFluxTopIsothermal { q },
+        ..Default::default()
+    };
+    println!("flux-driven RBC: Ra = {ra:.0e}, imposed flux q = {q:.4} (= 1.5·α)");
+    println!("  bottom plate: constant flux; top plate: isothermal at −0.5\n");
+
+    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+
+    println!("  step      time     ⟨T⟩ bottom   plate −∂T/∂z   Nu(vol)     KE");
+    for step in 1..=steps {
+        let st = sim.step();
+        assert!(st.converged, "step {step}: {st:?}");
+        if step % 50 == 0 {
+            let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+            // Mean bottom-plate temperature: the free quantity under flux
+            // heating.
+            let n = sim.n_local();
+            let mut t_sum = 0.0;
+            let mut count = 0.0f64;
+            for i in 0..n {
+                if sim.geom.coords[2][i].abs() < 1e-12 {
+                    t_sum += sim.state.t[i];
+                    count += 1.0;
+                }
+            }
+            let t_bottom = t_sum / count.max(1.0);
+            let grad = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+            let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, ra, cfg.pr, &comm);
+            let ke = obs.kinetic_energy(
+                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+                &comm,
+            );
+            println!(
+                "  {step:>5}   {:7.3}   {t_bottom:>9.4}   {grad:>12.4}   {nu_v:7.4}   {ke:9.3e}",
+                sim.state.time
+            );
+        }
+    }
+    println!("\n  reading the run: the plate gradient −∂T/∂z is pinned at q/α = 1.5");
+    println!("  by the boundary condition (conduction would need ΔT = 1.5); as");
+    println!("  convection develops, Nu(vol) rises and the bottom-plate mean");
+    println!("  temperature drops below the conductive value — flux-driven cells");
+    println!("  regulate their own ΔT, which is exactly why the two heating modes");
+    println!("  can differ in the approach to the ultimate regime.");
+}

@@ -1,0 +1,95 @@
+//! Strong scaling, two ways (paper Fig. 3 methodology):
+//!
+//! 1. **measured** — the real solver distributed over thread-backed ranks
+//!    on this machine (one rank per thread, same code path as MPI), and
+//! 2. **modelled** — the LUMI/Leonardo cost model replaying the paper's
+//!    108 M-element case at the paper's rank counts.
+//!
+//! ```sh
+//! cargo run --release --example strong_scaling_demo
+//! ```
+
+use rbx::comm::{run_on_ranks, Communicator};
+use rbx::core::{Simulation, SolverConfig};
+use rbx::perf::{
+    leonardo, lumi, strong_scaling_sweep, CaseSize, CostModel, SolverMix,
+};
+
+fn main() {
+    // ---- measured: the real solver on 1..=4 thread ranks -----------------
+    let cfg = SolverConfig {
+        ra: 1e5,
+        order: 5,
+        dt: 2e-3,
+        ic_noise: 0.05,
+        ..Default::default()
+    };
+    let warmup = 5;
+    let measured_steps = 20;
+    println!("measured strong scaling (thread-backed ranks, real solver)");
+    println!("  {} steps averaged after {} warm-up steps\n", measured_steps, warmup);
+    println!("  ranks   elems/rank   time/step [ms]   speedup   efficiency");
+
+    let max_ranks = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2)
+        .min(4);
+    let mut base: Option<f64> = None;
+    for nranks in [1usize, 2, 4].into_iter().filter(|&r| r <= max_ranks) {
+        let case = rbx::core::rbc_box_case(2.0, 4, 3, false, nranks);
+        let cfg = cfg.clone();
+        let times = run_on_ranks(nranks, |comm| {
+            let case_local = &case;
+            let mut sim = Simulation::new(
+                cfg.clone(),
+                &case_local.mesh,
+                &case_local.part,
+                case_local.elems[comm.rank()].clone(),
+                comm,
+            );
+            sim.init_rbc();
+            for _ in 0..warmup {
+                sim.step();
+            }
+            comm.barrier();
+            let t0 = comm.wtime();
+            for _ in 0..measured_steps {
+                sim.step();
+            }
+            comm.barrier();
+            (comm.wtime() - t0) / measured_steps as f64
+        });
+        let t = times.iter().cloned().fold(0.0, f64::max);
+        let t0 = *base.get_or_insert(t);
+        println!(
+            "  {nranks:>5}   {:>10.0}   {:>14.2}   {:>7.2}   {:>9.2}",
+            case.mesh.num_elements() as f64 / nranks as f64,
+            1e3 * t,
+            t0 / t,
+            t0 / (t * nranks as f64)
+        );
+    }
+
+    // ---- modelled: paper scale on LUMI and Leonardo -----------------------
+    println!("\nmodelled strong scaling at paper scale (108M elements, degree 7)");
+    for (machine, ranks) in [
+        (lumi(), vec![4096usize, 8192, 16384]),
+        (leonardo(), vec![3456, 6912]),
+    ] {
+        let name = machine.name.clone();
+        let model = CostModel::new(machine, CaseSize::paper_ra1e15(), SolverMix::default());
+        let points = strong_scaling_sweep(&model, &ranks, 250, 42);
+        println!("\n  {name} (overlapped Schwarz preconditioner):");
+        println!("    ranks    elems/GPU   time/step [ms]   ±99%CI   efficiency");
+        for p in &points {
+            println!(
+                "    {:>6}   {:>9.0}   {:>13.1}   {:>6.2}   {:>9.3}",
+                p.ranks,
+                p.elems_per_gpu,
+                1e3 * p.t_step,
+                1e3 * p.ci99,
+                p.efficiency
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end compression on real solver fields (the paper's §6.2
+//! methodology: ratio measured against an instantaneous flow sample, error
+//! in the weighted-L2/RMS norm).
+
+use rbx::basis::ModalBasis;
+use rbx::comm::SingleComm;
+use rbx::compress::{
+    compress_field, decompress_field, weighted_l2_error, Codec, CompressionConfig,
+};
+use rbx::core::{Simulation, SolverConfig};
+
+/// A developed-ish RBC temperature field from a short run.
+fn developed_fields() -> (Simulation<'static>, ModalBasis) {
+    // Leak the case so the Simulation's borrows live for 'static — fine in
+    // a test binary.
+    let case = Box::leak(Box::new(rbx::core::rbc_box_case(2.0, 3, 3, false, 1)));
+    let comm = Box::leak(Box::new(SingleComm::new()));
+    let cfg = SolverConfig {
+        ra: 1e5,
+        order: 6,
+        dt: 2e-3,
+        ic_noise: 0.05,
+        ..Default::default()
+    };
+    let order = cfg.order;
+    let mut sim = Simulation::new(cfg, &case.mesh, &case.part, case.elems[0].clone(), comm);
+    sim.init_rbc();
+    for _ in 0..60 {
+        assert!(sim.step().converged);
+    }
+    (sim, ModalBasis::new(order + 1))
+}
+
+#[test]
+fn error_bounds_hold_on_solver_fields() {
+    let (sim, basis) = developed_fields();
+    let comm = SingleComm::new();
+    let _ = &comm;
+    for eps in [0.001, 0.01, 0.05] {
+        let cfg = CompressionConfig { error_bound: eps, quant_bits: None, codec: Codec::Range };
+        let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
+        let recon = decompress_field(&c, &basis);
+        let err = weighted_l2_error(&sim.state.t, &recon, &sim.geom.mass);
+        assert!(
+            err <= 1.5 * eps + 1e-12,
+            "ε = {eps}: measured error {err:.4e}"
+        );
+        // Tighter bounds keep more data.
+        assert!(c.kept_fraction > 0.0 && c.kept_fraction <= 1.0);
+    }
+}
+
+#[test]
+fn paper_operating_point_reduction() {
+    // The paper's Fig. 5 point: strong reduction at 2.5 % error. Our
+    // laptop-Ra fields are smoother than Ra = 10¹¹ turbulence, so the
+    // achievable reduction is at least as large.
+    let (sim, basis) = developed_fields();
+    let cfg = CompressionConfig { error_bound: 0.025, quant_bits: Some(16), codec: Codec::Range };
+    let c = compress_field(&sim.state.u[2], &sim.geom, &basis, &cfg);
+    let recon = decompress_field(&c, &basis);
+    let err = weighted_l2_error(&sim.state.u[2], &recon, &sim.geom.mass);
+    assert!(
+        c.reduction_percent() > 90.0,
+        "reduction only {:.1} %",
+        c.reduction_percent()
+    );
+    assert!(err < 0.04, "error {err:.4}");
+}
+
+#[test]
+fn codecs_agree_on_reconstruction() {
+    // The lossless stage must not change the reconstruction at all.
+    let (sim, basis) = developed_fields();
+    let mut reference: Option<Vec<f64>> = None;
+    for codec in [Codec::Raw, Codec::Rle, Codec::Range] {
+        let cfg = CompressionConfig { error_bound: 0.01, quant_bits: Some(16), codec };
+        let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
+        let recon = decompress_field(&c, &basis);
+        match &reference {
+            None => reference = Some(recon),
+            Some(r) => {
+                for (a, b) in r.iter().zip(&recon) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "codec {codec:?} changed data");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn entropy_codecs_beat_raw() {
+    let (sim, basis) = developed_fields();
+    let mut sizes = std::collections::HashMap::new();
+    for codec in [Codec::Raw, Codec::Rle, Codec::Range] {
+        let cfg = CompressionConfig { error_bound: 0.01, quant_bits: Some(16), codec };
+        let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
+        sizes.insert(format!("{codec:?}"), c.data.len());
+    }
+    let raw = sizes["Raw"];
+    assert!(sizes["Rle"] < raw, "RLE {} !< raw {raw}", sizes["Rle"]);
+    assert!(sizes["Range"] < raw, "Range {} !< raw {raw}", sizes["Range"]);
+}
+
+#[test]
+fn compressed_payload_survives_io_roundtrip() {
+    // Compression output stored through the BPL container and recovered.
+    use rbx::io::{read_bpl, write_bpl, StepData, Variable};
+    let (sim, basis) = developed_fields();
+    let cfg = CompressionConfig::default();
+    let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
+    let dir = std::env::temp_dir().join("rbx_compress_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("field.bpl");
+    write_bpl(
+        &path,
+        &[StepData {
+            step: 1,
+            time: sim.state.time,
+            vars: vec![Variable::bytes("t_compressed", vec![c.data.len() as u64], c.data.clone())],
+        }],
+    )
+    .unwrap();
+    let steps = read_bpl(&path).unwrap();
+    let payload = match &steps[0].var("t_compressed").unwrap().data {
+        rbx::io::VarData::Bytes(b) => b.clone(),
+        _ => panic!("wrong type"),
+    };
+    let c2 = rbx::compress::Compressed {
+        data: payload,
+        n: c.n,
+        nelv: c.nelv,
+        codec: c.codec,
+        kept_fraction: c.kept_fraction,
+    };
+    let a = decompress_field(&c, &basis);
+    let b = decompress_field(&c2, &basis);
+    assert_eq!(a, b);
+}

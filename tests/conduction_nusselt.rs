@@ -1,0 +1,111 @@
+//! Physics checks against exact states: conduction below onset and the
+//! consistency of the two Nusselt estimates.
+
+use rbx::comm::SingleComm;
+use rbx::core::{Observables, Simulation, SolverConfig};
+use rbx::mesh::BoundaryTag;
+
+#[test]
+fn box_conduction_stays_at_nu_one() {
+    let case = rbx::core::rbc_box_case(1.0, 2, 2, false, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: 200.0, // far below any onset
+        order: 4,
+        dt: 2e-3,
+        ic_noise: 0.0,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    for _ in 0..20 {
+        let stats = sim.step();
+        assert!(stats.converged, "{stats:?}");
+    }
+    let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+    let nu_hot = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+    let nu_cold = obs.nusselt_wall(&sim.state.t, BoundaryTag::ColdWall, &comm);
+    let nu_vol = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
+    assert!((nu_hot - 1.0).abs() < 1e-5, "hot-plate Nu {nu_hot}");
+    assert!((nu_cold - 1.0).abs() < 1e-5, "cold-plate Nu {nu_cold}");
+    assert!((nu_vol - 1.0).abs() < 1e-5, "volume Nu {nu_vol}");
+    let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
+    assert!(ke < 1e-12, "spurious motion, KE = {ke:.3e}");
+}
+
+#[test]
+fn cylinder_conduction_stays_at_nu_one() {
+    // Same check on the curved o-grid cylinder: exercises metrics, masks
+    // and wall fluxes on the paper's production geometry.
+    let case = rbx::core::rbc_cylinder_case(1.0, 1, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: 200.0,
+        order: 4,
+        dt: 2e-3,
+        ic_noise: 0.0,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    for _ in 0..15 {
+        let stats = sim.step();
+        assert!(stats.converged, "{stats:?}");
+    }
+    let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+    let nu_hot = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+    assert!((nu_hot - 1.0).abs() < 1e-4, "cylinder hot-plate Nu {nu_hot}");
+    let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
+    assert!(ke < 1e-10, "cylinder spurious motion, KE = {ke:.3e}");
+}
+
+#[test]
+fn supercritical_convection_raises_nusselt() {
+    // At Ra = 10⁵ convection must develop: kinetic energy grows from the
+    // perturbation and the volume Nusselt number exceeds 1.
+    let case = rbx::core::rbc_box_case(2.0, 3, 3, false, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: 1e5,
+        order: 4,
+        dt: 2e-3,
+        ic_noise: 0.05,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+    let ke0 = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
+    for _ in 0..150 {
+        let stats = sim.step();
+        assert!(stats.converged, "{stats:?}");
+    }
+    let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+    let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
+    let nu = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
+    assert!(ke > ke0 + 1e-8, "no convective growth: {ke0:.3e} → {ke:.3e}");
+    assert!(nu > 1.005, "volume Nu {nu} did not rise above 1");
+}
+
+#[test]
+fn energy_injection_matches_buoyancy_budget() {
+    // Short-time check of the kinetic-energy budget: with u(0) = 0, the
+    // energy after one small step is dominated by buoyancy work and must
+    // be positive yet tiny.
+    let case = rbx::core::rbc_box_case(1.0, 2, 2, false, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: 1e4,
+        order: 4,
+        dt: 1e-3,
+        ic_noise: 1e-2,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg, &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    sim.step();
+    let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+    let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
+    assert!(ke > 0.0, "no buoyancy work after first step");
+    assert!(ke < 1e-4, "first-step energy unphysically large: {ke:.3e}");
+}

@@ -1,0 +1,287 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use rbx::basis::{gauss, gll, ModalBasis, TensorScratch};
+use rbx::comm::SingleComm;
+use rbx::compress::{lossless_decode, lossless_encode, Codec};
+use rbx::gs::{GatherScatter, GsOp};
+use rbx::mesh::generators::box_mesh;
+use rbx::perf::fit_scaling_exponent;
+
+proptest! {
+    /// GLL quadrature integrates random polynomials of admissible degree
+    /// exactly.
+    #[test]
+    fn gll_exact_on_random_polynomials(
+        n in 3usize..10,
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 1..8),
+    ) {
+        let q = gll(n);
+        let max_deg = (2 * n - 3).min(coeffs.len() - 1);
+        let poly = |x: f64| -> f64 {
+            coeffs.iter().take(max_deg + 1).enumerate()
+                .map(|(k, c)| c * x.powi(k as i32)).sum()
+        };
+        let numeric: f64 = q.points.iter().zip(&q.weights)
+            .map(|(&x, &w)| w * poly(x)).sum();
+        let exact: f64 = coeffs.iter().take(max_deg + 1).enumerate()
+            .map(|(k, c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+            .sum();
+        prop_assert!((numeric - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+
+    /// Gauss quadrature likewise (degree ≤ 2n−1).
+    #[test]
+    fn gauss_exact_on_random_polynomials(
+        n in 2usize..9,
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 1..6),
+    ) {
+        let q = gauss(n);
+        let poly = |x: f64| -> f64 {
+            coeffs.iter().enumerate().map(|(k, c)| c * x.powi(k as i32)).sum()
+        };
+        if coeffs.len() <= 2 * n {
+            let numeric: f64 = q.points.iter().zip(&q.weights)
+                .map(|(&x, &w)| w * poly(x)).sum();
+            let exact: f64 = coeffs.iter().enumerate()
+                .map(|(k, c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+                .sum();
+            prop_assert!((numeric - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        }
+    }
+
+    /// Lossless codecs round-trip arbitrary byte strings.
+    #[test]
+    fn codecs_roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        for codec in [Codec::Raw, Codec::Rle, Codec::Range] {
+            let enc = lossless_encode(codec, &data);
+            let dec = lossless_decode(codec, &enc);
+            prop_assert_eq!(&dec, &data);
+        }
+    }
+
+    /// Modal transform round-trips arbitrary nodal fields.
+    #[test]
+    fn modal_roundtrip_arbitrary_fields(
+        seed in 0u64..1000,
+        n in 3usize..7,
+    ) {
+        let basis = ModalBasis::new(n);
+        let nn = n * n * n;
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+        let field: Vec<f64> = (0..nn).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0 - 5.0
+        }).collect();
+        let mut modal = vec![0.0; nn];
+        let mut back = vec![0.0; nn];
+        let mut scratch = TensorScratch::new();
+        basis.to_modal(&field, &mut modal, &mut scratch);
+        basis.to_nodal(&modal, &mut back, &mut scratch);
+        for (a, b) in field.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+        }
+    }
+
+    /// Gather-scatter Add is linear: gs(αu + βv) = α·gs(u) + β·gs(v).
+    #[test]
+    fn gather_scatter_is_linear(
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+        seed in 0u64..500,
+    ) {
+        let p = 3;
+        let mesh = box_mesh(2, 2, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let gs = GatherScatter::build(&mesh, p, &part, &my, &comm);
+        let n = gs.n_local();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let u: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let v: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let mut combined: Vec<f64> = u.iter().zip(&v).map(|(a, b)| alpha * a + beta * b).collect();
+        gs.apply(&mut combined, GsOp::Add, &comm);
+        let mut gu = u.clone();
+        gs.apply(&mut gu, GsOp::Add, &comm);
+        let mut gv = v.clone();
+        gs.apply(&mut gv, GsOp::Add, &comm);
+        for i in 0..n {
+            let expect = alpha * gu[i] + beta * gv[i];
+            prop_assert!((combined[i] - expect).abs() < 1e-10,
+                "node {}: {} vs {}", i, combined[i], expect);
+        }
+    }
+
+    /// Power-law fits recover arbitrary exponents from exact data.
+    #[test]
+    fn regime_fit_recovers_exponent(
+        gamma in 0.1f64..0.9,
+        prefactor in 0.001f64..10.0,
+    ) {
+        let points: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let ra = 10f64.powf(8.0 + 0.5 * i as f64);
+                (ra, prefactor * ra.powf(gamma))
+            })
+            .collect();
+        let fit = fit_scaling_exponent(&points);
+        prop_assert!((fit.gamma - gamma).abs() < 1e-9);
+        prop_assert!((fit.prefactor - prefactor).abs() / prefactor < 1e-6);
+    }
+
+    /// Min/max gather-scatter produce values bounded by the input range.
+    #[test]
+    fn gather_scatter_minmax_bounded(seed in 0u64..300) {
+        let p = 2;
+        let mesh = box_mesh(2, 1, 1, [0., 2.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let gs = GatherScatter::build(&mesh, p, &part, &[0, 1], &comm);
+        let n = gs.n_local();
+        let mut state = seed.wrapping_add(3).wrapping_mul(0x2545F4914F6CDD1D);
+        let u: Vec<f64> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 12) % 1000) as f64 / 100.0 - 5.0
+        }).collect();
+        let lo = u.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = u.iter().cloned().fold(f64::MIN, f64::max);
+        let mut umin = u.clone();
+        gs.apply(&mut umin, GsOp::Min, &comm);
+        let mut umax = u.clone();
+        gs.apply(&mut umax, GsOp::Max, &comm);
+        for i in 0..n {
+            prop_assert!(umin[i] >= lo && umin[i] <= u[i] + 1e-15);
+            prop_assert!(umax[i] <= hi && umax[i] >= u[i] - 1e-15);
+        }
+    }
+}
+
+proptest! {
+    /// The FullNeumann FDM is symmetric positive semi-definite on random
+    /// inputs for random Helmholtz coefficients.
+    #[test]
+    fn fdm_is_spsd(h1 in 0.1f64..5.0, h2 in 0.0f64..5.0, seed in 0u64..200) {
+        use rbx::la::ElementFdm;
+        use rbx::mesh::GeomFactors;
+        let mesh = box_mesh(2, 1, 1, [0., 2.], [0., 1.], [0., 1.], false, false);
+        let geom = GeomFactors::new(&mesh, 3);
+        let fdm = ElementFdm::new(&geom);
+        let n = geom.total_nodes();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let u: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let v: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let mut fu = vec![0.0; n];
+        let mut fv = vec![0.0; n];
+        fdm.apply_add(&u, &mut fu, h1, h2);
+        fdm.apply_add(&v, &mut fv, h1, h2);
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        // Symmetric…
+        let asym = (dot(&fu, &v) - dot(&u, &fv)).abs();
+        prop_assert!(asym < 1e-9 * dot(&fu, &v).abs().max(1.0), "asym {}", asym);
+        // …and positive semi-definite.
+        prop_assert!(dot(&fu, &u) >= -1e-10);
+    }
+
+    /// Symmetric Jacobi eigendecomposition reconstructs random symmetric
+    /// matrices.
+    #[test]
+    fn sym_eig_reconstructs_random_matrices(
+        seed in 0u64..500,
+        n in 2usize..8,
+    ) {
+        use rbx::basis::{sym_eig, DMat};
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(5);
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        };
+        let mut a = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rand();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let (vals, vecs) = sym_eig(&a);
+        // Eigenvalues ascending.
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        // A = V Λ Vᵀ.
+        let mut lam = DMat::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = vals[i];
+        }
+        let recon = vecs.matmul(&lam).matmul(&vecs.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9,
+                    "({},{}): {} vs {}", i, j, recon[(i, j)], a[(i, j)]);
+            }
+        }
+    }
+
+    /// Interpolation matrices form a partition of unity at arbitrary
+    /// evaluation points.
+    #[test]
+    fn interp_partition_of_unity(
+        n in 2usize..10,
+        xs in proptest::collection::vec(-1.0f64..1.0, 1..6),
+    ) {
+        use rbx::basis::{gll, interp_matrix};
+        let from = gll(n).points;
+        let j = interp_matrix(&from, &xs);
+        for i in 0..xs.len() {
+            let s: f64 = j.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-10, "row {} sums to {}", i, s);
+        }
+    }
+
+    /// Tightening the compression error bound never increases the measured
+    /// error and never decreases the kept fraction.
+    #[test]
+    fn compression_monotone_in_bound(seed in 0u64..100) {
+        use rbx::basis::ModalBasis;
+        use rbx::compress::{compress_field, decompress_field, weighted_l2_error, CompressionConfig};
+        use rbx::mesh::GeomFactors;
+        let mesh = box_mesh(1, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let geom = GeomFactors::new(&mesh, 5);
+        let basis = ModalBasis::new(6);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(23);
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        // Smooth-ish random field: random low modes.
+        let field: Vec<f64> = (0..geom.total_nodes())
+            .map(|i| {
+                let x = geom.coords[0][i];
+                let y = geom.coords[1][i];
+                let z = geom.coords[2][i];
+                let (a, b, c) = (rand(), rand(), rand());
+                a * x + b * y * y + c * (2.0 * z).sin()
+            })
+            .collect();
+        let mut prev_kept = 0.0;
+        for eps in [0.1f64, 0.01, 0.001] {
+            let cfg = CompressionConfig { error_bound: eps, quant_bits: None, codec: rbx::compress::Codec::Raw };
+            let c = compress_field(&field, &geom, &basis, &cfg);
+            // Tighter bounds keep at least as many coefficients.
+            prop_assert!(c.kept_fraction >= prev_kept - 1e-12);
+            prev_kept = c.kept_fraction;
+            let recon = decompress_field(&c, &basis);
+            let err = weighted_l2_error(&field, &recon, &geom.mass);
+            prop_assert!(err <= 1.5 * eps + 1e-12, "eps {} err {}", eps, err);
+        }
+    }
+}

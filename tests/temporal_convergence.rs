@@ -1,0 +1,94 @@
+//! Temporal convergence of the splitting scheme (paper §6: BDF3/EXT3).
+//!
+//! The error of the full Karniadakis splitting against a fine-Δt reference
+//! must shrink rapidly under Δt-halving. Two caveats shape the assertions:
+//! the scheme's startup (inconsistent initial pressure, order ramp) and
+//! the pressure-splitting boundary treatment leave lower-order footprints
+//! that dominate the max-norm at very small Δt on short horizons — the
+//! well-known behaviour of PnPn splitting schemes. We therefore assert
+//! supra-second-order contraction at moderate Δt and strong cumulative
+//! contraction across the tested range, rather than a clean asymptotic
+//! third-order slope.
+
+use rbx::comm::SingleComm;
+use rbx::core::{Simulation, SolverConfig};
+
+const T_END: f64 = 0.02;
+
+fn final_temperature(dt: f64) -> Vec<f64> {
+    let case = rbx::core::rbc_box_case(1.0, 2, 2, false, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: 1e4,
+        order: 3,
+        dt,
+        ic_noise: 0.05,
+        p_tol: 1e-11,
+        v_tol: 1e-12,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg, &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    let steps = (T_END / dt).round() as usize;
+    for _ in 0..steps {
+        let st = sim.step();
+        assert!(st.converged, "dt = {dt}: {st:?}");
+    }
+    assert!((sim.state.time - T_END).abs() < 1e-12);
+    sim.state.t.clone()
+}
+
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn splitting_scheme_converges_fast_in_time() {
+    let reference = final_temperature(1.25e-4);
+    let e1 = max_diff(&final_temperature(2e-3), &reference);
+    let e2 = max_diff(&final_temperature(1e-3), &reference);
+    let e3 = max_diff(&final_temperature(5e-4), &reference);
+    let r12 = e1 / e2;
+    let r23 = e2 / e3;
+    eprintln!("temporal errors: {e1:.3e} / {e2:.3e} / {e3:.3e}; ratios {r12:.2}, {r23:.2}");
+    // Monotone decrease…
+    assert!(e1 > e2 && e2 > e3, "errors not monotone: {e1:.3e}, {e2:.3e}, {e3:.3e}");
+    // …supra-second-order at moderate Δt…
+    assert!(
+        r12 > 2.8,
+        "first halving contracted only {r12:.2}× (e = {e1:.3e} → {e2:.3e})"
+    );
+    // …and strong cumulative contraction over the 4× range.
+    assert!(
+        e1 / e3 > 5.0,
+        "cumulative contraction only {:.2}× over 4× in Δt",
+        e1 / e3
+    );
+    // Absolute accuracy at the finest tested Δt.
+    assert!(e3 < 1e-6, "e(5e-4) = {e3:.3e}");
+}
+
+#[test]
+fn order_ramp_does_not_poison_long_runs() {
+    // Starting BDF from order 1 must not leave a first-order error
+    // footprint at moderate Δt (covered by the contraction test above);
+    // here we verify the ramp mechanics: early steps run at reduced order
+    // without failing and the history fills to the target depth.
+    let case = rbx::core::rbc_box_case(1.0, 1, 2, false, 1);
+    let comm = SingleComm::new();
+    let cfg = SolverConfig {
+        ra: 1e3,
+        order: 3,
+        dt: 1e-3,
+        ic_noise: 1e-2,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg, &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    sim.init_rbc();
+    for step in 1..=4 {
+        let st = sim.step();
+        assert!(st.converged, "ramp step {step}: {st:?}");
+    }
+    assert_eq!(sim.state.u_lag.len(), 3, "history depth after ramp");
+    assert_eq!(sim.state.f_lag.len(), 3);
+}
