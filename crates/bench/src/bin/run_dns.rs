@@ -2,12 +2,23 @@
 //!
 //! A configurable Rayleigh-Bénard run with the full workflow of the paper:
 //! time stepping, running statistics and z-profiles, periodic compressed
-//! field output, checkpointing, and optional in-situ streaming POD.
+//! field output, checkpointing with rotation, and optional in-situ
+//! streaming POD. The time loop runs under the [`ResilientRunner`]: a
+//! diverged step rolls back to the last good checkpoint with a reduced
+//! dt instead of aborting the campaign.
 //!
 //! ```sh
 //! cargo run --release -p rbx-bench --bin run_dns -- \
 //!     --case cylinder --gamma 1.0 --ra 1e5 --order 5 --dt 1.5e-3 \
 //!     --steps 500 --sample-every 20 --checkpoint-every 200 --pod
+//! ```
+//!
+//! A deterministic fault-injection demo (NaN mid-flight, recovered by
+//! rollback + dt reduction; bit-flipped checkpoint rejected by checksum):
+//!
+//! ```sh
+//! run_dns --steps 40 --checkpoint-every 5 \
+//!     --inject-nan-at 17 --corrupt-checkpoint-at 15 --fault-seed 42
 //! ```
 //!
 //! All flags are optional; defaults give a small box run. Outputs land in
@@ -17,7 +28,10 @@ use rbx::basis::ModalBasis;
 use rbx::comm::SingleComm;
 use rbx::compress::{compress_field, CompressionConfig};
 use rbx::core::stats::{RunStatistics, ZProfiles};
-use rbx::core::{write_checkpoint, Observables, Simulation, SolverConfig};
+use rbx::core::{
+    CheckpointSet, FaultPlan, Observables, RecoveryPolicy, ResilientRunner, Simulation,
+    SolverConfig,
+};
 use rbx::insitu::PodConsumer;
 use rbx::io::{staging_channel, AsyncBplWriter, StepData, Variable};
 use rbx::mesh::BoundaryTag;
@@ -34,6 +48,13 @@ struct Args {
     resolution: usize,
     sample_every: usize,
     checkpoint_every: usize,
+    checkpoint_keep: usize,
+    max_rollbacks: usize,
+    dt_factor: f64,
+    fault_seed: u64,
+    inject_nan_at: Vec<usize>,
+    corrupt_checkpoint_at: Vec<usize>,
+    fail_checkpoint_at: Vec<usize>,
     pod: bool,
     restart: Option<PathBuf>,
     out: PathBuf,
@@ -51,6 +72,13 @@ impl Default for Args {
             resolution: 3,
             sample_every: 20,
             checkpoint_every: 0,
+            checkpoint_keep: 3,
+            max_rollbacks: 5,
+            dt_factor: 0.5,
+            fault_seed: 0,
+            inject_nan_at: Vec::new(),
+            corrupt_checkpoint_at: Vec::new(),
+            fail_checkpoint_at: Vec::new(),
             pod: false,
             restart: None,
             out: PathBuf::from("target/dns_run"),
@@ -58,25 +86,55 @@ impl Default for Args {
     }
 }
 
+/// Report a usage error on stderr and exit nonzero without a panic
+/// backtrace — this is an operator mistake, not a program bug.
+fn die(msg: &str) -> ! {
+    eprintln!("run_dns: error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parse a flag value, naming the flag and the offending input on error.
+fn parse<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("invalid value {raw:?} for {flag}")))
+}
+
 fn parse_args() -> Args {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+            it.next().unwrap_or_else(|| die(&format!("missing value for {name}")))
         };
         match flag.as_str() {
             "--case" => args.case = value("--case"),
-            "--gamma" => args.gamma = value("--gamma").parse().expect("gamma"),
-            "--ra" => args.ra = value("--ra").parse().expect("ra"),
-            "--order" => args.order = value("--order").parse().expect("order"),
-            "--dt" => args.dt = value("--dt").parse().expect("dt"),
-            "--steps" => args.steps = value("--steps").parse().expect("steps"),
-            "--resolution" => args.resolution = value("--resolution").parse().expect("resolution"),
-            "--sample-every" => args.sample_every = value("--sample-every").parse().expect("sample-every"),
+            "--gamma" => args.gamma = parse("--gamma", &value("--gamma")),
+            "--ra" => args.ra = parse("--ra", &value("--ra")),
+            "--order" => args.order = parse("--order", &value("--order")),
+            "--dt" => args.dt = parse("--dt", &value("--dt")),
+            "--steps" => args.steps = parse("--steps", &value("--steps")),
+            "--resolution" => args.resolution = parse("--resolution", &value("--resolution")),
+            "--sample-every" => args.sample_every = parse("--sample-every", &value("--sample-every")),
             "--checkpoint-every" => {
-                args.checkpoint_every = value("--checkpoint-every").parse().expect("checkpoint-every")
+                args.checkpoint_every = parse("--checkpoint-every", &value("--checkpoint-every"))
             }
+            "--checkpoint-keep" => {
+                args.checkpoint_keep = parse("--checkpoint-keep", &value("--checkpoint-keep"))
+            }
+            "--max-rollbacks" => {
+                args.max_rollbacks = parse("--max-rollbacks", &value("--max-rollbacks"))
+            }
+            "--dt-factor" => args.dt_factor = parse("--dt-factor", &value("--dt-factor")),
+            "--fault-seed" => args.fault_seed = parse("--fault-seed", &value("--fault-seed")),
+            "--inject-nan-at" => args
+                .inject_nan_at
+                .push(parse("--inject-nan-at", &value("--inject-nan-at"))),
+            "--corrupt-checkpoint-at" => args
+                .corrupt_checkpoint_at
+                .push(parse("--corrupt-checkpoint-at", &value("--corrupt-checkpoint-at"))),
+            "--fail-checkpoint-at" => args
+                .fail_checkpoint_at
+                .push(parse("--fail-checkpoint-at", &value("--fail-checkpoint-at"))),
             "--pod" => args.pod = true,
             "--restart" => args.restart = Some(PathBuf::from(value("--restart"))),
             "--out" => args.out = PathBuf::from(value("--out")),
@@ -84,24 +142,37 @@ fn parse_args() -> Args {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
                      --steps N --resolution R --sample-every N --checkpoint-every N \
-                     --pod --restart CHECKPOINT.bpl --out DIR"
+                     --checkpoint-keep K --max-rollbacks N --dt-factor F \
+                     --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
+                     --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR"
                 );
                 std::process::exit(0);
             }
-            other => panic!("unknown flag {other}"),
+            other => die(&format!("unknown flag {other} (try --help)")),
         }
+    }
+    if !args.dt.is_finite() || args.dt <= 0.0 {
+        die("--dt must be a positive finite number");
+    }
+    if args.order == 0 {
+        die("--order must be at least 1");
+    }
+    if !(args.dt_factor > 0.0 && args.dt_factor < 1.0) {
+        die("--dt-factor must be in (0, 1)");
     }
     args
 }
 
 fn main() {
     let args = parse_args();
-    std::fs::create_dir_all(&args.out).expect("create output dir");
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        die(&format!("cannot create output dir {}: {e}", args.out.display()));
+    }
 
     let case = match args.case.as_str() {
         "box" => rbx::core::rbc_box_case(args.gamma, args.resolution, args.resolution, false, 1),
         "cylinder" => rbx::core::rbc_cylinder_case(args.gamma, (args.resolution / 2).max(1), 1),
-        other => panic!("unknown case {other} (box|cylinder)"),
+        other => die(&format!("unknown case {other:?} for --case (box|cylinder)")),
     };
     let comm = SingleComm::new();
     let cfg = SolverConfig {
@@ -121,10 +192,34 @@ fn main() {
 
     let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
     sim.init_rbc();
+
+    let checkpoint_dir = args.out.join("checkpoints");
+    let checkpoints = CheckpointSet::new(&checkpoint_dir, args.checkpoint_keep);
+
     if let Some(chk) = &args.restart {
-        rbx::core::read_checkpoint(&mut sim, chk).expect("read checkpoint");
-        println!("  restarted from {} at step {} (t = {:.4})",
-            chk.display(), sim.state.istep, sim.state.time);
+        match rbx::core::read_checkpoint(&mut sim, chk) {
+            Ok(()) => println!("  restarted from {} at step {} (t = {:.4})",
+                chk.display(), sim.state.istep, sim.state.time),
+            Err(e) => {
+                // A rejected restart file (truncated, bit-flipped, stale
+                // metadata) falls back to the newest verifiable rotation
+                // generation rather than aborting the campaign.
+                eprintln!("run_dns: warning: restart checkpoint rejected: {e}");
+                match checkpoints.restore_latest(&mut sim) {
+                    Ok(outcome) => {
+                        for (p, err) in &outcome.rejected {
+                            eprintln!("run_dns: warning: also rejected {}: {err}", p.display());
+                        }
+                        println!("  restarted from fallback {} at step {} (t = {:.4})",
+                            outcome.path.display(), sim.state.istep, sim.state.time);
+                    }
+                    Err(e2) => {
+                        eprintln!("run_dns: error: no usable checkpoint to restart from: {e2}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
     }
 
     // Mesh quality report (pre-flight check, as a production campaign
@@ -133,7 +228,10 @@ fn main() {
     println!("  mesh quality: max aspect ratio {aspect:.2}, max Jacobian ratio {jac_ratio:.2}");
 
     // Output channels: async field file, observables CSV, optional POD.
-    let fields = AsyncBplWriter::create(&args.out.join("fields.bpl"), 4).expect("field file");
+    let fields = match AsyncBplWriter::create(&args.out.join("fields.bpl"), 4) {
+        Ok(f) => f,
+        Err(e) => die(&format!("cannot create field file: {e}")),
+    };
     let basis = ModalBasis::new(args.order + 1);
     let comp_cfg = CompressionConfig::default();
     let pod = if args.pod {
@@ -146,87 +244,136 @@ fn main() {
     let mut profiles = ZProfiles::new(0.0, 1.0, 8);
     let mut obs_rows = Vec::new();
 
+    let mut faults = FaultPlan::new(args.fault_seed);
+    for &s in &args.inject_nan_at {
+        faults = faults.inject_nan_at(s);
+    }
+    for &s in &args.corrupt_checkpoint_at {
+        faults = faults.corrupt_checkpoint_at(s);
+    }
+    for &s in &args.fail_checkpoint_at {
+        faults = faults.fail_write_at(s);
+    }
+
+    let policy = RecoveryPolicy {
+        max_rollbacks: args.max_rollbacks,
+        dt_factor: args.dt_factor,
+        checkpoint_every: args.checkpoint_every,
+        ..Default::default()
+    };
+    let mut runner = ResilientRunner::new(checkpoints, policy).with_faults(faults);
+
+    let target_step = sim.state.istep + args.steps;
+    // After a rollback the runner replays steps already sampled; skip
+    // those so the observables CSV stays monotone in step number.
+    let mut last_sampled = sim.state.istep;
     let t0 = std::time::Instant::now();
-    for step in 1..=args.steps {
-        let st = sim.step();
-        assert!(st.converged, "step {step} failed: {st:?}");
+    let report = runner.run_with(&mut sim, target_step, |sim, st| {
+        let step = sim.state.istep;
+        if args.sample_every == 0 || step % args.sample_every != 0 || step <= last_sampled {
+            return;
+        }
+        last_sampled = step;
+        let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
+        let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
+        let nu_h = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        let nu_c = obs.nusselt_wall(&sim.state.t, BoundaryTag::ColdWall, &comm);
+        let ke = obs.kinetic_energy(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &comm,
+        );
+        let cfl = obs.cfl(
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            sim.cfg.dt,
+            &comm,
+        );
+        stats.nu_volume.push(nu_v);
+        stats.nu_hot.push(nu_h);
+        stats.nu_cold.push(nu_c);
+        stats.kinetic_energy.push(ke);
+        profiles.sample(
+            &sim.geom,
+            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
+            &sim.state.t,
+        );
+        obs_rows.push(format!(
+            "{step},{},{nu_v},{nu_h},{nu_c},{ke},{cfl},{}",
+            sim.state.time, st.p_iters
+        ));
+        println!(
+            "  step {step:>6}  t = {:.3}  Nu = {nu_v:.4}  KE = {ke:.3e}  CFL = {cfl:.3}  p-its = {}",
+            sim.state.time, st.p_iters
+        );
 
-        if args.sample_every > 0 && step % args.sample_every == 0 {
-            let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
-            let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
-            let nu_h = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
-            let nu_c = obs.nusselt_wall(&sim.state.t, BoundaryTag::ColdWall, &comm);
-            let ke = obs.kinetic_energy(
-                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-                &comm,
-            );
-            let cfl = obs.cfl(
-                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-                cfg.dt,
-                &comm,
-            );
-            stats.nu_volume.push(nu_v);
-            stats.nu_hot.push(nu_h);
-            stats.nu_cold.push(nu_c);
-            stats.kinetic_energy.push(ke);
-            profiles.sample(
-                &sim.geom,
-                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-                &sim.state.t,
-            );
-            obs_rows.push(format!(
-                "{step},{},{nu_v},{nu_h},{nu_c},{ke},{cfl},{}",
-                sim.state.time, st.p_iters
-            ));
-            println!(
-                "  step {step:>6}  t = {:.3}  Nu = {nu_v:.4}  KE = {ke:.3e}  CFL = {cfl:.3}  p-its = {}",
-                sim.state.time, st.p_iters
-            );
-
-            // Compressed field sample to the async file engine.
-            let c = compress_field(&sim.state.u[2], &sim.geom, &basis, &comp_cfg);
-            fields.put(StepData {
+        // Compressed field sample to the async file engine.
+        let c = compress_field(&sim.state.u[2], &sim.geom, &basis, &comp_cfg);
+        fields.put(StepData {
+            step: step as u64,
+            time: sim.state.time,
+            vars: vec![Variable::bytes(
+                "uz_compressed",
+                vec![c.data.len() as u64],
+                c.data,
+            )],
+        });
+        if let Some((w, _)) = &pod {
+            w.put(StepData {
                 step: step as u64,
                 time: sim.state.time,
-                vars: vec![Variable::bytes(
-                    "uz_compressed",
-                    vec![c.data.len() as u64],
-                    c.data,
+                vars: vec![Variable::f64(
+                    "uz",
+                    vec![sim.n_local() as u64],
+                    sim.state.u[2].clone(),
                 )],
             });
-            if let Some((w, _)) = &pod {
-                w.put(StepData {
-                    step: step as u64,
-                    time: sim.state.time,
-                    vars: vec![Variable::f64(
-                        "uz",
-                        vec![sim.n_local() as u64],
-                        sim.state.u[2].clone(),
-                    )],
-                });
-            }
         }
-        if args.checkpoint_every > 0 && step % args.checkpoint_every == 0 {
-            let path = args.out.join(format!("checkpoint_{step:06}.bpl"));
-            write_checkpoint(&sim, &path).expect("write checkpoint");
-            println!("  wrote {}", path.display());
-        }
-    }
+    });
     let elapsed = t0.elapsed().as_secs_f64();
+
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run_dns: error: simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // Finalize outputs.
     use std::io::Write;
-    let mut f = std::fs::File::create(args.out.join("observables.csv")).unwrap();
-    writeln!(f, "step,time,nu_volume,nu_hot,nu_cold,kinetic_energy,cfl,p_iters").unwrap();
-    for r in &obs_rows {
-        writeln!(f, "{r}").unwrap();
+    let csv = std::fs::File::create(args.out.join("observables.csv")).and_then(|mut f| {
+        writeln!(f, "step,time,nu_volume,nu_hot,nu_cold,kinetic_energy,cfl,p_iters")?;
+        for r in &obs_rows {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    });
+    if let Err(e) = csv {
+        eprintln!("run_dns: warning: could not write observables.csv: {e}");
     }
-    profiles
-        .write_csv(&comm, &args.out.join("z_profiles.csv"))
-        .expect("profiles");
-    let written = fields.close().expect("close field file");
+    if let Err(e) = profiles.write_csv(&comm, &args.out.join("z_profiles.csv")) {
+        eprintln!("run_dns: warning: could not write z_profiles.csv: {e}");
+    }
+    let written = match fields.close() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("run_dns: warning: field file close failed: {e}");
+            0
+        }
+    };
 
-    println!("\nrun complete: {:.1} s ({:.1} ms/step)", elapsed, 1e3 * elapsed / args.steps as f64);
+    println!("\nrun complete: {:.1} s ({:.1} ms/step)",
+        elapsed, 1e3 * elapsed / args.steps.max(1) as f64);
+    if report.rollbacks > 0 || !runner.faults.fired.is_empty() {
+        println!("  resilience: {} rollback(s), final dt = {}", report.rollbacks, report.final_dt);
+        for f in &runner.faults.fired {
+            println!("  [fault]    {f}");
+        }
+        for e in &report.events {
+            println!("  [recovery] {e}");
+        }
+    } else if args.checkpoint_every > 0 {
+        println!("  resilience: clean run, {} recovery events", report.events.len());
+    }
     if stats.nu_volume.count() > 0 {
         println!(
             "  time-averaged Nu(vol) = {:.4} ± {:.4} over {} samples",

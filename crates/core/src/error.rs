@@ -1,0 +1,166 @@
+//! Step-level health verdicts and the simulation error taxonomy.
+//!
+//! The solver layer ([`rbx_la::SolveHealth`]) reports how each Krylov
+//! solve ended; this module aggregates those per-phase outcomes — plus a
+//! direct non-finite scan of the updated fields — into one verdict per
+//! time step, and defines the typed errors the fault-tolerant run loop
+//! ([`crate::recovery`]) acts on. The taxonomy separates what a driver
+//! *can* do about a failure:
+//!
+//! * [`StepVerdict::Degraded`] — a solve missed tolerance but the state
+//!   is finite: usable, keep going, maybe tighten dt.
+//! * [`StepVerdict::Diverged`] — the state is unusable (non-finite or a
+//!   fatal solver breakdown): roll back to a checkpoint.
+//! * [`SimError::Checkpoint`] — the restart path itself failed: escalate
+//!   to an older checkpoint generation.
+
+use crate::checkpoint::CheckpointError;
+use rbx_la::SolveError;
+use std::fmt;
+
+/// Which phase of the Karniadakis splitting a fault occurred in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepPhase {
+    /// The pressure Poisson solve.
+    Pressure,
+    /// A velocity Helmholtz solve (component 0..3).
+    Velocity(usize),
+    /// The temperature Helmholtz solve.
+    Temperature,
+}
+
+impl fmt::Display for StepPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepPhase::Pressure => write!(f, "pressure"),
+            StepPhase::Velocity(d) => write!(f, "velocity[{d}]"),
+            StepPhase::Temperature => write!(f, "temperature"),
+        }
+    }
+}
+
+/// What exactly went wrong within a step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepFault {
+    /// A Krylov solve failed; see the phase and the solver's own error.
+    Solve {
+        /// The phase whose solve failed.
+        phase: StepPhase,
+        /// The solver-level failure.
+        error: SolveError,
+    },
+    /// A field contains NaN/Inf after the step, regardless of what the
+    /// solvers reported (catches corruption injected between solves).
+    NonFiniteField {
+        /// Name of the offending field (`"u[0]"`, `"p"`, `"t"`, …).
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for StepFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepFault::Solve { phase, error } => write!(f, "{phase} solve {error}"),
+            StepFault::NonFiniteField { field } => {
+                write!(f, "non-finite values in field {field}")
+            }
+        }
+    }
+}
+
+/// Health verdict for one completed time step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StepVerdict {
+    /// All solves converged and all fields are finite.
+    #[default]
+    Healthy,
+    /// A solve missed its tolerance but the state is finite and usable;
+    /// the reported fault is the first one encountered.
+    Degraded(StepFault),
+    /// The state is unusable: non-finite fields or a fatal solver
+    /// breakdown. Continuing from here propagates garbage.
+    Diverged(StepFault),
+}
+
+impl StepVerdict {
+    /// True when the step is fully clean.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, StepVerdict::Healthy)
+    }
+
+    /// True when the state must not be stepped further.
+    pub fn is_diverged(&self) -> bool {
+        matches!(self, StepVerdict::Diverged(_))
+    }
+
+    /// The fault, if any.
+    pub fn fault(&self) -> Option<StepFault> {
+        match self {
+            StepVerdict::Healthy => None,
+            StepVerdict::Degraded(f) | StepVerdict::Diverged(f) => Some(*f),
+        }
+    }
+}
+
+impl fmt::Display for StepVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepVerdict::Healthy => write!(f, "healthy"),
+            StepVerdict::Degraded(fault) => write!(f, "degraded: {fault}"),
+            StepVerdict::Diverged(fault) => write!(f, "diverged: {fault}"),
+        }
+    }
+}
+
+/// Errors surfaced by the simulation driver and the recovery loop.
+#[derive(Debug)]
+pub enum SimError {
+    /// A step produced an unusable state (see [`StepVerdict::Diverged`]).
+    Diverged {
+        /// Step index at which divergence was detected.
+        istep: usize,
+        /// Simulated time at that step.
+        time: f64,
+        /// The specific fault.
+        fault: StepFault,
+    },
+    /// A checkpoint write or restore failed.
+    Checkpoint(CheckpointError),
+    /// The recovery budget is exhausted: every retry and every stored
+    /// checkpoint generation has been consumed.
+    RecoveryExhausted {
+        /// Rollbacks attempted before giving up.
+        retries: usize,
+        /// The final underlying failure.
+        last: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Diverged { istep, time, fault } => {
+                write!(f, "simulation diverged at step {istep} (t = {time:.6}): {fault}")
+            }
+            SimError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            SimError::RecoveryExhausted { retries, last } => {
+                write!(f, "recovery exhausted after {retries} rollbacks; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}

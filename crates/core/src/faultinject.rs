@@ -1,0 +1,225 @@
+//! Deterministic, seeded fault injection for exercising the recovery
+//! path.
+//!
+//! Fault tolerance that is only ever exercised by real hardware faults is
+//! untested fault tolerance. A [`FaultPlan`] schedules faults at exact
+//! step numbers — NaNs poked into the velocity field, bit flips in a
+//! checkpoint file just written, synthetic I/O failures on a checkpoint
+//! write — with all randomness (which node, which bit) drawn from a
+//! seeded RNG, so a failing recovery scenario replays exactly.
+//!
+//! Every scheduled fault is **one-shot**: it fires once and is consumed.
+//! After the recovery loop rolls back, the same step numbers are replayed
+//! — a non-consumed fault would re-fire forever and no rollback strategy
+//! could ever make progress. (Persistent faults are modeled by scheduling
+//! several steps in a row.)
+
+use crate::sim::Simulation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+/// The kinds of faults a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Overwrite a few seeded positions of the streamwise velocity with
+    /// NaN immediately before the step executes, so the step diverges.
+    InjectNan,
+    /// Flip one seeded bit of the checkpoint file written at this step
+    /// (after it lands on disk), so the restore path must reject it.
+    CorruptCheckpointWrite,
+    /// Fail the checkpoint write at this step with a synthetic I/O error
+    /// before any bytes are written.
+    FailCheckpointWrite,
+}
+
+/// A deterministic schedule of faults keyed on step number.
+pub struct FaultPlan {
+    rng: StdRng,
+    scheduled: Vec<(usize, FaultAction)>,
+    /// Human-readable log of every fault actually fired.
+    pub fired: Vec<String>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), scheduled: Vec::new(), fired: Vec::new() }
+    }
+
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Schedule a NaN injection just before `step` executes.
+    pub fn inject_nan_at(mut self, step: usize) -> Self {
+        self.scheduled.push((step, FaultAction::InjectNan));
+        self
+    }
+
+    /// Schedule a bit flip in the checkpoint written at `step`.
+    pub fn corrupt_checkpoint_at(mut self, step: usize) -> Self {
+        self.scheduled.push((step, FaultAction::CorruptCheckpointWrite));
+        self
+    }
+
+    /// Schedule a synthetic I/O failure for the checkpoint write at
+    /// `step`.
+    pub fn fail_write_at(mut self, step: usize) -> Self {
+        self.scheduled.push((step, FaultAction::FailCheckpointWrite));
+        self
+    }
+
+    /// Number of faults still armed.
+    pub fn pending(&self) -> usize {
+        self.scheduled.len()
+    }
+
+    /// Remove and report whether `(step, action)` is armed.
+    fn consume(&mut self, step: usize, action: FaultAction) -> bool {
+        if let Some(idx) = self.scheduled.iter().position(|&(s, a)| s == step && a == action) {
+            self.scheduled.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hook called by the run loop before attempting `step`: applies any
+    /// armed in-memory corruption to the state.
+    pub fn before_step(&mut self, sim: &mut Simulation<'_>, step: usize) {
+        if self.consume(step, FaultAction::InjectNan) {
+            let n = sim.n_local();
+            let count = 1 + self.rng.gen_range(0..3);
+            let mut hit = Vec::with_capacity(count);
+            for _ in 0..count {
+                let i = self.rng.gen_range(0..n);
+                sim.state.u[0][i] = f64::NAN;
+                hit.push(i);
+            }
+            self.fired.push(format!("step {step}: injected NaN into u[0] at nodes {hit:?}"));
+        }
+    }
+
+    /// Hook called before a checkpoint write at `step`: returns the
+    /// synthetic error the write must fail with, if one is armed.
+    pub fn take_write_failure(&mut self, step: usize) -> Option<std::io::Error> {
+        if self.consume(step, FaultAction::FailCheckpointWrite) {
+            self.fired.push(format!("step {step}: failed checkpoint write (injected)"));
+            Some(std::io::Error::other("injected checkpoint write failure"))
+        } else {
+            None
+        }
+    }
+
+    /// Hook called after a checkpoint landed at `path` for `step`: flips
+    /// one seeded bit in the file if armed.
+    pub fn after_checkpoint_write(&mut self, step: usize, path: &Path) {
+        if self.consume(step, FaultAction::CorruptCheckpointWrite) {
+            match std::fs::read(path) {
+                Ok(mut bytes) if !bytes.is_empty() => {
+                    let pos = self.rng.gen_range(0..bytes.len());
+                    let bit = self.rng.gen_range(0..8u32);
+                    bytes[pos] ^= 1 << bit;
+                    if std::fs::write(path, &bytes).is_ok() {
+                        self.fired.push(format!(
+                            "step {step}: flipped bit {bit} of byte {pos} in {}",
+                            path.display()
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() }
+    }
+
+    #[test]
+    fn nan_injection_is_deterministic_and_one_shot() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let make = || {
+            let mut s = Simulation::new(cfg(), &mesh, &part, vec![0, 1], &comm);
+            s.init_rbc();
+            s
+        };
+        let mut s1 = make();
+        let mut s2 = make();
+        let mut p1 = FaultPlan::new(42).inject_nan_at(3);
+        let mut p2 = FaultPlan::new(42).inject_nan_at(3);
+        p1.before_step(&mut s1, 3);
+        p2.before_step(&mut s2, 3);
+        let nan_idx = |s: &Simulation<'_>| -> Vec<usize> {
+            s.state.u[0]
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_nan())
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let i1 = nan_idx(&s1);
+        assert!(!i1.is_empty());
+        assert_eq!(i1, nan_idx(&s2), "same seed must hit the same nodes");
+        assert_eq!(p1.pending(), 0);
+        // One-shot: replaying the step does not re-fire.
+        let mut s3 = make();
+        p1.before_step(&mut s3, 3);
+        assert!(nan_idx(&s3).is_empty());
+    }
+
+    #[test]
+    fn unscheduled_steps_are_untouched() {
+        let mesh = box_mesh(1, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let mut sim = Simulation::new(cfg(), &mesh, &[0], vec![0], &comm);
+        sim.init_rbc();
+        let mut plan = FaultPlan::new(7).inject_nan_at(5);
+        for step in 1..5 {
+            plan.before_step(&mut sim, step);
+        }
+        assert!(sim.state.u[0].iter().all(|v| v.is_finite()));
+        assert_eq!(plan.pending(), 1);
+    }
+
+    #[test]
+    fn write_failure_fires_once() {
+        let mut plan = FaultPlan::new(1).fail_write_at(10);
+        assert!(plan.take_write_failure(9).is_none());
+        let err = plan.take_write_failure(10).expect("armed failure must fire");
+        assert!(err.to_string().contains("injected"));
+        assert!(plan.take_write_failure(10).is_none(), "one-shot");
+        assert_eq!(plan.fired.len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_corruption_flips_exactly_one_bit() {
+        let dir = std::env::temp_dir().join("rbx_faultinject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        let orig = vec![0u8; 256];
+        std::fs::write(&path, &orig).unwrap();
+        let mut plan = FaultPlan::new(99).corrupt_checkpoint_at(4);
+        plan.after_checkpoint_write(4, &path);
+        let now = std::fs::read(&path).unwrap();
+        let differing: u32 = orig
+            .iter()
+            .zip(&now)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1, "exactly one bit must differ");
+        assert_eq!(plan.fired.len(), 1);
+    }
+}

@@ -21,8 +21,11 @@ pub mod case;
 pub mod checkpoint;
 pub mod config;
 pub mod diffops;
+pub mod error;
+pub mod faultinject;
 pub mod fields;
 pub mod observables;
+pub mod recovery;
 pub mod resolution;
 pub mod sim;
 pub mod slice;
@@ -31,11 +34,16 @@ pub mod timeint;
 pub mod timers;
 
 pub use case::{rbc_box_case, rbc_cylinder_case, CaseSetup};
-pub use checkpoint::{read_checkpoint, write_checkpoint};
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointError, CheckpointSet, RestoreOutcome,
+};
 pub use config::SolverConfig;
 pub use diffops::Dealias;
+pub use error::{SimError, StepFault, StepPhase, StepVerdict};
+pub use faultinject::{FaultAction, FaultPlan};
 pub use fields::FlowState;
 pub use observables::Observables;
+pub use recovery::{RecoveryEvent, RecoveryPolicy, ResilientRunner, RunReport};
 pub use resolution::{ElementResolution, SpectralIndicator};
 pub use sim::Simulation;
 pub use stats::{RunStatistics, RunningMean, ZProfiles};

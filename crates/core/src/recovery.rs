@@ -1,0 +1,474 @@
+//! The fault-tolerant run loop: checkpoint, detect, roll back, retune,
+//! resume.
+//!
+//! Week-long DNS campaigns meet faults the solver cannot prevent: an
+//! aggressive time step that finally trips nonlinear instability, a bad
+//! node producing NaNs, a torn or bit-rotten checkpoint. The
+//! [`ResilientRunner`] wraps [`Simulation::try_step`] with a recovery
+//! state machine:
+//!
+//! ```text
+//!         ┌────────────── healthy step ──────────────┐
+//!         ▼                                          │
+//!   ┌──────────┐  every K steps   ┌────────────┐     │
+//!   │ stepping ├─────────────────►│ checkpoint ├─────┘
+//!   └────┬─────┘                  └────────────┘
+//!        │ diverged (NaN / fatal solver breakdown)
+//!        ▼
+//!   ┌──────────┐ restore newest verified generation; on repeat failure
+//!   │ rollback ├ at the same step, escalate to older generations;
+//!   └────┬─────┘ dt ← max(dt·factor, dt_min)
+//!        │ budget left? resume stepping : RecoveryExhausted
+//! ```
+//!
+//! Every transition is recorded as a [`RecoveryEvent`], so a post-mortem
+//! can reconstruct exactly what the run did. Injected faults (via
+//! [`FaultPlan`]) drive the same code paths as real ones.
+
+use crate::checkpoint::{CheckpointError, CheckpointSet};
+use crate::error::SimError;
+use crate::faultinject::FaultPlan;
+use crate::sim::{Simulation, StepStats};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Tunables for the recovery loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Total rollbacks allowed before giving up.
+    pub max_rollbacks: usize,
+    /// Multiply dt by this after every rollback (< 1).
+    pub dt_factor: f64,
+    /// Never reduce dt below this.
+    pub min_dt: f64,
+    /// Write a checkpoint every this many completed steps.
+    pub checkpoint_every: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { max_rollbacks: 5, dt_factor: 0.5, min_dt: 1e-10, checkpoint_every: 10 }
+    }
+}
+
+/// One entry in the recovery loop's structured event log.
+#[derive(Debug)]
+pub enum RecoveryEvent {
+    /// A checkpoint generation was written (and pruned into rotation).
+    CheckpointWritten {
+        /// Step the checkpoint captures.
+        istep: usize,
+        /// Where it was written.
+        path: PathBuf,
+    },
+    /// A checkpoint write failed; the run continued on older generations.
+    CheckpointWriteFailed {
+        /// Step whose checkpoint failed.
+        istep: usize,
+        /// Why.
+        error: String,
+    },
+    /// A step completed but one or more solves missed tolerance.
+    DegradedStep {
+        /// The degraded step.
+        istep: usize,
+        /// First fault observed.
+        fault: String,
+    },
+    /// A step produced an unusable state.
+    Divergence {
+        /// The diverged step.
+        istep: usize,
+        /// What went wrong.
+        fault: String,
+    },
+    /// A checkpoint generation failed verification during restore.
+    GenerationRejected {
+        /// The rejected file.
+        path: PathBuf,
+        /// Why it was rejected.
+        error: String,
+    },
+    /// State was rolled back and the time step reduced.
+    RolledBack {
+        /// Step the run had reached when it diverged.
+        from_step: usize,
+        /// Step of the restored checkpoint.
+        to_step: usize,
+        /// Generation restored.
+        path: PathBuf,
+        /// Time step after reduction.
+        new_dt: f64,
+        /// Generations deliberately skipped (escalation), beyond any that
+        /// failed verification.
+        skipped_generations: usize,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::CheckpointWritten { istep, path } => {
+                write!(f, "step {istep}: checkpoint written to {}", path.display())
+            }
+            RecoveryEvent::CheckpointWriteFailed { istep, error } => {
+                write!(f, "step {istep}: checkpoint write FAILED: {error}")
+            }
+            RecoveryEvent::DegradedStep { istep, fault } => {
+                write!(f, "step {istep}: degraded ({fault})")
+            }
+            RecoveryEvent::Divergence { istep, fault } => {
+                write!(f, "step {istep}: DIVERGED ({fault})")
+            }
+            RecoveryEvent::GenerationRejected { path, error } => {
+                write!(f, "restore rejected {}: {error}", path.display())
+            }
+            RecoveryEvent::RolledBack { from_step, to_step, path, new_dt, skipped_generations } => {
+                write!(
+                    f,
+                    "rolled back {from_step} → {to_step} from {} (dt → {new_dt:.3e}, {skipped_generations} generation(s) skipped)",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+/// Summary of a completed resilient run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Step counter at completion (== the requested target).
+    pub steps_completed: usize,
+    /// Rollbacks performed.
+    pub rollbacks: usize,
+    /// dt at the end of the run.
+    pub final_dt: f64,
+    /// Full structured event log, in order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Drives a [`Simulation`] to a target step with checkpointing, health
+/// monitoring, and rollback-based recovery.
+pub struct ResilientRunner {
+    /// Rotation set used for both periodic checkpoints and rollback.
+    pub checkpoints: CheckpointSet,
+    /// Recovery tunables.
+    pub policy: RecoveryPolicy,
+    /// Fault schedule (defaults to none); drives the same code paths as
+    /// real faults.
+    pub faults: FaultPlan,
+}
+
+impl ResilientRunner {
+    /// A runner over `checkpoints` with the given policy and no injected
+    /// faults.
+    pub fn new(checkpoints: CheckpointSet, policy: RecoveryPolicy) -> Self {
+        Self { checkpoints, policy, faults: FaultPlan::none() }
+    }
+
+    /// Attach a deterministic fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Advance `sim` to `target_step`, recovering from divergence by
+    /// rolling back to the newest verified checkpoint and reducing dt.
+    pub fn run(
+        &mut self,
+        sim: &mut Simulation<'_>,
+        target_step: usize,
+    ) -> Result<RunReport, SimError> {
+        self.run_with(sim, target_step, |_, _| {})
+    }
+
+    /// [`ResilientRunner::run`] with a per-step observer (sampling,
+    /// output); the observer sees only steps that completed with a usable
+    /// state.
+    pub fn run_with(
+        &mut self,
+        sim: &mut Simulation<'_>,
+        target_step: usize,
+        mut on_step: impl FnMut(&Simulation<'_>, &StepStats),
+    ) -> Result<RunReport, SimError> {
+        let mut events = Vec::new();
+        let mut rollbacks = 0usize;
+        let mut skip_escalation = 0usize;
+        let mut last_divergence_step: Option<usize> = None;
+
+        // Anchor checkpoint: the first rollback needs a target even if the
+        // very first step diverges. Failure here is fatal — a run that
+        // cannot write its anchor has no recovery story at all.
+        self.checkpoint_now(sim, &mut events)?;
+
+        while sim.state.istep < target_step {
+            let next = sim.state.istep + 1;
+            self.faults.before_step(sim, next);
+            match sim.try_step() {
+                Ok(stats) => {
+                    if let Some(fault) = stats.verdict.fault() {
+                        events.push(RecoveryEvent::DegradedStep {
+                            istep: sim.state.istep,
+                            fault: fault.to_string(),
+                        });
+                    }
+                    on_step(sim, &stats);
+                    // `checkpoint_every == 0` means anchor-only: recovery
+                    // still works, it just always rolls back to the start.
+                    let due = self.policy.checkpoint_every > 0
+                        && (sim.state.istep.is_multiple_of(self.policy.checkpoint_every)
+                            || sim.state.istep == target_step);
+                    if due {
+                        // Mid-run write failures degrade rotation depth but
+                        // must not kill a healthy simulation.
+                        let _ = self.checkpoint_now(sim, &mut events);
+                    }
+                }
+                Err(SimError::Diverged { istep, fault, .. }) => {
+                    events.push(RecoveryEvent::Divergence { istep, fault: fault.to_string() });
+                    if rollbacks >= self.policy.max_rollbacks {
+                        return Err(SimError::RecoveryExhausted {
+                            retries: rollbacks,
+                            last: fault.to_string(),
+                        });
+                    }
+                    // Re-diverging at the same step after a rollback means
+                    // the newest generation (or the dt reduction) is not
+                    // enough — escalate to older generations.
+                    if last_divergence_step == Some(istep) {
+                        skip_escalation += 1;
+                    } else {
+                        skip_escalation = 0;
+                        last_divergence_step = Some(istep);
+                    }
+                    let from_step = istep;
+                    let outcome = match self.checkpoints.restore_skipping(sim, skip_escalation) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            return Err(SimError::RecoveryExhausted {
+                                retries: rollbacks,
+                                last: e.to_string(),
+                            })
+                        }
+                    };
+                    for (path, error) in &outcome.rejected {
+                        events.push(RecoveryEvent::GenerationRejected {
+                            path: path.clone(),
+                            error: error.to_string(),
+                        });
+                    }
+                    let new_dt = (sim.cfg.dt * self.policy.dt_factor).max(self.policy.min_dt);
+                    sim.set_dt(new_dt);
+                    rollbacks += 1;
+                    events.push(RecoveryEvent::RolledBack {
+                        from_step,
+                        to_step: sim.state.istep,
+                        path: outcome.path,
+                        new_dt,
+                        skipped_generations: skip_escalation,
+                    });
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        Ok(RunReport {
+            steps_completed: sim.state.istep,
+            rollbacks,
+            final_dt: sim.cfg.dt,
+            events,
+        })
+    }
+
+    /// Write a checkpoint generation now, honoring any armed write-fault,
+    /// and record the outcome.
+    fn checkpoint_now(
+        &mut self,
+        sim: &Simulation<'_>,
+        events: &mut Vec<RecoveryEvent>,
+    ) -> Result<(), CheckpointError> {
+        let istep = sim.state.istep;
+        if let Some(source) = self.faults.take_write_failure(istep) {
+            let err =
+                CheckpointError::Io { path: self.checkpoints.path_for_step(istep), source };
+            events.push(RecoveryEvent::CheckpointWriteFailed {
+                istep,
+                error: err.to_string(),
+            });
+            return Err(err);
+        }
+        match self.checkpoints.write(sim) {
+            Ok(path) => {
+                self.faults.after_checkpoint_write(istep, &path);
+                events.push(RecoveryEvent::CheckpointWritten { istep, path });
+                Ok(())
+            }
+            Err(e) => {
+                events.push(RecoveryEvent::CheckpointWriteFailed {
+                    istep,
+                    error: e.to_string(),
+                });
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+    use std::path::Path;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rbx_recovery_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sim_in<'a>(
+        mesh: &'a rbx_mesh::HexMesh,
+        part: &'a [usize],
+        comm: &'a SingleComm,
+    ) -> Simulation<'a> {
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let mut sim = Simulation::new(cfg(), mesh, part, my, comm);
+        sim.init_rbc();
+        sim
+    }
+
+    fn policy(every: usize, max_rollbacks: usize) -> RecoveryPolicy {
+        RecoveryPolicy { checkpoint_every: every, max_rollbacks, ..Default::default() }
+    }
+
+    #[test]
+    fn fault_free_run_reaches_target_without_rollbacks() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let mut sim = sim_in(&mesh, &part, &comm);
+        let dir = tmpdir("clean");
+        let mut runner =
+            ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3));
+        let mut observed = 0usize;
+        let report = runner.run_with(&mut sim, 6, |_, stats| {
+            assert!(stats.converged);
+            observed += 1;
+        });
+        let report = report.unwrap();
+        assert_eq!(report.steps_completed, 6);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(observed, 6);
+        // Anchor + steps 2, 4, 6.
+        let written = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::CheckpointWritten { .. }))
+            .count();
+        assert_eq!(written, 4, "{:#?}", report.events);
+        assert!(!runner.checkpoints.generations().is_empty());
+    }
+
+    #[test]
+    fn recovers_from_injected_nan_with_rollback_and_dt_reduction() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let mut sim = sim_in(&mesh, &part, &comm);
+        let dt0 = sim.cfg.dt;
+        let dir = tmpdir("nan");
+        let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3))
+            .with_faults(FaultPlan::new(11).inject_nan_at(5));
+        let report = runner.run(&mut sim, 8).unwrap();
+        assert_eq!(report.steps_completed, 8);
+        assert_eq!(report.rollbacks, 1);
+        assert!((report.final_dt - dt0 * 0.5).abs() < 1e-18, "dt not halved");
+        assert_eq!(sim.find_non_finite(), None, "state must be clean after recovery");
+        // The log tells the whole story: divergence at 5, rollback to 4.
+        assert!(report.events.iter().any(
+            |e| matches!(e, RecoveryEvent::Divergence { istep: 5, .. })
+        ), "{:#?}", report.events);
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::RolledBack { from_step: 5, to_step: 4, .. }
+        )), "{:#?}", report.events);
+        assert_eq!(runner.faults.pending(), 0);
+    }
+
+    #[test]
+    fn corrupted_newest_generation_is_skipped_during_rollback() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let mut sim = sim_in(&mesh, &part, &comm);
+        let dir = tmpdir("corrupt");
+        // Checkpoint at 2 and 4; the one at 4 gets a bit flip on disk; NaN
+        // at 5 forces a rollback that must reject generation 4 and land on
+        // generation 2.
+        let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3))
+            .with_faults(
+                FaultPlan::new(23).corrupt_checkpoint_at(4).inject_nan_at(5),
+            );
+        let report = runner.run(&mut sim, 8).unwrap();
+        assert_eq!(report.steps_completed, 8);
+        assert_eq!(report.rollbacks, 1);
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::GenerationRejected { path, .. }
+                if path.to_string_lossy().contains("chk_0000000004")
+        )), "{:#?}", report.events);
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::RolledBack { from_step: 5, to_step: 2, .. }
+        )), "{:#?}", report.events);
+    }
+
+    #[test]
+    fn checkpoint_write_failure_mid_run_is_tolerated() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let mut sim = sim_in(&mesh, &part, &comm);
+        let dir = tmpdir("wfail");
+        let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3))
+            .with_faults(FaultPlan::new(3).fail_write_at(4));
+        let report = runner.run(&mut sim, 6).unwrap();
+        assert_eq!(report.steps_completed, 6);
+        assert!(report.events.iter().any(
+            |e| matches!(e, RecoveryEvent::CheckpointWriteFailed { istep: 4, .. })
+        ), "{:#?}", report.events);
+        // The generation at step 4 must simply be absent from rotation.
+        assert!(!Path::new(&dir).join("chk_0000000004.bpl").exists());
+    }
+
+    #[test]
+    fn persistent_divergence_exhausts_the_budget() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let mut sim = sim_in(&mesh, &part, &comm);
+        let dir = tmpdir("exhaust");
+        // A fresh fault on every step the run can reach: no amount of
+        // rolling back helps, so the budget (2) must run out.
+        let mut runner =
+            ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(100, 2)).with_faults(
+                FaultPlan::new(5)
+                    .inject_nan_at(3)
+                    .inject_nan_at(4)
+                    .inject_nan_at(5)
+                    .inject_nan_at(6),
+            );
+        let err = runner.run(&mut sim, 20).unwrap_err();
+        match err {
+            SimError::RecoveryExhausted { retries, .. } => assert_eq!(retries, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::config::{SolverConfig, ThermalBc};
 use crate::diffops::{curl, phys_grad, weak_divergence, Dealias, DiffScratch};
+use crate::error::{SimError, StepFault, StepPhase, StepVerdict};
 use crate::fields::FlowState;
 use crate::timeint::{bdf_coeffs_variable, effective_order, ext_coeffs_variable};
 use crate::timers::{Phase, PhaseTimers};
@@ -28,7 +29,7 @@ use rbx_la::helmholtz::{HelmholtzOp, HelmholtzScratch};
 use rbx_la::jacobi::{assembled_diagonal, jacobi_apply};
 use rbx_la::krylov::{fgmres, pcg, SolveStats};
 use rbx_la::ops::{hadamard, ortho_project_mean, DotProduct};
-use rbx_la::{CoarseGrid, ElementFdm, SchwarzMg, SolutionProjection};
+use rbx_la::{CoarseGrid, ElementFdm, SchwarzMg, SolutionProjection, SolveHealth};
 use rbx_mesh::{BoundaryTag, GeomFactors, HexMesh};
 use std::sync::Arc;
 
@@ -53,6 +54,9 @@ pub struct StepStats {
     pub t_iters: usize,
     /// Whether all solves met their tolerances.
     pub converged: bool,
+    /// Health verdict for the step: solver breakdowns and a non-finite
+    /// field scan, aggregated (see [`StepVerdict`]).
+    pub verdict: StepVerdict,
 }
 
 /// One rank's share of an RBC simulation.
@@ -435,6 +439,14 @@ impl<'a> Simulation<'a> {
         stats.t_iters = t_stats.iterations;
         stats.converged &= t_stats.converged;
 
+        stats.verdict = self.classify_step(&[
+            (StepPhase::Pressure, p_stats.health),
+            (StepPhase::Velocity(0), v_stats[0].health),
+            (StepPhase::Velocity(1), v_stats[1].health),
+            (StepPhase::Velocity(2), v_stats[2].health),
+            (StepPhase::Temperature, t_stats.health),
+        ]);
+
         self.state.istep = istep;
         self.state.time += dt;
         self.state.dt_hist.insert(0, dt);
@@ -442,6 +454,74 @@ impl<'a> Simulation<'a> {
         self.timers.complete_step();
         self.last = stats;
         stats
+    }
+
+    /// Advance one time step, surfacing an unusable state as an error.
+    ///
+    /// Identical to [`Simulation::step`] except that a
+    /// [`StepVerdict::Diverged`] outcome becomes [`SimError::Diverged`] so
+    /// callers (the fault-tolerant run loop in particular) cannot ignore
+    /// it. A merely [`StepVerdict::Degraded`] step still returns `Ok` —
+    /// the state is finite and usable.
+    pub fn try_step(&mut self) -> Result<StepStats, SimError> {
+        let stats = self.step();
+        match stats.verdict {
+            StepVerdict::Diverged(fault) => Err(SimError::Diverged {
+                istep: self.state.istep,
+                time: self.state.time,
+                fault,
+            }),
+            _ => Ok(stats),
+        }
+    }
+
+    /// Aggregate per-solve health and a direct field scan into one step
+    /// verdict. Fatal solver breakdowns dominate, then non-finite fields
+    /// (catches corruption the solvers never saw), then tolerance misses.
+    fn classify_step(&self, solves: &[(StepPhase, SolveHealth)]) -> StepVerdict {
+        for &(phase, health) in solves {
+            if health.is_fatal() {
+                let error = health.error().expect("fatal health carries an error");
+                return StepVerdict::Diverged(StepFault::Solve { phase, error });
+            }
+        }
+        if let Some(field) = self.find_non_finite() {
+            return StepVerdict::Diverged(StepFault::NonFiniteField { field });
+        }
+        for &(phase, health) in solves {
+            if let Some(error) = health.error() {
+                return StepVerdict::Degraded(StepFault::Solve { phase, error });
+            }
+        }
+        StepVerdict::Healthy
+    }
+
+    /// Name of the first primary field containing a non-finite value.
+    pub fn find_non_finite(&self) -> Option<&'static str> {
+        const U_NAMES: [&str; 3] = ["u[0]", "u[1]", "u[2]"];
+        for d in 0..3 {
+            if self.state.u[d].iter().any(|v| !v.is_finite()) {
+                return Some(U_NAMES[d]);
+            }
+        }
+        if self.state.p.iter().any(|v| !v.is_finite()) {
+            return Some("p");
+        }
+        if self.state.t.iter().any(|v| !v.is_finite()) {
+            return Some("t");
+        }
+        None
+    }
+
+    /// Drop the pressure solution-recycling space.
+    ///
+    /// Must be called whenever the state is replaced wholesale (checkpoint
+    /// restore, rollback): the space is not part of the checkpoint, and a
+    /// basis built from a diverged trajectory — or polluted by non-finite
+    /// directions — would otherwise survive the rollback and poison every
+    /// later pressure solve.
+    pub fn reset_projection(&mut self) {
+        self.p_proj.clear();
     }
 
     fn pressure_solve(
@@ -534,8 +614,9 @@ impl<'a> Simulation<'a> {
                 // Production-style diagnostic: a stalled pressure solve is
                 // the first thing to debug in a failing DNS.
                 eprintln!(
-                    "[rbx] pressure GMRES stalled: {} iters, residual {:.3e} \
+                    "[rbx] pressure GMRES {}: {} iters, residual {:.3e} \
                      (initial {:.3e}, deflated rhs {:.3e}, projected guess {:.3e}, space {} vecs)",
+                    stats.health,
                     stats.iterations,
                     stats.final_residual,
                     stats.initial_residual,
@@ -618,6 +699,7 @@ impl<'a> Simulation<'a> {
             initial_residual: 0.0,
             final_residual: 0.0,
             converged: true,
+            health: SolveHealth::Healthy,
         }; 3];
         for d in 0..3 {
             let mut rhs = vec![0.0; n];
@@ -815,6 +897,93 @@ mod tests {
         sim.step();
         assert_eq!(sim.state.istep, 2);
         assert!((sim.state.time - 2e-3).abs() < 1e-15);
+    }
+}
+
+#[cfg(test)]
+mod health_tests {
+    use super::*;
+    use rbx_comm::SingleComm;
+    use rbx_mesh::generators::box_mesh;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() }
+    }
+
+    fn small_sim<'a>(mesh: &'a HexMesh, comm: &'a SingleComm) -> Simulation<'a> {
+        let part = vec![0; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        Simulation::new(cfg(), mesh, &part, my, comm)
+    }
+
+    #[test]
+    fn healthy_run_reports_healthy_verdict() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let mut sim = small_sim(&mesh, &comm);
+        sim.init_rbc();
+        for _ in 0..3 {
+            let stats = sim.step();
+            assert!(stats.converged);
+            assert!(stats.verdict.is_healthy(), "{:?}", stats.verdict);
+            assert_eq!(stats.verdict.fault(), None);
+        }
+    }
+
+    #[test]
+    fn nan_seeded_field_diverges_within_one_step() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let mut sim = small_sim(&mesh, &comm);
+        sim.init_rbc();
+        assert!(sim.step().converged);
+        // A single NaN anywhere in the velocity (bad reduction, cosmic
+        // ray, injected fault) must be flagged on the very next step, not
+        // silently ground through the full iteration budget.
+        sim.state.u[0][3] = f64::NAN;
+        let stats = sim.step();
+        assert!(!stats.converged);
+        assert!(stats.verdict.is_diverged(), "{:?}", stats.verdict);
+        // And it must be cheap: solvers bail immediately on non-finite
+        // residuals instead of iterating to the cap.
+        assert!(
+            stats.p_iters == 0 && stats.t_iters == 0,
+            "solvers iterated on NaN: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn try_step_surfaces_divergence_as_error() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let mut sim = small_sim(&mesh, &comm);
+        sim.init_rbc();
+        assert!(sim.try_step().is_ok());
+        sim.state.t[0] = f64::INFINITY;
+        let err = sim.try_step().expect_err("Inf state must error");
+        match err {
+            SimError::Diverged { istep, fault, .. } => {
+                assert_eq!(istep, 2);
+                // Display must name the phase or the field.
+                let msg = fault.to_string();
+                assert!(!msg.is_empty());
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn find_non_finite_names_the_field() {
+        let mesh = box_mesh(1, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let mut sim = small_sim(&mesh, &comm);
+        sim.init_rbc();
+        assert_eq!(sim.find_non_finite(), None);
+        sim.state.p[0] = f64::NAN;
+        assert_eq!(sim.find_non_finite(), Some("p"));
+        sim.state.p[0] = 0.0;
+        sim.state.u[2][0] = f64::NEG_INFINITY;
+        assert_eq!(sim.find_non_finite(), Some("u[2]"));
     }
 }
 

@@ -123,28 +123,61 @@ pub fn encode_step(step: &StepData) -> Bytes {
     buf.freeze()
 }
 
-fn decode_step(buf: &mut impl Buf) -> StepData {
+/// Build the descriptive `InvalidData` error every malformed-file case
+/// maps to: readers never panic on foreign bytes.
+fn malformed(detail: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("malformed BPL data: {detail}"))
+}
+
+/// Guard a fixed-size read against truncation.
+fn need(buf: &impl Buf, bytes: usize, what: &str) -> std::io::Result<()> {
+    if buf.remaining() < bytes {
+        return Err(malformed(format!(
+            "truncated: need {bytes} byte(s) for {what}, only {} left",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+fn decode_step(buf: &mut impl Buf) -> std::io::Result<StepData> {
+    need(buf, 1 + 8 + 8 + 4, "step header")?;
     let marker = buf.get_u8();
-    assert_eq!(marker, STEP_MARKER, "corrupt step marker");
+    if marker != STEP_MARKER {
+        return Err(malformed(format!(
+            "bad step marker {marker:#04x} (expected {STEP_MARKER:#04x})"
+        )));
+    }
     let step = buf.get_u64_le();
     let time = buf.get_f64_le();
     let nvars = buf.get_u32_le();
-    let mut vars = Vec::with_capacity(nvars as usize);
-    for _ in 0..nvars {
+    let mut vars = Vec::new();
+    for i in 0..nvars {
+        need(buf, 2, "variable name length")?;
         let name_len = buf.get_u16_le() as usize;
+        need(buf, name_len, "variable name")?;
         let mut name_bytes = vec![0u8; name_len];
         buf.copy_to_slice(&mut name_bytes);
-        let name = String::from_utf8(name_bytes).expect("non-UTF-8 variable name");
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| malformed(format!("variable {i} name is not UTF-8")))?;
+        need(buf, 2, "variable dtype/ndims")?;
         let dtype = buf.get_u8();
         let ndims = buf.get_u8() as usize;
+        need(buf, ndims * 8, "variable shape")?;
         let mut shape = Vec::with_capacity(ndims);
         for _ in 0..ndims {
             shape.push(buf.get_u64_le());
         }
+        need(buf, 8, "payload length")?;
         let payload_len = buf.get_u64_le() as usize;
+        need(buf, payload_len, "variable payload")?;
         let data = match dtype {
             0 => {
-                assert_eq!(payload_len % 8, 0);
+                if !payload_len.is_multiple_of(8) {
+                    return Err(malformed(format!(
+                        "f64 variable {name:?} payload length {payload_len} not a multiple of 8"
+                    )));
+                }
                 let mut v = Vec::with_capacity(payload_len / 8);
                 for _ in 0..payload_len / 8 {
                     v.push(buf.get_f64_le());
@@ -156,11 +189,13 @@ fn decode_step(buf: &mut impl Buf) -> StepData {
                 buf.copy_to_slice(&mut v);
                 VarData::Bytes(v)
             }
-            other => panic!("unknown dtype {other}"),
+            other => {
+                return Err(malformed(format!("variable {name:?} has unknown dtype {other}")))
+            }
         };
         vars.push(Variable { name, shape, data });
     }
-    StepData { step, time, vars }
+    Ok(StepData { step, time, vars })
 }
 
 /// Streaming file writer.
@@ -193,23 +228,38 @@ impl BplWriter {
     pub fn close(mut self) -> std::io::Result<()> {
         self.file.flush()
     }
+
+    /// Flush, then fsync to durable storage before closing. Checkpoint
+    /// writers use this so a rename-over can't expose a half-written file
+    /// after a crash.
+    pub fn close_sync(mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_all()
+    }
 }
 
 /// Whole-file reader.
+#[derive(Debug)]
 pub struct BplReader {
     steps: Vec<StepData>,
 }
 
 impl BplReader {
-    /// Read and parse the whole file.
+    /// Read and parse the whole file. Any malformed content — truncation,
+    /// bad magic, unknown dtypes — is a descriptive
+    /// [`std::io::ErrorKind::InvalidData`] error, never a panic.
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let mut raw = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut raw)?;
-        assert!(raw.len() >= 4 && &raw[..4] == MAGIC, "not a BPL file");
+        if raw.len() < 4 || &raw[..4] != MAGIC {
+            return Err(malformed(format!("{}: not a BPL file (bad magic)", path.display())));
+        }
         let mut buf = &raw[4..];
         let mut steps = Vec::new();
         while buf.has_remaining() {
-            steps.push(decode_step(&mut buf));
+            steps.push(decode_step(&mut buf).map_err(|e| {
+                malformed(format!("{} (step {}): {e}", path.display(), steps.len()))
+            })?);
         }
         Ok(Self { steps })
     }
@@ -227,6 +277,35 @@ pub fn write_bpl(path: &Path, steps: &[StepData]) -> std::io::Result<()> {
         w.write_step(s)?;
     }
     w.close()
+}
+
+/// Crash-safe variant of [`write_bpl`]: the data goes to a temporary
+/// sibling first, is fsynced, and is renamed over `path` only once it is
+/// durable; the parent directory is then fsynced so the rename itself
+/// survives a crash. A reader (or a crash mid-write) therefore sees either
+/// the complete old file or the complete new file, never a torn one.
+pub fn write_bpl_atomic(path: &Path, steps: &[StepData]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut w = BplWriter::create(&tmp)?;
+    for s in steps {
+        w.write_step(s)?;
+    }
+    w.close_sync()?;
+    std::fs::rename(&tmp, path)?;
+    // Persist the directory entry; without this the rename can be lost on
+    // power failure even though the file contents are safe.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Convenience: read all steps from a file.
@@ -254,7 +333,7 @@ mod tests {
         let s = sample_step(3);
         let bytes = encode_step(&s);
         let mut buf = &bytes[..];
-        let back = decode_step(&mut buf);
+        let back = decode_step(&mut buf).unwrap();
         assert_eq!(back, s);
         assert!(!buf.has_remaining());
     }
@@ -283,16 +362,63 @@ mod tests {
         let s = StepData { step: 9, time: 1.25, vars: vec![] };
         let bytes = encode_step(&s);
         let mut buf = &bytes[..];
-        assert_eq!(decode_step(&mut buf), s);
+        assert_eq!(decode_step(&mut buf).unwrap(), s);
     }
 
     #[test]
-    #[should_panic(expected = "not a BPL file")]
     fn rejects_garbage_file() {
         let dir = std::env::temp_dir().join("rbx_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.bpl");
         std::fs::write(&path, b"nope").unwrap();
-        let _ = BplReader::open(&path);
+        let err = BplReader::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not a BPL file"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("rbx_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.bpl");
+        write_bpl(&path, &[sample_step(1)]).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let err = BplReader::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_dtype() {
+        let s = sample_step(0);
+        let mut bytes = encode_step(&s).to_vec();
+        // dtype byte of the first variable: step header (21) + name_len (2)
+        // + name bytes.
+        let off = 21 + 2 + s.vars[0].name.len();
+        bytes[off] = 9;
+        let mut buf = &bytes[..];
+        let err = decode_step(&mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown dtype"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_leaves_no_temp(){
+        let dir = std::env::temp_dir().join("rbx_io_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.bpl");
+        let steps: Vec<StepData> = (0..3).map(sample_step).collect();
+        write_bpl_atomic(&path, &steps).unwrap();
+        assert_eq!(read_bpl(&path).unwrap(), steps);
+        // Overwrite in place: readers must never see a torn file.
+        let steps2: Vec<StepData> = (5..7).map(sample_step).collect();
+        write_bpl_atomic(&path, &steps2).unwrap();
+        assert_eq!(read_bpl(&path).unwrap(), steps2);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
     }
 }

@@ -17,8 +17,12 @@
 
 mod engine;
 mod format;
+pub mod integrity;
 pub mod vtk;
 
 pub use engine::{staging_channel, AsyncBplWriter, StagingReader, StagingWriter};
-pub use format::{read_bpl, write_bpl, BplReader, BplWriter, StepData, VarData, Variable};
+pub use format::{
+    read_bpl, write_bpl, write_bpl_atomic, BplReader, BplWriter, StepData, VarData, Variable,
+};
+pub use integrity::{crc64, crc64_f64s, Crc64};
 pub use vtk::write_vtk;

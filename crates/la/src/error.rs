@@ -1,0 +1,131 @@
+//! Typed Krylov-solve failures and the per-solve health verdict.
+//!
+//! A DNS campaign cannot afford solvers that "return garbage politely":
+//! a NaN that enters the pressure field propagates to every subsequent
+//! step and poisons weeks of trajectory. Every [`crate::krylov`] solve
+//! therefore classifies how it ended — clean convergence, a recoverable
+//! shortfall (iteration cap, stagnation), or a fatal breakdown (non-finite
+//! or exploding residuals) — and the simulation layer turns that into a
+//! step-level verdict that drives checkpoint rollback.
+
+use std::fmt;
+
+/// Why a Krylov solve did not converge cleanly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolveError {
+    /// The residual norm became NaN or infinite — the iterate is garbage.
+    NonFiniteResidual {
+        /// Iteration at which the non-finite value was detected (0 = the
+        /// initial residual was already non-finite).
+        iteration: usize,
+    },
+    /// The residual grew far beyond the initial residual — the iteration
+    /// is running away rather than converging.
+    Diverged {
+        /// Iteration at which divergence was declared.
+        iteration: usize,
+        /// Residual norm at that iteration.
+        residual: f64,
+        /// Initial residual norm.
+        initial: f64,
+    },
+    /// No meaningful residual reduction over a long window — the solver is
+    /// stuck (typically a lost preconditioner or an inconsistent system).
+    Stagnated {
+        /// Iteration at which stagnation was declared.
+        iteration: usize,
+        /// Residual norm at that iteration.
+        residual: f64,
+    },
+    /// CG observed `⟨p, Ap⟩ ≤ 0`: the operator is not positive definite
+    /// (or round-off has destroyed the search direction).
+    IndefiniteOperator {
+        /// Iteration at which the breakdown happened.
+        iteration: usize,
+        /// The offending curvature value.
+        pap: f64,
+    },
+    /// The iteration budget ran out before the tolerance was met; the
+    /// iterate is finite and partially converged.
+    IterationLimit {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+        /// Tolerance that was not met.
+        target: f64,
+    },
+}
+
+impl SolveError {
+    /// True when the failure means the iterate cannot be trusted at all
+    /// (non-finite or exploding), as opposed to merely not fully converged.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, SolveError::NonFiniteResidual { .. } | SolveError::Diverged { .. })
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NonFiniteResidual { iteration } => {
+                write!(f, "non-finite residual at iteration {iteration}")
+            }
+            SolveError::Diverged { iteration, residual, initial } => write!(
+                f,
+                "diverged at iteration {iteration}: residual {residual:.3e} from initial {initial:.3e}"
+            ),
+            SolveError::Stagnated { iteration, residual } => {
+                write!(f, "stagnated at iteration {iteration} with residual {residual:.3e}")
+            }
+            SolveError::IndefiniteOperator { iteration, pap } => {
+                write!(f, "indefinite operator at iteration {iteration} (pAp = {pap:.3e})")
+            }
+            SolveError::IterationLimit { iterations, residual, target } => write!(
+                f,
+                "iteration limit {iterations} reached: residual {residual:.3e} > target {target:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Health verdict attached to every [`crate::krylov::SolveStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SolveHealth {
+    /// Converged within tolerance, all residuals finite.
+    #[default]
+    Healthy,
+    /// The solve failed; see the error for how.
+    Failed(SolveError),
+}
+
+impl SolveHealth {
+    /// True when the solve converged cleanly.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, SolveHealth::Healthy)
+    }
+
+    /// The failure, if any.
+    pub fn error(&self) -> Option<SolveError> {
+        match self {
+            SolveHealth::Healthy => None,
+            SolveHealth::Failed(e) => Some(*e),
+        }
+    }
+
+    /// True when the iterate is unusable (see [`SolveError::is_fatal`]).
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, SolveHealth::Failed(e) if e.is_fatal())
+    }
+}
+
+impl fmt::Display for SolveHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveHealth::Healthy => write!(f, "healthy"),
+            SolveHealth::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}

@@ -6,6 +6,19 @@
 //! and inner products are passed as closures so any combination of
 //! [`crate::HelmholtzOp`], masks and communicators can be driven.
 
+use crate::error::{SolveError, SolveHealth};
+
+/// Residual growth beyond this factor of the initial residual is declared
+/// divergence — the iterate is then treated as unusable.
+const GROWTH_LIMIT: f64 = 1e8;
+/// Iterations (CG) or restart cycles (GMRES) without meaningful progress
+/// before declaring stagnation.
+const STALL_ITERS: usize = 100;
+const STALL_CYCLES: usize = 3;
+/// "Meaningful progress": the best residual must improve by at least this
+/// relative amount within the stall window.
+const STALL_RTOL: f64 = 1e-3;
+
 /// Outcome of a Krylov solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
@@ -17,6 +30,31 @@ pub struct SolveStats {
     pub final_residual: f64,
     /// Whether the tolerance was met within the iteration budget.
     pub converged: bool,
+    /// How the solve ended: clean, recoverable shortfall, or fatal
+    /// breakdown (non-finite / exploding residuals).
+    pub health: SolveHealth,
+}
+
+impl SolveStats {
+    fn converged_at(iterations: usize, initial: f64, residual: f64) -> Self {
+        Self {
+            iterations,
+            initial_residual: initial,
+            final_residual: residual,
+            converged: true,
+            health: SolveHealth::Healthy,
+        }
+    }
+
+    fn failed(iterations: usize, initial: f64, residual: f64, error: SolveError) -> Self {
+        Self {
+            iterations,
+            initial_residual: initial,
+            final_residual: residual,
+            converged: false,
+            health: SolveHealth::Failed(error),
+        }
+    }
 }
 
 /// Preconditioned conjugate gradients for an SPD operator.
@@ -49,14 +87,15 @@ pub fn pcg(
         r[i] = b[i] - ap[i];
     }
     let r0 = dot(&r, &r).sqrt();
+    if !r0.is_finite() {
+        // NaN/Inf already in the rhs or the initial guess: report instead
+        // of iterating on garbage (every comparison against NaN is false,
+        // so the loop below would otherwise burn the full budget).
+        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 });
+    }
     let target = tol_abs.max(tol_rel * r0);
     if r0 <= target {
-        return SolveStats {
-            iterations: 0,
-            initial_residual: r0,
-            final_residual: r0,
-            converged: true,
-        };
+        return SolveStats::converged_at(0, r0, r0);
     }
 
     precond(&r, &mut z);
@@ -64,14 +103,22 @@ pub fn pcg(
     let mut rz = dot(&r, &z);
     let mut rnorm = r0;
     let mut iterations = 0;
+    let mut failure: Option<SolveError> = None;
+    let mut best = r0;
+    let mut since_best = 0usize;
 
     for it in 1..=max_iter {
         iterations = it;
         op(&p, &mut ap);
         let pap = dot(&p, &ap);
+        if !pap.is_finite() {
+            failure = Some(SolveError::NonFiniteResidual { iteration: it });
+            break;
+        }
         if pap <= 0.0 {
             // Loss of positive-definiteness (round-off or bad operator);
             // bail with the current iterate.
+            failure = Some(SolveError::IndefiniteOperator { iteration: it, pap });
             break;
         }
         let alpha = rz / pap;
@@ -80,13 +127,26 @@ pub fn pcg(
             r[i] -= alpha * ap[i];
         }
         rnorm = dot(&r, &r).sqrt();
+        if !rnorm.is_finite() {
+            failure = Some(SolveError::NonFiniteResidual { iteration: it });
+            break;
+        }
         if rnorm <= target {
-            return SolveStats {
-                iterations,
-                initial_residual: r0,
-                final_residual: rnorm,
-                converged: true,
-            };
+            return SolveStats::converged_at(iterations, r0, rnorm);
+        }
+        if rnorm > GROWTH_LIMIT * r0 {
+            failure = Some(SolveError::Diverged { iteration: it, residual: rnorm, initial: r0 });
+            break;
+        }
+        if rnorm < best * (1.0 - STALL_RTOL) {
+            best = rnorm;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= STALL_ITERS {
+                failure = Some(SolveError::Stagnated { iteration: it, residual: rnorm });
+                break;
+            }
         }
         precond(&r, &mut z);
         let rz_new = dot(&r, &z);
@@ -96,12 +156,17 @@ pub fn pcg(
             p[i] = z[i] + beta * p[i];
         }
     }
-    SolveStats {
-        iterations,
-        initial_residual: r0,
-        final_residual: rnorm,
-        converged: rnorm <= target,
+    if rnorm.is_finite() && rnorm <= target {
+        // A breakdown at an already-converged point still counts as a
+        // clean solve (pAp round-off near the solution is routine).
+        return SolveStats::converged_at(iterations, r0, rnorm);
     }
+    let error = failure.unwrap_or(SolveError::IterationLimit {
+        iterations,
+        residual: rnorm,
+        target,
+    });
+    SolveStats::failed(iterations, r0, rnorm, error)
 }
 
 /// Flexible GMRES with restart length `m` and right preconditioning.
@@ -133,18 +198,17 @@ pub fn fgmres(
         r[i] = b[i] - w[i];
     }
     let r0 = dot(&r, &r).sqrt();
+    if !r0.is_finite() {
+        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 });
+    }
     let target = tol_abs.max(tol_rel * r0);
     if r0 <= target {
-        return SolveStats {
-            iterations: 0,
-            initial_residual: r0,
-            final_residual: r0,
-            converged: true,
-        };
+        return SolveStats::converged_at(0, r0, r0);
     }
 
     let mut total_iters = 0;
     let mut beta = r0;
+    let mut stalled_cycles = 0usize;
 
     loop {
         // Arnoldi basis V and preconditioned directions Z.
@@ -216,7 +280,10 @@ pub fn fgmres(
             g[j + 1] = -sn[j] * g[j];
             g[j] *= cs[j];
             res = g[j + 1].abs();
-            if res <= target {
+            if res <= target || !res.is_finite() {
+                // Converged — or NaN/Inf contaminated the Hessenberg
+                // update, in which case finishing the cycle is pointless;
+                // the true-residual check below classifies the failure.
                 break;
             }
         }
@@ -239,18 +306,53 @@ pub fn fgmres(
         }
 
         // True residual for the restart / convergence decision.
+        let prev_beta = beta;
         op(x, &mut w);
         for i in 0..n {
             r[i] = b[i] - w[i];
         }
         beta = dot(&r, &r).sqrt();
-        if beta <= target || total_iters >= max_iter {
-            return SolveStats {
-                iterations: total_iters,
-                initial_residual: r0,
-                final_residual: beta,
-                converged: beta <= target,
-            };
+        if !beta.is_finite() {
+            return SolveStats::failed(
+                total_iters,
+                r0,
+                beta,
+                SolveError::NonFiniteResidual { iteration: total_iters },
+            );
+        }
+        if beta <= target {
+            return SolveStats::converged_at(total_iters, r0, beta);
+        }
+        if beta > GROWTH_LIMIT * r0 {
+            return SolveStats::failed(
+                total_iters,
+                r0,
+                beta,
+                SolveError::Diverged { iteration: total_iters, residual: beta, initial: r0 },
+            );
+        }
+        if total_iters >= max_iter {
+            return SolveStats::failed(
+                total_iters,
+                r0,
+                beta,
+                SolveError::IterationLimit { iterations: total_iters, residual: beta, target },
+            );
+        }
+        // Restart-to-restart progress check: GMRES(m) that stops reducing
+        // the true residual across cycles will never finish.
+        if beta < prev_beta * (1.0 - STALL_RTOL) {
+            stalled_cycles = 0;
+        } else {
+            stalled_cycles += 1;
+            if stalled_cycles >= STALL_CYCLES {
+                return SolveStats::failed(
+                    total_iters,
+                    r0,
+                    beta,
+                    SolveError::Stagnated { iteration: total_iters, residual: beta },
+                );
+            }
         }
         // `res` (the Givens-estimated residual) guided the inner loop; the
         // restart decision above uses the true residual.
@@ -467,6 +569,177 @@ mod tests {
         );
         assert!(stats.converged, "{stats:?}");
         assert!(stats.iterations < 15, "too many outer iterations: {stats:?}");
+    }
+
+    #[test]
+    fn cg_flags_nan_rhs_without_iterating() {
+        let n = 16;
+        let mut b = vec![1.0; n];
+        b[5] = f64::NAN;
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| tridiag_apply(4.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-9,
+            0.0,
+            100,
+        );
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 0, "must not burn iterations on NaN");
+        assert!(stats.health.is_fatal(), "{:?}", stats.health);
+        assert!(matches!(
+            stats.health.error(),
+            Some(SolveError::NonFiniteResidual { iteration: 0 })
+        ));
+    }
+
+    #[test]
+    fn cg_flags_nan_from_operator() {
+        // Operator goes non-finite mid-solve (e.g. corrupted geometry).
+        let n = 16;
+        let mut calls = 0usize;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| {
+                tridiag_apply(4.0, p, ap);
+                calls += 1;
+                if calls > 2 {
+                    ap[0] = f64::NAN;
+                }
+            },
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-12,
+            0.0,
+            100,
+        );
+        assert!(!stats.converged);
+        assert!(stats.health.is_fatal(), "{:?}", stats.health);
+    }
+
+    #[test]
+    fn cg_flags_indefinite_operator() {
+        // Negated SPD operator: first curvature ⟨p, Ap⟩ is negative.
+        let n = 12;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| {
+                tridiag_apply(4.0, p, ap);
+                for v in ap.iter_mut() {
+                    *v = -*v;
+                }
+            },
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-12,
+            0.0,
+            100,
+        );
+        assert!(!stats.converged);
+        assert!(matches!(
+            stats.health.error(),
+            Some(SolveError::IndefiniteOperator { .. })
+        ));
+        // Indefiniteness is a breakdown, not a runaway: not fatal.
+        assert!(!stats.health.is_fatal());
+    }
+
+    #[test]
+    fn cg_reports_iteration_limit() {
+        let n = 200;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        // Near-singular tridiagonal (d = 2): needs ~n iterations; cap at 5.
+        let stats = pcg(
+            |p, ap| tridiag_apply(2.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-14,
+            0.0,
+            5,
+        );
+        assert!(!stats.converged);
+        assert!(matches!(
+            stats.health.error(),
+            Some(SolveError::IterationLimit { iterations: 5, .. })
+        ));
+        assert!(!stats.health.is_fatal());
+    }
+
+    #[test]
+    fn gmres_flags_nan_rhs() {
+        let n = 16;
+        let mut b = vec![1.0; n];
+        b[0] = f64::INFINITY;
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            |p, ap| tridiag_apply(3.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-9,
+            0.0,
+            100,
+            10,
+        );
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.health.is_fatal(), "{:?}", stats.health);
+    }
+
+    #[test]
+    fn gmres_flags_nan_from_preconditioner() {
+        let n = 16;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            |p, ap| tridiag_apply(3.0, p, ap),
+            |r, z| {
+                z.copy_from_slice(r);
+                z[3] = f64::NAN;
+            },
+            plain_dot,
+            &b,
+            &mut x,
+            1e-9,
+            0.0,
+            100,
+            10,
+        );
+        assert!(!stats.converged);
+        assert!(stats.health.is_fatal(), "{:?}", stats.health);
+    }
+
+    #[test]
+    fn healthy_solve_reports_healthy() {
+        let n = 20;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = pcg(
+            |p, ap| tridiag_apply(4.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-9,
+            0.0,
+            100,
+        );
+        assert!(stats.converged);
+        assert!(stats.health.is_healthy());
+        assert_eq!(stats.health.error(), None);
     }
 
     #[test]

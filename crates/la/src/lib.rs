@@ -29,6 +29,7 @@
 
 pub mod bc;
 pub mod coarse;
+pub mod error;
 pub mod fdm;
 pub mod helmholtz;
 pub mod jacobi;
@@ -39,6 +40,7 @@ pub mod schwarz;
 
 pub use bc::dirichlet_mask;
 pub use coarse::CoarseGrid;
+pub use error::{SolveError, SolveHealth};
 pub use fdm::ElementFdm;
 pub use helmholtz::HelmholtzOp;
 pub use jacobi::assembled_diagonal;

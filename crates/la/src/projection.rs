@@ -115,7 +115,10 @@ impl SolutionProjection {
         let mut x = dx.to_vec();
         let mut ax = adx.to_vec();
         let anorm2_before = dp.dot(&ax, &x, comm);
-        if anorm2_before <= 0.0 {
+        // `<=` alone does not reject NaN (all comparisons with NaN are
+        // false); a non-finite direction absorbed here would poison every
+        // later projected solve, surviving even checkpoint rollback.
+        if !anorm2_before.is_finite() || anorm2_before <= 0.0 {
             return;
         }
         // A-orthogonalize with two Gram-Schmidt passes ("twice is enough")
