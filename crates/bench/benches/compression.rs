@@ -45,7 +45,7 @@ fn bench_codecs(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("lossless_encode_256k");
     for codec in [Codec::Rle, Codec::Range] {
-        group.bench_function(format!("{codec:?}"), |b| {
+        group.bench_function(&format!("{codec:?}"), |b| {
             b.iter(|| black_box(lossless_encode(codec, black_box(&data))))
         });
     }

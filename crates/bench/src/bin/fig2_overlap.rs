@@ -21,6 +21,8 @@
 
 use rbx::device::{simulate, SimConfig, SimKernel, StreamPriority};
 use rbx::la::SchwarzMode;
+use rbx::telemetry::json::Value;
+use rbx::telemetry::schema::bench_record;
 use rbx_bench::{developed_box, out_dir, write_csv};
 
 /// Kernel mix of one Schwarz application in the strong-scaling regime:
@@ -138,4 +140,31 @@ fn main() {
         ],
     );
     println!("\nwrote {}", dir.join("fig2.csv").display());
+
+    // Machine-readable record mirroring the CSV, for CI consumption.
+    let record = bench_record(
+        "fig2_overlap",
+        &["experiment", "serial", "overlapped", "reduction_pct"],
+        vec![
+            vec![
+                Value::str("device_sim_us"),
+                Value::num(serial.makespan_us),
+                Value::num(overlap.makespan_us),
+                Value::num(reduction),
+            ],
+            vec![
+                Value::str("real_solver_s"),
+                Value::num(real_serial),
+                Value::num(real_overlap),
+                Value::num(real_reduction),
+            ],
+        ],
+        vec![
+            ("steps", Value::int(STEPS as u64)),
+            ("host_cores", Value::int(cores as u64)),
+        ],
+    );
+    let json_path = dir.join("fig2.json");
+    std::fs::write(&json_path, format!("{record}\n")).expect("write fig2.json");
+    println!("wrote {}", json_path.display());
 }

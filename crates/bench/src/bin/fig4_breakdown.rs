@@ -13,6 +13,8 @@
 
 use rbx::core::Phase;
 use rbx::perf::{lumi, CaseSize, CostModel, SolverMix};
+use rbx::telemetry::json::Value;
+use rbx::telemetry::schema::bench_record;
 use rbx_bench::{developed_box, out_dir, write_csv};
 
 fn main() {
@@ -56,4 +58,29 @@ fn main() {
         ],
     );
     println!("wrote {}", dir.join("fig4.csv").display());
+
+    // Machine-readable record mirroring the CSV, for CI consumption.
+    let pct_row = |source: &str, p: [f64; 4]| {
+        vec![
+            Value::str(source),
+            Value::num(p[0]),
+            Value::num(p[1]),
+            Value::num(p[2]),
+            Value::num(p[3]),
+        ]
+    };
+    let record = bench_record(
+        "fig4_breakdown",
+        &["source", "pressure_pct", "velocity_pct", "temperature_pct", "other_pct"],
+        vec![pct_row("measured", pct), pct_row("modelled_lumi_16384", mpct)],
+        vec![
+            ("order", Value::int(6)),
+            ("steps", Value::int(60)),
+            ("measured_ms_per_step", Value::num(1e3 * sim.timers.avg_per_step())),
+            ("modelled_ms_per_step", Value::num(1e3 * b.total())),
+        ],
+    );
+    let json_path = dir.join("fig4.json");
+    std::fs::write(&json_path, format!("{record}\n")).expect("write fig4.json");
+    println!("wrote {}", json_path.display());
 }

@@ -35,6 +35,9 @@ use rbx::core::{
 use rbx::insitu::PodConsumer;
 use rbx::io::{staging_channel, AsyncBplWriter, StepData, Variable};
 use rbx::mesh::BoundaryTag;
+use rbx::telemetry::json::Value;
+use rbx::telemetry::schema::TELEMETRY_SCHEMA;
+use rbx::telemetry::Telemetry;
 use std::path::PathBuf;
 
 #[derive(Debug)]
@@ -58,6 +61,10 @@ struct Args {
     pod: bool,
     restart: Option<PathBuf>,
     out: PathBuf,
+    telemetry_jsonl: Option<PathBuf>,
+    telemetry_prom: Option<PathBuf>,
+    trace_depth: Option<usize>,
+    json_summary: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -82,6 +89,10 @@ impl Default for Args {
             pod: false,
             restart: None,
             out: PathBuf::from("target/dns_run"),
+            telemetry_jsonl: None,
+            telemetry_prom: None,
+            trace_depth: None,
+            json_summary: None,
         }
     }
 }
@@ -138,13 +149,27 @@ fn parse_args() -> Args {
             "--pod" => args.pod = true,
             "--restart" => args.restart = Some(PathBuf::from(value("--restart"))),
             "--out" => args.out = PathBuf::from(value("--out")),
+            "--telemetry-jsonl" => {
+                args.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")))
+            }
+            "--telemetry-prom" => {
+                args.telemetry_prom = Some(PathBuf::from(value("--telemetry-prom")))
+            }
+            "--trace-depth" => {
+                args.trace_depth = Some(parse("--trace-depth", &value("--trace-depth")))
+            }
+            "--json-summary" => {
+                args.json_summary = Some(PathBuf::from(value("--json-summary")))
+            }
             "--help" | "-h" => {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
                      --steps N --resolution R --sample-every N --checkpoint-every N \
                      --checkpoint-keep K --max-rollbacks N --dt-factor F \
                      --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
-                     --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR"
+                     --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR \
+                     --telemetry-jsonl FILE.jsonl --telemetry-prom FILE.prom \
+                     --trace-depth N --json-summary FILE.json"
                 );
                 std::process::exit(0);
             }
@@ -192,6 +217,23 @@ fn main() {
 
     let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
     sim.init_rbc();
+
+    // Observability: off (a single relaxed atomic load per hook) unless a
+    // sink was requested.
+    let tel = Telemetry::disabled();
+    if args.telemetry_jsonl.is_some() || args.telemetry_prom.is_some() {
+        tel.set_enabled(true);
+        if let Some(depth) = args.trace_depth {
+            tel.set_trace_depth(depth);
+        }
+        if let Some(path) = &args.telemetry_jsonl {
+            if let Err(e) = tel.open_jsonl(path) {
+                die(&format!("cannot create telemetry JSONL {}: {e}", path.display()));
+            }
+            println!("  telemetry: JSONL stream -> {}", path.display());
+        }
+    }
+    sim.set_telemetry(&tel);
 
     let checkpoint_dir = args.out.join("checkpoints");
     let checkpoints = CheckpointSet::new(&checkpoint_dir, args.checkpoint_keep);
@@ -361,52 +403,118 @@ fn main() {
         }
     };
 
-    println!("\nrun complete: {:.1} s ({:.1} ms/step)",
-        elapsed, 1e3 * elapsed / args.steps.max(1) as f64);
+    // Optional POD drain (prints its own lines before the summary table).
+    let pod_summary = pod.map(|(w, consumer)| {
+        w.close();
+        let p = consumer.join();
+        let sv = p.singular_values();
+        let lead = if sv.is_empty() {
+            0.0
+        } else {
+            let total: f64 = sv.iter().map(|s| s * s).sum();
+            sv[0] * sv[0] / total
+        };
+        (p.count(), p.rank(), lead)
+    });
+
+    // Post-run resolution check (spectral tail energy of the temperature).
+    let indicator = rbx::core::SpectralIndicator::new(args.order + 1);
+    let under = indicator.underresolved_fraction(&sim.geom, &sim.state.t, 1e-4, &comm);
+    let pct = sim.timers.percentages();
+    let ms_per_step = 1e3 * elapsed / args.steps.max(1) as f64;
+
+    // ---- structured end-of-run summary ------------------------------------
+    println!("\n── run summary ───────────────────────────────────────────");
+    let row = |k: &str, v: String| println!("  {k:<22} {v}");
+    row("steps completed", format!("{}", report.steps_completed));
+    row("wall time", format!("{elapsed:.2} s ({ms_per_step:.1} ms/step)"));
+    row("rollbacks", format!("{}", report.rollbacks));
+    row("final dt", format!("{}", report.final_dt));
+    row("recovery events", format!("{}", report.events.len()));
+    if stats.nu_volume.count() > 0 {
+        row(
+            "Nu(vol)",
+            format!(
+                "{:.4} ± {:.4} over {} samples",
+                stats.nu_volume.mean(),
+                stats.nu_volume.std(),
+                stats.nu_volume.count()
+            ),
+        );
+    }
+    row("field samples", format!("{written} in fields.bpl"));
+    if let Some((count, rank, lead)) = pod_summary {
+        row(
+            "in-situ POD",
+            format!("{count} snapshots, rank {rank}, leading mode {lead:.4}"),
+        );
+    }
+    row(
+        "resolution monitor",
+        format!("{:.1} % of elements exceed 1e-4 spectral tail", 100.0 * under),
+    );
+    row(
+        "phase split",
+        format!(
+            "P {:.0} % | V {:.0} % | T {:.0} % | other {:.0} %",
+            pct[0], pct[1], pct[2], pct[3]
+        ),
+    );
+    row("outputs", args.out.display().to_string());
     if report.rollbacks > 0 || !runner.faults.fired.is_empty() {
-        println!("  resilience: {} rollback(s), final dt = {}", report.rollbacks, report.final_dt);
         for f in &runner.faults.fired {
             println!("  [fault]    {f}");
         }
         for e in &report.events {
             println!("  [recovery] {e}");
         }
-    } else if args.checkpoint_every > 0 {
-        println!("  resilience: clean run, {} recovery events", report.events.len());
     }
-    if stats.nu_volume.count() > 0 {
-        println!(
-            "  time-averaged Nu(vol) = {:.4} ± {:.4} over {} samples",
-            stats.nu_volume.mean(),
-            stats.nu_volume.std(),
-            stats.nu_volume.count()
-        );
-    }
-    println!("  {} compressed field samples in fields.bpl", written);
-    if let Some((w, consumer)) = pod {
-        w.close();
-        let p = consumer.join();
-        println!("  in-situ POD: {} snapshots, rank {}", p.count(), p.rank());
-        let sv = p.singular_values();
-        if !sv.is_empty() {
-            let total: f64 = sv.iter().map(|s| s * s).sum();
-            println!(
-                "  leading mode energy fraction: {:.4}",
-                sv[0] * sv[0] / total
-            );
+
+    // Machine-readable summary: one `kind: "summary"` record, shared by the
+    // JSONL stream and the optional standalone --json-summary file.
+    let summary = Value::obj([
+        ("schema", Value::str(TELEMETRY_SCHEMA)),
+        ("kind", Value::str("summary")),
+        ("steps", Value::int(report.steps_completed as u64)),
+        ("wall_s", Value::num(elapsed)),
+        ("ms_per_step", Value::num(ms_per_step)),
+        ("rollbacks", Value::int(report.rollbacks as u64)),
+        ("final_dt", Value::num(report.final_dt)),
+        (
+            "phase_pct",
+            Value::obj([
+                ("pressure", Value::num(pct[0])),
+                ("velocity", Value::num(pct[1])),
+                ("temperature", Value::num(pct[2])),
+                ("other", Value::num(pct[3])),
+            ]),
+        ),
+        (
+            "recovery_events",
+            Value::arr(report.events.iter().map(|e| e.telemetry_record())),
+        ),
+    ]);
+    if tel.is_enabled() {
+        tel.emit(&summary);
+        tel.flush();
+        if let Some(path) = &args.telemetry_jsonl {
+            println!("  telemetry: {} JSONL records in {}", tel.jsonl_lines(), path.display());
+        }
+        if let Some(path) = &args.telemetry_prom {
+            match tel.write_prometheus(path) {
+                Ok(()) => println!("  telemetry: Prometheus snapshot in {}", path.display()),
+                Err(e) => eprintln!(
+                    "run_dns: warning: could not write {}: {e}",
+                    path.display()
+                ),
+            }
         }
     }
-    // Post-run resolution check (spectral tail energy of the temperature).
-    let indicator = rbx::core::SpectralIndicator::new(args.order + 1);
-    let under = indicator.underresolved_fraction(&sim.geom, &sim.state.t, 1e-4, &comm);
-    println!(
-        "  resolution monitor: {:.1} % of elements exceed 1e-4 spectral tail energy",
-        100.0 * under
-    );
-    let pct = sim.timers.percentages();
-    println!(
-        "  phase split: P {:.0} % | V {:.0} % | T {:.0} % | other {:.0} %",
-        pct[0], pct[1], pct[2], pct[3]
-    );
-    println!("  outputs in {}", args.out.display());
+    if let Some(path) = &args.json_summary {
+        if let Err(e) = std::fs::write(path, format!("{summary}\n")) {
+            eprintln!("run_dns: warning: could not write {}: {e}", path.display());
+        } else {
+            println!("  json summary in {}", path.display());
+        }
+    }
 }

@@ -1,0 +1,148 @@
+//! **telemetry_check** — schema validator for telemetry artifacts.
+//!
+//! Validates `rbx.telemetry.v1` JSONL streams and `rbx.bench.v1` JSON
+//! records against the in-repo schema (`rbx::telemetry::schema`). Used by
+//! CI to guard the observability contract: every line a run emits must
+//! parse and validate, or this tool exits non-zero.
+//!
+//! ```sh
+//! telemetry_check --jsonl out/tel.jsonl --min-lines 10 --expect-kind step
+//! telemetry_check --bench out/fig2_overlap/fig2.json
+//! ```
+
+use rbx::telemetry::json::Value;
+use rbx::telemetry::schema::{validate_bench, validate_line};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    jsonl: Vec<PathBuf>,
+    bench: Vec<PathBuf>,
+    expect_kinds: Vec<String>,
+    min_lines: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry_check [--jsonl FILE.jsonl]... [--bench FILE.json]... \
+         [--expect-kind KIND]... [--min-lines N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jsonl: Vec::new(),
+        bench: Vec::new(),
+        expect_kinds: Vec::new(),
+        min_lines: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--jsonl" => args.jsonl.push(PathBuf::from(val())),
+            "--bench" => args.bench.push(PathBuf::from(val())),
+            "--expect-kind" => args.expect_kinds.push(val()),
+            "--min-lines" => {
+                args.min_lines = val().parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("telemetry_check: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if args.jsonl.is_empty() && args.bench.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// Validate one JSONL stream; returns per-kind record counts.
+fn check_jsonl(path: &PathBuf, min_lines: usize) -> Result<BTreeMap<String, usize>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        lines += 1;
+        let kind = Value::parse(line)
+            .ok()
+            .and_then(|v| v.get("kind").and_then(|k| k.as_str().map(String::from)))
+            .unwrap_or_default();
+        *kinds.entry(kind).or_insert(0) += 1;
+    }
+    if lines < min_lines {
+        return Err(format!(
+            "{}: only {lines} valid record(s), expected at least {min_lines}",
+            path.display()
+        ));
+    }
+    Ok(kinds)
+}
+
+fn check_bench(path: &PathBuf) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let v = Value::parse(text.trim())
+        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    validate_bench(&v).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(v.get("name")
+        .and_then(|n| n.as_str().map(String::from))
+        .unwrap_or_default())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = false;
+
+    for path in &args.jsonl {
+        match check_jsonl(path, args.min_lines) {
+            Ok(kinds) => {
+                let total: usize = kinds.values().sum();
+                let detail = kinds
+                    .iter()
+                    .map(|(k, n)| format!("{k}={n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!("ok   {} ({total} records: {detail})", path.display());
+                for want in &args.expect_kinds {
+                    if !kinds.contains_key(want) {
+                        eprintln!(
+                            "FAIL {}: no record of kind {want:?}",
+                            path.display()
+                        );
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for path in &args.bench {
+        match check_bench(path) {
+            Ok(name) => println!("ok   {} (bench record {name:?})", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -68,6 +68,9 @@ pub struct SolverConfig {
 }
 
 // SchwarzMode lives in rbx-la without serde; serialize through a proxy.
+// (Unused when building against the in-tree serde substitute, whose derive
+// ignores `#[serde(with = ...)]` — keep the functions either way.)
+#[allow(dead_code)]
 mod schwarz_mode_serde {
     use super::*;
     use serde::{Deserializer, Serializer};

@@ -100,6 +100,16 @@ impl StepVerdict {
             StepVerdict::Degraded(f) | StepVerdict::Diverged(f) => Some(*f),
         }
     }
+
+    /// Short machine token ("healthy" / "degraded" / "diverged") used in
+    /// telemetry labels and JSONL records.
+    pub fn token(&self) -> &'static str {
+        match self {
+            StepVerdict::Healthy => "healthy",
+            StepVerdict::Degraded(_) => "degraded",
+            StepVerdict::Diverged(_) => "diverged",
+        }
+    }
 }
 
 impl fmt::Display for StepVerdict {

@@ -29,6 +29,8 @@ use crate::checkpoint::{CheckpointError, CheckpointSet};
 use crate::error::SimError;
 use crate::faultinject::FaultPlan;
 use crate::sim::{Simulation, StepStats};
+use rbx_telemetry::json::Value;
+use rbx_telemetry::schema::TELEMETRY_SCHEMA;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -105,6 +107,44 @@ pub enum RecoveryEvent {
     },
 }
 
+impl RecoveryEvent {
+    /// Machine token for the event kind — the `rbx.telemetry.v1` recovery
+    /// vocabulary (`validate_recovery` rejects anything else).
+    pub fn token(&self) -> &'static str {
+        match self {
+            RecoveryEvent::CheckpointWritten { .. } => "checkpoint_written",
+            RecoveryEvent::CheckpointWriteFailed { .. } => "checkpoint_write_failed",
+            RecoveryEvent::DegradedStep { .. } => "degraded_step",
+            RecoveryEvent::Divergence { .. } => "divergence",
+            RecoveryEvent::GenerationRejected { .. } => "generation_rejected",
+            RecoveryEvent::RolledBack { .. } => "rolled_back",
+        }
+    }
+
+    /// The event as a `kind: "recovery"` telemetry record. `step` is the
+    /// step the event is anchored to, when the variant has one.
+    pub fn telemetry_record(&self) -> Value {
+        let step = match self {
+            RecoveryEvent::CheckpointWritten { istep, .. }
+            | RecoveryEvent::CheckpointWriteFailed { istep, .. }
+            | RecoveryEvent::DegradedStep { istep, .. }
+            | RecoveryEvent::Divergence { istep, .. } => Some(*istep),
+            RecoveryEvent::RolledBack { from_step, .. } => Some(*from_step),
+            RecoveryEvent::GenerationRejected { .. } => None,
+        };
+        let mut fields = vec![
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("recovery")),
+            ("event", Value::str(self.token())),
+            ("detail", Value::str(self.to_string())),
+        ];
+        if let Some(s) = step {
+            fields.push(("step", Value::int(s as u64)));
+        }
+        Value::obj(fields)
+    }
+}
+
 impl fmt::Display for RecoveryEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -145,6 +185,20 @@ pub struct RunReport {
     pub final_dt: f64,
     /// Full structured event log, in order.
     pub events: Vec<RecoveryEvent>,
+}
+
+/// Append an event to the run log, mirroring it to the simulation's
+/// telemetry handle (a `kind: "recovery"` JSONL record plus an event-kind
+/// counter) when one is attached and enabled.
+fn log_event(sim: &Simulation<'_>, events: &mut Vec<RecoveryEvent>, ev: RecoveryEvent) {
+    if sim.tel.is_enabled() {
+        sim.tel.counter_add(
+            &format!("rbx_recovery_events_total{{event=\"{}\"}}", ev.token()),
+            1,
+        );
+        sim.tel.emit(&ev.telemetry_record());
+    }
+    events.push(ev);
 }
 
 /// Drives a [`Simulation`] to a target step with checkpointing, health
@@ -207,7 +261,7 @@ impl ResilientRunner {
             match sim.try_step() {
                 Ok(stats) => {
                     if let Some(fault) = stats.verdict.fault() {
-                        events.push(RecoveryEvent::DegradedStep {
+                        log_event(sim, &mut events, RecoveryEvent::DegradedStep {
                             istep: sim.state.istep,
                             fault: fault.to_string(),
                         });
@@ -225,7 +279,11 @@ impl ResilientRunner {
                     }
                 }
                 Err(SimError::Diverged { istep, fault, .. }) => {
-                    events.push(RecoveryEvent::Divergence { istep, fault: fault.to_string() });
+                    log_event(
+                        sim,
+                        &mut events,
+                        RecoveryEvent::Divergence { istep, fault: fault.to_string() },
+                    );
                     if rollbacks >= self.policy.max_rollbacks {
                         return Err(SimError::RecoveryExhausted {
                             retries: rollbacks,
@@ -252,7 +310,7 @@ impl ResilientRunner {
                         }
                     };
                     for (path, error) in &outcome.rejected {
-                        events.push(RecoveryEvent::GenerationRejected {
+                        log_event(sim, &mut events, RecoveryEvent::GenerationRejected {
                             path: path.clone(),
                             error: error.to_string(),
                         });
@@ -260,7 +318,7 @@ impl ResilientRunner {
                     let new_dt = (sim.cfg.dt * self.policy.dt_factor).max(self.policy.min_dt);
                     sim.set_dt(new_dt);
                     rollbacks += 1;
-                    events.push(RecoveryEvent::RolledBack {
+                    log_event(sim, &mut events, RecoveryEvent::RolledBack {
                         from_step,
                         to_step: sim.state.istep,
                         path: outcome.path,
@@ -291,7 +349,7 @@ impl ResilientRunner {
         if let Some(source) = self.faults.take_write_failure(istep) {
             let err =
                 CheckpointError::Io { path: self.checkpoints.path_for_step(istep), source };
-            events.push(RecoveryEvent::CheckpointWriteFailed {
+            log_event(sim, events, RecoveryEvent::CheckpointWriteFailed {
                 istep,
                 error: err.to_string(),
             });
@@ -300,11 +358,11 @@ impl ResilientRunner {
         match self.checkpoints.write(sim) {
             Ok(path) => {
                 self.faults.after_checkpoint_write(istep, &path);
-                events.push(RecoveryEvent::CheckpointWritten { istep, path });
+                log_event(sim, events, RecoveryEvent::CheckpointWritten { istep, path });
                 Ok(())
             }
             Err(e) => {
-                events.push(RecoveryEvent::CheckpointWriteFailed {
+                log_event(sim, events, RecoveryEvent::CheckpointWriteFailed {
                     istep,
                     error: e.to_string(),
                 });
@@ -446,6 +504,84 @@ mod tests {
         ), "{:#?}", report.events);
         // The generation at step 4 must simply be absent from rotation.
         assert!(!Path::new(&dir).join("chk_0000000004.bpl").exists());
+    }
+
+    #[test]
+    fn recovery_events_flow_to_telemetry_schema_valid() {
+        use rbx_telemetry::schema::validate_line;
+        use rbx_telemetry::Telemetry;
+
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; mesh.num_elements()];
+        let mut sim = sim_in(&mesh, &part, &comm);
+        let tel = Telemetry::enabled();
+        let jsonl = std::env::temp_dir()
+            .join(format!("rbx-recovery-telemetry-{}.jsonl", std::process::id()));
+        tel.open_jsonl(&jsonl).unwrap();
+        sim.set_telemetry(&tel);
+        let dir = tmpdir("telemetry");
+        let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3))
+            .with_faults(FaultPlan::new(11).inject_nan_at(5));
+        let report = runner.run(&mut sim, 8).unwrap();
+        assert_eq!(report.rollbacks, 1);
+        tel.flush();
+
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let mut kinds = std::collections::HashSet::new();
+        let mut events = Vec::new();
+        for line in text.lines() {
+            validate_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            let v = rbx_telemetry::json::Value::parse(line).unwrap();
+            let kind = v.get("kind").unwrap().as_str().unwrap().to_string();
+            if kind == "recovery" {
+                events.push(v.get("event").unwrap().as_str().unwrap().to_string());
+            }
+            kinds.insert(kind);
+        }
+        // Step, solve and recovery records interleave in one stream.
+        assert!(kinds.contains("step") && kinds.contains("solve") && kinds.contains("recovery"));
+        // The whole recovery story made it to the sink, in order.
+        assert!(events.contains(&"checkpoint_written".to_string()), "{events:?}");
+        assert!(events.contains(&"divergence".to_string()), "{events:?}");
+        assert!(events.contains(&"rolled_back".to_string()), "{events:?}");
+        let div = events.iter().position(|e| e == "divergence").unwrap();
+        let rb = events.iter().position(|e| e == "rolled_back").unwrap();
+        assert!(div < rb, "divergence must precede rollback: {events:?}");
+        // And the counters agree with the in-memory log.
+        assert_eq!(
+            tel.metrics().counter("rbx_recovery_events_total{event=\"rolled_back\"}"),
+            1
+        );
+        std::fs::remove_file(&jsonl).ok();
+    }
+
+    #[test]
+    fn every_event_variant_serializes_to_a_valid_record() {
+        use rbx_telemetry::schema::validate_record;
+
+        let all = [
+            RecoveryEvent::CheckpointWritten { istep: 4, path: PathBuf::from("/tmp/chk_4.bpl") },
+            RecoveryEvent::CheckpointWriteFailed { istep: 6, error: "disk full".into() },
+            RecoveryEvent::DegradedStep { istep: 7, fault: "pressure stagnated".into() },
+            RecoveryEvent::Divergence { istep: 8, fault: "NaN in u[0]".into() },
+            RecoveryEvent::GenerationRejected {
+                path: PathBuf::from("/tmp/chk_4.bpl"),
+                error: "checksum mismatch".into(),
+            },
+            RecoveryEvent::RolledBack {
+                from_step: 8,
+                to_step: 4,
+                path: PathBuf::from("/tmp/chk_4.bpl"),
+                new_dt: 1e-3,
+                skipped_generations: 0,
+            },
+        ];
+        for ev in &all {
+            let rec = ev.telemetry_record();
+            validate_record(&rec).unwrap_or_else(|e| panic!("{e}: {rec}"));
+            assert_eq!(rec.get("event").unwrap().as_str().unwrap(), ev.token());
+        }
     }
 
     #[test]

@@ -27,7 +27,9 @@
 use rbx_comm::{Communicator, Payload};
 use rbx_mesh::topology::{classify_node, NodeClass, HEX_EDGES, HEX_FACES};
 use rbx_mesh::HexMesh;
+use rbx_telemetry::Telemetry;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// Reduction operator applied across nodes sharing a global id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +131,9 @@ pub struct GatherScatter {
     shared: Vec<(usize, Vec<u32>)>,
     /// Communication tag for this operator's shared phase.
     tag: u64,
+    /// Observability handle, settable once through a shared reference
+    /// (the operator lives behind an `Arc` in the simulation).
+    tel: OnceLock<Telemetry>,
 }
 
 impl GatherScatter {
@@ -239,7 +244,21 @@ impl GatherScatter {
         }
         let shared: Vec<(usize, Vec<u32>)> = shared_map.into_iter().collect();
 
-        Self { n_local, members, group_ptr, shared, tag: 0x6753 }
+        Self { n_local, members, group_ptr, shared, tag: 0x6753, tel: OnceLock::new() }
+    }
+
+    /// Attach a telemetry handle. Callable through `&self` (the operator
+    /// is typically shared via `Arc`); only the first call takes effect.
+    /// When the handle is enabled, each [`GatherScatter::apply`] records
+    /// `gs/local`, `gs/shared` and `gs/scatter` spans plus exchange-volume
+    /// counters (`rbx_gs_messages_total`, `rbx_gs_bytes_total`).
+    pub fn set_telemetry(&self, tel: &Telemetry) {
+        let _ = self.tel.set(tel.clone());
+    }
+
+    #[inline]
+    fn tel(&self) -> Option<&Telemetry> {
+        self.tel.get().filter(|t| t.is_enabled())
     }
 
     /// Number of local nodes this operator acts on.
@@ -269,24 +288,40 @@ impl GatherScatter {
     /// scatter the result back to all members.
     pub fn apply(&self, u: &mut [f64], op: GsOp, comm: &dyn Communicator) {
         assert_eq!(u.len(), self.n_local, "field length mismatch");
+        let tel = self.tel();
         let ngroups = self.num_groups();
         let mut gval = vec![0.0; ngroups];
 
         // Phase 1: local gather.
-        for gi in 0..ngroups {
-            let lo = self.group_ptr[gi] as usize;
-            let hi = self.group_ptr[gi + 1] as usize;
-            let mut acc = op.identity();
-            for &m in &self.members[lo..hi] {
-                acc = op.combine(acc, u[m as usize]);
+        {
+            let _g = tel.map(|t| t.span_abs("gs/local"));
+            for gi in 0..ngroups {
+                let lo = self.group_ptr[gi] as usize;
+                let hi = self.group_ptr[gi + 1] as usize;
+                let mut acc = op.identity();
+                for &m in &self.members[lo..hi] {
+                    acc = op.combine(acc, u[m as usize]);
+                }
+                gval[gi] = acc;
             }
-            gval[gi] = acc;
         }
 
         // Phase 2: shared exchange. Each rank sends its *local* partial for
         // every shared key; partials from all touching ranks combine into
         // the global reduction.
         if !self.shared.is_empty() {
+            let mut g = tel.map(|t| t.span_abs("gs/shared"));
+            let values: u64 = self.shared_values() as u64;
+            let messages = self.shared.len() as u64;
+            if let Some(g) = g.as_mut() {
+                // Count both directions of the symmetric exchange.
+                g.record("messages", 2 * messages);
+                g.record("bytes", 2 * 8 * values);
+            }
+            if let Some(t) = tel {
+                t.counter_add("rbx_gs_messages_total", 2 * messages);
+                t.counter_add("rbx_gs_bytes_total", 2 * 8 * values);
+            }
             for (nbr, gids) in &self.shared {
                 let payload: Vec<f64> = gids.iter().map(|&g| gval[g as usize]).collect();
                 comm.send(*nbr, self.tag, Payload::F64(payload));
@@ -301,11 +336,14 @@ impl GatherScatter {
         }
 
         // Scatter back.
-        for gi in 0..ngroups {
-            let lo = self.group_ptr[gi] as usize;
-            let hi = self.group_ptr[gi + 1] as usize;
-            for &m in &self.members[lo..hi] {
-                u[m as usize] = gval[gi];
+        {
+            let _g = tel.map(|t| t.span_abs("gs/scatter"));
+            for gi in 0..ngroups {
+                let lo = self.group_ptr[gi] as usize;
+                let hi = self.group_ptr[gi + 1] as usize;
+                for &m in &self.members[lo..hi] {
+                    u[m as usize] = gval[gi];
+                }
             }
         }
     }
@@ -557,6 +595,61 @@ mod tests {
         for (a, b) in u.iter().zip(&once) {
             assert_close(*a, *b, 1e-12);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_local_but_no_shared_on_single_rank() {
+        let p = 2;
+        let mesh = box_mesh(2, 1, 1, [0., 2.], [0., 1.], [0., 1.], false, false);
+        let (gs, comm) = single_gs(&mesh, p);
+        let tel = Telemetry::enabled();
+        gs.set_telemetry(&tel);
+        let mut u = vec![1.0; gs.n_local()];
+        gs.apply(&mut u, GsOp::Add, &comm);
+        assert_eq!(tel.tracer().calls("gs/local"), 1);
+        assert_eq!(tel.tracer().calls("gs/scatter"), 1);
+        assert_eq!(tel.tracer().calls("gs/shared"), 0);
+        assert_eq!(tel.metrics().counter("rbx_gs_bytes_total"), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_shared_traffic_across_ranks() {
+        let p = 2;
+        let mesh = box_mesh(2, 1, 1, [0., 2.], [0., 1.], [0., 1.], false, false);
+        let part = partition_rcb(&mesh, 2);
+        let lists = part_elements(&part, 2);
+        let tel = Telemetry::enabled();
+        let (mesh_ref, part_ref, lists_ref, tel_ref) = (&mesh, &part, &lists, &tel);
+        let shared_vals = run_on_ranks(2, move |comm| {
+            let my = &lists_ref[comm.rank()];
+            let gs = GatherScatter::build(mesh_ref, p, part_ref, my, comm);
+            gs.set_telemetry(tel_ref);
+            let mut u = vec![1.0; gs.n_local()];
+            gs.apply(&mut u, GsOp::Add, comm);
+            gs.shared_values() as u64
+        });
+        let total_vals: u64 = shared_vals.iter().sum();
+        assert!(total_vals > 0, "ranks must actually share nodes");
+        assert_eq!(tel.tracer().calls("gs/shared"), 2);
+        // Each rank counts both directions of its exchange.
+        assert_eq!(tel.metrics().counter("rbx_gs_bytes_total"), 2 * 8 * total_vals);
+        assert_eq!(
+            tel.tracer().counter("gs/shared", "bytes"),
+            tel.metrics().counter("rbx_gs_bytes_total")
+        );
+        assert!(tel.metrics().counter("rbx_gs_messages_total") >= 4);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let p = 2;
+        let mesh = box_mesh(2, 1, 1, [0., 2.], [0., 1.], [0., 1.], false, false);
+        let (gs, comm) = single_gs(&mesh, p);
+        let tel = Telemetry::disabled();
+        gs.set_telemetry(&tel);
+        let mut u = vec![1.0; gs.n_local()];
+        gs.apply(&mut u, GsOp::Add, &comm);
+        assert!(tel.tracer().snapshot().is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rbx_basis::{gll, interp_matrix, DMat};
 use rbx_comm::Communicator;
 use rbx_gs::GatherScatter;
 use rbx_mesh::{BoundaryTag, GeomFactors, HexMesh};
+use rbx_telemetry::Telemetry;
 
 /// The degree-1 coarse problem with fixed-iteration PCG solve.
 pub struct CoarseGrid {
@@ -43,6 +44,9 @@ pub struct CoarseGrid {
     pub neumann: bool,
     fine_n: usize,
     coarse_n: usize,
+    /// Observability handle (disabled by default; a single atomic load
+    /// per stage when off).
+    tel: Telemetry,
 }
 
 impl CoarseGrid {
@@ -114,7 +118,14 @@ impl CoarseGrid {
             neumann,
             fine_n: fine_p + 1,
             coarse_n: coarse_p + 1,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Share a telemetry handle; the coarse correction then records the
+    /// `schwarz/coarse/{restrict,solve,prolong}` spans.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
     }
 
     /// Coarse dof count (local, duplicated storage): `nelv · (pc+1)³`.
@@ -220,9 +231,20 @@ impl CoarseGrid {
         let mut rc = vec![0.0; self.len()];
         let mut zc = vec![0.0; self.len()];
         let mut scratch = TensorScratch::new();
-        self.restrict(r_weighted, &mut rc, &mut scratch, comm);
-        self.solve(&rc, &mut zc, comm);
-        self.prolong_add(&zc, z_fine, &mut scratch);
+        // Absolute span paths: the overlapped Schwarz mode runs this on a
+        // helper thread, and both modes must produce identical trees.
+        {
+            let _g = self.tel.span_abs("schwarz/coarse/restrict");
+            self.restrict(r_weighted, &mut rc, &mut scratch, comm);
+        }
+        {
+            let _g = self.tel.span_abs("schwarz/coarse/solve");
+            self.solve(&rc, &mut zc, comm);
+        }
+        {
+            let _g = self.tel.span_abs("schwarz/coarse/prolong");
+            self.prolong_add(&zc, z_fine, &mut scratch);
+        }
     }
 }
 

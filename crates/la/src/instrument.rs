@@ -1,0 +1,139 @@
+//! Telemetry hooks for the Krylov layer.
+//!
+//! [`record_solve`] is the single funnel through which every solve's
+//! outcome enters the metrics registry and the JSONL event stream. The
+//! solvers themselves stay closure-driven and dependency-free; callers
+//! (the simulation step loop, benches) invoke the hook with the stats
+//! they already hold.
+
+use crate::error::SolveHealth;
+use crate::krylov::SolveStats;
+use rbx_telemetry::json::Value;
+use rbx_telemetry::schema::TELEMETRY_SCHEMA;
+use rbx_telemetry::Telemetry;
+
+/// Short machine token for a health verdict (Prometheus label / JSON
+/// field value; the human-readable detail lives in `Display`).
+pub fn health_token(health: SolveHealth) -> &'static str {
+    use crate::error::SolveError::*;
+    match health.error() {
+        None => "healthy",
+        Some(NonFiniteResidual { .. }) => "non_finite",
+        Some(Diverged { .. }) => "diverged",
+        Some(Stagnated { .. }) => "stagnated",
+        Some(IndefiniteOperator { .. }) => "indefinite",
+        Some(IterationLimit { .. }) => "iteration_limit",
+    }
+}
+
+/// Record one completed Krylov solve: iteration/residual histograms, an
+/// outcome counter keyed by [`SolveHealth`], and a `kind: "solve"` JSONL
+/// record (when a sink is attached). A single atomic load when telemetry
+/// is disabled.
+pub fn record_solve(tel: &Telemetry, solver: &'static str, label: &str, stats: &SolveStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let health = health_token(stats.health);
+    tel.histogram_observe(
+        &format!("rbx_solve_iterations{{solver=\"{solver}\",label=\"{label}\"}}"),
+        stats.iterations as f64,
+    );
+    tel.histogram_observe(
+        &format!("rbx_solve_initial_residual{{solver=\"{solver}\",label=\"{label}\"}}"),
+        stats.initial_residual,
+    );
+    tel.histogram_observe(
+        &format!("rbx_solve_final_residual{{solver=\"{solver}\",label=\"{label}\"}}"),
+        stats.final_residual,
+    );
+    tel.counter_add(
+        &format!("rbx_solve_outcome_total{{solver=\"{solver}\",health=\"{health}\"}}"),
+        1,
+    );
+    tel.emit(&Value::obj([
+        ("schema", Value::str(TELEMETRY_SCHEMA)),
+        ("kind", Value::str("solve")),
+        ("solver", Value::str(solver)),
+        ("label", Value::str(label)),
+        ("iterations", Value::int(stats.iterations as u64)),
+        ("initial_residual", Value::num(stats.initial_residual)),
+        ("final_residual", Value::num(stats.final_residual)),
+        ("converged", Value::Bool(stats.converged)),
+        ("health", Value::str(health)),
+        (
+            "residual_history",
+            Value::arr(stats.residuals.to_vec().into_iter().map(Value::num)),
+        ),
+    ]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SolveError;
+    use crate::krylov::ResidualHistory;
+    use rbx_telemetry::schema::validate_line;
+
+    fn fake_stats() -> SolveStats {
+        let mut residuals = ResidualHistory::new();
+        for i in 0..20 {
+            residuals.push(1.0 / (1 + i) as f64);
+        }
+        SolveStats {
+            iterations: 19,
+            initial_residual: 1.0,
+            final_residual: 0.05,
+            converged: true,
+            health: SolveHealth::Healthy,
+            residuals,
+        }
+    }
+
+    #[test]
+    fn records_metrics_and_schema_valid_jsonl() {
+        let tel = Telemetry::enabled();
+        let path = std::env::temp_dir()
+            .join(format!("rbx-la-instrument-{}.jsonl", std::process::id()));
+        tel.open_jsonl(&path).unwrap();
+        record_solve(&tel, "fgmres", "pressure", &fake_stats());
+        tel.flush();
+        assert_eq!(
+            tel.metrics()
+                .counter("rbx_solve_outcome_total{solver=\"fgmres\",health=\"healthy\"}"),
+            1
+        );
+        assert_eq!(
+            tel.metrics()
+                .histogram_count("rbx_solve_iterations{solver=\"fgmres\",label=\"pressure\"}"),
+            1
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text.lines().next().unwrap();
+        validate_line(line).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        record_solve(&tel, "pcg", "velocity_x", &fake_stats());
+        assert!(tel.metrics().render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn health_tokens_are_stable() {
+        assert_eq!(health_token(SolveHealth::Healthy), "healthy");
+        assert_eq!(
+            health_token(SolveHealth::Failed(SolveError::Stagnated {
+                iteration: 3,
+                residual: 1.0
+            })),
+            "stagnated"
+        );
+        assert_eq!(
+            health_token(SolveHealth::Failed(SolveError::NonFiniteResidual { iteration: 0 })),
+            "non_finite"
+        );
+    }
+}

@@ -19,6 +19,62 @@ const STALL_CYCLES: usize = 3;
 /// relative amount within the stall window.
 const STALL_RTOL: f64 = 1e-3;
 
+/// Bounded ring of the most recent residual norms of a solve.
+///
+/// Fixed-capacity and `Copy` so [`SolveStats`] stays a plain value type:
+/// a solve taking thousands of iterations still costs exactly
+/// [`ResidualHistory::CAP`] floats. Oldest entries are evicted first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidualHistory {
+    buf: [f64; Self::CAP],
+    head: u8,
+    len: u8,
+}
+
+impl Default for ResidualHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResidualHistory {
+    /// Entries retained (the tail of the residual curve).
+    pub const CAP: usize = 16;
+
+    pub const fn new() -> Self {
+        Self { buf: [0.0; Self::CAP], head: 0, len: 0 }
+    }
+
+    /// Append a residual, evicting the oldest once full.
+    pub fn push(&mut self, r: f64) {
+        self.buf[self.head as usize] = r;
+        self.head = (self.head + 1) % Self::CAP as u8;
+        if (self.len as usize) < Self::CAP {
+            self.len += 1;
+        }
+    }
+
+    /// Number of retained entries (`≤ CAP`).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Retained residuals, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let len = self.len as usize;
+        let head = self.head as usize;
+        // `head` points at the slot the *next* push writes; the oldest
+        // retained entry sits `len` slots behind it.
+        (0..len)
+            .map(|i| self.buf[(head + Self::CAP - len + i) % Self::CAP])
+            .collect()
+    }
+}
+
 /// Outcome of a Krylov solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
@@ -33,26 +89,42 @@ pub struct SolveStats {
     /// How the solve ended: clean, recoverable shortfall, or fatal
     /// breakdown (non-finite / exploding residuals).
     pub health: SolveHealth,
+    /// Tail of the residual curve (initial residual first on short
+    /// solves), bounded at [`ResidualHistory::CAP`] entries.
+    pub residuals: ResidualHistory,
 }
 
 impl SolveStats {
-    fn converged_at(iterations: usize, initial: f64, residual: f64) -> Self {
+    fn converged_at(
+        iterations: usize,
+        initial: f64,
+        residual: f64,
+        residuals: ResidualHistory,
+    ) -> Self {
         Self {
             iterations,
             initial_residual: initial,
             final_residual: residual,
             converged: true,
             health: SolveHealth::Healthy,
+            residuals,
         }
     }
 
-    fn failed(iterations: usize, initial: f64, residual: f64, error: SolveError) -> Self {
+    fn failed(
+        iterations: usize,
+        initial: f64,
+        residual: f64,
+        error: SolveError,
+        residuals: ResidualHistory,
+    ) -> Self {
         Self {
             iterations,
             initial_residual: initial,
             final_residual: residual,
             converged: false,
             health: SolveHealth::Failed(error),
+            residuals,
         }
     }
 }
@@ -87,15 +159,17 @@ pub fn pcg(
         r[i] = b[i] - ap[i];
     }
     let r0 = dot(&r, &r).sqrt();
+    let mut hist = ResidualHistory::new();
+    hist.push(r0);
     if !r0.is_finite() {
         // NaN/Inf already in the rhs or the initial guess: report instead
         // of iterating on garbage (every comparison against NaN is false,
         // so the loop below would otherwise burn the full budget).
-        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 });
+        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 }, hist);
     }
     let target = tol_abs.max(tol_rel * r0);
     if r0 <= target {
-        return SolveStats::converged_at(0, r0, r0);
+        return SolveStats::converged_at(0, r0, r0, hist);
     }
 
     precond(&r, &mut z);
@@ -127,12 +201,13 @@ pub fn pcg(
             r[i] -= alpha * ap[i];
         }
         rnorm = dot(&r, &r).sqrt();
+        hist.push(rnorm);
         if !rnorm.is_finite() {
             failure = Some(SolveError::NonFiniteResidual { iteration: it });
             break;
         }
         if rnorm <= target {
-            return SolveStats::converged_at(iterations, r0, rnorm);
+            return SolveStats::converged_at(iterations, r0, rnorm, hist);
         }
         if rnorm > GROWTH_LIMIT * r0 {
             failure = Some(SolveError::Diverged { iteration: it, residual: rnorm, initial: r0 });
@@ -159,14 +234,14 @@ pub fn pcg(
     if rnorm.is_finite() && rnorm <= target {
         // A breakdown at an already-converged point still counts as a
         // clean solve (pAp round-off near the solution is routine).
-        return SolveStats::converged_at(iterations, r0, rnorm);
+        return SolveStats::converged_at(iterations, r0, rnorm, hist);
     }
     let error = failure.unwrap_or(SolveError::IterationLimit {
         iterations,
         residual: rnorm,
         target,
     });
-    SolveStats::failed(iterations, r0, rnorm, error)
+    SolveStats::failed(iterations, r0, rnorm, error, hist)
 }
 
 /// Flexible GMRES with restart length `m` and right preconditioning.
@@ -198,12 +273,14 @@ pub fn fgmres(
         r[i] = b[i] - w[i];
     }
     let r0 = dot(&r, &r).sqrt();
+    let mut hist = ResidualHistory::new();
+    hist.push(r0);
     if !r0.is_finite() {
-        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 });
+        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 }, hist);
     }
     let target = tol_abs.max(tol_rel * r0);
     if r0 <= target {
-        return SolveStats::converged_at(0, r0, r0);
+        return SolveStats::converged_at(0, r0, r0, hist);
     }
 
     let mut total_iters = 0;
@@ -280,6 +357,8 @@ pub fn fgmres(
             g[j + 1] = -sn[j] * g[j];
             g[j] *= cs[j];
             res = g[j + 1].abs();
+            // Givens estimate: free per-iteration residual curve.
+            hist.push(res);
             if res <= target || !res.is_finite() {
                 // Converged — or NaN/Inf contaminated the Hessenberg
                 // update, in which case finishing the cycle is pointless;
@@ -312,16 +391,20 @@ pub fn fgmres(
             r[i] = b[i] - w[i];
         }
         beta = dot(&r, &r).sqrt();
+        // Record the *true* residual at cycle boundaries (the Givens
+        // estimate drifts from it in finite precision).
+        hist.push(beta);
         if !beta.is_finite() {
             return SolveStats::failed(
                 total_iters,
                 r0,
                 beta,
                 SolveError::NonFiniteResidual { iteration: total_iters },
+                hist,
             );
         }
         if beta <= target {
-            return SolveStats::converged_at(total_iters, r0, beta);
+            return SolveStats::converged_at(total_iters, r0, beta, hist);
         }
         if beta > GROWTH_LIMIT * r0 {
             return SolveStats::failed(
@@ -329,6 +412,7 @@ pub fn fgmres(
                 r0,
                 beta,
                 SolveError::Diverged { iteration: total_iters, residual: beta, initial: r0 },
+                hist,
             );
         }
         if total_iters >= max_iter {
@@ -337,6 +421,7 @@ pub fn fgmres(
                 r0,
                 beta,
                 SolveError::IterationLimit { iterations: total_iters, residual: beta, target },
+                hist,
             );
         }
         // Restart-to-restart progress check: GMRES(m) that stops reducing
@@ -351,6 +436,7 @@ pub fn fgmres(
                     r0,
                     beta,
                     SolveError::Stagnated { iteration: total_iters, residual: beta },
+                    hist,
                 );
             }
         }
@@ -740,6 +826,95 @@ mod tests {
         assert!(stats.converged);
         assert!(stats.health.is_healthy());
         assert_eq!(stats.health.error(), None);
+    }
+
+    #[test]
+    fn residual_history_ring_is_bounded() {
+        let mut h = ResidualHistory::new();
+        assert!(h.is_empty());
+        for i in 0..40 {
+            h.push(i as f64);
+        }
+        // Capacity bound holds no matter how many pushes happened…
+        assert_eq!(h.len(), ResidualHistory::CAP);
+        // …and the ring keeps the newest entries, oldest first.
+        let v = h.to_vec();
+        assert_eq!(v.first(), Some(&24.0));
+        assert_eq!(v.last(), Some(&39.0));
+        assert_eq!(v.len(), ResidualHistory::CAP);
+    }
+
+    #[test]
+    fn residual_history_partial_fill_is_ordered() {
+        let mut h = ResidualHistory::new();
+        h.push(3.0);
+        h.push(2.0);
+        h.push(1.0);
+        assert_eq!(h.to_vec(), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn solves_carry_bounded_residual_history() {
+        // A long CG solve must retain exactly CAP entries ending in the
+        // final residual; a short one starts from the initial residual.
+        let n = 200;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let long = pcg(
+            |p, ap| tridiag_apply(2.001, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-12,
+            0.0,
+            500,
+        );
+        assert!(long.iterations > ResidualHistory::CAP, "{long:?}");
+        let v = long.residuals.to_vec();
+        assert_eq!(v.len(), ResidualHistory::CAP);
+        assert_eq!(v.last().copied(), Some(long.final_residual));
+
+        let mut x2 = vec![0.0; 20];
+        let short = pcg(
+            |p, ap| tridiag_apply(4.0, p, ap),
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &[1.0; 20],
+            &mut x2,
+            1e-9,
+            0.0,
+            100,
+        );
+        assert!(short.iterations < ResidualHistory::CAP);
+        let v = short.residuals.to_vec();
+        assert_eq!(v.first().copied(), Some(short.initial_residual));
+        assert_eq!(v.last().copied(), Some(short.final_residual));
+        // The curve is monotone-ish: final well below initial.
+        assert!(short.final_residual < short.initial_residual);
+    }
+
+    #[test]
+    fn gmres_history_tracks_true_residual_at_cycles() {
+        let n = 60;
+        let apply = |x: &[f64], y: &mut [f64]| tridiag_apply(2.5, x, y);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = fgmres(
+            apply,
+            |r, z| z.copy_from_slice(r),
+            plain_dot,
+            &b,
+            &mut x,
+            1e-10,
+            0.0,
+            2000,
+            5,
+        );
+        assert!(stats.converged);
+        let v = stats.residuals.to_vec();
+        assert!(v.len() <= ResidualHistory::CAP);
+        assert_eq!(v.last().copied(), Some(stats.final_residual));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod coarse;
 pub mod error;
 pub mod fdm;
 pub mod helmholtz;
+pub mod instrument;
 pub mod jacobi;
 pub mod krylov;
 pub mod ops;
@@ -43,8 +44,9 @@ pub use coarse::CoarseGrid;
 pub use error::{SolveError, SolveHealth};
 pub use fdm::ElementFdm;
 pub use helmholtz::HelmholtzOp;
+pub use instrument::record_solve;
 pub use jacobi::assembled_diagonal;
-pub use krylov::{fgmres, pcg, SolveStats};
+pub use krylov::{fgmres, pcg, ResidualHistory, SolveStats};
 pub use ops::DotProduct;
 pub use projection::SolutionProjection;
 pub use schwarz::{SchwarzMode, SchwarzMg};

@@ -23,6 +23,7 @@ use crate::fdm::ElementFdm;
 use crate::ops::{hadamard, ortho_project_mean};
 use rbx_comm::Communicator;
 use rbx_gs::{GatherScatter, GsOp};
+use rbx_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Execution strategy for the two additive terms.
@@ -57,6 +58,8 @@ pub struct SchwarzMg {
     pub h1: f64,
     /// Mass coefficient of the preconditioned operator.
     pub h2: f64,
+    /// Observability handle (disabled by default).
+    tel: Telemetry,
 }
 
 impl SchwarzMg {
@@ -83,7 +86,17 @@ impl SchwarzMg {
     ) -> Self {
         let wt: Vec<f64> = mult.iter().map(|&m| 1.0 / m).collect();
         let bw: Vec<f64> = mass.iter().zip(&wt).map(|(b, w)| b * w).collect();
-        Self { fdm, coarse, gs, wt, mask, bw, h1, h2 }
+        Self { fdm, coarse, gs, wt, mask, bw, h1, h2, tel: Telemetry::disabled() }
+    }
+
+    /// Share a telemetry handle with this preconditioner and its coarse
+    /// level. Each apply then records the paper's §5.3 sub-stages as
+    /// absolute spans — `schwarz/coarse` (with restrict/solve/prolong
+    /// children), `schwarz/fdm`, `schwarz/gs` — identically for the serial
+    /// and the overlapped execution mode.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
+        self.coarse.set_telemetry(tel);
     }
 
     /// Apply `z = M⁻¹ r`.
@@ -105,7 +118,11 @@ impl SchwarzMg {
 
         match mode {
             SchwarzMode::Serial => {
-                self.coarse.correct_add(&rw, &mut z_coarse, comm);
+                {
+                    let _g = self.tel.span_abs("schwarz/coarse");
+                    self.coarse.correct_add(&rw, &mut z_coarse, comm);
+                }
+                let _g = self.tel.span_abs("schwarz/fdm");
                 self.fdm.apply_add(&rw, &mut z_fine, self.h1, self.h2);
             }
             SchwarzMode::Overlapped => {
@@ -115,11 +132,14 @@ impl SchwarzMg {
                     // lives on this helper thread while the fine task
                     // computes.
                     let coarse = &self.coarse;
+                    let tel = &self.tel;
                     let rw_ref = &rw;
                     let zc = &mut z_coarse;
                     scope.spawn(move || {
+                        let _g = tel.span_abs("schwarz/coarse");
                         coarse.correct_add(rw_ref, zc, comm);
                     });
+                    let _g = self.tel.span_abs("schwarz/fdm");
                     self.fdm.apply_add(&rw, &mut z_fine, self.h1, self.h2);
                 });
             }
@@ -127,10 +147,13 @@ impl SchwarzMg {
 
         // Restore continuity of the fine-level corrections by weighted
         // averaging (restricted additive Schwarz combination).
-        for (v, w) in z_fine.iter_mut().zip(&self.wt) {
-            *v *= w;
+        {
+            let _g = self.tel.span_abs("schwarz/gs");
+            for (v, w) in z_fine.iter_mut().zip(&self.wt) {
+                *v *= w;
+            }
+            self.gs.apply(&mut z_fine, GsOp::Add, comm);
         }
-        self.gs.apply(&mut z_fine, GsOp::Add, comm);
 
         for i in 0..n {
             z[i] = z_coarse[i] + z_fine[i];

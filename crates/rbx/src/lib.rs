@@ -23,6 +23,7 @@
 //! | [`io`] | `rbx-io` | BPL container, async + staging engines |
 //! | [`insitu`] | `rbx-insitu` | streaming POD |
 //! | [`perf`] | `rbx-perf` | LUMI/Leonardo models, scaling, Nu(Ra) regimes |
+//! | [`telemetry`] | `rbx-telemetry` | span tracer, metrics registry, JSONL/Prometheus export |
 //!
 //! ## Quickstart
 //!
@@ -50,3 +51,4 @@ pub use rbx_io as io;
 pub use rbx_la as la;
 pub use rbx_mesh as mesh;
 pub use rbx_perf as perf;
+pub use rbx_telemetry as telemetry;

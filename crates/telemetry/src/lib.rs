@@ -1,0 +1,270 @@
+//! # rbx-telemetry — the measurement substrate
+//!
+//! The paper's evaluation (Fig. 2 overlap gain, Fig. 4 per-step wall-time
+//! breakdown, Table 1 platform comparison) rests on "MPI_Wtime timings
+//! around relevant code regions, with global synchronisation points"
+//! (§6.1). This crate is that instrumentation layer, grown past the
+//! original four-bin `PhaseTimers`:
+//!
+//! * [`span::SpanTracer`] — hierarchical wall-clock spans ("regions") with
+//!   nesting, per-span counters and path-keyed aggregation, so pressure
+//!   time can be attributed below the phase level (coarse solve, fine FDM,
+//!   CRS transfer, Krylov iterations).
+//! * [`metrics::MetricsRegistry`] — counters, gauges and log-bucketed
+//!   histograms fed by solver, gather-scatter and step-loop hooks.
+//! * [`sink::JsonlSink`] + [`metrics::MetricsRegistry::render_prometheus`]
+//!   — machine-readable export: a JSONL event stream (one record per step,
+//!   per solve, per recovery event) and a Prometheus text-exposition
+//!   snapshot.
+//! * [`schema`] — versioned record schemas (`rbx.telemetry.v1`,
+//!   `rbx.bench.v1`) with validators, so CI can check every emitted line.
+//!
+//! The [`Telemetry`] handle ties these together. It is an `Arc`-shared,
+//! thread-safe handle that components clone at construction time. When
+//! disabled (the default), every instrumentation point reduces to a single
+//! relaxed atomic load — cheap enough to leave compiled into the hot
+//! paths.
+
+pub mod json;
+pub mod metrics;
+pub mod schema;
+pub mod sink;
+pub mod span;
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use json::Value;
+use metrics::MetricsRegistry;
+use sink::JsonlSink;
+use span::{SpanGuard, SpanTracer};
+
+struct TelemetryInner {
+    enabled: AtomicBool,
+    tracer: SpanTracer,
+    metrics: MetricsRegistry,
+    sink: Mutex<Option<JsonlSink>>,
+}
+
+/// Shared observability handle. Cloning is cheap (an `Arc` bump); all
+/// clones observe the same tracer, registry and sink.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Telemetry {
+    fn with_enabled(enabled: bool) -> Self {
+        Self {
+            inner: Arc::new(TelemetryInner {
+                enabled: AtomicBool::new(enabled),
+                tracer: SpanTracer::new(),
+                metrics: MetricsRegistry::new(),
+                sink: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A disabled handle: every instrumentation call is a near-no-op
+    /// (single relaxed atomic load). This is what components construct by
+    /// default.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// An enabled handle collecting spans and metrics (no sink until
+    /// [`Telemetry::open_jsonl`]).
+    pub fn enabled() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// Switch collection on/off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is collection active? Hot paths gate on this single load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The span tracer (always accessible; its spans record regardless of
+    /// the enabled flag — use [`Telemetry::span`]/[`Telemetry::span_abs`]
+    /// for gated spans).
+    pub fn tracer(&self) -> &SpanTracer {
+        &self.inner.tracer
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Open a span nested under the calling thread's innermost open span.
+    /// No-op (no allocation, no lock) when disabled.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if self.is_enabled() {
+            self.inner.tracer.span(name)
+        } else {
+            SpanGuard::noop()
+        }
+    }
+
+    /// Open a span at an absolute path, ignoring the thread's current
+    /// stack. Used where work hops threads (the overlapped Schwarz coarse
+    /// solve) so both execution modes produce identical span paths.
+    #[inline]
+    pub fn span_abs(&self, path: &str) -> SpanGuard<'_> {
+        if self.is_enabled() {
+            self.inner.tracer.span_at(path)
+        } else {
+            SpanGuard::noop()
+        }
+    }
+
+    /// Add to a counter metric (gated).
+    #[inline]
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if self.is_enabled() {
+            self.inner.metrics.counter_add(name, v);
+        }
+    }
+
+    /// Set a gauge metric (gated).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if self.is_enabled() {
+            self.inner.metrics.gauge_set(name, v);
+        }
+    }
+
+    /// Observe a value into a log-bucketed histogram (gated).
+    #[inline]
+    pub fn histogram_observe(&self, name: &str, v: f64) {
+        if self.is_enabled() {
+            self.inner.metrics.histogram_observe(name, v);
+        }
+    }
+
+    /// Cap span recording depth (spans nested deeper than this are
+    /// timed-out of existence: they still nest but don't record).
+    pub fn set_trace_depth(&self, depth: usize) {
+        self.inner.tracer.set_max_depth(depth);
+    }
+
+    /// Attach a JSONL sink; subsequent [`Telemetry::emit`] calls append
+    /// one line per record.
+    pub fn open_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let sink = JsonlSink::create(path)?;
+        *self.inner.sink.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+        Ok(())
+    }
+
+    /// Emit a record to the JSONL sink, if one is attached and telemetry
+    /// is enabled. Returns whether the record was written. I/O errors are
+    /// swallowed after the first failure (telemetry must never take down
+    /// a simulation).
+    pub fn emit(&self, record: &Value) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let mut guard = self.inner.sink.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_mut() {
+            Some(sink) => sink.write(record),
+            None => false,
+        }
+    }
+
+    /// Lines written to the JSONL sink so far.
+    pub fn jsonl_lines(&self) -> u64 {
+        self.inner
+            .sink
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(0, |s| s.lines())
+    }
+
+    /// Flush the JSONL sink (if any).
+    pub fn flush(&self) {
+        if let Some(sink) = self
+            .inner
+            .sink
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            sink.flush();
+        }
+    }
+
+    /// Write a Prometheus text-exposition snapshot of the metrics
+    /// registry, including span aggregates as `rbx_span_seconds_total` /
+    /// `rbx_span_calls_total` series.
+    pub fn write_prometheus(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = self.inner.metrics.render_prometheus();
+        out.push_str(&self.inner.tracer.render_prometheus());
+        std::fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        {
+            let _g = tel.span("pressure");
+            tel.counter_add("rbx_steps_total", 1);
+            tel.gauge_set("rbx_step_dt", 1e-3);
+            tel.histogram_observe("rbx_solve_iterations", 12.0);
+        }
+        assert!(tel.tracer().snapshot().is_empty());
+        assert!(tel.metrics().render_prometheus().is_empty());
+        assert!(!tel.emit(&Value::Null));
+    }
+
+    #[test]
+    fn enabled_handle_collects() {
+        let tel = Telemetry::enabled();
+        {
+            let _p = tel.span("pressure");
+            let _k = tel.span("krylov");
+            tel.counter_add("rbx_steps_total", 2);
+        }
+        let snap = tel.tracer().snapshot();
+        let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"pressure"));
+        assert!(paths.contains(&"pressure/krylov"));
+        assert!(tel.metrics().render_prometheus().contains("rbx_steps_total 2"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::enabled();
+        let other = tel.clone();
+        other.counter_add("c", 5);
+        assert!(tel.metrics().render_prometheus().contains("c 5"));
+        tel.set_enabled(false);
+        assert!(!other.is_enabled());
+    }
+}

@@ -1,0 +1,285 @@
+//! Metrics registry: counters, gauges and log-bucketed histograms.
+//!
+//! Names follow Prometheus conventions (`rbx_steps_total`,
+//! `rbx_solve_iterations`). A name may carry a literal label set —
+//! `rbx_step_verdict_total{verdict="healthy"}` — which the registry
+//! treats as an opaque key; the Prometheus renderer groups series by base
+//! name so each metric gets exactly one `# TYPE` line.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Histogram bucket upper bounds: two per decade from 1e-12 to 1e4
+/// (`1e-12, 3.16e-12, 1e-11, …, 1e4`), covering residuals (~1e-12..1),
+/// times (~1e-6..1e2 s) and iteration counts (~1..1e3) in one layout.
+pub fn log_bucket_bounds() -> Vec<f64> {
+    (-24..=8).map(|k| 10f64.powf(k as f64 / 2.0)).collect()
+}
+
+/// Index of the first bucket with `value <= bound`, or `None` when the
+/// value overflows every bound (goes to +Inf).
+pub fn bucket_index(bounds: &[f64], value: f64) -> Option<usize> {
+    bounds.iter().position(|&b| value <= b)
+}
+
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    /// Observations above the last bound.
+    overflow: u64,
+    sum: f64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let bounds = log_bucket_bounds();
+        let n = bounds.len();
+        Self { bounds, counts: vec![0; n], overflow: 0, sum: 0.0, count: 0 }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        match bucket_index(&self.bounds, value) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Non-cumulative per-bucket counts (`bounds[i]` is the upper edge).
+    pub fn bucket_counts(&self) -> (&[f64], &[u64], u64) {
+        (&self.bounds, &self.counts, self.overflow)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// Thread-safe metric store.
+pub struct MetricsRegistry {
+    map: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self { map: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += v,
+            _ => debug_assert!(false, "metric {name} is not a counter"),
+        }
+    }
+
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut map = self.lock();
+        match map.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g = v,
+            _ => debug_assert!(false, "metric {name} is not a gauge"),
+        }
+    }
+
+    pub fn histogram_observe(&self, name: &str, v: f64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.observe(v),
+            _ => debug_assert!(false, "metric {name} is not a histogram"),
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.lock().get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.lock().get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Observation count of a histogram (0 when absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        match self.lock().get(name) {
+            Some(Metric::Histogram(h)) => h.count(),
+            _ => 0,
+        }
+    }
+
+    /// Drop every metric.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+
+    /// Render all metrics in the Prometheus text exposition format.
+    /// Histogram buckets are cumulative with a final `+Inf` bucket, as
+    /// the format requires.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.lock();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, metric) in map.iter() {
+            let base = name.split('{').next().unwrap_or(name);
+            let fresh_base = base != last_base;
+            if fresh_base {
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    if fresh_base {
+                        out.push_str(&format!("# TYPE {base} counter\n"));
+                    }
+                    out.push_str(&format!("{name} {c}\n"));
+                }
+                Metric::Gauge(g) => {
+                    if fresh_base {
+                        out.push_str(&format!("# TYPE {base} gauge\n"));
+                    }
+                    out.push_str(&format!("{name} {g}\n"));
+                }
+                Metric::Histogram(h) => {
+                    if fresh_base {
+                        out.push_str(&format!("# TYPE {base} histogram\n"));
+                    }
+                    let (bounds, counts, overflow) = h.bucket_counts();
+                    // "name{a=\"b\"}" → bucket series are
+                    // `name_bucket{a="b",le="..."}`.
+                    let labels_rest = match name.find('{') {
+                        Some(i) => format!("{},", &name[i + 1..name.len() - 1]),
+                        None => String::new(),
+                    };
+                    let mut cumulative = 0u64;
+                    for (b, c) in bounds.iter().zip(counts) {
+                        cumulative += c;
+                        if *c > 0 {
+                            out.push_str(&format!(
+                                "{base}_bucket{{{labels_rest}le=\"{b:e}\"}} {cumulative}\n"
+                            ));
+                        }
+                    }
+                    cumulative += overflow;
+                    out.push_str(&format!(
+                        "{base}_bucket{{{labels_rest}le=\"+Inf\"}} {cumulative}\n"
+                    ));
+                    let labels_suffix = match name.find('{') {
+                        Some(i) => name[i..].to_string(),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!("{base}_sum{labels_suffix} {}\n", h.sum()));
+                    out.push_str(&format!("{base}_count{labels_suffix} {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        let bounds = log_bucket_bounds();
+        assert_eq!(bounds.len(), 33);
+        // First and last bounds.
+        assert!((bounds[0] - 1e-12).abs() < 1e-24);
+        assert!((bounds[32] - 1e4).abs() < 1e-8);
+        // A value exactly on a bound lands in that bucket (le semantics).
+        assert_eq!(bucket_index(&bounds, bounds[4]), Some(4));
+        // Just above a bound lands in the next bucket.
+        assert_eq!(bucket_index(&bounds, bounds[4] * (1.0 + 1e-9)), Some(5));
+        // Below the first bound lands in bucket 0; above the last, None.
+        assert_eq!(bucket_index(&bounds, 0.0), Some(0));
+        assert_eq!(bucket_index(&bounds, 1e5), None);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let mut h = Histogram::new();
+        h.observe(0.5);
+        h.observe(0.5);
+        h.observe(2e5); // overflow
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 200001.0).abs() < 1e-9);
+        let (_, counts, overflow) = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+        assert_eq!(overflow, 1);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let m = MetricsRegistry::new();
+        m.counter_add("rbx_steps_total", 3);
+        m.counter_add("rbx_steps_total", 2);
+        m.gauge_set("rbx_step_dt", 1e-3);
+        m.histogram_observe("rbx_solve_iterations", 14.0);
+        assert_eq!(m.counter("rbx_steps_total"), 5);
+        assert_eq!(m.gauge("rbx_step_dt"), Some(1e-3));
+        assert_eq!(m.histogram_count("rbx_solve_iterations"), 1);
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let m = MetricsRegistry::new();
+        m.counter_add("rbx_step_verdict_total{verdict=\"healthy\"}", 7);
+        m.counter_add("rbx_step_verdict_total{verdict=\"degraded\"}", 1);
+        m.gauge_set("rbx_step_dt", 0.001);
+        m.histogram_observe("rbx_solve_iterations", 10.0);
+        let text = m.render_prometheus();
+        // One TYPE line per base name, despite two labelled series.
+        assert_eq!(text.matches("# TYPE rbx_step_verdict_total counter").count(), 1);
+        assert!(text.contains("rbx_step_verdict_total{verdict=\"healthy\"} 7"));
+        assert!(text.contains("# TYPE rbx_step_dt gauge"));
+        assert!(text.contains("rbx_solve_iterations_sum 10"));
+        assert!(text.contains("rbx_solve_iterations_count 1"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+}

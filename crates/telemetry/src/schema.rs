@@ -1,0 +1,379 @@
+//! Versioned record schemas and validators.
+//!
+//! Every record the telemetry sinks emit carries a `schema` field so
+//! consumers (and CI) can check compatibility before reading anything
+//! else. Two schemas exist:
+//!
+//! * `rbx.telemetry.v1` — the JSONL event stream from a run: one record
+//!   per time step (`kind: "step"`), per Krylov solve (`"solve"`), per
+//!   resilience event (`"recovery"`), plus one end-of-run `"summary"`.
+//! * `rbx.bench.v1` — versioned benchmark results from the figure bins
+//!   (`fig2_overlap`, `fig4_breakdown`): a column-major table plus
+//!   free-form metadata, consumed as-is by the CI artifact step.
+
+use crate::json::Value;
+
+/// Telemetry event-stream schema identifier.
+pub const TELEMETRY_SCHEMA: &str = "rbx.telemetry.v1";
+
+/// Benchmark record schema identifier.
+pub const BENCH_SCHEMA: &str = "rbx.bench.v1";
+
+fn require<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn require_num(v: &Value, key: &str) -> Result<f64, String> {
+    require(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} must be a number"))
+}
+
+fn require_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    require(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn require_int(v: &Value, key: &str) -> Result<u64, String> {
+    require(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+/// Residual fields may be non-finite on a broken solve; the JSON writer
+/// serializes NaN/Inf as `null`, so the schema admits both.
+fn require_num_or_null(v: &Value, key: &str) -> Result<(), String> {
+    let f = require(v, key)?;
+    if f.as_f64().is_none() && !matches!(f, Value::Null) {
+        return Err(format!("field {key:?} must be a number or null (non-finite)"));
+    }
+    Ok(())
+}
+
+fn require_num_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    let arr = require(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} must be an array"))?;
+    for (i, item) in arr.iter().enumerate() {
+        if item.as_f64().is_none() {
+            return Err(format!("field {key:?}[{i}] must be a number"));
+        }
+    }
+    Ok(arr)
+}
+
+/// Validate one line of a `rbx.telemetry.v1` JSONL stream.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = Value::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    validate_record(&v)
+}
+
+/// Validate one parsed `rbx.telemetry.v1` record.
+pub fn validate_record(v: &Value) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != TELEMETRY_SCHEMA {
+        return Err(format!("unknown schema {schema:?} (expected {TELEMETRY_SCHEMA:?})"));
+    }
+    let kind = require_str(v, "kind")?;
+    match kind {
+        "step" => validate_step(v),
+        "solve" => validate_solve(v),
+        "recovery" => validate_recovery(v),
+        "summary" => validate_summary(v),
+        other => Err(format!("unknown record kind {other:?}")),
+    }
+}
+
+fn validate_step(v: &Value) -> Result<(), String> {
+    require_int(v, "step")?;
+    require_num(v, "time")?;
+    require_num(v, "dt")?;
+    let wall = require_num(v, "wall_s")?;
+    if wall < 0.0 {
+        return Err("wall_s must be non-negative".to_string());
+    }
+    let phases = require(v, "phases")?;
+    let fields = phases
+        .as_obj()
+        .ok_or_else(|| "field \"phases\" must be an object".to_string())?;
+    for name in ["pressure", "velocity", "temperature", "other"] {
+        let val = phases
+            .get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("phases.{name} must be a number"))?;
+        if val < 0.0 {
+            return Err(format!("phases.{name} must be non-negative"));
+        }
+    }
+    if fields.len() != 4 {
+        return Err("phases must have exactly the four Fig. 4 bins".to_string());
+    }
+    require_int(v, "p_iters")?;
+    let v_iters = require_num_arr(v, "v_iters")?;
+    if v_iters.len() != 3 {
+        return Err("v_iters must have 3 entries".to_string());
+    }
+    require_int(v, "t_iters")?;
+    require_str(v, "verdict")?;
+    Ok(())
+}
+
+fn validate_solve(v: &Value) -> Result<(), String> {
+    let solver = require_str(v, "solver")?;
+    if !matches!(solver, "pcg" | "fgmres") {
+        return Err(format!("unknown solver {solver:?}"));
+    }
+    require_str(v, "label")?;
+    require_int(v, "iterations")?;
+    require_num_or_null(v, "initial_residual")?;
+    require_num_or_null(v, "final_residual")?;
+    require(v, "converged")?
+        .as_bool()
+        .ok_or_else(|| "field \"converged\" must be a boolean".to_string())?;
+    require_str(v, "health")?;
+    let hist = require(v, "residual_history")?
+        .as_arr()
+        .ok_or_else(|| "field \"residual_history\" must be an array".to_string())?;
+    for (i, item) in hist.iter().enumerate() {
+        if item.as_f64().is_none() && !matches!(item, Value::Null) {
+            return Err(format!("residual_history[{i}] must be a number or null"));
+        }
+    }
+    if hist.len() > 16 {
+        return Err(format!("residual_history holds at most 16 entries, got {}", hist.len()));
+    }
+    Ok(())
+}
+
+fn validate_recovery(v: &Value) -> Result<(), String> {
+    let event = require_str(v, "event")?;
+    const EVENTS: [&str; 6] = [
+        "checkpoint_written",
+        "checkpoint_write_failed",
+        "degraded_step",
+        "divergence",
+        "generation_rejected",
+        "rolled_back",
+    ];
+    if !EVENTS.contains(&event) {
+        return Err(format!("unknown recovery event {event:?}"));
+    }
+    require_str(v, "detail")?;
+    Ok(())
+}
+
+fn validate_summary(v: &Value) -> Result<(), String> {
+    require_int(v, "steps")?;
+    require_num(v, "wall_s")?;
+    require(v, "recovery_events")?
+        .as_arr()
+        .ok_or_else(|| "field \"recovery_events\" must be an array".to_string())?;
+    Ok(())
+}
+
+/// Validate a `rbx.bench.v1` benchmark record.
+pub fn validate_bench(v: &Value) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("unknown schema {schema:?} (expected {BENCH_SCHEMA:?})"));
+    }
+    require_str(v, "name")?;
+    let columns = require(v, "columns")?
+        .as_arr()
+        .ok_or_else(|| "field \"columns\" must be an array".to_string())?;
+    for (i, c) in columns.iter().enumerate() {
+        if c.as_str().is_none() {
+            return Err(format!("columns[{i}] must be a string"));
+        }
+    }
+    let rows = require(v, "rows")?
+        .as_arr()
+        .ok_or_else(|| "field \"rows\" must be an array".to_string())?;
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| format!("rows[{i}] must be an array"))?;
+        if row.len() != columns.len() {
+            return Err(format!(
+                "rows[{i}] has {} entries for {} columns",
+                row.len(),
+                columns.len()
+            ));
+        }
+        for (j, cell) in row.iter().enumerate() {
+            if cell.as_f64().is_none() && cell.as_str().is_none() {
+                return Err(format!("rows[{i}][{j}] must be a number or string"));
+            }
+        }
+    }
+    if v.get("meta").map(|m| m.as_obj().is_none()) == Some(true) {
+        return Err("field \"meta\" must be an object when present".to_string());
+    }
+    Ok(())
+}
+
+/// Build the skeleton of a bench record; callers fill `rows` and `meta`.
+pub fn bench_record(
+    name: &str,
+    columns: &[&str],
+    rows: Vec<Vec<Value>>,
+    meta: Vec<(&'static str, Value)>,
+) -> Value {
+    Value::obj([
+        ("schema", Value::str(BENCH_SCHEMA)),
+        ("name", Value::str(name)),
+        ("columns", Value::arr(columns.iter().map(|c| Value::str(*c)))),
+        ("rows", Value::arr(rows.into_iter().map(Value::Arr))),
+        ("meta", Value::obj(meta)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_record() -> Value {
+        Value::obj([
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("step")),
+            ("step", Value::int(12)),
+            ("time", Value::num(0.012)),
+            ("dt", Value::num(1e-3)),
+            ("wall_s", Value::num(0.05)),
+            (
+                "phases",
+                Value::obj([
+                    ("pressure", Value::num(0.04)),
+                    ("velocity", Value::num(0.005)),
+                    ("temperature", Value::num(0.003)),
+                    ("other", Value::num(0.002)),
+                ]),
+            ),
+            ("p_iters", Value::int(19)),
+            ("v_iters", Value::arr([Value::int(4), Value::int(4), Value::int(5)])),
+            ("t_iters", Value::int(4)),
+            ("verdict", Value::str("healthy")),
+        ])
+    }
+
+    #[test]
+    fn valid_step_roundtrips_through_text() {
+        let rec = step_record();
+        validate_record(&rec).unwrap();
+        validate_line(&rec.to_string()).unwrap();
+    }
+
+    #[test]
+    fn step_missing_phase_rejected() {
+        let mut rec = step_record();
+        if let Value::Obj(fields) = &mut rec {
+            for (k, v) in fields.iter_mut() {
+                if k == "phases" {
+                    *v = Value::obj([("pressure", Value::num(1.0))]);
+                }
+            }
+        }
+        assert!(validate_record(&rec).is_err());
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let rec = Value::obj([("schema", Value::str("rbx.telemetry.v999")), ("kind", Value::str("step"))]);
+        let err = validate_record(&rec).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn solve_history_bound_enforced() {
+        let mut hist = Vec::new();
+        for i in 0..17 {
+            hist.push(Value::num(1.0 / (i + 1) as f64));
+        }
+        let rec = Value::obj([
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("solve")),
+            ("solver", Value::str("fgmres")),
+            ("label", Value::str("pressure")),
+            ("iterations", Value::int(17)),
+            ("initial_residual", Value::num(1.0)),
+            ("final_residual", Value::num(1e-8)),
+            ("converged", Value::Bool(true)),
+            ("health", Value::str("healthy")),
+            ("residual_history", Value::Arr(hist)),
+        ]);
+        let err = validate_record(&rec).unwrap_err();
+        assert!(err.contains("at most 16"), "{err}");
+    }
+
+    #[test]
+    fn broken_solve_with_null_residuals_is_valid() {
+        // A NaN residual round-trips as null through the writer; the record
+        // of a broken solve must still validate (it is the interesting one).
+        let rec = Value::obj([
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("solve")),
+            ("solver", Value::str("fgmres")),
+            ("label", Value::str("pressure")),
+            ("iterations", Value::int(0)),
+            ("initial_residual", Value::Null),
+            ("final_residual", Value::Null),
+            ("converged", Value::Bool(false)),
+            ("health", Value::str("non_finite")),
+            ("residual_history", Value::Arr(vec![Value::Null])),
+        ]);
+        validate_record(&rec).unwrap();
+        validate_line(&rec.to_string()).unwrap();
+        // But a string there is still rejected.
+        let bad = Value::obj([
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("solve")),
+            ("solver", Value::str("pcg")),
+            ("label", Value::str("t")),
+            ("iterations", Value::int(1)),
+            ("initial_residual", Value::str("oops")),
+            ("final_residual", Value::num(1.0)),
+            ("converged", Value::Bool(true)),
+            ("health", Value::str("healthy")),
+            ("residual_history", Value::Arr(vec![])),
+        ]);
+        assert!(validate_record(&bad).is_err());
+    }
+
+    #[test]
+    fn recovery_event_names_checked() {
+        let ok = Value::obj([
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("recovery")),
+            ("event", Value::str("rolled_back")),
+            ("detail", Value::str("rolled back to step 40")),
+            ("step", Value::int(44)),
+        ]);
+        validate_record(&ok).unwrap();
+        let bad = Value::obj([
+            ("schema", Value::str(TELEMETRY_SCHEMA)),
+            ("kind", Value::str("recovery")),
+            ("event", Value::str("exploded")),
+            ("detail", Value::str("boom")),
+        ]);
+        assert!(validate_record(&bad).is_err());
+    }
+
+    #[test]
+    fn bench_rows_must_match_columns() {
+        let good = bench_record(
+            "fig2_overlap",
+            &["mode", "seconds"],
+            vec![vec![Value::str("serial"), Value::num(1.25)]],
+            vec![("order", Value::int(7))],
+        );
+        validate_bench(&good).unwrap();
+        let bad = bench_record(
+            "fig2_overlap",
+            &["mode", "seconds"],
+            vec![vec![Value::str("serial")]],
+            vec![],
+        );
+        assert!(validate_bench(&bad).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! JSONL event sink.
+//!
+//! One [`crate::json::Value`] record per line, append-only, buffered.
+//! Telemetry must never take down a simulation, so after the first I/O
+//! failure the sink goes dead and silently drops further records —
+//! callers can detect this through the `write` return value or by
+//! comparing [`JsonlSink::lines`] against what they emitted.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::json::Value;
+
+pub struct JsonlSink {
+    writer: Option<BufWriter<File>>,
+    lines: u64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("alive", &self.writer.is_some())
+            .field("lines", &self.lines)
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Create (truncate) the file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { writer: Some(BufWriter::new(file)), lines: 0 })
+    }
+
+    /// Append one record as a single line. Returns `false` if the sink is
+    /// dead or the write failed (in which case the sink dies).
+    pub fn write(&mut self, record: &Value) -> bool {
+        let Some(w) = self.writer.as_mut() else { return false };
+        match writeln!(w, "{record}") {
+            Ok(()) => {
+                self.lines += 1;
+                true
+            }
+            Err(_) => {
+                self.writer = None;
+                false
+            }
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush buffered lines to disk. A failed flush kills the sink.
+    pub fn flush(&mut self) {
+        if let Some(w) = self.writer.as_mut() {
+            if w.flush().is_err() {
+                self.writer = None;
+            }
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rbx-telemetry-sink-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writes_one_line_per_record() {
+        let path = tmp_path("lines");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for i in 0..3 {
+                let rec = Value::obj([("step", Value::int(i))]);
+                assert!(sink.write(&rec));
+            }
+            assert_eq!(sink.lines(), 3);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(Value::parse(lines[2]).unwrap().get("step").and_then(Value::as_u64), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dead_sink_drops_silently() {
+        let path = tmp_path("dead");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.writer = None; // simulate a prior I/O failure
+        assert!(!sink.write(&Value::Null));
+        assert_eq!(sink.lines(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal in-tree substitute for the `criterion` crate (offline build).
+//!
+//! A wall-clock benchmark shim: `criterion_group!`/`criterion_main!`
+//! expand the same way as upstream, `Bencher::iter` times the closure
+//! over `sample_size` batches and prints mean ns/iter per benchmark.
+//! No statistics, plotting, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; also serves as the per-group configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, elapsed)) => {
+                let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+                println!("{id:<50} {per_iter:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("{id:<50} (no measurement)"),
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: one untimed call, then scale batches to roughly fill
+        // the measurement window across `sample_size` batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch = self.measurement_time.as_nanos() as u64
+            / (self.sample_size.max(1) as u64)
+            / once.as_nanos().max(1) as u64;
+        let batch = per_batch.clamp(1, 1_000_000);
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            if start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// Define a group function that runs its targets with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    #[test]
+    fn group_runs() {
+        criterion_group! {
+            name = quick;
+            config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+            targets = trivial
+        }
+        quick();
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal in-tree substitute for the `serde` crate (offline build).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few config structs
+//! but never drives them through a data format (its JSON output is
+//! hand-written), so the traits here are markers with enough shape for the
+//! custom `#[serde(with = ...)]` proxy modules to type-check. Attempting an
+//! actual deserialization returns an error rather than data.
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    use super::Display;
+
+    /// Errors a serializer may produce.
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use super::Display;
+
+    /// Errors a deserializer may produce.
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Marker for serializable types (no-op in this substitute).
+pub trait Serialize {}
+
+/// Deserializable types. The default body reports "unsupported" — nothing
+/// in-tree deserializes through serde.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom("serde substitute: deserialization is not supported"))
+    }
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+// Primitive impls the workspace's proxy modules rely on.
+impl Serialize for String {}
+impl<'de> Deserialize<'de> for String {}

@@ -1,0 +1,44 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-tree serde
+//! substitute. Emits empty marker impls: the traits have no required
+//! methods (deserialization has an erroring default body), so the derive
+//! only needs the type's name. Generic types are not supported — nothing
+//! in this workspace derives serde on a generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            // Skip attribute/visibility punctuation and groups.
+            _ => {}
+        }
+    }
+    panic!("serde substitute derive: could not find a struct or enum name");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl should parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl should parse")
+}
