@@ -44,31 +44,45 @@ pub fn autotune_deriv(n: usize, nelem: usize, reps: usize) -> TuneResult {
     assert!(n >= 2 && nelem >= 1 && reps >= 1);
     let d = crate::lagrange::deriv_matrix(&crate::quadrature::gll(n).points);
     let nn = n * n * n;
-    let u: Vec<f64> = (0..nelem * nn).map(|i| ((i * 37 % 101) as f64) * 0.02 - 1.0).collect();
+    let u: Vec<f64> = (0..nelem * nn)
+        .map(|i| ((i * 37 % 101) as f64) * 0.02 - 1.0)
+        .collect();
     let mut out = vec![0.0; nelem * nn];
 
     let mut time_it = |f: DerivKernel| -> f64 {
         // Warm-up.
         for e in 0..nelem {
-            f(&d, &u[e * nn..(e + 1) * nn], &mut out[e * nn..(e + 1) * nn], n);
+            f(
+                &d,
+                &u[e * nn..(e + 1) * nn],
+                &mut out[e * nn..(e + 1) * nn],
+                n,
+            );
         }
         let t0 = Instant::now();
         for _ in 0..reps {
             for e in 0..nelem {
-                f(&d, &u[e * nn..(e + 1) * nn], &mut out[e * nn..(e + 1) * nn], n);
+                f(
+                    &d,
+                    &u[e * nn..(e + 1) * nn],
+                    &mut out[e * nn..(e + 1) * nn],
+                    n,
+                );
             }
         }
         t0.elapsed().as_secs_f64() / reps as f64
     };
 
-    let mut generic = |d: &DMat, u: &[f64], out: &mut [f64], n: usize| {
-        deriv_x_generic(d, u, out, n)
-    };
-    let mut dispatched =
-        |d: &DMat, u: &[f64], out: &mut [f64], n: usize| deriv_x(d, u, out, n);
+    let mut generic =
+        |d: &DMat, u: &[f64], out: &mut [f64], n: usize| deriv_x_generic(d, u, out, n);
+    let mut dispatched = |d: &DMat, u: &[f64], out: &mut [f64], n: usize| deriv_x(d, u, out, n);
     let generic_secs = time_it(&mut generic);
     let dispatched_secs = time_it(&mut dispatched);
-    TuneResult { n, generic_secs, dispatched_secs }
+    TuneResult {
+        n,
+        generic_secs,
+        dispatched_secs,
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@ pub struct DMat {
 impl DMat {
     /// Create a zero-initialized matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create an identity matrix of size `n`.

@@ -85,7 +85,11 @@ mod tests {
     fn endpoint_values() {
         for n in 0..12 {
             assert_close(legendre(n, 1.0), 1.0, 1e-13);
-            assert_close(legendre(n, -1.0), if n % 2 == 0 { 1.0 } else { -1.0 }, 1e-13);
+            assert_close(
+                legendre(n, -1.0),
+                if n % 2 == 0 { 1.0 } else { -1.0 },
+                1e-13,
+            );
         }
     }
 

@@ -50,7 +50,14 @@ impl ModalBasis {
                     .sum()
             })
             .collect();
-        Self { n, v, v_inv, points: q.points, weights: q.weights, discrete_norms }
+        Self {
+            n,
+            v,
+            v_inv,
+            points: q.points,
+            weights: q.weights,
+            discrete_norms,
+        }
     }
 
     /// Number of 1-D points/modes.
@@ -173,6 +180,9 @@ mod tests {
                 }
             }
         }
-        assert!(high < 1e-10 * low, "no spectral decay: low={low} high={high}");
+        assert!(
+            high < 1e-10 * low,
+            "no spectral decay: low={low} high={high}"
+        );
     }
 }

@@ -61,8 +61,8 @@ pub fn gll(n: usize) -> Quadrature {
         for _ in 0..100 {
             let d1 = legendre_deriv(p, x);
             // d/dx P'_p from the Legendre ODE: (1-x²)P'' = 2xP' - p(p+1)P.
-            let d2 = (2.0 * x * d1 - (p as f64) * (p as f64 + 1.0) * legendre(p, x))
-                / (1.0 - x * x);
+            let d2 =
+                (2.0 * x * d1 - (p as f64) * (p as f64 + 1.0) * legendre(p, x)) / (1.0 - x * x);
             let dx = d1 / d2;
             x -= dx;
             if dx.abs() < 1e-15 {

@@ -157,11 +157,12 @@ fn deriv_x_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
     debug_assert_eq!(out.len(), N * N * N);
     let dd = d.data();
     for col in 0..N * N {
-        let uin: &[f64; N] = u[col * N..(col + 1) * N].try_into().expect("pencil length N");
+        let uin: &[f64; N] = u[col * N..(col + 1) * N]
+            .try_into()
+            .expect("pencil length N");
         let dst = &mut out[col * N..(col + 1) * N];
         for i in 0..N {
-            let drow: &[f64; N] =
-                dd[i * N..(i + 1) * N].try_into().expect("row length N");
+            let drow: &[f64; N] = dd[i * N..(i + 1) * N].try_into().expect("row length N");
             let mut acc = 0.0;
             for m in 0..N {
                 acc += drow[m] * uin[m];
@@ -218,14 +219,12 @@ fn deriv_y_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
         let uk = &u[k * plane..(k + 1) * plane];
         let ok = &mut out[k * plane..(k + 1) * plane];
         for j in 0..N {
-            let drow: &[f64; N] =
-                dd[j * N..(j + 1) * N].try_into().expect("row length N");
+            let drow: &[f64; N] = dd[j * N..(j + 1) * N].try_into().expect("row length N");
             let dst: &mut [f64] = &mut ok[j * N..(j + 1) * N];
             dst.fill(0.0);
             for m in 0..N {
                 let dm = drow[m];
-                let src: &[f64; N] =
-                    uk[m * N..(m + 1) * N].try_into().expect("pencil length N");
+                let src: &[f64; N] = uk[m * N..(m + 1) * N].try_into().expect("pencil length N");
                 for i in 0..N {
                     dst[i] += dm * src[i];
                 }
@@ -345,14 +344,7 @@ pub fn deriv_z_t_add(d: &DMat, w: &[f64], out: &mut [f64], n: usize) {
 }
 
 /// Compute all three reference-space derivatives of `u` in one call.
-pub fn grad_ref(
-    d: &DMat,
-    u: &[f64],
-    ur: &mut [f64],
-    us: &mut [f64],
-    ut: &mut [f64],
-    n: usize,
-) {
+pub fn grad_ref(d: &DMat, u: &[f64], ur: &mut [f64], us: &mut [f64], ut: &mut [f64], n: usize) {
     deriv_x(d, u, ur, n);
     deriv_y(d, u, us, n);
     deriv_z(d, u, ut, n);
@@ -376,10 +368,7 @@ pub fn tensor_apply3_naive(ax: &DMat, ay: &DMat, az: &DMat, u: &[f64]) -> Vec<f6
                 for k in 0..nz {
                     for j in 0..ny {
                         for i in 0..nx {
-                            acc += ax[(a, i)]
-                                * ay[(b, j)]
-                                * az[(c, k)]
-                                * u[i + nx * (j + ny * k)];
+                            acc += ax[(a, i)] * ay[(b, j)] * az[(c, k)] * u[i + nx * (j + ny * k)];
                         }
                     }
                 }
@@ -405,7 +394,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             })
             .collect()
@@ -568,8 +559,9 @@ mod dispatch_tests {
     fn specialized_kernels_match_generic_bitwise() {
         for n in [4usize, 6, 8, 12, 5, 7] {
             let d = deriv_matrix(&gll(n).points);
-            let u: Vec<f64> =
-                (0..n * n * n).map(|i| ((i * 29 % 97) as f64) * 0.07 - 3.0).collect();
+            let u: Vec<f64> = (0..n * n * n)
+                .map(|i| ((i * 29 % 97) as f64) * 0.07 - 3.0)
+                .collect();
             let mut a = vec![0.0; n * n * n];
             let mut b = vec![0.0; n * n * n];
             deriv_x(&d, &u, &mut a, n);
@@ -591,8 +583,9 @@ mod yz_dispatch_tests {
     fn yz_specializations_match_generic_bitwise() {
         for n in [4usize, 6, 8, 12, 5, 9] {
             let d = deriv_matrix(&gll(n).points);
-            let u: Vec<f64> =
-                (0..n * n * n).map(|i| ((i * 17 % 89) as f64) * 0.11 - 4.0).collect();
+            let u: Vec<f64> = (0..n * n * n)
+                .map(|i| ((i * 17 % 89) as f64) * 0.11 - 4.0)
+                .collect();
             let mut a = vec![0.0; n * n * n];
             let mut b = vec![0.0; n * n * n];
             deriv_y(&d, &u, &mut a, n);

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rbx::basis::ModalBasis;
-use rbx::compress::{
-    compress_field, decompress_field, lossless_encode, Codec, CompressionConfig,
-};
+use rbx::compress::{compress_field, decompress_field, lossless_encode, Codec, CompressionConfig};
 use rbx::mesh::generators::box_mesh;
 use rbx::mesh::GeomFactors;
 use std::hint::black_box;

@@ -14,7 +14,11 @@ use rbx::mesh::{BoundaryTag, GeomFactors};
 use std::hint::black_box;
 use std::sync::Arc;
 
-const ALL: [BoundaryTag; 3] = [BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall];
+const ALL: [BoundaryTag; 3] = [
+    BoundaryTag::Wall,
+    BoundaryTag::HotWall,
+    BoundaryTag::ColdWall,
+];
 
 struct Fixture {
     geom: GeomFactors,
@@ -49,13 +53,26 @@ fn fixture(p: usize, nx: usize) -> Fixture {
     let n = geom.total_nodes();
     let mut u: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
     gs.apply(&mut u, GsOp::Add, &comm);
-    Fixture { geom, gs, mask, comm, schwarz, u }
+    Fixture {
+        geom,
+        gs,
+        mask,
+        comm,
+        schwarz,
+        u,
+    }
 }
 
 fn bench_operator_apply(c: &mut Criterion) {
     // Paper production order: 7.
     let f = fixture(7, 3);
-    let op = HelmholtzOp { geom: &f.geom, gs: &f.gs, mask: &f.mask, h1: 1.0, h2: 0.5 };
+    let op = HelmholtzOp {
+        geom: &f.geom,
+        gs: &f.gs,
+        mask: &f.mask,
+        h1: 1.0,
+        h2: 0.5,
+    };
     let mut y = vec![0.0; f.u.len()];
     let mut scratch = HelmholtzScratch::default();
     c.bench_function("helmholtz_apply_p7_27elem", |b| {
@@ -70,9 +87,17 @@ fn bench_operator_apply_pooled(c: &mut Criterion) {
     // Backend-parallel element loop; informative on multi-core hosts
     // (bitwise identical to the serial path by construction).
     let f = fixture(7, 3);
-    let op = HelmholtzOp { geom: &f.geom, gs: &f.gs, mask: &f.mask, h1: 1.0, h2: 0.5 };
+    let op = HelmholtzOp {
+        geom: &f.geom,
+        gs: &f.gs,
+        mask: &f.mask,
+        h1: 1.0,
+        h2: 0.5,
+    };
     let mut y = vec![0.0; f.u.len()];
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     c.bench_function("helmholtz_apply_local_pooled_p7_27elem", |b| {
         b.iter(|| {
             op.apply_local_pooled(black_box(&f.u), &mut y, threads);
@@ -99,13 +124,15 @@ fn bench_schwarz_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("schwarz_apply_p7_27elem");
     group.bench_function("serial", |b| {
         b.iter(|| {
-            f.schwarz.apply(black_box(&r), &mut z, SchwarzMode::Serial, &f.comm);
+            f.schwarz
+                .apply(black_box(&r), &mut z, SchwarzMode::Serial, &f.comm);
             black_box(&z);
         })
     });
     group.bench_function("overlapped", |b| {
         b.iter(|| {
-            f.schwarz.apply(black_box(&r), &mut z, SchwarzMode::Overlapped, &f.comm);
+            f.schwarz
+                .apply(black_box(&r), &mut z, SchwarzMode::Overlapped, &f.comm);
             black_box(&z);
         })
     });

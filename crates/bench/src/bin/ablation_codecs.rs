@@ -25,7 +25,11 @@ fn main() {
     println!("  codec   bytes       vs raw field   encode [ms]   decode [ms]");
     let mut rows = Vec::new();
     for codec in [Codec::Raw, Codec::Rle, Codec::Range] {
-        let cfg = CompressionConfig { error_bound: 0.01, quant_bits: Some(16), codec };
+        let cfg = CompressionConfig {
+            error_bound: 0.01,
+            quant_bits: Some(16),
+            codec,
+        };
         let t0 = Instant::now();
         let c = compress_field(field, &sim.geom, &basis, &cfg);
         let t_enc = t0.elapsed().as_secs_f64();

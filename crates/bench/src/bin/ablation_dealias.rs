@@ -35,10 +35,7 @@ fn run(dealias: bool) -> (f64, Vec<f64>, bool) {
         let st = sim.step();
         stable &= st.converged;
         let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
-        let ke = obs.kinetic_energy(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
-        );
+        let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         stable &= ke.is_finite();
         kes.push(ke);
     }
@@ -84,6 +81,10 @@ fn main() {
         .enumerate()
         .map(|(i, (a, b))| format!("{i},{a},{b}"))
         .collect();
-    write_csv(&dir.join("kinetic_energy.csv"), "step,ke_dealias,ke_collocation", &rows);
+    write_csv(
+        &dir.join("kinetic_energy.csv"),
+        "step,ke_dealias,ke_collocation",
+        &rows,
+    );
     println!("\nwrote {}", dir.join("kinetic_energy.csv").display());
 }

@@ -26,10 +26,30 @@ struct Variant {
 fn main() {
     println!("pressure preconditioner ablation ({STEPS} RBC steps, degree 6)\n");
     let variants = [
-        Variant { name: "jacobi", schwarz: false, mode: SchwarzMode::Serial, coarse_order: 1 },
-        Variant { name: "schwarz-serial", schwarz: true, mode: SchwarzMode::Serial, coarse_order: 1 },
-        Variant { name: "schwarz-overlapped", schwarz: true, mode: SchwarzMode::Overlapped, coarse_order: 1 },
-        Variant { name: "schwarz-coarse-p2", schwarz: true, mode: SchwarzMode::Serial, coarse_order: 2 },
+        Variant {
+            name: "jacobi",
+            schwarz: false,
+            mode: SchwarzMode::Serial,
+            coarse_order: 1,
+        },
+        Variant {
+            name: "schwarz-serial",
+            schwarz: true,
+            mode: SchwarzMode::Serial,
+            coarse_order: 1,
+        },
+        Variant {
+            name: "schwarz-overlapped",
+            schwarz: true,
+            mode: SchwarzMode::Overlapped,
+            coarse_order: 1,
+        },
+        Variant {
+            name: "schwarz-coarse-p2",
+            schwarz: true,
+            mode: SchwarzMode::Serial,
+            coarse_order: 2,
+        },
     ];
     println!("  variant              p-iters/step   pressure time [s]   total [s]");
     let mut rows = Vec::new();

@@ -34,8 +34,13 @@ fn main() {
             ic_noise: 0.05,
             ..Default::default()
         };
-        let mut sim =
-            Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            &case.mesh,
+            &case.part,
+            case.elems[0].clone(),
+            &comm,
+        );
         sim.init_rbc();
         let mut iters = 0usize;
         for s in 1..=steps {
@@ -46,16 +51,16 @@ fn main() {
         let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
         let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
         let nu_h = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
-        let ke = obs.kinetic_energy(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
-        );
+        let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         let ipx = iters as f64 / steps as f64;
         println!(
             "  {gamma:<5}   {:>5}   {nu_v:7.4}   {nu_h:7.4}   {ke:9.3e}   {ipx:8.1}",
             case.mesh.num_elements()
         );
-        rows.push(format!("{gamma},{},{nu_v},{nu_h},{ke},{ipx}", case.mesh.num_elements()));
+        rows.push(format!(
+            "{gamma},{},{nu_v},{nu_h},{ke},{ipx}",
+            case.mesh.num_elements()
+        ));
     }
     println!("\nnote: short runs demonstrate the sweep machinery; the paper's");
     println!("scientific campaign would run each Γ to statistical convergence.");

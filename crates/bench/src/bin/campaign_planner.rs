@@ -75,8 +75,10 @@ fn main() {
     println!("  - the snapshot database shrinks by ~33× under the §5.2 compression at");
     println!("    the Fig. 5 operating point, turning petabyte-scale storage into");
     println!("    tens of terabytes — the paper's storage claim;");
-    println!("  - one decade higher in Ra costs ~{:.0}× more wall time (mesh growth ×",
-        10f64.powf(9.0 / 8.0) * 10f64.powf(1.0 / 8.0));
+    println!(
+        "  - one decade higher in Ra costs ~{:.0}× more wall time (mesh growth ×",
+        10f64.powf(9.0 / 8.0) * 10f64.powf(1.0 / 8.0)
+    );
     println!("    step-count growth), which is why 10¹⁶ defines the exascale frontier.");
 
     let dir = out_dir("campaign_planner");

@@ -89,19 +89,31 @@ fn main() {
         100.0 * overlap.utilization()
     );
     println!("  wall-time reduction of the Schwarz phase: {reduction:.1} %");
-    println!("  over {STEPS} time steps: {:.2} ms → {:.2} ms",
+    println!(
+        "  over {STEPS} time steps: {:.2} ms → {:.2} ms",
         serial.makespan_us * STEPS as f64 / 1e3,
-        overlap.makespan_us * STEPS as f64 / 1e3);
+        overlap.makespan_us * STEPS as f64 / 1e3
+    );
     println!("  (paper: ≈20 % on 4×A100 for a comparable small test case)\n");
 
     println!("trace timeline, serial (c = coarse-solve kernels, F = fine smoother):");
-    println!("{}", rbx_bench::render_timeline_unit(&serial.trace, 100, "µs"));
+    println!(
+        "{}",
+        rbx_bench::render_timeline_unit(&serial.trace, 100, "µs")
+    );
     println!("trace timeline, task-parallel (coarse on high-priority stream 0):");
-    println!("{}", rbx_bench::render_timeline_unit(&overlap.trace, 100, "µs"));
+    println!(
+        "{}",
+        rbx_bench::render_timeline_unit(&overlap.trace, 100, "µs")
+    );
 
     // ---- real-solver measurement ------------------------------------------
-    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    println!("real-solver experiment ({STEPS} RBC steps, pressure phase; host has {cores} core(s)):");
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    println!(
+        "real-solver experiment ({STEPS} RBC steps, pressure phase; host has {cores} core(s)):"
+    );
     let mut sim = developed_box(5, 5);
     sim.cfg.schwarz_mode = SchwarzMode::Serial;
     sim.timers.reset();

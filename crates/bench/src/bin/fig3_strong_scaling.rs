@@ -30,7 +30,10 @@ fn main() {
         (leonardo(), vec![3456, 6912]),
     ] {
         for overlapped in [true, false] {
-            let mix = SolverMix { overlapped, ..Default::default() };
+            let mix = SolverMix {
+                overlapped,
+                ..Default::default()
+            };
             let model = CostModel::new(machine.clone(), CaseSize::paper_ra1e15(), mix);
             let points = strong_scaling_sweep(&model, &ranks, 250, 2023);
             let label = if overlapped { "overlapped" } else { "serial" };
@@ -66,8 +69,12 @@ fn main() {
     );
 
     // ---- measured on this machine ----------------------------------------
-    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    println!("measured strong scaling (real solver, thread-backed ranks; host has {cores} core(s)):");
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    println!(
+        "measured strong scaling (real solver, thread-backed ranks; host has {cores} core(s)):"
+    );
     if cores == 1 {
         println!("  (single-core host: ranks time-share the core, so speedup cannot");
         println!("   exceed 1; this section demonstrates the distributed code path,");
@@ -115,7 +122,10 @@ fn main() {
             t0 / t,
             t0 / (t * nranks as f64)
         );
-        rows.push(format!("measured,threads,{nranks},,{t},,{}", t0 / (t * nranks as f64)));
+        rows.push(format!(
+            "measured,threads,{nranks},,{t},,{}",
+            t0 / (t * nranks as f64)
+        ));
     }
 
     write_csv(

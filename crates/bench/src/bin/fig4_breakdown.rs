@@ -31,14 +31,20 @@ fn main() {
     for (phase, p) in Phase::ALL.iter().zip(pct) {
         println!("  {:<12} {:>5.1} %", phase.name(), p);
     }
-    println!("  avg time/step: {:.2} ms\n", 1e3 * sim.timers.avg_per_step());
+    println!(
+        "  avg time/step: {:.2} ms\n",
+        1e3 * sim.timers.avg_per_step()
+    );
 
     // ---- modelled at paper scale -------------------------------------------
     let model = CostModel::new(lumi(), CaseSize::paper_ra1e15(), SolverMix::default());
     let b = model.time_per_step(16384);
     let mpct = b.percentages();
     println!("modelled (LUMI, 16,384 GCDs, 108M elements — the paper's Fig. 4 point):");
-    for (name, p) in ["Pressure", "Velocity", "Temperature", "Other"].iter().zip(mpct) {
+    for (name, p) in ["Pressure", "Velocity", "Temperature", "Other"]
+        .iter()
+        .zip(mpct)
+    {
         println!("  {name:<12} {p:>5.1} %");
     }
     println!("  modelled time/step: {:.1} ms", 1e3 * b.total());
@@ -54,7 +60,10 @@ fn main() {
         "source,pressure_pct,velocity_pct,temperature_pct,other_pct",
         &[
             format!("measured,{},{},{},{}", pct[0], pct[1], pct[2], pct[3]),
-            format!("modelled_lumi_16384,{},{},{},{}", mpct[0], mpct[1], mpct[2], mpct[3]),
+            format!(
+                "modelled_lumi_16384,{},{},{},{}",
+                mpct[0], mpct[1], mpct[2], mpct[3]
+            ),
         ],
     );
     println!("wrote {}", dir.join("fig4.csv").display());
@@ -71,12 +80,24 @@ fn main() {
     };
     let record = bench_record(
         "fig4_breakdown",
-        &["source", "pressure_pct", "velocity_pct", "temperature_pct", "other_pct"],
-        vec![pct_row("measured", pct), pct_row("modelled_lumi_16384", mpct)],
+        &[
+            "source",
+            "pressure_pct",
+            "velocity_pct",
+            "temperature_pct",
+            "other_pct",
+        ],
+        vec![
+            pct_row("measured", pct),
+            pct_row("modelled_lumi_16384", mpct),
+        ],
         vec![
             ("order", Value::int(6)),
             ("steps", Value::int(60)),
-            ("measured_ms_per_step", Value::num(1e3 * sim.timers.avg_per_step())),
+            (
+                "measured_ms_per_step",
+                Value::num(1e3 * sim.timers.avg_per_step()),
+            ),
             ("modelled_ms_per_step", Value::num(1e3 * b.total())),
         ],
     );

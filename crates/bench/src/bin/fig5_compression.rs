@@ -39,7 +39,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut paper_point: Option<(f64, f64, f64)> = None;
     for eps in [1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1] {
-        let cfg = CompressionConfig { error_bound: eps, quant_bits: Some(16), codec: Codec::Range };
+        let cfg = CompressionConfig {
+            error_bound: eps,
+            quant_bits: Some(16),
+            codec: Codec::Range,
+        };
         let c = compress_field(field, &sim.geom, &basis, &cfg);
         let recon = decompress_field(&c, &basis);
         let err = weighted_l2_error(field, &recon, &sim.geom.mass);
@@ -70,7 +74,11 @@ fn main() {
     println!("  paper: 97 % reduction at 2.5 % relative error — shape check: ");
     println!(
         "  {} (≥ 90 % reduction while respecting the bound)",
-        if reduction >= 90.0 && err <= 0.03 { "PASS" } else { "DIFFERS" }
+        if reduction >= 90.0 && err <= 0.03 {
+            "PASS"
+        } else {
+            "DIFFERS"
+        }
     );
     println!("\nconservative band (paper: 85–90 % reduction for high-fidelity post-processing):");
     // Find the error bounds bracketing 85–90 % reduction from the sweep.
@@ -88,7 +96,11 @@ fn main() {
 
     // ---- visual comparison (2-D slice, original vs reconstructed) --------
     let dir = out_dir("fig5_compression");
-    let cfg = CompressionConfig { error_bound: 2.5e-2, quant_bits: Some(16), codec: Codec::Range };
+    let cfg = CompressionConfig {
+        error_bound: 2.5e-2,
+        quant_bits: Some(16),
+        codec: Codec::Range,
+    };
     let c = compress_field(field, &sim.geom, &basis, &cfg);
     let recon = decompress_field(&c, &basis);
     let z0 = 0.5;

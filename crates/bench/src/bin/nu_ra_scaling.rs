@@ -32,7 +32,13 @@ fn short_dns_nu(ra: f64) -> f64 {
         ic_noise: 0.05,
         ..Default::default()
     };
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
     for _ in 0..300 {
         let st = sim.step();

@@ -115,7 +115,8 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| die(&format!("missing value for {name}")))
+            it.next()
+                .unwrap_or_else(|| die(&format!("missing value for {name}")))
         };
         match flag.as_str() {
             "--case" => args.case = value("--case"),
@@ -125,7 +126,9 @@ fn parse_args() -> Args {
             "--dt" => args.dt = parse("--dt", &value("--dt")),
             "--steps" => args.steps = parse("--steps", &value("--steps")),
             "--resolution" => args.resolution = parse("--resolution", &value("--resolution")),
-            "--sample-every" => args.sample_every = parse("--sample-every", &value("--sample-every")),
+            "--sample-every" => {
+                args.sample_every = parse("--sample-every", &value("--sample-every"))
+            }
             "--checkpoint-every" => {
                 args.checkpoint_every = parse("--checkpoint-every", &value("--checkpoint-every"))
             }
@@ -140,12 +143,14 @@ fn parse_args() -> Args {
             "--inject-nan-at" => args
                 .inject_nan_at
                 .push(parse("--inject-nan-at", &value("--inject-nan-at"))),
-            "--corrupt-checkpoint-at" => args
-                .corrupt_checkpoint_at
-                .push(parse("--corrupt-checkpoint-at", &value("--corrupt-checkpoint-at"))),
-            "--fail-checkpoint-at" => args
-                .fail_checkpoint_at
-                .push(parse("--fail-checkpoint-at", &value("--fail-checkpoint-at"))),
+            "--corrupt-checkpoint-at" => args.corrupt_checkpoint_at.push(parse(
+                "--corrupt-checkpoint-at",
+                &value("--corrupt-checkpoint-at"),
+            )),
+            "--fail-checkpoint-at" => args.fail_checkpoint_at.push(parse(
+                "--fail-checkpoint-at",
+                &value("--fail-checkpoint-at"),
+            )),
             "--pod" => args.pod = true,
             "--restart" => args.restart = Some(PathBuf::from(value("--restart"))),
             "--out" => args.out = PathBuf::from(value("--out")),
@@ -158,9 +163,7 @@ fn parse_args() -> Args {
             "--trace-depth" => {
                 args.trace_depth = Some(parse("--trace-depth", &value("--trace-depth")))
             }
-            "--json-summary" => {
-                args.json_summary = Some(PathBuf::from(value("--json-summary")))
-            }
+            "--json-summary" => args.json_summary = Some(PathBuf::from(value("--json-summary"))),
             "--help" | "-h" => {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
@@ -191,7 +194,10 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     if let Err(e) = std::fs::create_dir_all(&args.out) {
-        die(&format!("cannot create output dir {}: {e}", args.out.display()));
+        die(&format!(
+            "cannot create output dir {}: {e}",
+            args.out.display()
+        ));
     }
 
     let case = match args.case.as_str() {
@@ -207,15 +213,25 @@ fn main() {
         ic_noise: 0.05,
         ..Default::default()
     };
-    println!("run_dns: {} case, Γ = {}, Ra = {:.1e}, degree {}, dt = {}",
-        args.case, args.gamma, args.ra, args.order, args.dt);
-    println!("  {} elements, {} grid points, {} steps",
+    println!(
+        "run_dns: {} case, Γ = {}, Ra = {:.1e}, degree {}, dt = {}",
+        args.case, args.gamma, args.ra, args.order, args.dt
+    );
+    println!(
+        "  {} elements, {} grid points, {} steps",
         case.mesh.num_elements(),
         case.mesh.num_elements() * (args.order + 1).pow(3),
-        args.steps);
+        args.steps
+    );
     println!("  config: {}", cfg.to_json());
 
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
 
     // Observability: off (a single relaxed atomic load per hook) unless a
@@ -228,7 +244,10 @@ fn main() {
         }
         if let Some(path) = &args.telemetry_jsonl {
             if let Err(e) = tel.open_jsonl(path) {
-                die(&format!("cannot create telemetry JSONL {}: {e}", path.display()));
+                die(&format!(
+                    "cannot create telemetry JSONL {}: {e}",
+                    path.display()
+                ));
             }
             println!("  telemetry: JSONL stream -> {}", path.display());
         }
@@ -240,8 +259,12 @@ fn main() {
 
     if let Some(chk) = &args.restart {
         match rbx::core::read_checkpoint(&mut sim, chk) {
-            Ok(()) => println!("  restarted from {} at step {} (t = {:.4})",
-                chk.display(), sim.state.istep, sim.state.time),
+            Ok(()) => println!(
+                "  restarted from {} at step {} (t = {:.4})",
+                chk.display(),
+                sim.state.istep,
+                sim.state.time
+            ),
             Err(e) => {
                 // A rejected restart file (truncated, bit-flipped, stale
                 // metadata) falls back to the newest verifiable rotation
@@ -252,8 +275,12 @@ fn main() {
                         for (p, err) in &outcome.rejected {
                             eprintln!("run_dns: warning: also rejected {}: {err}", p.display());
                         }
-                        println!("  restarted from fallback {} at step {} (t = {:.4})",
-                            outcome.path.display(), sim.state.istep, sim.state.time);
+                        println!(
+                            "  restarted from fallback {} at step {} (t = {:.4})",
+                            outcome.path.display(),
+                            sim.state.istep,
+                            sim.state.time
+                        );
                     }
                     Err(e2) => {
                         eprintln!("run_dns: error: no usable checkpoint to restart from: {e2}");
@@ -383,7 +410,10 @@ fn main() {
     // Finalize outputs.
     use std::io::Write;
     let csv = std::fs::File::create(args.out.join("observables.csv")).and_then(|mut f| {
-        writeln!(f, "step,time,nu_volume,nu_hot,nu_cold,kinetic_energy,cfl,p_iters")?;
+        writeln!(
+            f,
+            "step,time,nu_volume,nu_hot,nu_cold,kinetic_energy,cfl,p_iters"
+        )?;
         for r in &obs_rows {
             writeln!(f, "{r}")?;
         }
@@ -427,7 +457,10 @@ fn main() {
     println!("\n── run summary ───────────────────────────────────────────");
     let row = |k: &str, v: String| println!("  {k:<22} {v}");
     row("steps completed", format!("{}", report.steps_completed));
-    row("wall time", format!("{elapsed:.2} s ({ms_per_step:.1} ms/step)"));
+    row(
+        "wall time",
+        format!("{elapsed:.2} s ({ms_per_step:.1} ms/step)"),
+    );
     row("rollbacks", format!("{}", report.rollbacks));
     row("final dt", format!("{}", report.final_dt));
     row("recovery events", format!("{}", report.events.len()));
@@ -451,7 +484,10 @@ fn main() {
     }
     row(
         "resolution monitor",
-        format!("{:.1} % of elements exceed 1e-4 spectral tail", 100.0 * under),
+        format!(
+            "{:.1} % of elements exceed 1e-4 spectral tail",
+            100.0 * under
+        ),
     );
     row(
         "phase split",
@@ -498,15 +534,16 @@ fn main() {
         tel.emit(&summary);
         tel.flush();
         if let Some(path) = &args.telemetry_jsonl {
-            println!("  telemetry: {} JSONL records in {}", tel.jsonl_lines(), path.display());
+            println!(
+                "  telemetry: {} JSONL records in {}",
+                tel.jsonl_lines(),
+                path.display()
+            );
         }
         if let Some(path) = &args.telemetry_prom {
             match tel.write_prometheus(path) {
                 Ok(()) => println!("  telemetry: Prometheus snapshot in {}", path.display()),
-                Err(e) => eprintln!(
-                    "run_dns: warning: could not write {}: {e}",
-                    path.display()
-                ),
+                Err(e) => eprintln!("run_dns: warning: could not write {}: {e}", path.display()),
             }
         }
     }

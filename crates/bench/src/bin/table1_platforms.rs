@@ -23,9 +23,7 @@ fn main() {
     );
     println!(
         "  {:<22}{:<28}{:<28}",
-        "launch latency [µs]",
-        machines[0].launch_latency_us,
-        machines[1].launch_latency_us
+        "launch latency [µs]", machines[0].launch_latency_us, machines[1].launch_latency_us
     );
     println!(
         "  {:<22}{:<28}{:<28}",
@@ -33,9 +31,7 @@ fn main() {
     );
     println!(
         "  {:<22}{:<28}{:<28}",
-        "allreduce hop [µs]",
-        machines[0].allreduce_hop_us,
-        machines[1].allreduce_hop_us
+        "allreduce hop [µs]", machines[0].allreduce_hop_us, machines[1].allreduce_hop_us
     );
     println!(
         "  {:<22}{:<28}{:<28}",

@@ -91,8 +91,8 @@ fn check_jsonl(path: &PathBuf, min_lines: usize) -> Result<BTreeMap<String, usiz
 fn check_bench(path: &PathBuf) -> Result<String, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
-    let v = Value::parse(text.trim())
-        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let v =
+        Value::parse(text.trim()).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
     validate_bench(&v).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(v.get("name")
         .and_then(|n| n.as_str().map(String::from))
@@ -115,10 +115,7 @@ fn main() -> ExitCode {
                 println!("ok   {} ({total} records: {detail})", path.display());
                 for want in &args.expect_kinds {
                     if !kinds.contains_key(want) {
-                        eprintln!(
-                            "FAIL {}: no record of kind {want:?}",
-                            path.display()
-                        );
+                        eprintln!("FAIL {}: no record of kind {want:?}", path.display());
                         failed = true;
                     }
                 }

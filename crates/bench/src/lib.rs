@@ -36,7 +36,10 @@ pub fn developed_box(order: usize, steps: usize) -> Simulation<'static> {
     let mut sim = leaked_sim(case, cfg);
     for _ in 0..steps {
         let st = sim.step();
-        assert!(st.converged, "solver diverged while preparing state: {st:?}");
+        assert!(
+            st.converged,
+            "solver diverged while preparing state: {st:?}"
+        );
     }
     sim
 }
@@ -66,11 +69,7 @@ pub fn render_timeline(trace: &[rbx::device::TraceEvent], width: usize) -> Strin
 
 /// Like [`render_timeline`] with an explicit unit label for the span line
 /// (vgpu traces are in seconds, device-simulator traces in µs).
-pub fn render_timeline_unit(
-    trace: &[rbx::device::TraceEvent],
-    width: usize,
-    unit: &str,
-) -> String {
+pub fn render_timeline_unit(trace: &[rbx::device::TraceEvent], width: usize, unit: &str) -> String {
     if trace.is_empty() {
         return "(empty trace)".into();
     }
@@ -111,8 +110,20 @@ mod tests {
     fn timeline_renders_streams() {
         use rbx::device::TraceEvent;
         let trace = vec![
-            TraceEvent { worker: 0, stream: 0, name: "a".into(), start: 0.0, end: 0.5 },
-            TraceEvent { worker: 1, stream: 1, name: "b".into(), start: 0.2, end: 1.0 },
+            TraceEvent {
+                worker: 0,
+                stream: 0,
+                name: "a".into(),
+                start: 0.0,
+                end: 0.5,
+            },
+            TraceEvent {
+                worker: 1,
+                stream: 1,
+                name: "b".into(),
+                start: 0.2,
+                end: 1.0,
+            },
         ];
         let s = render_timeline(&trace, 40);
         assert!(s.contains("stream 0"));

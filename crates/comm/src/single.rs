@@ -31,7 +31,11 @@ impl Communicator for SingleComm {
 
     fn send(&self, dest: usize, tag: u64, payload: Payload) {
         assert_eq!(dest, 0, "SingleComm has only rank 0");
-        self.self_queue.lock().entry(tag).or_default().push_back(payload);
+        self.self_queue
+            .lock()
+            .entry(tag)
+            .or_default()
+            .push_back(payload);
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {

@@ -124,7 +124,11 @@ impl Communicator for ThreadComm {
             return;
         }
         self.senders[dest]
-            .send(Msg { src: self.rank, tag, payload })
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload,
+            })
             .expect("receiving rank has shut down");
     }
 
@@ -347,8 +351,7 @@ mod tests {
         let out = run_on_ranks(3, |c| {
             // Full exchange: everyone is everyone's neighbour.
             let neighbors: Vec<usize> = (0..c.size()).filter(|&r| r != c.rank()).collect();
-            let outgoing: Vec<Vec<f64>> =
-                neighbors.iter().map(|_| vec![c.rank() as f64]).collect();
+            let outgoing: Vec<Vec<f64>> = neighbors.iter().map(|_| vec![c.rank() as f64]).collect();
             let incoming = neighbor_exchange(c, 9, &neighbors, &outgoing);
             incoming.iter().map(|v| v[0]).sum::<f64>()
         });
@@ -398,11 +401,7 @@ mod allreduce_algorithm_tests {
             });
             for r in 1..nranks {
                 for (a, b) in results[0].iter().zip(&results[r]) {
-                    assert_eq!(
-                        a.to_bits(),
-                        b.to_bits(),
-                        "{nranks} ranks: rank {r} differs"
-                    );
+                    assert_eq!(a.to_bits(), b.to_bits(), "{nranks} ranks: rank {r} differs");
                 }
             }
         }

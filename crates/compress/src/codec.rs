@@ -171,7 +171,10 @@ struct ByteModel {
 
 impl ByteModel {
     fn new() -> Self {
-        Self { freq: [1; 256], total: 256 }
+        Self {
+            freq: [1; 256],
+            total: 256,
+        }
     }
 
     fn cumulative(&self, sym: usize) -> (u32, u32) {

@@ -22,7 +22,11 @@ pub struct CompressionConfig {
 
 impl Default for CompressionConfig {
     fn default() -> Self {
-        Self { error_bound: 0.025, quant_bits: Some(16), codec: Codec::Range }
+        Self {
+            error_bound: 0.025,
+            quant_bits: Some(16),
+            codec: Codec::Range,
+        }
     }
 }
 
@@ -104,9 +108,8 @@ pub fn compress_field(
     for r in 0..n {
         for q in 0..n {
             for p in 0..n {
-                gamma[p + n * (q + n * r)] = basis.discrete_norms[p]
-                    * basis.discrete_norms[q]
-                    * basis.discrete_norms[r];
+                gamma[p + n * (q + n * r)] =
+                    basis.discrete_norms[p] * basis.discrete_norms[q] * basis.discrete_norms[r];
             }
         }
     }
@@ -119,8 +122,7 @@ pub fn compress_field(
             &mut scratch,
         );
         // Mean Jacobian of the element scales reference L² to physical L².
-        let scale: f64 =
-            geom.jac[e * nn..(e + 1) * nn].iter().sum::<f64>() / nn as f64;
+        let scale: f64 = geom.jac[e * nn..(e + 1) * nn].iter().sum::<f64>() / nn as f64;
         for idx in 0..nn {
             let c = modal[e * nn + idx];
             let energy = c * c * gamma[idx] * scale;
@@ -132,8 +134,7 @@ pub fn compress_field(
     // 2. Optimal greedy truncation: drop the smallest contributions until
     //    the error budget ε²·‖u‖² is exhausted.
     let budget = cfg.error_bound * cfg.error_bound * total_energy;
-    contributions
-        .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite energy"));
+    contributions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite energy"));
     let mut dropped = 0.0;
     let mut kept = vec![true; nelv * nn];
     let mut n_dropped = 0usize;
@@ -238,8 +239,7 @@ pub fn decompress_field(compressed: &Compressed, basis: &ModalBasis) -> Vec<f64>
     for e in 0..nelv {
         let bitmap = &raw[pos..pos + bitmap_bytes];
         pos += bitmap_bytes;
-        let is_kept =
-            |idx: usize| -> bool { bitmap[idx / 8] & (1 << (idx % 8)) != 0 };
+        let is_kept = |idx: usize| -> bool { bitmap[idx / 8] & (1 << (idx % 8)) != 0 };
         if quant_bits == 0 {
             for idx in 0..nn {
                 if is_kept(idx) {
@@ -316,8 +316,7 @@ mod tests {
     fn smooth_field(geom: &GeomFactors) -> Vec<f64> {
         (0..geom.total_nodes())
             .map(|i| {
-                let (x, y, z) =
-                    (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
+                let (x, y, z) = (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
                 (3.0 * x).sin() * (2.0 * y).cos() + 0.5 * (4.0 * z).sin()
             })
             .collect()

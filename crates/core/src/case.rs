@@ -42,13 +42,7 @@ pub fn rbc_cylinder_case(aspect_ratio: f64, resolution: usize, nranks: usize) ->
 
 /// A box RBC cell of unit height and horizontal extent `gamma` (a common
 /// validation geometry), optionally periodic in x and y.
-pub fn rbc_box_case(
-    gamma: f64,
-    nx: usize,
-    nz: usize,
-    periodic: bool,
-    nranks: usize,
-) -> CaseSetup {
+pub fn rbc_box_case(gamma: f64, nx: usize, nz: usize, periodic: bool, nranks: usize) -> CaseSetup {
     assert!(gamma > 0.0 && nx >= 1 && nz >= 1 && nranks >= 1);
     let mesh = box_mesh_graded(
         nx,

@@ -237,7 +237,9 @@ fn parse_integrity(path: &Path, step: &StepData) -> Result<Vec<(String, u64)>, C
         path: path.to_path_buf(),
         detail: detail.to_string(),
     };
-    let v = step.var(CRC_VAR).ok_or_else(|| missing("no __crc64 variable"))?;
+    let v = step
+        .var(CRC_VAR)
+        .ok_or_else(|| missing("no __crc64 variable"))?;
     let bytes = match &v.data {
         VarData::Bytes(b) => b.as_slice(),
         _ => return Err(missing("__crc64 has wrong type")),
@@ -305,10 +307,12 @@ fn verify_integrity(path: &Path, step: &StepData) -> Result<(), CheckpointError>
 }
 
 fn take(path: &Path, step: &StepData, name: &str, n: usize) -> Result<Vec<f64>, CheckpointError> {
-    let v = step.var(name).ok_or_else(|| CheckpointError::MissingVariable {
-        path: path.to_path_buf(),
-        name: name.to_string(),
-    })?;
+    let v = step
+        .var(name)
+        .ok_or_else(|| CheckpointError::MissingVariable {
+            path: path.to_path_buf(),
+            name: name.to_string(),
+        })?;
     match &v.data {
         VarData::F64(data) => {
             if data.len() != n {
@@ -336,12 +340,7 @@ fn take(path: &Path, step: &StepData, name: &str, n: usize) -> Result<Vec<f64>, 
 
 /// Decode a small non-negative integer stored as f64, rejecting NaN,
 /// fractions and out-of-range values instead of casting garbage.
-fn take_count(
-    path: &Path,
-    value: f64,
-    what: &str,
-    max: usize,
-) -> Result<usize, CheckpointError> {
+fn take_count(path: &Path, value: f64, what: &str, max: usize) -> Result<usize, CheckpointError> {
     if !value.is_finite() || value.fract() != 0.0 || value < 0.0 || value > max as f64 {
         return Err(CheckpointError::InvalidMetadata {
             path: path.to_path_buf(),
@@ -365,7 +364,11 @@ pub fn write_checkpoint(sim: &Simulation<'_>, path: &Path) -> Result<(), Checkpo
         Variable::f64(
             "lag_depths",
             vec![3],
-            vec![s.u_lag.len() as f64, s.f_lag.len() as f64, s.t_lag.len() as f64],
+            vec![
+                s.u_lag.len() as f64,
+                s.f_lag.len() as f64,
+                s.t_lag.len() as f64,
+            ],
         ),
         Variable::f64("dt_hist", vec![s.dt_hist.len() as u64], s.dt_hist.clone()),
     ];
@@ -386,8 +389,18 @@ pub fn write_checkpoint(sim: &Simulation<'_>, path: &Path) -> Result<(), Checkpo
         vars.push(var(&format!("ft_lag{i}"), ftl));
     }
     vars.push(integrity_var(s.istep as u64, s.time, &vars));
-    write_bpl_atomic(path, &[StepData { step: s.istep as u64, time: s.time, vars }])
-        .map_err(|source| CheckpointError::Io { path: path.to_path_buf(), source })
+    write_bpl_atomic(
+        path,
+        &[StepData {
+            step: s.istep as u64,
+            time: s.time,
+            vars,
+        }],
+    )
+    .map_err(|source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Restore a checkpoint written by [`write_checkpoint`] into `sim` (which
@@ -400,8 +413,10 @@ pub fn write_checkpoint(sim: &Simulation<'_>, path: &Path) -> Result<(), Checkpo
 /// what it was before the call. On success the pressure projection space
 /// is cleared (it belongs to the trajectory being abandoned).
 pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), CheckpointError> {
-    let steps =
-        read_bpl(path).map_err(|source| CheckpointError::Io { path: path.to_path_buf(), source })?;
+    let steps = read_bpl(path).map_err(|source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
     if steps.len() != 1 {
         return Err(CheckpointError::WrongStepCount {
             path: path.to_path_buf(),
@@ -435,9 +450,7 @@ pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), Chec
         if depth > max_order {
             return Err(CheckpointError::InvalidMetadata {
                 path: path.to_path_buf(),
-                detail: format!(
-                    "{what} depth {depth} exceeds configured time order {max_order}"
-                ),
+                detail: format!("{what} depth {depth} exceeds configured time order {max_order}"),
             });
         }
     }
@@ -467,10 +480,12 @@ pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), Chec
         .map(|i| take(path, step, &format!("ft_lag{i}"), n))
         .collect::<Result<_, CheckpointError>>()?;
 
-    let dt_var = step.var("dt_hist").ok_or_else(|| CheckpointError::MissingVariable {
-        path: path.to_path_buf(),
-        name: "dt_hist".to_string(),
-    })?;
+    let dt_var = step
+        .var("dt_hist")
+        .ok_or_else(|| CheckpointError::MissingVariable {
+            path: path.to_path_buf(),
+            name: "dt_hist".to_string(),
+        })?;
     let dt_hist = match &dt_var.data {
         VarData::F64(v) => v.clone(),
         _ => {
@@ -483,7 +498,10 @@ pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), Chec
     if dt_hist.len() > MAX_LAG_DEPTH {
         return Err(CheckpointError::InvalidMetadata {
             path: path.to_path_buf(),
-            detail: format!("dt_hist has {} entries (max {MAX_LAG_DEPTH})", dt_hist.len()),
+            detail: format!(
+                "dt_hist has {} entries (max {MAX_LAG_DEPTH})",
+                dt_hist.len()
+            ),
         });
     }
     if dt_hist.iter().any(|&dt| !dt.is_finite() || dt <= 0.0) {
@@ -523,7 +541,10 @@ pub struct CheckpointSet {
 impl CheckpointSet {
     /// A set rooted at `dir`, keeping the newest `keep` (≥ 1) generations.
     pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Self {
-        Self { dir: dir.into(), keep: keep.max(1) }
+        Self {
+            dir: dir.into(),
+            keep: keep.max(1),
+        }
     }
 
     /// The directory holding the generations.
@@ -558,8 +579,10 @@ impl CheckpointSet {
     /// Checkpoint `sim` as a new generation, then prune old generations
     /// beyond `keep`. Returns the path written.
     pub fn write(&self, sim: &Simulation<'_>) -> Result<PathBuf, CheckpointError> {
-        std::fs::create_dir_all(&self.dir)
-            .map_err(|source| CheckpointError::Io { path: self.dir.clone(), source })?;
+        std::fs::create_dir_all(&self.dir).map_err(|source| CheckpointError::Io {
+            path: self.dir.clone(),
+            source,
+        })?;
         let path = self.path_for_step(sim.state.istep);
         write_checkpoint(sim, &path)?;
         // Pruning is best-effort: a failed unlink must not fail the
@@ -593,7 +616,10 @@ impl CheckpointSet {
                 Err(e) => rejected.push((path, e)),
             }
         }
-        Err(CheckpointError::NoUsableCheckpoint { dir: self.dir.clone(), tried: rejected.len() })
+        Err(CheckpointError::NoUsableCheckpoint {
+            dir: self.dir.clone(),
+            tried: rejected.len(),
+        })
     }
 }
 
@@ -707,9 +733,16 @@ mod tests {
     }
 
     fn assert_state_untouched(sim: &Simulation<'_>, before_t: &[f64], before_istep: usize) {
-        assert_eq!(sim.state.istep, before_istep, "istep modified by failed restore");
+        assert_eq!(
+            sim.state.istep, before_istep,
+            "istep modified by failed restore"
+        );
         for (x, y) in sim.state.t.iter().zip(before_t) {
-            assert_eq!(x.to_bits(), y.to_bits(), "temperature modified by failed restore");
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "temperature modified by failed restore"
+            );
         }
     }
 
@@ -723,13 +756,23 @@ mod tests {
         // and the missing-variable check is what fires.
         let vars: Vec<Variable> = vec![];
         let crc = integrity_var(0, 0.0, &vars);
-        rbx_io::write_bpl(&path, &[StepData { step: 0, time: 0.0, vars: vec![crc] }]).unwrap();
+        rbx_io::write_bpl(
+            &path,
+            &[StepData {
+                step: 0,
+                time: 0.0,
+                vars: vec![crc],
+            }],
+        )
+        .unwrap();
         let mut sim = Simulation::new(cfg(), &mesh, &[0], vec![0], &comm);
         sim.init_rbc();
         let t0 = sim.state.t.clone();
         let err = read_checkpoint(&mut sim, &path).unwrap_err();
-        assert!(matches!(err, CheckpointError::MissingVariable { ref name, .. } if name == "u0"),
-            "{err}");
+        assert!(
+            matches!(err, CheckpointError::MissingVariable { ref name, .. } if name == "u0"),
+            "{err}"
+        );
         assert!(err.to_string().contains("missing"), "{err}");
         assert_state_untouched(&sim, &t0, 0);
     }
@@ -878,7 +921,14 @@ mod tests {
             .iter()
             .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
             .collect();
-        assert_eq!(names, vec!["chk_0000000005.bpl", "chk_0000000004.bpl", "chk_0000000003.bpl"]);
+        assert_eq!(
+            names,
+            vec![
+                "chk_0000000005.bpl",
+                "chk_0000000004.bpl",
+                "chk_0000000003.bpl"
+            ]
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ mod schwarz_mode_serde {
         match s.as_str() {
             "serial" => Ok(SchwarzMode::Serial),
             "overlapped" => Ok(SchwarzMode::Overlapped),
-            other => Err(serde::de::Error::custom(format!("unknown schwarz mode {other}"))),
+            other => Err(serde::de::Error::custom(format!(
+                "unknown schwarz mode {other}"
+            ))),
         }
     }
 }
@@ -184,10 +186,18 @@ mod tests {
 
     #[test]
     fn nondimensional_groups() {
-        let c = SolverConfig { ra: 1e8, pr: 1.0, ..Default::default() };
+        let c = SolverConfig {
+            ra: 1e8,
+            pr: 1.0,
+            ..Default::default()
+        };
         assert!((c.viscosity() - 1e-4).abs() < 1e-18);
         assert!((c.diffusivity() - 1e-4).abs() < 1e-18);
-        let c2 = SolverConfig { ra: 1e6, pr: 4.0, ..Default::default() };
+        let c2 = SolverConfig {
+            ra: 1e6,
+            pr: 4.0,
+            ..Default::default()
+        };
         assert!((c2.viscosity() - 2e-3).abs() < 1e-12);
         assert!((c2.diffusivity() - 5e-4).abs() < 1e-12);
     }

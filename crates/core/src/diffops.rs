@@ -52,12 +52,7 @@ pub fn phys_grad(
 }
 
 /// Pointwise curl `ω = ∇ × u` of a vector field.
-pub fn curl(
-    geom: &GeomFactors,
-    u: [&[f64]; 3],
-    w: [&mut [f64]; 3],
-    scratch: &mut DiffScratch,
-) {
+pub fn curl(geom: &GeomFactors, u: [&[f64]; 3], w: [&mut [f64]; 3], scratch: &mut DiffScratch) {
     let ntot = geom.total_nodes();
     let mut g = [vec![0.0; ntot], vec![0.0; ntot], vec![0.0; ntot]];
     let [wx, wy, wz] = w;
@@ -197,7 +192,12 @@ impl Dealias {
                 }
             }
         }
-        Self { mf, jmat, bf, enabled }
+        Self {
+            mf,
+            jmat,
+            bf,
+            enabled,
+        }
     }
 
     /// Dealiased advection: `out = (a·∇)v` as a pointwise field.
@@ -291,8 +291,7 @@ mod tests {
         let ntot = geom.total_nodes();
         let u: Vec<f64> = (0..ntot)
             .map(|i| {
-                let (x, y, z) =
-                    (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
+                let (x, y, z) = (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
                 x * x * y + z * z * z - 2.0 * x * z
             })
             .collect();
@@ -345,8 +344,7 @@ mod tests {
         let ntot = geom.total_nodes();
         let phi: Vec<f64> = (0..ntot)
             .map(|i| {
-                let (x, y, z) =
-                    (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
+                let (x, y, z) = (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
                 x * x * y * z + y * y
             })
             .collect();
@@ -411,9 +409,15 @@ mod tests {
         let mesh = box_mesh(2, 2, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
         let geom = GeomFactors::new(&mesh, 4);
         let ntot = geom.total_nodes();
-        let vx: Vec<f64> = (0..ntot).map(|i| geom.coords[1][i] * geom.coords[2][i]).collect();
-        let vy: Vec<f64> = (0..ntot).map(|i| geom.coords[0][i] * geom.coords[2][i]).collect();
-        let vz: Vec<f64> = (0..ntot).map(|i| geom.coords[0][i] * geom.coords[1][i]).collect();
+        let vx: Vec<f64> = (0..ntot)
+            .map(|i| geom.coords[1][i] * geom.coords[2][i])
+            .collect();
+        let vy: Vec<f64> = (0..ntot)
+            .map(|i| geom.coords[0][i] * geom.coords[2][i])
+            .collect();
+        let vz: Vec<f64> = (0..ntot)
+            .map(|i| geom.coords[0][i] * geom.coords[1][i])
+            .collect();
         let mut div = vec![0.0; ntot];
         let mut s = DiffScratch::default();
         pointwise_divergence(&geom, [&vx, &vy, &vz], &mut div, &mut s);

@@ -150,11 +150,17 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Diverged { istep, time, fault } => {
-                write!(f, "simulation diverged at step {istep} (t = {time:.6}): {fault}")
+                write!(
+                    f,
+                    "simulation diverged at step {istep} (t = {time:.6}): {fault}"
+                )
             }
             SimError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             SimError::RecoveryExhausted { retries, last } => {
-                write!(f, "recovery exhausted after {retries} rollbacks; last error: {last}")
+                write!(
+                    f,
+                    "recovery exhausted after {retries} rollbacks; last error: {last}"
+                )
             }
         }
     }

@@ -44,7 +44,11 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan (injects nothing) with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), scheduled: Vec::new(), fired: Vec::new() }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            scheduled: Vec::new(),
+            fired: Vec::new(),
+        }
     }
 
     /// A plan that never fires.
@@ -60,14 +64,16 @@ impl FaultPlan {
 
     /// Schedule a bit flip in the checkpoint written at `step`.
     pub fn corrupt_checkpoint_at(mut self, step: usize) -> Self {
-        self.scheduled.push((step, FaultAction::CorruptCheckpointWrite));
+        self.scheduled
+            .push((step, FaultAction::CorruptCheckpointWrite));
         self
     }
 
     /// Schedule a synthetic I/O failure for the checkpoint write at
     /// `step`.
     pub fn fail_write_at(mut self, step: usize) -> Self {
-        self.scheduled.push((step, FaultAction::FailCheckpointWrite));
+        self.scheduled
+            .push((step, FaultAction::FailCheckpointWrite));
         self
     }
 
@@ -78,7 +84,11 @@ impl FaultPlan {
 
     /// Remove and report whether `(step, action)` is armed.
     fn consume(&mut self, step: usize, action: FaultAction) -> bool {
-        if let Some(idx) = self.scheduled.iter().position(|&(s, a)| s == step && a == action) {
+        if let Some(idx) = self
+            .scheduled
+            .iter()
+            .position(|&(s, a)| s == step && a == action)
+        {
             self.scheduled.remove(idx);
             true
         } else {
@@ -98,7 +108,9 @@ impl FaultPlan {
                 sim.state.u[0][i] = f64::NAN;
                 hit.push(i);
             }
-            self.fired.push(format!("step {step}: injected NaN into u[0] at nodes {hit:?}"));
+            self.fired.push(format!(
+                "step {step}: injected NaN into u[0] at nodes {hit:?}"
+            ));
         }
     }
 
@@ -106,7 +118,8 @@ impl FaultPlan {
     /// synthetic error the write must fail with, if one is armed.
     pub fn take_write_failure(&mut self, step: usize) -> Option<std::io::Error> {
         if self.consume(step, FaultAction::FailCheckpointWrite) {
-            self.fired.push(format!("step {step}: failed checkpoint write (injected)"));
+            self.fired
+                .push(format!("step {step}: failed checkpoint write (injected)"));
             Some(std::io::Error::other("injected checkpoint write failure"))
         } else {
             None
@@ -143,7 +156,13 @@ mod tests {
     use rbx_mesh::generators::box_mesh;
 
     fn cfg() -> SolverConfig {
-        SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() }
+        SolverConfig {
+            ra: 1e4,
+            order: 3,
+            dt: 2e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -198,7 +217,9 @@ mod tests {
     fn write_failure_fires_once() {
         let mut plan = FaultPlan::new(1).fail_write_at(10);
         assert!(plan.take_write_failure(9).is_none());
-        let err = plan.take_write_failure(10).expect("armed failure must fire");
+        let err = plan
+            .take_write_failure(10)
+            .expect("armed failure must fire");
         assert!(err.to_string().contains("injected"));
         assert!(plan.take_write_failure(10).is_none(), "one-shot");
         assert_eq!(plan.fired.len(), 1);

@@ -22,7 +22,11 @@ impl<'a> Observables<'a> {
     /// Bind to the rank-local geometry, the global mesh and this rank's
     /// element list.
     pub fn new(geom: &'a GeomFactors, mesh: &'a HexMesh, my_elems: &'a [usize]) -> Self {
-        Self { geom, mesh, my_elems }
+        Self {
+            geom,
+            mesh,
+            my_elems,
+        }
     }
 
     /// Global volume integral `∫ f dV` (element-local quadrature sums are
@@ -55,12 +59,7 @@ impl<'a> Observables<'a> {
     /// Plate-averaged Nusselt number from the conductive wall flux:
     /// `Nu = ∓⟨∂T/∂z⟩_plate` (− on the hot bottom wall, + on the cold top
     /// wall, where the non-dimensional conductive profile has slope −1).
-    pub fn nusselt_wall(
-        &self,
-        t: &[f64],
-        tag: BoundaryTag,
-        comm: &dyn Communicator,
-    ) -> f64 {
+    pub fn nusselt_wall(&self, t: &[f64], tag: BoundaryTag, comm: &dyn Communicator) -> f64 {
         let ntot = self.geom.total_nodes();
         let mut gx = vec![0.0; ntot];
         let mut gy = vec![0.0; ntot];
@@ -139,12 +138,7 @@ impl<'a> Observables<'a> {
 
     /// Thermal dissipation rate `ε_T = α·⟨|∇T|²⟩` (volume mean). The
     /// steady balance is `ε_T = Nu/√(Ra·Pr)` in free-fall units.
-    pub fn thermal_dissipation(
-        &self,
-        t: &[f64],
-        alpha: f64,
-        comm: &dyn Communicator,
-    ) -> f64 {
+    pub fn thermal_dissipation(&self, t: &[f64], alpha: f64, comm: &dyn Communicator) -> f64 {
         let ntot = self.geom.total_nodes();
         let mut gx = vec![0.0; ntot];
         let mut gy = vec![0.0; ntot];
@@ -184,7 +178,10 @@ impl<'a> Observables<'a> {
                         let a = base + i + n * (j + n * k);
                         local_max = local_max
                             .max(dist(a, a + 1))
-                            .max(dist(base + j + n * (i + n * k), base + j + n * ((i + 1) + n * k)))
+                            .max(dist(
+                                base + j + n * (i + n * k),
+                                base + j + n * ((i + 1) + n * k),
+                            ))
                             .max(dist(
                                 base + j + n * (k + n * i),
                                 base + j + n * (k + n * (i + 1)),
@@ -230,9 +227,7 @@ impl<'a> Observables<'a> {
                         } else {
                             spacing(idx, base + i + n * (j + n * (k - 1)))
                         };
-                        let c = u[0][idx].abs() / hi
-                            + u[1][idx].abs() / hj
-                            + u[2][idx].abs() / hk;
+                        let c = u[0][idx].abs() / hi + u[1][idx].abs() / hj + u[2][idx].abs() / hk;
                         local_max = local_max.max(c * dt);
                     }
                 }

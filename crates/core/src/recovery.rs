@@ -49,7 +49,12 @@ pub struct RecoveryPolicy {
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
-        Self { max_rollbacks: 5, dt_factor: 0.5, min_dt: 1e-10, checkpoint_every: 10 }
+        Self {
+            max_rollbacks: 5,
+            dt_factor: 0.5,
+            min_dt: 1e-10,
+            checkpoint_every: 10,
+        }
     }
 }
 
@@ -163,7 +168,13 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::GenerationRejected { path, error } => {
                 write!(f, "restore rejected {}: {error}", path.display())
             }
-            RecoveryEvent::RolledBack { from_step, to_step, path, new_dt, skipped_generations } => {
+            RecoveryEvent::RolledBack {
+                from_step,
+                to_step,
+                path,
+                new_dt,
+                skipped_generations,
+            } => {
                 write!(
                     f,
                     "rolled back {from_step} → {to_step} from {} (dt → {new_dt:.3e}, {skipped_generations} generation(s) skipped)",
@@ -217,7 +228,11 @@ impl ResilientRunner {
     /// A runner over `checkpoints` with the given policy and no injected
     /// faults.
     pub fn new(checkpoints: CheckpointSet, policy: RecoveryPolicy) -> Self {
-        Self { checkpoints, policy, faults: FaultPlan::none() }
+        Self {
+            checkpoints,
+            policy,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Attach a deterministic fault schedule.
@@ -261,10 +276,14 @@ impl ResilientRunner {
             match sim.try_step() {
                 Ok(stats) => {
                     if let Some(fault) = stats.verdict.fault() {
-                        log_event(sim, &mut events, RecoveryEvent::DegradedStep {
-                            istep: sim.state.istep,
-                            fault: fault.to_string(),
-                        });
+                        log_event(
+                            sim,
+                            &mut events,
+                            RecoveryEvent::DegradedStep {
+                                istep: sim.state.istep,
+                                fault: fault.to_string(),
+                            },
+                        );
                     }
                     on_step(sim, &stats);
                     // `checkpoint_every == 0` means anchor-only: recovery
@@ -282,7 +301,10 @@ impl ResilientRunner {
                     log_event(
                         sim,
                         &mut events,
-                        RecoveryEvent::Divergence { istep, fault: fault.to_string() },
+                        RecoveryEvent::Divergence {
+                            istep,
+                            fault: fault.to_string(),
+                        },
                     );
                     if rollbacks >= self.policy.max_rollbacks {
                         return Err(SimError::RecoveryExhausted {
@@ -310,21 +332,29 @@ impl ResilientRunner {
                         }
                     };
                     for (path, error) in &outcome.rejected {
-                        log_event(sim, &mut events, RecoveryEvent::GenerationRejected {
-                            path: path.clone(),
-                            error: error.to_string(),
-                        });
+                        log_event(
+                            sim,
+                            &mut events,
+                            RecoveryEvent::GenerationRejected {
+                                path: path.clone(),
+                                error: error.to_string(),
+                            },
+                        );
                     }
                     let new_dt = (sim.cfg.dt * self.policy.dt_factor).max(self.policy.min_dt);
                     sim.set_dt(new_dt);
                     rollbacks += 1;
-                    log_event(sim, &mut events, RecoveryEvent::RolledBack {
-                        from_step,
-                        to_step: sim.state.istep,
-                        path: outcome.path,
-                        new_dt,
-                        skipped_generations: skip_escalation,
-                    });
+                    log_event(
+                        sim,
+                        &mut events,
+                        RecoveryEvent::RolledBack {
+                            from_step,
+                            to_step: sim.state.istep,
+                            path: outcome.path,
+                            new_dt,
+                            skipped_generations: skip_escalation,
+                        },
+                    );
                 }
                 Err(other) => return Err(other),
             }
@@ -347,25 +377,39 @@ impl ResilientRunner {
     ) -> Result<(), CheckpointError> {
         let istep = sim.state.istep;
         if let Some(source) = self.faults.take_write_failure(istep) {
-            let err =
-                CheckpointError::Io { path: self.checkpoints.path_for_step(istep), source };
-            log_event(sim, events, RecoveryEvent::CheckpointWriteFailed {
-                istep,
-                error: err.to_string(),
-            });
+            let err = CheckpointError::Io {
+                path: self.checkpoints.path_for_step(istep),
+                source,
+            };
+            log_event(
+                sim,
+                events,
+                RecoveryEvent::CheckpointWriteFailed {
+                    istep,
+                    error: err.to_string(),
+                },
+            );
             return Err(err);
         }
         match self.checkpoints.write(sim) {
             Ok(path) => {
                 self.faults.after_checkpoint_write(istep, &path);
-                log_event(sim, events, RecoveryEvent::CheckpointWritten { istep, path });
+                log_event(
+                    sim,
+                    events,
+                    RecoveryEvent::CheckpointWritten { istep, path },
+                );
                 Ok(())
             }
             Err(e) => {
-                log_event(sim, events, RecoveryEvent::CheckpointWriteFailed {
-                    istep,
-                    error: e.to_string(),
-                });
+                log_event(
+                    sim,
+                    events,
+                    RecoveryEvent::CheckpointWriteFailed {
+                        istep,
+                        error: e.to_string(),
+                    },
+                );
                 Err(e)
             }
         }
@@ -381,7 +425,13 @@ mod tests {
     use std::path::Path;
 
     fn cfg() -> SolverConfig {
-        SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() }
+        SolverConfig {
+            ra: 1e4,
+            order: 3,
+            dt: 2e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        }
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -403,7 +453,11 @@ mod tests {
     }
 
     fn policy(every: usize, max_rollbacks: usize) -> RecoveryPolicy {
-        RecoveryPolicy { checkpoint_every: every, max_rollbacks, ..Default::default() }
+        RecoveryPolicy {
+            checkpoint_every: every,
+            max_rollbacks,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -413,8 +467,7 @@ mod tests {
         let part = vec![0; mesh.num_elements()];
         let mut sim = sim_in(&mesh, &part, &comm);
         let dir = tmpdir("clean");
-        let mut runner =
-            ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3));
+        let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3));
         let mut observed = 0usize;
         let report = runner.run_with(&mut sim, 6, |_, stats| {
             assert!(stats.converged);
@@ -448,15 +501,32 @@ mod tests {
         assert_eq!(report.steps_completed, 8);
         assert_eq!(report.rollbacks, 1);
         assert!((report.final_dt - dt0 * 0.5).abs() < 1e-18, "dt not halved");
-        assert_eq!(sim.find_non_finite(), None, "state must be clean after recovery");
+        assert_eq!(
+            sim.find_non_finite(),
+            None,
+            "state must be clean after recovery"
+        );
         // The log tells the whole story: divergence at 5, rollback to 4.
-        assert!(report.events.iter().any(
-            |e| matches!(e, RecoveryEvent::Divergence { istep: 5, .. })
-        ), "{:#?}", report.events);
-        assert!(report.events.iter().any(|e| matches!(
-            e,
-            RecoveryEvent::RolledBack { from_step: 5, to_step: 4, .. }
-        )), "{:#?}", report.events);
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::Divergence { istep: 5, .. })),
+            "{:#?}",
+            report.events
+        );
+        assert!(
+            report.events.iter().any(|e| matches!(
+                e,
+                RecoveryEvent::RolledBack {
+                    from_step: 5,
+                    to_step: 4,
+                    ..
+                }
+            )),
+            "{:#?}",
+            report.events
+        );
         assert_eq!(runner.faults.pending(), 0);
     }
 
@@ -471,21 +541,31 @@ mod tests {
         // at 5 forces a rollback that must reject generation 4 and land on
         // generation 2.
         let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(2, 3))
-            .with_faults(
-                FaultPlan::new(23).corrupt_checkpoint_at(4).inject_nan_at(5),
-            );
+            .with_faults(FaultPlan::new(23).corrupt_checkpoint_at(4).inject_nan_at(5));
         let report = runner.run(&mut sim, 8).unwrap();
         assert_eq!(report.steps_completed, 8);
         assert_eq!(report.rollbacks, 1);
-        assert!(report.events.iter().any(|e| matches!(
-            e,
-            RecoveryEvent::GenerationRejected { path, .. }
-                if path.to_string_lossy().contains("chk_0000000004")
-        )), "{:#?}", report.events);
-        assert!(report.events.iter().any(|e| matches!(
-            e,
-            RecoveryEvent::RolledBack { from_step: 5, to_step: 2, .. }
-        )), "{:#?}", report.events);
+        assert!(
+            report.events.iter().any(|e| matches!(
+                e,
+                RecoveryEvent::GenerationRejected { path, .. }
+                    if path.to_string_lossy().contains("chk_0000000004")
+            )),
+            "{:#?}",
+            report.events
+        );
+        assert!(
+            report.events.iter().any(|e| matches!(
+                e,
+                RecoveryEvent::RolledBack {
+                    from_step: 5,
+                    to_step: 2,
+                    ..
+                }
+            )),
+            "{:#?}",
+            report.events
+        );
     }
 
     #[test]
@@ -499,9 +579,14 @@ mod tests {
             .with_faults(FaultPlan::new(3).fail_write_at(4));
         let report = runner.run(&mut sim, 6).unwrap();
         assert_eq!(report.steps_completed, 6);
-        assert!(report.events.iter().any(
-            |e| matches!(e, RecoveryEvent::CheckpointWriteFailed { istep: 4, .. })
-        ), "{:#?}", report.events);
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::CheckpointWriteFailed { istep: 4, .. })),
+            "{:#?}",
+            report.events
+        );
         // The generation at step 4 must simply be absent from rotation.
         assert!(!Path::new(&dir).join("chk_0000000004.bpl").exists());
     }
@@ -516,8 +601,10 @@ mod tests {
         let part = vec![0; mesh.num_elements()];
         let mut sim = sim_in(&mesh, &part, &comm);
         let tel = Telemetry::enabled();
-        let jsonl = std::env::temp_dir()
-            .join(format!("rbx-recovery-telemetry-{}.jsonl", std::process::id()));
+        let jsonl = std::env::temp_dir().join(format!(
+            "rbx-recovery-telemetry-{}.jsonl",
+            std::process::id()
+        ));
         tel.open_jsonl(&jsonl).unwrap();
         sim.set_telemetry(&tel);
         let dir = tmpdir("telemetry");
@@ -542,7 +629,10 @@ mod tests {
         // Step, solve and recovery records interleave in one stream.
         assert!(kinds.contains("step") && kinds.contains("solve") && kinds.contains("recovery"));
         // The whole recovery story made it to the sink, in order.
-        assert!(events.contains(&"checkpoint_written".to_string()), "{events:?}");
+        assert!(
+            events.contains(&"checkpoint_written".to_string()),
+            "{events:?}"
+        );
         assert!(events.contains(&"divergence".to_string()), "{events:?}");
         assert!(events.contains(&"rolled_back".to_string()), "{events:?}");
         let div = events.iter().position(|e| e == "divergence").unwrap();
@@ -550,7 +640,8 @@ mod tests {
         assert!(div < rb, "divergence must precede rollback: {events:?}");
         // And the counters agree with the in-memory log.
         assert_eq!(
-            tel.metrics().counter("rbx_recovery_events_total{event=\"rolled_back\"}"),
+            tel.metrics()
+                .counter("rbx_recovery_events_total{event=\"rolled_back\"}"),
             1
         );
         std::fs::remove_file(&jsonl).ok();
@@ -561,10 +652,22 @@ mod tests {
         use rbx_telemetry::schema::validate_record;
 
         let all = [
-            RecoveryEvent::CheckpointWritten { istep: 4, path: PathBuf::from("/tmp/chk_4.bpl") },
-            RecoveryEvent::CheckpointWriteFailed { istep: 6, error: "disk full".into() },
-            RecoveryEvent::DegradedStep { istep: 7, fault: "pressure stagnated".into() },
-            RecoveryEvent::Divergence { istep: 8, fault: "NaN in u[0]".into() },
+            RecoveryEvent::CheckpointWritten {
+                istep: 4,
+                path: PathBuf::from("/tmp/chk_4.bpl"),
+            },
+            RecoveryEvent::CheckpointWriteFailed {
+                istep: 6,
+                error: "disk full".into(),
+            },
+            RecoveryEvent::DegradedStep {
+                istep: 7,
+                fault: "pressure stagnated".into(),
+            },
+            RecoveryEvent::Divergence {
+                istep: 8,
+                fault: "NaN in u[0]".into(),
+            },
             RecoveryEvent::GenerationRejected {
                 path: PathBuf::from("/tmp/chk_4.bpl"),
                 error: "checksum mismatch".into(),
@@ -593,8 +696,8 @@ mod tests {
         let dir = tmpdir("exhaust");
         // A fresh fault on every step the run can reach: no amount of
         // rolling back helps, so the budget (2) must run out.
-        let mut runner =
-            ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(100, 2)).with_faults(
+        let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy(100, 2))
+            .with_faults(
                 FaultPlan::new(5)
                     .inject_nan_at(3)
                     .inject_nan_at(4)

@@ -34,7 +34,9 @@ pub struct SpectralIndicator {
 impl SpectralIndicator {
     /// Build for fields of `n = p + 1` nodes per direction.
     pub fn new(n: usize) -> Self {
-        Self { basis: ModalBasis::new(n) }
+        Self {
+            basis: ModalBasis::new(n),
+        }
     }
 
     /// Shell amplitudes `a_m = √(Σ_{max(p,q,r)=m} û²·γ)` of one element's
@@ -47,8 +49,7 @@ impl SpectralIndicator {
                 for p in 0..n {
                     let m = p.max(q).max(r);
                     let c = modal[p + n * (q + n * r)];
-                    let gamma =
-                        legendre_norm_sq(p) * legendre_norm_sq(q) * legendre_norm_sq(r);
+                    let gamma = legendre_norm_sq(p) * legendre_norm_sq(q) * legendre_norm_sq(r);
                     shells[m] += c * c * gamma;
                 }
             }
@@ -92,7 +93,10 @@ impl SpectralIndicator {
             } else {
                 f64::INFINITY // spectrum already vanished: fully resolved
             };
-            out.push(ElementResolution { tail_fraction, decay_rate });
+            out.push(ElementResolution {
+                tail_fraction,
+                decay_rate,
+            });
         }
         out
     }
@@ -130,15 +134,18 @@ mod tests {
         let geom = GeomFactors::new(&mesh, 7);
         let field: Vec<f64> = (0..geom.total_nodes())
             .map(|i| {
-                let (x, y, z) =
-                    (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
+                let (x, y, z) = (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
                 (2.0 * x).sin() * (1.5 * y).cos() + z
             })
             .collect();
         let ind = SpectralIndicator::new(8);
         let res = ind.evaluate(&geom, &field);
         for (e, r) in res.iter().enumerate() {
-            assert!(r.tail_fraction < 1e-8, "element {e}: tail {}", r.tail_fraction);
+            assert!(
+                r.tail_fraction < 1e-8,
+                "element {e}: tail {}",
+                r.tail_fraction
+            );
             assert!(r.decay_rate > 0.5, "element {e}: decay {}", r.decay_rate);
         }
         let comm = SingleComm::new();
@@ -186,8 +193,9 @@ mod tests {
         let f = |x: f64| (8.0 * x).sin();
         let tail_at = |p: usize| -> f64 {
             let geom = GeomFactors::new(&mesh, p);
-            let field: Vec<f64> =
-                (0..geom.total_nodes()).map(|i| f(geom.coords[0][i])).collect();
+            let field: Vec<f64> = (0..geom.total_nodes())
+                .map(|i| f(geom.coords[0][i]))
+                .collect();
             let ind = SpectralIndicator::new(p + 1);
             ind.evaluate(&geom, &field)[0].tail_fraction
         };

@@ -38,8 +38,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Velocity Dirichlet tags: every wall of the RBC cell is no-slip.
-pub const VELOCITY_WALLS: [BoundaryTag; 3] =
-    [BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall];
+pub const VELOCITY_WALLS: [BoundaryTag; 3] = [
+    BoundaryTag::Wall,
+    BoundaryTag::HotWall,
+    BoundaryTag::ColdWall,
+];
 
 /// Temperature Dirichlet tags: isothermal plates only (side walls
 /// adiabatic → natural).
@@ -164,8 +167,7 @@ impl<'a> Simulation<'a> {
                         for b in 0..n {
                             for a in 0..n {
                                 let (i, j, k) = face_to_volume(f, a, b, p);
-                                flux_rhs[le * nn + i + n * (j + n * k)] +=
-                                    q * w[a + n * b];
+                                flux_rhs[le * nn + i + n * (j + n * k)] += q * w[a + n * b];
                             }
                         }
                     }
@@ -174,7 +176,8 @@ impl<'a> Simulation<'a> {
         }
 
         let fdm = ElementFdm::new(&geom);
-        let coarse = CoarseGrid::build_with_order(mesh, p, cfg.coarse_order, part, &my_elems, &[], comm);
+        let coarse =
+            CoarseGrid::build_with_order(mesh, p, cfg.coarse_order, part, &my_elems, &[], comm);
         let schwarz = SchwarzMg::new(
             fdm,
             coarse,
@@ -258,7 +261,11 @@ impl<'a> Simulation<'a> {
             self.cfg.dt,
             self.comm,
         );
-        let ratio = if cfl > 1e-12 { (target_cfl / cfl).clamp(0.8, 1.2) } else { 1.2 };
+        let ratio = if cfl > 1e-12 {
+            (target_cfl / cfl).clamp(0.8, 1.2)
+        } else {
+            1.2
+        };
         let new_dt = (self.cfg.dt * ratio).min(dt_max);
         self.cfg.dt = new_dt;
         new_dt
@@ -366,7 +373,10 @@ impl<'a> Simulation<'a> {
         }
         let bd = bdf_coeffs_variable(k, &dts);
         let ext = ext_coeffs_variable(k, &dts);
-        let mut stats = StepStats { converged: true, ..Default::default() };
+        let mut stats = StepStats {
+            converged: true,
+            ..Default::default()
+        };
 
         // ---- explicit forcing + histories (Other) --------------------------
         struct Sums {
@@ -516,11 +526,14 @@ impl<'a> Simulation<'a> {
 
         let verdict = stats.verdict.token();
         self.tel.counter_add("rbx_steps_total", 1);
-        self.tel
-            .counter_add(&format!("rbx_step_verdict_total{{verdict=\"{verdict}\"}}"), 1);
+        self.tel.counter_add(
+            &format!("rbx_step_verdict_total{{verdict=\"{verdict}\"}}"),
+            1,
+        );
         self.tel.gauge_set("rbx_step_dt", self.cfg.dt);
         self.tel.gauge_set("rbx_sim_time", self.state.time);
-        self.tel.histogram_observe("rbx_step_wall_seconds", stats.wall_seconds);
+        self.tel
+            .histogram_observe("rbx_step_wall_seconds", stats.wall_seconds);
         let obs = crate::observables::Observables::new(&self.geom, self.mesh, &self.my_elems);
         let cfl = obs.cfl(
             [&self.state.u[0], &self.state.u[1], &self.state.u[2]],
@@ -632,12 +645,7 @@ impl<'a> Simulation<'a> {
         self.p_proj.clear();
     }
 
-    fn pressure_solve(
-        &mut self,
-        su: &[Vec<f64>; 3],
-        u_ext: &[Vec<f64>; 3],
-        nu: f64,
-    ) -> SolveStats {
+    fn pressure_solve(&mut self, su: &[Vec<f64>; 3], u_ext: &[Vec<f64>; 3], nu: f64) -> SolveStats {
         let n = self.n_local();
         // S̃ = S − ν ∇×∇×u_ext (rotational correction).
         let mut sx = su[0].clone();
@@ -783,7 +791,14 @@ impl<'a> Simulation<'a> {
         let mut gx = vec![0.0; n];
         let mut gy = vec![0.0; n];
         let mut gz = vec![0.0; n];
-        phys_grad(&self.geom, &self.state.p, &mut gx, &mut gy, &mut gz, &mut self.scratch_d);
+        phys_grad(
+            &self.geom,
+            &self.state.p,
+            &mut gx,
+            &mut gy,
+            &mut gz,
+            &mut self.scratch_d,
+        );
         let grads = [gx, gy, gz];
 
         let diag: Vec<f64> = self
@@ -876,8 +891,13 @@ impl<'a> Simulation<'a> {
         let comm = self.comm;
         let mask_t = &self.mask_t;
         // θ initial guess from the previous temperature.
-        let mut theta: Vec<f64> =
-            self.state.t.iter().zip(&self.t_lift).map(|(t, l)| t - l).collect();
+        let mut theta: Vec<f64> = self
+            .state
+            .t
+            .iter()
+            .zip(&self.t_lift)
+            .map(|(t, l)| t - l)
+            .collect();
         hadamard(mask_t, &mut theta);
         let mut scratch = HelmholtzScratch::default();
         let stats = pcg(
@@ -904,11 +924,7 @@ mod tests {
     use rbx_comm::SingleComm;
     use rbx_mesh::generators::box_mesh;
 
-    fn small_sim<'a>(
-        cfg: SolverConfig,
-        mesh: &'a HexMesh,
-        comm: &'a SingleComm,
-    ) -> Simulation<'a> {
+    fn small_sim<'a>(cfg: SolverConfig, mesh: &'a HexMesh, comm: &'a SingleComm) -> Simulation<'a> {
         let part = vec![0; mesh.num_elements()];
         let my: Vec<usize> = (0..mesh.num_elements()).collect();
         Simulation::new(cfg, mesh, &part, my, comm)
@@ -934,10 +950,7 @@ mod tests {
             assert!(stats.converged, "{stats:?}");
         }
         let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
-        let ke = obs.kinetic_energy(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
-        );
+        let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         assert!(ke < 1e-10, "kinetic energy {ke} should stay ~0");
         let nu = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
         assert!((nu - 1.0).abs() < 1e-6, "Nu = {nu}");
@@ -961,15 +974,9 @@ mod tests {
             assert!(stats.converged, "{stats:?}");
         }
         let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
-        let ke = obs.kinetic_energy(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
-        );
+        let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         assert!(ke.is_finite() && ke < 1.0, "kinetic energy {ke}");
-        let div = obs.divergence_norm(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
-        );
+        let div = obs.divergence_norm([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         // Splitting schemes are not exactly divergence-free pointwise, but
         // the norm must be small relative to the velocity scale.
         assert!(div < 0.5, "divergence {div}");
@@ -984,14 +991,24 @@ mod tests {
         // The paper's Fig. 4: pressure dominates the step cost.
         let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
         let comm = SingleComm::new();
-        let cfg = SolverConfig { ra: 1e4, order: 5, dt: 2e-3, ..Default::default() };
+        let cfg = SolverConfig {
+            ra: 1e4,
+            order: 5,
+            dt: 2e-3,
+            ..Default::default()
+        };
         let mut sim = small_sim(cfg, &mesh, &comm);
         sim.init_rbc();
         for _ in 0..3 {
             sim.step();
         }
         let pct = sim.timers.percentages();
-        assert!(pct[0] > pct[2], "pressure {} !> temperature {}", pct[0], pct[2]);
+        assert!(
+            pct[0] > pct[2],
+            "pressure {} !> temperature {}",
+            pct[0],
+            pct[2]
+        );
         assert!(sim.timers.avg_per_step() > 0.0);
     }
 
@@ -999,7 +1016,12 @@ mod tests {
     fn step_counter_and_time_advance() {
         let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
         let comm = SingleComm::new();
-        let cfg = SolverConfig { ra: 1e3, order: 3, dt: 1e-3, ..Default::default() };
+        let cfg = SolverConfig {
+            ra: 1e3,
+            order: 3,
+            dt: 1e-3,
+            ..Default::default()
+        };
         let mut sim = small_sim(cfg, &mesh, &comm);
         sim.init_rbc();
         sim.step();
@@ -1022,7 +1044,13 @@ mod telemetry_tests {
         comm: &'a SingleComm,
         tel: &Telemetry,
     ) -> Simulation<'a> {
-        let cfg = SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() };
+        let cfg = SolverConfig {
+            ra: 1e4,
+            order: 3,
+            dt: 2e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        };
         let my: Vec<usize> = (0..mesh.num_elements()).collect();
         let mut sim = Simulation::new(cfg, mesh, part, my, comm);
         sim.set_telemetry(tel);
@@ -1036,8 +1064,8 @@ mod telemetry_tests {
         let comm = SingleComm::new();
         let part = vec![0; mesh.num_elements()];
         let tel = Telemetry::enabled();
-        let path = std::env::temp_dir()
-            .join(format!("rbx-sim-telemetry-{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("rbx-sim-telemetry-{}.jsonl", std::process::id()));
         tel.open_jsonl(&path).unwrap();
         let mut sim = sim_with(&mesh, &part, &comm, &tel);
         for _ in 0..3 {
@@ -1056,7 +1084,8 @@ mod telemetry_tests {
         // The step loop fed the registry.
         assert_eq!(tel.metrics().counter("rbx_steps_total"), 3);
         assert_eq!(
-            tel.metrics().counter("rbx_step_verdict_total{verdict=\"healthy\"}"),
+            tel.metrics()
+                .counter("rbx_step_verdict_total{verdict=\"healthy\"}"),
             3
         );
         assert!(tel.metrics().gauge("rbx_step_dt").unwrap() > 0.0);
@@ -1117,7 +1146,13 @@ mod health_tests {
     use rbx_mesh::generators::box_mesh;
 
     fn cfg() -> SolverConfig {
-        SolverConfig { ra: 1e4, order: 3, dt: 2e-3, ic_noise: 1e-2, ..Default::default() }
+        SolverConfig {
+            ra: 1e4,
+            order: 3,
+            dt: 2e-3,
+            ic_noise: 1e-2,
+            ..Default::default()
+        }
     }
 
     fn small_sim<'a>(mesh: &'a HexMesh, comm: &'a SingleComm) -> Simulation<'a> {
@@ -1302,7 +1337,9 @@ mod adaptive_dt_tests {
         // Variable: mix of 0.5e-3 and 1.5e-3 reaching the same time.
         let mut b = Simulation::new(base, &mesh, &part, my, &comm);
         b.init_rbc();
-        let pattern = [1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3];
+        let pattern = [
+            1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3, 1e-3, 0.5e-3, 1.5e-3,
+        ];
         for &dt in &pattern {
             b.set_dt(dt);
             assert!(b.step().converged);
@@ -1394,11 +1431,11 @@ mod thermal_bc_tests {
         // Hot-plate Nusselt (−∂T/∂z at the plate) must remain 1 — the flux
         // condition imposes exactly the conduction gradient.
         let nu = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
-        assert!((nu - 1.0).abs() < 1e-3, "imposed-flux gradient drifted: Nu {nu}");
-        let ke = obs.kinetic_energy(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
+        assert!(
+            (nu - 1.0).abs() < 1e-3,
+            "imposed-flux gradient drifted: Nu {nu}"
         );
+        let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         assert!(ke < 1e-10, "spurious motion under flux BC: {ke:.3e}");
     }
 
@@ -1428,14 +1465,20 @@ mod thermal_bc_tests {
             let z = sim.geom.coords[2][i];
             sim.state.t[i] = 0.5 - z;
         }
-        let g0 = Observables::new(&sim.geom, &mesh, &sim.my_elems)
-            .nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        let g0 = Observables::new(&sim.geom, &mesh, &sim.my_elems).nusselt_wall(
+            &sim.state.t,
+            BoundaryTag::HotWall,
+            &comm,
+        );
         assert!((g0 - 1.0).abs() < 1e-10);
         for _ in 0..400 {
             assert!(sim.step().converged);
         }
-        let g1 = Observables::new(&sim.geom, &mesh, &sim.my_elems)
-            .nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
+        let g1 = Observables::new(&sim.geom, &mesh, &sim.my_elems).nusselt_wall(
+            &sim.state.t,
+            BoundaryTag::HotWall,
+            &comm,
+        );
         // −∂T/∂z at the plate approaches q/α = 2.
         assert!(
             (g1 - 2.0).abs() < 0.05,
@@ -1477,10 +1520,7 @@ mod prandtl_tests {
         let obs = Observables::new(&sim.geom, &mesh, &sim.my_elems);
         let nu = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
         assert!((nu - 1.0).abs() < 1e-5, "Pr = 7 conduction Nu {nu}");
-        let ke = obs.kinetic_energy(
-            [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-            &comm,
-        );
+        let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
         assert!(ke < 1e-12, "Pr = 7 spurious motion {ke:.3e}");
     }
 

@@ -93,7 +93,11 @@ pub fn sample_slice(
                     ca += w * geom.coords[pa][idx];
                     cb += w * geom.coords[pb][idx];
                 }
-                out.push(SliceSample { a: ca, b: cb, value });
+                out.push(SliceSample {
+                    a: ca,
+                    b: cb,
+                    value,
+                });
             }
         }
     }
@@ -101,10 +105,7 @@ pub fn sample_slice(
 }
 
 /// Write slice samples as CSV (`a,b,value`).
-pub fn write_slice_csv(
-    samples: &[SliceSample],
-    path: &std::path::Path,
-) -> std::io::Result<()> {
+pub fn write_slice_csv(samples: &[SliceSample], path: &std::path::Path) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "a,b,value")?;
@@ -238,23 +239,31 @@ mod axis_tests {
         let mesh = box_mesh(3, 3, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
         let geom = GeomFactors::new(&mesh, 4);
         let field: Vec<f64> = (0..geom.total_nodes())
-            .map(|i| {
-                geom.coords[0][i] + 2.0 * geom.coords[1][i] - geom.coords[2][i]
-            })
+            .map(|i| geom.coords[0][i] + 2.0 * geom.coords[1][i] - geom.coords[2][i])
             .collect();
         // x = 0.4 plane: samples report (y, z, value).
         let sx = sample_slice(&geom, &field, SliceAxis::X, 0.4);
         assert!(!sx.is_empty());
         for s in &sx {
             let expect = 0.4 + 2.0 * s.a - s.b;
-            assert!((s.value - expect).abs() < 1e-10, "X slice at ({}, {})", s.a, s.b);
+            assert!(
+                (s.value - expect).abs() < 1e-10,
+                "X slice at ({}, {})",
+                s.a,
+                s.b
+            );
         }
         // y = 0.75 plane: samples report (x, z, value).
         let sy = sample_slice(&geom, &field, SliceAxis::Y, 0.75);
         assert!(!sy.is_empty());
         for s in &sy {
             let expect = s.a + 2.0 * 0.75 - s.b;
-            assert!((s.value - expect).abs() < 1e-10, "Y slice at ({}, {})", s.a, s.b);
+            assert!(
+                (s.value - expect).abs() < 1e-10,
+                "Y slice at ({}, {})",
+                s.a,
+                s.b
+            );
         }
     }
 

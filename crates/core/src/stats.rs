@@ -43,7 +43,9 @@ impl RunningMean {
             return 0.0;
         }
         let n = self.count as f64;
-        ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0).sqrt()
+        ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0))
+            .max(0.0)
+            .sqrt()
     }
 }
 
@@ -98,7 +100,9 @@ impl ZProfiles {
     /// Bin-centre heights.
     pub fn centers(&self) -> Vec<f64> {
         let h = (self.z1 - self.z0) / self.nbins as f64;
-        (0..self.nbins).map(|b| self.z0 + (b as f64 + 0.5) * h).collect()
+        (0..self.nbins)
+            .map(|b| self.z0 + (b as f64 + 0.5) * h)
+            .collect()
     }
 
     /// Accumulate one snapshot (rank-local; averages are finalized with a
@@ -115,15 +119,13 @@ impl ZProfiles {
         let nn = geom.nodes_per_element();
         for e in 0..geom.nelv {
             let base = e * nn;
-            let zc: f64 =
-                geom.coords[2][base..base + nn].iter().sum::<f64>() / nn as f64;
+            let zc: f64 = geom.coords[2][base..base + nn].iter().sum::<f64>() / nn as f64;
             let bin = (((zc - self.z0) / h) as usize).min(self.nbins - 1);
             for i in base..base + nn {
                 let b = geom.mass[i];
                 self.t_sum[bin] += b * t[i];
                 self.uzt_sum[bin] += b * u[2][i] * t[i];
-                self.ke_sum[bin] +=
-                    b * (u[0][i] * u[0][i] + u[1][i] * u[1][i] + u[2][i] * u[2][i]);
+                self.ke_sum[bin] += b * (u[0][i] * u[0][i] + u[1][i] * u[1][i] + u[2][i] * u[2][i]);
                 self.mass_sum[bin] += b;
             }
         }

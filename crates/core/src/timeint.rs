@@ -56,8 +56,15 @@ pub fn effective_order(istep: usize, target: usize) -> usize {
 /// history levels; then `bd₀ = c₀·Δt`, `bdᵢ = −cᵢ·Δt`.
 pub fn bdf_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
     assert!((1..=3).contains(&order), "BDF order {order} not supported");
-    assert!(dts.len() >= order, "need {order} step sizes, got {}", dts.len());
-    assert!(dts.iter().take(order).all(|&d| d > 0.0), "non-positive step size");
+    assert!(
+        dts.len() >= order,
+        "need {order} step sizes, got {}",
+        dts.len()
+    );
+    assert!(
+        dts.iter().take(order).all(|&d| d > 0.0),
+        "non-positive step size"
+    );
     let k = order;
     // Offsets τ_0..τ_k relative to t^{n+1}.
     let mut tau = vec![0.0; k + 1];
@@ -91,7 +98,11 @@ pub fn bdf_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
 /// `t = tⁿ⁺¹`. Reduces to [`ext_coeffs`] for uniform steps.
 pub fn ext_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
     assert!((1..=3).contains(&order), "EXT order {order} not supported");
-    assert!(dts.len() >= order, "need {order} step sizes, got {}", dts.len());
+    assert!(
+        dts.len() >= order,
+        "need {order} step sizes, got {}",
+        dts.len()
+    );
     let k = order;
     let mut tau = vec![0.0; k];
     let mut acc = 0.0;

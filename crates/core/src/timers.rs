@@ -30,8 +30,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 4] =
-        [Phase::Pressure, Phase::Velocity, Phase::Temperature, Phase::Other];
+    pub const ALL: [Phase; 4] = [
+        Phase::Pressure,
+        Phase::Velocity,
+        Phase::Temperature,
+        Phase::Other,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -92,7 +96,13 @@ impl PhaseTimers {
     /// Timers recording into a shared telemetry handle, so the phase spans
     /// appear in the same tree as the rest of the run's instrumentation.
     pub fn with_telemetry(tel: Telemetry, barrier_sync: bool) -> Self {
-        Self { tel, prev: [0.0; 4], last_step: [0.0; 4], steps: 0, barrier_sync }
+        Self {
+            tel,
+            prev: [0.0; 4],
+            last_step: [0.0; 4],
+            steps: 0,
+            barrier_sync,
+        }
     }
 
     /// The backing telemetry handle.
@@ -111,12 +121,7 @@ impl PhaseTimers {
 
     /// Time a region attributed to `phase`. The trailing barrier (when
     /// enabled) is inside the timed region, as in the paper's methodology.
-    pub fn region<T>(
-        &mut self,
-        phase: Phase,
-        comm: &dyn Communicator,
-        f: impl FnOnce() -> T,
-    ) -> T {
+    pub fn region<T>(&mut self, phase: Phase, comm: &dyn Communicator, f: impl FnOnce() -> T) -> T {
         if self.barrier_sync {
             comm.barrier();
         }
@@ -203,8 +208,12 @@ mod tests {
     fn regions_accumulate_and_break_down() {
         let comm = SingleComm::new();
         let mut t = PhaseTimers::new(false);
-        t.region(Phase::Pressure, &comm, || std::thread::sleep(std::time::Duration::from_millis(20)));
-        t.region(Phase::Velocity, &comm, || std::thread::sleep(std::time::Duration::from_millis(5)));
+        t.region(Phase::Pressure, &comm, || {
+            std::thread::sleep(std::time::Duration::from_millis(20))
+        });
+        t.region(Phase::Velocity, &comm, || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
         t.complete_step();
         assert!(t.seconds(Phase::Pressure) >= 0.018);
         assert!(t.seconds(Phase::Velocity) >= 0.004);
@@ -248,11 +257,15 @@ mod tests {
     fn per_step_deltas_isolate_each_step() {
         let comm = SingleComm::new();
         let mut t = PhaseTimers::new(false);
-        t.region(Phase::Pressure, &comm, || std::thread::sleep(std::time::Duration::from_millis(10)));
+        t.region(Phase::Pressure, &comm, || {
+            std::thread::sleep(std::time::Duration::from_millis(10))
+        });
         t.complete_step();
         let first = t.last_step_seconds();
         assert!(first[0] >= 0.008, "{first:?}");
-        t.region(Phase::Velocity, &comm, || std::thread::sleep(std::time::Duration::from_millis(5)));
+        t.region(Phase::Velocity, &comm, || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
         t.complete_step();
         let second = t.last_step_seconds();
         // The second step did no pressure work; its delta must not carry

@@ -135,7 +135,11 @@ pub fn simulate(config: &SimConfig, host_threads: &[Vec<SimKernel>]) -> SimResul
         });
     }
 
-    SimResult { makespan_us: makespan, trace, executor_busy_us: exec_busy }
+    SimResult {
+        makespan_us: makespan,
+        trace,
+        executor_busy_us: exec_busy,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +147,11 @@ mod tests {
     use super::*;
 
     fn kernel(stream: usize, name: &str, us: f64) -> SimKernel {
-        SimKernel { stream, name: name.into(), duration_us: us }
+        SimKernel {
+            stream,
+            name: name.into(),
+            duration_us: us,
+        }
     }
 
     fn cfg(executors: usize, latency: f64, prios: &[StreamPriority]) -> SimConfig {
@@ -173,10 +181,7 @@ mod tests {
     #[test]
     fn two_streams_overlap_on_two_executors() {
         let c = cfg(2, 1.0, &[StreamPriority::Normal, StreamPriority::Normal]);
-        let launches = vec![
-            vec![kernel(0, "A", 100.0)],
-            vec![kernel(1, "B", 100.0)],
-        ];
+        let launches = vec![vec![kernel(0, "A", 100.0)], vec![kernel(1, "B", 100.0)]];
         let r = simulate(&c, &launches);
         assert!((r.makespan_us - 101.0).abs() < 1e-9, "{}", r.makespan_us);
         assert!(r.utilization() > 0.9);
@@ -185,10 +190,7 @@ mod tests {
     #[test]
     fn one_executor_serializes_two_streams() {
         let c = cfg(1, 1.0, &[StreamPriority::Normal, StreamPriority::Normal]);
-        let launches = vec![
-            vec![kernel(0, "A", 100.0)],
-            vec![kernel(1, "B", 100.0)],
-        ];
+        let launches = vec![vec![kernel(0, "A", 100.0)], vec![kernel(1, "B", 100.0)]];
         let r = simulate(&c, &launches);
         assert!((r.makespan_us - 201.0).abs() < 1e-9, "{}", r.makespan_us);
     }
@@ -198,10 +200,7 @@ mod tests {
         // Both heads feasible at t = 1 on the single executor; the High
         // stream must run first.
         let c = cfg(1, 1.0, &[StreamPriority::Normal, StreamPriority::High]);
-        let launches = vec![
-            vec![kernel(0, "low", 10.0)],
-            vec![kernel(1, "high", 10.0)],
-        ];
+        let launches = vec![vec![kernel(0, "low", 10.0)], vec![kernel(1, "high", 10.0)]];
         let r = simulate(&c, &launches);
         let high = r.trace.iter().find(|t| t.name == "high").unwrap();
         let low = r.trace.iter().find(|t| t.name == "low").unwrap();
@@ -215,31 +214,37 @@ mod tests {
         let c = cfg(2, 10.0, &[StreamPriority::Normal]);
         let launches = vec![(0..20).map(|i| kernel(0, &format!("k{i}"), 1.0)).collect()];
         let r = simulate(&c, &launches);
-        assert!((r.makespan_us - (20.0 * 10.0 + 1.0)).abs() < 1e-9, "{}", r.makespan_us);
+        assert!(
+            (r.makespan_us - (20.0 * 10.0 + 1.0)).abs() < 1e-9,
+            "{}",
+            r.makespan_us
+        );
     }
 
     #[test]
     fn dual_host_threads_hide_launch_latency() {
         // Same 20 kernels split over two host threads + two streams:
         // the issue streams proceed concurrently.
-        let c = cfg(
-            2,
-            10.0,
-            &[StreamPriority::Normal, StreamPriority::Normal],
-        );
+        let c = cfg(2, 10.0, &[StreamPriority::Normal, StreamPriority::Normal]);
         let launches: Vec<Vec<SimKernel>> = vec![
             (0..10).map(|i| kernel(0, &format!("a{i}"), 1.0)).collect(),
             (0..10).map(|i| kernel(1, &format!("b{i}"), 1.0)).collect(),
         ];
         let r = simulate(&c, &launches);
-        assert!((r.makespan_us - (10.0 * 10.0 + 1.0)).abs() < 1e-9, "{}", r.makespan_us);
+        assert!(
+            (r.makespan_us - (10.0 * 10.0 + 1.0)).abs() < 1e-9,
+            "{}",
+            r.makespan_us
+        );
     }
 
     #[test]
     fn simulation_is_deterministic() {
         let c = cfg(2, 3.0, &[StreamPriority::High, StreamPriority::Normal]);
         let launches = vec![
-            (0..15).map(|i| kernel(0, &format!("c{i}"), 12.0)).collect::<Vec<_>>(),
+            (0..15)
+                .map(|i| kernel(0, &format!("c{i}"), 12.0))
+                .collect::<Vec<_>>(),
             (0..4).map(|i| kernel(1, &format!("F{i}"), 80.0)).collect(),
         ];
         let a = simulate(&c, &launches);
@@ -258,7 +263,11 @@ mod tests {
         // kernels be executing.
         let c = cfg(2, 0.5, &[StreamPriority::Normal; 4]);
         let launches: Vec<Vec<SimKernel>> = (0..4)
-            .map(|s| (0..5).map(|i| kernel(s, &format!("s{s}k{i}"), 7.0)).collect())
+            .map(|s| {
+                (0..5)
+                    .map(|i| kernel(s, &format!("s{s}k{i}"), 7.0))
+                    .collect()
+            })
             .collect();
         let r = simulate(&c, &launches);
         let mut events: Vec<(f64, i32)> = Vec::new();
@@ -267,9 +276,7 @@ mod tests {
             events.push((t.end, -1));
         }
         events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then(a.1.cmp(&b.1)) // ends before starts at equal times
+            a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)) // ends before starts at equal times
         });
         let mut active = 0;
         for (_, d) in events {

@@ -25,6 +25,4 @@ pub mod vgpu;
 pub use desim::{simulate, SimConfig, SimKernel, SimResult};
 pub use host::HostBackend;
 pub use pool::{par_for, par_reduce, WorkerPool};
-pub use vgpu::{
-    busy_wait, Event, Stream, StreamPriority, TraceEvent, VgpuConfig, VirtualGpu,
-};
+pub use vgpu::{busy_wait, Event, Stream, StreamPriority, TraceEvent, VgpuConfig, VirtualGpu};

@@ -27,7 +27,9 @@ impl WorkerPool {
 
     /// Pool sized to the machine's available parallelism.
     pub fn auto() -> Self {
-        let n = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
         Self::new(n)
     }
 
@@ -95,12 +97,7 @@ fn par_for_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) + Sync
     });
 }
 
-fn par_reduce_with(
-    threads: usize,
-    n: usize,
-    chunk: usize,
-    f: impl Fn(usize) -> f64 + Sync,
-) -> f64 {
+fn par_reduce_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
     assert!(chunk >= 1);
     if n == 0 {
         return 0.0;
@@ -114,8 +111,9 @@ fn par_reduce_with(
         // Each worker owns disjoint chunks; write partials through raw
         // disjoint indices via a Mutex-free pattern: collect into a Vec of
         // per-chunk cells using interior mutability on disjoint slots.
-        let cells: Vec<std::sync::atomic::AtomicU64> =
-            (0..nchunks).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let cells: Vec<std::sync::atomic::AtomicU64> = (0..nchunks)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
         let cells = &cells;
         std::thread::scope(|scope| {
             for _ in 0..threads.max(1) {

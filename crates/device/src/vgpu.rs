@@ -48,7 +48,10 @@ pub struct VgpuConfig {
 
 impl Default for VgpuConfig {
     fn default() -> Self {
-        Self { launch_latency: Duration::from_micros(8), executors: 2 }
+        Self {
+            launch_latency: Duration::from_micros(8),
+            executors: 2,
+        }
     }
 }
 
@@ -80,7 +83,12 @@ pub struct Event {
 
 impl Event {
     fn new() -> Self {
-        Self { inner: Arc::new(EventInner { signaled: Mutex::new(false), cv: Condvar::new() }) }
+        Self {
+            inner: Arc::new(EventInner {
+                signaled: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+        }
     }
 
     /// True once all work queued on the recording stream before the record
@@ -105,7 +113,10 @@ impl Event {
 }
 
 enum Task {
-    Kernel { name: String, work: Box<dyn FnOnce() + Send> },
+    Kernel {
+        name: String,
+        work: Box<dyn FnOnce() + Send>,
+    },
     RecordEvent(Event),
     WaitEvent(Event),
 }
@@ -144,7 +155,10 @@ impl VirtualGpu {
     pub fn new(config: VgpuConfig) -> Self {
         assert!(config.executors >= 1);
         let inner = Arc::new(Inner {
-            state: Mutex::new(State { streams: Vec::new(), shutdown: false }),
+            state: Mutex::new(State {
+                streams: Vec::new(),
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             host_cv: Condvar::new(),
             trace: Mutex::new(Vec::new()),
@@ -159,13 +173,21 @@ impl VirtualGpu {
                     .expect("spawn vgpu executor")
             })
             .collect();
-        Self { inner, config, workers }
+        Self {
+            inner,
+            config,
+            workers,
+        }
     }
 
     /// Create a stream with the given priority.
     pub fn stream(&self, priority: StreamPriority) -> Stream {
         let mut state = self.inner.state.lock();
-        state.streams.push(StreamState { queue: VecDeque::new(), busy: false, priority });
+        state.streams.push(StreamState {
+            queue: VecDeque::new(),
+            busy: false,
+            priority,
+        });
         Stream {
             inner: self.inner.clone(),
             id: state.streams.len() - 1,
@@ -239,9 +261,10 @@ impl Stream {
         // is exactly the effect the task-parallel formulation hides.
         busy_wait(self.launch_latency);
         let mut state = self.inner.state.lock();
-        state.streams[self.id]
-            .queue
-            .push_back(Task::Kernel { name: name.into(), work: Box::new(work) });
+        state.streams[self.id].queue.push_back(Task::Kernel {
+            name: name.into(),
+            work: Box::new(work),
+        });
         self.inner.work_cv.notify_all();
     }
 
@@ -250,7 +273,9 @@ impl Stream {
     pub fn record_event(&self) -> Event {
         let ev = Event::new();
         let mut state = self.inner.state.lock();
-        state.streams[self.id].queue.push_back(Task::RecordEvent(ev.clone()));
+        state.streams[self.id]
+            .queue
+            .push_back(Task::RecordEvent(ev.clone()));
         self.inner.work_cv.notify_all();
         ev
     }
@@ -259,7 +284,9 @@ impl Stream {
     /// later work.
     pub fn wait_event(&self, event: &Event) {
         let mut state = self.inner.state.lock();
-        state.streams[self.id].queue.push_back(Task::WaitEvent(event.clone()));
+        state.streams[self.id]
+            .queue
+            .push_back(Task::WaitEvent(event.clone()));
         self.inner.work_cv.notify_all();
     }
 
@@ -282,7 +309,10 @@ fn executor_loop(inner: &Inner, worker_id: usize) {
             // Resolve any head-of-queue event records/waits (cheap; under
             // the lock) and look for the highest-priority runnable kernel.
             if let Some(sid) = pick_runnable(&mut state, inner) {
-                let task = state.streams[sid].queue.pop_front().expect("queue non-empty");
+                let task = state.streams[sid]
+                    .queue
+                    .pop_front()
+                    .expect("queue non-empty");
                 state.streams[sid].busy = true;
                 drop(state);
                 if let Task::Kernel { name, work } = task {
@@ -387,7 +417,10 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn quick_cfg(executors: usize) -> VgpuConfig {
-        VgpuConfig { launch_latency: Duration::from_micros(1), executors }
+        VgpuConfig {
+            launch_latency: Duration::from_micros(1),
+            executors,
+        }
     }
 
     #[test]
@@ -511,7 +544,10 @@ mod tests {
 
     #[test]
     fn launch_latency_costs_host_time() {
-        let cfg = VgpuConfig { launch_latency: Duration::from_millis(2), executors: 2 };
+        let cfg = VgpuConfig {
+            launch_latency: Duration::from_millis(2),
+            executors: 2,
+        };
         let gpu = VirtualGpu::new(cfg);
         let s = gpu.stream(StreamPriority::Normal);
         let t0 = Instant::now();
@@ -520,7 +556,10 @@ mod tests {
         }
         let host_cost = t0.elapsed();
         gpu.synchronize();
-        assert!(host_cost >= Duration::from_millis(9), "host paid only {host_cost:?}");
+        assert!(
+            host_cost >= Duration::from_millis(9),
+            "host paid only {host_cost:?}"
+        );
     }
 
     #[test]

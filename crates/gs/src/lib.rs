@@ -90,8 +90,16 @@ fn face_key(cycle: [u64; 4], a: usize, b: usize, p: usize) -> Key {
     const POS: [(usize, usize); 4] = [(0, 0), (1, 0), (1, 1), (0, 1)];
     let m = (0..4).min_by_key(|&i| cycle[i]).expect("4 corners");
     let cand = [(m + 1) % 4, (m + 3) % 4];
-    let nxt = if cycle[cand[0]] < cycle[cand[1]] { cand[0] } else { cand[1] };
-    let other = if nxt == (m + 1) % 4 { (m + 3) % 4 } else { (m + 1) % 4 };
+    let nxt = if cycle[cand[0]] < cycle[cand[1]] {
+        cand[0]
+    } else {
+        cand[1]
+    };
+    let other = if nxt == (m + 1) % 4 {
+        (m + 3) % 4
+    } else {
+        (m + 1) % 4
+    };
     let diag = (m + 2) % 4;
     let node = (a, b);
     let corner = |c: usize| -> (usize, usize) { (POS[c].0 * p, POS[c].1 * p) };
@@ -169,7 +177,11 @@ impl GatherScatter {
                     let (a, b) = HEX_EDGES[edge];
                     let va = mesh.elems[ge][a] as u64;
                     let vb = mesh.elems[ge][b] as u64;
-                    let (vmin, vmax, tt) = if va < vb { (va, vb, t) } else { (vb, va, p - t) };
+                    let (vmin, vmax, tt) = if va < vb {
+                        (va, vb, t)
+                    } else {
+                        (vb, va, p - t)
+                    };
                     Some(Key::Edge(vmin, vmax, tt as u16))
                 }
                 NodeClass::Face { face, a, b } => {
@@ -244,7 +256,14 @@ impl GatherScatter {
         }
         let shared: Vec<(usize, Vec<u32>)> = shared_map.into_iter().collect();
 
-        Self { n_local, members, group_ptr, shared, tag: 0x6753, tel: OnceLock::new() }
+        Self {
+            n_local,
+            members,
+            group_ptr,
+            shared,
+            tag: 0x6753,
+            tel: OnceLock::new(),
+        }
     }
 
     /// Attach a telemetry handle. Callable through `&self` (the operator
@@ -518,9 +537,8 @@ mod tests {
         let mesh = box_mesh(4, 2, 2, [0., 4.], [0., 2.], [0., 2.], false, false);
         let n = p + 1;
         let nn = n * n * n;
-        let field = |ge: usize, node: usize| -> f64 {
-            ((ge * 31 + node * 7) % 97) as f64 * 0.25 - 10.0
-        };
+        let field =
+            |ge: usize, node: usize| -> f64 { ((ge * 31 + node * 7) % 97) as f64 * 0.25 - 10.0 };
 
         let (gs1, comm1) = single_gs(&mesh, p);
         let mut ref_u: Vec<f64> = (0..mesh.num_elements() * nn)
@@ -632,7 +650,10 @@ mod tests {
         assert!(total_vals > 0, "ranks must actually share nodes");
         assert_eq!(tel.tracer().calls("gs/shared"), 2);
         // Each rank counts both directions of its exchange.
-        assert_eq!(tel.metrics().counter("rbx_gs_bytes_total"), 2 * 8 * total_vals);
+        assert_eq!(
+            tel.metrics().counter("rbx_gs_bytes_total"),
+            2 * 8 * total_vals
+        );
         assert_eq!(
             tel.tracer().counter("gs/shared", "bytes"),
             tel.metrics().counter("rbx_gs_bytes_total")

@@ -103,7 +103,10 @@ impl PodBatch {
             modes.push(mode);
         }
         let _ = self.dot(&modes[0], &modes[0], comm); // touch: keep method used
-        PodResult { singular_values, modes }
+        PodResult {
+            singular_values,
+            modes,
+        }
     }
 
     /// The weights used by this calculator.
@@ -147,7 +150,12 @@ mod tests {
         let comm = SingleComm::new();
         let pod = PodBatch::new(w);
         let result = pod.compute(&snaps, &comm);
-        assert_eq!(result.singular_values.len(), 2, "{:?}", result.singular_values);
+        assert_eq!(
+            result.singular_values.len(),
+            2,
+            "{:?}",
+            result.singular_values
+        );
         assert!(result.singular_values[0] > result.singular_values[1]);
         let e = result.energy_fractions();
         assert_close(e.iter().sum::<f64>(), 1.0, 1e-12);
@@ -212,8 +220,7 @@ mod tests {
         run_on_ranks(3, move |comm| {
             let lo = comm.rank() * chunk;
             let hi = lo + chunk;
-            let local_snaps: Vec<Vec<f64>> =
-                snaps_ref.iter().map(|s| s[lo..hi].to_vec()).collect();
+            let local_snaps: Vec<Vec<f64>> = snaps_ref.iter().map(|s| s[lo..hi].to_vec()).collect();
             let local_w = w_ref[lo..hi].to_vec();
             let pod = PodBatch::new(local_w);
             let result = pod.compute(&local_snaps, comm);
@@ -231,13 +238,7 @@ mod tests {
             // Local mode rows match the reference slice up to sign.
             for (k, mode) in result.modes.iter().enumerate() {
                 let ref_rows = &reference_ref.modes[k][lo..hi];
-                let sign = if mode
-                    .iter()
-                    .zip(ref_rows)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-                    >= 0.0
-                {
+                let sign = if mode.iter().zip(ref_rows).map(|(a, b)| a * b).sum::<f64>() >= 0.0 {
                     1.0
                 } else {
                     -1.0

@@ -70,10 +70,8 @@ mod tests {
                 (0..n)
                     .map(|i| {
                         let x = i as f64 / n as f64;
-                        (2.0 * (0.4 * t as f64).cos())
-                            * (std::f64::consts::PI * x).sin()
-                            + (0.6 * t as f64).sin()
-                                * (2.0 * std::f64::consts::PI * x).sin()
+                        (2.0 * (0.4 * t as f64).cos()) * (std::f64::consts::PI * x).sin()
+                            + (0.6 * t as f64).sin() * (2.0 * std::f64::consts::PI * x).sin()
                     })
                     .collect()
             })

@@ -136,7 +136,7 @@ impl StreamingPod {
         // SVD of K via the eigendecomposition of KᵀK.
         let ktk = kmat.transpose().matmul(&kmat);
         let (vals, vecs) = sym_eig(&ktk); // ascending
-        // Descending singular values.
+                                          // Descending singular values.
         let mut order: Vec<usize> = (0..kk).collect();
         order.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).expect("NaN singular value"));
         let new_rank = order
@@ -211,10 +211,7 @@ mod tests {
                             .map(|r| {
                                 let amp = (0.3 * (t + 1) as f64 * (r + 1) as f64).sin()
                                     * (3.0 - r as f64);
-                                amp * ((r + 1) as f64
-                                    * std::f64::consts::PI
-                                    * i as f64
-                                    / n as f64)
+                                amp * ((r + 1) as f64 * std::f64::consts::PI * i as f64 / n as f64)
                                     .sin()
                             })
                             .sum()
@@ -238,11 +235,7 @@ mod tests {
         let batch = PodBatch::new(w).compute(&snaps, &comm);
         // Leading singular values match the offline reference.
         assert!(spod.rank() >= batch.singular_values.len());
-        for (a, b) in spod
-            .singular_values()
-            .iter()
-            .zip(&batch.singular_values)
-        {
+        for (a, b) in spod.singular_values().iter().zip(&batch.singular_values) {
             assert_close(*a, *b, 1e-8 * batch.singular_values[0]);
         }
     }
@@ -275,7 +268,11 @@ mod tests {
         let n = 60;
         // Full-rank random-ish stream.
         let snaps: Vec<Vec<f64>> = (0..20)
-            .map(|t| (0..n).map(|i| ((i * 31 + t * 17) % 13) as f64 - 6.0).collect())
+            .map(|t| {
+                (0..n)
+                    .map(|i| ((i * 31 + t * 17) % 13) as f64 - 6.0)
+                    .collect()
+            })
             .collect();
         let w = vec![1.0; n];
         let mut spod = StreamingPod::new(&w, 5);

@@ -97,7 +97,10 @@ impl AsyncBplWriter {
                 Ok(count)
             })
             .expect("spawn async writer");
-        Ok(Self { tx: Some(tx), handle: Some(handle) })
+        Ok(Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        })
     }
 
     /// Queue one step for writing.

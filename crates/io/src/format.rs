@@ -59,12 +59,20 @@ pub struct Variable {
 impl Variable {
     /// Convenience constructor for f64 data.
     pub fn f64(name: impl Into<String>, shape: Vec<u64>, data: Vec<f64>) -> Self {
-        Self { name: name.into(), shape, data: VarData::F64(data) }
+        Self {
+            name: name.into(),
+            shape,
+            data: VarData::F64(data),
+        }
     }
 
     /// Convenience constructor for byte data.
     pub fn bytes(name: impl Into<String>, shape: Vec<u64>, data: Vec<u8>) -> Self {
-        Self { name: name.into(), shape, data: VarData::Bytes(data) }
+        Self {
+            name: name.into(),
+            shape,
+            data: VarData::Bytes(data),
+        }
     }
 }
 
@@ -126,7 +134,10 @@ pub fn encode_step(step: &StepData) -> Bytes {
 /// Build the descriptive `InvalidData` error every malformed-file case
 /// maps to: readers never panic on foreign bytes.
 fn malformed(detail: impl std::fmt::Display) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("malformed BPL data: {detail}"))
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed BPL data: {detail}"),
+    )
 }
 
 /// Guard a fixed-size read against truncation.
@@ -190,7 +201,9 @@ fn decode_step(buf: &mut impl Buf) -> std::io::Result<StepData> {
                 VarData::Bytes(v)
             }
             other => {
-                return Err(malformed(format!("variable {name:?} has unknown dtype {other}")))
+                return Err(malformed(format!(
+                    "variable {name:?} has unknown dtype {other}"
+                )))
             }
         };
         vars.push(Variable { name, shape, data });
@@ -209,7 +222,10 @@ impl BplWriter {
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
         file.write_all(MAGIC)?;
-        Ok(Self { file, steps_written: 0 })
+        Ok(Self {
+            file,
+            steps_written: 0,
+        })
     }
 
     /// Append one step.
@@ -252,7 +268,10 @@ impl BplReader {
         let mut raw = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut raw)?;
         if raw.len() < 4 || &raw[..4] != MAGIC {
-            return Err(malformed(format!("{}: not a BPL file (bad magic)", path.display())));
+            return Err(malformed(format!(
+                "{}: not a BPL file (bad magic)",
+                path.display()
+            )));
         }
         let mut buf = &raw[4..];
         let mut steps = Vec::new();
@@ -285,9 +304,9 @@ pub fn write_bpl(path: &Path, steps: &[StepData]) -> std::io::Result<()> {
 /// survives a crash. A reader (or a crash mid-write) therefore sees either
 /// the complete old file or the complete new file, never a torn one.
 pub fn write_bpl_atomic(path: &Path, steps: &[StepData]) -> std::io::Result<()> {
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
@@ -322,7 +341,11 @@ mod tests {
             step: i,
             time: i as f64 * 0.5,
             vars: vec![
-                Variable::f64("velocity_x", vec![2, 8], (0..16).map(|k| k as f64).collect()),
+                Variable::f64(
+                    "velocity_x",
+                    vec![2, 8],
+                    (0..16).map(|k| k as f64).collect(),
+                ),
                 Variable::bytes("compressed_t", vec![5], vec![1, 2, 3, 4, 5]),
             ],
         }
@@ -359,7 +382,11 @@ mod tests {
 
     #[test]
     fn empty_step_roundtrips() {
-        let s = StepData { step: 9, time: 1.25, vars: vec![] };
+        let s = StepData {
+            step: 9,
+            time: 1.25,
+            vars: vec![],
+        };
         let bytes = encode_step(&s);
         let mut buf = &bytes[..];
         assert_eq!(decode_step(&mut buf).unwrap(), s);
@@ -403,7 +430,7 @@ mod tests {
     }
 
     #[test]
-    fn atomic_write_roundtrips_and_leaves_no_temp(){
+    fn atomic_write_roundtrips_and_leaves_no_temp() {
         let dir = std::env::temp_dir().join("rbx_io_test_atomic");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("atomic.bpl");
@@ -419,6 +446,9 @@ mod tests {
             .filter_map(|e| e.ok())
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
     }
 }

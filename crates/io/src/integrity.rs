@@ -19,7 +19,11 @@ fn table() -> &'static [u64; 256] {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut crc = i as u64;
             for _ in 0..8 {
-                crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
             }
             *entry = crc;
         }

@@ -87,7 +87,11 @@ mod tests {
             &mesh,
             p,
             &my,
-            &[BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall],
+            &[
+                BoundaryTag::Wall,
+                BoundaryTag::HotWall,
+                BoundaryTag::ColdWall,
+            ],
             &gs,
             &comm,
         );

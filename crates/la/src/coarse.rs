@@ -80,7 +80,10 @@ impl CoarseGrid {
         dirichlet_tags: &[BoundaryTag],
         comm: &dyn Communicator,
     ) -> Self {
-        assert!(coarse_p >= 1 && coarse_p < fine_p, "need 1 <= coarse_p < fine_p");
+        assert!(
+            coarse_p >= 1 && coarse_p < fine_p,
+            "need 1 <= coarse_p < fine_p"
+        );
         let sub = mesh.extract(my_elems);
         let geom = GeomFactors::new(&sub, coarse_p);
         let gs = GatherScatter::build(mesh, coarse_p, part, my_elems, comm);
@@ -165,12 +168,7 @@ impl CoarseGrid {
 
     /// Prolongate a coarse correction to the fine lattice and add:
     /// `z += R₀ᵀ z₀`.
-    pub fn prolong_add(
-        &self,
-        z_coarse: &[f64],
-        z_fine: &mut [f64],
-        scratch: &mut TensorScratch,
-    ) {
+    pub fn prolong_add(&self, z_coarse: &[f64], z_fine: &mut [f64], scratch: &mut TensorScratch) {
         let nf = self.fine_n;
         let nnf = nf * nf * nf;
         let nc = self.coarse_n;
@@ -222,12 +220,7 @@ impl CoarseGrid {
 
     /// Full coarse correction `z += R₀ᵀ A₀⁻¹ R₀ r` from a weighted fine
     /// residual.
-    pub fn correct_add(
-        &self,
-        r_weighted: &[f64],
-        z_fine: &mut [f64],
-        comm: &dyn Communicator,
-    ) {
+    pub fn correct_add(&self, r_weighted: &[f64], z_fine: &mut [f64], comm: &dyn Communicator) {
         let mut rc = vec![0.0; self.len()];
         let mut zc = vec![0.0; self.len()];
         let mut scratch = TensorScratch::new();
@@ -264,7 +257,11 @@ mod tests {
             p,
             &part,
             &my,
-            &[BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall],
+            &[
+                BoundaryTag::Wall,
+                BoundaryTag::HotWall,
+                BoundaryTag::ColdWall,
+            ],
             &comm,
         );
         (mesh, cg, comm, my)
@@ -348,7 +345,9 @@ mod tests {
         let p = 4;
         let (_mesh, cg, comm, _my) = setup(p);
         // Random-ish masked continuous coarse rhs.
-        let mut rhs: Vec<f64> = (0..cg.len()).map(|i| ((i * 31 % 19) as f64) - 9.0).collect();
+        let mut rhs: Vec<f64> = (0..cg.len())
+            .map(|i| ((i * 31 % 19) as f64) - 9.0)
+            .collect();
         cg.gs.apply(&mut rhs, rbx_gs::GsOp::Add, &comm);
         hadamard(&cg.mask, &mut rhs);
         let mut z = vec![0.0; cg.len()];
@@ -367,7 +366,10 @@ mod tests {
         let r0 = cg.dp.norm(&rhs, &comm);
         let res: Vec<f64> = rhs.iter().zip(&az).map(|(b, a)| b - a).collect();
         let r1 = cg.dp.norm(&res, &comm);
-        assert!(r1 < 0.5 * r0, "coarse PCG barely reduced residual: {r1} vs {r0}");
+        assert!(
+            r1 < 0.5 * r0,
+            "coarse PCG barely reduced residual: {r1} vs {r0}"
+        );
     }
 
     #[test]
@@ -400,8 +402,11 @@ mod multilevel_tests {
     use rbx_mesh::generators::box_mesh;
     use std::sync::Arc;
 
-    const ALL: [BoundaryTag; 3] =
-        [BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall];
+    const ALL: [BoundaryTag; 3] = [
+        BoundaryTag::Wall,
+        BoundaryTag::HotWall,
+        BoundaryTag::ColdWall,
+    ];
 
     /// FGMRES iteration count with a Schwarz preconditioner whose coarse
     /// level has the given polynomial degree.
@@ -416,8 +421,7 @@ mod multilevel_tests {
         let mask = dirichlet_mask(&mesh, p, &my, &ALL, &gs, &comm);
         let mult = gs.multiplicity(&comm);
         let fdm = ElementFdm::new(&geom);
-        let coarse =
-            CoarseGrid::build_with_order(&mesh, p, coarse_p, &part, &my, &ALL, &comm);
+        let coarse = CoarseGrid::build_with_order(&mesh, p, coarse_p, &part, &my, &ALL, &comm);
         let schwarz = SchwarzMg::new(
             fdm,
             coarse,
@@ -428,7 +432,13 @@ mod multilevel_tests {
             1.0,
             0.0,
         );
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: 0.0 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 1.0,
+            h2: 0.0,
+        };
         let dp = DotProduct::new(&mult);
         let n = geom.total_nodes();
         let mut x_true: Vec<f64> = (0..n)

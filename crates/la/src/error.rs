@@ -61,7 +61,10 @@ impl SolveError {
     /// True when the failure means the iterate cannot be trusted at all
     /// (non-finite or exploding), as opposed to merely not fully converged.
     pub fn is_fatal(&self) -> bool {
-        matches!(self, SolveError::NonFiniteResidual { .. } | SolveError::Diverged { .. })
+        matches!(
+            self,
+            SolveError::NonFiniteResidual { .. } | SolveError::Diverged { .. }
+        )
     }
 }
 

@@ -101,8 +101,7 @@ impl ElementFdm {
                     continue;
                 }
                 let len = ext[dir].max(1e-14);
-                let k_sub =
-                    DMat::from_fn(m, m, |a, b| (2.0 / len) * khat[(a + off, b + off)]);
+                let k_sub = DMat::from_fn(m, m, |a, b| (2.0 / len) * khat[(a + off, b + off)]);
                 let m_sub = DMat::from_fn(m, m, |a, b| {
                     if a == b {
                         0.5 * len * geom.weights[a + off]
@@ -120,9 +119,19 @@ impl ElementFdm {
             let s1 = s_arr.pop().expect("3 dirs");
             let s0 = s_arr.pop().expect("3 dirs");
             let st = [s0.transpose(), s1.transpose(), s2.transpose()];
-            factors.push(ElemFactors { lambda, s: [s0, s1, s2], st, lambda_max });
+            factors.push(ElemFactors {
+                lambda,
+                s: [s0, s1, s2],
+                st,
+                lambda_max,
+            });
         }
-        Self { n, m, mode, factors }
+        Self {
+            n,
+            m,
+            mode,
+            factors,
+        }
     }
 
     /// Subdomain lattice size per direction.
@@ -178,8 +187,7 @@ impl ElementFdm {
             for k in 0..m {
                 for j in 0..m {
                     for i in 0..m {
-                        let denom =
-                            h1 * (f.lambda[0][i] + f.lambda[1][j] + f.lambda[2][k]) + h2;
+                        let denom = h1 * (f.lambda[0][i] + f.lambda[1][j] + f.lambda[2][k]) + h2;
                         let idx = i + m * (j + m * k);
                         if denom.abs() <= floor {
                             tmp[idx] = 0.0;
@@ -258,7 +266,13 @@ mod tests {
             }
         }
         let (h1, h2) = (2.0, 0.3);
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1, h2 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1,
+            h2,
+        };
         let fdm = ElementFdm::with_mode(&geom, FdmMode::Interior);
 
         let mut r = vec![0.0; nn];
@@ -304,7 +318,13 @@ mod tests {
         let nn = n * n * n;
         let mask = vec![1.0; nn];
         let (h1, h2) = (0.7, 2.5);
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1, h2 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1,
+            h2,
+        };
         let fdm = ElementFdm::with_mode(&geom, FdmMode::FullNeumann);
 
         let r: Vec<f64> = (0..nn).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
@@ -338,11 +358,7 @@ mod tests {
         // The image of a constant under the pseudo-inverted operator is not
         // exactly zero nodally (the mass weighting is non-uniform), but its
         // B-weighted mean must vanish and its magnitude must stay bounded.
-        let mean: f64 = z
-            .iter()
-            .zip(&geom.mass)
-            .map(|(a, b)| a * b)
-            .sum::<f64>();
+        let mean: f64 = z.iter().zip(&geom.mass).map(|(a, b)| a * b).sum::<f64>();
         assert!(mean.abs() < 1e-10, "constant mode leaked: {mean}");
     }
 
@@ -422,7 +438,10 @@ mod tests {
                 boundary && v.abs() > 1e-12
             })
             .count();
-        assert!(nonzero_boundary > 0, "no boundary corrections in FullNeumann mode");
+        assert!(
+            nonzero_boundary > 0,
+            "no boundary corrections in FullNeumann mode"
+        );
     }
 
     #[test]

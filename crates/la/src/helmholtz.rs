@@ -8,9 +8,7 @@
 //! conditions are imposed by masking.
 
 use crate::ops::hadamard;
-use rbx_basis::tensor::{
-    deriv_x, deriv_x_t_add, deriv_y, deriv_y_t_add, deriv_z, deriv_z_t_add,
-};
+use rbx_basis::tensor::{deriv_x, deriv_x_t_add, deriv_y, deriv_y_t_add, deriv_z, deriv_z_t_add};
 use rbx_comm::Communicator;
 use rbx_gs::{GatherScatter, GsOp};
 use rbx_mesh::GeomFactors;
@@ -161,10 +159,7 @@ mod tests {
     use rbx_mesh::generators::box_mesh;
     use rbx_mesh::{BoundaryTag, GeomFactors};
 
-    fn setup(
-        nx: usize,
-        p: usize,
-    ) -> (rbx_mesh::HexMesh, GeomFactors, GatherScatter, SingleComm) {
+    fn setup(nx: usize, p: usize) -> (rbx_mesh::HexMesh, GeomFactors, GatherScatter, SingleComm) {
         let mesh = box_mesh(nx, nx, nx, [0., 1.], [0., 1.], [0., 1.], false, false);
         let geom = GeomFactors::new(&mesh, p);
         let comm = SingleComm::new();
@@ -178,7 +173,13 @@ mod tests {
     fn laplacian_of_constant_is_zero() {
         let (mesh, geom, gs, comm) = setup(2, 4);
         let mask = vec![1.0; geom.total_nodes()]; // no Dirichlet
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: 0.0 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 1.0,
+            h2: 0.0,
+        };
         let u = vec![3.0; geom.total_nodes()];
         let mut y = vec![0.0; u.len()];
         let mut scratch = HelmholtzScratch::default();
@@ -195,18 +196,29 @@ mod tests {
             &mesh,
             3,
             &(0..mesh.num_elements()).collect::<Vec<_>>(),
-            &[BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall],
+            &[
+                BoundaryTag::Wall,
+                BoundaryTag::HotWall,
+                BoundaryTag::ColdWall,
+            ],
             &gs,
             &comm,
         );
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: 0.5 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 1.0,
+            h2: 0.5,
+        };
         let dp = DotProduct::new(&gs.multiplicity(&comm));
         let n = geom.total_nodes();
         let mut scratch = HelmholtzScratch::default();
         // Continuous masked random-ish vectors.
         let make = |seed: usize| -> Vec<f64> {
-            let mut v: Vec<f64> =
-                (0..n).map(|i| (((i * 97 + seed * 31) % 101) as f64) * 0.02 - 1.0).collect();
+            let mut v: Vec<f64> = (0..n)
+                .map(|i| (((i * 97 + seed * 31) % 101) as f64) * 0.02 - 1.0)
+                .collect();
             gs.average(&mut v, &gs.multiplicity(&comm), &comm);
             hadamard(&mask, &mut v);
             v
@@ -233,7 +245,13 @@ mod tests {
         // For u = x² on [0,1]³ with full mask, ⟨A u, u⟩ = ∫ |∇u|² = ∫ 4x² = 4/3.
         let (_mesh, geom, gs, comm) = setup(2, 5);
         let mask = vec![1.0; geom.total_nodes()];
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: 0.0 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 1.0,
+            h2: 0.0,
+        };
         let u: Vec<f64> = geom.coords[0].iter().map(|&x| x * x).collect();
         let mut au = vec![0.0; u.len()];
         let mut scratch = HelmholtzScratch::default();
@@ -248,7 +266,13 @@ mod tests {
         // h1 = 0, h2 = 1: ⟨B·1, 1⟩ = volume.
         let (_mesh, geom, gs, comm) = setup(3, 3);
         let mask = vec![1.0; geom.total_nodes()];
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 0.0, h2: 1.0 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 0.0,
+            h2: 1.0,
+        };
         let u = vec![1.0; geom.total_nodes()];
         let mut y = vec![0.0; u.len()];
         let mut scratch = HelmholtzScratch::default();
@@ -276,9 +300,17 @@ mod pooled_tests {
         let my: Vec<usize> = (0..mesh.num_elements()).collect();
         let gs = GatherScatter::build(&mesh, p, &part, &my, &comm);
         let mask = vec![1.0; geom.total_nodes()];
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.7, h2: 0.4 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 1.7,
+            h2: 0.4,
+        };
         let n = geom.total_nodes();
-        let u: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64) * 0.03 - 1.5).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 101) as f64) * 0.03 - 1.5)
+            .collect();
 
         let mut y_serial = vec![0.0; n];
         let mut scratch = HelmholtzScratch::default();

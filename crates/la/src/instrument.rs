@@ -93,8 +93,8 @@ mod tests {
     #[test]
     fn records_metrics_and_schema_valid_jsonl() {
         let tel = Telemetry::enabled();
-        let path = std::env::temp_dir()
-            .join(format!("rbx-la-instrument-{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("rbx-la-instrument-{}.jsonl", std::process::id()));
         tel.open_jsonl(&path).unwrap();
         record_solve(&tel, "fgmres", "pressure", &fake_stats());
         tel.flush();
@@ -132,7 +132,9 @@ mod tests {
             "stagnated"
         );
         assert_eq!(
-            health_token(SolveHealth::Failed(SolveError::NonFiniteResidual { iteration: 0 })),
+            health_token(SolveHealth::Failed(SolveError::NonFiniteResidual {
+                iteration: 0
+            })),
             "non_finite"
         );
     }

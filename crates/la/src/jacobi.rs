@@ -89,7 +89,13 @@ mod tests {
         let gs = GatherScatter::build(&mesh, p, &part, &my, &comm);
         let mask = vec![1.0; geom.total_nodes()];
         let (h1, h2) = (1.3, 0.7);
-        let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1, h2 };
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1,
+            h2,
+        };
         let diag = assembled_diagonal(&geom, &gs, h1, h2, &comm);
 
         let ntot = geom.total_nodes();

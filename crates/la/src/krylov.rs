@@ -42,7 +42,11 @@ impl ResidualHistory {
     pub const CAP: usize = 16;
 
     pub const fn new() -> Self {
-        Self { buf: [0.0; Self::CAP], head: 0, len: 0 }
+        Self {
+            buf: [0.0; Self::CAP],
+            head: 0,
+            len: 0,
+        }
     }
 
     /// Append a residual, evicting the oldest once full.
@@ -165,7 +169,13 @@ pub fn pcg(
         // NaN/Inf already in the rhs or the initial guess: report instead
         // of iterating on garbage (every comparison against NaN is false,
         // so the loop below would otherwise burn the full budget).
-        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 }, hist);
+        return SolveStats::failed(
+            0,
+            r0,
+            r0,
+            SolveError::NonFiniteResidual { iteration: 0 },
+            hist,
+        );
     }
     let target = tol_abs.max(tol_rel * r0);
     if r0 <= target {
@@ -210,7 +220,11 @@ pub fn pcg(
             return SolveStats::converged_at(iterations, r0, rnorm, hist);
         }
         if rnorm > GROWTH_LIMIT * r0 {
-            failure = Some(SolveError::Diverged { iteration: it, residual: rnorm, initial: r0 });
+            failure = Some(SolveError::Diverged {
+                iteration: it,
+                residual: rnorm,
+                initial: r0,
+            });
             break;
         }
         if rnorm < best * (1.0 - STALL_RTOL) {
@@ -219,7 +233,10 @@ pub fn pcg(
         } else {
             since_best += 1;
             if since_best >= STALL_ITERS {
-                failure = Some(SolveError::Stagnated { iteration: it, residual: rnorm });
+                failure = Some(SolveError::Stagnated {
+                    iteration: it,
+                    residual: rnorm,
+                });
                 break;
             }
         }
@@ -276,7 +293,13 @@ pub fn fgmres(
     let mut hist = ResidualHistory::new();
     hist.push(r0);
     if !r0.is_finite() {
-        return SolveStats::failed(0, r0, r0, SolveError::NonFiniteResidual { iteration: 0 }, hist);
+        return SolveStats::failed(
+            0,
+            r0,
+            r0,
+            SolveError::NonFiniteResidual { iteration: 0 },
+            hist,
+        );
     }
     let target = tol_abs.max(tol_rel * r0);
     if r0 <= target {
@@ -399,7 +422,9 @@ pub fn fgmres(
                 total_iters,
                 r0,
                 beta,
-                SolveError::NonFiniteResidual { iteration: total_iters },
+                SolveError::NonFiniteResidual {
+                    iteration: total_iters,
+                },
                 hist,
             );
         }
@@ -411,7 +436,11 @@ pub fn fgmres(
                 total_iters,
                 r0,
                 beta,
-                SolveError::Diverged { iteration: total_iters, residual: beta, initial: r0 },
+                SolveError::Diverged {
+                    iteration: total_iters,
+                    residual: beta,
+                    initial: r0,
+                },
                 hist,
             );
         }
@@ -420,7 +449,11 @@ pub fn fgmres(
                 total_iters,
                 r0,
                 beta,
-                SolveError::IterationLimit { iterations: total_iters, residual: beta, target },
+                SolveError::IterationLimit {
+                    iterations: total_iters,
+                    residual: beta,
+                    target,
+                },
                 hist,
             );
         }
@@ -435,7 +468,10 @@ pub fn fgmres(
                     total_iters,
                     r0,
                     beta,
-                    SolveError::Stagnated { iteration: total_iters, residual: beta },
+                    SolveError::Stagnated {
+                        iteration: total_iters,
+                        residual: beta,
+                    },
                     hist,
                 );
             }
@@ -654,7 +690,10 @@ mod tests {
             30,
         );
         assert!(stats.converged, "{stats:?}");
-        assert!(stats.iterations < 15, "too many outer iterations: {stats:?}");
+        assert!(
+            stats.iterations < 15,
+            "too many outer iterations: {stats:?}"
+        );
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub use jacobi::assembled_diagonal;
 pub use krylov::{fgmres, pcg, ResidualHistory, SolveStats};
 pub use ops::DotProduct;
 pub use projection::SolutionProjection;
-pub use schwarz::{SchwarzMode, SchwarzMg};
+pub use schwarz::{SchwarzMg, SchwarzMode};

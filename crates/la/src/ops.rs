@@ -53,7 +53,9 @@ impl DotProduct {
     /// Build from node multiplicities (from
     /// [`rbx_gs::GatherScatter::multiplicity`]).
     pub fn new(mult: &[f64]) -> Self {
-        Self { mult_inv: mult.iter().map(|&m| 1.0 / m).collect() }
+        Self {
+            mult_inv: mult.iter().map(|&m| 1.0 / m).collect(),
+        }
     }
 
     /// Local length.

@@ -14,8 +14,8 @@
 //! needed to A-orthonormalize each new entry, which reuses the solve's
 //! final operator application).
 
-use rbx_comm::Communicator;
 use crate::ops::DotProduct;
+use rbx_comm::Communicator;
 
 /// A-conjugate projection space for an SPD(-ish) operator.
 pub struct SolutionProjection {
@@ -32,7 +32,12 @@ impl SolutionProjection {
     /// Create a projection space holding at most `max_vecs` directions for
     /// vectors of length `n`.
     pub fn new(n: usize, max_vecs: usize) -> Self {
-        Self { basis: Vec::new(), images: Vec::new(), max_vecs, n }
+        Self {
+            basis: Vec::new(),
+            images: Vec::new(),
+            max_vecs,
+            n,
+        }
     }
 
     /// Number of stored directions.
@@ -93,13 +98,7 @@ impl SolutionProjection {
     /// the space, A-orthonormalizing against the stored basis. When full,
     /// the space restarts from this direction alone (Fischer's restart
     /// strategy).
-    pub fn absorb(
-        &mut self,
-        dx: &[f64],
-        adx: &[f64],
-        dp: &DotProduct,
-        comm: &dyn Communicator,
-    ) {
+    pub fn absorb(&mut self, dx: &[f64], adx: &[f64], dp: &DotProduct, comm: &dyn Communicator) {
         assert_eq!(dx.len(), self.n);
         assert_eq!(adx.len(), self.n);
         if self.max_vecs == 0 {
@@ -239,7 +238,8 @@ mod tests {
         let (_, first_iters) = solve_with_projection(&mut proj, &rhs_at(0.0), &dp, &comm);
         let mut later = Vec::new();
         for step in 1..6 {
-            let (x, iters) = solve_with_projection(&mut proj, &rhs_at(step as f64 * 0.1), &dp, &comm);
+            let (x, iters) =
+                solve_with_projection(&mut proj, &rhs_at(step as f64 * 0.1), &dp, &comm);
             // Verify the combined solution actually solves the system.
             let mut ax = vec![0.0; n];
             apply(&x, &mut ax);

@@ -86,7 +86,17 @@ impl SchwarzMg {
     ) -> Self {
         let wt: Vec<f64> = mult.iter().map(|&m| 1.0 / m).collect();
         let bw: Vec<f64> = mass.iter().zip(&wt).map(|(b, w)| b * w).collect();
-        Self { fdm, coarse, gs, wt, mask, bw, h1, h2, tel: Telemetry::disabled() }
+        Self {
+            fdm,
+            coarse,
+            gs,
+            wt,
+            mask,
+            bw,
+            h1,
+            h2,
+            tel: Telemetry::disabled(),
+        }
     }
 
     /// Share a telemetry handle with this preconditioner and its coarse
@@ -100,13 +110,7 @@ impl SchwarzMg {
     }
 
     /// Apply `z = M⁻¹ r`.
-    pub fn apply(
-        &self,
-        r: &[f64],
-        z: &mut [f64],
-        mode: SchwarzMode,
-        comm: &dyn Communicator,
-    ) {
+    pub fn apply(&self, r: &[f64], z: &mut [f64], mode: SchwarzMode, comm: &dyn Communicator) {
         assert_eq!(r.len(), self.wt.len());
         assert_eq!(z.len(), r.len());
         // Weight the assembled residual so element-local restrictions do
@@ -178,8 +182,11 @@ mod tests {
     use rbx_mesh::partition::{part_elements, partition_rcb};
     use rbx_mesh::{BoundaryTag, GeomFactors, HexMesh};
 
-    const ALL_WALLS: [BoundaryTag; 3] =
-        [BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall];
+    const ALL_WALLS: [BoundaryTag; 3] = [
+        BoundaryTag::Wall,
+        BoundaryTag::HotWall,
+        BoundaryTag::ColdWall,
+    ];
 
     struct Setup {
         geom: GeomFactors,
@@ -213,7 +220,13 @@ mod tests {
             1.0,
             0.0,
         );
-        Setup { geom, gs, mask, mult, schwarz }
+        Setup {
+            geom,
+            gs,
+            mask,
+            mult,
+            schwarz,
+        }
     }
 
     #[test]
@@ -228,8 +241,10 @@ mod tests {
         crate::ops::hadamard(&s.mask, &mut r);
         let mut z_serial = vec![0.0; n];
         let mut z_overlap = vec![0.0; n];
-        s.schwarz.apply(&r, &mut z_serial, SchwarzMode::Serial, &comm);
-        s.schwarz.apply(&r, &mut z_overlap, SchwarzMode::Overlapped, &comm);
+        s.schwarz
+            .apply(&r, &mut z_serial, SchwarzMode::Serial, &comm);
+        s.schwarz
+            .apply(&r, &mut z_overlap, SchwarzMode::Overlapped, &comm);
         for i in 0..n {
             assert_eq!(
                 z_serial[i].to_bits(),
@@ -403,7 +418,8 @@ mod tests {
         s1.gs.apply(&mut r_ref, GsOp::Add, &comm1);
         crate::ops::hadamard(&s1.mask, &mut r_ref);
         let mut z_ref = vec![0.0; n];
-        s1.schwarz.apply(&r_ref, &mut z_ref, SchwarzMode::Serial, &comm1);
+        s1.schwarz
+            .apply(&r_ref, &mut z_ref, SchwarzMode::Serial, &comm1);
 
         // 2-rank overlapped.
         let part = partition_rcb(&mesh, 2);
@@ -417,16 +433,8 @@ mod tests {
             let mult = gs.multiplicity(comm);
             let fdm = ElementFdm::new(&geom);
             let coarse = CoarseGrid::build(mesh_ref, p, part_ref, my, &ALL_WALLS, comm);
-            let schwarz = SchwarzMg::new(
-                fdm,
-                coarse,
-                gs.clone(),
-                &mult,
-                mask,
-                &geom.mass,
-                1.0,
-                0.0,
-            );
+            let schwarz =
+                SchwarzMg::new(fdm, coarse, gs.clone(), &mult, mask, &geom.mass, 1.0, 0.0);
             let r: Vec<f64> = my
                 .iter()
                 .flat_map(|&ge| r_global[ge * n_per..(ge + 1) * n_per].to_vec())

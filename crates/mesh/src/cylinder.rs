@@ -30,14 +30,28 @@ pub struct CylinderParams {
 
 impl Default for CylinderParams {
     fn default() -> Self {
-        Self { radius: 0.5, height: 1.0, n_square: 2, n_rings: 2, n_z: 4, beta_z: 0.0 }
+        Self {
+            radius: 0.5,
+            height: 1.0,
+            n_square: 2,
+            n_rings: 2,
+            n_z: 4,
+            beta_z: 0.0,
+        }
     }
 }
 
 /// Generate the cylinder mesh. Element count is
 /// `(n_square² + 4·n_square·n_rings) · n_z`.
 pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
-    let CylinderParams { radius, height, n_square: n0, n_rings: nr, n_z: nz, beta_z } = params;
+    let CylinderParams {
+        radius,
+        height,
+        n_square: n0,
+        n_rings: nr,
+        n_z: nz,
+        beta_z,
+    } = params;
     assert!(radius > 0.0 && height > 0.0);
     assert!(n0 >= 1 && nr >= 1 && nz >= 1);
 
@@ -60,10 +74,10 @@ pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
         let side = m / n0;
         let i = m % n0;
         match side {
-            0 => sq_id(i, 0),           // bottom, (-a,-a) → (a,-a)
-            1 => sq_id(n0, i),          // right
-            2 => sq_id(n0 - i, n0),     // top
-            3 => sq_id(0, n0 - i),      // left
+            0 => sq_id(i, 0),       // bottom, (-a,-a) → (a,-a)
+            1 => sq_id(n0, i),      // right
+            2 => sq_id(n0 - i, n0), // top
+            3 => sq_id(0, n0 - i),  // left
             _ => unreachable!(),
         }
     };
@@ -92,16 +106,18 @@ pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
 
     // Circle point: uniform angle, anchored so corners map to diagonals.
     let circle_pt = |m: usize| -> [f64; 2] {
-        let phi = -0.75 * std::f64::consts::PI
-            + 0.5 * std::f64::consts::PI * (m as f64 / n0 as f64);
+        let phi =
+            -0.75 * std::f64::consts::PI + 0.5 * std::f64::consts::PI * (m as f64 / n0 as f64);
         [radius * phi.cos(), radius * phi.sin()]
     };
 
     let mut plane = vec![[0.0f64; 2]; plane_verts];
     for j in 0..=n0 {
         for i in 0..=n0 {
-            plane[sq_id(i, j)] = [-a + 2.0 * a * i as f64 / n0 as f64,
-                                  -a + 2.0 * a * j as f64 / n0 as f64];
+            plane[sq_id(i, j)] = [
+                -a + 2.0 * a * i as f64 / n0 as f64,
+                -a + 2.0 * a * j as f64 / n0 as f64,
+            ];
         }
     }
     for level in 1..=nr {
@@ -137,8 +153,16 @@ pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
     let mut curves = std::collections::HashMap::new();
 
     for k in 0..nz {
-        let bot_tag = if k == 0 { BoundaryTag::HotWall } else { BoundaryTag::None };
-        let top_tag = if k == nz - 1 { BoundaryTag::ColdWall } else { BoundaryTag::None };
+        let bot_tag = if k == 0 {
+            BoundaryTag::HotWall
+        } else {
+            BoundaryTag::None
+        };
+        let top_tag = if k == nz - 1 {
+            BoundaryTag::ColdWall
+        } else {
+            BoundaryTag::None
+        };
 
         // Central square block.
         for j in 0..n0 {
@@ -192,7 +216,12 @@ pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
         }
     }
 
-    HexMesh { vertices, elems, face_tags, curves }
+    HexMesh {
+        vertices,
+        elems,
+        face_tags,
+        curves,
+    }
 }
 
 /// Symmetric tanh grading of `t ∈ [0, 1]` toward both endpoints.
@@ -215,7 +244,12 @@ mod tests {
 
     #[test]
     fn element_and_vertex_counts() {
-        let p = CylinderParams { n_square: 2, n_rings: 2, n_z: 3, ..Default::default() };
+        let p = CylinderParams {
+            n_square: 2,
+            n_rings: 2,
+            n_z: 3,
+            ..Default::default()
+        };
         let m = cylinder_mesh(p);
         assert_eq!(m.num_elements(), (4 + 16) * 3);
         assert!(m.validate().is_empty());
@@ -252,7 +286,10 @@ mod tests {
 
     #[test]
     fn wall_nodes_on_exact_circle() {
-        let params = CylinderParams { radius: 0.3, ..Default::default() };
+        let params = CylinderParams {
+            radius: 0.3,
+            ..Default::default()
+        };
         let m = cylinder_mesh(params);
         let geom = GeomFactors::new(&m, 5);
         let n = geom.nx1;
@@ -277,7 +314,12 @@ mod tests {
 
     #[test]
     fn boundary_tags_cover_plates_and_wall() {
-        let params = CylinderParams { n_square: 2, n_rings: 1, n_z: 2, ..Default::default() };
+        let params = CylinderParams {
+            n_square: 2,
+            n_rings: 1,
+            n_z: 2,
+            ..Default::default()
+        };
         let m = cylinder_mesh(params);
         let per_layer = 4 + 8;
         let hot = m
@@ -321,7 +363,10 @@ mod tests {
             area += geom.face_area_weights(e, f).iter().sum::<f64>();
         }
         let exact = 2.0 * std::f64::consts::PI * 0.4 * 2.0;
-        assert!((area - exact).abs() / exact < 1e-6, "area {area} vs {exact}");
+        assert!(
+            (area - exact).abs() / exact < 1e-6,
+            "area {area} vs {exact}"
+        );
     }
 
     #[test]
@@ -339,6 +384,9 @@ mod tests {
         zs.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
         let first = zs[1] - zs[0];
         let mid = zs[zs.len() / 2] - zs[zs.len() / 2 - 1];
-        assert!(first < mid, "first layer {first} not thinner than mid {mid}");
+        assert!(
+            first < mid,
+            "first layer {first} not thinner than mid {mid}"
+        );
     }
 }

@@ -28,7 +28,9 @@ pub fn box_mesh(
     periodic_x: bool,
     periodic_y: bool,
 ) -> HexMesh {
-    box_mesh_graded(nx, ny, nz, x_range, y_range, z_range, periodic_x, periodic_y, 0.0)
+    box_mesh_graded(
+        nx, ny, nz, x_range, y_range, z_range, periodic_x, periodic_y, 0.0,
+    )
 }
 
 /// Like [`box_mesh`] but with tanh grading of the z spacing toward both
@@ -46,9 +48,18 @@ pub fn box_mesh_graded(
     periodic_y: bool,
     beta: f64,
 ) -> HexMesh {
-    assert!(nx > 0 && ny > 0 && nz > 0, "element counts must be positive");
-    assert!(!periodic_x || nx >= 2, "periodic x needs at least 2 elements");
-    assert!(!periodic_y || ny >= 2, "periodic y needs at least 2 elements");
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "element counts must be positive"
+    );
+    assert!(
+        !periodic_x || nx >= 2,
+        "periodic x needs at least 2 elements"
+    );
+    assert!(
+        !periodic_y || ny >= 2,
+        "periodic y needs at least 2 elements"
+    );
     assert!(x_range[1] > x_range[0] && y_range[1] > y_range[0] && z_range[1] > z_range[0]);
 
     // Number of distinct vertex planes per direction.
@@ -124,7 +135,12 @@ pub fn box_mesh_graded(
         }
     }
 
-    HexMesh { vertices, elems, face_tags, curves: Default::default() }
+    HexMesh {
+        vertices,
+        elems,
+        face_tags,
+        curves: Default::default(),
+    }
 }
 
 fn lerp(range: [f64; 2], t: f64) -> f64 {

@@ -23,7 +23,11 @@ pub fn element_nodes(mesh: &HexMesh, e: usize, p: usize) -> [Vec<f64>; 3] {
     let q = gll(p + 1);
     let n = p + 1;
     let corners = mesh.corners(e);
-    let mut coords = [vec![0.0; n * n * n], vec![0.0; n * n * n], vec![0.0; n * n * n]];
+    let mut coords = [
+        vec![0.0; n * n * n],
+        vec![0.0; n * n * n],
+        vec![0.0; n * n * n],
+    ];
 
     // Trilinear base map.
     for k in 0..n {

@@ -186,7 +186,12 @@ impl HexMesh {
                 }
             }
         }
-        HexMesh { vertices, elems, face_tags, curves }
+        HexMesh {
+            vertices,
+            elems,
+            face_tags,
+            curves,
+        }
     }
 }
 

@@ -100,7 +100,9 @@ mod tests {
     #[test]
     fn linear_partition_balanced() {
         let p = partition_linear(10, 3);
-        let counts: Vec<usize> = (0..3).map(|k| p.iter().filter(|&&x| x == k).count()).collect();
+        let counts: Vec<usize> = (0..3)
+            .map(|k| p.iter().filter(|&&x| x == k).count())
+            .collect();
         assert_eq!(counts, vec![4, 3, 3]);
         assert_eq!(p.len(), 10);
     }
@@ -122,7 +124,10 @@ mod tests {
             assert_eq!(total, 64);
             let min = lists.iter().map(|l| l.len()).min().unwrap();
             let max = lists.iter().map(|l| l.len()).max().unwrap();
-            assert!(max - min <= 64 / nparts, "imbalance {min}..{max} for {nparts} parts");
+            assert!(
+                max - min <= 64 / nparts,
+                "imbalance {min}..{max} for {nparts} parts"
+            );
             assert!(min > 0, "empty part with {nparts} parts");
         }
     }

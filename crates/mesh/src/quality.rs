@@ -49,8 +49,14 @@ pub fn element_quality(geom: &GeomFactors) -> Vec<ElementQuality> {
         }
         let emax = extents.iter().cloned().fold(f64::MIN, f64::max);
         let emin = extents.iter().cloned().fold(f64::MAX, f64::min);
-        let jmax = geom.jac[base..base + nn].iter().cloned().fold(f64::MIN, f64::max);
-        let jmin = geom.jac[base..base + nn].iter().cloned().fold(f64::MAX, f64::min);
+        let jmax = geom.jac[base..base + nn]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let jmin = geom.jac[base..base + nn]
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
         out.push(ElementQuality {
             aspect_ratio: emax / emin.max(1e-300),
             jacobian_ratio: jmax / jmin.max(1e-300),

@@ -131,13 +131,25 @@ pub fn classify_node(i: usize, j: usize, k: usize, p: usize) -> NodeClass {
         1 => {
             if on_i {
                 let f = if i == p { 1 } else { 0 };
-                NodeClass::Face { face: f, a: j, b: k }
+                NodeClass::Face {
+                    face: f,
+                    a: j,
+                    b: k,
+                }
             } else if on_j {
                 let f = if j == p { 3 } else { 2 };
-                NodeClass::Face { face: f, a: i, b: k }
+                NodeClass::Face {
+                    face: f,
+                    a: i,
+                    b: k,
+                }
             } else {
                 let f = if k == p { 5 } else { 4 };
-                NodeClass::Face { face: f, a: i, b: j }
+                NodeClass::Face {
+                    face: f,
+                    a: i,
+                    b: j,
+                }
             }
         }
         _ => NodeClass::Interior,
@@ -153,8 +165,16 @@ mod tests {
         let p = 4;
         for (e, &(lo, hi)) in HEX_EDGES.iter().enumerate() {
             // t = 0 lands on the first vertex, t = p on the second.
-            assert_eq!(edge_to_volume(e, 0, p), vertex_lattice(lo, p), "edge {e} start");
-            assert_eq!(edge_to_volume(e, p, p), vertex_lattice(hi, p), "edge {e} end");
+            assert_eq!(
+                edge_to_volume(e, 0, p),
+                vertex_lattice(lo, p),
+                "edge {e} start"
+            );
+            assert_eq!(
+                edge_to_volume(e, p, p),
+                vertex_lattice(hi, p),
+                "edge {e} end"
+            );
         }
     }
 

@@ -33,7 +33,10 @@ pub struct CaseSize {
 impl CaseSize {
     /// The paper's Ra = 10¹⁵ benchmarking case (§6).
     pub fn paper_ra1e15() -> Self {
-        Self { nelem: 108_000_000, order: 7 }
+        Self {
+            nelem: 108_000_000,
+            order: 7,
+        }
     }
 
     /// Nodes per element `(p+1)³`.
@@ -72,7 +75,13 @@ pub struct SolverMix {
 
 impl Default for SolverMix {
     fn default() -> Self {
-        Self { p_iters: 60.0, v_iters: 3.0, t_iters: 2.0, coarse_iters: 10.0, overlapped: true }
+        Self {
+            p_iters: 60.0,
+            v_iters: 3.0,
+            t_iters: 2.0,
+            coarse_iters: 10.0,
+            overlapped: true,
+        }
     }
 }
 
@@ -178,8 +187,8 @@ impl CostModel {
         let n = (self.case.order + 1) as f64;
         let surface_nodes = 6.0 * e.powf(2.0 / 3.0) * n * n;
         let bytes = surface_nodes * 8.0;
-        let per_rank_nic = self.machine.nic_gbs * 1e9 * GS_BW_FRACTION
-            / self.ranks_per_node() as f64;
+        let per_rank_nic =
+            self.machine.nic_gbs * 1e9 * GS_BW_FRACTION / self.ranks_per_node() as f64;
         6.0 * self.machine.link_latency_us * 1e-6 + bytes / per_rank_nic
     }
 
@@ -237,7 +246,12 @@ impl CostModel {
         let other = self.points_per_rank(ranks) * 8.0 * PASSES_OTHER / self.bw()
             + 10.0 * self.machine.launch_latency_us * 1e-6
             + 2.0 * self.allreduce(ranks);
-        StepBreakdown { pressure, velocity, temperature, other }
+        StepBreakdown {
+            pressure,
+            velocity,
+            temperature,
+            other,
+        }
     }
 }
 
@@ -269,16 +283,17 @@ mod tests {
     fn overlap_beats_serial_everywhere() {
         for machine in [lumi(), leonardo()] {
             for ranks in [2048usize, 4096, 8192, 16384] {
-                let mut mix = SolverMix { overlapped: false, ..Default::default() };
-                let serial =
-                    CostModel::new(machine.clone(), CaseSize::paper_ra1e15(), mix)
-                        .time_per_step(ranks)
-                        .total();
+                let mut mix = SolverMix {
+                    overlapped: false,
+                    ..Default::default()
+                };
+                let serial = CostModel::new(machine.clone(), CaseSize::paper_ra1e15(), mix)
+                    .time_per_step(ranks)
+                    .total();
                 mix.overlapped = true;
-                let overlapped =
-                    CostModel::new(machine.clone(), CaseSize::paper_ra1e15(), mix)
-                        .time_per_step(ranks)
-                        .total();
+                let overlapped = CostModel::new(machine.clone(), CaseSize::paper_ra1e15(), mix)
+                    .time_per_step(ranks)
+                    .total();
                 assert!(
                     overlapped < serial,
                     "{} at {ranks}: {overlapped} !< {serial}",
@@ -304,15 +319,18 @@ mod tests {
     fn serial_coarse_grid_degrades_scaling() {
         // Without overlap the latency-bound coarse grid must show up as a
         // visibly worse efficiency at scale — the motivation for §5.3.
-        let mix = SolverMix { overlapped: false, ..Default::default() };
+        let mix = SolverMix {
+            overlapped: false,
+            ..Default::default()
+        };
         let m = CostModel::new(lumi(), CaseSize::paper_ra1e15(), mix);
         let t0 = m.time_per_step(4096).total();
         let t = m.time_per_step(16384).total();
         let eff_serial = t0 * 4096.0 / (t * 16384.0);
 
         let m2 = CostModel::new(lumi(), CaseSize::paper_ra1e15(), SolverMix::default());
-        let eff_overlap = m2.time_per_step(4096).total() * 4096.0
-            / (m2.time_per_step(16384).total() * 16384.0);
+        let eff_overlap =
+            m2.time_per_step(4096).total() * 4096.0 / (m2.time_per_step(16384).total() * 16384.0);
         assert!(
             eff_overlap > eff_serial + 0.02,
             "overlap {eff_overlap} vs serial {eff_serial}"

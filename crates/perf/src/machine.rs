@@ -95,26 +95,41 @@ pub fn table1(machines: &[Machine]) -> String {
         line.push('\n');
         line
     };
-    out.push_str(&row("System", machines.iter().map(|m| m.name.clone()).collect()));
+    out.push_str(&row(
+        "System",
+        machines.iter().map(|m| m.name.clone()).collect(),
+    ));
     out.push_str(&row(
         "Computing device",
         machines.iter().map(|m| m.device.clone()).collect(),
     ));
     out.push_str(&row(
         "Peak TFlop FP64/s",
-        machines.iter().map(|m| format!("{}", m.peak_tflops_fp64)).collect(),
+        machines
+            .iter()
+            .map(|m| format!("{}", m.peak_tflops_fp64))
+            .collect(),
     ));
     out.push_str(&row(
         "Peak BW/s (GB)",
-        machines.iter().map(|m| format!("{}", m.peak_bw_gbs)).collect(),
+        machines
+            .iter()
+            .map(|m| format!("{}", m.peak_bw_gbs))
+            .collect(),
     ));
     out.push_str(&row(
         "No. devices",
-        machines.iter().map(|m| format!("{}", m.n_devices)).collect(),
+        machines
+            .iter()
+            .map(|m| format!("{}", m.n_devices))
+            .collect(),
     ));
     out.push_str(&row(
         "Logical GPUs",
-        machines.iter().map(|m| format!("{}", m.logical_gpus())).collect(),
+        machines
+            .iter()
+            .map(|m| format!("{}", m.logical_gpus()))
+            .collect(),
     ));
     out.push_str(&row(
         "Interconnect",

@@ -184,7 +184,12 @@ mod tests {
         let ra = log_spaced_ra(9.0, 15.0, 30);
         let points = synthetic_nu_ra(&ra, f64::INFINITY, 0.03, 11);
         let fit = fit_scaling_exponent(&points);
-        assert_eq!(fit.classify(0.03), ScalingRegime::Classical, "γ = {}", fit.gamma);
+        assert_eq!(
+            fit.classify(0.03),
+            ScalingRegime::Classical,
+            "γ = {}",
+            fit.gamma
+        );
         assert!(fit.rms_residual < 0.1);
     }
 

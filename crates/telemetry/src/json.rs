@@ -89,7 +89,12 @@ impl Value {
     }
 
     pub fn obj(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
-        Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     pub fn arr(items: impl IntoIterator<Item = Value>) -> Value {
@@ -99,7 +104,10 @@ impl Value {
     /// Parse a JSON document (the whole string must be one value plus
     /// optional surrounding whitespace).
     pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -249,9 +257,8 @@ impl Parser<'_> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err("truncated \\u escape".to_string());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             // Surrogate pairs are not needed for the
@@ -375,8 +382,14 @@ mod tests {
             ("dt", Value::num(1.25e-3)),
             ("converged", Value::Bool(true)),
             ("missing", Value::Null),
-            ("phases", Value::obj([("pressure", Value::num(0.8)), ("other", Value::num(0.2))])),
-            ("iters", Value::arr([Value::int(3), Value::int(4), Value::int(5)])),
+            (
+                "phases",
+                Value::obj([("pressure", Value::num(0.8)), ("other", Value::num(0.2))]),
+            ),
+            (
+                "iters",
+                Value::arr([Value::int(3), Value::int(4), Value::int(5)]),
+            ),
         ]);
         let text = v.to_string();
         let back = Value::parse(&text).unwrap();

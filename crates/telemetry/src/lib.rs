@@ -255,7 +255,10 @@ mod tests {
         let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
         assert!(paths.contains(&"pressure"));
         assert!(paths.contains(&"pressure/krylov"));
-        assert!(tel.metrics().render_prometheus().contains("rbx_steps_total 2"));
+        assert!(tel
+            .metrics()
+            .render_prometheus()
+            .contains("rbx_steps_total 2"));
     }
 
     #[test]

@@ -42,7 +42,13 @@ impl Histogram {
     pub fn new() -> Self {
         let bounds = log_bucket_bounds();
         let n = bounds.len();
-        Self { bounds, counts: vec![0; n], overflow: 0, sum: 0.0, count: 0 }
+        Self {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+            sum: 0.0,
+            count: 0,
+        }
     }
 
     pub fn observe(&mut self, value: f64) {
@@ -91,7 +97,9 @@ impl Default for MetricsRegistry {
 
 impl MetricsRegistry {
     pub fn new() -> Self {
-        Self { map: Mutex::new(BTreeMap::new()) }
+        Self {
+            map: Mutex::new(BTreeMap::new()),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
@@ -100,10 +108,7 @@ impl MetricsRegistry {
 
     pub fn counter_add(&self, name: &str, v: u64) {
         let mut map = self.lock();
-        match map
-            .entry(name.to_string())
-            .or_insert(Metric::Counter(0))
-        {
+        match map.entry(name.to_string()).or_insert(Metric::Counter(0)) {
             Metric::Counter(c) => *c += v,
             _ => debug_assert!(false, "metric {name} is not a counter"),
         }
@@ -275,7 +280,11 @@ mod tests {
         m.histogram_observe("rbx_solve_iterations", 10.0);
         let text = m.render_prometheus();
         // One TYPE line per base name, despite two labelled series.
-        assert_eq!(text.matches("# TYPE rbx_step_verdict_total counter").count(), 1);
+        assert_eq!(
+            text.matches("# TYPE rbx_step_verdict_total counter")
+                .count(),
+            1
+        );
         assert!(text.contains("rbx_step_verdict_total{verdict=\"healthy\"} 7"));
         assert!(text.contains("# TYPE rbx_step_dt gauge"));
         assert!(text.contains("rbx_solve_iterations_sum 10"));

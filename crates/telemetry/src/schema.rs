@@ -46,7 +46,9 @@ fn require_int(v: &Value, key: &str) -> Result<u64, String> {
 fn require_num_or_null(v: &Value, key: &str) -> Result<(), String> {
     let f = require(v, key)?;
     if f.as_f64().is_none() && !matches!(f, Value::Null) {
-        return Err(format!("field {key:?} must be a number or null (non-finite)"));
+        return Err(format!(
+            "field {key:?} must be a number or null (non-finite)"
+        ));
     }
     Ok(())
 }
@@ -73,7 +75,9 @@ pub fn validate_line(line: &str) -> Result<(), String> {
 pub fn validate_record(v: &Value) -> Result<(), String> {
     let schema = require_str(v, "schema")?;
     if schema != TELEMETRY_SCHEMA {
-        return Err(format!("unknown schema {schema:?} (expected {TELEMETRY_SCHEMA:?})"));
+        return Err(format!(
+            "unknown schema {schema:?} (expected {TELEMETRY_SCHEMA:?})"
+        ));
     }
     let kind = require_str(v, "kind")?;
     match kind {
@@ -141,7 +145,10 @@ fn validate_solve(v: &Value) -> Result<(), String> {
         }
     }
     if hist.len() > 16 {
-        return Err(format!("residual_history holds at most 16 entries, got {}", hist.len()));
+        return Err(format!(
+            "residual_history holds at most 16 entries, got {}",
+            hist.len()
+        ));
     }
     Ok(())
 }
@@ -176,7 +183,9 @@ fn validate_summary(v: &Value) -> Result<(), String> {
 pub fn validate_bench(v: &Value) -> Result<(), String> {
     let schema = require_str(v, "schema")?;
     if schema != BENCH_SCHEMA {
-        return Err(format!("unknown schema {schema:?} (expected {BENCH_SCHEMA:?})"));
+        return Err(format!(
+            "unknown schema {schema:?} (expected {BENCH_SCHEMA:?})"
+        ));
     }
     require_str(v, "name")?;
     let columns = require(v, "columns")?
@@ -223,7 +232,10 @@ pub fn bench_record(
     Value::obj([
         ("schema", Value::str(BENCH_SCHEMA)),
         ("name", Value::str(name)),
-        ("columns", Value::arr(columns.iter().map(|c| Value::str(*c)))),
+        (
+            "columns",
+            Value::arr(columns.iter().map(|c| Value::str(*c))),
+        ),
         ("rows", Value::arr(rows.into_iter().map(Value::Arr))),
         ("meta", Value::obj(meta)),
     ])
@@ -251,7 +263,10 @@ mod tests {
                 ]),
             ),
             ("p_iters", Value::int(19)),
-            ("v_iters", Value::arr([Value::int(4), Value::int(4), Value::int(5)])),
+            (
+                "v_iters",
+                Value::arr([Value::int(4), Value::int(4), Value::int(5)]),
+            ),
             ("t_iters", Value::int(4)),
             ("verdict", Value::str("healthy")),
         ])
@@ -279,7 +294,10 @@ mod tests {
 
     #[test]
     fn wrong_schema_rejected() {
-        let rec = Value::obj([("schema", Value::str("rbx.telemetry.v999")), ("kind", Value::str("step"))]);
+        let rec = Value::obj([
+            ("schema", Value::str("rbx.telemetry.v999")),
+            ("kind", Value::str("step")),
+        ]);
         let err = validate_record(&rec).unwrap_err();
         assert!(err.contains("unknown schema"), "{err}");
     }

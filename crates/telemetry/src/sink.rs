@@ -30,13 +30,18 @@ impl JsonlSink {
     /// Create (truncate) the file at `path`.
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self { writer: Some(BufWriter::new(file)), lines: 0 })
+        Ok(Self {
+            writer: Some(BufWriter::new(file)),
+            lines: 0,
+        })
     }
 
     /// Append one record as a single line. Returns `false` if the sink is
     /// dead or the write failed (in which case the sink dies).
     pub fn write(&mut self, record: &Value) -> bool {
-        let Some(w) = self.writer.as_mut() else { return false };
+        let Some(w) = self.writer.as_mut() else {
+            return false;
+        };
         match writeln!(w, "{record}") {
             Ok(()) => {
                 self.lines += 1;
@@ -94,7 +99,13 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(Value::parse(lines[2]).unwrap().get("step").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            Value::parse(lines[2])
+                .unwrap()
+                .get("step")
+                .and_then(Value::as_u64),
+            Some(2)
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -63,7 +63,10 @@ impl Default for SpanTracer {
 
 impl SpanTracer {
     pub fn new() -> Self {
-        Self { state: Mutex::new(TracerState::default()), max_depth: AtomicUsize::new(usize::MAX) }
+        Self {
+            state: Mutex::new(TracerState::default()),
+            max_depth: AtomicUsize::new(usize::MAX),
+        }
     }
 
     /// Cap recording depth; spans nested deeper than `depth` levels are
@@ -90,7 +93,11 @@ impl SpanTracer {
         let record = depth <= self.max_depth.load(Ordering::Relaxed);
         stack.push((path, record));
         drop(st);
-        SpanGuard { tracer: Some(self), start: Instant::now(), counters: Vec::new() }
+        SpanGuard {
+            tracer: Some(self),
+            start: Instant::now(),
+            counters: Vec::new(),
+        }
     }
 
     /// Open a span at an absolute path, regardless of the thread's stack.
@@ -103,14 +110,22 @@ impl SpanTracer {
         let record = depth <= self.max_depth.load(Ordering::Relaxed);
         stack.push((path.to_string(), record));
         drop(st);
-        SpanGuard { tracer: Some(self), start: Instant::now(), counters: Vec::new() }
+        SpanGuard {
+            tracer: Some(self),
+            start: Instant::now(),
+            counters: Vec::new(),
+        }
     }
 
     fn close(&self, elapsed: f64, counters: &[(&'static str, u64)]) {
         let tid = std::thread::current().id();
         let mut st = self.lock();
-        let Some(stack) = st.stacks.get_mut(&tid) else { return };
-        let Some((path, record)) = stack.pop() else { return };
+        let Some(stack) = st.stacks.get_mut(&tid) else {
+            return;
+        };
+        let Some((path, record)) = stack.pop() else {
+            return;
+        };
         if stack.is_empty() {
             st.stacks.remove(&tid);
         }
@@ -137,7 +152,10 @@ impl SpanTracer {
 
     /// A counter summed over all calls of a path.
     pub fn counter(&self, path: &str, key: &str) -> u64 {
-        self.lock().agg.get(path).map_or(0, |a| a.counters.get(key).copied().unwrap_or(0))
+        self.lock()
+            .agg
+            .get(path)
+            .map_or(0, |a| a.counters.get(key).copied().unwrap_or(0))
     }
 
     /// All aggregates, sorted by path.
@@ -150,7 +168,12 @@ impl SpanTracer {
                 let mut counters: Vec<(String, u64)> =
                     a.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
                 counters.sort();
-                SpanStat { path: path.clone(), calls: a.calls, seconds: a.seconds, counters }
+                SpanStat {
+                    path: path.clone(),
+                    calls: a.calls,
+                    seconds: a.seconds,
+                    counters,
+                }
             })
             .collect();
         out.sort_by(|a, b| a.path.cmp(&b.path));
@@ -172,11 +195,17 @@ impl SpanTracer {
         let mut out = String::new();
         out.push_str("# TYPE rbx_span_seconds_total counter\n");
         for s in &snap {
-            out.push_str(&format!("rbx_span_seconds_total{{span=\"{}\"}} {}\n", s.path, s.seconds));
+            out.push_str(&format!(
+                "rbx_span_seconds_total{{span=\"{}\"}} {}\n",
+                s.path, s.seconds
+            ));
         }
         out.push_str("# TYPE rbx_span_calls_total counter\n");
         for s in &snap {
-            out.push_str(&format!("rbx_span_calls_total{{span=\"{}\"}} {}\n", s.path, s.calls));
+            out.push_str(&format!(
+                "rbx_span_calls_total{{span=\"{}\"}} {}\n",
+                s.path, s.calls
+            ));
         }
         out
     }
@@ -194,7 +223,11 @@ pub struct SpanGuard<'a> {
 impl SpanGuard<'_> {
     /// An inert guard: carries no tracer, records nothing on drop.
     pub fn noop() -> SpanGuard<'static> {
-        SpanGuard { tracer: None, start: Instant::now(), counters: Vec::new() }
+        SpanGuard {
+            tracer: None,
+            start: Instant::now(),
+            counters: Vec::new(),
+        }
     }
 
     /// Add to a per-span counter (e.g. bytes moved inside this region).
@@ -237,7 +270,15 @@ mod tests {
             let _d = t.span("velocity");
         }
         let paths: Vec<String> = t.snapshot().into_iter().map(|s| s.path).collect();
-        assert_eq!(paths, vec!["step", "step/pressure", "step/pressure/krylov", "step/velocity"]);
+        assert_eq!(
+            paths,
+            vec![
+                "step",
+                "step/pressure",
+                "step/pressure/krylov",
+                "step/velocity"
+            ]
+        );
         assert_eq!(t.calls("step"), 1);
     }
 

@@ -24,7 +24,13 @@ fn main() {
         ic_noise: 0.05,
         ..Default::default()
     };
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
     let n = sim.n_local();
 
@@ -73,9 +79,15 @@ fn main() {
         total_raw / 1024,
         total_compressed / 1024
     );
-    println!("  worst relative weighted-L2 error: {:.3} %", 100.0 * worst_error);
+    println!(
+        "  worst relative weighted-L2 error: {:.3} %",
+        100.0 * worst_error
+    );
 
-    println!("\nstreaming POD ({} snapshots ingested in-situ):", pod.count());
+    println!(
+        "\nstreaming POD ({} snapshots ingested in-situ):",
+        pod.count()
+    );
     let sv = pod.singular_values();
     let total_energy: f64 = sv.iter().map(|s| s * s).sum();
     for (k, s) in sv.iter().take(5).enumerate() {

@@ -41,7 +41,13 @@ fn main() {
     println!("flux-driven RBC: Ra = {ra:.0e}, imposed flux q = {q:.4} (= 1.5·α)");
     println!("  bottom plate: constant flux; top plate: isothermal at −0.5\n");
 
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
 
     println!("  step      time     ⟨T⟩ bottom   plate −∂T/∂z   Nu(vol)     KE");
@@ -64,10 +70,7 @@ fn main() {
             let t_bottom = t_sum / count.max(1.0);
             let grad = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
             let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, ra, cfg.pr, &comm);
-            let ke = obs.kinetic_energy(
-                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-                &comm,
-            );
+            let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
             println!(
                 "  {step:>5}   {:7.3}   {t_bottom:>9.4}   {grad:>12.4}   {nu_v:7.4}   {ke:9.3e}",
                 sim.state.time

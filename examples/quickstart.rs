@@ -30,7 +30,13 @@ fn main() {
     );
     println!("  Ra = {:.0e}, Pr = {}, dt = {}", cfg.ra, cfg.pr, cfg.dt);
 
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
 
     println!("\n  step      time        KE        Nu(vol)   Nu(wall)  p-iters");
@@ -39,10 +45,7 @@ fn main() {
         assert!(stats.converged, "solver failed to converge: {stats:?}");
         if step % 25 == 0 {
             let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
-            let ke = obs.kinetic_energy(
-                [&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]],
-                &comm,
-            );
+            let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
             let nu_v = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
             let nu_w = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
             println!(

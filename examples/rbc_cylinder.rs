@@ -36,7 +36,13 @@ fn main() {
         cfg.ra
     );
 
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
 
     for step in 1..=steps {
@@ -76,10 +82,8 @@ fn main() {
     let n = sim.n_local();
     let umag: Vec<f64> = (0..n)
         .map(|i| {
-            (sim.state.u[0][i].powi(2)
-                + sim.state.u[1][i].powi(2)
-                + sim.state.u[2][i].powi(2))
-            .sqrt()
+            (sim.state.u[0][i].powi(2) + sim.state.u[1][i].powi(2) + sim.state.u[2][i].powi(2))
+                .sqrt()
         })
         .collect();
     let u_aa = sample_slice(&sim.geom, &umag, SliceAxis::Z, z_aa);
@@ -89,7 +93,11 @@ fn main() {
     // Full 3-D field for ParaView/VisIt.
     rbx::io::write_vtk(
         &out.join("state.vtk"),
-        [&sim.geom.coords[0], &sim.geom.coords[1], &sim.geom.coords[2]],
+        [
+            &sim.geom.coords[0],
+            &sim.geom.coords[1],
+            &sim.geom.coords[2],
+        ],
         sim.geom.nx1,
         sim.geom.nelv,
         &[
@@ -100,7 +108,10 @@ fn main() {
     )
     .unwrap();
 
-    println!("\n  wrote Fig. 1-style slices + state.vtk to {}", out.display());
+    println!(
+        "\n  wrote Fig. 1-style slices + state.vtk to {}",
+        out.display()
+    );
     let pct = sim.timers.percentages();
     println!(
         "  phase split: P {:.0} % | V {:.0} % | T {:.0} % | other {:.0} %",

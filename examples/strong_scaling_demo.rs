@@ -11,9 +11,7 @@
 
 use rbx::comm::{run_on_ranks, Communicator};
 use rbx::core::{Simulation, SolverConfig};
-use rbx::perf::{
-    leonardo, lumi, strong_scaling_sweep, CaseSize, CostModel, SolverMix,
-};
+use rbx::perf::{leonardo, lumi, strong_scaling_sweep, CaseSize, CostModel, SolverMix};
 
 fn main() {
     // ---- measured: the real solver on 1..=4 thread ranks -----------------
@@ -27,7 +25,10 @@ fn main() {
     let warmup = 5;
     let measured_steps = 20;
     println!("measured strong scaling (thread-backed ranks, real solver)");
-    println!("  {} steps averaged after {} warm-up steps\n", measured_steps, warmup);
+    println!(
+        "  {} steps averaged after {} warm-up steps\n",
+        measured_steps, warmup
+    );
     println!("  ranks   elems/rank   time/step [ms]   speedup   efficiency");
 
     let max_ranks = std::thread::available_parallelism()

@@ -37,7 +37,11 @@ fn error_bounds_hold_on_solver_fields() {
     let comm = SingleComm::new();
     let _ = &comm;
     for eps in [0.001, 0.01, 0.05] {
-        let cfg = CompressionConfig { error_bound: eps, quant_bits: None, codec: Codec::Range };
+        let cfg = CompressionConfig {
+            error_bound: eps,
+            quant_bits: None,
+            codec: Codec::Range,
+        };
         let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
         let recon = decompress_field(&c, &basis);
         let err = weighted_l2_error(&sim.state.t, &recon, &sim.geom.mass);
@@ -56,7 +60,11 @@ fn paper_operating_point_reduction() {
     // laptop-Ra fields are smoother than Ra = 10¹¹ turbulence, so the
     // achievable reduction is at least as large.
     let (sim, basis) = developed_fields();
-    let cfg = CompressionConfig { error_bound: 0.025, quant_bits: Some(16), codec: Codec::Range };
+    let cfg = CompressionConfig {
+        error_bound: 0.025,
+        quant_bits: Some(16),
+        codec: Codec::Range,
+    };
     let c = compress_field(&sim.state.u[2], &sim.geom, &basis, &cfg);
     let recon = decompress_field(&c, &basis);
     let err = weighted_l2_error(&sim.state.u[2], &recon, &sim.geom.mass);
@@ -74,7 +82,11 @@ fn codecs_agree_on_reconstruction() {
     let (sim, basis) = developed_fields();
     let mut reference: Option<Vec<f64>> = None;
     for codec in [Codec::Raw, Codec::Rle, Codec::Range] {
-        let cfg = CompressionConfig { error_bound: 0.01, quant_bits: Some(16), codec };
+        let cfg = CompressionConfig {
+            error_bound: 0.01,
+            quant_bits: Some(16),
+            codec,
+        };
         let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
         let recon = decompress_field(&c, &basis);
         match &reference {
@@ -93,13 +105,21 @@ fn entropy_codecs_beat_raw() {
     let (sim, basis) = developed_fields();
     let mut sizes = std::collections::HashMap::new();
     for codec in [Codec::Raw, Codec::Rle, Codec::Range] {
-        let cfg = CompressionConfig { error_bound: 0.01, quant_bits: Some(16), codec };
+        let cfg = CompressionConfig {
+            error_bound: 0.01,
+            quant_bits: Some(16),
+            codec,
+        };
         let c = compress_field(&sim.state.t, &sim.geom, &basis, &cfg);
         sizes.insert(format!("{codec:?}"), c.data.len());
     }
     let raw = sizes["Raw"];
     assert!(sizes["Rle"] < raw, "RLE {} !< raw {raw}", sizes["Rle"]);
-    assert!(sizes["Range"] < raw, "Range {} !< raw {raw}", sizes["Range"]);
+    assert!(
+        sizes["Range"] < raw,
+        "Range {} !< raw {raw}",
+        sizes["Range"]
+    );
 }
 
 #[test]
@@ -117,7 +137,11 @@ fn compressed_payload_survives_io_roundtrip() {
         &[StepData {
             step: 1,
             time: sim.state.time,
-            vars: vec![Variable::bytes("t_compressed", vec![c.data.len() as u64], c.data.clone())],
+            vars: vec![Variable::bytes(
+                "t_compressed",
+                vec![c.data.len() as u64],
+                c.data.clone(),
+            )],
         }],
     )
     .unwrap();

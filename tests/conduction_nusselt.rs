@@ -16,7 +16,13 @@ fn box_conduction_stays_at_nu_one() {
         ic_noise: 0.0,
         ..Default::default()
     };
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
     for _ in 0..20 {
         let stats = sim.step();
@@ -46,7 +52,13 @@ fn cylinder_conduction_stays_at_nu_one() {
         ic_noise: 0.0,
         ..Default::default()
     };
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
     for _ in 0..15 {
         let stats = sim.step();
@@ -54,7 +66,10 @@ fn cylinder_conduction_stays_at_nu_one() {
     }
     let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
     let nu_hot = obs.nusselt_wall(&sim.state.t, BoundaryTag::HotWall, &comm);
-    assert!((nu_hot - 1.0).abs() < 1e-4, "cylinder hot-plate Nu {nu_hot}");
+    assert!(
+        (nu_hot - 1.0).abs() < 1e-4,
+        "cylinder hot-plate Nu {nu_hot}"
+    );
     let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
     assert!(ke < 1e-10, "cylinder spurious motion, KE = {ke:.3e}");
 }
@@ -72,7 +87,13 @@ fn supercritical_convection_raises_nusselt() {
         ic_noise: 0.05,
         ..Default::default()
     };
-    let mut sim = Simulation::new(cfg.clone(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
     let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
     let ke0 = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
@@ -83,7 +104,10 @@ fn supercritical_convection_raises_nusselt() {
     let obs = Observables::new(&sim.geom, &case.mesh, &sim.my_elems);
     let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], &comm);
     let nu = obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg.ra, cfg.pr, &comm);
-    assert!(ke > ke0 + 1e-8, "no convective growth: {ke0:.3e} → {ke:.3e}");
+    assert!(
+        ke > ke0 + 1e-8,
+        "no convective growth: {ke0:.3e} → {ke:.3e}"
+    );
     assert!(nu > 1.005, "volume Nu {nu} did not rise above 1");
 }
 

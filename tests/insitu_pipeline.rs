@@ -66,7 +66,10 @@ fn insitu_pod_matches_offline_on_solver_data() {
         );
         compared += 1;
     }
-    assert!(compared >= 2, "too few energetic modes compared: {compared}");
+    assert!(
+        compared >= 2,
+        "too few energetic modes compared: {compared}"
+    );
 }
 
 #[test]

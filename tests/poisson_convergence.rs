@@ -12,7 +12,11 @@ use rbx::mesh::generators::box_mesh;
 use rbx::mesh::{BoundaryTag, GeomFactors};
 use std::f64::consts::PI;
 
-const ALL: [BoundaryTag; 3] = [BoundaryTag::Wall, BoundaryTag::HotWall, BoundaryTag::ColdWall];
+const ALL: [BoundaryTag; 3] = [
+    BoundaryTag::Wall,
+    BoundaryTag::HotWall,
+    BoundaryTag::ColdWall,
+];
 
 /// Solve −∇²u = 3π²·sin(πx)sin(πy)sin(πz) with homogeneous Dirichlet BCs
 /// and return the max nodal error.
@@ -26,7 +30,13 @@ fn poisson_error(order: usize) -> f64 {
     let mask = dirichlet_mask(&mesh, order, &my, &ALL, &gs, &comm);
     let mult = gs.multiplicity(&comm);
     let dp = DotProduct::new(&mult);
-    let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: 0.0 };
+    let op = HelmholtzOp {
+        geom: &geom,
+        gs: &gs,
+        mask: &mask,
+        h1: 1.0,
+        h2: 0.0,
+    };
     let diag = assembled_diagonal(&geom, &gs, 1.0, 0.0, &comm);
 
     let n = geom.total_nodes();
@@ -38,7 +48,9 @@ fn poisson_error(order: usize) -> f64 {
         })
         .collect();
     // Weak rhs: B·f, assembled and masked.
-    let mut rhs: Vec<f64> = (0..n).map(|i| geom.mass[i] * 3.0 * PI * PI * exact[i]).collect();
+    let mut rhs: Vec<f64> = (0..n)
+        .map(|i| geom.mass[i] * 3.0 * PI * PI * exact[i])
+        .collect();
     gs.apply(&mut rhs, rbx::gs::GsOp::Add, &comm);
     hadamard(&mask, &mut rhs);
 
@@ -88,7 +100,13 @@ fn helmholtz_manufactured_solution() {
     let mult = gs.multiplicity(&comm);
     let dp = DotProduct::new(&mult);
     // H = λB + A: h1 = 1 (stiffness), h2 = λ (mass).
-    let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: lambda };
+    let op = HelmholtzOp {
+        geom: &geom,
+        gs: &gs,
+        mask: &mask,
+        h1: 1.0,
+        h2: lambda,
+    };
     let diag = assembled_diagonal(&geom, &gs, 1.0, lambda, &comm);
 
     let n = geom.total_nodes();
@@ -148,7 +166,13 @@ fn poisson_on_curved_cylinder_mesh() {
     let mask = dirichlet_mask(&mesh, order, &my, &ALL, &gs, &comm);
     let mult = gs.multiplicity(&comm);
     let dp = DotProduct::new(&mult);
-    let op = HelmholtzOp { geom: &geom, gs: &gs, mask: &mask, h1: 1.0, h2: 0.0 };
+    let op = HelmholtzOp {
+        geom: &geom,
+        gs: &gs,
+        mask: &mask,
+        h1: 1.0,
+        h2: 0.0,
+    };
     let diag = assembled_diagonal(&geom, &gs, 1.0, 0.0, &comm);
 
     let n = geom.total_nodes();

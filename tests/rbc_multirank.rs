@@ -75,9 +75,18 @@ fn four_ranks_match_single_rank_fields() {
     }
     // Iterative tolerances allow tiny differences; fields must agree far
     // below physical scales.
-    assert!(max_dt < 1e-7, "temperature diverged across ranks: {max_dt:.3e}");
-    assert!(max_du < 1e-7, "velocity diverged across ranks: {max_du:.3e}");
-    assert!(max_dp < 1e-5, "pressure diverged across ranks: {max_dp:.3e}");
+    assert!(
+        max_dt < 1e-7,
+        "temperature diverged across ranks: {max_dt:.3e}"
+    );
+    assert!(
+        max_du < 1e-7,
+        "velocity diverged across ranks: {max_du:.3e}"
+    );
+    assert!(
+        max_dp < 1e-5,
+        "pressure diverged across ranks: {max_dp:.3e}"
+    );
 }
 
 #[test]
@@ -146,7 +155,11 @@ fn cylinder_multirank_matches_single_rank() {
         for _ in 0..steps {
             assert!(sim.step().converged);
         }
-        (sim.my_elems.clone(), sim.state.t.clone(), sim.state.u[2].clone())
+        (
+            sim.my_elems.clone(),
+            sim.state.t.clone(),
+            sim.state.u[2].clone(),
+        )
     });
 
     let mut max_d = 0.0f64;
@@ -159,5 +172,8 @@ fn cylinder_multirank_matches_single_rank() {
             }
         }
     }
-    assert!(max_d < 1e-7, "cylinder fields diverged across ranks: {max_d:.3e}");
+    assert!(
+        max_d < 1e-7,
+        "cylinder fields diverged across ranks: {max_d:.3e}"
+    );
 }

@@ -43,8 +43,7 @@ fn nan_mid_flight_recovers_via_rollback_and_dt_reduction() {
         ..Default::default()
     };
     let faults = FaultPlan::new(42).inject_nan_at(5);
-    let mut runner =
-        ResilientRunner::new(CheckpointSet::new(&dir, 3), policy).with_faults(faults);
+    let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy).with_faults(faults);
 
     let mut observed = Vec::new();
     let report = runner
@@ -67,9 +66,14 @@ fn nan_mid_flight_recovers_via_rollback_and_dt_reduction() {
         .events
         .iter()
         .any(|e| matches!(e, RecoveryEvent::Divergence { istep: 5, .. })));
-    assert!(report.events.iter().any(
-        |e| matches!(e, RecoveryEvent::RolledBack { from_step: 5, to_step: 4, .. })
-    ));
+    assert!(report.events.iter().any(|e| matches!(
+        e,
+        RecoveryEvent::RolledBack {
+            from_step: 5,
+            to_step: 4,
+            ..
+        }
+    )));
     assert_eq!(runner.faults.fired.len(), 1);
 
     // The diverged attempt of step 5 never reaches the observer; only its
@@ -81,8 +85,13 @@ fn nan_mid_flight_recovers_via_rollback_and_dt_reduction() {
 fn bit_flipped_checkpoint_is_rejected_and_older_generation_restores() {
     let case = rbx::core::rbc_box_case(1.0, 2, 2, false, 1);
     let comm = SingleComm::new();
-    let mut sim =
-        Simulation::new(test_cfg(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        test_cfg(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
 
     let dir = tmpdir("bitflip_fallback");
@@ -100,14 +109,23 @@ fn bit_flipped_checkpoint_is_rejected_and_older_generation_restores() {
     bytes[mid] ^= 0x08;
     std::fs::write(&newest, &bytes).unwrap();
 
-    let mut fresh =
-        Simulation::new(test_cfg(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut fresh = Simulation::new(
+        test_cfg(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     fresh.init_rbc();
     let outcome = set
         .restore_latest(&mut fresh)
         .expect("an older intact generation must restore");
 
-    assert_eq!(outcome.path, set.path_for_step(3), "must fall back one generation");
+    assert_eq!(
+        outcome.path,
+        set.path_for_step(3),
+        "must fall back one generation"
+    );
     assert_eq!(fresh.state.istep, 3);
     assert_eq!(outcome.rejected.len(), 1);
     let (rejected_path, err) = &outcome.rejected[0];
@@ -127,8 +145,13 @@ fn bit_flipped_checkpoint_is_rejected_and_older_generation_restores() {
 fn persistent_divergence_fails_loud_not_silent() {
     let case = rbx::core::rbc_box_case(1.0, 2, 2, false, 1);
     let comm = SingleComm::new();
-    let mut sim =
-        Simulation::new(test_cfg(), &case.mesh, &case.part, case.elems[0].clone(), &comm);
+    let mut sim = Simulation::new(
+        test_cfg(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        &comm,
+    );
     sim.init_rbc();
 
     let dir = tmpdir("exhaustion");
@@ -143,10 +166,14 @@ fn persistent_divergence_fails_loud_not_silent() {
         .inject_nan_at(4)
         .inject_nan_at(5)
         .inject_nan_at(6);
-    let mut runner =
-        ResilientRunner::new(CheckpointSet::new(&dir, 3), policy).with_faults(faults);
+    let mut runner = ResilientRunner::new(CheckpointSet::new(&dir, 3), policy).with_faults(faults);
 
-    let err = runner.run(&mut sim, 20).expect_err("budget must be exhausted");
+    let err = runner
+        .run(&mut sim, 20)
+        .expect_err("budget must be exhausted");
     let msg = err.to_string();
-    assert!(msg.contains("2"), "error must report the retry budget: {msg}");
+    assert!(
+        msg.contains("2"),
+        "error must report the retry budget: {msg}"
+    );
 }

@@ -30,12 +30,14 @@ fn tmpdir(tag: &str) -> PathBuf {
     dir
 }
 
-fn make_sim<'a>(
-    case: &'a rbx::core::CaseSetup,
-    comm: &'a SingleComm,
-) -> Simulation<'a> {
-    let mut sim =
-        Simulation::new(test_cfg(), &case.mesh, &case.part, case.elems[0].clone(), comm);
+fn make_sim<'a>(case: &'a rbx::core::CaseSetup, comm: &'a SingleComm) -> Simulation<'a> {
+    let mut sim = Simulation::new(
+        test_cfg(),
+        &case.mesh,
+        &case.part,
+        case.elems[0].clone(),
+        comm,
+    );
     sim.init_rbc();
     sim
 }
@@ -101,7 +103,10 @@ fn enabled_run_emits_valid_stream_with_phase_accounting() {
     let snap = tel.tracer().snapshot();
     let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
     for want in ["gs/local", "gs/scatter", "schwarz/coarse", "schwarz/fdm"] {
-        assert!(paths.contains(&want), "missing span path {want:?} in {paths:?}");
+        assert!(
+            paths.contains(&want),
+            "missing span path {want:?} in {paths:?}"
+        );
     }
 
     // Prometheus snapshot exports both metrics and span aggregates.
@@ -116,7 +121,10 @@ fn enabled_run_emits_valid_stream_with_phase_accounting() {
         "rbx_span_seconds_total",
         "rbx_step_wall_seconds",
     ] {
-        assert!(text.contains(needle), "Prometheus snapshot missing {needle:?}");
+        assert!(
+            text.contains(needle),
+            "Prometheus snapshot missing {needle:?}"
+        );
     }
 }
 
@@ -138,9 +146,11 @@ fn recovery_events_bridge_into_the_stream() {
         ..Default::default()
     };
     let faults = FaultPlan::new(42).inject_nan_at(3);
-    let mut runner = ResilientRunner::new(CheckpointSet::new(dir.join("chk"), 3), policy)
-        .with_faults(faults);
-    let report = runner.run_with(&mut sim, 5, |_, _| {}).expect("run completes");
+    let mut runner =
+        ResilientRunner::new(CheckpointSet::new(dir.join("chk"), 3), policy).with_faults(faults);
+    let report = runner
+        .run_with(&mut sim, 5, |_, _| {})
+        .expect("run completes");
     assert_eq!(report.rollbacks, 1);
     tel.flush();
 
@@ -156,8 +166,14 @@ fn recovery_events_bridge_into_the_stream() {
 
     // The same story is visible as labelled counters.
     let m = tel.metrics();
-    assert_eq!(m.counter("rbx_recovery_events_total{event=\"divergence\"}"), 1);
-    assert_eq!(m.counter("rbx_recovery_events_total{event=\"rolled_back\"}"), 1);
+    assert_eq!(
+        m.counter("rbx_recovery_events_total{event=\"divergence\"}"),
+        1
+    );
+    assert_eq!(
+        m.counter("rbx_recovery_events_total{event=\"rolled_back\"}"),
+        1
+    );
 }
 
 #[test]

@@ -39,7 +39,10 @@ fn final_temperature(dt: f64) -> Vec<f64> {
 }
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -52,7 +55,10 @@ fn splitting_scheme_converges_fast_in_time() {
     let r23 = e2 / e3;
     eprintln!("temporal errors: {e1:.3e} / {e2:.3e} / {e3:.3e}; ratios {r12:.2}, {r23:.2}");
     // Monotone decrease…
-    assert!(e1 > e2 && e2 > e3, "errors not monotone: {e1:.3e}, {e2:.3e}, {e3:.3e}");
+    assert!(
+        e1 > e2 && e2 > e3,
+        "errors not monotone: {e1:.3e}, {e2:.3e}, {e3:.3e}"
+    );
     // …supra-second-order at moderate Δt…
     assert!(
         r12 > 2.8,
