@@ -1,0 +1,191 @@
+//! Typed view of `audit.toml`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::toml::{self, Document, Table, Value};
+
+pub const SCHEMA: &str = "rbx.audit.v1";
+
+/// Workspace audit configuration (see `audit.toml` at the repo root).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditConfig {
+    /// Files where panic paths (`unwrap/expect/panic!/assert!` and bare
+    /// slice indexing budgets) are denied: the per-step kernels.
+    pub hot_panic_paths: Vec<String>,
+    /// Files held to the weaker "no `unwrap()`/`expect()`/`panic!`"
+    /// contract (the old grep-based panic-audit scope: checkpoint + io).
+    pub no_panic_paths: Vec<String>,
+    /// Audited bare-indexing site count per hot file. More sites than the
+    /// budget is an error; fewer means the budget is stale (a note).
+    pub hot_index_budget: BTreeMap<String, usize>,
+    /// Per-file list of per-step kernel functions in which allocation
+    /// (`Vec::new/vec!/to_vec/clone/collect/format!/…`) is flagged.
+    pub hot_alloc_fns: BTreeMap<String, Vec<String>>,
+    /// Audited `as`-cast site count per file (the lossy-cast inventory).
+    pub cast_budget: BTreeMap<String, usize>,
+    /// Crate directories whose span/metric name literals are checked
+    /// against the `rbx.telemetry.v1` registry.
+    pub telemetry_crates: Vec<String>,
+}
+
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn str_array(table: Option<&Table>, key: &str) -> Vec<String> {
+    match table.and_then(|t| t.get(key)) {
+        Some(Value::StrArray(v)) => v.clone(),
+        _ => Vec::new(),
+    }
+}
+
+fn budget_map(table: Option<&Table>) -> Result<BTreeMap<String, usize>, ConfigError> {
+    let mut out = BTreeMap::new();
+    if let Some(t) = table {
+        for (k, v) in &t.entries {
+            match v {
+                Value::Int(n) if *n >= 0 => {
+                    out.insert(k.clone(), *n as usize);
+                }
+                _ => {
+                    return Err(ConfigError(format!(
+                        "budget entry `{k}` must be a non-negative integer"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fn_map(table: Option<&Table>) -> Result<BTreeMap<String, Vec<String>>, ConfigError> {
+    let mut out = BTreeMap::new();
+    if let Some(t) = table {
+        for (k, v) in &t.entries {
+            match v {
+                Value::StrArray(fns) => {
+                    out.insert(k.clone(), fns.clone());
+                }
+                _ => {
+                    return Err(ConfigError(format!(
+                        "entry `{k}` must be an array of function names"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl AuditConfig {
+    pub fn parse(src: &str) -> Result<Self, ConfigError> {
+        let doc = toml::parse(src).map_err(|e| ConfigError(e.to_string()))?;
+        match doc.get("", "schema") {
+            Some(Value::Str(s)) if s == SCHEMA => {}
+            Some(Value::Str(s)) => {
+                return Err(ConfigError(format!(
+                    "unsupported schema `{s}` (expected `{SCHEMA}`)"
+                )))
+            }
+            _ => return Err(ConfigError("missing `schema` key".into())),
+        }
+        Ok(Self {
+            hot_panic_paths: str_array(doc.table("rules.hot_panic"), "paths"),
+            no_panic_paths: str_array(doc.table("rules.no_panic"), "paths"),
+            hot_index_budget: budget_map(doc.table("rules.hot_index"))?,
+            hot_alloc_fns: fn_map(doc.table("rules.hot_alloc"))?,
+            cast_budget: budget_map(doc.table("rules.casts"))?,
+            telemetry_crates: str_array(doc.table("rules.telemetry_names"), "crates"),
+        })
+    }
+
+    /// Serialize back to the canonical `audit.toml` layout;
+    /// `parse(serialize(c)) == c`.
+    pub fn serialize(&self) -> String {
+        let mut doc = Document::default();
+        doc.tables.push(Table {
+            name: String::new(),
+            entries: vec![("schema".into(), Value::Str(SCHEMA.into()))],
+        });
+        doc.tables.push(Table {
+            name: "rules.hot_panic".into(),
+            entries: vec![(
+                "paths".into(),
+                Value::StrArray(self.hot_panic_paths.clone()),
+            )],
+        });
+        doc.tables.push(Table {
+            name: "rules.no_panic".into(),
+            entries: vec![("paths".into(), Value::StrArray(self.no_panic_paths.clone()))],
+        });
+        doc.tables.push(Table {
+            name: "rules.hot_index".into(),
+            entries: self
+                .hot_index_budget
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Int(*v as i64)))
+                .collect(),
+        });
+        doc.tables.push(Table {
+            name: "rules.hot_alloc".into(),
+            entries: self
+                .hot_alloc_fns
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::StrArray(v.clone())))
+                .collect(),
+        });
+        doc.tables.push(Table {
+            name: "rules.casts".into(),
+            entries: self
+                .cast_budget
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Int(*v as i64)))
+                .collect(),
+        });
+        doc.tables.push(Table {
+            name: "rules.telemetry_names".into(),
+            entries: vec![(
+                "crates".into(),
+                Value::StrArray(self.telemetry_crates.clone()),
+            )],
+        });
+        toml::serialize(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_round_trip() {
+        let mut cfg = AuditConfig {
+            hot_panic_paths: vec!["crates/la/src/fdm.rs".into()],
+            no_panic_paths: vec!["crates/io/src/engine.rs".into()],
+            ..Default::default()
+        };
+        cfg.hot_index_budget
+            .insert("crates/la/src/fdm.rs".into(), 7);
+        cfg.hot_alloc_fns
+            .insert("crates/la/src/fdm.rs".into(), vec!["apply_add".into()]);
+        cfg.cast_budget.insert("crates/gs/src/lib.rs".into(), 25);
+        cfg.telemetry_crates.push("crates/core".into());
+        let text = cfg.serialize();
+        let back = AuditConfig::parse(&text).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        assert!(AuditConfig::parse("schema = \"rbx.audit.v2\"\n").is_err());
+        assert!(AuditConfig::parse("[rules.hot_panic]\npaths = []\n").is_err());
+    }
+}

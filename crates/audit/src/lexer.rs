@@ -1,0 +1,444 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! The analyzer deliberately avoids `syn` (the build is offline and
+//! vendored) — the rules it enforces are all expressible over a token
+//! stream with line numbers plus the comment list, which this module
+//! produces. It understands exactly as much of Rust's lexical grammar as
+//! needed to not mis-tokenize real code: line/nested-block comments,
+//! (raw/byte) string literals, char literals vs. lifetimes, numbers and
+//! identifiers. Everything else is a single-character punct token.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal, unescaped content not interpreted (kept verbatim
+    /// between the quotes; escapes are *not* resolved — the rules only
+    /// inspect plain names that contain no escapes).
+    Str(String),
+    /// Char literal (content irrelevant to every rule).
+    Char,
+    /// Lifetime like `'a`.
+    Lifetime,
+    /// Numeric literal (value irrelevant to every rule).
+    Num,
+    /// Any other single character: `. ( ) [ ] { } ! : ; , # & …`
+    Punct(char),
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(i) if i == s)
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.kind, TokenKind::Punct(p) if p == c)
+    }
+}
+
+/// A comment with its location; `trailing` means code precedes it on the
+/// same line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    pub trailing: bool,
+}
+
+/// Token stream + comments for one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Never fails: unterminated constructs consume to
+/// end of input (the workspace compiles, so this is only defensive).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    // Tracks whether any token has been produced on the current line, to
+    // classify comments as trailing.
+    let mut code_on_line = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect::<String>().trim().to_string(),
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut j = start;
+                let mut depth = 1usize;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                comments.push(Comment {
+                    line: start_line,
+                    text: b[start..end].iter().collect::<String>().trim().to_string(),
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (s, nl, j) = scan_string(&b, i + 1);
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+                line += nl;
+                i = j;
+                code_on_line = true;
+            }
+            'r' | 'b' if starts_prefixed_string(&b, i) => {
+                let (tok, nl, j) = scan_prefixed_string(&b, i);
+                tokens.push(Token { kind: tok, line });
+                line += nl;
+                i = j;
+                code_on_line = true;
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`,
+                // `'\n'`): a lifetime is `'` + ident chars NOT followed by
+                // a closing `'`.
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') && b[j] != '\\' {
+                    let mut k = j;
+                    while k < b.len() && (b[k].is_alphanumeric() || b[k] == '_') {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == '\'' && k == j + 1 {
+                        // Single ident char closed by a quote: char literal.
+                        tokens.push(Token {
+                            kind: TokenKind::Char,
+                            line,
+                        });
+                        i = k + 1;
+                    } else {
+                        tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            line,
+                        });
+                        i = k;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to the
+                    // closing quote, honoring escapes.
+                    while j < b.len() {
+                        if b[j] == '\\' {
+                            j += 2;
+                        } else if b[j] == '\'' {
+                            j += 1;
+                            break;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Char,
+                        line,
+                    });
+                    i = j;
+                }
+                code_on_line = true;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+                code_on_line = true;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_alphanumeric()
+                        || b[j] == '_'
+                        || b[j] == '.' && {
+                            // `1.0` continues the number; `1.max(2)` does not.
+                            b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        })
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Num,
+                    line,
+                });
+                i = j;
+                code_on_line = true;
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+                code_on_line = true;
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+fn starts_prefixed_string(b: &[char], i: usize) -> bool {
+    // r"..." r#"..."# b"..." br"..." rb"..." b'..'
+    let rest = &b[i..];
+    matches!(
+        rest,
+        ['r', '"', ..]
+            | ['b', '"', ..]
+            | ['r', '#', ..]
+            | ['b', 'r', '"', ..]
+            | ['b', 'r', '#', ..]
+            | ['b', '\'', ..]
+    )
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` starting at the
+/// prefix. Returns (token, newlines consumed, next index).
+fn scan_prefixed_string(b: &[char], i: usize) -> (TokenKind, usize, usize) {
+    let mut j = i;
+    let mut raw = false;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+        raw |= b[j] == 'r';
+        j += 1;
+    }
+    if j < b.len() && b[j] == '\'' {
+        // Byte char literal b'x' / b'\n'.
+        let mut k = j + 1;
+        while k < b.len() {
+            if b[k] == '\\' {
+                k += 2;
+            } else if b[k] == '\'' {
+                k += 1;
+                break;
+            } else {
+                k += 1;
+            }
+        }
+        return (TokenKind::Char, 0, k);
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != '"' {
+        // `r#ident` raw identifier — rewind and emit the ident.
+        let mut k = j;
+        while k < b.len() && (b[k].is_alphanumeric() || b[k] == '_') {
+            k += 1;
+        }
+        return (TokenKind::Ident(b[j..k].iter().collect()), 0, k);
+    }
+    j += 1; // past opening quote
+    let start = j;
+    let mut nl = 0usize;
+    if raw {
+        'outer: while j < b.len() {
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut h = 0usize;
+                while k < b.len() && b[k] == '#' && h < hashes {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    let s: String = b[start..j].iter().collect();
+                    return (TokenKind::Str(s), nl, k);
+                }
+            }
+            j += 1;
+            continue 'outer;
+        }
+        (TokenKind::Str(b[start..j].iter().collect()), nl, j)
+    } else {
+        let (s, more_nl, k) = scan_string(b, start);
+        (TokenKind::Str(s), nl + more_nl, k)
+    }
+}
+
+/// Scan a normal string body starting just after the opening quote.
+fn scan_string(b: &[char], start: usize) -> (String, usize, usize) {
+    let mut j = start;
+    let mut nl = 0usize;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => {
+                let s: String = b[start..j].iter().collect();
+                return (s, nl, j + 1);
+            }
+            _ => j += 1,
+        }
+    }
+    (b[start..j].iter().collect(), nl, j)
+}
+
+/// Index of the first token belonging to `#[cfg(test)]` (the `#`), or
+/// `tokens.len()` when the file has no test section. The workspace keeps
+/// test modules at the end of each file, so everything before this index
+/// is production code.
+pub fn test_section_start(tokens: &[Token]) -> usize {
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']')
+        {
+            return i;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// First source line of the test section (`usize::MAX` when none): tokens
+/// and comments on lines >= this are ignored by every rule.
+pub fn test_section_line(tokens: &[Token]) -> usize {
+    let i = test_section_start(tokens);
+    if i == tokens.len() {
+        usize::MAX
+    } else {
+        tokens[i].line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn f() {\n  x.unwrap()\n}\n");
+        let idents: Vec<(&str, usize)> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some((s.as_str(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("f", 1), ("x", 2), ("unwrap", 2)]);
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let l =
+            lex("let s = \"a // not comment\"; // real comment\n/* block\n spans */ let t = 1;");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "a // not comment")));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "real comment");
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[1].text, "block\n spans");
+        assert!(!l.comments[1].trailing);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let l = lex("let s = r#\"has \" quote\"#; x.unwrap();");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s.contains("quote"))));
+        assert!(l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn test_section_detection() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let l = lex(src);
+        assert_eq!(test_section_line(&l.tokens), 2);
+        let src2 = "fn prod() {}\n";
+        let l2 = lex(src2);
+        assert_eq!(test_section_line(&l2.tokens), usize::MAX);
+    }
+
+    #[test]
+    fn numbers_with_dots_and_method_calls() {
+        let l = lex("let a = 1.0e-3; let b = 1.max(2);");
+        assert!(l.tokens.iter().any(|t| t.is_ident("max")));
+        // `1.0e-3` must not produce a `max`-adjacent mis-lex; count nums.
+        let nums = l.tokens.iter().filter(|t| t.kind == TokenKind::Num).count();
+        assert!(nums >= 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! # rbx-audit — domain-aware static analysis for the RBX workspace
+//!
+//! Generic tooling (clippy, grep) cannot express the invariants that
+//! actually matter for this codebase: panic-free and allocation-free
+//! element kernels, justified atomic orderings in the task-parallel
+//! Schwarz/worker-pool machinery, an audited lossy-cast inventory, and
+//! telemetry instrumentation that cannot drift from its schema registry.
+//! This crate is a dependency-light (no `syn`; the build is offline and
+//! vendored) lexer-based analyzer enforcing exactly those rules, driven
+//! by the checked-in `audit.toml` and an inline waiver grammar:
+//!
+//! ```text
+//! // audit:allow(<rule>): <reason>
+//! ```
+//!
+//! Run `rbx-audit check` from the repo root (CI does, in the `audit`
+//! job); `rbx-audit inventory` regenerates the cast/index budget tables.
+//! See DESIGN.md §9 for the rule catalogue and the rationale.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod toml;
+pub mod waiver;
+pub mod workspace;
+
+pub use config::AuditConfig;
+pub use report::{Finding, Report, Severity};
+
+use std::path::Path;
+
+/// Load `audit.toml` from `root` and run the full audit.
+pub fn run_check(root: &Path) -> Result<Report, String> {
+    let cfg_path = root.join("audit.toml");
+    let src = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = AuditConfig::parse(&src).map_err(|e| e.to_string())?;
+    workspace::run(root, &cfg).map_err(|e| format!("scan failed: {e}"))
+}
+
+/// Regenerate the budget tables (`[rules.hot_index]`, `[rules.casts]`)
+/// from the current source, keeping the rest of the config as-is, and
+/// return the full serialized `audit.toml` text.
+pub fn run_inventory(root: &Path) -> Result<String, String> {
+    let cfg_path = root.join("audit.toml");
+    let src = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let mut cfg = AuditConfig::parse(&src).map_err(|e| e.to_string())?;
+    cfg.hot_index_budget.clear();
+    cfg.cast_budget.clear();
+    let files = workspace::discover(root).map_err(|e| format!("scan failed: {e}"))?;
+    for path in files {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read failed: {e}"))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (file, _) = workspace::SourceFile::from_source(&rel, &text);
+        if cfg.hot_panic_paths.iter().any(|p| p == &rel) {
+            let n = rules::index::count(&file);
+            if n > 0 {
+                cfg.hot_index_budget.insert(rel.clone(), n);
+            }
+        }
+        let casts = rules::casts::count(&file);
+        if casts > 0 {
+            cfg.cast_budget.insert(rel, casts);
+        }
+    }
+    Ok(cfg.serialize())
+}

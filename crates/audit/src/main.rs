@@ -1,0 +1,98 @@
+//! `rbx-audit` CLI.
+//!
+//! ```text
+//! rbx-audit check      [--root DIR]   run the audit; exit 1 on errors
+//! rbx-audit inventory  [--root DIR]   print audit.toml with regenerated
+//!                                     cast/index budgets
+//! rbx-audit waivers    [--root DIR]   list active waivers with reasons
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse_root(args: &[String]) -> PathBuf {
+    let mut root = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--root" {
+            if let Some(dir) = args.get(i + 1) {
+                root = PathBuf::from(dir);
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    root
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let root = parse_root(&args);
+    match cmd {
+        "check" => match rbx_audit::run_check(&root) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("rbx-audit: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "inventory" => match rbx_audit::run_inventory(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rbx-audit: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "waivers" => match list_waivers(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rbx-audit: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: rbx-audit <check|inventory|waivers> [--root DIR]\n\
+                 see DESIGN.md §9 for the rule catalogue"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list_waivers(root: &std::path::Path) -> Result<String, String> {
+    let mut out = String::new();
+    let files = rbx_audit::workspace::discover(root).map_err(|e| e.to_string())?;
+    for path in files {
+        let src = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (file, _) = rbx_audit::workspace::SourceFile::from_source(&rel, &src);
+        for w in &file.waivers {
+            out.push_str(&format!(
+                "{rel}:{} [{}] {}\n",
+                w.target_line, w.rule, w.reason
+            ));
+        }
+    }
+    Ok(out)
+}

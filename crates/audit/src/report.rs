@@ -1,0 +1,108 @@
+//! Findings and the rendered report.
+
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the check.
+    Error,
+    /// Informational (stale budgets, unused registry entries).
+    Note,
+}
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    /// 1-based line; 0 for file-level findings.
+    pub line: usize,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn error(rule: &'static str, path: &str, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            path: path.to_string(),
+            line,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    pub fn note(rule: &'static str, path: &str, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            path: path.to_string(),
+            line,
+            severity: Severity::Note,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Note => "note",
+        };
+        if self.line == 0 {
+            write!(f, "{sev}[{}] {}: {}", self.rule, self.path, self.message)
+        } else {
+            write!(
+                f,
+                "{sev}[{}] {}:{}: {}",
+                self.rule, self.path, self.line, self.message
+            )
+        }
+    }
+}
+
+/// The full audit result: findings plus bookkeeping counters.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub waivers_used: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn notes(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Human-readable report, findings sorted by path/line, errors first
+    /// in the summary line.
+    pub fn render(&self) -> String {
+        let mut sorted: Vec<&Finding> = self.findings.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+        });
+        let mut out = String::new();
+        for f in sorted {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "audit: {} file(s) scanned, {} error(s), {} note(s), {} waiver(s) in effect\n",
+            self.files_scanned,
+            self.errors(),
+            self.notes(),
+            self.waivers_used,
+        ));
+        out
+    }
+}

@@ -1,0 +1,161 @@
+//! `hot-alloc`: allocation sites inside per-step kernel functions.
+//!
+//! The functions listed in `[rules.hot_alloc]` run every time step (often
+//! every Krylov iteration); heap traffic there is either a perf bug or a
+//! consciously amortized cost. The rule flags the usual allocation
+//! idioms inside those function bodies; each surviving site carries an
+//! inline waiver explaining why it is acceptable (or a scratch-buffer fix
+//! removes it).
+
+use crate::config::AuditConfig;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::rules::HOT_ALLOC;
+use crate::workspace::SourceFile;
+
+/// `Type::ctor` pairs that allocate.
+const ALLOC_CTOR_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "VecDeque",
+];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+/// Allocating method calls (`.to_vec()`, `.clone()`, …).
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone", "collect"];
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Token ranges (half-open) of the bodies of functions named `name`.
+fn body_ranges(toks: &[Token], name: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(name) {
+            // Find the body's opening brace, then match braces to its end.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.push((start, j));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
+    let Some(fns) = cfg.hot_alloc_fns.get(&file.path) else {
+        return;
+    };
+    let toks = file.prod_tokens();
+    for fname in fns {
+        for (start, end) in body_ranges(toks, fname) {
+            scan_body(file, fname, &toks[start..end], out);
+        }
+    }
+}
+
+fn scan_body(file: &SourceFile, fname: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let construct = if next_bang && ALLOC_MACROS.contains(&name.as_str()) {
+            Some(format!("{name}!"))
+        } else if prev_dot && next_paren && ALLOC_METHODS.contains(&name.as_str()) {
+            Some(format!(".{name}()"))
+        } else if ALLOC_CTOR_TYPES.contains(&name.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            match toks.get(i + 3).map(|n| &n.kind) {
+                Some(TokenKind::Ident(ctor)) if ALLOC_CTORS.contains(&ctor.as_str()) => {
+                    Some(format!("{name}::{ctor}"))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(c) = construct {
+            out.push(Finding::error(
+                HOT_ALLOC,
+                &file.path,
+                t.line,
+                format!("{c} allocates inside per-step kernel `{fname}` — hoist to a scratch buffer or waive with the amortization argument"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, fns: &[&str]) -> Vec<Finding> {
+        let mut cfg = AuditConfig::default();
+        cfg.hot_alloc_fns
+            .insert("x.rs".into(), fns.iter().map(|s| s.to_string()).collect());
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_alloc_idioms_in_listed_fn_only() {
+        let src = concat!(
+            "fn hot(&self, r: &[f64]) {\n",
+            "  let a = vec![0.0; 8];\n",
+            "  let b: Vec<f64> = r.iter().map(|x| x * 2.0).collect();\n",
+            "  let c = r.to_vec();\n",
+            "  let d = Vec::new();\n",
+            "}\n",
+            "fn cold() { let z = vec![1]; }\n",
+        );
+        let out = run(src, &["hot"]);
+        assert_eq!(out.len(), 4, "{out:?}");
+        assert!(out.iter().all(|f| f.message.contains("`hot`")));
+    }
+
+    #[test]
+    fn clone_and_format_are_flagged() {
+        let src = "fn hot(x: &Vec<f64>) { let y = x.clone(); let s = format!(\"{}\", 1); }\n";
+        assert_eq!(run(src, &["hot"]).len(), 2);
+    }
+
+    #[test]
+    fn nested_braces_stay_inside_the_body() {
+        let src = concat!(
+            "fn hot() { if true { loop { break; } } }\n",
+            "fn after() { let v = Vec::new(); }\n",
+        );
+        assert!(run(src, &["hot"]).is_empty());
+    }
+
+    #[test]
+    fn unlisted_file_ignored() {
+        let cfg = AuditConfig::default();
+        let (file, _) = SourceFile::from_source("y.rs", "fn hot() { let v = vec![1]; }");
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! `atomics`: every atomic memory-ordering choice must be justified.
+//!
+//! The rule finds `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}`
+//! sites in production code (workspace-wide — lock-free code is never
+//! "not hot enough to matter") and requires a `// ordering: …`
+//! justification comment on the same line or within the three lines
+//! above. `SeqCst` additionally gets a sharper message: it is almost
+//! always over-synchronized in this codebase's patterns (pure counters,
+//! flags, self-scheduling claims), so the justification must say why the
+//! total order is actually needed.
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::ATOMICS;
+use crate::workspace::SourceFile;
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many lines above a site a justification comment may sit.
+const COMMENT_REACH: usize = 3;
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = file.prod_tokens();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Ordering") {
+            continue;
+        }
+        let Some(ord) = (|| {
+            if toks.get(i + 1)?.is_punct(':') && toks.get(i + 2)?.is_punct(':') {
+                match &toks.get(i + 3)?.kind {
+                    TokenKind::Ident(o) if ATOMIC_ORDERINGS.contains(&o.as_str()) => {
+                        Some(o.clone())
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        })() else {
+            continue;
+        };
+        let line = toks[i].line;
+        if has_justification(file, line) {
+            continue;
+        }
+        let msg = if ord == "SeqCst" {
+            "Ordering::SeqCst without justification — downgrade to the weakest ordering \
+             that is correct, or add `// ordering: …` explaining why a total order is needed"
+                .to_string()
+        } else {
+            format!(
+                "Ordering::{ord} without justification — add a `// ordering: …` comment \
+                 stating the invariant that makes this ordering sufficient"
+            )
+        };
+        out.push(Finding::error(ATOMICS, &file.path, line, msg));
+    }
+}
+
+fn has_justification(file: &SourceFile, line: usize) -> bool {
+    file.lexed.comments.iter().any(|c| {
+        c.text.contains("ordering:")
+            && (c.line == line || (c.line < line && line - c.line <= COMMENT_REACH))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unjustified_relaxed_and_seqcst_are_flagged() {
+        let src = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "  a.load(Ordering::Relaxed);\n",
+            "  a.store(1, Ordering::SeqCst);\n",
+            "}\n",
+        );
+        let out = run(src);
+        assert_eq!(out.len(), 2);
+        assert!(out[1].message.contains("downgrade"));
+    }
+
+    #[test]
+    fn nearby_ordering_comment_satisfies() {
+        let src = concat!(
+            "fn f(a: &AtomicUsize) {\n",
+            "  // ordering: pure counter, no data published through it\n",
+            "  a.fetch_add(1, Ordering::Relaxed);\n",
+            "  a.load(Ordering::Relaxed); // ordering: monotone observation only\n",
+            "}\n",
+        );
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn comment_too_far_above_does_not_count() {
+        let src = concat!(
+            "// ordering: stale justification\n",
+            "fn f(a: &AtomicUsize) {\n",
+            "  let x = 1;\n",
+            "  let y = 2;\n",
+            "  a.load(Ordering::Relaxed);\n",
+            "}\n",
+        );
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_site() {
+        let src = "fn f() -> Ordering { Ordering::Less }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn use_statements_are_not_sites() {
+        let src = "use std::sync::atomic::{AtomicBool, Ordering};\n";
+        assert!(run(src).is_empty());
+    }
+}

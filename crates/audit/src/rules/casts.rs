@@ -1,0 +1,103 @@
+//! `casts`: the lossy-cast inventory.
+//!
+//! `as` conversions truncate, wrap and lose precision silently. The
+//! workspace has a few hundred of them (index arithmetic, byte-format
+//! encoding, f64 statistics), so the rule keeps an audited per-file site
+//! count in `[rules.casts]` rather than demanding inline waivers: growth
+//! past the audited count is an error that forces a human to look at the
+//! new sites, shrinkage is a note asking to ratchet the budget down, and
+//! a file with casts but no budget entry has never been audited at all.
+
+use crate::config::AuditConfig;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::CASTS;
+use crate::workspace::SourceFile;
+
+const NUMERIC_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32",
+    "f64",
+];
+
+/// Count numeric `as` cast sites in the file's production tokens.
+pub fn count(file: &SourceFile) -> usize {
+    let toks = file.prod_tokens();
+    (0..toks.len())
+        .filter(|&i| {
+            toks[i].is_ident("as")
+                && matches!(
+                    toks.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Ident(ty)) if NUMERIC_TYPES.contains(&ty.as_str())
+                )
+        })
+        .count()
+}
+
+pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
+    let n = count(file);
+    match cfg.cast_budget.get(&file.path) {
+        None if n > 0 => out.push(Finding::error(
+            CASTS,
+            &file.path,
+            0,
+            format!(
+                "{n} numeric cast(s) but no `[rules.casts]` entry — \
+                 audit them and add the budget (see `rbx-audit inventory`)"
+            ),
+        )),
+        Some(&budget) if n > budget => out.push(Finding::error(
+            CASTS,
+            &file.path,
+            0,
+            format!("{n} numeric cast(s), audited budget is {budget} — review the new sites"),
+        )),
+        Some(&budget) if n < budget => out.push(Finding::note(
+            CASTS,
+            &file.path,
+            0,
+            format!("{n} numeric cast(s), budget is {budget} — tighten the budget"),
+        )),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_budget(src: &str, budget: Option<usize>) -> Vec<Finding> {
+        let mut cfg = AuditConfig::default();
+        if let Some(b) = budget {
+            cfg.cast_budget.insert("x.rs".into(), b);
+        }
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn counts_numeric_casts_only() {
+        let src = "fn f(x: u64, d: &dyn Any) { let a = x as usize; let b = a as f64; let c = d as &dyn Any; }\n";
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        assert_eq!(count(&file), 2);
+    }
+
+    #[test]
+    fn missing_entry_over_and_stale_budgets() {
+        let src = "fn f(x: u64) { let a = x as usize; let b = x as f64; }\n";
+        let missing = with_budget(src, None);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("no `[rules.casts]` entry"));
+        assert!(with_budget(src, Some(2)).is_empty());
+        let over = with_budget(src, Some(1));
+        assert_eq!(over[0].severity, crate::report::Severity::Error);
+        let stale = with_budget(src, Some(9));
+        assert_eq!(stale[0].severity, crate::report::Severity::Note);
+    }
+
+    #[test]
+    fn cast_free_file_needs_no_entry() {
+        assert!(with_budget("fn f() {}\n", None).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! `hot-index`: bare slice/array indexing budget for hot modules.
+//!
+//! Every `expr[...]` site can panic on an out-of-bounds index. Element
+//! kernels index heavily (that is the point of a structured spectral
+//! code), so instead of hundreds of inline waivers the rule keeps an
+//! audited per-file *site count* in `audit.toml`. Growth beyond the
+//! audited budget is an error — new indexing must be looked at and the
+//! budget bumped consciously; shrinkage is a note asking to tighten the
+//! budget so it keeps ratcheting down.
+
+use crate::config::AuditConfig;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::rules::HOT_INDEX;
+use crate::workspace::SourceFile;
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = …`, `ref [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "box", "move", "static", "const", "dyn", "as", "else",
+];
+
+fn is_index_site(toks: &[Token], i: usize) -> bool {
+    if !toks[i].is_punct('[') || i == 0 {
+        return false;
+    }
+    match &toks[i - 1].kind {
+        TokenKind::Ident(id) => !NON_INDEX_KEYWORDS.contains(&id.as_str()),
+        TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+        _ => false,
+    }
+}
+
+/// Count bare indexing sites in the file's production tokens.
+pub fn count(file: &SourceFile) -> usize {
+    let toks = file.prod_tokens();
+    (0..toks.len()).filter(|&i| is_index_site(toks, i)).count()
+}
+
+pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
+    if !cfg.hot_panic_paths.iter().any(|p| p == &file.path) {
+        return;
+    }
+    let n = count(file);
+    let budget = cfg.hot_index_budget.get(&file.path).copied().unwrap_or(0);
+    if n > budget {
+        out.push(Finding::error(
+            HOT_INDEX,
+            &file.path,
+            0,
+            format!(
+                "{n} bare indexing site(s), audited budget is {budget} — \
+                 review the new sites and bump `[rules.hot_index]` in audit.toml"
+            ),
+        ));
+    } else if n < budget {
+        out.push(Finding::note(
+            HOT_INDEX,
+            &file.path,
+            0,
+            format!("{n} bare indexing site(s), budget is {budget} — tighten the budget"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_src(src: &str) -> usize {
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        count(&file)
+    }
+
+    #[test]
+    fn counts_real_indexing_only() {
+        // 3 sites: a[i], b[j][k] (two).
+        let src = "fn f() { let x = a[i] + b[j][k]; }\n";
+        assert_eq!(count_src(src), 3);
+    }
+
+    #[test]
+    fn ignores_types_attrs_and_literals() {
+        let src = concat!(
+            "#[derive(Debug)]\n",
+            "struct S { a: [f64; 3] }\n",
+            "fn f(x: &[f64]) -> [u8; 2] {\n",
+            "  let v = vec![1, 2];\n",
+            "  let arr = [0.0; 4];\n",
+            "  let [p, q] = (1, 2).into();\n",
+            "  [1, 2]\n",
+            "}\n",
+        );
+        assert_eq!(count_src(src), 0);
+    }
+
+    #[test]
+    fn budget_enforced_both_ways() {
+        let mk = |budget: usize| {
+            let mut cfg = AuditConfig {
+                hot_panic_paths: vec!["x.rs".into()],
+                ..Default::default()
+            };
+            cfg.hot_index_budget.insert("x.rs".into(), budget);
+            let (file, _) = SourceFile::from_source("x.rs", "fn f() { a[0]; a[1]; }\n");
+            let mut out = Vec::new();
+            check(&file, &cfg, &mut out);
+            out
+        };
+        let over = mk(1);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].severity, crate::report::Severity::Error);
+        let exact = mk(2);
+        assert!(exact.is_empty());
+        let stale = mk(5);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].severity, crate::report::Severity::Note);
+    }
+}

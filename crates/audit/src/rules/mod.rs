@@ -1,0 +1,27 @@
+//! The rule catalogue. Each rule inspects one file's production token
+//! stream (test sections are stripped by the engine) and appends
+//! [`crate::report::Finding`]s.
+
+pub mod alloc;
+pub mod atomics;
+pub mod casts;
+pub mod index;
+pub mod panics;
+pub mod telemetry_names;
+
+/// Rule ids, used in waivers (`// audit:allow(<id>): reason`) and reports.
+pub const HOT_PANIC: &str = "hot-panic";
+pub const NO_PANIC: &str = "no-panic";
+pub const HOT_INDEX: &str = "hot-index";
+pub const HOT_ALLOC: &str = "hot-alloc";
+pub const ATOMICS: &str = "atomics";
+pub const CASTS: &str = "casts";
+pub const TELEMETRY: &str = "telemetry-names";
+/// Meta-rule for malformed/stale waivers.
+pub const WAIVER: &str = "waiver";
+
+/// Every waivable rule id (the `waiver` meta-rule itself cannot be
+/// waived).
+pub const ALL_RULES: &[&str] = &[
+    HOT_PANIC, NO_PANIC, HOT_INDEX, HOT_ALLOC, ATOMICS, CASTS, TELEMETRY,
+];

@@ -1,0 +1,130 @@
+//! Panic-freedom rules.
+//!
+//! `hot-panic` (the strict tier, per-step kernels): denies `.unwrap()`,
+//! `.expect(…)`, `panic!/unreachable!/todo!/unimplemented!` and
+//! `assert!/assert_eq!/assert_ne!`. `debug_assert*!` is allowed — debug
+//! builds may check invariants that release kernels must not pay for or
+//! panic on.
+//!
+//! `no-panic` (the softer tier, checkpoint/restart + I/O, inherited from
+//! the old grep-based panic-audit CI job): denies `.unwrap()`,
+//! `.expect(…)` and the panic macros, but allows asserts — persistence
+//! code validates untrusted bytes with typed errors, yet may still assert
+//! caller contracts.
+
+use crate::config::AuditConfig;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::{HOT_PANIC, NO_PANIC};
+use crate::workspace::SourceFile;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
+    let hot = cfg.hot_panic_paths.iter().any(|p| p == &file.path);
+    let soft = cfg.no_panic_paths.iter().any(|p| p == &file.path);
+    if !hot && !soft {
+        return;
+    }
+    let rule = if hot { HOT_PANIC } else { NO_PANIC };
+    let toks = file.prod_tokens();
+    for (i, t) in toks.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if prev_dot && next_paren && (name == "unwrap" || name == "expect") {
+            out.push(Finding::error(
+                rule,
+                &file.path,
+                t.line,
+                format!(".{name}() can panic — use a typed error or an infallible pattern"),
+            ));
+        } else if next_bang && PANIC_MACROS.contains(&name.as_str()) {
+            out.push(Finding::error(
+                rule,
+                &file.path,
+                t.line,
+                format!("{name}! in a panic-free module"),
+            ));
+        } else if hot && next_bang && ASSERT_MACROS.contains(&name.as_str()) {
+            out.push(Finding::error(
+                rule,
+                &file.path,
+                t.line,
+                format!("{name}! in a hot kernel — use debug_assert or return an error"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str, hot: bool) -> Vec<Finding> {
+        let cfg = AuditConfig {
+            hot_panic_paths: if hot { vec!["x.rs".into()] } else { vec![] },
+            no_panic_paths: if hot { vec![] } else { vec!["x.rs".into()] },
+            ..Default::default()
+        };
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn hot_tier_denies_everything() {
+        let src = concat!(
+            "fn f(x: Option<u8>) {\n",
+            "  x.unwrap();\n",
+            "  x.expect(\"msg\");\n",
+            "  panic!(\"boom\");\n",
+            "  assert!(true);\n",
+            "  assert_eq!(1, 1);\n",
+            "}\n",
+        );
+        assert_eq!(findings(src, true).len(), 5);
+    }
+
+    #[test]
+    fn debug_assert_and_unwrap_or_are_fine() {
+        let src = concat!(
+            "fn f(x: Option<f64>) {\n",
+            "  debug_assert!(true);\n",
+            "  debug_assert_eq!(1, 1);\n",
+            "  let _ = x.unwrap_or(0.0);\n",
+            "  let _ = x.unwrap_or_default();\n",
+            "}\n",
+        );
+        assert!(findings(src, true).is_empty());
+    }
+
+    #[test]
+    fn soft_tier_allows_asserts_but_not_unwrap() {
+        let src = "fn f(x: Option<u8>) { assert!(true); x.unwrap(); }\n";
+        let out = findings(src, false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, NO_PANIC);
+        assert!(out[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // calls panic!() never\n";
+        assert!(findings(src, true).is_empty());
+    }
+
+    #[test]
+    fn unlisted_file_is_ignored() {
+        let cfg = AuditConfig::default();
+        let (file, _) = SourceFile::from_source("y.rs", "fn f(x: Option<u8>) { x.unwrap(); }");
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,375 @@
+//! Minimal TOML subset used by `audit.toml`.
+//!
+//! The offline build has no `toml` crate, so this module implements
+//! exactly the grammar the config needs and nothing more:
+//!
+//! * top-level and `[dotted.table]` sections
+//! * bare and `"quoted"` keys
+//! * values: `"string"`, integer, `[ array ]` of strings or integers
+//!   (arrays may span lines)
+//! * `#` comments
+//!
+//! Order is preserved so the serializer round-trips a parsed document.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    StrArray(Vec<String>),
+}
+
+/// One `[section]` with its key/value pairs in file order. The implicit
+/// top-level section has an empty name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    pub name: String,
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    pub tables: Vec<Table>,
+}
+
+impl Document {
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    pub fn get(&self, table: &str, key: &str) -> Option<&Value> {
+        self.table(table).and_then(|t| t.get(key))
+    }
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "toml parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Strip a `#` comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    doc.tables.push(Table::default()); // implicit top-level
+    let mut cur = 0usize;
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(lineno, "unterminated table header");
+            };
+            doc.tables.push(Table {
+                name: name.trim().to_string(),
+                entries: Vec::new(),
+            });
+            cur = doc.tables.len() - 1;
+            continue;
+        }
+        let Some(eq) = find_top_level_eq(line) else {
+            return err(lineno, format!("expected `key = value`, got `{line}`"));
+        };
+        let key = parse_key(line[..eq].trim(), lineno)?;
+        let mut vtext = line[eq + 1..].trim().to_string();
+        // Multi-line array: accumulate until the closing bracket.
+        if vtext.starts_with('[') {
+            while !array_closed(&vtext) {
+                let Some((_, next)) = lines.next() else {
+                    return err(lineno, "unterminated array");
+                };
+                vtext.push(' ');
+                vtext.push_str(strip_comment(next).trim());
+            }
+        }
+        let value = parse_value(&vtext, lineno)?;
+        doc.tables[cur].entries.push((key, value));
+    }
+    Ok(doc)
+}
+
+/// Position of the `=` separating key from value, skipping `=` inside a
+/// quoted key.
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_key(raw: &str, lineno: usize) -> Result<String, ParseError> {
+    if let Some(q) = raw.strip_prefix('"') {
+        match q.strip_suffix('"') {
+            Some(inner) => Ok(inner.to_string()),
+            None => err(lineno, "unterminated quoted key"),
+        }
+    } else if !raw.is_empty()
+        && raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(raw.to_string())
+    } else {
+        err(lineno, format!("invalid key `{raw}`"))
+    }
+}
+
+fn array_closed(text: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(raw: &str, lineno: usize) -> Result<Value, ParseError> {
+    if let Some(q) = raw.strip_prefix('"') {
+        match q.strip_suffix('"') {
+            Some(inner) => Ok(Value::Str(unescape(inner))),
+            None => err(lineno, "unterminated string"),
+        }
+    } else if raw.starts_with('[') {
+        let inner = raw
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .trim()
+            .to_string();
+        let mut items = Vec::new();
+        for part in split_array_items(&inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                _ => return err(lineno, "arrays may only contain strings"),
+            }
+        }
+        Ok(Value::StrArray(items))
+    } else if let Ok(n) = raw.parse::<i64>() {
+        Ok(Value::Int(n))
+    } else {
+        err(lineno, format!("unsupported value `{raw}`"))
+    }
+}
+
+fn split_array_items(inner: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        items.push(cur);
+    }
+    items
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_key(k: &str) -> String {
+    if !k.is_empty()
+        && k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        k.to_string()
+    } else {
+        format!("\"{}\"", escape(k))
+    }
+}
+
+/// Serialize a document in the same subset; `parse(serialize(doc)) == doc`.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for (i, table) in doc.tables.iter().enumerate() {
+        if table.name.is_empty() && table.entries.is_empty() && i == 0 {
+            continue;
+        }
+        if !table.name.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("[{}]\n", table.name));
+        }
+        for (k, v) in &table.entries {
+            match v {
+                Value::Str(s) => out.push_str(&format!("{} = \"{}\"\n", format_key(k), escape(s))),
+                Value::Int(n) => out.push_str(&format!("{} = {}\n", format_key(k), n)),
+                Value::StrArray(items) => {
+                    if items.is_empty() {
+                        out.push_str(&format!("{} = []\n", format_key(k)));
+                    } else {
+                        out.push_str(&format!("{} = [\n", format_key(k)));
+                        for item in items {
+                            out.push_str(&format!("    \"{}\",\n", escape(item)));
+                        }
+                        out.push_str("]\n");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_values() {
+        let doc = parse(concat!(
+            "schema = \"rbx.audit.v1\" # comment\n",
+            "\n",
+            "[rules.hot_panic]\n",
+            "paths = [\"a.rs\", \"b.rs\"]\n",
+            "\n",
+            "[rules.casts]\n",
+            "\"crates/gs/src/lib.rs\" = 25\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            doc.get("", "schema"),
+            Some(&Value::Str("rbx.audit.v1".into()))
+        );
+        assert_eq!(
+            doc.get("rules.hot_panic", "paths"),
+            Some(&Value::StrArray(vec!["a.rs".into(), "b.rs".into()]))
+        );
+        assert_eq!(
+            doc.get("rules.casts", "crates/gs/src/lib.rs"),
+            Some(&Value::Int(25))
+        );
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let doc = parse("x = [\n  \"one\", # c\n  \"two\",\n]\n").unwrap();
+        assert_eq!(
+            doc.get("", "x"),
+            Some(&Value::StrArray(vec!["one".into(), "two".into()]))
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = concat!(
+            "schema = \"v1\"\n",
+            "[t]\n",
+            "n = 3\n",
+            "arr = [\"a\", \"b\"]\n",
+            "\"quoted/key.rs\" = 7\n",
+        );
+        let doc = parse(src).unwrap();
+        let doc2 = parse(&serialize(&doc)).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not a kv line\n").is_err());
+        assert!(parse("[unterminated\n").is_err());
+        assert!(parse("k = [1, 2]\n").is_err());
+    }
+}

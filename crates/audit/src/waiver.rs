@@ -1,0 +1,150 @@
+//! Inline waiver grammar: `// audit:allow(<rule>): <reason>`.
+//!
+//! A waiver suppresses findings of `<rule>` on the line it targets:
+//!
+//! * a trailing comment waives its own line;
+//! * a standalone comment waives the next source line carrying code
+//!   (consecutive standalone waiver/plain-comment lines stack onto the
+//!   same target).
+//!
+//! A waiver without a reason is itself a finding — every suppression must
+//! say why. Unused (stale) waivers are findings too, so suppressions are
+//! cleaned up when the code they covered changes.
+
+use crate::lexer::{Comment, Token};
+
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id the waiver applies to.
+    pub rule: String,
+    pub reason: String,
+    /// Line the waiver comment sits on (for reporting).
+    pub comment_line: usize,
+    /// Source line whose findings it suppresses.
+    pub target_line: usize,
+}
+
+/// A malformed waiver comment (reported as an error by the engine).
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Extract waivers from a file's comments. `tokens` supplies the "next
+/// line with code" resolution for standalone waiver comments.
+pub fn collect(comments: &[Comment], tokens: &[Token]) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        let Some(body) = c.text.trim().strip_prefix("audit:allow") else {
+            continue;
+        };
+        let body = body.trim_start();
+        let Some(rest) = body.strip_prefix('(') else {
+            errors.push(WaiverError {
+                line: c.line,
+                message: "malformed waiver: expected `audit:allow(<rule>): <reason>`".into(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(WaiverError {
+                line: c.line,
+                message: "malformed waiver: missing `)`".into(),
+            });
+            continue;
+        };
+        // Reason either inside the parens after a comma —
+        // `audit:allow(rule, reason)` — or after the closing paren,
+        // introduced by `:`.
+        let inner = &rest[..close];
+        let (rule, inner_reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), why.trim()),
+            None => (inner.trim().to_string(), ""),
+        };
+        if rule.is_empty() {
+            errors.push(WaiverError {
+                line: c.line,
+                message: "malformed waiver: empty rule id".into(),
+            });
+            continue;
+        }
+        let mut reason = rest[close + 1..].trim();
+        reason = reason.strip_prefix(':').unwrap_or(reason).trim();
+        if reason.is_empty() {
+            reason = inner_reason;
+        }
+        if reason.is_empty() {
+            errors.push(WaiverError {
+                line: c.line,
+                message: format!("waiver for `{rule}` has no reason — every waiver must say why"),
+            });
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            next_code_line(tokens, c.line).unwrap_or(c.line)
+        };
+        waivers.push(Waiver {
+            rule,
+            reason: reason.to_string(),
+            comment_line: c.line,
+            target_line,
+        });
+    }
+    (waivers, errors)
+}
+
+fn next_code_line(tokens: &[Token], after: usize) -> Option<usize> {
+    tokens.iter().map(|t| t.line).find(|&l| l > after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_standalone_targets() {
+        let src = concat!(
+            "let a = x.unwrap(); // audit:allow(hot-panic): setup-time only\n",
+            "// audit:allow(hot-alloc): amortized by caller\n",
+            "let b = Vec::new();\n",
+        );
+        let l = lex(src);
+        let (ws, errs) = collect(&l.comments, &l.tokens);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(ws.len(), 2);
+        assert_eq!((ws[0].rule.as_str(), ws[0].target_line), ("hot-panic", 1));
+        assert_eq!((ws[1].rule.as_str(), ws[1].target_line), ("hot-alloc", 3));
+        assert_eq!(ws[1].reason, "amortized by caller");
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let l = lex("// audit:allow(hot-panic)\nlet a = 1;\n");
+        let (ws, errs) = collect(&l.comments, &l.tokens);
+        assert!(ws.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn malformed_waivers_are_errors() {
+        let l = lex("// audit:allow hot-panic: reason\n// audit:allow(: r\n");
+        let (ws, errs) = collect(&l.comments, &l.tokens);
+        assert!(ws.is_empty());
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn comma_separator_accepted() {
+        let l = lex("x(); // audit:allow(casts, index arithmetic bounded by ctor)\n");
+        let (ws, errs) = collect(&l.comments, &l.tokens);
+        assert!(errs.is_empty());
+        assert_eq!(ws[0].rule, "casts");
+        assert_eq!(ws[0].reason, "index arithmetic bounded by ctor");
+    }
+}

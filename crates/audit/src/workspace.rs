@@ -1,0 +1,193 @@
+//! Workspace scanning and the rule engine: file discovery, test-section
+//! stripping, waiver application, and finding aggregation.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::AuditConfig;
+use crate::lexer::{self, Lexed, Token};
+use crate::report::{Finding, Report, Severity};
+use crate::rules;
+use crate::waiver::{self, Waiver};
+
+/// One lexed source file with its production cut and waivers.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (the key used by
+    /// `audit.toml`).
+    pub path: String,
+    pub lexed: Lexed,
+    /// First line of the `#[cfg(test)]` section (`usize::MAX` if none);
+    /// rules ignore tokens at or past this line.
+    pub test_line: usize,
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    pub fn from_source(path: &str, src: &str) -> (Self, Vec<Finding>) {
+        let lexed = lexer::lex(src);
+        let test_line = lexer::test_section_line(&lexed.tokens);
+        let (waivers, werrs) = waiver::collect(&lexed.comments, &lexed.tokens);
+        let mut findings = Vec::new();
+        for e in werrs {
+            findings.push(Finding::error(rules::WAIVER, path, e.line, e.message));
+        }
+        // Waivers naming unknown rules are configuration typos.
+        for w in &waivers {
+            if !rules::ALL_RULES.contains(&w.rule.as_str()) {
+                findings.push(Finding::error(
+                    rules::WAIVER,
+                    path,
+                    w.comment_line,
+                    format!("waiver names unknown rule `{}`", w.rule),
+                ));
+            }
+        }
+        (
+            Self {
+                path: path.to_string(),
+                lexed,
+                test_line: if test_line == usize::MAX {
+                    usize::MAX
+                } else {
+                    test_line
+                },
+                waivers: waivers
+                    .into_iter()
+                    .filter(|w| w.target_line < test_line)
+                    .collect(),
+            },
+            findings,
+        )
+    }
+
+    /// Production tokens: everything before the test section.
+    pub fn prod_tokens(&self) -> &[Token] {
+        let end = self
+            .lexed
+            .tokens
+            .iter()
+            .position(|t| t.line >= self.test_line)
+            .unwrap_or(self.lexed.tokens.len());
+        &self.lexed.tokens[..end]
+    }
+}
+
+/// Recursively collect `crates/*/src/**/*.rs` under `root`, sorted for
+/// deterministic reports. `vendor/`, integration `tests/`, benches and
+/// build scripts are intentionally out of scope.
+pub fn discover(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            walk(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Run every rule over the workspace at `root` with `cfg`, applying
+/// waivers and flagging stale ones.
+pub fn run(root: &Path, cfg: &AuditConfig) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut telemetry_seen: BTreeSet<String> = BTreeSet::new();
+    for path in discover(root)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = rel_path(root, &path);
+        report.files_scanned += 1;
+        let (file, waiver_findings) = SourceFile::from_source(&rel, &src);
+        report.findings.extend(waiver_findings);
+
+        let mut raw: Vec<Finding> = Vec::new();
+        rules::panics::check(&file, cfg, &mut raw);
+        rules::index::check(&file, cfg, &mut raw);
+        rules::alloc::check(&file, cfg, &mut raw);
+        rules::atomics::check(&file, &mut raw);
+        rules::casts::check(&file, cfg, &mut raw);
+        rules::telemetry_names::check(&file, cfg, &mut raw, &mut telemetry_seen);
+
+        apply_waivers(&file, raw, &mut report);
+    }
+    rules::telemetry_names::coverage(cfg, &telemetry_seen, &mut report.findings);
+    Ok(report)
+}
+
+/// Suppress findings covered by a same-line waiver for the same rule;
+/// report stale waivers that suppressed nothing.
+fn apply_waivers(file: &SourceFile, raw: Vec<Finding>, report: &mut Report) {
+    let mut used = vec![false; file.waivers.len()];
+    for f in raw {
+        let mut waived = false;
+        if f.severity == Severity::Error {
+            for (i, w) in file.waivers.iter().enumerate() {
+                if w.rule == f.rule && w.target_line == f.line {
+                    used[i] = true;
+                    waived = true;
+                }
+            }
+        }
+        if !waived {
+            report.findings.push(f);
+        }
+    }
+    for (i, w) in file.waivers.iter().enumerate() {
+        if used[i] {
+            report.waivers_used += 1;
+        } else if rules::ALL_RULES.contains(&w.rule.as_str()) {
+            report.findings.push(Finding::error(
+                rules::WAIVER,
+                &file.path,
+                w.comment_line,
+                format!(
+                    "stale waiver: no `{}` finding on line {} — remove it",
+                    w.rule, w.target_line
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_section_is_stripped() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod t { fn b() { x.unwrap(); } }\n";
+        let (f, _) = SourceFile::from_source("x.rs", src);
+        assert!(f.prod_tokens().iter().all(|t| !t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_flagged() {
+        let src = "// audit:allow(no-such-rule): because\nlet a = 1;\n";
+        let (_, findings) = SourceFile::from_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unknown rule"));
+    }
+}

@@ -37,8 +37,9 @@ impl TensorScratch {
 ///
 /// Rectangular matrices are supported (dealiasing / grid transfer).
 ///
-/// # Panics
-/// Panics if buffer lengths do not match the matrix dimensions.
+/// Buffer lengths must match the matrix dimensions (checked in debug
+/// builds; this runs per element per time step, so release builds do not
+/// pay for — or panic on — shape validation).
 pub fn tensor_apply3(
     ax: &DMat,
     ay: &DMat,
@@ -49,8 +50,8 @@ pub fn tensor_apply3(
 ) {
     let (nx, ny, nz) = (ax.cols(), ay.cols(), az.cols());
     let (mx, my, mz) = (ax.rows(), ay.rows(), az.rows());
-    assert_eq!(u.len(), nx * ny * nz, "input length mismatch");
-    assert_eq!(out.len(), mx * my * mz, "output length mismatch");
+    debug_assert_eq!(u.len(), nx * ny * nz, "input length mismatch");
+    debug_assert_eq!(out.len(), mx * my * mz, "output length mismatch");
 
     scratch.t1.clear();
     scratch.t1.resize(mx * ny * nz, 0.0);
@@ -155,19 +156,18 @@ fn deriv_x_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
     debug_assert_eq!(d.rows(), N);
     debug_assert_eq!(u.len(), N * N * N);
     debug_assert_eq!(out.len(), N * N * N);
-    let dd = d.data();
-    for col in 0..N * N {
-        let uin: &[f64; N] = u[col * N..(col + 1) * N]
-            .try_into()
-            .expect("pencil length N");
-        let dst = &mut out[col * N..(col + 1) * N];
-        for i in 0..N {
-            let drow: &[f64; N] = dd[i * N..(i + 1) * N].try_into().expect("row length N");
+    // Infallible fixed-size views: `as_chunks` cannot fail, and the
+    // debug asserts above pin the exact lengths the dispatchers pass.
+    let (drows, _) = d.data().as_chunks::<N>();
+    let (upencils, _) = u.as_chunks::<N>();
+    let (opencils, _) = out.as_chunks_mut::<N>();
+    for (uin, dst) in upencils.iter().zip(opencils.iter_mut()) {
+        for (drow, o) in drows.iter().zip(dst.iter_mut()) {
             let mut acc = 0.0;
             for m in 0..N {
                 acc += drow[m] * uin[m];
             }
-            dst[i] = acc;
+            *o = acc;
         }
     }
 }
@@ -213,18 +213,15 @@ pub fn deriv_y_generic(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
 /// Const-specialized y-derivative.
 fn deriv_y_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
     debug_assert_eq!(u.len(), N * N * N);
-    let dd = d.data();
+    // Infallible fixed-size views (see `deriv_x_fixed`).
+    let (drows, _) = d.data().as_chunks::<N>();
     let plane = N * N;
     for k in 0..N {
-        let uk = &u[k * plane..(k + 1) * plane];
-        let ok = &mut out[k * plane..(k + 1) * plane];
-        for j in 0..N {
-            let drow: &[f64; N] = dd[j * N..(j + 1) * N].try_into().expect("row length N");
-            let dst: &mut [f64] = &mut ok[j * N..(j + 1) * N];
+        let (upencils, _) = u[k * plane..(k + 1) * plane].as_chunks::<N>();
+        let (opencils, _) = out[k * plane..(k + 1) * plane].as_chunks_mut::<N>();
+        for (drow, dst) in drows.iter().zip(opencils.iter_mut()) {
             dst.fill(0.0);
-            for m in 0..N {
-                let dm = drow[m];
-                let src: &[f64; N] = uk[m * N..(m + 1) * N].try_into().expect("pencil length N");
+            for (&dm, src) in drow.iter().zip(upencils.iter()) {
                 for i in 0..N {
                     dst[i] += dm * src[i];
                 }
@@ -270,10 +267,10 @@ pub fn deriv_z_generic(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
 /// Const-specialized z-derivative.
 fn deriv_z_fixed<const N: usize>(d: &DMat, u: &[f64], out: &mut [f64]) {
     debug_assert_eq!(u.len(), N * N * N);
-    let dd = d.data();
+    // Infallible fixed-size views (see `deriv_x_fixed`).
+    let (drows, _) = d.data().as_chunks::<N>();
     let plane = N * N;
-    for k in 0..N {
-        let drow: &[f64; N] = dd[k * N..(k + 1) * N].try_into().expect("row length N");
+    for (k, drow) in drows.iter().enumerate() {
         let dst = &mut out[k * plane..(k + 1) * plane];
         dst.fill(0.0);
         for m in 0..N {

@@ -18,6 +18,7 @@
 //!   hiding + coarse/fine overlap) is measurable.
 
 pub mod desim;
+pub mod explore;
 pub mod host;
 pub mod pool;
 pub mod vgpu;

@@ -21,6 +21,7 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Pool using `threads` workers (≥ 1).
     pub fn new(threads: usize) -> Self {
+        // audit:allow(hot-panic): construction-time contract check, not on the per-step path
         assert!(threads >= 1);
         Self { threads }
     }
@@ -68,7 +69,7 @@ fn default_chunk(n: usize, threads: usize) -> usize {
 }
 
 fn par_for_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) + Sync) {
-    assert!(chunk >= 1);
+    let chunk = chunk.max(1);
     if n == 0 {
         return;
     }
@@ -84,6 +85,9 @@ fn par_for_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) + Sync
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(move || loop {
+                // ordering: the fetch_add's atomicity alone claims each index
+                // range exactly once; results are published to the caller by
+                // the scope join's happens-before edge, not by this counter.
                 let start = counter.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -98,11 +102,12 @@ fn par_for_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) + Sync
 }
 
 fn par_reduce_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
-    assert!(chunk >= 1);
+    let chunk = chunk.max(1);
     if n == 0 {
         return 0.0;
     }
     let nchunks = n.div_ceil(chunk);
+    // audit:allow(hot-alloc): one nchunks-sized buffer per reduction, amortized over O(n) work; materialized partials are what makes the combine order (and the sum bits) deterministic
     let mut partials = vec![0.0f64; nchunks];
     {
         let counter = AtomicUsize::new(0);
@@ -113,11 +118,15 @@ fn par_reduce_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) -> 
         // per-chunk cells using interior mutability on disjoint slots.
         let cells: Vec<std::sync::atomic::AtomicU64> = (0..nchunks)
             .map(|_| std::sync::atomic::AtomicU64::new(0))
+            // audit:allow(hot-alloc): per-chunk atomic cells, one allocation per reduction (see partials above)
             .collect();
         let cells = &cells;
         std::thread::scope(|scope| {
             for _ in 0..threads.max(1) {
                 scope.spawn(move || loop {
+                    // ordering: atomic claim only — each chunk id goes to
+                    // exactly one worker by the fetch_add's atomicity; results
+                    // are published via the scope join, not the counter.
                     let c = counter.fetch_add(1, Ordering::Relaxed);
                     if c >= nchunks {
                         break;
@@ -128,11 +137,16 @@ fn par_reduce_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) -> 
                     for i in start..end {
                         acc += f(i);
                     }
+                    // ordering: each cell has exactly one writer (the chunk
+                    // owner); the main thread reads only after the scope
+                    // join synchronizes, so no release/acquire is needed.
                     cells[c].store(acc.to_bits(), Ordering::Relaxed);
                 });
             }
         });
         for (p, cell) in partials.iter_mut().zip(cells) {
+            // ordering: reads happen after the scope join above, which
+            // already established the happens-before edge with all writers.
             *p = f64::from_bits(cell.load(Ordering::Relaxed));
         }
     }

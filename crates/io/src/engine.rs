@@ -18,6 +18,7 @@ impl StagingWriter {
     /// Publish one step; blocks when the consumer is `capacity` steps
     /// behind (back-pressure instead of unbounded buffering).
     pub fn put(&self, step: StepData) {
+        // audit:allow(no-panic): a dropped reader means the in-situ consumer is gone — continuing would silently discard simulation output, so fail fast
         self.tx.send(step).expect("staging reader dropped");
     }
 
@@ -96,6 +97,7 @@ impl AsyncBplWriter {
                 writer.close()?;
                 Ok(count)
             })
+            // audit:allow(no-panic): thread spawn fails only on resource exhaustion at writer construction — before any data is at risk
             .expect("spawn async writer");
         Ok(Self {
             tx: Some(tx),
@@ -107,8 +109,10 @@ impl AsyncBplWriter {
     pub fn put(&self, step: StepData) {
         self.tx
             .as_ref()
+            // audit:allow(no-panic): tx is None only after close(self) consumed the writer — unreachable through the public API
             .expect("writer already closed")
             .send(step)
+            // audit:allow(no-panic): send fails only if the writer thread died mid-run; swallowing that would silently drop output, so fail fast
             .expect("async writer thread died");
     }
 
@@ -116,7 +120,9 @@ impl AsyncBplWriter {
     /// of steps written.
     pub fn close(mut self) -> std::io::Result<usize> {
         drop(self.tx.take());
+        // audit:allow(no-panic): handle is Some for every live writer — close takes self by value, so it can run at most once
         let handle = self.handle.take().expect("already closed");
+        // audit:allow(no-panic): re-raises a writer-thread panic on the caller's thread instead of losing it
         handle.join().expect("async writer panicked")
     }
 }

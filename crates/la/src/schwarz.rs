@@ -111,13 +111,19 @@ impl SchwarzMg {
 
     /// Apply `z = M⁻¹ r`.
     pub fn apply(&self, r: &[f64], z: &mut [f64], mode: SchwarzMode, comm: &dyn Communicator) {
-        assert_eq!(r.len(), self.wt.len());
-        assert_eq!(z.len(), r.len());
+        debug_assert_eq!(r.len(), self.wt.len());
+        debug_assert_eq!(z.len(), r.len());
         // Weight the assembled residual so element-local restrictions do
         // not double-count shared nodes.
+        // audit:allow(hot-alloc): both tasks read rw concurrently in overlapped mode — a shared immutable buffer, not reusable scratch under &self
         let rw: Vec<f64> = r.iter().zip(&self.wt).map(|(v, w)| v * w).collect();
         let n = z.len();
+        // The two additive terms accumulate into *disjoint* buffers — that
+        // disjointness is exactly what lets the coarse and fine tasks run
+        // concurrently without synchronization (paper §5.3).
+        // audit:allow(hot-alloc): disjoint per-apply buffer is the overlap-correctness mechanism; &self must stay immutable across both tasks
         let mut z_coarse = vec![0.0; n];
+        // audit:allow(hot-alloc): disjoint per-apply buffer is the overlap-correctness mechanism; &self must stay immutable across both tasks
         let mut z_fine = vec![0.0; n];
 
         match mode {

@@ -27,6 +27,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod schema;
 pub mod sink;
 pub mod span;
@@ -95,12 +96,18 @@ impl Telemetry {
 
     /// Switch collection on/off at runtime.
     pub fn set_enabled(&self, on: bool) {
+        // ordering: a lone on/off flag — no data is published through it
+        // (tracer/metrics state lives behind its own locks), and a span
+        // racing the toggle may harmlessly record or skip one event.
         self.inner.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Is collection active? Hot paths gate on this single load.
     #[inline]
     pub fn is_enabled(&self) -> bool {
+        // ordering: advisory read of the enabled flag (see set_enabled);
+        // keeping this Relaxed is what makes disabled-telemetry hot paths
+        // a single uncontended load.
         self.inner.enabled.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,238 @@
+//! Canonical span-path and metric-name registry for `rbx.telemetry.v1`.
+//!
+//! Every span path and metric name the production code emits is declared
+//! here, once, next to its kind and meaning. The `rbx-audit` analyzer
+//! cross-checks string literals at instrumentation call sites in
+//! `crates/{core,la,gs}` against this table, so instrumentation and schema
+//! cannot silently diverge: renaming a span in code without updating the
+//! registry (or vice versa) fails CI.
+//!
+//! Dashboards and the JSONL/Prometheus consumers should treat this module
+//! as the source of truth for what a given name means.
+
+/// Kind of a registered metric, matching how the `MetricsRegistry` is fed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (`counter_add`).
+    Counter,
+    /// Last-write-wins gauge (`gauge_set`).
+    Gauge,
+    /// Log-bucketed histogram (`histogram_observe`).
+    Histogram,
+}
+
+/// A registered metric: base name (labels stripped), kind, and meaning.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Base name without any `{label=...}` suffix.
+    pub name: &'static str,
+    pub kind: MetricKind,
+    /// One-line description for dashboards.
+    pub help: &'static str,
+}
+
+/// A registered span path (absolute, `/`-separated).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanDef {
+    pub path: &'static str,
+    pub help: &'static str,
+}
+
+/// All span paths production code opens, as absolute paths. Spans opened
+/// with the *relative* [`crate::Telemetry::span`] API nest under whichever
+/// span is innermost on the calling thread; the registry lists the paths
+/// they produce in the canonical step-loop nesting.
+pub const SPANS: &[SpanDef] = &[
+    SpanDef {
+        path: "step/pressure",
+        help: "pressure RHS assembly + Poisson solve (Fig. 4 bin)",
+    },
+    SpanDef {
+        path: "step/velocity",
+        help: "velocity RHS + Helmholtz solves (Fig. 4 bin)",
+    },
+    SpanDef {
+        path: "step/temperature",
+        help: "temperature RHS + Helmholtz solve (Fig. 4 bin)",
+    },
+    SpanDef {
+        path: "step/other",
+        help: "advection, lag shuffling, everything else (Fig. 4 bin)",
+    },
+    SpanDef {
+        path: "schwarz/coarse",
+        help: "two-level Schwarz coarse correction (restrict+solve+prolong)",
+    },
+    SpanDef {
+        path: "schwarz/coarse/restrict",
+        help: "fine-to-coarse restriction transfer",
+    },
+    SpanDef {
+        path: "schwarz/coarse/solve",
+        help: "coarse-space direct/iterative solve",
+    },
+    SpanDef {
+        path: "schwarz/coarse/prolong",
+        help: "coarse-to-fine prolongation transfer",
+    },
+    SpanDef {
+        path: "schwarz/fdm",
+        help: "element-local fast-diagonalization sweep (fine branch)",
+    },
+    SpanDef {
+        path: "schwarz/gs",
+        help: "weighted gather-scatter averaging after the overlap joins",
+    },
+    SpanDef {
+        path: "gs/local",
+        help: "gather-scatter: rank-local group reduction",
+    },
+    SpanDef {
+        path: "gs/shared",
+        help: "gather-scatter: inter-rank exchange + combine",
+    },
+    SpanDef {
+        path: "gs/scatter",
+        help: "gather-scatter: write combined values back to nodes",
+    },
+];
+
+/// All metric base names production code feeds. Call sites may append
+/// `{label=value}` suffixes; the audit strips those before the lookup.
+pub const METRICS: &[MetricDef] = &[
+    MetricDef {
+        name: "rbx_steps_total",
+        kind: MetricKind::Counter,
+        help: "completed time steps",
+    },
+    MetricDef {
+        name: "rbx_step_verdict_total",
+        kind: MetricKind::Counter,
+        help: "step verdicts by outcome label",
+    },
+    MetricDef {
+        name: "rbx_step_dt",
+        kind: MetricKind::Gauge,
+        help: "current time-step size",
+    },
+    MetricDef {
+        name: "rbx_sim_time",
+        kind: MetricKind::Gauge,
+        help: "simulated time",
+    },
+    MetricDef {
+        name: "rbx_cfl",
+        kind: MetricKind::Gauge,
+        help: "advective CFL number of the last step",
+    },
+    MetricDef {
+        name: "rbx_nusselt_hot",
+        kind: MetricKind::Gauge,
+        help: "instantaneous Nusselt number at the hot plate",
+    },
+    MetricDef {
+        name: "rbx_step_wall_seconds",
+        kind: MetricKind::Histogram,
+        help: "wall-clock seconds per completed step",
+    },
+    MetricDef {
+        name: "rbx_solve_iterations",
+        kind: MetricKind::Histogram,
+        help: "Krylov iterations per solve, labelled by solver/label",
+    },
+    MetricDef {
+        name: "rbx_solve_initial_residual",
+        kind: MetricKind::Histogram,
+        help: "initial residual norm per solve",
+    },
+    MetricDef {
+        name: "rbx_solve_final_residual",
+        kind: MetricKind::Histogram,
+        help: "final residual norm per solve",
+    },
+    MetricDef {
+        name: "rbx_solve_outcome_total",
+        kind: MetricKind::Counter,
+        help: "solve outcomes by solver/health labels",
+    },
+    MetricDef {
+        name: "rbx_recovery_events_total",
+        kind: MetricKind::Counter,
+        help: "resilience events by event label",
+    },
+    MetricDef {
+        name: "rbx_gs_messages_total",
+        kind: MetricKind::Counter,
+        help: "gather-scatter messages exchanged",
+    },
+    MetricDef {
+        name: "rbx_gs_bytes_total",
+        kind: MetricKind::Counter,
+        help: "gather-scatter payload bytes exchanged",
+    },
+];
+
+/// Strip a `{label=...}` suffix from a metric name, returning the base
+/// name the registry is keyed by.
+pub fn metric_base(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+/// Look up a metric by (label-stripped) name.
+pub fn find_metric(name: &str) -> Option<&'static MetricDef> {
+    let base = metric_base(name);
+    METRICS.iter().find(|m| m.name == base)
+}
+
+/// Look up a span path.
+pub fn find_span(path: &str) -> Option<&'static SpanDef> {
+    SPANS.iter().find(|s| s.path == path)
+}
+
+/// Is `path` a registered span path, or a descendant of one produced by
+/// nesting relative spans under a registered absolute path?
+pub fn span_registered(path: &str) -> bool {
+    find_span(path).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_hit_registered_names() {
+        assert!(find_span("schwarz/fdm").is_some());
+        assert!(find_span("nope/nope").is_none());
+        assert_eq!(
+            find_metric("rbx_steps_total").map(|m| m.kind),
+            Some(MetricKind::Counter)
+        );
+        assert!(find_metric("rbx_bogus").is_none());
+    }
+
+    #[test]
+    fn label_suffixes_are_stripped() {
+        let m = find_metric("rbx_solve_outcome_total{solver=pcg,health=healthy}")
+            .expect("labelled lookup");
+        assert_eq!(m.name, "rbx_solve_outcome_total");
+        assert_eq!(m.kind, MetricKind::Counter);
+        assert_eq!(metric_base("rbx_cfl"), "rbx_cfl");
+    }
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        for (i, a) in METRICS.iter().enumerate() {
+            for b in &METRICS[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate metric {}", a.name);
+            }
+        }
+        for (i, a) in SPANS.iter().enumerate() {
+            for b in &SPANS[i + 1..] {
+                assert_ne!(a.path, b.path, "duplicate span {}", a.path);
+            }
+        }
+    }
+}

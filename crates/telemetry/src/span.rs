@@ -72,6 +72,8 @@ impl SpanTracer {
     /// Cap recording depth; spans nested deeper than `depth` levels are
     /// opened but not recorded.
     pub fn set_max_depth(&self, depth: usize) {
+        // ordering: standalone tuning knob — no other data is published
+        // with it, and a racing span seeing the old depth is harmless.
         self.max_depth.store(depth.max(1), Ordering::Relaxed);
     }
 
@@ -90,6 +92,7 @@ impl SpanTracer {
             None => name.to_string(),
         };
         let depth = stack.len() + 1;
+        // ordering: advisory read of the depth cap (see set_max_depth).
         let record = depth <= self.max_depth.load(Ordering::Relaxed);
         stack.push((path, record));
         drop(st);
@@ -107,6 +110,7 @@ impl SpanTracer {
         let mut st = self.lock();
         let stack = st.stacks.entry(tid).or_default();
         let depth = path.split('/').count();
+        // ordering: advisory read of the depth cap (see set_max_depth).
         let record = depth <= self.max_depth.load(Ordering::Relaxed);
         stack.push((path.to_string(), record));
         drop(st);
