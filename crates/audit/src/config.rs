@@ -27,6 +27,10 @@ pub struct AuditConfig {
     /// Crate directories whose span/metric name literals are checked
     /// against the `rbx.telemetry.v1` registry.
     pub telemetry_crates: Vec<String>,
+    /// Hot-path files denied ad-hoc threading (`thread::spawn/scope`,
+    /// the implicit global pool, in-kernel pool construction) — they must
+    /// carry an explicit `WorkerPool` handle instead.
+    pub pool_discipline_paths: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -104,6 +108,7 @@ impl AuditConfig {
             hot_alloc_fns: fn_map(doc.table("rules.hot_alloc"))?,
             cast_budget: budget_map(doc.table("rules.casts"))?,
             telemetry_crates: str_array(doc.table("rules.telemetry_names"), "crates"),
+            pool_discipline_paths: str_array(doc.table("rules.pool_discipline"), "paths"),
         })
     }
 
@@ -157,6 +162,13 @@ impl AuditConfig {
                 Value::StrArray(self.telemetry_crates.clone()),
             )],
         });
+        doc.tables.push(Table {
+            name: "rules.pool_discipline".into(),
+            entries: vec![(
+                "paths".into(),
+                Value::StrArray(self.pool_discipline_paths.clone()),
+            )],
+        });
         toml::serialize(&doc)
     }
 }
@@ -178,6 +190,8 @@ mod tests {
             .insert("crates/la/src/fdm.rs".into(), vec!["apply_add".into()]);
         cfg.cast_budget.insert("crates/gs/src/lib.rs".into(), 25);
         cfg.telemetry_crates.push("crates/core".into());
+        cfg.pool_discipline_paths
+            .push("crates/la/src/schwarz.rs".into());
         let text = cfg.serialize();
         let back = AuditConfig::parse(&text).unwrap();
         assert_eq!(cfg, back);

@@ -7,6 +7,7 @@ pub mod atomics;
 pub mod casts;
 pub mod index;
 pub mod panics;
+pub mod pool;
 pub mod telemetry_names;
 
 /// Rule ids, used in waivers (`// audit:allow(<id>): reason`) and reports.
@@ -17,11 +18,12 @@ pub const HOT_ALLOC: &str = "hot-alloc";
 pub const ATOMICS: &str = "atomics";
 pub const CASTS: &str = "casts";
 pub const TELEMETRY: &str = "telemetry-names";
+pub const POOL: &str = "pool-discipline";
 /// Meta-rule for malformed/stale waivers.
 pub const WAIVER: &str = "waiver";
 
 /// Every waivable rule id (the `waiver` meta-rule itself cannot be
 /// waived).
 pub const ALL_RULES: &[&str] = &[
-    HOT_PANIC, NO_PANIC, HOT_INDEX, HOT_ALLOC, ATOMICS, CASTS, TELEMETRY,
+    HOT_PANIC, NO_PANIC, HOT_INDEX, HOT_ALLOC, ATOMICS, CASTS, TELEMETRY, POOL,
 ];

@@ -95,12 +95,10 @@ fn bench_operator_apply_pooled(c: &mut Criterion) {
         h2: 0.5,
     };
     let mut y = vec![0.0; f.u.len()];
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1);
+    let pool = rbx::device::WorkerPool::auto();
     c.bench_function("helmholtz_apply_local_pooled_p7_27elem", |b| {
         b.iter(|| {
-            op.apply_local_pooled(black_box(&f.u), &mut y, threads);
+            op.apply_local_with(black_box(&f.u), &mut y, &pool);
             black_box(&y);
         })
     });

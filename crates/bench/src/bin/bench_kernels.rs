@@ -1,0 +1,241 @@
+//! **bench_kernels** — serial vs pooled hot-kernel timings.
+//!
+//! Times the four kernels the persistent worker pool accelerates —
+//! Helmholtz apply, solver dot product, gather-scatter local phase, and
+//! the element-FDM batch sweep — at polynomial degrees 5, 7 and 9, serial
+//! against pooled, and writes an `rbx.bench.v1` record (validated by
+//! `telemetry_check --bench`).
+//!
+//! ```sh
+//! cargo run --release -p rbx-bench --bin bench_kernels -- \
+//!     --quick --threads 4 --out BENCH_kernels.json --assert-speedup 2.0
+//! ```
+//!
+//! `--assert-speedup X` exits non-zero if the pooled Helmholtz apply is
+//! slower than `X`× serial at any degree — but only on hosts with at
+//! least 4 cores, so single-core CI runners still validate the schema
+//! and the bitwise agreement without a meaningless performance gate.
+
+use rbx::comm::SingleComm;
+use rbx::device::WorkerPool;
+use rbx::gs::{GatherScatter, GsOp};
+use rbx::la::helmholtz::{HelmholtzOp, HelmholtzScratch};
+use rbx::la::ops::DotProduct;
+use rbx::la::ElementFdm;
+use rbx::mesh::generators::box_mesh;
+use rbx::mesh::GeomFactors;
+use rbx::telemetry::json::Value;
+use rbx::telemetry::schema::{bench_record, validate_bench};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    out: PathBuf,
+    assert_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: 4,
+        out: PathBuf::from("BENCH_kernels.json"),
+        assert_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("bench_kernels: missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_kernels: invalid --threads");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--assert-speedup" => {
+                args.assert_speedup = Some(value("--assert-speedup").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_kernels: invalid --assert-speedup");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!("flags: --quick --threads N --out FILE.json --assert-speedup X");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("bench_kernels: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.threads == 0 {
+        eprintln!("bench_kernels: --threads must be at least 1");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Best-of-`reps` wall time of `f`, in microseconds (one warmup call).
+fn time_us<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = if args.quick { 5 } else { 30 };
+    let pool = WorkerPool::new(args.threads);
+    println!(
+        "bench_kernels: {} host cores, pool of {} threads, {} reps{}",
+        cores,
+        pool.threads(),
+        reps,
+        if args.quick { " (quick)" } else { "" }
+    );
+
+    let comm = SingleComm::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut helmholtz_speedups: Vec<(usize, f64)> = Vec::new();
+
+    for p in [5usize, 7, 9] {
+        let mesh = box_mesh(3, 3, 3, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let part = vec![0usize; mesh.num_elements()];
+        let my: Vec<usize> = (0..mesh.num_elements()).collect();
+        let geom = GeomFactors::new(&mesh, p);
+        let n = geom.total_nodes();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 % 97) as f64) * 0.01 - 0.4)
+            .collect();
+        let mask = vec![1.0; n];
+
+        // Helmholtz local apply: serial vs pooled (bitwise identical).
+        let gs = Arc::new(GatherScatter::build(&mesh, p, &part, &my, &comm));
+        let op = HelmholtzOp {
+            geom: &geom,
+            gs: &gs,
+            mask: &mask,
+            h1: 1.0,
+            h2: 0.5,
+        };
+        let mut y = vec![0.0; n];
+        let mut scratch = HelmholtzScratch::default();
+        let serial = time_us(reps, || op.apply_local(&u, &mut y, &mut scratch));
+        let y_serial = y.clone();
+        let pooled = time_us(reps, || op.apply_local_with(&u, &mut y, &pool));
+        assert_eq!(y_serial, y, "pooled Helmholtz apply diverged at p={p}");
+        let speedup = serial / pooled;
+        helmholtz_speedups.push((p, speedup));
+        rows.push(row("helmholtz_apply", p, serial, pooled));
+
+        // Solver dot product (pooled bits are schedule-independent).
+        let mult = gs.multiplicity(&comm);
+        let dp = DotProduct::new(&mult);
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 17 % 89) as f64) * 0.02 - 0.9)
+            .collect();
+        let serial = time_us(reps, || {
+            std::hint::black_box(dp.dot(&u, &b, &comm));
+        });
+        let pooled = time_us(reps, || {
+            std::hint::black_box(dp.dot_with(&u, &b, &pool, &comm));
+        });
+        rows.push(row("dot_product", p, serial, pooled));
+
+        // Gather-scatter local phase (pool handle is set-once, so the
+        // pooled timing uses a second operator instance).
+        let gs_pooled = GatherScatter::build(&mesh, p, &part, &my, &comm);
+        gs_pooled.set_pool(&pool);
+        let mut v = u.clone();
+        let serial = time_us(reps, || gs.apply(&mut v, GsOp::Add, &comm));
+        let mut v2 = u.clone();
+        let pooled = time_us(reps, || gs_pooled.apply(&mut v2, GsOp::Add, &comm));
+        rows.push(row("gs_local", p, serial, pooled));
+
+        // Element-FDM batch sweep (the Schwarz fine level).
+        let fdm = ElementFdm::new(&geom);
+        let mut z = vec![0.0; n];
+        let serial = time_us(reps, || {
+            z.iter_mut().for_each(|x| *x = 0.0);
+            fdm.apply_add(&u, &mut z, 1.0, 0.0);
+        });
+        let z_serial = z.clone();
+        let pooled = time_us(reps, || {
+            z.iter_mut().for_each(|x| *x = 0.0);
+            fdm.apply_add_with(&u, &mut z, 1.0, 0.0, &pool);
+        });
+        assert_eq!(z_serial, z, "pooled FDM sweep diverged at p={p}");
+        rows.push(row("fdm_batch", p, serial, pooled));
+    }
+
+    for r in &rows {
+        let (k, p) = (r[0].as_str().unwrap_or("?"), r[1].as_f64().unwrap_or(0.0));
+        let (s, q, x) = (
+            r[2].as_f64().unwrap_or(0.0),
+            r[3].as_f64().unwrap_or(0.0),
+            r[4].as_f64().unwrap_or(0.0),
+        );
+        println!("  {k:<16} p={p:<2} serial {s:>9.1} us  pooled {q:>9.1} us  speedup {x:.2}x");
+    }
+
+    let record = bench_record(
+        "bench_kernels",
+        &["kernel", "p", "serial_us", "pooled_us", "speedup"],
+        rows,
+        vec![
+            ("cores", Value::int(cores as u64)),
+            ("threads", Value::int(pool.threads() as u64)),
+            ("reps", Value::int(reps as u64)),
+            ("quick", Value::int(u64::from(args.quick))),
+        ],
+    );
+    validate_bench(&record).expect("bench record must self-validate");
+    std::fs::write(&args.out, format!("{record}\n")).unwrap_or_else(|e| {
+        eprintln!("bench_kernels: cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out.display());
+
+    if let Some(min) = args.assert_speedup {
+        if cores >= 4 {
+            for (p, s) in &helmholtz_speedups {
+                if *s < min {
+                    eprintln!(
+                        "bench_kernels: FAIL: pooled Helmholtz speedup {s:.2}x < {min}x at p={p} \
+                         ({cores} cores, {} pool threads)",
+                        pool.threads()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            println!("speedup gate passed (>= {min}x on {cores} cores)");
+        } else {
+            println!("speedup gate skipped: only {cores} core(s) available");
+        }
+    }
+}
+
+fn row(kernel: &str, p: usize, serial_us: f64, pooled_us: f64) -> Vec<Value> {
+    vec![
+        Value::str(kernel),
+        Value::int(p as u64),
+        Value::num(serial_us),
+        Value::num(pooled_us),
+        Value::num(serial_us / pooled_us),
+    ]
+}

@@ -48,6 +48,7 @@ struct Args {
     order: usize,
     dt: f64,
     steps: usize,
+    threads: usize,
     resolution: usize,
     sample_every: usize,
     checkpoint_every: usize,
@@ -76,6 +77,7 @@ impl Default for Args {
             order: 5,
             dt: 2e-3,
             steps: 300,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             resolution: 3,
             sample_every: 20,
             checkpoint_every: 0,
@@ -125,6 +127,7 @@ fn parse_args() -> Args {
             "--order" => args.order = parse("--order", &value("--order")),
             "--dt" => args.dt = parse("--dt", &value("--dt")),
             "--steps" => args.steps = parse("--steps", &value("--steps")),
+            "--threads" => args.threads = parse("--threads", &value("--threads")),
             "--resolution" => args.resolution = parse("--resolution", &value("--resolution")),
             "--sample-every" => {
                 args.sample_every = parse("--sample-every", &value("--sample-every"))
@@ -167,7 +170,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
-                     --steps N --resolution R --sample-every N --checkpoint-every N \
+                     --steps N --threads N --resolution R --sample-every N --checkpoint-every N \
                      --checkpoint-keep K --max-rollbacks N --dt-factor F \
                      --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
                      --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR \
@@ -187,6 +190,9 @@ fn parse_args() -> Args {
     }
     if !(args.dt_factor > 0.0 && args.dt_factor < 1.0) {
         die("--dt-factor must be in (0, 1)");
+    }
+    if args.threads == 0 {
+        die("--threads must be at least 1");
     }
     args
 }
@@ -231,6 +237,15 @@ fn main() {
         &case.part,
         case.elems[0].clone(),
         &comm,
+    );
+    // Persistent worker pool for every hot-path kernel; the pooled step is
+    // bitwise identical for any --threads value.
+    let pool = rbx::device::WorkerPool::new(args.threads);
+    sim.set_pool(&pool);
+    println!(
+        "  worker pool: {} thread{}",
+        pool.threads(),
+        if pool.threads() == 1 { "" } else { "s" }
     );
     sim.init_rbc();
 
@@ -461,6 +476,14 @@ fn main() {
         "wall time",
         format!("{elapsed:.2} s ({ms_per_step:.1} ms/step)"),
     );
+    let pstats = pool.stats();
+    row(
+        "worker pool",
+        format!(
+            "{} threads, {} dispatches, {} chunks",
+            pstats.threads, pstats.dispatches, pstats.chunks
+        ),
+    );
     row("rollbacks", format!("{}", report.rollbacks));
     row("final dt", format!("{}", report.final_dt));
     row("recovery events", format!("{}", report.events.len()));
@@ -516,6 +539,8 @@ fn main() {
         ("ms_per_step", Value::num(ms_per_step)),
         ("rollbacks", Value::int(report.rollbacks as u64)),
         ("final_dt", Value::num(report.final_dt)),
+        ("threads", Value::int(pstats.threads as u64)),
+        ("pool_dispatches", Value::int(pstats.dispatches)),
         (
             "phase_pct",
             Value::obj([

@@ -10,7 +10,9 @@
 
 use rbx_basis::tensor::{deriv_x, deriv_y, deriv_z, tensor_apply3, TensorScratch};
 use rbx_basis::{dealias_nodes, gll, interp_matrix, DMat};
+use rbx_device::{loop_chunk, RangePtr, WorkerPool};
 use rbx_mesh::GeomFactors;
+use std::cell::RefCell;
 
 /// Scratch buffers for the gradient/advection kernels.
 #[derive(Debug, Default)]
@@ -18,6 +20,22 @@ pub struct DiffScratch {
     ur: Vec<f64>,
     us: Vec<f64>,
     ut: Vec<f64>,
+}
+
+/// Per-worker scratch for the pooled kernels; lives in a thread-local so
+/// repeated dispatches reuse the same buffers (`resize` is a no-op once
+/// warm — the zero-allocation dispatch contract of the pool runtime).
+#[derive(Default)]
+struct PoolDiffScratch {
+    ds: DiffScratch,
+    ts: TensorScratch,
+    fine_a: [Vec<f64>; 3],
+    fine_g: Vec<f64>,
+    prod: Vec<f64>,
+}
+
+thread_local! {
+    static POOL_SCRATCH: RefCell<PoolDiffScratch> = RefCell::new(PoolDiffScratch::default());
 }
 
 /// Pointwise physical gradient `(∂u/∂x, ∂u/∂y, ∂u/∂z)` of a scalar field.
@@ -49,6 +67,52 @@ pub fn phys_grad(
             gz[gi] = geom.dr[2][gi] * ur + geom.dr[5][gi] * us + geom.dr[8][gi] * ut;
         }
     }
+}
+
+/// Pooled [`phys_grad`]: element chunks self-schedule across the pool's
+/// workers, each writing its own elements' gradient nodes. Bitwise
+/// identical to the serial kernel for every thread count.
+pub fn phys_grad_with(
+    geom: &GeomFactors,
+    u: &[f64],
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+    pool: &WorkerPool,
+) {
+    let n = geom.nx1;
+    let nn = n * n * n;
+    let nelv = geom.nelv;
+    assert_eq!(u.len(), geom.total_nodes());
+    let gxp = RangePtr::new(gx);
+    let gyp = RangePtr::new(gy);
+    let gzp = RangePtr::new(gz);
+    pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+        POOL_SCRATCH.with(|cell| {
+            let s = &mut cell.borrow_mut().ds;
+            s.ur.resize(nn, 0.0);
+            s.us.resize(nn, 0.0);
+            s.ut.resize(nn, 0.0);
+            for e in e0..e1 {
+                let base = e * nn;
+                let ue = &u[base..base + nn];
+                deriv_x(&geom.d, ue, &mut s.ur, n);
+                deriv_y(&geom.d, ue, &mut s.us, n);
+                deriv_z(&geom.d, ue, &mut s.ut, n);
+                // SAFETY: element ranges of distinct chunks are disjoint.
+                let gxs = unsafe { gxp.range_mut(base, base + nn) };
+                let gys = unsafe { gyp.range_mut(base, base + nn) };
+                let gzs = unsafe { gzp.range_mut(base, base + nn) };
+                for idx in 0..nn {
+                    let gi = base + idx;
+                    let (ur, us, ut) = (s.ur[idx], s.us[idx], s.ut[idx]);
+                    gxs[idx] = geom.dr[0][gi] * ur + geom.dr[3][gi] * us + geom.dr[6][gi] * ut;
+                    gys[idx] = geom.dr[1][gi] * ur + geom.dr[4][gi] * us + geom.dr[7][gi] * ut;
+                    gzs[idx] = geom.dr[2][gi] * ur + geom.dr[5][gi] * us + geom.dr[8][gi] * ut;
+                }
+            }
+        });
+    });
 }
 
 /// Pointwise curl `ω = ∇ × u` of a vector field.
@@ -122,6 +186,49 @@ pub fn weak_divergence(
         deriv_y_t_add(&geom.d, &scratch.us, oe, n);
         deriv_z_t_add(&geom.d, &scratch.ut, oe, n);
     }
+}
+
+/// Pooled [`weak_divergence`]; bitwise identical to the serial kernel for
+/// every thread count (per-element writes are disjoint across chunks).
+pub fn weak_divergence_with(
+    geom: &GeomFactors,
+    v: [&[f64]; 3],
+    out: &mut [f64],
+    pool: &WorkerPool,
+) {
+    use rbx_basis::tensor::{deriv_x_t_add, deriv_y_t_add, deriv_z_t_add};
+    let n = geom.nx1;
+    let nn = n * n * n;
+    let nelv = geom.nelv;
+    let op = RangePtr::new(out);
+    pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+        POOL_SCRATCH.with(|cell| {
+            let s = &mut cell.borrow_mut().ds;
+            s.ur.resize(nn, 0.0);
+            s.us.resize(nn, 0.0);
+            s.ut.resize(nn, 0.0);
+            for e in e0..e1 {
+                let base = e * nn;
+                for idx in 0..nn {
+                    let gi = base + idx;
+                    let bj = geom.mass[gi];
+                    let (vx, vy, vz) = (v[0][gi], v[1][gi], v[2][gi]);
+                    s.ur[idx] =
+                        bj * (geom.dr[0][gi] * vx + geom.dr[1][gi] * vy + geom.dr[2][gi] * vz);
+                    s.us[idx] =
+                        bj * (geom.dr[3][gi] * vx + geom.dr[4][gi] * vy + geom.dr[5][gi] * vz);
+                    s.ut[idx] =
+                        bj * (geom.dr[6][gi] * vx + geom.dr[7][gi] * vy + geom.dr[8][gi] * vz);
+                }
+                // SAFETY: element ranges of distinct chunks are disjoint.
+                let oe = unsafe { op.range_mut(base, base + nn) };
+                oe.fill(0.0);
+                deriv_x_t_add(&geom.d, &s.ur, oe, n);
+                deriv_y_t_add(&geom.d, &s.us, oe, n);
+                deriv_z_t_add(&geom.d, &s.ut, oe, n);
+            }
+        });
+    });
 }
 
 /// Pointwise divergence `∇·v` (collocation), for diagnostics.
@@ -271,6 +378,95 @@ impl Dealias {
                 *o /= m;
             }
         }
+    }
+
+    /// Pooled [`Dealias::advect`]: the collocation gradient and the
+    /// per-element fine-grid product both self-schedule across the pool.
+    /// Bitwise identical to the serial operator for every thread count.
+    pub fn advect_with(
+        &self,
+        geom: &GeomFactors,
+        a: [&[f64]; 3],
+        v: &[f64],
+        out: &mut [f64],
+        pool: &WorkerPool,
+    ) {
+        let ntot = geom.total_nodes();
+        // audit:allow(hot-alloc): whole-field gradient buffers are read concurrently by every pool worker in the product stage — shared immutable data, not per-worker scratch
+        let mut gx = vec![0.0; ntot];
+        // audit:allow(hot-alloc): whole-field gradient buffers are read concurrently by every pool worker in the product stage — shared immutable data, not per-worker scratch
+        let mut gy = vec![0.0; ntot];
+        // audit:allow(hot-alloc): whole-field gradient buffers are read concurrently by every pool worker in the product stage — shared immutable data, not per-worker scratch
+        let mut gz = vec![0.0; ntot];
+        phys_grad_with(geom, v, &mut gx, &mut gy, &mut gz, pool);
+
+        if !self.enabled {
+            let op = RangePtr::new(out);
+            pool.for_each_range(ntot, loop_chunk(ntot, pool.threads()), |i0, i1| {
+                // SAFETY: chunk ranges are pairwise disjoint.
+                let os = unsafe { op.range_mut(i0, i1) };
+                for (idx, o) in (i0..i1).zip(os.iter_mut()) {
+                    *o = a[0][idx] * gx[idx] + a[1][idx] * gy[idx] + a[2][idx] * gz[idx];
+                }
+            });
+            return;
+        }
+
+        let n = geom.nx1;
+        let nn = n * n * n;
+        let nelv = geom.nelv;
+        let mf = self.mf;
+        let mmf = mf * mf * mf;
+        // Transposed interpolation matrix, shared read-only by all workers
+        // (one small alloc per apply, same as the serial path).
+        let jt = self.jmat.transpose();
+        let op = RangePtr::new(out);
+        pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+            POOL_SCRATCH.with(|cell| {
+                let s = &mut *cell.borrow_mut();
+                for d in 0..3 {
+                    s.fine_a[d].resize(mmf, 0.0);
+                }
+                s.fine_g.resize(mmf, 0.0);
+                s.prod.resize(mmf, 0.0);
+                for e in e0..e1 {
+                    let base = e * nn;
+                    for d in 0..3 {
+                        tensor_apply3(
+                            &self.jmat,
+                            &self.jmat,
+                            &self.jmat,
+                            &a[d][base..base + nn],
+                            &mut s.fine_a[d],
+                            &mut s.ts,
+                        );
+                    }
+                    s.prod.fill(0.0);
+                    for (d, g) in [&gx, &gy, &gz].into_iter().enumerate() {
+                        tensor_apply3(
+                            &self.jmat,
+                            &self.jmat,
+                            &self.jmat,
+                            &g[base..base + nn],
+                            &mut s.fine_g,
+                            &mut s.ts,
+                        );
+                        for q in 0..mmf {
+                            s.prod[q] += s.fine_a[d][q] * s.fine_g[q];
+                        }
+                    }
+                    for q in 0..mmf {
+                        s.prod[q] *= self.bf[e * mmf + q];
+                    }
+                    // SAFETY: element ranges of distinct chunks are disjoint.
+                    let oe = unsafe { op.range_mut(base, base + nn) };
+                    tensor_apply3(&jt, &jt, &jt, &s.prod, oe, &mut s.ts);
+                    for (o, m) in oe.iter_mut().zip(&geom.mass[base..base + nn]) {
+                        *o /= m;
+                    }
+                }
+            });
+        });
     }
 }
 
@@ -451,6 +647,54 @@ mod tests {
             let expect = 2.0 * geom.coords[0][i] * geom.coords[1][i];
             assert_close(out_on[i], expect, 1e-9);
             assert_close(out_off[i], expect, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pooled_kernels_match_serial_bitwise_across_thread_counts() {
+        let p = 4;
+        let mesh = box_mesh(3, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let geom = GeomFactors::new(&mesh, p);
+        let ntot = geom.total_nodes();
+        let u: Vec<f64> = (0..ntot)
+            .map(|i| ((i * 29 % 83) as f64) * 0.02 - 0.8)
+            .collect();
+        let ax: Vec<f64> = (0..ntot).map(|i| geom.coords[1][i] - 0.3).collect();
+        let ay: Vec<f64> = (0..ntot).map(|i| geom.coords[0][i] * 0.5).collect();
+        let az: Vec<f64> = (0..ntot).map(|i| geom.coords[2][i] - 0.1).collect();
+        let mut s = DiffScratch::default();
+
+        let mut gx = vec![0.0; ntot];
+        let mut gy = vec![0.0; ntot];
+        let mut gz = vec![0.0; ntot];
+        phys_grad(&geom, &u, &mut gx, &mut gy, &mut gz, &mut s);
+
+        let mut wd = vec![0.0; ntot];
+        weak_divergence(&geom, [&ax, &ay, &az], &mut wd, &mut s);
+
+        let mut adv = [vec![0.0; ntot], vec![0.0; ntot]];
+        let dealias = [Dealias::new(&geom, true), Dealias::new(&geom, false)];
+        for (d, o) in dealias.iter().zip(adv.iter_mut()) {
+            d.advect(&geom, [&ax, &ay, &az], &u, o, &mut s);
+        }
+
+        for threads in [1usize, 4, 7] {
+            let pool = rbx_device::WorkerPool::new(threads);
+            let (mut px, mut py, mut pz) = (vec![0.0; ntot], vec![0.0; ntot], vec![0.0; ntot]);
+            phys_grad_with(&geom, &u, &mut px, &mut py, &mut pz, &pool);
+            assert_eq!(gx, px, "grad x threads={threads}");
+            assert_eq!(gy, py, "grad y threads={threads}");
+            assert_eq!(gz, pz, "grad z threads={threads}");
+
+            let mut pwd = vec![0.0; ntot];
+            weak_divergence_with(&geom, [&ax, &ay, &az], &mut pwd, &pool);
+            assert_eq!(wd, pwd, "weak divergence threads={threads}");
+
+            for (d, o) in dealias.iter().zip(adv.iter()) {
+                let mut padv = vec![0.0; ntot];
+                d.advect_with(&geom, [&ax, &ay, &az], &u, &mut padv, &pool);
+                assert_eq!(o, &padv, "advect threads={threads}");
+            }
         }
     }
 

@@ -15,7 +15,9 @@
 //! Wall time is attributed to the paper's Fig. 4 phases throughout.
 
 use crate::config::{SolverConfig, ThermalBc};
-use crate::diffops::{curl, phys_grad, weak_divergence, Dealias, DiffScratch};
+use crate::diffops::{
+    curl, phys_grad, phys_grad_with, weak_divergence, weak_divergence_with, Dealias, DiffScratch,
+};
 use crate::error::{SimError, StepFault, StepPhase, StepVerdict};
 use crate::fields::FlowState;
 use crate::timeint::{bdf_coeffs_variable, effective_order, ext_coeffs_variable};
@@ -23,6 +25,7 @@ use crate::timers::{Phase, PhaseTimers};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rbx_comm::Communicator;
+use rbx_device::{PoolStats, WorkerPool};
 use rbx_gs::{GatherScatter, GsOp};
 use rbx_la::bc::{dirichlet_mask, set_on_tagged_faces};
 use rbx_la::helmholtz::{HelmholtzOp, HelmholtzScratch};
@@ -118,6 +121,12 @@ pub struct Simulation<'a> {
     p_proj: SolutionProjection,
     scratch_h: HelmholtzScratch,
     scratch_d: DiffScratch,
+    /// Persistent worker pool for the hot-path kernels (`None` keeps every
+    /// kernel on the calling thread — the legacy serial configuration).
+    pool: Option<WorkerPool>,
+    /// Pool counter snapshot at the end of the previous step, for per-step
+    /// telemetry deltas.
+    pool_prev: PoolStats,
 }
 
 impl<'a> Simulation<'a> {
@@ -220,7 +229,24 @@ impl<'a> Simulation<'a> {
             p_proj,
             scratch_h: HelmholtzScratch::default(),
             scratch_d: DiffScratch::default(),
+            pool: None,
+            pool_prev: PoolStats::default(),
         }
+    }
+
+    /// Route every hot-path kernel — Helmholtz applies inside the Krylov
+    /// solves, the Schwarz FDM sweep (and its coarse∥fine overlap), the
+    /// gather-scatter local phases, the dealiased advection/derivative
+    /// kernels, and the solver dot products — through a persistent
+    /// [`WorkerPool`]. The pooled step is bitwise identical for every
+    /// thread count of the pool (the reduction order is fixed by the data
+    /// layout, not the schedule), though not to the unpooled serial step,
+    /// whose dot products use a different summation order.
+    pub fn set_pool(&mut self, pool: &WorkerPool) {
+        self.pool = Some(pool.clone());
+        self.pool_prev = pool.stats();
+        self.schwarz.set_pool(pool);
+        self.gs.set_pool(pool);
     }
 
     /// Local node count.
@@ -329,23 +355,38 @@ impl<'a> Simulation<'a> {
         let n = self.n_local();
         let u = &self.state.u;
         let mut f = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
-        for d in 0..3 {
+        let mut ft = vec![0.0; n];
+        if let Some(pool) = &self.pool {
+            let _g = self.tel.span_abs("pool/advect");
+            for d in 0..3 {
+                self.dealias
+                    .advect_with(&self.geom, [&u[0], &u[1], &u[2]], &u[d], &mut f[d], pool);
+            }
+            self.dealias.advect_with(
+                &self.geom,
+                [&u[0], &u[1], &u[2]],
+                &self.state.t,
+                &mut ft,
+                pool,
+            );
+        } else {
+            for d in 0..3 {
+                self.dealias.advect(
+                    &self.geom,
+                    [&u[0], &u[1], &u[2]],
+                    &u[d],
+                    &mut f[d],
+                    &mut self.scratch_d,
+                );
+            }
             self.dealias.advect(
                 &self.geom,
                 [&u[0], &u[1], &u[2]],
-                &u[d],
-                &mut f[d],
+                &self.state.t,
+                &mut ft,
                 &mut self.scratch_d,
             );
         }
-        let mut ft = vec![0.0; n];
-        self.dealias.advect(
-            &self.geom,
-            [&u[0], &u[1], &u[2]],
-            &self.state.t,
-            &mut ft,
-            &mut self.scratch_d,
-        );
         for i in 0..n {
             f[0][i] = -f[0][i];
             f[1][i] = -f[1][i];
@@ -508,7 +549,7 @@ impl<'a> Simulation<'a> {
     /// phase breakdown comes from the just-completed step's span deltas.
     /// A single atomic load when telemetry is disabled.
     fn record_step_telemetry(
-        &self,
+        &mut self,
         stats: &StepStats,
         p_stats: &SolveStats,
         v_stats: &[SolveStats; 3],
@@ -516,6 +557,22 @@ impl<'a> Simulation<'a> {
     ) {
         if !self.tel.is_enabled() {
             return;
+        }
+        if let Some(pool) = &self.pool {
+            let now = pool.stats();
+            let prev = self.pool_prev;
+            self.pool_prev = now;
+            self.tel.gauge_set("rbx_pool_threads", now.threads as f64);
+            self.tel.counter_add(
+                "rbx_pool_dispatches_total",
+                now.dispatches.saturating_sub(prev.dispatches),
+            );
+            self.tel.counter_add(
+                "rbx_pool_chunks_total",
+                now.chunks.saturating_sub(prev.chunks),
+            );
+            self.tel
+                .counter_add("rbx_pool_items_total", now.items.saturating_sub(prev.items));
         }
         record_solve(&self.tel, "fgmres", "pressure", p_stats);
         const V_LABELS: [&str; 3] = ["velocity_x", "velocity_y", "velocity_z"];
@@ -677,7 +734,11 @@ impl<'a> Simulation<'a> {
             }
         }
         let mut rhs = vec![0.0; n];
-        weak_divergence(&self.geom, [&sx, &sy, &sz], &mut rhs, &mut self.scratch_d);
+        if let Some(pool) = &self.pool {
+            weak_divergence_with(&self.geom, [&sx, &sy, &sz], &mut rhs, pool);
+        } else {
+            weak_divergence(&self.geom, [&sx, &sy, &sz], &mut rhs, &mut self.scratch_d);
+        }
         self.gs.apply(&mut rhs, GsOp::Add, self.comm);
         // Consistency projection: the singular Neumann system needs
         // ⟨rhs, 1⟩ = 0 in the *unique-dof* inner product, so the weights
@@ -701,6 +762,8 @@ impl<'a> Simulation<'a> {
         let diag_a = &self.diag_a;
         let mask_p = &self.mask_p;
         let mass = &self.geom.mass;
+        let pool = self.pool.as_ref();
+        let tel = &self.tel;
 
         if self.cfg.p_projection > 0 {
             // Previous-solution recycling: remove the best approximation in
@@ -709,7 +772,13 @@ impl<'a> Simulation<'a> {
             self.p_proj.project_out(&mut rhs, &mut x0, dp, comm);
             let mut dx = vec![0.0; n];
             let stats = fgmres(
-                |x, y| op.apply(x, y, &mut scratch, comm),
+                |x, y| match pool {
+                    Some(pool) => {
+                        let _g = tel.span_abs("pool/helmholtz");
+                        op.apply_with(x, y, pool, comm);
+                    }
+                    None => op.apply(x, y, &mut scratch, comm),
+                },
                 |r, z| {
                     if use_schwarz {
                         schwarz.apply(r, z, mode, comm);
@@ -718,7 +787,13 @@ impl<'a> Simulation<'a> {
                         ortho_project_mean(z, mass, comm);
                     }
                 },
-                |a, b| dp.dot(a, b, comm),
+                |a, b| match pool {
+                    Some(pool) => {
+                        let _g = tel.span_abs("pool/dot");
+                        dp.dot_with(a, b, pool, comm)
+                    }
+                    None => dp.dot(a, b, comm),
+                },
                 &rhs,
                 &mut dx,
                 self.cfg.p_tol,
@@ -753,8 +828,13 @@ impl<'a> Simulation<'a> {
             // a warm space the A-orthogonalization reduces this to the
             // correction automatically.
             let mut ap = vec![0.0; n];
-            let mut scratch2 = HelmholtzScratch::default();
-            op.apply(p, &mut ap, &mut scratch2, comm);
+            match pool {
+                Some(pool) => op.apply_with(p, &mut ap, pool, comm),
+                None => {
+                    let mut scratch2 = HelmholtzScratch::default();
+                    op.apply(p, &mut ap, &mut scratch2, comm);
+                }
+            }
             let p_snapshot = self.state.p.clone();
             self.p_proj.absorb(&p_snapshot, &ap, dp, comm);
             stats
@@ -762,7 +842,13 @@ impl<'a> Simulation<'a> {
             let p = &mut self.state.p;
             ortho_project_mean(p, mass, comm);
             let stats = fgmres(
-                |x, y| op.apply(x, y, &mut scratch, comm),
+                |x, y| match pool {
+                    Some(pool) => {
+                        let _g = tel.span_abs("pool/helmholtz");
+                        op.apply_with(x, y, pool, comm);
+                    }
+                    None => op.apply(x, y, &mut scratch, comm),
+                },
                 |r, z| {
                     if use_schwarz {
                         schwarz.apply(r, z, mode, comm);
@@ -772,7 +858,13 @@ impl<'a> Simulation<'a> {
                         ortho_project_mean(z, mass, comm);
                     }
                 },
-                |a, b| dp.dot(a, b, comm),
+                |a, b| match pool {
+                    Some(pool) => {
+                        let _g = tel.span_abs("pool/dot");
+                        dp.dot_with(a, b, pool, comm)
+                    }
+                    None => dp.dot(a, b, comm),
+                },
                 &rhs,
                 p,
                 self.cfg.p_tol,
@@ -791,14 +883,18 @@ impl<'a> Simulation<'a> {
         let mut gx = vec![0.0; n];
         let mut gy = vec![0.0; n];
         let mut gz = vec![0.0; n];
-        phys_grad(
-            &self.geom,
-            &self.state.p,
-            &mut gx,
-            &mut gy,
-            &mut gz,
-            &mut self.scratch_d,
-        );
+        if let Some(pool) = &self.pool {
+            phys_grad_with(&self.geom, &self.state.p, &mut gx, &mut gy, &mut gz, pool);
+        } else {
+            phys_grad(
+                &self.geom,
+                &self.state.p,
+                &mut gx,
+                &mut gy,
+                &mut gz,
+                &mut self.scratch_d,
+            );
+        }
         let grads = [gx, gy, gz];
 
         let diag: Vec<f64> = self
@@ -817,6 +913,8 @@ impl<'a> Simulation<'a> {
         let dp = &self.dp;
         let comm = self.comm;
         let mask_v = &self.mask_v;
+        let pool = self.pool.as_ref();
+        let tel = &self.tel;
         let mut out = [SolveStats {
             iterations: 0,
             initial_residual: 0.0,
@@ -838,9 +936,21 @@ impl<'a> Simulation<'a> {
             hadamard(mask_v, u);
             let mut scratch = HelmholtzScratch::default();
             out[d] = pcg(
-                |x, y| op.apply(x, y, &mut scratch, comm),
+                |x, y| match pool {
+                    Some(pool) => {
+                        let _g = tel.span_abs("pool/helmholtz");
+                        op.apply_with(x, y, pool, comm);
+                    }
+                    None => op.apply(x, y, &mut scratch, comm),
+                },
                 |r, z| jacobi_apply(&diag, mask_v, r, z),
-                |a, b| dp.dot(a, b, comm),
+                |a, b| match pool {
+                    Some(pool) => {
+                        let _g = tel.span_abs("pool/dot");
+                        dp.dot_with(a, b, pool, comm)
+                    }
+                    None => dp.dot(a, b, comm),
+                },
                 &rhs,
                 u,
                 0.0,
@@ -862,7 +972,11 @@ impl<'a> Simulation<'a> {
             h2: bd0_dt,
         };
         let mut h_lift = vec![0.0; n];
-        op_unmasked.apply(&self.t_lift, &mut h_lift, &mut self.scratch_h, self.comm);
+        if let Some(pool) = &self.pool {
+            op_unmasked.apply_with(&self.t_lift, &mut h_lift, pool, self.comm);
+        } else {
+            op_unmasked.apply(&self.t_lift, &mut h_lift, &mut self.scratch_h, self.comm);
+        }
 
         let mut rhs = vec![0.0; n];
         for i in 0..n {
@@ -890,6 +1004,8 @@ impl<'a> Simulation<'a> {
         let dp = &self.dp;
         let comm = self.comm;
         let mask_t = &self.mask_t;
+        let pool = self.pool.as_ref();
+        let tel = &self.tel;
         // θ initial guess from the previous temperature.
         let mut theta: Vec<f64> = self
             .state
@@ -901,9 +1017,21 @@ impl<'a> Simulation<'a> {
         hadamard(mask_t, &mut theta);
         let mut scratch = HelmholtzScratch::default();
         let stats = pcg(
-            |x, y| op.apply(x, y, &mut scratch, comm),
+            |x, y| match pool {
+                Some(pool) => {
+                    let _g = tel.span_abs("pool/helmholtz");
+                    op.apply_with(x, y, pool, comm);
+                }
+                None => op.apply(x, y, &mut scratch, comm),
+            },
             |r, z| jacobi_apply(&diag, mask_t, r, z),
-            |a, b| dp.dot(a, b, comm),
+            |a, b| match pool {
+                Some(pool) => {
+                    let _g = tel.span_abs("pool/dot");
+                    dp.dot_with(a, b, pool, comm)
+                }
+                None => dp.dot(a, b, comm),
+            },
             &rhs,
             &mut theta,
             0.0,
@@ -928,6 +1056,86 @@ mod tests {
         let part = vec![0; mesh.num_elements()];
         let my: Vec<usize> = (0..mesh.num_elements()).collect();
         Simulation::new(cfg, mesh, &part, my, comm)
+    }
+
+    #[test]
+    fn pooled_steps_bitwise_identical_across_thread_counts() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 1e4,
+            order: 4,
+            dt: 1e-3,
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            let mut sim = small_sim(cfg.clone(), &mesh, &comm);
+            let pool = rbx_device::WorkerPool::new(threads);
+            sim.set_pool(&pool);
+            sim.init_rbc();
+            for _ in 0..3 {
+                let stats = sim.step();
+                assert!(stats.converged, "threads={threads}: {stats:?}");
+            }
+            (
+                sim.state.u.clone(),
+                sim.state.p.clone(),
+                sim.state.t.clone(),
+            )
+        };
+        let (u1, p1, t1) = run(1);
+        for threads in [4usize, 7] {
+            let (u, p, t) = run(threads);
+            for d in 0..3 {
+                assert!(
+                    u1[d]
+                        .iter()
+                        .zip(&u[d])
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "u[{d}] differs at {threads} threads"
+                );
+            }
+            assert!(
+                p1.iter().zip(&p).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "p differs at {threads} threads"
+            );
+            assert!(
+                t1.iter().zip(&t).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "t differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_step_records_pool_spans_and_metrics() {
+        let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let cfg = SolverConfig {
+            ra: 1e4,
+            order: 4,
+            dt: 1e-3,
+            ..Default::default()
+        };
+        let mut sim = small_sim(cfg, &mesh, &comm);
+        let tel = Telemetry::enabled();
+        sim.set_telemetry(&tel);
+        let pool = rbx_device::WorkerPool::new(4);
+        sim.set_pool(&pool);
+        sim.init_rbc();
+        sim.step();
+        for span in [
+            "pool/helmholtz",
+            "pool/dot",
+            "pool/advect",
+            "pool/fdm",
+            "pool/gs",
+        ] {
+            assert!(tel.tracer().calls(span) > 0, "missing span {span}");
+        }
+        assert_eq!(tel.metrics().gauge("rbx_pool_threads"), Some(4.0));
+        assert!(tel.metrics().counter("rbx_pool_dispatches_total") > 0);
+        assert!(tel.metrics().counter("rbx_pool_chunks_total") > 0);
+        assert!(tel.metrics().counter("rbx_pool_items_total") > 0);
     }
 
     #[test]

@@ -25,5 +25,7 @@ pub mod vgpu;
 
 pub use desim::{simulate, SimConfig, SimKernel, SimResult};
 pub use host::HostBackend;
-pub use pool::{par_for, par_reduce, WorkerPool};
+pub use pool::{
+    global_pool, loop_chunk, par_for, par_reduce, reduce_chunk, PoolStats, RangePtr, WorkerPool,
+};
 pub use vgpu::{busy_wait, Event, Stream, StreamPriority, TraceEvent, VgpuConfig, VirtualGpu};

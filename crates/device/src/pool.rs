@@ -1,29 +1,468 @@
-//! Data-parallel worker pool for element-loop kernels.
+//! Persistent data-parallel worker pool for element-loop kernels.
 //!
-//! SEM operators are embarrassingly parallel over elements; this module
-//! provides a minimal, dependency-light parallel-for built from scoped
-//! threads and an atomic work counter (dynamic chunk self-scheduling, the
-//! same load-balancing idea as a work-stealing pool for uniform loops),
-//! plus a deterministic parallel reduction that sums per-chunk partials in
-//! index order so results are bitwise reproducible regardless of thread
-//! count.
+//! SEM operators are embarrassingly parallel over elements, and the Krylov
+//! solvers run thousands of operator applies per step — so dispatch cost
+//! matters as much as raw parallelism. This pool creates its worker threads
+//! **once**; after construction a parallel region performs zero thread
+//! spawns and zero heap allocations:
+//!
+//! * workers park on a condvar and are woken by an **epoch broadcast**: the
+//!   dispatcher publishes a type-erased job descriptor under the control
+//!   mutex, bumps the epoch, and notifies; each worker serves every epoch
+//!   exactly once (it remembers the last epoch it ran);
+//! * work is claimed by **dynamic chunk self-scheduling** off a shared
+//!   atomic cursor — the load-balancing of a work-stealing pool for uniform
+//!   loops, without the deques;
+//! * the calling thread participates in every job, so `threads == 1` means
+//!   zero worker threads and inline execution;
+//! * reduction partials live in a pool-owned buffer that grows amortized
+//!   and is reused across dispatches, and are combined **in chunk-index
+//!   order**, so sums are bitwise identical for every thread count —
+//!   provided the chunk size is a function of the problem size only (see
+//!   [`reduce_chunk`]). The single-thread path runs the same chunked
+//!   traversal for exactly this reason;
+//! * [`WorkerPool::pair`] runs one task on a dedicated persistent helper
+//!   thread while the caller runs the other — the overlap primitive behind
+//!   the Schwarz coarse∥fine phase, kept off the worker complement so the
+//!   coarse task and the element-loop pool do not fight for cores.
+//!
+//! Dispatches are serialized by an internal gate; dispatching from inside
+//! a kernel closure is forbidden (it would deadlock on that gate) and is
+//! caught by a debug assertion. Compose parallel stages sequentially
+//! instead.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
 
-/// A reusable description of parallel resources (thread count). Threads are
-/// scoped per call — a design that keeps borrows of the caller's data safe
-/// with zero `unsafe`.
-#[derive(Debug, Clone, Copy)]
+/// Signature of the monomorphized trampoline a job dispatches through:
+/// `(closure, chunk_index, start, end, partials)`.
+type Shim = unsafe fn(*const (), usize, usize, usize, *const AtomicU64);
+
+/// Type-erased job descriptor broadcast to the workers. `data` points at a
+/// closure on the dispatcher's stack; the dispatcher outlives every
+/// worker's use of it because `run_erased` does not return until the
+/// active-count handshake reaches zero.
+#[derive(Clone, Copy)]
+struct Job {
+    shim: Shim,
+    data: *const (),
+    n: usize,
+    chunk: usize,
+    nchunks: usize,
+    partials: *const AtomicU64,
+}
+
+// SAFETY: the raw pointers are dereferenced only between job publication
+// and the completion handshake, while the dispatcher keeps the pointees
+// alive; the control mutex orders both endpoints.
+unsafe impl Send for Job {}
+
+unsafe fn shim_noop(_d: *const (), _c: usize, _s: usize, _e: usize, _p: *const AtomicU64) {}
+
+impl Job {
+    fn idle() -> Self {
+        Job {
+            shim: shim_noop,
+            data: std::ptr::null(),
+            n: 0,
+            chunk: 1,
+            nchunks: 0,
+            partials: std::ptr::null(),
+        }
+    }
+}
+
+unsafe fn shim_for_each<F: Fn(usize) + Sync>(
+    data: *const (),
+    _c: usize,
+    start: usize,
+    end: usize,
+    _p: *const AtomicU64,
+) {
+    let f = &*data.cast::<F>();
+    for i in start..end {
+        f(i);
+    }
+}
+
+unsafe fn shim_for_each_range<F: Fn(usize, usize) + Sync>(
+    data: *const (),
+    _c: usize,
+    start: usize,
+    end: usize,
+    _p: *const AtomicU64,
+) {
+    let f = &*data.cast::<F>();
+    f(start, end);
+}
+
+unsafe fn shim_sum<F: Fn(usize) -> f64 + Sync>(
+    data: *const (),
+    c: usize,
+    start: usize,
+    end: usize,
+    partials: *const AtomicU64,
+) {
+    let f = &*data.cast::<F>();
+    let mut acc = 0.0;
+    for i in start..end {
+        acc += f(i);
+    }
+    // ordering: relaxed — each partial cell has exactly one writer per
+    // dispatch (the chunk owner), and the dispatcher reads it only after
+    // the active-count handshake under the control mutex synchronizes.
+    (*partials.add(c)).store(acc.to_bits(), Ordering::Relaxed);
+}
+
+unsafe fn shim_sum_range<F: Fn(usize, usize) -> f64 + Sync>(
+    data: *const (),
+    c: usize,
+    start: usize,
+    end: usize,
+    partials: *const AtomicU64,
+) {
+    let f = &*data.cast::<F>();
+    let acc = f(start, end);
+    // ordering: relaxed — single writer per cell per dispatch; the reader
+    // is ordered by the completion handshake (see shim_sum).
+    (*partials.add(c)).store(acc.to_bits(), Ordering::Relaxed);
+}
+
+/// Dispatcher↔worker control block, guarded by [`Shared::ctrl`].
+struct Ctrl {
+    /// Bumped once per dispatch; workers run each epoch exactly once.
+    epoch: u64,
+    /// Workers that have not yet finished the current epoch.
+    active: usize,
+    /// Set (once) by [`PoolCore::drop`] to retire the workers.
+    shutdown: bool,
+    /// The published job for the current epoch.
+    job: Job,
+}
+
+/// Pool-owned reduction partials, reused across dispatches (guarded by the
+/// dispatch gate, which the dispatcher holds for the whole job).
+struct Partials {
+    cells: Vec<AtomicU64>,
+}
+
+impl Partials {
+    /// Amortized growth: allocates only when a dispatch needs more chunks
+    /// than any previous one; the steady state reuses the buffer and the
+    /// dispatch path stays allocation-free.
+    fn ensure(&mut self, nchunks: usize) {
+        if self.cells.len() < nchunks {
+            self.cells.resize_with(nchunks, || AtomicU64::new(0));
+        }
+    }
+}
+
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Chunk self-scheduling cursor, reset before each epoch.
+    counter: AtomicUsize,
+    /// Sticky flag: a kernel closure panicked on a worker.
+    panicked: AtomicBool,
+    /// Serializes dispatchers and owns the partials buffer.
+    gate: Mutex<Partials>,
+    dispatches: AtomicU64,
+    chunks: AtomicU64,
+    items: AtomicU64,
+    pair_jobs: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            ctrl: Mutex::new(Ctrl {
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+                job: Job::idle(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            counter: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            gate: Mutex::new(Partials { cells: Vec::new() }),
+            dispatches: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            pair_jobs: AtomicU64::new(0),
+        }
+    }
+}
+
+thread_local! {
+    /// True while this thread is executing a pool job — used to catch
+    /// nested dispatch (which would deadlock on the dispatch gate).
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker for [`IN_POOL_JOB`]; Drop clears the flag even if the
+/// kernel closure panics.
+struct JobGuard;
+
+impl JobGuard {
+    fn enter() -> Self {
+        IN_POOL_JOB.with(|c| c.set(true));
+        JobGuard
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        IN_POOL_JOB.with(|c| c.set(false));
+    }
+}
+
+/// Claim and execute chunks of the current job until the cursor is
+/// exhausted. Runs on workers and on the dispatching thread alike.
+fn run_job(shared: &Shared, job: &Job) {
+    let _guard = JobGuard::enter();
+    loop {
+        // The job was published by the control mutex and results are
+        // published by the active-count handshake, not by this cursor.
+        // ordering: relaxed — the fetch_add's atomicity alone hands each
+        // chunk to exactly one thread; nothing else rides on the cursor.
+        let c = shared.counter.fetch_add(1, Ordering::Relaxed);
+        if c >= job.nchunks {
+            break;
+        }
+        let start = c * job.chunk;
+        let end = (start + job.chunk).min(job.n);
+        // SAFETY: the dispatcher keeps the closure and partials alive until
+        // every participant finishes, and each (c, start, end) triple is
+        // claimed exactly once.
+        unsafe { (job.shim)(job.data, c, start, end, job.partials) };
+    }
+}
+
+/// Worker body: park on the condvar until the epoch moves, serve the
+/// epoch's job once, report completion, repeat until shutdown.
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut ctrl = shared.ctrl.lock();
+            while ctrl.epoch == last_epoch && !ctrl.shutdown {
+                shared.work_cv.wait(&mut ctrl);
+            }
+            if ctrl.shutdown {
+                return;
+            }
+            last_epoch = ctrl.epoch;
+            ctrl.job
+        };
+        if catch_unwind(AssertUnwindSafe(|| run_job(shared, &job))).is_err() {
+            // ordering: relaxed — the dispatcher reads this flag only after
+            // the active-count handshake below has already established the
+            // happens-before edge through the control mutex.
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut ctrl = shared.ctrl.lock();
+        ctrl.active -= 1;
+        if ctrl.active == 0 {
+            // Only the (gate-serialized) dispatcher waits on done_cv.
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Trampoline for [`WorkerPool::pair`]: runs the erased `FnOnce` at most
+/// once (the `Option` take keeps a replayed epoch harmless).
+unsafe fn pair_shim<F: FnOnce()>(data: *mut ()) {
+    if let Some(f) = (*data.cast::<Option<F>>()).take() {
+        f();
+    }
+}
+
+unsafe fn pair_shim_noop(_d: *mut ()) {}
+
+/// Type-erased task for the pair helper thread; same lifetime contract as
+/// [`Job`] (the caller blocks until `done` catches up with `epoch`).
+#[derive(Clone, Copy)]
+struct PairJob {
+    shim: unsafe fn(*mut ()),
+    data: *mut (),
+}
+
+// SAFETY: dereferenced only while the submitting caller is blocked in
+// `pair`, which keeps the pointee alive; the pair mutex orders both ends.
+unsafe impl Send for PairJob {}
+
+struct PairCtrl {
+    epoch: u64,
+    done: u64,
+    shutdown: bool,
+    job: PairJob,
+}
+
+struct PairShared {
+    ctrl: Mutex<PairCtrl>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serializes concurrent `pair` callers.
+    gate: Mutex<()>,
+    panicked: AtomicBool,
+}
+
+impl PairShared {
+    fn new() -> Self {
+        PairShared {
+            ctrl: Mutex::new(PairCtrl {
+                epoch: 0,
+                done: 0,
+                shutdown: false,
+                job: PairJob {
+                    shim: pair_shim_noop,
+                    data: std::ptr::null_mut(),
+                },
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            gate: Mutex::new(()),
+            panicked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Helper-thread body for [`WorkerPool::pair`]: same epoch park/wake
+/// protocol as the workers, with a done-epoch ack instead of a count.
+fn pair_loop(shared: &PairShared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut ctrl = shared.ctrl.lock();
+            while ctrl.epoch == last_epoch && !ctrl.shutdown {
+                shared.work_cv.wait(&mut ctrl);
+            }
+            if ctrl.shutdown {
+                return;
+            }
+            last_epoch = ctrl.epoch;
+            ctrl.job
+        };
+        if catch_unwind(AssertUnwindSafe(|| unsafe { (job.shim)(job.data) })).is_err() {
+            // ordering: relaxed — read by the caller only after the done
+            // handshake below synchronizes through the pair mutex.
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut ctrl = shared.ctrl.lock();
+        ctrl.done = last_epoch;
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Owns the OS threads; dropped when the last [`WorkerPool`] handle goes
+/// away, at which point the workers are retired and joined.
+struct PoolCore {
+    shared: Arc<Shared>,
+    pair: Arc<PairShared>,
+    workers: Vec<JoinHandle<()>>,
+    helper: Option<JoinHandle<()>>,
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        {
+            let mut ctrl = self.shared.ctrl.lock();
+            ctrl.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        {
+            let mut ctrl = self.pair.ctrl.lock();
+            ctrl.shutdown = true;
+            self.pair.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.helper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Monotonic dispatch counters, snapshot via [`WorkerPool::stats`]; the
+/// telemetry bridge in `rbx-core` reports per-step deltas of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total participants per dispatch (workers + the calling thread).
+    pub threads: usize,
+    /// Parallel regions dispatched since construction.
+    pub dispatches: u64,
+    /// Chunks issued across all dispatches.
+    pub chunks: u64,
+    /// Loop iterations (items) covered across all dispatches.
+    pub items: u64,
+    /// Overlap pairs executed on the helper thread.
+    pub pair_jobs: u64,
+}
+
+/// A persistent worker pool: `threads - 1` parked worker threads plus the
+/// calling thread, created once and woken per dispatch by an epoch
+/// broadcast. Cloning is cheap (shared handles); the threads retire when
+/// the last handle drops.
+#[derive(Clone)]
 pub struct WorkerPool {
+    shared: Arc<Shared>,
+    pair: Arc<PairShared>,
     threads: usize,
+    _core: Arc<PoolCore>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
 }
 
 impl WorkerPool {
-    /// Pool using `threads` workers (≥ 1).
+    /// Pool with `threads` total participants (≥ 1): the calling thread
+    /// plus `threads - 1` persistent workers, spawned here and never
+    /// again.
     pub fn new(threads: usize) -> Self {
-        // audit:allow(hot-panic): construction-time contract check, not on the per-step path
-        assert!(threads >= 1);
-        Self { threads }
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared::new());
+        let pair = Arc::new(PairShared::new());
+        let mut workers = Vec::with_capacity(threads - 1);
+        for w in 0..threads - 1 {
+            let s = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("rbx-pool-{w}"))
+                .spawn(move || worker_loop(&s))
+                // audit:allow(hot-panic): construction-time spawn failure is a fatal environment problem, not a per-step event
+                .expect("worker pool: failed to spawn worker thread");
+            workers.push(handle);
+        }
+        let helper = {
+            let p = Arc::clone(&pair);
+            std::thread::Builder::new()
+                .name("rbx-pool-pair".into())
+                .spawn(move || pair_loop(&p))
+                // audit:allow(hot-panic): construction-time spawn failure is a fatal environment problem, not a per-step event
+                .expect("worker pool: failed to spawn pair helper thread")
+        };
+        Self {
+            shared: Arc::clone(&shared),
+            pair: Arc::clone(&pair),
+            threads,
+            _core: Arc::new(PoolCore {
+                shared,
+                pair,
+                workers,
+                helper: Some(helper),
+            }),
+        }
     }
 
     /// Pool sized to the machine's available parallelism.
@@ -34,124 +473,307 @@ impl WorkerPool {
         Self::new(n)
     }
 
-    /// Number of worker threads used.
+    /// Single-participant pool: dispatch runs inline on the caller with
+    /// zero worker threads, through the same chunked traversal as the
+    /// parallel path so reductions keep identical bits.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Total participants per dispatch (workers + the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Run `f(i)` for every `i in 0..n`, distributing dynamically in chunks.
-    pub fn for_each(&self, n: usize, chunk: usize, f: impl Fn(usize) + Sync) {
-        par_for_with(self.threads, n, chunk, f);
-    }
-
-    /// Deterministic sum-reduction: `Σ f(i)` with a fixed chunk partition
-    /// whose partials are combined in index order, independent of thread
-    /// scheduling.
-    pub fn sum(&self, n: usize, chunk: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
-        par_reduce_with(self.threads, n, chunk, f)
-    }
-}
-
-/// Free-function parallel-for with an automatically sized pool.
-pub fn par_for(n: usize, f: impl Fn(usize) + Sync) {
-    let pool = WorkerPool::auto();
-    pool.for_each(n, default_chunk(n, pool.threads), f);
-}
-
-/// Free-function deterministic parallel sum with an automatic pool.
-pub fn par_reduce(n: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
-    let pool = WorkerPool::auto();
-    pool.sum(n, default_chunk(n, pool.threads), f)
-}
-
-fn default_chunk(n: usize, threads: usize) -> usize {
-    (n / (threads * 4)).max(1)
-}
-
-fn par_for_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) + Sync) {
-    let chunk = chunk.max(1);
-    if n == 0 {
-        return;
-    }
-    if threads == 1 || n <= chunk {
-        for i in 0..n {
-            f(i);
+    /// Snapshot of the monotonic dispatch counters.
+    pub fn stats(&self) -> PoolStats {
+        // Monotonic telemetry counters; readers need no synchronization
+        // with the dispatches that bump them.
+        PoolStats {
+            threads: self.threads,
+            dispatches: self.shared.dispatches.load(Ordering::Relaxed), // ordering: monotonic counter
+            chunks: self.shared.chunks.load(Ordering::Relaxed), // ordering: monotonic counter
+            items: self.shared.items.load(Ordering::Relaxed),   // ordering: monotonic counter
+            pair_jobs: self.shared.pair_jobs.load(Ordering::Relaxed), // ordering: monotonic counter
         }
-        return;
     }
-    let counter = AtomicUsize::new(0);
-    let f = &f;
-    let counter = &counter;
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move || loop {
-                // ordering: the fetch_add's atomicity alone claims each index
-                // range exactly once; results are published to the caller by
-                // the scope join's happens-before edge, not by this counter.
-                let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    f(i);
-                }
-            });
-        }
-    });
-}
 
-fn par_reduce_with(threads: usize, n: usize, chunk: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
-    let chunk = chunk.max(1);
-    if n == 0 {
-        return 0.0;
+    /// Run `f(i)` for every `i in 0..n`, distributing dynamically in
+    /// chunks of `chunk` indices.
+    pub fn for_each<F: Fn(usize) + Sync>(&self, n: usize, chunk: usize, f: F) {
+        let data: *const F = &f;
+        self.run_erased(shim_for_each::<F>, data.cast(), n, chunk, false);
     }
-    let nchunks = n.div_ceil(chunk);
-    // audit:allow(hot-alloc): one nchunks-sized buffer per reduction, amortized over O(n) work; materialized partials are what makes the combine order (and the sum bits) deterministic
-    let mut partials = vec![0.0f64; nchunks];
-    {
-        let counter = AtomicUsize::new(0);
-        let f = &f;
-        let counter = &counter;
-        // Each worker owns disjoint chunks; write partials through raw
-        // disjoint indices via a Mutex-free pattern: collect into a Vec of
-        // per-chunk cells using interior mutability on disjoint slots.
-        let cells: Vec<std::sync::atomic::AtomicU64> = (0..nchunks)
-            .map(|_| std::sync::atomic::AtomicU64::new(0))
-            // audit:allow(hot-alloc): per-chunk atomic cells, one allocation per reduction (see partials above)
-            .collect();
-        let cells = &cells;
-        std::thread::scope(|scope| {
-            for _ in 0..threads.max(1) {
-                scope.spawn(move || loop {
-                    // ordering: atomic claim only — each chunk id goes to
-                    // exactly one worker by the fetch_add's atomicity; results
-                    // are published via the scope join, not the counter.
-                    let c = counter.fetch_add(1, Ordering::Relaxed);
-                    if c >= nchunks {
-                        break;
-                    }
-                    let start = c * chunk;
-                    let end = (start + chunk).min(n);
-                    let mut acc = 0.0;
-                    for i in start..end {
-                        acc += f(i);
-                    }
-                    // ordering: each cell has exactly one writer (the chunk
-                    // owner); the main thread reads only after the scope
-                    // join synchronizes, so no release/acquire is needed.
-                    cells[c].store(acc.to_bits(), Ordering::Relaxed);
-                });
+
+    /// Run `f(start, end)` over a disjoint chunk partition of `0..n` —
+    /// the per-range form element-loop kernels use (one call per chunk,
+    /// so per-range setup like scratch lookup is amortized).
+    pub fn for_each_range<F: Fn(usize, usize) + Sync>(&self, n: usize, chunk: usize, f: F) {
+        let data: *const F = &f;
+        self.run_erased(shim_for_each_range::<F>, data.cast(), n, chunk, false);
+    }
+
+    /// Deterministic sum-reduction `Σ f(i)`: a fixed chunk partition whose
+    /// partials combine in index order, so for a given `(n, chunk)` the
+    /// result bits are identical for every thread count and schedule. Use
+    /// a chunk that depends on `n` only (e.g. [`reduce_chunk`]) to keep
+    /// runs comparable across machines.
+    pub fn sum<F: Fn(usize) -> f64 + Sync>(&self, n: usize, chunk: usize, f: F) -> f64 {
+        let data: *const F = &f;
+        self.run_erased(shim_sum::<F>, data.cast(), n, chunk, true)
+    }
+
+    /// Range form of [`WorkerPool::sum`]: `f(start, end)` returns the
+    /// partial for one chunk (letting the kernel run a tight local loop).
+    /// Same determinism contract.
+    pub fn sum_range<F: Fn(usize, usize) -> f64 + Sync>(
+        &self,
+        n: usize,
+        chunk: usize,
+        f: F,
+    ) -> f64 {
+        let data: *const F = &f;
+        self.run_erased(shim_sum_range::<F>, data.cast(), n, chunk, true)
+    }
+
+    /// Run `a` on the persistent helper thread while `b` runs on the
+    /// caller; returns when both are done. This is the coarse∥fine overlap
+    /// primitive: `b` may itself dispatch element loops on this pool — the
+    /// helper is not part of the worker complement, so the two sides do
+    /// not compete for the dispatch gate.
+    pub fn pair<A: FnOnce() + Send, B: FnOnce()>(&self, a: A, b: B) {
+        let _serialize = self.pair.gate.lock();
+        let mut slot: Option<A> = Some(a);
+        let data: *mut Option<A> = &mut slot;
+        let job = PairJob {
+            shim: pair_shim::<A>,
+            data: data.cast(),
+        };
+        // ordering: relaxed — monotonic telemetry counter (see stats()).
+        self.shared.pair_jobs.fetch_add(1, Ordering::Relaxed);
+        let epoch = {
+            let mut ctrl = self.pair.ctrl.lock();
+            ctrl.job = job;
+            ctrl.epoch = ctrl.epoch.wrapping_add(1);
+            // Notify under the lock: the helper between its epoch check and
+            // its wait would otherwise miss the wakeup.
+            self.pair.work_cv.notify_one();
+            ctrl.epoch
+        };
+        let b_panicked = catch_unwind(AssertUnwindSafe(b)).is_err();
+        {
+            let mut ctrl = self.pair.ctrl.lock();
+            while ctrl.done != epoch {
+                self.pair.done_cv.wait(&mut ctrl);
             }
-        });
-        for (p, cell) in partials.iter_mut().zip(cells) {
-            // ordering: reads happen after the scope join above, which
-            // already established the happens-before edge with all writers.
-            *p = f64::from_bits(cell.load(Ordering::Relaxed));
+        }
+        // ordering: relaxed — the done handshake above already ordered the
+        // helper's write to this flag before our read.
+        if self.pair.panicked.swap(false, Ordering::Relaxed) || b_panicked {
+            // audit:allow(hot-panic): propagates a kernel panic to the caller — reachable only if a task already panicked
+            panic!("worker pool: a pair task panicked");
         }
     }
-    // Ordered combination → deterministic result.
-    partials.iter().sum()
+
+    /// The single dispatch path: publish the type-erased job, participate,
+    /// wait for the workers, and (for reductions) combine the partials in
+    /// index order. Performs no heap allocation in the steady state — the
+    /// partials buffer is pool-owned and grows amortized.
+    fn run_erased(&self, shim: Shim, data: *const (), n: usize, chunk: usize, reduce: bool) -> f64 {
+        debug_assert!(
+            !IN_POOL_JOB.with(|c| c.get()),
+            "nested pool dispatch from inside a kernel closure would deadlock the dispatch gate"
+        );
+        let chunk = chunk.max(1);
+        if n == 0 {
+            return 0.0;
+        }
+        let nchunks = n.div_ceil(chunk);
+        let mut gate = self.shared.gate.lock();
+        if reduce {
+            gate.ensure(nchunks);
+        }
+        let partials: *const AtomicU64 = if reduce {
+            gate.cells.as_ptr()
+        } else {
+            std::ptr::null()
+        };
+        let job = Job {
+            shim,
+            data,
+            n,
+            chunk,
+            nchunks,
+            partials,
+        };
+        let shared = &*self.shared;
+        // ordering: relaxed — monotonic telemetry counters (see stats()).
+        shared.dispatches.fetch_add(1, Ordering::Relaxed);
+        shared.chunks.fetch_add(nchunks as u64, Ordering::Relaxed);
+        shared.items.fetch_add(n as u64, Ordering::Relaxed);
+        let workers = self.threads - 1;
+        if workers > 0 && nchunks > 1 {
+            // ordering: relaxed — the cursor reset is published to the
+            // workers by the control-mutex release below; no worker touches
+            // the cursor for this epoch before acquiring that mutex.
+            shared.counter.store(0, Ordering::Relaxed);
+            {
+                let mut ctrl = shared.ctrl.lock();
+                ctrl.job = job;
+                ctrl.active = workers;
+                ctrl.epoch = ctrl.epoch.wrapping_add(1);
+                // Notify under the lock: a worker between its epoch check
+                // and its wait would otherwise miss the wakeup.
+                shared.work_cv.notify_all();
+            }
+            let caller_panicked = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job))).is_err();
+            {
+                let mut ctrl = shared.ctrl.lock();
+                while ctrl.active != 0 {
+                    shared.done_cv.wait(&mut ctrl);
+                }
+            }
+            // ordering: relaxed — the active-count handshake above already
+            // ordered every worker's write to this flag before our read.
+            if shared.panicked.swap(false, Ordering::Relaxed) || caller_panicked {
+                // audit:allow(hot-panic): propagates a kernel panic to the caller — reachable only if the kernel already panicked
+                panic!("worker pool: a kernel closure panicked");
+            }
+        } else {
+            // Inline path (serial pool or single-chunk job): the identical
+            // chunked traversal, so reductions keep the same bits as the
+            // parallel path.
+            let _guard = JobGuard::enter();
+            for c in 0..nchunks {
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                // SAFETY: same contract as run_job — closure outlives the
+                // loop, every (c, start, end) visited exactly once.
+                unsafe { (job.shim)(job.data, c, start, end, job.partials) };
+            }
+        }
+        if reduce {
+            let mut acc = 0.0;
+            for cell in gate.cells.iter().take(nchunks) {
+                // ordering: relaxed — all writers finished before the
+                // completion handshake (or ran on this thread); the combine
+                // order here, not the memory order, fixes the result bits.
+                acc += f64::from_bits(cell.load(Ordering::Relaxed));
+            }
+            acc
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Raw-pointer view of a mutable slice for disjoint-range parallel writes
+/// (each worker touches its own element range). All access is `unsafe`
+/// and gated on the caller's disjointness argument.
+pub struct RangePtr<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: RangePtr only forwards the pointer; the disjointness obligations
+// are on the unsafe accessors' callers.
+unsafe impl<T: Send> Send for RangePtr<T> {}
+unsafe impl<T: Send> Sync for RangePtr<T> {}
+
+impl<T> Clone for RangePtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RangePtr<T> {}
+
+impl<T> RangePtr<T> {
+    pub fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable view of `start..end`.
+    ///
+    /// # Safety
+    /// Concurrent callers must use pairwise-disjoint ranges within bounds
+    /// of the original slice, which must outlive every access.
+    // The returned borrow derives from the raw pointer, not `&self`; the
+    // disjointness contract above is what makes concurrent calls sound.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, start: usize, end: usize) -> &mut [T] {
+        debug_assert!(start <= end && end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and not concurrently written.
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one thread per
+    /// parallel region, with no concurrent reader.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+static GLOBAL_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The process-wide shared pool, created on first use with
+/// [`WorkerPool::auto`] sizing — so the free functions below never spawn
+/// per call. Hot paths should carry an explicit pool handle through their
+/// operator structs instead (the audit's pool-discipline rule enforces
+/// this); the global is for leaf utilities, tools and tests.
+pub fn global_pool() -> &'static WorkerPool {
+    GLOBAL_POOL.get_or_init(WorkerPool::auto)
+}
+
+/// Parallel-for on the lazily-initialized [`global_pool`].
+pub fn par_for(n: usize, f: impl Fn(usize) + Sync) {
+    let pool = global_pool();
+    pool.for_each(n, loop_chunk(n, pool.threads()), f);
+}
+
+/// Deterministic parallel sum on the lazily-initialized [`global_pool`];
+/// the chunk partition depends on `n` only, so the result bits do not
+/// depend on the machine's thread count.
+pub fn par_reduce(n: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+    global_pool().sum(n, reduce_chunk(n), f)
+}
+
+/// Chunk size for a parallel loop: aim for ~4 chunks per participant so
+/// dynamic self-scheduling can balance uneven progress.
+pub fn loop_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 4)).max(1)
+}
+
+/// Chunk size for a deterministic reduction — a function of `n` only, so
+/// the partial partition (and therefore the combined bits) is identical
+/// for every thread count and machine.
+pub fn reduce_chunk(n: usize) -> usize {
+    (n / 64).max(256)
 }
 
 #[cfg(test)]
@@ -166,6 +788,22 @@ mod tests {
         let pool = WorkerPool::new(4);
         pool.for_each(n, 7, |i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_range_covers_exactly_once() {
+        let n = 997; // prime: ragged final chunk
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkerPool::new(3);
+        pool.for_each_range(n, 13, |start, end| {
+            assert!(start < end && end <= n);
+            for h in &hits[start..end] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
         });
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
@@ -200,13 +838,139 @@ mod tests {
         let r1 = WorkerPool::new(1).sum(n, chunk, f);
         let r4 = WorkerPool::new(4).sum(n, chunk, f);
         let r7 = WorkerPool::new(7).sum(n, chunk, f);
-        // Bitwise identical because partials combine in index order.
+        // Bitwise identical because partials combine in index order and the
+        // serial path runs the same chunked traversal.
         assert_eq!(r1.to_bits(), r4.to_bits());
         assert_eq!(r1.to_bits(), r7.to_bits());
     }
 
     #[test]
-    fn free_functions_work() {
+    fn sum_range_agrees_with_sum() {
+        let n = 4321;
+        let chunk = 53;
+        let pool = WorkerPool::new(4);
+        let a = pool.sum(n, chunk, |i| (i as f64).sqrt());
+        let b = pool.sum_range(n, chunk, |start, end| {
+            let mut acc = 0.0;
+            for i in start..end {
+                acc += (i as f64).sqrt();
+            }
+            acc
+        });
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn dispatches_reuse_the_same_workers() {
+        let pool = WorkerPool::new(4);
+        let before = pool.stats();
+        for round in 0..100 {
+            let total = pool.sum(1000, 37, |i| (i + round) as f64);
+            let expect: f64 = (0..1000).map(|i| (i + round) as f64).sum();
+            assert_eq!(total, expect);
+        }
+        let after = pool.stats();
+        assert_eq!(after.dispatches - before.dispatches, 100);
+        assert_eq!(after.threads, 4);
+    }
+
+    #[test]
+    fn pair_runs_both_sides() {
+        let pool = WorkerPool::new(2);
+        let a_ran = AtomicUsize::new(0);
+        let b_ran = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.pair(
+                || {
+                    a_ran.fetch_add(1, Ordering::Relaxed);
+                },
+                || {
+                    b_ran.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        assert_eq!(a_ran.load(Ordering::Relaxed), 50);
+        assert_eq!(b_ran.load(Ordering::Relaxed), 50);
+        assert_eq!(pool.stats().pair_jobs, 50);
+    }
+
+    #[test]
+    fn pair_composes_with_element_dispatch() {
+        // The caller side of a pair may dispatch on the pool — the Schwarz
+        // overlap pattern (coarse on the helper, pooled fine sweep here).
+        let pool = WorkerPool::new(4);
+        let coarse = AtomicUsize::new(0);
+        let fine = AtomicUsize::new(0);
+        pool.pair(
+            || {
+                coarse.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                pool.for_each(500, 11, |_| {
+                    fine.fetch_add(1, Ordering::Relaxed);
+                });
+            },
+        );
+        assert_eq!(coarse.load(Ordering::Relaxed), 1);
+        assert_eq!(fine.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(100, 1, |i| {
+                if i == 37 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "kernel panic must propagate to the dispatcher");
+        // The workers caught the panic and are still serving epochs.
+        let s = pool.sum(100, 7, |i| i as f64);
+        assert_eq!(s, 4950.0);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize_on_the_gate() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                let total = &total;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        pool.for_each(100, 9, |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 20 * 100);
+    }
+
+    #[test]
+    fn range_ptr_disjoint_writes() {
+        let n = 256;
+        let mut data = vec![0.0f64; n];
+        let ptr = RangePtr::new(&mut data);
+        let pool = WorkerPool::new(4);
+        pool.for_each_range(n, 10, |start, end| {
+            // SAFETY: chunk ranges are pairwise disjoint.
+            let slice = unsafe { ptr.range_mut(start, end) };
+            for (k, v) in slice.iter_mut().enumerate() {
+                *v = (start + k) as f64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn free_functions_use_one_global_pool() {
         let hits = AtomicUsize::new(0);
         par_for(100, |_| {
             hits.fetch_add(1, Ordering::Relaxed);
@@ -214,5 +978,14 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         let s = par_reduce(10, |i| i as f64);
         assert_eq!(s, 45.0);
+        assert!(std::ptr::eq(global_pool(), global_pool()));
+    }
+
+    #[test]
+    fn reduce_chunk_depends_on_n_only() {
+        // Same n → same partition regardless of any notion of threads.
+        assert_eq!(reduce_chunk(1000), reduce_chunk(1000));
+        assert_eq!(reduce_chunk(100), 256);
+        assert_eq!(reduce_chunk(1 << 20), (1 << 20) / 64);
     }
 }

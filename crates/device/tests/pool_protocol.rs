@@ -1,0 +1,299 @@
+//! Exhaustive-interleaving model of the worker pool's epoch park/wake
+//! dispatch protocol (`rbx_device::pool`), checked with the
+//! [`rbx_device::explore`] schedule explorer.
+//!
+//! The pool's correctness claims are scheduling claims: no dispatch is
+//! ever lost between a worker's epoch check and its condvar wait, the
+//! active-count handshake always terminates, dynamic chunk self-scheduling
+//! hands every chunk to exactly one participant, and the index-ordered
+//! partials combine makes the reduction bits schedule-independent. These
+//! tests encode the protocol as [`ThreadProgram`]s and let [`explore`]
+//! enumerate *every* interleaving — so the properties hold on all
+//! schedules, not just the ones a stress test happens to produce.
+//!
+//! Modelling note: in the real code the worker's `while epoch == last {
+//! wait }` holds the control mutex across the check, and the dispatcher
+//! bumps the epoch and notifies under the same mutex. That mutual
+//! exclusion is what lets the model collapse "check + park + wake" into a
+//! single atomic blocked-until-epoch-moves step
+//! (`explore_lost_wakeup_without_notify_under_lock` demonstrates that the
+//! collapse is load-bearing: splitting the check from the park deadlocks).
+
+use rbx_device::explore::{explore, fingerprint_f64, StepStatus, ThreadProgram};
+
+/// Per-chunk contribution; values chosen so a completion-order combine
+/// would visibly change the floating-point sum (1e15 + 1 is exact in f64,
+/// so index order gives exactly 1.0 for chunks [1e15, 1.0, -1e15]).
+fn chunk_val(c: usize) -> f64 {
+    [1.0e15, 1.0, -1.0e15][c % 3]
+}
+
+/// Shared state of the one-dispatcher/one-worker dispatch-round model.
+#[derive(Default)]
+struct Round {
+    /// Bumped by the dispatcher when a job is published.
+    epoch: u64,
+    /// Last epoch the worker served.
+    last: u64,
+    /// Chunk self-scheduling cursor (`Shared::counter`).
+    counter: usize,
+    /// Workers still running the current epoch (`Ctrl::active`).
+    active: usize,
+    /// Index-ordered reduction partials (one writer per cell).
+    partials: Vec<f64>,
+    /// The dispatcher's combined result, written after the handshake.
+    result: f64,
+    /// Rounds the worker has served (must equal epochs published).
+    served: u64,
+}
+
+const NCHUNKS: usize = 3;
+
+/// One claim iteration of `run_job`: `fetch_add` the cursor and, if the
+/// chunk exists, fill its partial. The fetch_add plus the disjoint-slot
+/// write is one atomic model step (no other thread touches that slot).
+fn claim(s: &mut Round) {
+    let c = s.counter;
+    s.counter += 1;
+    if c < NCHUNKS {
+        s.partials[c] = chunk_val(c);
+    }
+}
+
+/// Build the dispatcher and worker programs for `rounds` back-to-back
+/// dispatches over `NCHUNKS` chunks each.
+fn dispatch_model(rounds: usize) -> (Round, Vec<ThreadProgram<'static, Round>>) {
+    let state = Round {
+        partials: vec![0.0; NCHUNKS],
+        ..Default::default()
+    };
+    let mut worker = ThreadProgram::new("worker");
+    let mut dispatcher = ThreadProgram::new("dispatcher");
+    for _ in 0..rounds {
+        // Worker: park until the epoch moves (atomic check-and-wait — the
+        // condvar holds the control mutex), claim until the cursor runs
+        // past the end, then report completion.
+        worker = worker.step(|s: &mut Round| {
+            if s.epoch == s.last {
+                return StepStatus::Blocked;
+            }
+            s.last = s.epoch;
+            s.served += 1;
+            StepStatus::Ran
+        });
+        for _ in 0..NCHUNKS + 1 {
+            worker = worker.run(claim);
+        }
+        worker = worker.run(|s: &mut Round| s.active -= 1);
+
+        // Dispatcher: reset the cursor (outside the lock — legal because
+        // the previous handshake already drained every participant), then
+        // publish the job and notify under the lock, participate in the
+        // claims, and combine partials in index order once active == 0.
+        dispatcher = dispatcher.run(|s: &mut Round| {
+            s.counter = 0;
+            s.partials.iter_mut().for_each(|p| *p = 0.0);
+        });
+        dispatcher = dispatcher.run(|s: &mut Round| {
+            s.active = 1;
+            s.epoch += 1;
+        });
+        for _ in 0..NCHUNKS + 1 {
+            dispatcher = dispatcher.run(claim);
+        }
+        dispatcher = dispatcher.step(|s: &mut Round| {
+            if s.active != 0 {
+                return StepStatus::Blocked;
+            }
+            let mut acc = 0.0;
+            for &p in &s.partials {
+                acc += p;
+            }
+            s.result += acc;
+            StepStatus::Ran
+        });
+    }
+    (state, vec![dispatcher, worker])
+}
+
+/// One full dispatch: every interleaving of claims and the completion
+/// handshake terminates and combines to the same bits (1.0 exactly, the
+/// index-ordered sum — a completion-order combine could give 0.0).
+#[test]
+fn explore_dispatch_round_deterministic_and_deadlock_free() {
+    let report = explore(
+        || dispatch_model(1),
+        |s| fingerprint_f64(&[s.result, s.served as f64]),
+        1_000_000,
+    );
+    assert!(report.is_deterministic(), "{report:?}");
+    assert_eq!(
+        report.outcomes,
+        vec![fingerprint_f64(&[1.0, 1.0])],
+        "index-ordered combine must yield exactly 1e15 + 1.0 - 1e15 = 1.0"
+    );
+}
+
+/// Two back-to-back dispatches through the same parked worker: the epoch
+/// bump wakes it exactly once per dispatch (no double-serve, no missed
+/// serve), and the second round's cursor reset never races the first
+/// round's claims because the active-count handshake orders them.
+#[test]
+fn explore_epoch_reuse_serves_each_dispatch_exactly_once() {
+    let report = explore(
+        || dispatch_model(2),
+        |s| fingerprint_f64(&[s.result, s.served as f64]),
+        5_000_000,
+    );
+    assert!(report.is_deterministic(), "{report:?}");
+    assert_eq!(report.outcomes, vec![fingerprint_f64(&[2.0, 2.0])]);
+}
+
+/// Shared state of the park/wake wakeup models.
+#[derive(Default)]
+struct Wake {
+    epoch: u64,
+    last: u64,
+    /// Worker's cached verdict from its epoch check.
+    saw_work: bool,
+    /// Worker has registered on the condvar.
+    waiting: bool,
+    /// A notify reached a registered waiter.
+    woken: bool,
+    served: u64,
+}
+
+/// The protocol as implemented: the epoch check and the condvar
+/// registration are one atomic step (the worker holds the control mutex
+/// across both), and the dispatcher publishes + notifies under that same
+/// mutex. No interleaving can lose the wakeup.
+#[test]
+fn explore_wake_protocol_notify_under_lock_never_loses_wakeup() {
+    let report = explore(
+        || {
+            let worker = ThreadProgram::new("worker")
+                // check-and-park, atomic under the control mutex
+                .run(|s: &mut Wake| {
+                    s.saw_work = s.epoch != s.last;
+                    if !s.saw_work {
+                        s.waiting = true;
+                    }
+                })
+                .step(|s: &mut Wake| {
+                    if !(s.saw_work || s.woken) {
+                        return StepStatus::Blocked;
+                    }
+                    s.waiting = false;
+                    s.woken = false;
+                    s.last = s.epoch;
+                    s.served += 1;
+                    StepStatus::Ran
+                });
+            // publish + notify, atomic under the control mutex
+            let dispatcher = ThreadProgram::new("dispatcher").run(|s: &mut Wake| {
+                s.epoch += 1;
+                if s.waiting {
+                    s.woken = true;
+                }
+            });
+            (Wake::default(), vec![dispatcher, worker])
+        },
+        |s| fingerprint_f64(&[s.served as f64]),
+        100_000,
+    );
+    assert!(report.is_deterministic(), "{report:?}");
+    assert_eq!(report.outcomes, vec![fingerprint_f64(&[1.0])]);
+}
+
+/// The bug the mutex discipline prevents: split the epoch check from the
+/// condvar registration (as if the worker released the lock between the
+/// two) and the classic lost-wakeup interleaving appears — check sees the
+/// old epoch, the dispatcher publishes and notifies into the void, the
+/// worker then parks forever. The explorer must find that deadlock; this
+/// is the regression guard for "notify under the lock" in
+/// `pool::run_erased` and `pool::pair`.
+#[test]
+fn explore_lost_wakeup_without_notify_under_lock() {
+    let report = explore(
+        || {
+            let worker = ThreadProgram::new("worker")
+                .run(|s: &mut Wake| s.saw_work = s.epoch != s.last) // check…
+                .run(|s: &mut Wake| {
+                    if !s.saw_work {
+                        s.waiting = true; // …then register, NOT atomic
+                    }
+                })
+                .step(|s: &mut Wake| {
+                    if !(s.saw_work || s.woken) {
+                        return StepStatus::Blocked;
+                    }
+                    s.last = s.epoch;
+                    s.served += 1;
+                    StepStatus::Ran
+                });
+            let dispatcher = ThreadProgram::new("dispatcher").run(|s: &mut Wake| {
+                s.epoch += 1;
+                if s.waiting {
+                    s.woken = true;
+                }
+            });
+            (Wake::default(), vec![dispatcher, worker])
+        },
+        |s| fingerprint_f64(&[s.served as f64]),
+        100_000,
+    );
+    assert!(
+        report.deadlocks > 0,
+        "the split check/park variant must exhibit a lost wakeup: {report:?}"
+    );
+    assert!(!report.is_deterministic());
+}
+
+/// The pair helper's done-epoch handshake ([`rbx_device::WorkerPool::pair`]):
+/// caller publishes an epoch and blocks until `done` catches up; the
+/// helper serves the epoch and acks. Every interleaving — including the
+/// helper still acking the previous epoch when the next is published —
+/// runs both sides exactly once per pair call and terminates.
+#[test]
+fn explore_pair_done_handshake_terminates() {
+    #[derive(Default)]
+    struct Pair {
+        epoch: u64,
+        done: u64,
+        helper_last: u64,
+        a_runs: u64,
+        b_runs: u64,
+    }
+    let report = explore(
+        || {
+            let mut caller = ThreadProgram::new("caller");
+            let mut helper = ThreadProgram::new("helper");
+            for _ in 0..2 {
+                caller = caller
+                    .run(|s: &mut Pair| s.epoch += 1) // publish + notify
+                    .run(|s: &mut Pair| s.b_runs += 1) // run B inline
+                    .step(|s: &mut Pair| {
+                        if s.done != s.epoch {
+                            return StepStatus::Blocked;
+                        }
+                        StepStatus::Ran
+                    });
+                helper = helper
+                    .step(|s: &mut Pair| {
+                        if s.epoch == s.helper_last {
+                            return StepStatus::Blocked;
+                        }
+                        s.helper_last = s.epoch;
+                        StepStatus::Ran
+                    })
+                    .run(|s: &mut Pair| s.a_runs += 1) // run A
+                    .run(|s: &mut Pair| s.done = s.helper_last); // ack
+            }
+            (Pair::default(), vec![caller, helper])
+        },
+        |s| fingerprint_f64(&[s.a_runs as f64, s.b_runs as f64]),
+        1_000_000,
+    );
+    assert!(report.is_deterministic(), "{report:?}");
+    assert_eq!(report.outcomes, vec![fingerprint_f64(&[2.0, 2.0])]);
+}

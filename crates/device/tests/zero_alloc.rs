@@ -1,0 +1,118 @@
+//! Instrumented proof of the pool's dispatch-cost contract: after
+//! construction and one warm-up dispatch per job shape, a parallel region
+//! performs **zero heap allocations** on the dispatching thread and spawns
+//! **zero threads**. This is the property that makes the pool affordable
+//! inside PCG/FGMRES, where thousands of operator applies run per step —
+//! a per-dispatch allocation or spawn would dominate small solves.
+//!
+//! The allocation check uses a counting `#[global_allocator]` and must own
+//! the whole test binary, so this file contains exactly one `#[test]`.
+
+use rbx_device::{loop_chunk, reduce_chunk, WorkerPool};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ordering: relaxed — a monotonic event counter; the test reads it
+        // from the same thread that increments it.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `Threads:` line of /proc/self/status — OS threads in this process.
+/// Linux-only; returns None elsewhere so the spawn check degrades to a
+/// no-op instead of a false failure.
+fn os_thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[test]
+fn dispatch_is_allocation_free_and_spawns_no_threads() {
+    let n = 20_000;
+    let pool = WorkerPool::new(4);
+    let threads_after_construction = os_thread_count();
+
+    let data: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+    let mut out = vec![0.0f64; n];
+
+    // Warm-up: first reduction grows the pool-owned partials buffer to
+    // this job's chunk count; everything after reuses it.
+    let lc = loop_chunk(n, pool.threads());
+    let rc = reduce_chunk(n);
+    let warm_sum = pool.sum(n, rc, |i| data[i]);
+    {
+        let op = rbx_device::RangePtr::new(&mut out);
+        pool.for_each_range(n, lc, |s, e| {
+            // SAFETY: chunk ranges are pairwise disjoint.
+            let o = unsafe { op.range_mut(s, e) };
+            for (k, v) in o.iter_mut().enumerate() {
+                *v = data[s + k] * 2.0;
+            }
+        });
+    }
+
+    // Steady state: many dispatches of every job shape, zero allocations
+    // observed by the dispatching thread's counter. (Workers allocate
+    // nothing either, but the counter is global, so a worker allocation
+    // would fail this assertion too — which is exactly the contract.)
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut bits_stable = true;
+    for _ in 0..200 {
+        let a = pool.sum(n, rc, |i| data[i]);
+        let b = pool.sum_range(n, rc, |s, e| data[s..e].iter().sum());
+        bits_stable &= a.to_bits() == warm_sum.to_bits() && b.to_bits() == warm_sum.to_bits();
+        let op = rbx_device::RangePtr::new(&mut out);
+        pool.for_each_range(n, lc, |s, e| {
+            // SAFETY: chunk ranges are pairwise disjoint.
+            let o = unsafe { op.range_mut(s, e) };
+            for (k, v) in o.iter_mut().enumerate() {
+                *v = data[s + k] + 1.0;
+            }
+        });
+        pool.for_each(0, 1, |_| {});
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state pool dispatch must not allocate (saw {delta} allocations over 800 dispatches)"
+    );
+    assert!(
+        bits_stable,
+        "every steady-state reduction must reproduce the warm-up bits"
+    );
+
+    // No thread is spawned after pool construction: the OS thread count is
+    // unchanged across all those dispatches (and across a pair overlap).
+    pool.pair(|| {}, || {});
+    if let Some(t0) = threads_after_construction {
+        let t1 = os_thread_count().expect("/proc/self/status readable once means always");
+        assert_eq!(
+            t0, t1,
+            "dispatch must reuse the persistent workers, not spawn threads"
+        );
+    }
+}

@@ -25,6 +25,7 @@
 //! point coordinates, so curved and periodic meshes need no tolerances.
 
 use rbx_comm::{Communicator, Payload};
+use rbx_device::{loop_chunk, RangePtr, WorkerPool};
 use rbx_mesh::topology::{classify_node, NodeClass, HEX_EDGES, HEX_FACES};
 use rbx_mesh::HexMesh;
 use rbx_telemetry::Telemetry;
@@ -149,6 +150,10 @@ pub struct GatherScatter {
     /// Observability handle, settable once through a shared reference
     /// (the operator lives behind an `Arc` in the simulation).
     tel: OnceLock<Telemetry>,
+    /// Persistent worker pool for the local gather and scatter phases,
+    /// settable once through a shared reference (like `tel`). Unset means
+    /// the phases run serially on the calling thread.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl GatherScatter {
@@ -272,7 +277,23 @@ impl GatherScatter {
             shared,
             tag: 0x6753,
             tel: OnceLock::new(),
+            pool: OnceLock::new(),
         }
+    }
+
+    /// Route the rank-local gather and scatter phases through a persistent
+    /// [`WorkerPool`]. Callable through `&self` (the operator is typically
+    /// shared via `Arc`); only the first call takes effect. Each group's
+    /// reduction still runs in member order on one thread, so the pooled
+    /// phases are bitwise identical to the serial ones for every thread
+    /// count. The shared (communication) phase is unaffected.
+    pub fn set_pool(&self, pool: &WorkerPool) {
+        let _ = self.pool.set(pool.clone());
+    }
+
+    #[inline]
+    fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.get()
     }
 
     /// Attach a telemetry handle. Callable through `&self` (the operator
@@ -321,17 +342,40 @@ impl GatherScatter {
         // audit:allow(hot-alloc): per-apply group buffer — hoisting it into self would need interior mutability on a handle shared across threads (Schwarz overlap); one ngroups vec amortizes over the whole reduce+scatter
         let mut gval = vec![0.0; ngroups];
 
-        // Phase 1: local gather.
-        {
-            let _g = tel.map(|t| t.span_abs("gs/local"));
-            for gi in 0..ngroups {
-                let lo = self.group_ptr[gi] as usize;
-                let hi = self.group_ptr[gi + 1] as usize;
-                let mut acc = op.identity();
-                for &m in &self.members[lo..hi] {
-                    acc = op.combine(acc, u[m as usize]);
+        // Phase 1: local gather. Groups are independent (each node belongs
+        // to at most one group), so chunks of the group range can gather in
+        // parallel; each group still reduces in member order on a single
+        // thread, keeping the result bitwise identical to the serial phase.
+        match self.pool() {
+            Some(pool) => {
+                let _g = tel.map(|t| t.span_abs("pool/gs"));
+                let gp = RangePtr::new(&mut gval);
+                pool.for_each_range(ngroups, loop_chunk(ngroups, pool.threads()), |g0, g1| {
+                    // SAFETY: chunk ranges of the group index are pairwise
+                    // disjoint, so each gval slot has exactly one writer.
+                    let gsub = unsafe { gp.range_mut(g0, g1) };
+                    for (gi, slot) in (g0..g1).zip(gsub.iter_mut()) {
+                        let lo = self.group_ptr[gi] as usize;
+                        let hi = self.group_ptr[gi + 1] as usize;
+                        let mut acc = op.identity();
+                        for &m in &self.members[lo..hi] {
+                            acc = op.combine(acc, u[m as usize]);
+                        }
+                        *slot = acc;
+                    }
+                });
+            }
+            None => {
+                let _g = tel.map(|t| t.span_abs("gs/local"));
+                for gi in 0..ngroups {
+                    let lo = self.group_ptr[gi] as usize;
+                    let hi = self.group_ptr[gi + 1] as usize;
+                    let mut acc = op.identity();
+                    for &m in &self.members[lo..hi] {
+                        acc = op.combine(acc, u[m as usize]);
+                    }
+                    gval[gi] = acc;
                 }
-                gval[gi] = acc;
             }
         }
 
@@ -367,14 +411,34 @@ impl GatherScatter {
             }
         }
 
-        // Scatter back.
-        {
-            let _g = tel.map(|t| t.span_abs("gs/scatter"));
-            for gi in 0..ngroups {
-                let lo = self.group_ptr[gi] as usize;
-                let hi = self.group_ptr[gi + 1] as usize;
-                for &m in &self.members[lo..hi] {
-                    u[m as usize] = gval[gi];
+        // Scatter back. Member sets of distinct groups are disjoint, so the
+        // scatter writes of parallel group chunks never alias.
+        match self.pool() {
+            Some(pool) => {
+                let _g = tel.map(|t| t.span_abs("pool/gs"));
+                let up = RangePtr::new(u);
+                let gv = &gval;
+                pool.for_each_range(ngroups, loop_chunk(ngroups, pool.threads()), |g0, g1| {
+                    for gi in g0..g1 {
+                        let lo = self.group_ptr[gi] as usize;
+                        let hi = self.group_ptr[gi + 1] as usize;
+                        for &m in &self.members[lo..hi] {
+                            // SAFETY: each node index appears in at most one
+                            // group, so writes from different chunks are
+                            // disjoint.
+                            unsafe { up.write(m as usize, gv[gi]) };
+                        }
+                    }
+                });
+            }
+            None => {
+                let _g = tel.map(|t| t.span_abs("gs/scatter"));
+                for gi in 0..ngroups {
+                    let lo = self.group_ptr[gi] as usize;
+                    let hi = self.group_ptr[gi + 1] as usize;
+                    for &m in &self.members[lo..hi] {
+                        u[m as usize] = gval[gi];
+                    }
                 }
             }
         }
@@ -626,6 +690,54 @@ mod tests {
         for (a, b) in u.iter().zip(&once) {
             assert_close(*a, *b, 1e-12);
         }
+    }
+
+    #[test]
+    fn pooled_apply_matches_serial_bitwise_across_thread_counts() {
+        let p = 4;
+        let mesh = box_mesh(3, 2, 2, [0., 1.], [0., 1.], [0., 1.], true, false);
+        let u0: Vec<f64> = {
+            let (gs, _) = single_gs(&mesh, p);
+            (0..gs.n_local())
+                .map(|i| ((i * 37 % 113) as f64) * 0.03 - 1.5)
+                .collect()
+        };
+        for op in [GsOp::Add, GsOp::Min, GsOp::Max, GsOp::Mul] {
+            let (gs_ref, comm) = single_gs(&mesh, p);
+            let mut u_ref = u0.clone();
+            gs_ref.apply(&mut u_ref, op, &comm);
+            for threads in [1usize, 4, 7] {
+                let (gs, comm) = single_gs(&mesh, p);
+                let pool = rbx_device::WorkerPool::new(threads);
+                gs.set_pool(&pool);
+                let mut u = u0.clone();
+                gs.apply(&mut u, op, &comm);
+                for i in 0..u.len() {
+                    assert_eq!(
+                        u_ref[i].to_bits(),
+                        u[i].to_bits(),
+                        "op={op:?} threads={threads} node {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_apply_records_pool_span() {
+        let p = 2;
+        let mesh = box_mesh(2, 1, 1, [0., 2.], [0., 1.], [0., 1.], false, false);
+        let (gs, comm) = single_gs(&mesh, p);
+        let tel = Telemetry::enabled();
+        gs.set_telemetry(&tel);
+        let pool = rbx_device::WorkerPool::new(2);
+        gs.set_pool(&pool);
+        let mut u = vec![1.0; gs.n_local()];
+        gs.apply(&mut u, GsOp::Add, &comm);
+        // Gather + scatter both run under the pooled span.
+        assert_eq!(tel.tracer().calls("pool/gs"), 2);
+        assert_eq!(tel.tracer().calls("gs/local"), 0);
+        assert!(pool.stats().dispatches >= 2);
     }
 
     #[test]

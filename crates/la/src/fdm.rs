@@ -21,7 +21,22 @@
 
 use rbx_basis::tensor::{tensor_apply3, TensorScratch};
 use rbx_basis::{sym_eig, DMat};
+use rbx_device::{loop_chunk, RangePtr, WorkerPool};
 use rbx_mesh::GeomFactors;
+use std::cell::RefCell;
+
+/// Per-thread scratch for the pooled FDM sweep (two m³ lattices plus the
+/// tensor-contraction workspace), resized only on an order change.
+#[derive(Default)]
+struct FdmScratch {
+    rint: Vec<f64>,
+    tmp: Vec<f64>,
+    ts: TensorScratch,
+}
+
+thread_local! {
+    static POOL_SCRATCH: RefCell<FdmScratch> = RefCell::new(FdmScratch::default());
+}
 
 /// Subdomain choice for the local solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -150,16 +165,11 @@ impl ElementFdm {
     /// element-discontinuous; the caller restores continuity by weighted
     /// gather-scatter averaging.
     pub fn apply_add(&self, r: &[f64], z: &mut [f64], h1: f64, h2: f64) {
-        let n = self.n;
         let m = self.m;
         if m == 0 {
             return;
         }
-        let off = match self.mode {
-            FdmMode::FullNeumann => 0,
-            FdmMode::Interior => 1,
-        };
-        let nn = n * n * n;
+        let nn = self.n * self.n * self.n;
         let mm = m * m * m;
         debug_assert_eq!(r.len(), self.factors.len() * nn);
         debug_assert_eq!(z.len(), r.len());
@@ -171,9 +181,82 @@ impl ElementFdm {
         // audit:allow(hot-alloc): m³ scratch kept local so &self stays Sync for the overlapped phase; amortized over all elements
         let mut tmp = vec![0.0; mm];
         let mut scratch = TensorScratch::new();
+        self.apply_element_range(
+            0,
+            self.factors.len(),
+            r,
+            z,
+            h1,
+            h2,
+            &mut rint,
+            &mut tmp,
+            &mut scratch,
+        );
+    }
 
-        for (e, f) in self.factors.iter().enumerate() {
-            let base = e * nn;
+    /// Pooled variant of [`ElementFdm::apply_add`]: the element sweep is
+    /// dispatched on a persistent [`WorkerPool`] with per-thread scratch.
+    /// Each element writes a disjoint block of `z`, so the result is
+    /// bitwise identical to the serial sweep for every thread count.
+    pub fn apply_add_with(&self, r: &[f64], z: &mut [f64], h1: f64, h2: f64, pool: &WorkerPool) {
+        let m = self.m;
+        if m == 0 {
+            return;
+        }
+        let nn = self.n * self.n * self.n;
+        let mm = m * m * m;
+        debug_assert_eq!(r.len(), self.factors.len() * nn);
+        debug_assert_eq!(z.len(), r.len());
+        let nelv = self.factors.len();
+        let zp = RangePtr::new(z);
+        pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+            POOL_SCRATCH.with(|cell| {
+                let s = &mut *cell.borrow_mut();
+                s.rint.resize(mm, 0.0);
+                s.tmp.resize(mm, 0.0);
+                // SAFETY: element chunks are pairwise disjoint, so the node
+                // ranges they map to are too.
+                let zsub = unsafe { zp.range_mut(e0 * nn, e1 * nn) };
+                self.apply_element_range(
+                    e0,
+                    e1,
+                    r,
+                    zsub,
+                    h1,
+                    h2,
+                    &mut s.rint,
+                    &mut s.tmp,
+                    &mut s.ts,
+                );
+            });
+        });
+    }
+
+    /// The element sweep over `e0..e1`; `z` holds exactly that range's
+    /// nodes (`r` stays full-length, it is only read).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_element_range(
+        &self,
+        e0: usize,
+        e1: usize,
+        r: &[f64],
+        z: &mut [f64],
+        h1: f64,
+        h2: f64,
+        rint: &mut [f64],
+        tmp: &mut [f64],
+        scratch: &mut TensorScratch,
+    ) {
+        let n = self.n;
+        let m = self.m;
+        let off = match self.mode {
+            FdmMode::FullNeumann => 0,
+            FdmMode::Interior => 1,
+        };
+        let nn = n * n * n;
+        for (e, f) in self.factors[e0..e1].iter().enumerate() {
+            let base = (e0 + e) * nn;
+            let zbase = e * nn;
             // Restrict to the subdomain lattice.
             for k in 0..m {
                 for j in 0..m {
@@ -184,7 +267,7 @@ impl ElementFdm {
                 }
             }
             // w = Sᵀ r
-            tensor_apply3(&f.st[0], &f.st[1], &f.st[2], &rint, &mut tmp, &mut scratch);
+            tensor_apply3(&f.st[0], &f.st[1], &f.st[2], rint, tmp, scratch);
             // Scale by the pseudo-inverse of h1·(λx+λy+λz) + h2.
             let floor = 1e-8 * (h1.abs() * f.lambda_max.max(1e-300) + h2.abs());
             for k in 0..m {
@@ -201,11 +284,11 @@ impl ElementFdm {
                 }
             }
             // z_sub += S w
-            tensor_apply3(&f.s[0], &f.s[1], &f.s[2], &tmp, &mut rint, &mut scratch);
+            tensor_apply3(&f.s[0], &f.s[1], &f.s[2], tmp, rint, scratch);
             for k in 0..m {
                 for j in 0..m {
                     for i in 0..m {
-                        z[base + (i + off) + n * ((j + off) + n * (k + off))] +=
+                        z[zbase + (i + off) + n * ((j + off) + n * (k + off))] +=
                             rint[i + m * (j + m * k)];
                     }
                 }
@@ -445,6 +528,28 @@ mod tests {
             nonzero_boundary > 0,
             "no boundary corrections in FullNeumann mode"
         );
+    }
+
+    #[test]
+    fn pooled_sweep_matches_serial_bitwise() {
+        let p = 4;
+        let mesh = box_mesh(3, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let geom = rbx_mesh::GeomFactors::new(&mesh, p);
+        let fdm = ElementFdm::new(&geom);
+        let ntot = geom.total_nodes();
+        let r: Vec<f64> = (0..ntot)
+            .map(|i| ((i * 53 % 103) as f64) * 0.02 - 1.0)
+            .collect();
+        let mut z_serial = vec![0.1; ntot]; // nonzero: apply_add accumulates
+        fdm.apply_add(&r, &mut z_serial, 1.3, 0.2);
+        for threads in [1usize, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let mut z_pooled = vec![0.1; ntot];
+            fdm.apply_add_with(&r, &mut z_pooled, 1.3, 0.2, &pool);
+            for (a, b) in z_serial.iter().zip(&z_pooled) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,17 @@
 use crate::ops::hadamard;
 use rbx_basis::tensor::{deriv_x, deriv_x_t_add, deriv_y, deriv_y_t_add, deriv_z, deriv_z_t_add};
 use rbx_comm::Communicator;
+use rbx_device::{loop_chunk, RangePtr, WorkerPool};
 use rbx_gs::{GatherScatter, GsOp};
 use rbx_mesh::GeomFactors;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread element scratch for the pooled apply: allocated on a
+    /// thread's first range and resized only on a polynomial-order change,
+    /// keeping the pool dispatch path allocation-free in the steady state.
+    static POOL_SCRATCH: RefCell<HelmholtzScratch> = RefCell::new(HelmholtzScratch::default());
+}
 
 /// The assembled (in the weak sense) Helmholtz operator
 /// `H = h₁·A + h₂·B` on the masked continuous subspace.
@@ -45,37 +54,40 @@ impl<'a> HelmholtzOp<'a> {
     pub fn apply_local(&self, u: &[f64], y: &mut [f64], scratch: &mut HelmholtzScratch) {
         let nn = self.geom.nodes_per_element();
         let nelv = self.geom.nelv;
-        assert_eq!(u.len(), nelv * nn);
-        assert_eq!(y.len(), nelv * nn);
+        debug_assert_eq!(u.len(), nelv * nn);
+        debug_assert_eq!(y.len(), nelv * nn);
         self.apply_element_range(0, u, y, scratch);
     }
 
-    /// Like [`HelmholtzOp::apply_local`] but with the element loop split
-    /// across `threads` worker threads (one contiguous block each) — the
-    /// backend-parallel kernel path of the device abstraction layer. The
-    /// result is bitwise identical to the serial apply.
-    pub fn apply_local_pooled(&self, u: &[f64], y: &mut [f64], threads: usize) {
-        assert!(threads >= 1);
+    /// Like [`HelmholtzOp::apply_local`] but with the element loop
+    /// dispatched on a persistent [`WorkerPool`] (dynamic chunk
+    /// self-scheduling, per-thread scratch, zero per-call spawns or
+    /// allocations). Element outputs are disjoint, so the result is
+    /// bitwise identical to the serial apply for every thread count.
+    pub fn apply_local_with(&self, u: &[f64], y: &mut [f64], pool: &WorkerPool) {
         let nn = self.geom.nodes_per_element();
         let nelv = self.geom.nelv;
-        assert_eq!(u.len(), nelv * nn);
-        assert_eq!(y.len(), nelv * nn);
-        if threads == 1 || nelv <= 1 {
-            let mut scratch = HelmholtzScratch::default();
-            self.apply_element_range(0, u, y, &mut scratch);
-            return;
-        }
-        let chunk_elems = nelv.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, y_chunk) in y.chunks_mut(chunk_elems * nn).enumerate() {
-                let e0 = t * chunk_elems;
-                let u_chunk = &u[e0 * nn..e0 * nn + y_chunk.len()];
-                scope.spawn(move || {
-                    let mut scratch = HelmholtzScratch::default();
-                    self.apply_element_range(e0, u_chunk, y_chunk, &mut scratch);
-                });
-            }
+        debug_assert_eq!(u.len(), nelv * nn);
+        debug_assert_eq!(y.len(), nelv * nn);
+        let yp = RangePtr::new(y);
+        pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+            POOL_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                // SAFETY: element chunks are pairwise disjoint, so the node
+                // ranges they map to are too.
+                let ysub = unsafe { yp.range_mut(e0 * nn, e1 * nn) };
+                self.apply_element_range(e0, &u[e0 * nn..e1 * nn], ysub, scratch);
+            });
         });
+    }
+
+    /// Full pooled operator apply: pooled local part, gather-scatter
+    /// assembly (itself pooled when the gather-scatter has a pool
+    /// injected), then Dirichlet masking.
+    pub fn apply_with(&self, u: &[f64], y: &mut [f64], pool: &WorkerPool, comm: &dyn Communicator) {
+        self.apply_local_with(u, y, pool);
+        self.gs.apply(y, GsOp::Add, comm);
+        hadamard(self.mask, y);
     }
 
     /// Apply to a contiguous element range; `e_begin` locates the range in
@@ -317,8 +329,9 @@ mod pooled_tests {
         op.apply_local(&u, &mut y_serial, &mut scratch);
 
         for threads in [1usize, 2, 3, 5] {
+            let pool = rbx_device::WorkerPool::new(threads);
             let mut y_pooled = vec![0.0; n];
-            op.apply_local_pooled(&u, &mut y_pooled, threads);
+            op.apply_local_with(&u, &mut y_pooled, &pool);
             for (a, b) in y_serial.iter().zip(&y_pooled) {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
             }

@@ -6,6 +6,7 @@
 //! weighting the production code applies in its Krylov kernels.
 
 use rbx_comm::Communicator;
+use rbx_device::{loop_chunk, reduce_chunk, RangePtr, WorkerPool};
 
 /// `y ← a·x + y`.
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
@@ -13,6 +14,36 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += a * xi;
     }
+}
+
+/// Pooled `y ← a·x + y`: chunk ranges write disjointly, so the result is
+/// bitwise identical to [`axpy`] for every thread count.
+pub fn axpy_with(a: f64, x: &[f64], y: &mut [f64], pool: &WorkerPool) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = y.len();
+    let yp = RangePtr::new(y);
+    pool.for_each_range(n, loop_chunk(n, pool.threads()), |start, end| {
+        // SAFETY: chunk ranges are pairwise disjoint.
+        let ysub = unsafe { yp.range_mut(start, end) };
+        for (yi, xi) in ysub.iter_mut().zip(&x[start..end]) {
+            *yi += a * xi;
+        }
+    });
+}
+
+/// Pooled `y ← x + b·y` (see [`xpby`]); bitwise identical to the serial
+/// form for every thread count.
+pub fn xpby_with(x: &[f64], b: f64, y: &mut [f64], pool: &WorkerPool) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = y.len();
+    let yp = RangePtr::new(y);
+    pool.for_each_range(n, loop_chunk(n, pool.threads()), |start, end| {
+        // SAFETY: chunk ranges are pairwise disjoint.
+        let ysub = unsafe { yp.range_mut(start, end) };
+        for (yi, xi) in ysub.iter_mut().zip(&x[start..end]) {
+            *yi = xi + b * *yi;
+        }
+    });
 }
 
 /// `y ← x + b·y` (useful for CG direction updates).
@@ -41,6 +72,21 @@ pub fn hadamard(x: &[f64], y: &mut [f64]) {
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi *= xi;
     }
+}
+
+/// Pooled element-wise product `y ← x ∘ y`; bitwise identical to
+/// [`hadamard`] for every thread count (disjoint chunk writes).
+pub fn hadamard_with(x: &[f64], y: &mut [f64], pool: &WorkerPool) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = y.len();
+    let yp = RangePtr::new(y);
+    pool.for_each_range(n, loop_chunk(n, pool.threads()), |start, end| {
+        // SAFETY: chunk ranges are pairwise disjoint.
+        let ysub = unsafe { yp.range_mut(start, end) };
+        for (yi, xi) in ysub.iter_mut().zip(&x[start..end]) {
+            *yi *= xi;
+        }
+    });
 }
 
 /// Globally consistent inner product over duplicated-node storage.
@@ -84,6 +130,39 @@ impl DotProduct {
     /// Global L² norm.
     pub fn norm(&self, a: &[f64], comm: &dyn Communicator) -> f64 {
         self.dot(a, a, comm).sqrt()
+    }
+
+    /// Pooled global inner product. The chunk partition is a function of
+    /// the vector length only ([`rbx_device::reduce_chunk`]) and partials
+    /// combine in index order, so the result bits are identical for every
+    /// thread count — though not to the unchunked serial [`DotProduct::dot`]
+    /// (a different, equally valid summation order). A solve must use one
+    /// variant throughout to stay bitwise reproducible.
+    pub fn dot_with(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        pool: &WorkerPool,
+        comm: &dyn Communicator,
+    ) -> f64 {
+        debug_assert_eq!(a.len(), self.mult_inv.len());
+        debug_assert_eq!(b.len(), self.mult_inv.len());
+        let n = self.mult_inv.len();
+        let w = &self.mult_inv;
+        let local = pool.sum_range(n, reduce_chunk(n), |start, end| {
+            let mut acc = 0.0;
+            for ((x, y), wi) in a[start..end].iter().zip(&b[start..end]).zip(&w[start..end]) {
+                acc += x * y * wi;
+            }
+            acc
+        });
+        rbx_comm::allreduce_scalar(comm, local)
+    }
+
+    /// Pooled global L² norm (same determinism contract as
+    /// [`DotProduct::dot_with`]).
+    pub fn norm_with(&self, a: &[f64], pool: &WorkerPool, comm: &dyn Communicator) -> f64 {
+        self.dot_with(a, a, pool, comm).sqrt()
     }
 
     /// Global number of unique degrees of freedom (`Σ 1/mult`).
@@ -151,6 +230,53 @@ mod tests {
         ortho_project_mean(&mut x, &bw, &comm);
         let weighted: f64 = x.iter().zip(&bw).map(|(a, b)| a * b).sum();
         assert!(weighted.abs() < 1e-13);
+    }
+
+    #[test]
+    fn pooled_elementwise_match_serial_bitwise() {
+        let n = 3001;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 % 97) as f64) * 0.01 - 0.5)
+            .collect();
+        let y0: Vec<f64> = (0..n)
+            .map(|i| ((i * 17 % 89) as f64) * 0.02 - 0.9)
+            .collect();
+        for threads in [1usize, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let mut ys = y0.clone();
+            let mut yp = y0.clone();
+            axpy(1.3, &x, &mut ys);
+            axpy_with(1.3, &x, &mut yp, &pool);
+            assert_eq!(ys, yp, "axpy threads={threads}");
+            xpby(&x, -0.7, &mut ys);
+            xpby_with(&x, -0.7, &mut yp, &pool);
+            assert_eq!(ys, yp, "xpby threads={threads}");
+            hadamard(&x, &mut ys);
+            hadamard_with(&x, &mut yp, &pool);
+            assert_eq!(ys, yp, "hadamard threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_dot_deterministic_across_thread_counts() {
+        let comm = SingleComm::new();
+        let n = 5417;
+        let mult = vec![1.0; n];
+        let dp = DotProduct::new(&mult);
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 % 101) as f64) * 1e-2 - 0.5)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 43 % 97) as f64) * 1e-2 - 0.4)
+            .collect();
+        let r1 = dp.dot_with(&a, &b, &WorkerPool::new(1), &comm);
+        let r4 = dp.dot_with(&a, &b, &WorkerPool::new(4), &comm);
+        let r7 = dp.dot_with(&a, &b, &WorkerPool::new(7), &comm);
+        assert_eq!(r1.to_bits(), r4.to_bits());
+        assert_eq!(r1.to_bits(), r7.to_bits());
+        // And the value agrees with the serial variant to rounding.
+        let serial = dp.dot(&a, &b, &comm);
+        assert!((serial - r1).abs() <= 1e-12 * serial.abs().max(1.0));
     }
 
     #[test]

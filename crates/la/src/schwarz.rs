@@ -22,6 +22,7 @@ use crate::coarse::CoarseGrid;
 use crate::fdm::ElementFdm;
 use crate::ops::{hadamard, ortho_project_mean};
 use rbx_comm::Communicator;
+use rbx_device::WorkerPool;
 use rbx_gs::{GatherScatter, GsOp};
 use rbx_telemetry::Telemetry;
 use std::sync::Arc;
@@ -60,6 +61,10 @@ pub struct SchwarzMg {
     pub h2: f64,
     /// Observability handle (disabled by default).
     tel: Telemetry,
+    /// Persistent worker pool for the fine-level FDM sweep (and, in
+    /// overlapped mode, the coarse∥fine pairing). `None` keeps the legacy
+    /// single-threaded sweep with a per-apply `thread::scope` overlap.
+    pool: Option<WorkerPool>,
 }
 
 impl SchwarzMg {
@@ -96,7 +101,16 @@ impl SchwarzMg {
             h1,
             h2,
             tel: Telemetry::disabled(),
+            pool: None,
         }
+    }
+
+    /// Route the fine-level FDM sweep (and, in overlapped mode, the
+    /// coarse∥fine pairing) through a persistent [`WorkerPool`]. The pooled
+    /// sweep is bitwise identical to the serial one for every thread count,
+    /// so this only changes where the work runs — never what it computes.
+    pub fn set_pool(&mut self, pool: &WorkerPool) {
+        self.pool = Some(pool.clone());
     }
 
     /// Share a telemetry handle with this preconditioner and its coarse
@@ -126,8 +140,8 @@ impl SchwarzMg {
         // audit:allow(hot-alloc): disjoint per-apply buffer is the overlap-correctness mechanism; &self must stay immutable across both tasks
         let mut z_fine = vec![0.0; n];
 
-        match mode {
-            SchwarzMode::Serial => {
+        match (mode, &self.pool) {
+            (SchwarzMode::Serial, None) => {
                 {
                     let _g = self.tel.span_abs("schwarz/coarse");
                     self.coarse.correct_add(&rw, &mut z_coarse, comm);
@@ -135,7 +149,20 @@ impl SchwarzMg {
                 let _g = self.tel.span_abs("schwarz/fdm");
                 self.fdm.apply_add(&rw, &mut z_fine, self.h1, self.h2);
             }
-            SchwarzMode::Overlapped => {
+            (SchwarzMode::Serial, Some(pool)) => {
+                {
+                    let _g = self.tel.span_abs("schwarz/coarse");
+                    self.coarse.correct_add(&rw, &mut z_coarse, comm);
+                }
+                let _g = self.tel.span_abs("pool/fdm");
+                self.fdm
+                    .apply_add_with(&rw, &mut z_fine, self.h1, self.h2, pool);
+            }
+            (SchwarzMode::Overlapped, None) => {
+                // Legacy overlap: one short-lived scoped thread per apply.
+                // Kept as the no-pool fallback so the preconditioner stays
+                // usable without a runtime handle (tests, tooling).
+                // audit:allow(pool-discipline): explicit no-pool fallback path; run_dns always installs a pool via set_pool
                 std::thread::scope(|scope| {
                     // Coarse task: restriction → fixed-iteration PCG (with
                     // its allreduces) → prolongation. All communication
@@ -152,6 +179,27 @@ impl SchwarzMg {
                     let _g = self.tel.span_abs("schwarz/fdm");
                     self.fdm.apply_add(&rw, &mut z_fine, self.h1, self.h2);
                 });
+            }
+            (SchwarzMode::Overlapped, Some(pool)) => {
+                // Pool-composed overlap: the coarse task runs on the pool's
+                // persistent helper thread while the caller drives the
+                // pooled FDM sweep across the pool's workers — no thread is
+                // spawned per apply.
+                let coarse = &self.coarse;
+                let tel = &self.tel;
+                let rw_ref = &rw;
+                let zc = &mut z_coarse;
+                let zf = &mut z_fine;
+                pool.pair(
+                    move || {
+                        let _g = tel.span_abs("schwarz/coarse");
+                        coarse.correct_add(rw_ref, zc, comm);
+                    },
+                    || {
+                        let _g = self.tel.span_abs("pool/fdm");
+                        self.fdm.apply_add_with(rw_ref, zf, self.h1, self.h2, pool);
+                    },
+                );
             }
         }
 
@@ -259,6 +307,38 @@ mod tests {
                 z_serial[i],
                 z_overlap[i]
             );
+        }
+    }
+
+    #[test]
+    fn pooled_apply_matches_serial_bitwise_across_thread_counts() {
+        let p = 4;
+        let mesh = box_mesh(3, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let s = build(&mesh, p, true, &comm);
+        let n = s.geom.total_nodes();
+        let mut r: Vec<f64> = (0..n).map(|i| ((i * 31 % 19) as f64) - 9.0).collect();
+        s.gs.apply(&mut r, GsOp::Add, &comm);
+        crate::ops::hadamard(&s.mask, &mut r);
+        let mut z_ref = vec![0.0; n];
+        s.schwarz.apply(&r, &mut z_ref, SchwarzMode::Serial, &comm);
+        for threads in [1usize, 4, 7] {
+            let mut s2 = build(&mesh, p, true, &comm);
+            let pool = WorkerPool::new(threads);
+            s2.schwarz.set_pool(&pool);
+            for mode in [SchwarzMode::Serial, SchwarzMode::Overlapped] {
+                let mut z = vec![0.0; n];
+                s2.schwarz.apply(&r, &mut z, mode, &comm);
+                for i in 0..n {
+                    assert_eq!(
+                        z_ref[i].to_bits(),
+                        z[i].to_bits(),
+                        "threads={threads} mode={mode:?} node {i}: {} vs {}",
+                        z_ref[i],
+                        z[i]
+                    );
+                }
+            }
         }
     }
 

@@ -95,6 +95,26 @@ pub const SPANS: &[SpanDef] = &[
         path: "gs/scatter",
         help: "gather-scatter: write combined values back to nodes",
     },
+    SpanDef {
+        path: "pool/helmholtz",
+        help: "pooled Helmholtz operator apply inside a Krylov solve",
+    },
+    SpanDef {
+        path: "pool/dot",
+        help: "pooled deterministic dot product inside a Krylov solve",
+    },
+    SpanDef {
+        path: "pool/advect",
+        help: "pooled dealiased advection of velocity and temperature",
+    },
+    SpanDef {
+        path: "pool/fdm",
+        help: "pooled element-FDM sweep (Schwarz fine level)",
+    },
+    SpanDef {
+        path: "pool/gs",
+        help: "pooled gather-scatter local gather / scatter phase",
+    },
 ];
 
 /// All metric base names production code feeds. Call sites may append
@@ -169,6 +189,26 @@ pub const METRICS: &[MetricDef] = &[
         name: "rbx_gs_bytes_total",
         kind: MetricKind::Counter,
         help: "gather-scatter payload bytes exchanged",
+    },
+    MetricDef {
+        name: "rbx_pool_threads",
+        kind: MetricKind::Gauge,
+        help: "worker-pool size (workers + calling thread)",
+    },
+    MetricDef {
+        name: "rbx_pool_dispatches_total",
+        kind: MetricKind::Counter,
+        help: "parallel regions dispatched to the worker pool",
+    },
+    MetricDef {
+        name: "rbx_pool_chunks_total",
+        kind: MetricKind::Counter,
+        help: "self-scheduled chunks claimed across pool dispatches",
+    },
+    MetricDef {
+        name: "rbx_pool_items_total",
+        kind: MetricKind::Counter,
+        help: "loop iterations covered by pool dispatches",
     },
 ];
 

@@ -1,0 +1,69 @@
+//! Thread-count independence of the pooled runtime: a full RBC time loop
+//! driven through the persistent worker pool must produce **bitwise
+//! identical** fields for every pool size. This is the end-to-end version
+//! of the per-kernel determinism unit tests — it exercises the pooled
+//! Helmholtz applies inside PCG/FGMRES, the deterministic pooled dot
+//! products, the pooled dealiased advection, the pooled element-FDM
+//! Schwarz fine level (in both Serial and Overlapped composition), and
+//! the pooled gather-scatter local phases, all composed over several
+//! steps of the real time integrator.
+//!
+//! The contract (DESIGN.md §10): chunk boundaries are a function of the
+//! problem size only, each element/group is reduced in index order on a
+//! single worker, and partial sums are combined in chunk-index order —
+//! so the schedule never leaks into the floating-point result.
+
+use rbx::comm::SingleComm;
+use rbx::core::{Simulation, SolverConfig};
+use rbx::device::WorkerPool;
+use rbx::la::SchwarzMode;
+
+fn run_steps(mode: SchwarzMode, threads: usize, steps: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let case = rbx::core::rbc_box_case(2.0, 3, 2, false, 1);
+    let cfg = SolverConfig {
+        ra: 2e4,
+        order: 4,
+        dt: 2e-3,
+        ic_noise: 1e-2,
+        schwarz_mode: mode,
+        ..Default::default()
+    };
+    let comm = SingleComm::new();
+    let all: Vec<usize> = (0..case.mesh.num_elements()).collect();
+    let mut sim = Simulation::new(cfg, &case.mesh, &case.part, all, &comm);
+    let pool = WorkerPool::new(threads);
+    sim.set_pool(&pool);
+    sim.init_rbc();
+    for s in 0..steps {
+        let st = sim.step();
+        assert!(st.converged, "threads={threads} step={s}: {st:?}");
+    }
+    (
+        sim.state.u[2].clone(),
+        sim.state.p.clone(),
+        sim.state.t.clone(),
+    )
+}
+
+fn assert_bitwise(label: &str, threads: usize, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{label}[{i}] differs at {threads} threads: {x:e} vs {y:e}"
+        );
+    }
+}
+
+#[test]
+fn full_steps_bitwise_identical_across_pool_sizes() {
+    for mode in [SchwarzMode::Serial, SchwarzMode::Overlapped] {
+        let (uz1, p1, t1) = run_steps(mode, 1, 4);
+        for threads in [4usize, 7] {
+            let (uz, p, t) = run_steps(mode, threads, 4);
+            assert_bitwise("uz", threads, &uz1, &uz);
+            assert_bitwise("p", threads, &p1, &p);
+            assert_bitwise("t", threads, &t1, &t);
+        }
+    }
+}
