@@ -31,6 +31,10 @@ pub struct AuditConfig {
     /// the implicit global pool, in-kernel pool construction) — they must
     /// carry an explicit `WorkerPool` handle instead.
     pub pool_discipline_paths: Vec<String>,
+    /// Solver hot-path files denied deadline-less `.recv(..)` — they must
+    /// use `recv_deadline` so a lost message surfaces as a typed timeout
+    /// instead of hanging the run.
+    pub recv_deadline_paths: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -109,6 +113,7 @@ impl AuditConfig {
             cast_budget: budget_map(doc.table("rules.casts"))?,
             telemetry_crates: str_array(doc.table("rules.telemetry_names"), "crates"),
             pool_discipline_paths: str_array(doc.table("rules.pool_discipline"), "paths"),
+            recv_deadline_paths: str_array(doc.table("rules.recv_deadline"), "paths"),
         })
     }
 
@@ -169,6 +174,13 @@ impl AuditConfig {
                 Value::StrArray(self.pool_discipline_paths.clone()),
             )],
         });
+        doc.tables.push(Table {
+            name: "rules.recv_deadline".into(),
+            entries: vec![(
+                "paths".into(),
+                Value::StrArray(self.recv_deadline_paths.clone()),
+            )],
+        });
         toml::serialize(&doc)
     }
 }
@@ -192,6 +204,7 @@ mod tests {
         cfg.telemetry_crates.push("crates/core".into());
         cfg.pool_discipline_paths
             .push("crates/la/src/schwarz.rs".into());
+        cfg.recv_deadline_paths.push("crates/gs/src/lib.rs".into());
         let text = cfg.serialize();
         let back = AuditConfig::parse(&text).unwrap();
         assert_eq!(cfg, back);

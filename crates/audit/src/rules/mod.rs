@@ -8,6 +8,7 @@ pub mod casts;
 pub mod index;
 pub mod panics;
 pub mod pool;
+pub mod recv;
 pub mod telemetry_names;
 
 /// Rule ids, used in waivers (`// audit:allow(<id>): reason`) and reports.
@@ -19,11 +20,20 @@ pub const ATOMICS: &str = "atomics";
 pub const CASTS: &str = "casts";
 pub const TELEMETRY: &str = "telemetry-names";
 pub const POOL: &str = "pool-discipline";
+pub const RECV_DEADLINE: &str = "recv-deadline";
 /// Meta-rule for malformed/stale waivers.
 pub const WAIVER: &str = "waiver";
 
 /// Every waivable rule id (the `waiver` meta-rule itself cannot be
 /// waived).
 pub const ALL_RULES: &[&str] = &[
-    HOT_PANIC, NO_PANIC, HOT_INDEX, HOT_ALLOC, ATOMICS, CASTS, TELEMETRY, POOL,
+    HOT_PANIC,
+    NO_PANIC,
+    HOT_INDEX,
+    HOT_ALLOC,
+    ATOMICS,
+    CASTS,
+    TELEMETRY,
+    POOL,
+    RECV_DEADLINE,
 ];

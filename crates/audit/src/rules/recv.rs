@@ -1,0 +1,77 @@
+//! `recv-deadline`: solver hot paths must not block forever on a receive.
+//!
+//! A deadline-less `.recv(..)` on a solver path turns a lost or stalled
+//! message into a hung run — the failure mode the chaos-hardened
+//! communication runtime exists to eliminate. The files listed in
+//! `[rules.recv_deadline]` (per-step exchange and solver drivers) are
+//! denied bare `.recv(` call sites; they must use
+//! `Communicator::recv_deadline` (typed timeout, epoch-abort aware) or a
+//! collective built on it.
+//!
+//! The match is the method-call shape `. recv (` on the production token
+//! stream, so `recv_deadline` (a different identifier), `use` imports,
+//! and test modules never trip it. Deliberate setup-path exceptions carry
+//! an inline `// audit:allow(recv-deadline): reason` waiver.
+
+use crate::config::AuditConfig;
+use crate::report::Finding;
+use crate::rules::RECV_DEADLINE;
+use crate::workspace::SourceFile;
+
+pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
+    if !cfg.recv_deadline_paths.iter().any(|p| p == &file.path) {
+        return;
+    }
+    let toks = file.prod_tokens();
+    for i in 0..toks.len() {
+        if toks[i].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("recv"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding::error(
+                RECV_DEADLINE,
+                &file.path,
+                toks[i + 1].line,
+                "deadline-less recv(..) on a solver hot path — a lost message hangs the \
+                 run; use recv_deadline(..) so the fault surfaces as a typed timeout the \
+                 recovery loop can roll back from"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, listed: bool) -> Vec<Finding> {
+        let mut cfg = AuditConfig::default();
+        if listed {
+            cfg.recv_deadline_paths.push("x.rs".into());
+        }
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_recv_is_flagged_in_listed_files() {
+        let src = "fn f(c: &dyn Communicator) { let p = c.recv(0, 1); }\n";
+        assert_eq!(run(src, true).len(), 1);
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn recv_deadline_is_allowed() {
+        let src = "fn f(c: &dyn Communicator) -> R { c.recv_deadline(0, 1, t) }\n";
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(c: &C) { let _ = c.recv(0, 1); }\n}\n";
+        assert!(run(src, true).is_empty());
+    }
+}

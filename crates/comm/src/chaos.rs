@@ -1,0 +1,597 @@
+//! Deterministic message-level fault injection.
+//!
+//! [`ChaosComm`] wraps any [`Communicator`] and perturbs its *send* path
+//! according to a seeded [`CommFaultPlan`]: messages can be dropped,
+//! delayed past later sends (reordering), duplicated, bit-corrupted,
+//! and a rank can stall or crash its outgoing traffic at a chosen
+//! operation index. The plan is pure data — the same plan and seed
+//! produce the same fault sequence on every run, which is what makes a
+//! chaos failure reproducible and a chaos test assertable.
+//!
+//! Layering matters: in the production chaos stack
+//! `HardenedComm<ChaosComm<&ThreadComm>>`, chaos sits *below* the CRC
+//! framing, so a corruption flips bits of an already-sealed frame and the
+//! receiver's CRC check catches it — exactly the wire-corruption model.
+//! Duplicates carry the frame's original sequence number and are shed by
+//! the hardened layer's dedupe; delays are healed by its in-order
+//! resequencing buffer or, if too long, surface as a typed timeout.
+//!
+//! Fault indices count **armed** sends only ([`ChaosComm::set_armed`]):
+//! tests disarm the plan while `Simulation` setup runs its (deterministic
+//! but uninteresting) bootstrap traffic, then arm it so `op` numbers
+//! refer to solver-phase messages. Operation counters are never reset —
+//! not even by epoch recovery — so a one-shot fault cannot re-fire on the
+//! post-rollback replay of the same step.
+
+use crate::error::{CommError, CommTuning};
+use crate::{Communicator, Payload};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What to do to one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Silently discard the message.
+    Drop,
+    /// Hold the message and release it after the next forwarded send
+    /// (delay + reorder within its stream).
+    Delay,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Flip one payload bit before delivery.
+    Corrupt,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OneShot {
+    rank: usize,
+    op: u64,
+    kind: FaultKind,
+}
+
+/// A deterministic, seeded fault plan for [`ChaosComm`].
+///
+/// Combine targeted one-shot faults (`*_at`) with background random
+/// fault rates ([`CommFaultPlan::with_rates`]); both count against the
+/// per-rank [`CommFaultPlan::max_faults`] budget, so a chaos run is
+/// guaranteed to eventually go quiet and let the recovery loop finish.
+#[derive(Debug, Clone)]
+pub struct CommFaultPlan {
+    seed: u64,
+    one_shots: Vec<OneShot>,
+    stalls: Vec<(usize, u64, Duration)>,
+    crashes: Vec<(usize, u64)>,
+    drop_p: f64,
+    delay_p: f64,
+    dup_p: f64,
+    corrupt_p: f64,
+    max_faults: u64,
+}
+
+impl CommFaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            one_shots: Vec::new(),
+            stalls: Vec::new(),
+            crashes: Vec::new(),
+            drop_p: 0.0,
+            delay_p: 0.0,
+            dup_p: 0.0,
+            corrupt_p: 0.0,
+            max_faults: u64::MAX,
+        }
+    }
+
+    /// Drop `rank`'s `op`-th armed send.
+    pub fn drop_send_at(mut self, rank: usize, op: u64) -> Self {
+        self.one_shots.push(OneShot {
+            rank,
+            op,
+            kind: FaultKind::Drop,
+        });
+        self
+    }
+
+    /// Delay `rank`'s `op`-th armed send past the next one (reordering
+    /// it within its stream).
+    pub fn delay_send_at(mut self, rank: usize, op: u64) -> Self {
+        self.one_shots.push(OneShot {
+            rank,
+            op,
+            kind: FaultKind::Delay,
+        });
+        self
+    }
+
+    /// Deliver `rank`'s `op`-th armed send twice.
+    pub fn duplicate_send_at(mut self, rank: usize, op: u64) -> Self {
+        self.one_shots.push(OneShot {
+            rank,
+            op,
+            kind: FaultKind::Duplicate,
+        });
+        self
+    }
+
+    /// Flip one bit of `rank`'s `op`-th armed send.
+    pub fn corrupt_send_at(mut self, rank: usize, op: u64) -> Self {
+        self.one_shots.push(OneShot {
+            rank,
+            op,
+            kind: FaultKind::Corrupt,
+        });
+        self
+    }
+
+    /// Swap `rank`'s `op`-th armed send with the following one (alias for
+    /// [`CommFaultPlan::delay_send_at`] — the held message is released
+    /// right after the next send goes out).
+    pub fn reorder_sends_at(self, rank: usize, op: u64) -> Self {
+        self.delay_send_at(rank, op)
+    }
+
+    /// Pause `rank` for `pause` before its `op`-th armed send (models a
+    /// transiently hung rank; peers hit their receive deadlines).
+    pub fn stall_at(mut self, rank: usize, op: u64, pause: Duration) -> Self {
+        self.stalls.push((rank, op, pause));
+        self
+    }
+
+    /// From its `op`-th armed send on, `rank` delivers nothing ever again
+    /// (models a dead rank; the run fails with a typed error instead of
+    /// hanging).
+    pub fn crash_sends_from(mut self, rank: usize, op: u64) -> Self {
+        self.crashes.push((rank, op));
+        self
+    }
+
+    /// Background random faults: each armed send independently draws
+    /// drop/delay/duplicate/corrupt with the given probabilities
+    /// (evaluated in that order, at most one per message).
+    pub fn with_rates(mut self, drop_p: f64, delay_p: f64, dup_p: f64, corrupt_p: f64) -> Self {
+        self.drop_p = drop_p;
+        self.delay_p = delay_p;
+        self.dup_p = dup_p;
+        self.corrupt_p = corrupt_p;
+        self
+    }
+
+    /// Cap the number of faults each rank may inject (one-shot and random
+    /// combined). A finite budget guarantees the chaos eventually stops
+    /// and a rollback-retry loop can complete.
+    pub fn max_faults(mut self, n: u64) -> Self {
+        self.max_faults = n;
+        self
+    }
+}
+
+struct HeldMsg {
+    dest: usize,
+    tag: u64,
+    payload: Payload,
+    /// Epoch the message was held in; released only into the same epoch.
+    epoch: u64,
+}
+
+/// A fault-injecting wrapper around any communicator. See the module docs
+/// for layering and determinism guarantees.
+pub struct ChaosComm<C> {
+    inner: C,
+    plan: CommFaultPlan,
+    rng: Mutex<StdRng>,
+    send_op: AtomicU64,
+    faults_fired: AtomicU64,
+    armed: AtomicBool,
+    crashed: AtomicBool,
+    held: Mutex<Vec<HeldMsg>>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl<C: Communicator> ChaosComm<C> {
+    /// Wrap `inner` with the given plan. The RNG stream is derived from
+    /// the plan seed and the rank, so every rank draws independently but
+    /// deterministically.
+    pub fn new(inner: C, plan: CommFaultPlan) -> Self {
+        let rank_seed = plan
+            .seed
+            .wrapping_add((inner.rank() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self {
+            inner,
+            plan,
+            rng: Mutex::new(StdRng::seed_from_u64(rank_seed)),
+            send_op: AtomicU64::new(0),
+            faults_fired: AtomicU64::new(0),
+            armed: AtomicBool::new(true),
+            crashed: AtomicBool::new(false),
+            held: Mutex::new(Vec::new()),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Arm or disarm fault injection. While disarmed, sends pass through
+    /// unperturbed and do not advance the operation counter.
+    pub fn set_armed(&self, armed: bool) {
+        // ordering: release pairs with the acquire load in `send` so the
+        // arming flip happens-before the first perturbed operation.
+        self.armed.store(armed, Ordering::Release);
+    }
+
+    /// Human-readable log of every fault that actually fired.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().clone()
+    }
+
+    /// Number of faults fired so far on this rank.
+    pub fn faults_fired(&self) -> u64 {
+        // ordering: relaxed — monotone counter observation; the `fired`
+        // mutex publishes the fault details.
+        self.faults_fired.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    fn log_fired(&self, op: u64, what: &str) {
+        // ordering: relaxed — pure counter; no data is published through it.
+        self.faults_fired.fetch_add(1, Ordering::Relaxed);
+        self.fired
+            .lock()
+            .push(format!("rank {} op {op}: {what}", self.inner.rank()));
+    }
+
+    /// Decide what to do to the `op`-th armed send: targeted one-shots
+    /// first, then the background random draw. The RNG is advanced for
+    /// every armed send regardless of budget so the stream stays aligned
+    /// with the op counter.
+    fn fault_for(&self, op: u64) -> Option<FaultKind> {
+        let rank = self.inner.rank();
+        let random = {
+            let mut rng = self.rng.lock();
+            let d = rng.gen_bool(self.plan.drop_p);
+            let l = rng.gen_bool(self.plan.delay_p);
+            let u = rng.gen_bool(self.plan.dup_p);
+            let c = rng.gen_bool(self.plan.corrupt_p);
+            if d {
+                Some(FaultKind::Drop)
+            } else if l {
+                Some(FaultKind::Delay)
+            } else if u {
+                Some(FaultKind::Duplicate)
+            } else if c {
+                Some(FaultKind::Corrupt)
+            } else {
+                None
+            }
+        };
+        // ordering: relaxed — the budget counter is only ever touched by
+        // this rank's own thread; atomics are for the cross-thread readers.
+        if self.faults_fired.load(Ordering::Relaxed) >= self.plan.max_faults {
+            return None;
+        }
+        self.plan
+            .one_shots
+            .iter()
+            .find(|s| s.rank == rank && s.op == op)
+            .map(|s| s.kind)
+            .or(random)
+    }
+
+    /// Release messages held for delay/reorder — called after a send has
+    /// been forwarded, so held messages land *behind* it. Stale-epoch
+    /// holds (the epoch was aborted while the message was in the chaos
+    /// buffer) are discarded, mirroring the runtime's own stale-message
+    /// rule.
+    fn flush_held(&self) {
+        let mut held = self.held.lock();
+        if held.is_empty() {
+            return;
+        }
+        let epoch = self.inner.epoch();
+        for m in held.drain(..) {
+            if m.epoch == epoch {
+                self.inner.send(m.dest, m.tag, m.payload);
+            }
+        }
+    }
+}
+
+/// Flip one payload bit, deterministically placed mid-buffer.
+fn corrupt_payload(payload: &mut Payload) {
+    match payload {
+        Payload::Bytes(b) if !b.is_empty() => {
+            let i = b.len() / 2;
+            b[i] ^= 1 << 3;
+        }
+        Payload::F64(v) if !v.is_empty() => {
+            let i = v.len() / 2;
+            v[i] = f64::from_bits(v[i].to_bits() ^ (1 << 17));
+        }
+        Payload::U64(v) if !v.is_empty() => {
+            let i = v.len() / 2;
+            v[i] ^= 1 << 17;
+        }
+        _ => {}
+    }
+}
+
+impl<C: Communicator> Communicator for ChaosComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, dest: usize, tag: u64, mut payload: Payload) {
+        // ordering: acquire pairs with the release store in `set_armed`.
+        if !self.armed.load(Ordering::Acquire) {
+            self.inner.send(dest, tag, payload);
+            return;
+        }
+        // ordering: acquire pairs with the release store below once the
+        // crash threshold fires.
+        if self.crashed.load(Ordering::Acquire) {
+            return;
+        }
+        // ordering: relaxed — per-rank op counter advanced only by this
+        // rank's own thread.
+        let op = self.send_op.fetch_add(1, Ordering::Relaxed);
+        let rank = self.inner.rank();
+        if let Some(&(_, _, pause)) = self
+            .plan
+            .stalls
+            .iter()
+            .find(|&&(r, o, _)| r == rank && o == op)
+        {
+            self.log_fired(op, &format!("stall {:?}", pause));
+            std::thread::sleep(pause);
+        }
+        if self.plan.crashes.iter().any(|&(r, o)| r == rank && o <= op) {
+            // ordering: release pairs with the acquire load at entry.
+            self.crashed.store(true, Ordering::Release);
+            self.log_fired(op, "crash (all further sends dropped)");
+            return;
+        }
+        match self.fault_for(op) {
+            Some(FaultKind::Drop) => {
+                self.log_fired(op, &format!("drop (dest {dest} tag {tag})"));
+            }
+            Some(FaultKind::Delay) => {
+                self.log_fired(op, &format!("delay (dest {dest} tag {tag})"));
+                self.held.lock().push(HeldMsg {
+                    dest,
+                    tag,
+                    payload,
+                    epoch: self.inner.epoch(),
+                });
+                return; // flushed behind a later send
+            }
+            Some(FaultKind::Duplicate) => {
+                self.log_fired(op, &format!("duplicate (dest {dest} tag {tag})"));
+                self.inner.send(dest, tag, payload.clone());
+                self.inner.send(dest, tag, payload);
+            }
+            Some(FaultKind::Corrupt) => {
+                self.log_fired(op, &format!("corrupt (dest {dest} tag {tag})"));
+                corrupt_payload(&mut payload);
+                self.inner.send(dest, tag, payload);
+            }
+            None => self.inner.send(dest, tag, payload),
+        }
+        self.flush_held();
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        self.flush_held();
+        self.inner.recv(src, tag)
+    }
+
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.flush_held();
+        self.inner.recv_deadline(src, tag, timeout)
+    }
+
+    fn wtime(&self) -> f64 {
+        self.inner.wtime()
+    }
+
+    fn tuning(&self) -> CommTuning {
+        self.inner.tuning()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn poison(&self, reason: &CommError) {
+        self.inner.poison(reason)
+    }
+
+    fn poisoned(&self) -> Option<CommError> {
+        self.inner.poisoned()
+    }
+
+    fn set_fault(&self, e: CommError) {
+        self.inner.set_fault(e)
+    }
+
+    fn take_fault(&self) -> Option<CommError> {
+        self.inner.take_fault()
+    }
+
+    fn recover_epoch(&self) {
+        // Held messages belong to the aborted epoch: discard them.
+        self.held.lock().clear();
+        self.inner.recover_epoch()
+    }
+
+    fn pending_highwater(&self) -> usize {
+        self.inner.pending_highwater()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_on_ranks, run_on_ranks_tuned};
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let out = run_on_ranks(2, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1));
+            chaos.send(
+                (chaos.rank() + 1) % 2,
+                3,
+                Payload::F64(vec![chaos.rank() as f64]),
+            );
+            chaos.recv((chaos.rank() + 1) % 2, 3).into_f64()[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropped_send_times_out_on_receiver() {
+        let tuning = CommTuning {
+            recv_timeout: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let out = run_on_ranks_tuned(2, tuning, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1).drop_send_at(0, 0));
+            if chaos.rank() == 0 {
+                chaos.send(1, 3, Payload::F64(vec![1.0]));
+                assert_eq!(chaos.fired().len(), 1);
+                None
+            } else {
+                Some(
+                    chaos
+                        .recv_deadline(0, 3, Duration::from_millis(30))
+                        .map(|p| p.into_f64()),
+                )
+            }
+        });
+        assert!(out[1].as_ref().unwrap().is_err());
+    }
+
+    #[test]
+    fn delayed_send_lands_behind_next_one() {
+        let out = run_on_ranks(2, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1).delay_send_at(0, 0));
+            if chaos.rank() == 0 {
+                chaos.send(1, 3, Payload::F64(vec![1.0])); // held
+                chaos.send(1, 3, Payload::F64(vec![2.0])); // forwarded, then flushes the hold
+                0.0
+            } else {
+                // Same (src, tag) stream: wire order is now 2.0, 1.0.
+                let a = chaos.recv(0, 3).into_f64()[0];
+                let b = chaos.recv(0, 3).into_f64()[0];
+                10.0 * a + b
+            }
+        });
+        assert_eq!(out[1], 21.0);
+    }
+
+    #[test]
+    fn duplicate_send_arrives_twice() {
+        let out = run_on_ranks(2, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1).duplicate_send_at(0, 0));
+            if chaos.rank() == 0 {
+                chaos.send(1, 3, Payload::U64(vec![9]));
+                0
+            } else {
+                let a = chaos.recv(0, 3).into_u64()[0];
+                let b = chaos.recv(0, 3).into_u64()[0];
+                a + b
+            }
+        });
+        assert_eq!(out[1], 18);
+    }
+
+    #[test]
+    fn corrupted_send_differs_from_original() {
+        let out = run_on_ranks(2, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1).corrupt_send_at(0, 0));
+            if chaos.rank() == 0 {
+                chaos.send(1, 3, Payload::F64(vec![1.0, 2.0, 3.0]));
+                vec![]
+            } else {
+                chaos.recv(0, 3).into_f64()
+            }
+        });
+        assert_ne!(out[1], vec![1.0, 2.0, 3.0]);
+        assert_eq!(out[1].len(), 3);
+    }
+
+    #[test]
+    fn disarmed_sends_do_not_count_or_fault() {
+        let out = run_on_ranks(2, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1).drop_send_at(0, 0));
+            chaos.set_armed(false);
+            if chaos.rank() == 0 {
+                // Would be op 0 (dropped) if armed.
+                chaos.send(1, 3, Payload::F64(vec![7.0]));
+                chaos.set_armed(true);
+                // First armed send IS op 0 → dropped.
+                chaos.send(1, 4, Payload::F64(vec![8.0]));
+                (0.0, 0)
+            } else {
+                let v = chaos.recv(0, 3).into_f64()[0];
+                let missing = chaos
+                    .recv_deadline(0, 4, Duration::from_millis(30))
+                    .is_err();
+                (v, missing as u32)
+            }
+        });
+        assert_eq!(out[1], (7.0, 1));
+    }
+
+    #[test]
+    fn rate_plan_is_deterministic_and_budgeted() {
+        // Same seed → same fired log; max_faults caps the damage.
+        let run = || {
+            let chaos = ChaosComm::new(
+                crate::SingleComm::new(),
+                CommFaultPlan::new(42)
+                    .with_rates(0.5, 0.0, 0.0, 0.0)
+                    .max_faults(3),
+            );
+            for i in 0..64 {
+                chaos.send(0, 100 + i, Payload::F64(vec![1.0]));
+            }
+            chaos.fired()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3, "budget not honoured: {a:?}");
+    }
+
+    #[test]
+    fn crash_drops_everything_after_threshold() {
+        let tuning = CommTuning {
+            recv_timeout: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let out = run_on_ranks_tuned(2, tuning, |c| {
+            let chaos = ChaosComm::new(c, CommFaultPlan::new(1).crash_sends_from(0, 1));
+            if chaos.rank() == 0 {
+                chaos.send(1, 3, Payload::F64(vec![1.0])); // op 0: delivered
+                chaos.send(1, 3, Payload::F64(vec![2.0])); // op 1: crash
+                chaos.send(1, 3, Payload::F64(vec![3.0])); // dead
+                0
+            } else {
+                assert_eq!(chaos.recv(0, 3).into_f64(), vec![1.0]);
+                let r = chaos.recv_deadline(0, 3, Duration::from_millis(30));
+                assert!(r.is_err());
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Generic fallible collectives built from `send` + `recv_deadline`.
+//!
+//! These power the *provided* collective methods on [`Communicator`], so
+//! whatever wrapper is outermost in the communicator stack (hardened
+//! framing, chaos injection) carries the collective traffic: collectives
+//! inherit deadline receives, CRC detection, and epoch-abort behavior
+//! from the layer they run on, exactly as MPI collectives inherit the
+//! transport's properties.
+//!
+//! The allreduce is the same rank-ordered recursive-doubling algorithm
+//! the original `ThreadComm` implementation used (and the one the
+//! `rbx-perf` cost model prices): operands are always combined in rank
+//! order, so **every rank produces bitwise-identical results** — the
+//! property collective-driven solver decisions rely on.
+
+use crate::error::CommError;
+use crate::{Communicator, Payload, COLLECTIVE_TAG_BASE};
+
+const TAG_REDUCE: u64 = COLLECTIVE_TAG_BASE;
+const TAG_BCAST: u64 = COLLECTIVE_TAG_BASE + 1;
+/// Barrier rounds use `TAG_BARRIER + round` so rounds of the dissemination
+/// pattern can never cross-match.
+const TAG_BARRIER: u64 = COLLECTIVE_TAG_BASE + 2;
+
+/// Bail out early if the epoch is already poisoned: entering a collective
+/// on a doomed epoch would push messages peers will only have to drain.
+fn check_poison<C: Communicator + ?Sized>(comm: &C) -> Result<(), CommError> {
+    match comm.poisoned() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Deadline receive that converts a matched message into `f64` data,
+/// poisoning the epoch on any failure so every peer unwinds too.
+fn recv_f64<C: Communicator + ?Sized>(
+    comm: &C,
+    src: usize,
+    tag: u64,
+) -> Result<Vec<f64>, CommError> {
+    let timeout = comm.tuning().recv_timeout;
+    match comm
+        .recv_deadline(src, tag, timeout)
+        .and_then(Payload::try_into_f64)
+    {
+        Ok(v) => Ok(v),
+        Err(e) => {
+            comm.poison(&e);
+            Err(e)
+        }
+    }
+}
+
+fn check_len(got: usize, want: usize) -> Result<(), CommError> {
+    if got != want {
+        return Err(CommError::Protocol {
+            detail: format!("allreduce length mismatch (got {got}, expected {want})"),
+        });
+    }
+    Ok(())
+}
+
+/// Recursive-doubling allreduce (⌈log₂P⌉ depth). Non-power-of-two sizes
+/// fold the excess ranks into the power-of-two core first and broadcast
+/// back after.
+pub(crate) fn allreduce<C: Communicator + ?Sized>(
+    comm: &C,
+    x: &mut [f64],
+    op: impl Fn(f64, f64) -> f64,
+) -> Result<(), CommError> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    check_poison(comm)?;
+    let p2 = size.next_power_of_two() >> usize::from(!size.is_power_of_two());
+    let rem = size - p2;
+    let rank = comm.rank();
+
+    // Fold phase: ranks ≥ p2 send their data down; ranks < rem absorb.
+    if rank >= p2 {
+        comm.send(rank - p2, TAG_REDUCE, Payload::F64(x.to_vec()));
+    } else {
+        if rank < rem {
+            let part = recv_f64(comm, rank + p2, TAG_REDUCE)?;
+            check_len(part.len(), x.len())?;
+            // Higher rank's data is the right operand.
+            for (xi, pi) in x.iter_mut().zip(part) {
+                *xi = op(*xi, pi);
+            }
+        }
+        // Recursive doubling among the power-of-two core.
+        let mut mask = 1;
+        while mask < p2 {
+            let partner = rank ^ mask;
+            comm.send(partner, TAG_REDUCE, Payload::F64(x.to_vec()));
+            let part = recv_f64(comm, partner, TAG_REDUCE)?;
+            check_len(part.len(), x.len())?;
+            // Rank-ordered combination keeps results identical on all
+            // ranks.
+            if partner > rank {
+                for (xi, pi) in x.iter_mut().zip(part) {
+                    *xi = op(*xi, pi);
+                }
+            } else {
+                for (xi, pi) in x.iter_mut().zip(part) {
+                    *xi = op(pi, *xi);
+                }
+            }
+            mask <<= 1;
+        }
+    }
+
+    // Unfold phase: send results back to the folded ranks.
+    if rank < rem {
+        comm.send(rank + p2, TAG_REDUCE, Payload::F64(x.to_vec()));
+    } else if rank >= p2 {
+        let result = recv_f64(comm, rank - p2, TAG_REDUCE)?;
+        check_len(result.len(), x.len())?;
+        x.copy_from_slice(&result);
+    }
+    Ok(())
+}
+
+/// Linear broadcast from `root`.
+pub(crate) fn bcast<C: Communicator + ?Sized>(
+    comm: &C,
+    root: usize,
+    x: &mut Payload,
+) -> Result<(), CommError> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    check_poison(comm)?;
+    if comm.rank() == root {
+        for dest in 0..size {
+            if dest != root {
+                comm.send(dest, TAG_BCAST, x.clone());
+            }
+        }
+    } else {
+        let timeout = comm.tuning().recv_timeout;
+        match comm.recv_deadline(root, TAG_BCAST, timeout) {
+            Ok(p) => *x = p,
+            Err(e) => {
+                comm.poison(&e);
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dissemination barrier: ⌈log₂P⌉ rounds of "send to rank+2ʳ, receive
+/// from rank−2ʳ". Unlike `std::sync::Barrier`, this is interruptible —
+/// each round's receive observes epoch poisoning, so a rank can never be
+/// stuck in a barrier its peers will not reach.
+pub(crate) fn barrier<C: Communicator + ?Sized>(comm: &C) -> Result<(), CommError> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(());
+    }
+    check_poison(comm)?;
+    let rank = comm.rank();
+    let timeout = comm.tuning().recv_timeout;
+    let mut dist = 1usize;
+    let mut round = 0u64;
+    while dist < size {
+        let to = (rank + dist) % size;
+        let from = (rank + size - dist) % size;
+        comm.send(to, TAG_BARRIER + round, Payload::U64(vec![round]));
+        if let Err(e) = comm.recv_deadline(from, TAG_BARRIER + round, timeout) {
+            comm.poison(&e);
+            return Err(e);
+        }
+        dist <<= 1;
+        round += 1;
+    }
+    Ok(())
+}

@@ -6,35 +6,62 @@
 //! trait with the collective and point-to-point operations the solver
 //! needs, implemented by
 //!
-//! * [`SingleComm`] — a one-rank communicator for serial runs, and
+//! * [`SingleComm`] — a one-rank communicator for serial runs,
 //! * [`ThreadComm`] — a multi-rank runtime where ranks are OS threads
-//!   exchanging messages over crossbeam channels.
+//!   exchanging messages over crossbeam channels,
 //!
-//! The solver stack (gather-scatter, Krylov dot products, coarse-grid
-//! solves, timers) is written exclusively against the trait, exactly as the
-//! production code is written against MPI, so the communication structure of
-//! the paper's code paths is exercised for real across ranks.
+//! plus two layering wrappers that turn the runtime into a chaos-testable,
+//! fault-surviving stack (DESIGN.md §11):
+//!
+//! * [`HardenedComm`] — CRC-32 framing, duplicate suppression, and
+//!   deadline/retry receives with telemetry, and
+//! * [`ChaosComm`] — deterministic seeded message-level fault injection
+//!   (drop / delay / duplicate / reorder / corrupt / stall / crash).
+//!
+//! The production stack is `HardenedComm<ChaosComm<&ThreadComm>>` in chaos
+//! runs and `HardenedComm<&ThreadComm>` otherwise; the solver only ever
+//! sees `&dyn Communicator`. Collectives are *provided* trait methods
+//! built from `send`/`recv_deadline`, so whatever layer is outermost
+//! carries — and may fail, retry, or chaos-perturb — all collective
+//! traffic too.
+//!
+//! When any rank times out or detects corruption it **poisons the current
+//! communication epoch**: every blocking receive on every rank notices the
+//! poison within one poll slice and unwinds with
+//! [`CommError::EpochAborted`] instead of deadlocking. Ranks then
+//! rendezvous in [`Communicator::recover_epoch`], drain stale traffic, and
+//! resume in a fresh epoch (the recovery loop in `rbx-core` rolls the
+//! solution state back to a verified checkpoint first).
 
+mod chaos;
+mod collective;
+mod error;
+pub mod frame;
+mod hardened;
 mod single;
 mod thread;
 
+pub use chaos::{ChaosComm, CommFaultPlan};
+pub use error::{CommError, CommErrorKind, CommTuning};
+pub use hardened::HardenedComm;
 pub use single::SingleComm;
-pub use thread::{run_on_ranks, ThreadComm};
+pub use thread::{run_on_ranks, run_on_ranks_tuned, ThreadComm};
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Typed message payloads exchanged between ranks.
 ///
 /// Solver traffic is `f64` (field data, reduction partials); `u64` carries
-/// global ids during gather-scatter setup; `Bytes` serves the I/O layer.
+/// global ids during gather-scatter setup; `Bytes` serves the I/O layer
+/// and the CRC framing of [`frame`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// Double-precision data (field values, residuals, …).
     F64(Vec<f64>),
     /// Unsigned ids (global numbering exchange during setup).
     U64(Vec<u64>),
-    /// Raw bytes (serialized I/O buffers).
+    /// Raw bytes (serialized I/O buffers, framed traffic).
     Bytes(Vec<u8>),
 }
 
@@ -42,39 +69,94 @@ impl Payload {
     /// Borrow as `f64` slice.
     ///
     /// # Panics
-    /// Panics if the payload holds a different type.
+    /// Panics if the payload holds a different type. Solver paths use
+    /// [`Payload::try_as_f64`] instead.
     pub fn as_f64(&self) -> &[f64] {
-        match self {
-            Payload::F64(v) => v,
-            other => panic!("expected F64 payload, got {}", other.kind()),
+        match self.try_as_f64() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Consume into a `f64` vector.
+    ///
+    /// # Panics
+    /// Panics on type mismatch; solver paths use [`Payload::try_into_f64`].
     pub fn into_f64(self) -> Vec<f64> {
-        match self {
-            Payload::F64(v) => v,
-            other => panic!("expected F64 payload, got {}", other.kind()),
+        match self.try_into_f64() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Consume into a `u64` vector.
+    ///
+    /// # Panics
+    /// Panics on type mismatch; fallible sites use [`Payload::try_into_u64`].
     pub fn into_u64(self) -> Vec<u64> {
-        match self {
-            Payload::U64(v) => v,
-            other => panic!("expected U64 payload, got {}", other.kind()),
+        match self.try_into_u64() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Consume into raw bytes.
+    ///
+    /// # Panics
+    /// Panics on type mismatch; fallible sites use [`Payload::try_into_bytes`].
     pub fn into_bytes(self) -> Vec<u8> {
-        match self {
-            Payload::Bytes(v) => v,
-            other => panic!("expected Bytes payload, got {}", other.kind()),
+        match self.try_into_bytes() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    fn kind(&self) -> &'static str {
+    /// Borrow as `f64` slice, reporting type confusion as data.
+    pub fn try_as_f64(&self) -> Result<&[f64], CommError> {
+        match self {
+            Payload::F64(v) => Ok(v),
+            other => Err(CommError::TypeMismatch {
+                expected: "F64",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Consume into a `f64` vector, reporting type confusion as data.
+    pub fn try_into_f64(self) -> Result<Vec<f64>, CommError> {
+        match self {
+            Payload::F64(v) => Ok(v),
+            other => Err(CommError::TypeMismatch {
+                expected: "F64",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Consume into a `u64` vector, reporting type confusion as data.
+    pub fn try_into_u64(self) -> Result<Vec<u64>, CommError> {
+        match self {
+            Payload::U64(v) => Ok(v),
+            other => Err(CommError::TypeMismatch {
+                expected: "U64",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Consume into raw bytes, reporting type confusion as data.
+    pub fn try_into_bytes(self) -> Result<Vec<u8>, CommError> {
+        match self {
+            Payload::Bytes(v) => Ok(v),
+            other => Err(CommError::TypeMismatch {
+                expected: "Bytes",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// The payload's type name ("F64" / "U64" / "Bytes").
+    pub fn kind(&self) -> &'static str {
         match self {
             Payload::F64(_) => "F64",
             Payload::U64(_) => "U64",
@@ -83,16 +165,57 @@ impl Payload {
     }
 }
 
+impl TryFrom<Payload> for Vec<f64> {
+    type Error = CommError;
+    fn try_from(p: Payload) -> Result<Self, CommError> {
+        p.try_into_f64()
+    }
+}
+
+impl TryFrom<Payload> for Vec<u64> {
+    type Error = CommError;
+    fn try_from(p: Payload) -> Result<Self, CommError> {
+        p.try_into_u64()
+    }
+}
+
+impl TryFrom<Payload> for Vec<u8> {
+    type Error = CommError;
+    fn try_from(p: Payload) -> Result<Self, CommError> {
+        p.try_into_bytes()
+    }
+}
+
 /// Tag namespace reserved for internal collective traffic; user tags must
 /// stay below this value.
 pub const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
 
+/// Fill a buffer with NaN — the fail-stop poison value the infallible
+/// collective wrappers hand back on communication failure so downstream
+/// consumers (Krylov residual checks, the per-step non-finite scan) stop
+/// quickly instead of integrating garbage.
+pub(crate) fn nan_fill(x: &mut [f64]) {
+    for v in x {
+        *v = f64::NAN;
+    }
+}
+
 /// The communication interface the solver is written against.
 ///
-/// Object-safe so that the solver can hold an `Arc<dyn Communicator>`; all
+/// Object-safe so that the solver can hold a `&dyn Communicator`; all
 /// methods are blocking, mirroring the synchronous MPI calls used in the
 /// paper's measurement methodology (`MPI_Wtime` around synchronized
 /// regions).
+///
+/// # Failure model
+///
+/// The five `try_*` operations plus [`Communicator::recv_deadline`] report
+/// faults as typed [`CommError`]s. The classic infallible methods are kept
+/// for setup paths and tests; on the hardened runtime their provided
+/// implementations degrade gracefully on failure — NaN-filling reduction
+/// buffers and latching the error via [`Communicator::set_fault`] — so a
+/// wire fault surfaces as a diverged (rollback-able) step, never a panic
+/// or a hang.
 pub trait Communicator: Send + Sync {
     /// This rank's id in `0..size()`.
     fn rank(&self) -> usize;
@@ -104,26 +227,220 @@ pub trait Communicator: Send + Sync {
     fn send(&self, dest: usize, tag: u64, payload: Payload);
 
     /// Receive the next message with tag `tag` from `src` (blocking).
+    ///
+    /// Legacy interface for setup paths and tests; solver hot paths use
+    /// [`Communicator::recv_deadline`] (the rbx-audit `recv-deadline` rule
+    /// enforces this).
     fn recv(&self, src: usize, tag: u64) -> Payload;
 
+    /// Receive with a deadline, failing instead of blocking forever.
+    ///
+    /// Implementations must observe epoch poisoning: once any rank poisons
+    /// the epoch, a pending `recv_deadline` on any rank returns
+    /// [`CommError::EpochAborted`] promptly (bounded by the poll slice).
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        let _ = timeout;
+        Ok(self.recv(src, tag))
+    }
+
     /// Synchronize all ranks.
-    fn barrier(&self);
+    fn barrier(&self) {
+        if let Err(e) = self.try_barrier() {
+            self.set_fault(e);
+        }
+    }
+
+    /// Fallible barrier: a message-based dissemination barrier that can be
+    /// interrupted by epoch poisoning (a `std::sync::Barrier` cannot).
+    fn try_barrier(&self) -> Result<(), CommError> {
+        collective::barrier(self)
+    }
 
     /// Element-wise sum-allreduce of a small vector, in place on all ranks.
-    fn allreduce_sum(&self, x: &mut [f64]);
+    ///
+    /// On communication failure the buffer is NaN-filled and the error is
+    /// latched ([`Communicator::set_fault`]).
+    fn allreduce_sum(&self, x: &mut [f64]) {
+        if let Err(e) = self.try_allreduce_sum(x) {
+            nan_fill(x);
+            self.set_fault(e);
+        }
+    }
 
-    /// Element-wise max-allreduce, in place on all ranks.
-    fn allreduce_max(&self, x: &mut [f64]);
+    /// Element-wise max-allreduce, in place on all ranks; NaN-fills and
+    /// latches on failure.
+    fn allreduce_max(&self, x: &mut [f64]) {
+        if let Err(e) = self.try_allreduce_max(x) {
+            nan_fill(x);
+            self.set_fault(e);
+        }
+    }
 
-    /// Element-wise min-allreduce, in place on all ranks.
-    fn allreduce_min(&self, x: &mut [f64]);
+    /// Element-wise min-allreduce, in place on all ranks; NaN-fills and
+    /// latches on failure.
+    fn allreduce_min(&self, x: &mut [f64]) {
+        if let Err(e) = self.try_allreduce_min(x) {
+            nan_fill(x);
+            self.set_fault(e);
+        }
+    }
 
-    /// Broadcast `x` from `root` to all ranks, in place.
-    fn bcast(&self, root: usize, x: &mut Payload);
+    /// Fallible sum-allreduce (rank-ordered recursive doubling; results
+    /// are bitwise identical on every rank).
+    fn try_allreduce_sum(&self, x: &mut [f64]) -> Result<(), CommError> {
+        collective::allreduce(self, x, |a, b| a + b)
+    }
+
+    /// Fallible max-allreduce.
+    fn try_allreduce_max(&self, x: &mut [f64]) -> Result<(), CommError> {
+        collective::allreduce(self, x, f64::max)
+    }
+
+    /// Fallible min-allreduce.
+    fn try_allreduce_min(&self, x: &mut [f64]) -> Result<(), CommError> {
+        collective::allreduce(self, x, f64::min)
+    }
+
+    /// Broadcast `x` from `root` to all ranks, in place. Leaves `x`
+    /// untouched and latches the error on failure.
+    fn bcast(&self, root: usize, x: &mut Payload) {
+        if let Err(e) = self.try_bcast(root, x) {
+            self.set_fault(e);
+        }
+    }
+
+    /// Fallible broadcast.
+    fn try_bcast(&self, root: usize, x: &mut Payload) -> Result<(), CommError> {
+        collective::bcast(self, root, x)
+    }
 
     /// Seconds since the communicator's shared epoch (the `MPI_Wtime`
     /// equivalent used for all measurements).
     fn wtime(&self) -> f64;
+
+    /// Receive-path tuning (deadline, retries, backoff, buffer bound).
+    fn tuning(&self) -> CommTuning {
+        CommTuning::default()
+    }
+
+    /// The current communication epoch (bumped by
+    /// [`Communicator::recover_epoch`]).
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Poison the current epoch: record `reason` (first writer wins) and
+    /// make every blocking operation on every rank fail fast with
+    /// [`CommError::EpochAborted`].
+    fn poison(&self, reason: &CommError) {
+        let _ = reason;
+    }
+
+    /// The poison reason, if the current epoch is poisoned.
+    fn poisoned(&self) -> Option<CommError> {
+        None
+    }
+
+    /// Latch a rank-local fault for the step-verdict layer (first fault
+    /// wins — it is the root cause).
+    fn set_fault(&self, e: CommError) {
+        let _ = e;
+    }
+
+    /// Take (and clear) the rank-local fault latch.
+    fn take_fault(&self) -> Option<CommError> {
+        None
+    }
+
+    /// Collectively leave a poisoned epoch: rendezvous with all ranks,
+    /// drain every in-flight and buffered message, clear the poison and
+    /// the fault latch, and start a fresh epoch. All ranks must call this
+    /// (the recovery loop guarantees it: every rank's step fails once the
+    /// epoch is poisoned).
+    fn recover_epoch(&self) {}
+
+    /// High-water mark of the pending-message buffer (backpressure
+    /// visibility; 0 where unsupported).
+    fn pending_highwater(&self) -> usize {
+        0
+    }
+}
+
+/// Forwarding impl so wrapper stacks can borrow the inner runtime
+/// (`ChaosComm<&ThreadComm>` inside `run_on_ranks` closures).
+impl<C: Communicator + ?Sized> Communicator for &C {
+    fn rank(&self) -> usize {
+        (**self).rank()
+    }
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn send(&self, dest: usize, tag: u64, payload: Payload) {
+        (**self).send(dest, tag, payload)
+    }
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        (**self).recv(src, tag)
+    }
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        (**self).recv_deadline(src, tag, timeout)
+    }
+    fn barrier(&self) {
+        (**self).barrier()
+    }
+    fn try_barrier(&self) -> Result<(), CommError> {
+        (**self).try_barrier()
+    }
+    fn allreduce_sum(&self, x: &mut [f64]) {
+        (**self).allreduce_sum(x)
+    }
+    fn allreduce_max(&self, x: &mut [f64]) {
+        (**self).allreduce_max(x)
+    }
+    fn allreduce_min(&self, x: &mut [f64]) {
+        (**self).allreduce_min(x)
+    }
+    fn try_allreduce_sum(&self, x: &mut [f64]) -> Result<(), CommError> {
+        (**self).try_allreduce_sum(x)
+    }
+    fn try_allreduce_max(&self, x: &mut [f64]) -> Result<(), CommError> {
+        (**self).try_allreduce_max(x)
+    }
+    fn try_allreduce_min(&self, x: &mut [f64]) -> Result<(), CommError> {
+        (**self).try_allreduce_min(x)
+    }
+    fn bcast(&self, root: usize, x: &mut Payload) {
+        (**self).bcast(root, x)
+    }
+    fn try_bcast(&self, root: usize, x: &mut Payload) -> Result<(), CommError> {
+        (**self).try_bcast(root, x)
+    }
+    fn wtime(&self) -> f64 {
+        (**self).wtime()
+    }
+    fn tuning(&self) -> CommTuning {
+        (**self).tuning()
+    }
+    fn epoch(&self) -> u64 {
+        (**self).epoch()
+    }
+    fn poison(&self, reason: &CommError) {
+        (**self).poison(reason)
+    }
+    fn poisoned(&self) -> Option<CommError> {
+        (**self).poisoned()
+    }
+    fn set_fault(&self, e: CommError) {
+        (**self).set_fault(e)
+    }
+    fn take_fault(&self) -> Option<CommError> {
+        (**self).take_fault()
+    }
+    fn recover_epoch(&self) {
+        (**self).recover_epoch()
+    }
+    fn pending_highwater(&self) -> usize {
+        (**self).pending_highwater()
+    }
 }
 
 /// Convenience: sum-allreduce a scalar.
@@ -144,20 +461,57 @@ pub fn allreduce_scalar_max(comm: &dyn Communicator, x: f64) -> f64 {
 /// `neighbors[i]` and receive one message from each, returned in the same
 /// neighbour order. The pattern must be symmetric (if a sends to b, b sends
 /// to a), which is guaranteed for gather-scatter shared-node traffic.
+///
+/// # Panics
+/// Panics on any communication failure; solver paths use
+/// [`try_neighbor_exchange`].
 pub fn neighbor_exchange(
     comm: &dyn Communicator,
     tag: u64,
     neighbors: &[usize],
     outgoing: &[Vec<f64>],
 ) -> Vec<Vec<f64>> {
-    assert_eq!(neighbors.len(), outgoing.len());
+    match try_neighbor_exchange(comm, tag, neighbors, outgoing) {
+        Ok(v) => v,
+        Err(e) => panic!("neighbor_exchange failed: {e}"),
+    }
+}
+
+/// Fallible symmetric neighbour exchange with deadline receives; poisons
+/// the epoch on failure so peers unwind too.
+pub fn try_neighbor_exchange(
+    comm: &dyn Communicator,
+    tag: u64,
+    neighbors: &[usize],
+    outgoing: &[Vec<f64>],
+) -> Result<Vec<Vec<f64>>, CommError> {
+    if neighbors.len() != outgoing.len() {
+        return Err(CommError::Protocol {
+            detail: format!(
+                "neighbor_exchange: {} neighbors but {} outgoing buffers",
+                neighbors.len(),
+                outgoing.len()
+            ),
+        });
+    }
+    let timeout = comm.tuning().recv_timeout;
     for (&nbr, data) in neighbors.iter().zip(outgoing) {
         comm.send(nbr, tag, Payload::F64(data.clone()));
     }
-    neighbors
-        .iter()
-        .map(|&nbr| comm.recv(nbr, tag).into_f64())
-        .collect()
+    let mut incoming = Vec::with_capacity(neighbors.len());
+    for &nbr in neighbors {
+        match comm
+            .recv_deadline(nbr, tag, timeout)
+            .and_then(Payload::try_into_f64)
+        {
+            Ok(v) => incoming.push(v),
+            Err(e) => {
+                comm.poison(&e);
+                return Err(e);
+            }
+        }
+    }
+    Ok(incoming)
 }
 
 /// Shared epoch helper for `wtime` implementations.
@@ -199,6 +553,22 @@ mod tests {
     #[should_panic(expected = "expected F64")]
     fn payload_type_mismatch_panics() {
         let _ = Payload::U64(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn payload_try_accessors_report_type_confusion() {
+        assert_eq!(
+            Payload::U64(vec![1]).try_into_f64(),
+            Err(CommError::TypeMismatch {
+                expected: "F64",
+                got: "U64"
+            })
+        );
+        assert_eq!(Payload::F64(vec![1.0]).try_as_f64().unwrap(), &[1.0][..]);
+        let v: Vec<u64> = Payload::U64(vec![3]).try_into().unwrap();
+        assert_eq!(v, vec![3]);
+        let r: Result<Vec<u8>, _> = Payload::F64(vec![]).try_into();
+        assert!(r.is_err());
     }
 
     #[test]

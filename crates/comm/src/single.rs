@@ -1,8 +1,10 @@
 //! One-rank communicator for serial runs.
 
+use crate::error::CommError;
 use crate::{Communicator, Epoch, Payload};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
 
 /// A communicator with a single rank. Point-to-point traffic is allowed only
 /// rank 0 → rank 0 (self-sends), which the gather-scatter setup uses for
@@ -11,6 +13,7 @@ use std::collections::{HashMap, VecDeque};
 pub struct SingleComm {
     epoch: Epoch,
     self_queue: Mutex<HashMap<u64, VecDeque<Payload>>>,
+    fault: Mutex<Option<CommError>>,
 }
 
 impl SingleComm {
@@ -47,6 +50,21 @@ impl Communicator for SingleComm {
             .expect("SingleComm recv with no matching buffered self-send")
     }
 
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        assert_eq!(src, 0, "SingleComm has only rank 0");
+        // A self-send either already happened or never will: no waiting.
+        self.self_queue
+            .lock()
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .ok_or(CommError::Timeout {
+                src,
+                tag,
+                waited: timeout,
+                retries: 0,
+            })
+    }
+
     fn barrier(&self) {}
 
     fn allreduce_sum(&self, _x: &mut [f64]) {}
@@ -61,6 +79,17 @@ impl Communicator for SingleComm {
 
     fn wtime(&self) -> f64 {
         self.epoch.elapsed()
+    }
+
+    fn set_fault(&self, e: CommError) {
+        let mut f = self.fault.lock();
+        if f.is_none() {
+            *f = Some(e);
+        }
+    }
+
+    fn take_fault(&self) -> Option<CommError> {
+        self.fault.lock().take()
     }
 }
 
@@ -95,5 +124,34 @@ mod tests {
     fn recv_without_send_panics() {
         let c = SingleComm::new();
         let _ = c.recv(0, 9);
+    }
+
+    #[test]
+    fn recv_deadline_reports_missing_self_send() {
+        let c = SingleComm::new();
+        let r = c.recv_deadline(0, 9, Duration::from_millis(1));
+        assert!(matches!(r, Err(CommError::Timeout { .. })));
+        c.send(0, 9, Payload::U64(vec![4]));
+        assert_eq!(
+            c.recv_deadline(0, 9, Duration::from_millis(1))
+                .unwrap()
+                .into_u64(),
+            vec![4]
+        );
+    }
+
+    #[test]
+    fn fault_latch_first_wins() {
+        let c = SingleComm::new();
+        assert!(c.take_fault().is_none());
+        c.set_fault(CommError::Protocol {
+            detail: "first".into(),
+        });
+        c.set_fault(CommError::Protocol {
+            detail: "second".into(),
+        });
+        let f = c.take_fault().unwrap();
+        assert_eq!(f.to_string(), "protocol violation: first");
+        assert!(c.take_fault().is_none());
     }
 }

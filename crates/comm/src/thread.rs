@@ -3,17 +3,136 @@
 //! [`run_on_ranks`] is the `mpirun` equivalent: it wires `n` ranks with
 //! crossbeam channels, spawns one thread per rank and runs the given
 //! closure on each, returning all results rank-ordered.
+//!
+//! ## Poisoned-epoch abort protocol
+//!
+//! Every message is stamped with the **communication epoch** it was sent
+//! in. When a rank times out or detects corruption it *poisons* the
+//! shared epoch cell; every `recv_deadline` on every rank polls that flag
+//! between bounded channel waits, so all ranks unwind from their current
+//! collective with [`CommError::EpochAborted`] instead of deadlocking on
+//! a message that will never come. Recovery is collective
+//! ([`Communicator::recover_epoch`]): ranks meet at an
+//! **abandonment-aware rendezvous** (every rank reaches recovery because
+//! all blocking operations are poison-aware; a rank that instead exits
+//! permanently — recovery budget exhausted, thread unwound — abandons its
+//! slot on drop so peers are never stranded), drain their inboxes and
+//! pending buffers, then the leader clears the poison and bumps the
+//! epoch. Messages stamped with a stale epoch that are still in flight
+//! afterwards are discarded on receipt, so an aborted collective can
+//! never desynchronize the message streams of the next one.
 
-use crate::{Communicator, Epoch, Payload, COLLECTIVE_TAG_BASE};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crate::error::{CommError, CommTuning};
+use crate::{Communicator, Epoch, Payload};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Msg {
     src: usize,
     tag: u64,
+    /// Epoch the message was sent in; stale-epoch messages are discarded
+    /// on receipt.
+    epoch: u64,
     payload: Payload,
+}
+
+/// State shared by every rank of one communicator: the abort protocol
+/// cell.
+struct AbortCell {
+    /// First-writer-wins poison reason.
+    reason: Mutex<Option<CommError>>,
+    /// Fast-path flag mirroring `reason.is_some()`.
+    // ordering: Acquire/Release pairs with the reason mutex write; stale
+    // reads only delay poison observation by one poll slice.
+    poisoned: AtomicBool,
+    /// Current communication epoch.
+    // ordering: bumped only inside the recover rendezvous, which provides
+    // the happens-before; loads elsewhere just stamp messages.
+    epoch: AtomicU64,
+    /// Rendezvous for `recover_epoch` ONLY. Every live rank reaches
+    /// recovery because all other blocking operations observe the poison
+    /// flag; a rank that exits permanently instead (recovery budget
+    /// exhausted) abandons its slot on drop, so the rendezvous can never
+    /// strand the survivors.
+    recover: Rendezvous,
+    /// Stale-epoch messages discarded (observability).
+    stale_discarded: AtomicU64,
+}
+
+/// Reusable, abandonment-aware rendezvous.
+///
+/// Behaves like `std::sync::Barrier` for live ranks, with one extension:
+/// a rank that will never participate again (its `ThreadComm` was
+/// dropped) permanently vacates its slot via [`Rendezvous::abandon`], and
+/// the waiting quorum shrinks accordingly. A generation completed by an
+/// abandonment elects **no leader** — the poison stays set, so survivors
+/// fail fast with typed errors instead of resuming a doomed epoch.
+struct Rendezvous {
+    size: usize,
+    state: Mutex<RdvState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct RdvState {
+    arrived: usize,
+    abandoned: usize,
+    generation: u64,
+}
+
+impl Rendezvous {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            state: Mutex::new(RdvState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all non-abandoned ranks have arrived. Returns `true`
+    /// on exactly the rank whose arrival completed the generation (the
+    /// leader).
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock();
+        if s.arrived + s.abandoned + 1 >= self.size {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            s.arrived += 1;
+            let gen = s.generation;
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            false
+        }
+    }
+
+    /// Permanently vacate one rank's slot. If that completes the current
+    /// generation, waiters are released (leaderless).
+    fn abandon(&self) {
+        let mut s = self.state.lock();
+        s.abandoned += 1;
+        if s.arrived > 0 && s.arrived + s.abandoned >= self.size {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Pending buffer: messages that arrived before a matching `recv`,
+/// bounded by [`CommTuning::pending_limit`].
+#[derive(Default)]
+struct PendingBuf {
+    map: HashMap<(usize, u64), VecDeque<Payload>>,
+    count: usize,
+    highwater: usize,
 }
 
 /// One rank's endpoint in a thread-backed communicator.
@@ -24,84 +143,79 @@ struct Msg {
 pub struct ThreadComm {
     rank: usize,
     size: usize,
-    epoch: Epoch,
+    epoch_clock: Epoch,
     senders: Vec<Sender<Msg>>,
     inbox: Receiver<Msg>,
-    /// Buffer for messages that arrived before a matching `recv`.
-    pending: Mutex<HashMap<(usize, u64), VecDeque<Payload>>>,
-    barrier: Arc<Barrier>,
+    pending: Mutex<PendingBuf>,
+    shared: Arc<AbortCell>,
+    /// Rank-local fault latch for the step-verdict layer.
+    fault: Mutex<Option<CommError>>,
+    tuning: CommTuning,
 }
-
-const TAG_REDUCE: u64 = COLLECTIVE_TAG_BASE;
-const TAG_BCAST: u64 = COLLECTIVE_TAG_BASE + 1;
 
 impl ThreadComm {
     fn pop_pending(&self, src: usize, tag: u64) -> Option<Payload> {
         let mut pending = self.pending.lock();
-        let q = pending.get_mut(&(src, tag))?;
+        let q = pending.map.get_mut(&(src, tag))?;
         let p = q.pop_front();
         if q.is_empty() {
-            pending.remove(&(src, tag));
+            pending.map.remove(&(src, tag));
+        }
+        if p.is_some() {
+            pending.count -= 1;
         }
         p
     }
 
-    /// Recursive-doubling allreduce (the ⌈log₂P⌉-depth algorithm real MPI
-    /// implementations use, and the one the `rbx-perf` cost model prices).
-    ///
-    /// Non-power-of-two sizes fold the excess ranks into the power-of-two
-    /// core first and broadcast back after. Operands are always combined
-    /// in rank order, so **every rank produces bitwise-identical results**
-    /// — the property collective-driven solver decisions rely on.
-    fn reduce_impl(&self, x: &mut [f64], op: impl Fn(f64, f64) -> f64) {
-        if self.size == 1 {
-            return;
+    /// Buffer an unmatched message, enforcing the backpressure bound.
+    fn buffer_pending(&self, src: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
+        let mut pending = self.pending.lock();
+        if pending.count >= self.tuning.pending_limit {
+            let e = CommError::PendingOverflow {
+                buffered: pending.count,
+                limit: self.tuning.pending_limit,
+            };
+            drop(pending);
+            self.poison(&e);
+            return Err(e);
         }
-        let p2 = self.size.next_power_of_two() >> usize::from(!self.size.is_power_of_two());
-        let rem = self.size - p2;
-        let rank = self.rank;
+        pending
+            .map
+            .entry((src, tag))
+            .or_default()
+            .push_back(payload);
+        pending.count += 1;
+        if pending.count > pending.highwater {
+            pending.highwater = pending.count;
+        }
+        Ok(())
+    }
 
-        // Fold phase: ranks ≥ p2 send their data down; ranks < rem absorb.
-        if rank >= p2 {
-            self.send(rank - p2, TAG_REDUCE, Payload::F64(x.to_vec()));
-        } else {
-            if rank < rem {
-                let part = self.recv(rank + p2, TAG_REDUCE).into_f64();
-                assert_eq!(part.len(), x.len(), "allreduce length mismatch");
-                // Higher rank's data is the right operand.
-                for (xi, pi) in x.iter_mut().zip(part) {
-                    *xi = op(*xi, pi);
-                }
-            }
-            // Recursive doubling among the power-of-two core.
-            let mut mask = 1;
-            while mask < p2 {
-                let partner = rank ^ mask;
-                self.send(partner, TAG_REDUCE, Payload::F64(x.to_vec()));
-                let part = self.recv(partner, TAG_REDUCE).into_f64();
-                assert_eq!(part.len(), x.len(), "allreduce length mismatch");
-                // Rank-ordered combination keeps results identical on all
-                // ranks.
-                if partner > rank {
-                    for (xi, pi) in x.iter_mut().zip(part) {
-                        *xi = op(*xi, pi);
-                    }
-                } else {
-                    for (xi, pi) in x.iter_mut().zip(part) {
-                        *xi = op(pi, *xi);
-                    }
-                }
-                mask <<= 1;
-            }
+    fn poison_err(&self) -> Option<CommError> {
+        // ordering: acquire pairs with the release store in `poison`, so a
+        // true read also sees the reason written just before the flip.
+        if !self.shared.poisoned.load(Ordering::Acquire) {
+            return None;
         }
+        let reason = self
+            .shared
+            .reason
+            .lock()
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "unknown".into());
+        Some(CommError::EpochAborted {
+            // ordering: acquire pairs with the AcqRel bump in
+            // `recover_epoch`.
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            reason,
+        })
+    }
 
-        // Unfold phase: send results back to the folded ranks.
-        if rank < rem {
-            self.send(rank + p2, TAG_REDUCE, Payload::F64(x.to_vec()));
-        } else if rank >= p2 {
-            let result = self.recv(rank - p2, TAG_REDUCE).into_f64();
-            x.copy_from_slice(&result);
-        }
+    /// Stale-epoch messages discarded so far (observability hook).
+    pub fn stale_discarded(&self) -> u64 {
+        // ordering: relaxed — diagnostic counter; no data rides on it.
+        self.shared.stale_discarded.load(Ordering::Relaxed)
     }
 }
 
@@ -116,72 +230,182 @@ impl Communicator for ThreadComm {
 
     fn send(&self, dest: usize, tag: u64, payload: Payload) {
         if dest == self.rank {
-            self.pending
-                .lock()
-                .entry((self.rank, tag))
-                .or_default()
-                .push_back(payload);
+            // Self-sends bypass the epoch stamp: they cannot cross a
+            // recovery rendezvous (the pending buffer is drained there).
+            let _ = self.buffer_pending(self.rank, tag, payload);
             return;
         }
-        self.senders[dest]
-            .send(Msg {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("receiving rank has shut down");
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            // ordering: acquire pairs with the AcqRel epoch bump so a send
+            // after recovery is stamped with the new epoch.
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            payload,
+        };
+        if self.senders[dest].send(msg).is_err() {
+            // The peer's endpoint is gone (rank exited after exhausting
+            // its recovery budget, or died). Poison instead of panicking:
+            // this rank's next blocking operation surfaces the typed
+            // fault and the recovery loop fails loud, not loud-and-ugly.
+            self.poison(&CommError::RankUnreachable { rank: dest });
+        }
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {
+        // Legacy deadline-less interface for setup paths and tests: a
+        // generous budget, then a panic — never an unbounded hang.
+        match self.recv_deadline(src, tag, self.tuning.total_recv_budget()) {
+            Ok(p) => p,
+            Err(e) => panic!("rbx-comm recv(rank {src}, tag {tag}): {e}"),
+        }
+    }
+
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        let deadline = Instant::now() + timeout;
         loop {
+            // Poison check FIRST — before consuming buffered messages.
+            // Once the epoch is poisoned every in-flight exchange is
+            // abandoned, and a rank that already bailed out of a receive
+            // loop partway may have left arrived-but-unconsumed frames
+            // buffered; handing those to the *next* exchange on the same
+            // tag would desynchronize its streams. They are drained at
+            // `recover_epoch` instead.
+            if let Some(e) = self.poison_err() {
+                return Err(e);
+            }
             if let Some(p) = self.pop_pending(src, tag) {
-                return p;
+                return Ok(p);
             }
-            let msg = self.inbox.recv().expect("all senders disconnected");
-            if msg.src == src && msg.tag == tag {
-                return msg.payload;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    src,
+                    tag,
+                    waited: timeout,
+                    retries: 0,
+                });
             }
-            self.pending
-                .lock()
-                .entry((msg.src, msg.tag))
-                .or_default()
-                .push_back(msg.payload);
-        }
-    }
-
-    fn barrier(&self) {
-        self.barrier.wait();
-    }
-
-    fn allreduce_sum(&self, x: &mut [f64]) {
-        self.reduce_impl(x, |a, b| a + b);
-    }
-
-    fn allreduce_max(&self, x: &mut [f64]) {
-        self.reduce_impl(x, f64::max);
-    }
-
-    fn allreduce_min(&self, x: &mut [f64]) {
-        self.reduce_impl(x, f64::min);
-    }
-
-    fn bcast(&self, root: usize, x: &mut Payload) {
-        if self.size == 1 {
-            return;
-        }
-        if self.rank == root {
-            for dest in 0..self.size {
-                if dest != root {
-                    self.send(dest, TAG_BCAST, x.clone());
+            // Wait in short slices so epoch poisoning is noticed promptly
+            // even while blocked on an empty channel.
+            let slice = (deadline - now).min(self.tuning.poll);
+            match self.inbox.recv_timeout(slice) {
+                Ok(msg) => {
+                    // ordering: acquire pairs with the AcqRel epoch bump;
+                    // relaxed on the counter — diagnostics only.
+                    if msg.epoch != self.shared.epoch.load(Ordering::Acquire) {
+                        // A message from an aborted epoch: discard so it
+                        // cannot desynchronize the new epoch's streams.
+                        // ordering: relaxed — diagnostics-only counter.
+                        self.shared.stale_discarded.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if msg.src == src && msg.tag == tag {
+                        return Ok(msg.payload);
+                    }
+                    self.buffer_pending(msg.src, msg.tag, msg.payload)?;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankUnreachable { rank: src });
                 }
             }
-        } else {
-            *x = self.recv(root, TAG_BCAST);
         }
     }
 
     fn wtime(&self) -> f64 {
-        self.epoch.elapsed()
+        self.epoch_clock.elapsed()
+    }
+
+    fn tuning(&self) -> CommTuning {
+        self.tuning
+    }
+
+    fn epoch(&self) -> u64 {
+        // ordering: acquire pairs with the AcqRel bump in `recover_epoch`.
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    fn poison(&self, reason: &CommError) {
+        let mut r = self.shared.reason.lock();
+        if r.is_none() {
+            *r = Some(reason.clone());
+            // ordering: release publishes the reason written above to any
+            // rank whose acquire load of the flag observes true.
+            self.shared.poisoned.store(true, Ordering::Release);
+        }
+    }
+
+    fn poisoned(&self) -> Option<CommError> {
+        self.poison_err()
+    }
+
+    fn set_fault(&self, e: CommError) {
+        let mut f = self.fault.lock();
+        // First fault wins: it is the root cause; later ones are usually
+        // cascade effects of the poisoned epoch.
+        if f.is_none() {
+            *f = Some(e);
+        }
+    }
+
+    fn take_fault(&self) -> Option<CommError> {
+        self.fault.lock().take()
+    }
+
+    fn recover_epoch(&self) {
+        if self.size == 1 {
+            *self.shared.reason.lock() = None;
+            // ordering: release/AcqRel mirror the multi-rank leader path
+            // below; with one rank they are trivially sufficient.
+            self.shared.poisoned.store(false, Ordering::Release);
+            *self.fault.lock() = None;
+            // ordering: AcqRel — single rank, same justification as above.
+            self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        // Rendezvous #1: every rank has stopped communicating (a send
+        // happens-before its sender's barrier arrival, so after this wait
+        // all stale traffic is enqueued somewhere drainable).
+        self.shared.recover.wait();
+        // Drain: everything still buffered or in flight belongs to the
+        // aborted epoch.
+        {
+            let mut pending = self.pending.lock();
+            pending.map.clear();
+            pending.count = 0;
+        }
+        while self.inbox.try_recv().is_ok() {}
+        *self.fault.lock() = None;
+        // Rendezvous #2: all ranks drained. The leader then clears the
+        // poison and opens the next epoch.
+        if self.shared.recover.wait() {
+            *self.shared.reason.lock() = None;
+            // ordering: release/AcqRel — rendezvous #3 below is itself a
+            // full synchronization point, so every rank resumes with the
+            // cleared flag and bumped epoch visible.
+            self.shared.poisoned.store(false, Ordering::Release);
+            // ordering: AcqRel — see the justification above.
+            self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        // Rendezvous #3: the bump is visible to everyone before any rank
+        // resumes sending.
+        self.shared.recover.wait();
+    }
+
+    fn pending_highwater(&self) -> usize {
+        self.pending.lock().highwater
+    }
+}
+
+impl Drop for ThreadComm {
+    fn drop(&mut self) {
+        // A dropped endpoint can never reach another rendezvous: vacate
+        // its recovery slot so peers blocked in `recover_epoch` are
+        // released instead of stranded. When the vacancy itself completes
+        // a generation no leader is elected, the poison stays set, and
+        // survivors fail fast with typed errors.
+        self.shared.recover.abandon();
     }
 }
 
@@ -199,9 +423,26 @@ where
     T: Send,
     F: Fn(&ThreadComm) -> T + Send + Sync,
 {
+    run_on_ranks_tuned(n, CommTuning::default(), f)
+}
+
+/// [`run_on_ranks`] with explicit receive-path tuning (timeout, retries,
+/// poll slice, pending bound) — chaos tests shrink the deadlines so fault
+/// detection is fast.
+pub fn run_on_ranks_tuned<T, F>(n: usize, tuning: CommTuning, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
     assert!(n >= 1, "need at least one rank");
-    let epoch = Epoch::now();
-    let barrier = Arc::new(Barrier::new(n));
+    let epoch_clock = Epoch::now();
+    let shared = Arc::new(AbortCell {
+        reason: Mutex::new(None),
+        poisoned: AtomicBool::new(false),
+        epoch: AtomicU64::new(0),
+        recover: Rendezvous::new(n),
+        stale_discarded: AtomicU64::new(0),
+    });
     let mut senders = Vec::with_capacity(n);
     let mut inboxes = Vec::with_capacity(n);
     for _ in 0..n {
@@ -215,11 +456,13 @@ where
         .map(|(rank, inbox)| ThreadComm {
             rank,
             size: n,
-            epoch: epoch.clone(),
+            epoch_clock: epoch_clock.clone(),
             senders: senders.clone(),
             inbox,
-            pending: Mutex::new(HashMap::new()),
-            barrier: barrier.clone(),
+            pending: Mutex::new(PendingBuf::default()),
+            shared: shared.clone(),
+            fault: Mutex::new(None),
+            tuning,
         })
         .collect();
     // Drop the extra sender handles so channels close when ranks finish.
@@ -378,6 +621,180 @@ mod tests {
             c.wtime()
         });
         assert!((times[0] - times[1]).abs() < 0.5);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_with_typed_error() {
+        let out = run_on_ranks_tuned(
+            2,
+            CommTuning {
+                recv_timeout: Duration::from_millis(20),
+                ..Default::default()
+            },
+            |c| {
+                if c.rank() == 0 {
+                    // Rank 1 never sends: the deadline must fire.
+                    c.recv_deadline(1, 33, Duration::from_millis(20))
+                        .err()
+                        .map(|e| e.kind())
+                } else {
+                    None
+                }
+            },
+        );
+        assert_eq!(out[0], Some(crate::CommErrorKind::Timeout));
+    }
+
+    #[test]
+    fn poison_unblocks_pending_recv() {
+        // Rank 1 blocks in a long recv; rank 0 poisons the epoch. Rank 1
+        // must unwind with EpochAborted well before its 10 s deadline.
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                c.poison(&CommError::Timeout {
+                    src: 1,
+                    tag: 9,
+                    waited: Duration::from_millis(1),
+                    retries: 0,
+                });
+                0
+            } else {
+                let t0 = Instant::now();
+                let err = c
+                    .recv_deadline(0, 9, Duration::from_secs(10))
+                    .expect_err("must abort");
+                assert!(matches!(err, CommError::EpochAborted { .. }), "{err}");
+                assert!(t0.elapsed() < Duration::from_secs(5));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn recover_epoch_drains_and_resumes() {
+        let out = run_on_ranks(3, |c| {
+            // Epoch 0: rank 0 sends a message nobody receives, then
+            // everyone poisons / observes poison and recovers.
+            if c.rank() == 0 {
+                c.send(1, 77, Payload::F64(vec![1.0]));
+                c.poison(&CommError::Protocol {
+                    detail: "test poison".into(),
+                });
+            }
+            while c.poisoned().is_none() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            c.recover_epoch();
+            assert_eq!(c.epoch(), 1);
+            assert!(c.poisoned().is_none());
+            // Epoch 1 must work normally — and the stale message from
+            // epoch 0 must be gone.
+            let mut v = [c.rank() as f64];
+            c.try_allreduce_sum(&mut v).unwrap();
+            v[0]
+        });
+        assert_eq!(out, vec![3.0; 3]);
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_discarded_after_recovery() {
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                // Sent in epoch 0, received (attempted) in epoch 1.
+                c.send(1, 5, Payload::F64(vec![f64::MAX]));
+            }
+            c.barrier();
+            c.poison(&CommError::Protocol {
+                detail: "flush".into(),
+            });
+            c.recover_epoch();
+            if c.rank() == 1 {
+                // The epoch-0 message was either drained in recovery or is
+                // stale; it must NOT match.
+                let r = c.recv_deadline(0, 5, Duration::from_millis(30));
+                assert!(r.is_err(), "stale message leaked into epoch 1: {r:?}");
+            }
+            c.rank()
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn pending_buffer_is_bounded() {
+        let out = run_on_ranks_tuned(
+            2,
+            CommTuning {
+                pending_limit: 8,
+                recv_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+            |c| {
+                if c.rank() == 0 {
+                    for i in 0..32 {
+                        c.send(1, 1000 + i, Payload::F64(vec![0.0]));
+                    }
+                    // Signal on the tag rank 1 is receiving on.
+                    c.send(1, 1, Payload::F64(vec![1.0]));
+                    None
+                } else {
+                    // Rank 1 only reads tag 1: the 32 unmatched messages
+                    // must trip the pending bound before tag 1 matches.
+                    Some(c.recv_deadline(0, 1, Duration::from_secs(2)))
+                }
+            },
+        );
+        let r = out[1].as_ref().unwrap();
+        assert!(
+            matches!(
+                r,
+                Err(CommError::PendingOverflow { .. }) | Err(CommError::EpochAborted { .. })
+            ),
+            "expected overflow, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn pending_highwater_is_recorded() {
+        let hw = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..5 {
+                    c.send(1, 500 + i, Payload::F64(vec![0.0]));
+                }
+                c.send(1, 42, Payload::F64(vec![1.0]));
+                0
+            } else {
+                let _ = c.recv(0, 42);
+                c.pending_highwater()
+            }
+        });
+        assert!(hw[1] >= 5, "highwater {} < 5", hw[1]);
+    }
+
+    #[test]
+    fn exited_rank_does_not_strand_recovery() {
+        // Rank 1 exits permanently without ever reaching recovery (as a
+        // runner does when its rollback budget is exhausted). Rank 0's
+        // `recover_epoch` must complete via the abandoned slot instead of
+        // blocking forever on a rendezvous rank 1 will never join.
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 1 {
+                return true;
+            }
+            c.poison(&CommError::Timeout {
+                src: 1,
+                tag: 9,
+                waited: Duration::from_millis(1),
+                retries: 0,
+            });
+            // Give rank 1 time to exit so the rendezvous must rely on the
+            // drop-time abandonment, not on a live arrival.
+            std::thread::sleep(Duration::from_millis(30));
+            c.recover_epoch();
+            true
+        });
+        assert_eq!(out, vec![true, true]);
     }
 }
 

@@ -15,6 +15,7 @@
 //!   to an older checkpoint generation.
 
 use crate::checkpoint::CheckpointError;
+use rbx_comm::CommErrorKind;
 use rbx_la::SolveError;
 use std::fmt;
 
@@ -55,6 +56,14 @@ pub enum StepFault {
         /// Name of the offending field (`"u[0]"`, `"p"`, `"t"`, …).
         field: &'static str,
     },
+    /// The communication runtime reported a typed fault during the step
+    /// (timeout, corrupt frame, epoch abort, …). Comm faults are
+    /// transient: the recovery loop rolls back and replays *without*
+    /// reducing dt, so the retried trajectory is bit-identical.
+    Comm {
+        /// The kind of communication failure.
+        kind: CommErrorKind,
+    },
 }
 
 impl fmt::Display for StepFault {
@@ -64,6 +73,7 @@ impl fmt::Display for StepFault {
             StepFault::NonFiniteField { field } => {
                 write!(f, "non-finite values in field {field}")
             }
+            StepFault::Comm { kind } => write!(f, "communication fault: {kind}"),
         }
     }
 }

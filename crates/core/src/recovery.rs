@@ -26,7 +26,7 @@
 //! [`FaultPlan`]) drive the same code paths as real ones.
 
 use crate::checkpoint::{CheckpointError, CheckpointSet};
-use crate::error::SimError;
+use crate::error::{SimError, StepFault};
 use crate::faultinject::FaultPlan;
 use crate::sim::{Simulation, StepStats};
 use rbx_telemetry::json::Value;
@@ -96,6 +96,16 @@ pub enum RecoveryEvent {
         /// Why it was rejected.
         error: String,
     },
+    /// A communication fault was healed: the runtime left the poisoned
+    /// epoch collectively and all ranks agreed on a common restored step.
+    CommRecovered {
+        /// Step the run resumes from (after rank alignment).
+        istep: usize,
+        /// Kind token of the originating communication fault.
+        kind: String,
+        /// The fresh communication epoch.
+        epoch: u64,
+    },
     /// State was rolled back and the time step reduced.
     RolledBack {
         /// Step the run had reached when it diverged.
@@ -122,6 +132,7 @@ impl RecoveryEvent {
             RecoveryEvent::DegradedStep { .. } => "degraded_step",
             RecoveryEvent::Divergence { .. } => "divergence",
             RecoveryEvent::GenerationRejected { .. } => "generation_rejected",
+            RecoveryEvent::CommRecovered { .. } => "comm_recovered",
             RecoveryEvent::RolledBack { .. } => "rolled_back",
         }
     }
@@ -133,7 +144,8 @@ impl RecoveryEvent {
             RecoveryEvent::CheckpointWritten { istep, .. }
             | RecoveryEvent::CheckpointWriteFailed { istep, .. }
             | RecoveryEvent::DegradedStep { istep, .. }
-            | RecoveryEvent::Divergence { istep, .. } => Some(*istep),
+            | RecoveryEvent::Divergence { istep, .. }
+            | RecoveryEvent::CommRecovered { istep, .. } => Some(*istep),
             RecoveryEvent::RolledBack { from_step, .. } => Some(*from_step),
             RecoveryEvent::GenerationRejected { .. } => None,
         };
@@ -167,6 +179,12 @@ impl fmt::Display for RecoveryEvent {
             }
             RecoveryEvent::GenerationRejected { path, error } => {
                 write!(f, "restore rejected {}: {error}", path.display())
+            }
+            RecoveryEvent::CommRecovered { istep, kind, epoch } => {
+                write!(
+                    f,
+                    "comm fault ({kind}) healed: resuming from step {istep} in epoch {epoch}"
+                )
             }
             RecoveryEvent::RolledBack {
                 from_step,
@@ -312,6 +330,14 @@ impl ResilientRunner {
                             last: fault.to_string(),
                         });
                     }
+                    let comm_fault = matches!(fault, StepFault::Comm { .. });
+                    if comm_fault {
+                        // Leave the poisoned epoch collectively before
+                        // touching state: every rank's step fails once the
+                        // epoch is poisoned, so every rank reaches this
+                        // rendezvous.
+                        sim.comm.recover_epoch();
+                    }
                     // Re-diverging at the same step after a rollback means
                     // the newest generation (or the dt reduction) is not
                     // enough — escalate to older generations.
@@ -341,8 +367,31 @@ impl ResilientRunner {
                             },
                         );
                     }
-                    let new_dt = (sim.cfg.dt * self.policy.dt_factor).max(self.policy.min_dt);
+                    // A comm fault is transient — the physics was fine.
+                    // Keep dt unchanged so the replayed trajectory is
+                    // bit-identical to a fault-free run; reduce it only for
+                    // genuine numerical divergence.
+                    let new_dt = if comm_fault {
+                        sim.cfg.dt
+                    } else {
+                        (sim.cfg.dt * self.policy.dt_factor).max(self.policy.min_dt)
+                    };
                     sim.set_dt(new_dt);
+                    if comm_fault {
+                        self.align_restored_step(sim, skip_escalation, rollbacks)?;
+                        log_event(
+                            sim,
+                            &mut events,
+                            RecoveryEvent::CommRecovered {
+                                istep: sim.state.istep,
+                                kind: match fault {
+                                    StepFault::Comm { kind } => kind.token().to_string(),
+                                    _ => unreachable!(),
+                                },
+                                epoch: sim.comm.epoch(),
+                            },
+                        );
+                    }
                     rollbacks += 1;
                     log_event(
                         sim,
@@ -365,6 +414,59 @@ impl ResilientRunner {
             rollbacks,
             final_dt: sim.cfg.dt,
             events,
+        })
+    }
+
+    /// Distributed rollback alignment after a communication fault.
+    ///
+    /// With ragged step tails, one rank can have checkpointed step N
+    /// before noticing the poisoned epoch while a peer only holds N−K:
+    /// resuming from different steps would desynchronize every collective.
+    /// All ranks agree on min/max of their restored steps; ranks above the
+    /// minimum restore progressively older generations until everyone
+    /// matches. Every rank runs the same number of rounds (the break is a
+    /// *global* condition), so the collectives inside the loop stay
+    /// matched.
+    fn align_restored_step(
+        &mut self,
+        sim: &mut Simulation<'_>,
+        base_skip: usize,
+        rollbacks: usize,
+    ) -> Result<(), SimError> {
+        if sim.comm.size() <= 1 {
+            return Ok(());
+        }
+        let mut extra = base_skip;
+        // Generous bound: one round per checkpoint generation plus slack
+        // for re-poisoned alignment rounds.
+        const MAX_ROUNDS: usize = 16;
+        for _ in 0..MAX_ROUNDS {
+            let mut v = [sim.state.istep as f64, -(sim.state.istep as f64)];
+            sim.comm.allreduce_min(&mut v);
+            if sim.comm.take_fault().is_some() || !v[0].is_finite() || !v[1].is_finite() {
+                // The alignment collective itself hit a fault (chaos can
+                // strike here too): heal the epoch and retry the round.
+                sim.comm.recover_epoch();
+                continue;
+            }
+            let lo = v[0];
+            let hi = -v[1];
+            if lo == hi {
+                return Ok(());
+            }
+            if (sim.state.istep as f64) > lo {
+                extra += 1;
+                if let Err(e) = self.checkpoints.restore_skipping(sim, extra) {
+                    return Err(SimError::RecoveryExhausted {
+                        retries: rollbacks,
+                        last: e.to_string(),
+                    });
+                }
+            }
+        }
+        Err(SimError::RecoveryExhausted {
+            retries: rollbacks,
+            last: "rank step alignment did not converge".into(),
         })
     }
 

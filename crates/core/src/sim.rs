@@ -654,9 +654,16 @@ impl<'a> Simulation<'a> {
     }
 
     /// Aggregate per-solve health and a direct field scan into one step
-    /// verdict. Fatal solver breakdowns dominate, then non-finite fields
-    /// (catches corruption the solvers never saw), then tolerance misses.
+    /// verdict. A latched communication fault dominates everything: a
+    /// timed-out or corrupt exchange NaN-poisons downstream data, so
+    /// without this check the verdict would blame a misleading
+    /// `NonFiniteResidual` instead of the root cause. Then fatal solver
+    /// breakdowns, then non-finite fields (catches corruption the solvers
+    /// never saw), then tolerance misses.
     fn classify_step(&self, solves: &[(StepPhase, SolveHealth)]) -> StepVerdict {
+        if let Some(e) = self.comm.take_fault() {
+            return StepVerdict::Diverged(StepFault::Comm { kind: e.kind() });
+        }
         for &(phase, health) in solves {
             if health.is_fatal() {
                 let error = health.error().expect("fatal health carries an error");

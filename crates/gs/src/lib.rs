@@ -24,7 +24,7 @@
 //! from mesh vertex ids, with canonical orientation), never from floating-
 //! point coordinates, so curved and periodic meshes need no tolerances.
 
-use rbx_comm::{Communicator, Payload};
+use rbx_comm::{CommError, Communicator, Payload};
 use rbx_device::{loop_chunk, RangePtr, WorkerPool};
 use rbx_mesh::topology::{classify_node, NodeClass, HEX_EDGES, HEX_FACES};
 use rbx_mesh::HexMesh;
@@ -335,8 +335,40 @@ impl GatherScatter {
     /// Apply the gather-scatter: reduce over every global-id group with
     /// `op` (local phase, then shared phase over the communicator) and
     /// scatter the result back to all members.
+    ///
+    /// Infallible interface for solver hot paths: on a communication
+    /// failure the field is NaN-filled (fail-stop poisoning — the Krylov
+    /// residual checks and the per-step non-finite scan stop promptly
+    /// instead of integrating garbage) and the typed error is latched on
+    /// the communicator for the step-verdict layer.
     pub fn apply(&self, u: &mut [f64], op: GsOp, comm: &dyn Communicator) {
+        if self.try_apply(u, op, comm).is_err() {
+            for v in u.iter_mut() {
+                *v = f64::NAN;
+            }
+        }
+    }
+
+    /// Fallible gather-scatter. On a communication failure the epoch is
+    /// poisoned (so neighbour ranks unwind from the symmetric exchange
+    /// too), the error is latched via [`Communicator::set_fault`], and the
+    /// field is left partially updated — callers that keep going must use
+    /// [`GatherScatter::apply`], which NaN-fills instead.
+    pub fn try_apply(
+        &self,
+        u: &mut [f64],
+        op: GsOp,
+        comm: &dyn Communicator,
+    ) -> Result<(), CommError> {
         debug_assert_eq!(u.len(), self.n_local, "field length mismatch");
+        // A poisoned epoch means some exchange was already abandoned:
+        // starting another round would only feed stale frames into the
+        // neighbour streams. Fail fast; the recovery loop heals the epoch.
+        if let Some(e) = comm.poisoned() {
+            // audit:allow(hot-alloc): cold failure path — one clone per poisoned epoch, never per step.
+            comm.set_fault(e.clone());
+            return Err(e);
+        }
         let tel = self.tel();
         let ngroups = self.num_groups();
         // audit:allow(hot-alloc): per-apply group buffer — hoisting it into self would need interior mutability on a handle shared across threads (Schwarz overlap); one ngroups vec amortizes over the whole reduce+scatter
@@ -400,8 +432,24 @@ impl GatherScatter {
                 let payload: Vec<f64> = gids.iter().map(|&g| gval[g as usize]).collect();
                 comm.send(*nbr, self.tag, Payload::F64(payload));
             }
+            let timeout = comm.tuning().recv_timeout;
             for (nbr, gids) in &self.shared {
-                let incoming = comm.recv(*nbr, self.tag).into_f64();
+                let incoming = match comm
+                    .recv_deadline(*nbr, self.tag, timeout)
+                    .and_then(Payload::try_into_f64)
+                {
+                    Ok(v) => v,
+                    Err(e) => {
+                        // The exchange is symmetric: peers are blocked on
+                        // our partials too. Poison so they unwind instead
+                        // of timing out one by one.
+                        comm.poison(&e);
+                        // audit:allow(hot-alloc): cold failure path — one
+                        // clone per comm fault, never per step.
+                        comm.set_fault(e.clone());
+                        return Err(e);
+                    }
+                };
                 // The zip below bounds the combine either way; the debug
                 // check catches neighbour-protocol bugs in test builds.
                 debug_assert_eq!(incoming.len(), gids.len());
@@ -442,6 +490,7 @@ impl GatherScatter {
                 }
             }
         }
+        Ok(())
     }
 
     /// Node multiplicity: how many element-local copies each global node

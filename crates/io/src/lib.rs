@@ -18,6 +18,7 @@
 mod engine;
 mod format;
 pub mod integrity;
+pub mod shipping;
 pub mod vtk;
 
 pub use engine::{staging_channel, AsyncBplWriter, StagingReader, StagingWriter};
@@ -25,4 +26,5 @@ pub use format::{
     read_bpl, write_bpl, write_bpl_atomic, BplReader, BplWriter, StepData, VarData, Variable,
 };
 pub use integrity::{crc64, crc64_f64s, Crc64};
+pub use shipping::{bcast_bytes, gather_bytes_to_root};
 pub use vtk::write_vtk;

@@ -1,0 +1,139 @@
+//! Rank-to-root byte shipping for collective I/O.
+//!
+//! The paper's runs aggregate field output through a subset of writer
+//! ranks. These helpers move serialized byte blobs (BPL payloads,
+//! checkpoint sections) across the communicator with the same typed
+//! failure behavior as solver traffic: deadline receives, epoch
+//! poisoning on failure, and `CommError` instead of panics — so a stalled
+//! peer turns an output flush into a recoverable fault, not a hung run.
+//!
+//! On the production hardened stack the payloads additionally inherit
+//! CRC-32 framing, so a corrupted blob is rejected before it reaches a
+//! file.
+
+use rbx_comm::{CommError, Communicator, Payload};
+
+/// Tag namespace for shipping traffic, kept clear of solver tags and of
+/// the collective range (`rbx_comm::COLLECTIVE_TAG_BASE`).
+const TAG_SHIP: u64 = 1 << 52;
+
+/// Gather every rank's byte blob on `root`, in rank order. Non-root
+/// ranks get an empty vector.
+///
+/// On failure the epoch is poisoned (peers blocked in the same gather
+/// unwind) and the typed error is returned.
+pub fn gather_bytes_to_root(
+    comm: &dyn Communicator,
+    root: usize,
+    mine: &[u8],
+) -> Result<Vec<Vec<u8>>, CommError> {
+    let size = comm.size();
+    if size == 1 {
+        return Ok(vec![mine.to_vec()]);
+    }
+    let timeout = comm.tuning().recv_timeout;
+    if comm.rank() == root {
+        let mut all = Vec::with_capacity(size);
+        for src in 0..size {
+            if src == root {
+                all.push(mine.to_vec());
+                continue;
+            }
+            match comm
+                .recv_deadline(src, TAG_SHIP, timeout)
+                .and_then(Payload::try_into_bytes)
+            {
+                Ok(b) => all.push(b),
+                Err(e) => {
+                    comm.poison(&e);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(all)
+    } else {
+        comm.send(root, TAG_SHIP, Payload::Bytes(mine.to_vec()));
+        Ok(Vec::new())
+    }
+}
+
+/// Broadcast a byte blob from `root` to all ranks (restart manifests,
+/// shared headers). Returns the blob on every rank.
+pub fn bcast_bytes(
+    comm: &dyn Communicator,
+    root: usize,
+    blob: Vec<u8>,
+) -> Result<Vec<u8>, CommError> {
+    let mut p = Payload::Bytes(blob);
+    comm.try_bcast(root, &mut p)?;
+    p.try_into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_comm::{run_on_ranks, run_on_ranks_tuned, CommTuning, HardenedComm};
+    use std::time::Duration;
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_on_ranks(4, |c| {
+            let mine = vec![c.rank() as u8; c.rank() + 1];
+            gather_bytes_to_root(&c, 0, &mine).unwrap()
+        });
+        assert_eq!(
+            out[0],
+            vec![vec![0u8; 1], vec![1u8; 2], vec![2u8; 3], vec![3u8; 4]]
+        );
+        for nonroot in &out[1..] {
+            assert!(nonroot.is_empty());
+        }
+    }
+
+    #[test]
+    fn gather_works_over_hardened_framing() {
+        let out = run_on_ranks(3, |c| {
+            let h = HardenedComm::new(c);
+            let mine = vec![0xA0 | h.rank() as u8];
+            gather_bytes_to_root(&h, 1, &mine).unwrap()
+        });
+        assert_eq!(out[1], vec![vec![0xA0], vec![0xA1], vec![0xA2]]);
+    }
+
+    #[test]
+    fn bcast_round_trips_on_all_ranks() {
+        let out = run_on_ranks(3, |c| {
+            let blob = if c.rank() == 2 { vec![7, 8, 9] } else { vec![] };
+            bcast_bytes(&c, 2, blob).unwrap()
+        });
+        assert_eq!(out, vec![vec![7, 8, 9]; 3]);
+    }
+
+    #[test]
+    fn gather_times_out_as_typed_error_when_a_rank_never_sends() {
+        let tuning = CommTuning {
+            recv_timeout: Duration::from_millis(30),
+            retries: 0,
+            ..Default::default()
+        };
+        let out = run_on_ranks_tuned(2, tuning, |c| {
+            if c.rank() == 0 {
+                // Rank 1 deliberately skips the gather.
+                gather_bytes_to_root(&c, 0, &[1, 2]).err().map(|e| e.kind())
+            } else {
+                None
+            }
+        });
+        assert_eq!(out[0], Some(rbx_comm::CommErrorKind::Timeout));
+    }
+
+    #[test]
+    fn single_rank_shortcuts() {
+        let c = rbx_comm::SingleComm::new();
+        assert_eq!(
+            gather_bytes_to_root(&c, 0, &[5, 5]).unwrap(),
+            vec![vec![5, 5]]
+        );
+        assert_eq!(bcast_bytes(&c, 0, vec![1]).unwrap(), vec![1]);
+    }
+}

@@ -115,6 +115,18 @@ pub const SPANS: &[SpanDef] = &[
         path: "pool/gs",
         help: "pooled gather-scatter local gather / scatter phase",
     },
+    SpanDef {
+        path: "comm/recv",
+        help: "hardened deadline receive (unframe + dedupe + resequence)",
+    },
+    SpanDef {
+        path: "comm/retry",
+        help: "receive retry after a timeout (backoff applied)",
+    },
+    SpanDef {
+        path: "comm/abort",
+        help: "poisoned-epoch abort: collective drain and epoch bump",
+    },
 ];
 
 /// All metric base names production code feeds. Call sites may append
@@ -209,6 +221,41 @@ pub const METRICS: &[MetricDef] = &[
         name: "rbx_pool_items_total",
         kind: MetricKind::Counter,
         help: "loop iterations covered by pool dispatches",
+    },
+    MetricDef {
+        name: "rbx_comm_timeouts_total",
+        kind: MetricKind::Counter,
+        help: "receives that exhausted their deadline and retry budget",
+    },
+    MetricDef {
+        name: "rbx_comm_retries_total",
+        kind: MetricKind::Counter,
+        help: "receive retry attempts after a timed-out attempt",
+    },
+    MetricDef {
+        name: "rbx_comm_corrupt_detected_total",
+        kind: MetricKind::Counter,
+        help: "frames rejected by the CRC-32 framing check",
+    },
+    MetricDef {
+        name: "rbx_comm_duplicates_total",
+        kind: MetricKind::Counter,
+        help: "duplicated frames shed by sequence-number dedupe",
+    },
+    MetricDef {
+        name: "rbx_comm_reordered_total",
+        kind: MetricKind::Counter,
+        help: "out-of-order frames parked for in-order delivery",
+    },
+    MetricDef {
+        name: "rbx_comm_epoch_aborts_total",
+        kind: MetricKind::Counter,
+        help: "poisoned-epoch aborts recovered from",
+    },
+    MetricDef {
+        name: "rbx_comm_pending_highwater",
+        kind: MetricKind::Gauge,
+        help: "high-water mark of the unmatched-message pending buffer",
     },
 ];
 

@@ -83,6 +83,26 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// `recv_timeout` failure reasons.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
@@ -187,6 +207,38 @@ pub mod channel {
             }
         }
 
+        /// Blocking receive with a deadline: waits at most `timeout` for a
+        /// message, failing with `Timeout` once it elapses or with
+        /// `Disconnected` when the channel is empty and every sender is
+        /// gone.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
         /// Blocking iterator: yields until all senders disconnect.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
@@ -283,6 +335,23 @@ pub mod channel {
             assert_eq!(t.join().unwrap(), "done");
             assert_eq!(rx.recv().unwrap(), 2);
             assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            use std::time::Duration;
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
