@@ -35,6 +35,10 @@ pub struct AuditConfig {
     /// use `recv_deadline` so a lost message surfaces as a typed timeout
     /// instead of hanging the run.
     pub recv_deadline_paths: Vec<String>,
+    /// Checkpoint/restore files denied rank-derived offsets or indexing —
+    /// checkpoints are topology-independent (keyed by global element id),
+    /// so layout math from the rank would break N→M restarts.
+    pub rank_offset_paths: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -114,6 +118,7 @@ impl AuditConfig {
             telemetry_crates: str_array(doc.table("rules.telemetry_names"), "crates"),
             pool_discipline_paths: str_array(doc.table("rules.pool_discipline"), "paths"),
             recv_deadline_paths: str_array(doc.table("rules.recv_deadline"), "paths"),
+            rank_offset_paths: str_array(doc.table("rules.rank_offset"), "paths"),
         })
     }
 
@@ -181,6 +186,13 @@ impl AuditConfig {
                 Value::StrArray(self.recv_deadline_paths.clone()),
             )],
         });
+        doc.tables.push(Table {
+            name: "rules.rank_offset".into(),
+            entries: vec![(
+                "paths".into(),
+                Value::StrArray(self.rank_offset_paths.clone()),
+            )],
+        });
         toml::serialize(&doc)
     }
 }
@@ -205,6 +217,8 @@ mod tests {
         cfg.pool_discipline_paths
             .push("crates/la/src/schwarz.rs".into());
         cfg.recv_deadline_paths.push("crates/gs/src/lib.rs".into());
+        cfg.rank_offset_paths
+            .push("crates/core/src/checkpoint.rs".into());
         let text = cfg.serialize();
         let back = AuditConfig::parse(&text).unwrap();
         assert_eq!(cfg, back);

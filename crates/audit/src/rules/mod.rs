@@ -8,6 +8,7 @@ pub mod casts;
 pub mod index;
 pub mod panics;
 pub mod pool;
+pub mod rank_offset;
 pub mod recv;
 pub mod telemetry_names;
 
@@ -21,6 +22,7 @@ pub const CASTS: &str = "casts";
 pub const TELEMETRY: &str = "telemetry-names";
 pub const POOL: &str = "pool-discipline";
 pub const RECV_DEADLINE: &str = "recv-deadline";
+pub const RANK_OFFSET: &str = "rank-offset";
 /// Meta-rule for malformed/stale waivers.
 pub const WAIVER: &str = "waiver";
 
@@ -36,4 +38,5 @@ pub const ALL_RULES: &[&str] = &[
     TELEMETRY,
     POOL,
     RECV_DEADLINE,
+    RANK_OFFSET,
 ];

@@ -1,0 +1,112 @@
+//! `rank-offset`: checkpoint/restore paths must stay topology-free.
+//!
+//! The elastic-restart contract (DESIGN.md §12) is that a checkpoint
+//! carries no trace of the rank layout it was written under: per-element
+//! data is keyed by global element id, so an N-rank file restores on M
+//! ranks. The classic way that contract regresses is an offset computed
+//! from the rank — `rank * block`, `base + rank`, `table[rank]` — which
+//! silently re-couples the file layout to the writing topology and turns
+//! every N→M restart into garbage.
+//!
+//! The files listed in `[rules.rank_offset]` (the checkpoint write and
+//! restore paths) are denied any site where a `rank` identifier (or a
+//! `.rank()` call) feeds arithmetic (`* + - / %`) or a bare index
+//! (`[rank`). Rank *comparisons* (`rank == 0` gather/prune gating) pass
+//! untouched. Deliberate exceptions carry an inline
+//! `// audit:allow(rank-offset): reason` waiver.
+
+use crate::config::AuditConfig;
+use crate::report::Finding;
+use crate::rules::RANK_OFFSET;
+use crate::workspace::SourceFile;
+
+pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
+    if !cfg.rank_offset_paths.iter().any(|p| p == &file.path) {
+        return;
+    }
+    let toks = file.prod_tokens();
+    let arith = |i: usize| {
+        toks.get(i)
+            .is_some_and(|t| "*+-/%".chars().any(|c| t.is_punct(c)))
+    };
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("rank") {
+            continue;
+        }
+        // Skip a trailing `()` so `.rank() * n` is seen as rank-arithmetic.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('('))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(')'))
+        {
+            j += 2;
+        }
+        // Walk back over the receiver chain (`sim.comm.rank`) so
+        // `base + c.rank()` is seen as rank-arithmetic too.
+        let mut k = i;
+        while k >= 2
+            && toks[k - 1].is_punct('.')
+            && matches!(toks[k - 2].kind, crate::lexer::TokenKind::Ident(_))
+        {
+            k -= 2;
+        }
+        let indexed = k > 0 && toks[k - 1].is_punct('[');
+        if arith(j) || (k > 0 && arith(k - 1)) || indexed {
+            out.push(Finding::error(
+                RANK_OFFSET,
+                &file.path,
+                toks[i].line,
+                "rank-derived offset on a checkpoint/restore path — checkpoints are \
+                 topology-independent (keyed by global element id), so layout math from \
+                 the rank re-couples the file to the writing topology and breaks N→M \
+                 restarts"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, listed: bool) -> Vec<Finding> {
+        let mut cfg = AuditConfig::default();
+        if listed {
+            cfg.rank_offset_paths.push("x.rs".into());
+        }
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn rank_arithmetic_is_flagged_in_listed_files() {
+        for src in [
+            "fn f(rank: usize, n: usize) -> usize { rank * n }\n",
+            "fn f(c: &C, n: usize) -> usize { base + c.rank() }\n",
+            "fn f(c: &C, n: usize) -> usize { c.rank() * n }\n",
+            "fn f(t: &[usize], rank: usize) -> usize { t[rank] }\n",
+        ] {
+            assert_eq!(run(src, true).len(), 1, "{src}");
+            assert!(run(src, false).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn rank_comparisons_and_other_idents_pass() {
+        for src in [
+            "fn f(c: &C) -> bool { c.rank() == 0 }\n",
+            "fn f(c: &C) { if c.rank() != 0 { return; } }\n",
+            "fn f(ranks: usize, n: usize) -> usize { ranks * n }\n",
+        ] {
+            assert!(run(src, true).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(rank: usize) -> usize { rank * 2 }\n}\n";
+        assert!(run(src, true).is_empty());
+    }
+}

@@ -131,6 +131,7 @@ pub fn run(root: &Path, cfg: &AuditConfig) -> io::Result<Report> {
         rules::casts::check(&file, cfg, &mut raw);
         rules::pool::check(&file, cfg, &mut raw);
         rules::recv::check(&file, cfg, &mut raw);
+        rules::rank_offset::check(&file, cfg, &mut raw);
         rules::telemetry_names::check(&file, cfg, &mut raw, &mut telemetry_seen);
 
         apply_waivers(&file, raw, &mut report);

@@ -23,6 +23,18 @@
 //!
 //! All flags are optional; defaults give a small box run. Outputs land in
 //! `target/dns_run/` (override with `--out`).
+//!
+//! `--ranks N` runs the time loop distributed over N in-process ranks.
+//! Checkpoints are topology-independent, so `--ranks` is decoupled from
+//! checkpoint provenance: a run checkpointed at one rank count restarts
+//! at any other via `--restart`, with the partition rebuilt by the
+//! restart repartitioner:
+//!
+//! ```sh
+//! run_dns --ranks 4 --steps 200 --checkpoint-every 100   # checkpoint at 4
+//! run_dns --ranks 2 --steps 100 \
+//!     --restart target/dns_run/checkpoints/chk_0000000200.bpl  # restart at 2
+//! ```
 
 use rbx::basis::ModalBasis;
 use rbx::comm::SingleComm;
@@ -48,6 +60,7 @@ struct Args {
     order: usize,
     dt: f64,
     steps: usize,
+    ranks: usize,
     threads: usize,
     resolution: usize,
     sample_every: usize,
@@ -77,6 +90,7 @@ impl Default for Args {
             order: 5,
             dt: 2e-3,
             steps: 300,
+            ranks: 1,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             resolution: 3,
             sample_every: 20,
@@ -127,6 +141,7 @@ fn parse_args() -> Args {
             "--order" => args.order = parse("--order", &value("--order")),
             "--dt" => args.dt = parse("--dt", &value("--dt")),
             "--steps" => args.steps = parse("--steps", &value("--steps")),
+            "--ranks" => args.ranks = parse("--ranks", &value("--ranks")),
             "--threads" => args.threads = parse("--threads", &value("--threads")),
             "--resolution" => args.resolution = parse("--resolution", &value("--resolution")),
             "--sample-every" => {
@@ -170,7 +185,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
-                     --steps N --threads N --resolution R --sample-every N --checkpoint-every N \
+                     --steps N --ranks N --threads N --resolution R --sample-every N --checkpoint-every N \
                      --checkpoint-keep K --max-rollbacks N --dt-factor F \
                      --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
                      --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR \
@@ -194,7 +209,223 @@ fn parse_args() -> Args {
     if args.threads == 0 {
         die("--threads must be at least 1");
     }
+    if args.ranks == 0 || args.ranks > 64 {
+        die("--ranks must be in 1..=64 (survivor masks are 64-bit)");
+    }
     args
+}
+
+/// The distributed time loop: `--ranks N` runs the case partitioned over
+/// N in-process ranks. The partition comes from the restart
+/// repartitioner's cost model, not from whatever layout a restart
+/// checkpoint was written under — checkpoints are topology-independent,
+/// so `--restart` accepts a checkpoint of any provenance. A reduced
+/// output set (observables CSV, checkpoints, telemetry, summary) keeps
+/// the rank-local paths honest; the field/POD pipelines stay
+/// single-rank.
+fn run_multirank(args: Args) {
+    use rbx::comm::{run_on_ranks, Communicator};
+    use rbx::core::plan_repartition;
+
+    for (flag, set) in [
+        ("--pod", args.pod),
+        ("--inject-nan-at", !args.inject_nan_at.is_empty()),
+        (
+            "--corrupt-checkpoint-at",
+            !args.corrupt_checkpoint_at.is_empty(),
+        ),
+        ("--fail-checkpoint-at", !args.fail_checkpoint_at.is_empty()),
+    ] {
+        if set {
+            die(&format!("{flag} is single-rank only (drop --ranks)"));
+        }
+    }
+
+    let case = match args.case.as_str() {
+        "box" => rbx::core::rbc_box_case(args.gamma, args.resolution, args.resolution, false, 1),
+        "cylinder" => rbx::core::rbc_cylinder_case(args.gamma, (args.resolution / 2).max(1), 1),
+        other => die(&format!("unknown case {other:?} for --case (box|cylinder)")),
+    };
+    let cfg = SolverConfig {
+        ra: args.ra,
+        order: args.order,
+        dt: args.dt,
+        ic_noise: 0.05,
+        ..Default::default()
+    };
+    let plan = match plan_repartition(&case.mesh, args.order, args.ranks, None, None) {
+        Ok(p) => p,
+        Err(e) => die(&format!("cannot partition for --ranks {}: {e}", args.ranks)),
+    };
+    println!(
+        "run_dns: {} case, Γ = {}, Ra = {:.1e}, degree {}, dt = {}, {} ranks",
+        args.case, args.gamma, args.ra, args.order, args.dt, args.ranks
+    );
+    println!(
+        "  {} elements over {} ranks ({}..{} per rank), {} steps",
+        case.mesh.num_elements(),
+        args.ranks,
+        plan.min_elems,
+        plan.max_elems,
+        args.steps
+    );
+
+    let checkpoint_dir = args.out.join("checkpoints");
+    let cfg_ref = &cfg;
+    let case_ref = &case;
+    let plan_ref = &plan;
+    let args_ref = &args;
+    let results = run_on_ranks(args.ranks, move |comm| {
+        let rank = comm.rank();
+        let mut sim = Simulation::new(
+            cfg_ref.clone(),
+            &case_ref.mesh,
+            &plan_ref.part,
+            plan_ref.elems[rank].clone(),
+            comm,
+        );
+        // Telemetry sinks are rank-0-only; other ranks keep the
+        // single-atomic-load disabled path.
+        let tel = Telemetry::disabled();
+        if rank == 0 && (args_ref.telemetry_jsonl.is_some() || args_ref.telemetry_prom.is_some()) {
+            tel.set_enabled(true);
+            if let Some(depth) = args_ref.trace_depth {
+                tel.set_trace_depth(depth);
+            }
+            if let Some(path) = &args_ref.telemetry_jsonl {
+                if let Err(e) = tel.open_jsonl(path) {
+                    die(&format!(
+                        "cannot create telemetry JSONL {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
+        }
+        sim.set_telemetry(&tel);
+
+        let checkpoints = CheckpointSet::new(&checkpoint_dir, args_ref.checkpoint_keep);
+        if let Some(chk) = &args_ref.restart {
+            // Topology-independent restore: the checkpoint may have been
+            // written at any rank count.
+            match rbx::core::read_checkpoint(&mut sim, chk) {
+                Ok(()) => {
+                    if rank == 0 {
+                        println!(
+                            "  restarted from {} at step {} (t = {:.4})",
+                            chk.display(),
+                            sim.state.istep,
+                            sim.state.time
+                        );
+                    }
+                }
+                Err(e) => die(&format!("restart checkpoint rejected: {e}")),
+            }
+        } else {
+            sim.init_rbc();
+        }
+
+        let policy = RecoveryPolicy {
+            max_rollbacks: args_ref.max_rollbacks,
+            dt_factor: args_ref.dt_factor,
+            checkpoint_every: args_ref.checkpoint_every,
+            ..Default::default()
+        };
+        let mut runner = ResilientRunner::new(checkpoints, policy);
+        let target_step = sim.state.istep + args_ref.steps;
+        let mut last_sampled = sim.state.istep;
+        let mut obs_rows = Vec::new();
+        let mut stats = RunStatistics::default();
+        let t0 = std::time::Instant::now();
+        let report = runner.run_with(&mut sim, target_step, |sim, st| {
+            let step = sim.state.istep;
+            if args_ref.sample_every == 0
+                || step % args_ref.sample_every != 0
+                || step <= last_sampled
+            {
+                return;
+            }
+            last_sampled = step;
+            // Collective reductions: every rank participates, rank 0
+            // records.
+            let obs = Observables::new(&sim.geom, &case_ref.mesh, &sim.my_elems);
+            let comm = sim.comm;
+            let nu_v =
+                obs.nusselt_volume(&sim.state.u[2], &sim.state.t, cfg_ref.ra, cfg_ref.pr, comm);
+            let ke = obs.kinetic_energy([&sim.state.u[0], &sim.state.u[1], &sim.state.u[2]], comm);
+            if sim.comm.rank() == 0 {
+                stats.nu_volume.push(nu_v);
+                stats.kinetic_energy.push(ke);
+                obs_rows.push(format!(
+                    "{step},{},{nu_v},{ke},{}",
+                    sim.state.time, st.p_iters
+                ));
+                println!(
+                    "  step {step:>6}  t = {:.3}  Nu = {nu_v:.4}  KE = {ke:.3e}  p-its = {}",
+                    sim.state.time, st.p_iters
+                );
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => die(&format!("simulation failed on rank {rank}: {e}")),
+        };
+        if rank == 0 {
+            if let Some(path) = &args_ref.telemetry_prom {
+                match tel.write_prometheus(path) {
+                    Ok(()) => println!("  telemetry: Prometheus snapshot in {}", path.display()),
+                    Err(e) => {
+                        eprintln!("run_dns: warning: could not write {}: {e}", path.display())
+                    }
+                }
+            }
+            tel.flush();
+        }
+        (report, elapsed, obs_rows, stats)
+    });
+
+    let (report, elapsed, obs_rows, stats) = results.into_iter().next().expect("rank 0 result");
+    use std::io::Write;
+    let csv = std::fs::File::create(args.out.join("observables.csv")).and_then(|mut f| {
+        writeln!(f, "step,time,nu_volume,kinetic_energy,p_iters")?;
+        for r in &obs_rows {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    });
+    if let Err(e) = csv {
+        eprintln!("run_dns: warning: could not write observables.csv: {e}");
+    }
+
+    println!("\n── run summary ───────────────────────────────────────────");
+    let row = |k: &str, v: String| println!("  {k:<22} {v}");
+    row("ranks", format!("{}", args.ranks));
+    row("steps completed", format!("{}", report.steps_completed));
+    row(
+        "wall time",
+        format!(
+            "{elapsed:.2} s ({:.1} ms/step)",
+            1e3 * elapsed / args.steps.max(1) as f64
+        ),
+    );
+    row("rollbacks", format!("{}", report.rollbacks));
+    row("final dt", format!("{}", report.final_dt));
+    row("recovery events", format!("{}", report.events.len()));
+    if stats.nu_volume.count() > 0 {
+        row(
+            "Nu(vol)",
+            format!(
+                "{:.4} ± {:.4} over {} samples",
+                stats.nu_volume.mean(),
+                stats.nu_volume.std(),
+                stats.nu_volume.count()
+            ),
+        );
+    }
+    row("outputs", args.out.display().to_string());
+    for e in &report.events {
+        println!("  [recovery] {e}");
+    }
 }
 
 fn main() {
@@ -204,6 +435,10 @@ fn main() {
             "cannot create output dir {}: {e}",
             args.out.display()
         ));
+    }
+    if args.ranks > 1 {
+        run_multirank(args);
+        return;
     }
 
     let case = match args.case.as_str() {

@@ -232,6 +232,15 @@ impl<C: Communicator> ChaosComm<C> {
         self.faults_fired.load(Ordering::Relaxed)
     }
 
+    /// Armed send operations counted so far on this rank. Chaos plans
+    /// address faults by op index; a calibration run can read this to aim
+    /// a fault at a specific phase of a larger run (e.g. "right after
+    /// setup and the anchor checkpoint").
+    pub fn send_ops(&self) -> u64 {
+        // ordering: relaxed — monotone counter observation.
+        self.send_op.load(Ordering::Relaxed)
+    }
+
     /// The wrapped communicator.
     pub fn inner(&self) -> &C {
         &self.inner
@@ -386,6 +395,40 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
             None => self.inner.send(dest, tag, payload),
         }
         self.flush_held();
+    }
+
+    fn send_best_effort(&self, dest: usize, tag: u64, payload: Payload) {
+        // Crash semantics must apply to probes too — a "dead" rank's
+        // liveness pings have to vanish, or the shrink protocol would
+        // never evict it. Random message-level faults are not applied:
+        // probes are about permanent death, and the budgeted op counter
+        // must not be perturbed by protocol traffic.
+        // ordering: acquire pairs with the release store in `set_armed`.
+        if !self.armed.load(Ordering::Acquire) {
+            self.inner.send_best_effort(dest, tag, payload);
+            return;
+        }
+        // ordering: acquire pairs with the release store below once the
+        // crash threshold fires.
+        if self.crashed.load(Ordering::Acquire) {
+            return;
+        }
+        // ordering: relaxed — per-rank op counter advanced only by this
+        // rank's own sends; no cross-thread data published through it.
+        let op = self.send_op.fetch_add(1, Ordering::Relaxed);
+        let rank = self.inner.rank();
+        if self.plan.crashes.iter().any(|&(r, o)| r == rank && o <= op) {
+            // ordering: release pairs with the acquire load at entry.
+            self.crashed.store(true, Ordering::Release);
+            self.log_fired(op, "crash (all further sends dropped)");
+            return;
+        }
+        self.inner.send_best_effort(dest, tag, payload);
+    }
+
+    fn probe_recv(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.flush_held();
+        self.inner.probe_recv(src, tag, timeout)
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {

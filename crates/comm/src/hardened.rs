@@ -84,6 +84,24 @@ impl<C: Communicator> HardenedComm<C> {
     /// One receive attempt: pull frames until the expected sequence number
     /// for this stream turns up, stashing futures and shedding stales.
     fn recv_attempt(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.recv_framed(src, tag, timeout, false)
+    }
+
+    /// Like [`Self::recv_attempt`] but pulling frames through the inner
+    /// out-of-band probe, so the shrink protocol's framing survives a
+    /// poisoned epoch (an ordinary receive would fail fast on the
+    /// sentinel).
+    fn probe_attempt(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.recv_framed(src, tag, timeout, true)
+    }
+
+    fn recv_framed(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+        probe: bool,
+    ) -> Result<Payload, CommError> {
         let deadline = Instant::now() + timeout;
         loop {
             let exp = {
@@ -104,7 +122,11 @@ impl<C: Communicator> HardenedComm<C> {
                     retries: 0,
                 });
             }
-            let raw = self.inner.recv_deadline(src, tag, deadline - now)?;
+            let raw = if probe {
+                self.inner.probe_recv(src, tag, deadline - now)?
+            } else {
+                self.inner.recv_deadline(src, tag, deadline - now)?
+            };
             let (seq, payload) = frame::unseal(raw, src, tag)?;
             let mut st = self.seq.lock();
             if seq < exp {
@@ -144,6 +166,25 @@ impl<C: Communicator> Communicator for HardenedComm<C> {
             seq
         };
         self.inner.send(dest, tag, frame::seal(&payload, seq));
+    }
+
+    fn send_best_effort(&self, dest: usize, tag: u64, payload: Payload) {
+        let seq = {
+            let mut st = self.seq.lock();
+            let ctr = st.next_out.entry((dest, tag)).or_insert(0);
+            let seq = *ctr;
+            *ctr += 1;
+            seq
+        };
+        self.inner
+            .send_best_effort(dest, tag, frame::seal(&payload, seq));
+    }
+
+    fn probe_recv(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        // One attempt, no retry escalation, and no poisoning: a silent
+        // peer during a shrink probe is the expected outcome, not a fault
+        // the rest of the job needs to unwind for.
+        self.probe_attempt(src, tag, timeout)
     }
 
     fn recv(&self, src: usize, tag: u64) -> Payload {

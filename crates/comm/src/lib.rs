@@ -39,12 +39,14 @@ mod error;
 pub mod frame;
 mod hardened;
 mod single;
+mod subset;
 mod thread;
 
 pub use chaos::{ChaosComm, CommFaultPlan};
 pub use error::{CommError, CommErrorKind, CommTuning};
 pub use hardened::HardenedComm;
 pub use single::SingleComm;
+pub use subset::SubsetComm;
 pub use thread::{run_on_ranks, run_on_ranks_tuned, ThreadComm};
 
 use std::sync::Arc;
@@ -364,6 +366,21 @@ pub trait Communicator: Send + Sync {
     fn pending_highwater(&self) -> usize {
         0
     }
+
+    /// Best-effort send: like [`Communicator::send`], but a dead or
+    /// departed peer must **not** poison the epoch. The shrink protocol's
+    /// liveness probes and vote rounds talk *at* ranks that may already be
+    /// gone; a closed endpoint there is information, not a fault.
+    fn send_best_effort(&self, dest: usize, tag: u64, payload: Payload) {
+        self.send(dest, tag, payload);
+    }
+
+    /// Single-attempt probe receive: one bounded wait, no retries, and —
+    /// critically — no epoch poisoning on timeout. Silence from the peer
+    /// is the signal the shrink protocol is listening for.
+    fn probe_recv(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.recv_deadline(src, tag, timeout)
+    }
 }
 
 /// Forwarding impl so wrapper stacks can borrow the inner runtime
@@ -440,6 +457,12 @@ impl<C: Communicator + ?Sized> Communicator for &C {
     }
     fn pending_highwater(&self) -> usize {
         (**self).pending_highwater()
+    }
+    fn send_best_effort(&self, dest: usize, tag: u64, payload: Payload) {
+        (**self).send_best_effort(dest, tag, payload)
+    }
+    fn probe_recv(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        (**self).probe_recv(src, tag, timeout)
     }
 }
 

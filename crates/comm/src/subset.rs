@@ -1,0 +1,170 @@
+//! A communicator over a surviving subset of another communicator's ranks.
+//!
+//! After the shrink protocol declares some ranks permanently dead, the
+//! survivors need a communicator whose `rank()`/`size()` describe the
+//! *new* world so that every rank-indexed algorithm — partitioning,
+//! gather-scatter handshakes, rank-ordered recursive-doubling collectives
+//! — works unchanged. [`SubsetComm`] provides that: it renumbers the
+//! sorted surviving global ranks to `0..n_live` and translates every
+//! point-to-point endpoint on the way through to the inner communicator.
+//!
+//! Collectives are *not* forwarded: the provided trait implementations
+//! (dissemination barrier, recursive-doubling allreduce, binomial bcast)
+//! run over `self`, so they span exactly the surviving ranks. Epoch
+//! state (poison / recovery / fault latch) *is* forwarded — the epoch is
+//! a property of the underlying transport, and the abandonment-aware
+//! rendezvous in the inner runtime already tolerates exited ranks.
+
+use crate::{CommError, CommTuning, Communicator, Payload};
+use std::time::Duration;
+
+/// View of an inner communicator restricted to a sorted set of surviving
+/// global ranks, renumbered `0..len`.
+pub struct SubsetComm<'a> {
+    inner: &'a dyn Communicator,
+    /// Sorted global ranks of the survivors; index = subset rank.
+    ranks: Vec<usize>,
+    /// This rank's subset rank (index into `ranks`).
+    me: usize,
+}
+
+impl<'a> SubsetComm<'a> {
+    /// Restrict `inner` to `ranks` (deduplicated and sorted internally).
+    ///
+    /// Returns `None` when the calling rank is not in `ranks` — the
+    /// caller was voted out and must exit instead of communicating.
+    pub fn new(inner: &'a dyn Communicator, mut ranks: Vec<usize>) -> Option<Self> {
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert!(
+            ranks.iter().all(|&r| r < inner.size()),
+            "subset rank out of range for inner communicator"
+        );
+        let me = ranks.iter().position(|&r| r == inner.rank())?;
+        Some(Self { inner, ranks, me })
+    }
+
+    /// The sorted global ranks this subset spans (index = subset rank).
+    pub fn global_ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &'a dyn Communicator {
+        self.inner
+    }
+}
+
+impl Communicator for SubsetComm<'_> {
+    fn rank(&self) -> usize {
+        self.me
+    }
+
+    fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    fn send(&self, dest: usize, tag: u64, payload: Payload) {
+        self.inner.send(self.ranks[dest], tag, payload)
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        self.inner.recv(self.ranks[src], tag)
+    }
+
+    fn recv_deadline(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.inner.recv_deadline(self.ranks[src], tag, timeout)
+    }
+
+    fn send_best_effort(&self, dest: usize, tag: u64, payload: Payload) {
+        self.inner.send_best_effort(self.ranks[dest], tag, payload)
+    }
+
+    fn probe_recv(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        self.inner.probe_recv(self.ranks[src], tag, timeout)
+    }
+
+    fn wtime(&self) -> f64 {
+        self.inner.wtime()
+    }
+
+    fn tuning(&self) -> CommTuning {
+        self.inner.tuning()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn poison(&self, reason: &CommError) {
+        self.inner.poison(reason)
+    }
+
+    fn poisoned(&self) -> Option<CommError> {
+        self.inner.poisoned()
+    }
+
+    fn set_fault(&self, e: CommError) {
+        self.inner.set_fault(e)
+    }
+
+    fn take_fault(&self) -> Option<CommError> {
+        self.inner.take_fault()
+    }
+
+    fn recover_epoch(&self) {
+        self.inner.recover_epoch()
+    }
+
+    fn pending_highwater(&self) -> usize {
+        self.inner.pending_highwater()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allreduce_scalar, run_on_ranks};
+
+    #[test]
+    fn renumbers_and_translates_endpoints() {
+        // Ranks {0, 2, 3} of a 4-rank world form a 3-rank subset.
+        let out = run_on_ranks(4, |c| {
+            if c.rank() == 1 {
+                return None;
+            }
+            let sub = SubsetComm::new(&c, vec![0, 2, 3]).expect("member");
+            assert_eq!(sub.size(), 3);
+            let peer = (sub.rank() + 1) % sub.size();
+            sub.send(peer, 9, Payload::U64(vec![sub.rank() as u64]));
+            let from = (sub.rank() + sub.size() - 1) % sub.size();
+            let got = sub.recv(from, 9).into_u64()[0];
+            Some((sub.rank(), got))
+        });
+        assert_eq!(out[0], Some((0, 2)));
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], Some((1, 0)));
+        assert_eq!(out[3], Some((2, 1)));
+    }
+
+    #[test]
+    fn collectives_span_only_the_subset() {
+        let out = run_on_ranks(4, |c| {
+            if c.rank() == 2 {
+                return -1.0;
+            }
+            let sub = SubsetComm::new(&c, vec![0, 1, 3]).expect("member");
+            let s = allreduce_scalar(&sub, c.rank() as f64);
+            sub.barrier();
+            s
+        });
+        // 0 + 1 + 3 — rank 2 contributes nothing.
+        assert_eq!(out, vec![4.0, 4.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn non_member_gets_none() {
+        let out = run_on_ranks(2, |c| SubsetComm::new(&c, vec![1]).is_some());
+        assert_eq!(out, vec![false, true]);
+    }
+}

@@ -252,6 +252,25 @@ impl Communicator for ThreadComm {
         }
     }
 
+    fn send_best_effort(&self, dest: usize, tag: u64, payload: Payload) {
+        if dest == self.rank {
+            let _ = self.buffer_pending(self.rank, tag, payload);
+            return;
+        }
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            // ordering: acquire pairs with the AcqRel epoch bump so a send
+            // after recovery is stamped with the new epoch.
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            payload,
+        };
+        // A closed endpoint means the peer already exited — exactly the
+        // condition the shrink probe exists to detect. Swallow it; the
+        // missing reply is the answer.
+        let _ = self.senders[dest].send(msg);
+    }
+
     fn recv(&self, src: usize, tag: u64) -> Payload {
         // Legacy deadline-less interface for setup paths and tests: a
         // generous budget, then a panic — never an unbounded hang.
@@ -296,6 +315,49 @@ impl Communicator for ThreadComm {
                     if msg.epoch != self.shared.epoch.load(Ordering::Acquire) {
                         // A message from an aborted epoch: discard so it
                         // cannot desynchronize the new epoch's streams.
+                        // ordering: relaxed — diagnostics-only counter.
+                        self.shared.stale_discarded.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if msg.src == src && msg.tag == tag {
+                        return Ok(msg.payload);
+                    }
+                    self.buffer_pending(msg.src, msg.tag, msg.payload)?;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankUnreachable { rank: src });
+                }
+            }
+        }
+    }
+
+    fn probe_recv(&self, src: usize, tag: u64, timeout: Duration) -> Result<Payload, CommError> {
+        // Out-of-band receive for the shrink protocol: identical matching
+        // to `recv_deadline`, but WITHOUT the poison fast-fail. The
+        // survivor vote deliberately runs while the epoch is still
+        // poisoned — the shrink sentinel is what summons every rank to
+        // the protocol — so a probe must keep listening where an
+        // ordinary receive would abort instantly.
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.pop_pending(src, tag) {
+                return Ok(p);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    src,
+                    tag,
+                    waited: timeout,
+                    retries: 0,
+                });
+            }
+            let slice = (deadline - now).min(self.tuning.poll);
+            match self.inbox.recv_timeout(slice) {
+                Ok(msg) => {
+                    // ordering: acquire pairs with the AcqRel epoch bump.
+                    if msg.epoch != self.shared.epoch.load(Ordering::Acquire) {
                         // ordering: relaxed — diagnostics-only counter.
                         self.shared.stale_discarded.fetch_add(1, Ordering::Relaxed);
                         continue;

@@ -24,16 +24,32 @@
 //!   (`chk_<istep>.bpl`) and restores from the newest one that passes
 //!   verification, escalating backwards through the survivors.
 //!
-//! The pressure solution-projection space is deliberately *not* stored
-//! (it is a pure accelerator and rebuilds within a few steps), so a
-//! restarted run reproduces the original trajectory to solver tolerance,
-//! not bitwise. Restores clear it via [`Simulation::reset_projection`] —
-//! essential after a rollback, where the stale basis belongs to the
-//! diverged trajectory.
+//! Checkpoints are **topology-independent**: every field is stored in
+//! *global element order* — one shared file per generation, independent of
+//! how elements were distributed across ranks at write time. A run
+//! checkpointed on N ranks restores on M ranks for any M: each rank reads
+//! the shared file and extracts exactly the element blocks it owns. The
+//! write is a collective — every rank ships its element blocks to rank 0
+//! (bit-preserving point-to-point, not a floating-point reduction), which
+//! assembles the global fields and performs the atomic write; a trailing
+//! barrier guarantees the generation is visible everywhere before any
+//! rank moves on. A `__manifest` variable records the mesh content hash,
+//! global element count and polynomial order, so restoring against the
+//! wrong discretization fails with the typed
+//! [`CheckpointError::LayoutMismatch`] instead of scrambling fields.
+//!
+//! The pressure solution-projection space *is* stored (as global fields,
+//! like everything else): together with the canonical-reduction contract
+//! this makes a restart bitwise identical to the uninterrupted run on the
+//! serial path — the elastic-restart suite relies on it. If the stored
+//! space does not fit the restoring configuration it is dropped and
+//! rebuilt, which only costs a few solves of warm-up.
 
 use crate::fields::FlowState;
 use crate::sim::Simulation;
+use rbx_comm::{CommError, Payload};
 use rbx_io::{read_bpl, write_bpl_atomic, Crc64, StepData, VarData, Variable};
+use rbx_mesh::{Curve, HexMesh};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -41,8 +57,17 @@ use std::path::{Path, PathBuf};
 const CRC_VAR: &str = "__crc64";
 /// Pseudo-entry in the table covering the step header (step index + time).
 const CRC_HEADER: &str = "__header";
+/// Name of the layout manifest variable.
+const MANIFEST_VAR: &str = "__manifest";
+/// Checkpoint schema version (bumped when the variable layout changes).
+const MANIFEST_VERSION: u32 = 2;
 /// Largest lag depth / dt-history length we accept as sane metadata.
 const MAX_LAG_DEPTH: usize = 8;
+/// Largest projection-space size we accept as sane metadata.
+const MAX_PROJ_VECS: usize = 128;
+/// Message tag for the checkpoint gather (outside the gather-scatter and
+/// collective tag namespaces).
+const CHK_TAG: u64 = 0x43484b;
 
 /// Why a checkpoint could not be written or restored.
 #[derive(Debug)]
@@ -120,6 +145,21 @@ pub enum CheckpointError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// The checkpoint's manifest does not match the restoring
+    /// simulation's discretization — wrong mesh, element count or
+    /// polynomial order. Rank *count* is deliberately not part of the
+    /// manifest: checkpoints are topology-independent.
+    LayoutMismatch {
+        /// Checkpoint path.
+        path: PathBuf,
+        /// Which manifest field disagrees ("mesh_hash", "nelem_global",
+        /// "order" or "version").
+        field: &'static str,
+        /// Value the restoring simulation requires.
+        expected: u64,
+        /// Value recorded in the checkpoint.
+        found: u64,
+    },
     /// Every candidate generation in a [`CheckpointSet`] failed to
     /// restore.
     NoUsableCheckpoint {
@@ -168,6 +208,11 @@ impl fmt::Display for CheckpointError {
             CheckpointError::InvalidMetadata { path, detail } => {
                 write!(f, "{}: invalid checkpoint metadata: {detail}", path.display())
             }
+            CheckpointError::LayoutMismatch { path, field, expected, found } => write!(
+                f,
+                "{}: layout mismatch on {field}: checkpoint has {found:#x}, this simulation needs {expected:#x}",
+                path.display()
+            ),
             CheckpointError::NoUsableCheckpoint { dir, tried } => write!(
                 f,
                 "no usable checkpoint in {} ({tried} generation(s) tried)",
@@ -184,10 +229,6 @@ impl std::error::Error for CheckpointError {
             _ => None,
         }
     }
-}
-
-fn var(name: &str, data: &[f64]) -> Variable {
-    Variable::f64(name, vec![data.len() as u64], data.to_vec())
 }
 
 /// CRC-64 of one variable: shape dims (LE) then payload bytes, so a
@@ -350,68 +391,343 @@ fn take_count(path: &Path, value: f64, what: &str, max: usize) -> Result<usize, 
     Ok(value as usize)
 }
 
-/// Write a checkpoint of `sim` (one rank's state) to `path`, atomically
-/// and with an embedded integrity table.
-pub fn write_checkpoint(sim: &Simulation<'_>, path: &Path) -> Result<(), CheckpointError> {
-    let s = &sim.state;
-    let mut vars = vec![
-        var("u0", &s.u[0]),
-        var("u1", &s.u[1]),
-        var("u2", &s.u[2]),
-        var("p", &s.p),
-        var("t", &s.t),
-        Variable::f64("meta", vec![2], vec![s.time, s.istep as f64]),
-        Variable::f64(
-            "lag_depths",
-            vec![3],
-            vec![
-                s.u_lag.len() as f64,
-                s.f_lag.len() as f64,
-                s.t_lag.len() as f64,
-            ],
-        ),
-        Variable::f64("dt_hist", vec![s.dt_hist.len() as u64], s.dt_hist.clone()),
+/// CRC-64 over the mesh *content* — vertex coordinates, connectivity,
+/// boundary tags and curvature descriptors — in a canonical order, so two
+/// structurally identical meshes hash equal regardless of how they were
+/// built. This is the layout fingerprint stored in the manifest.
+pub fn mesh_content_hash(mesh: &HexMesh) -> u64 {
+    let mut c = Crc64::new();
+    c.update(&(mesh.num_vertices() as u64).to_le_bytes());
+    c.update(&(mesh.num_elements() as u64).to_le_bytes());
+    for v in &mesh.vertices {
+        for x in v {
+            c.update(&x.to_le_bytes());
+        }
+    }
+    for e in &mesh.elems {
+        for &v in e {
+            c.update(&(v as u64).to_le_bytes());
+        }
+    }
+    for tags in &mesh.face_tags {
+        for t in tags {
+            c.update(&[*t as u8]);
+        }
+    }
+    // HashMap iteration order is arbitrary: hash curves sorted by key.
+    let mut curves: Vec<_> = mesh.curves.iter().collect();
+    curves.sort_by_key(|&(&key, _)| key);
+    for (&(e, f), cur) in curves {
+        c.update(&(e as u64).to_le_bytes());
+        c.update(&(f as u64).to_le_bytes());
+        match cur {
+            Curve::CylinderSide { radius } => {
+                c.update(&[1]);
+                c.update(&radius.to_le_bytes());
+            }
+        }
+    }
+    c.finish()
+}
+
+/// The manifest payload: schema version, mesh fingerprint, global element
+/// count and polynomial order. Byte layout (LE): `version u32, mesh_hash
+/// u64, nelem_global u64, order u32`.
+fn manifest_var(mesh_hash: u64, nelem_global: usize, order: usize) -> Variable {
+    let mut b = Vec::with_capacity(24);
+    b.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    b.extend_from_slice(&mesh_hash.to_le_bytes());
+    b.extend_from_slice(&(nelem_global as u64).to_le_bytes());
+    b.extend_from_slice(&(order as u32).to_le_bytes());
+    let len = b.len() as u64;
+    Variable::bytes(MANIFEST_VAR, vec![len], b)
+}
+
+/// Parse and validate the manifest against the restoring simulation's
+/// discretization.
+fn check_manifest(
+    path: &Path,
+    step: &StepData,
+    mesh_hash: u64,
+    nelem_global: usize,
+    order: usize,
+) -> Result<(), CheckpointError> {
+    let v = step
+        .var(MANIFEST_VAR)
+        .ok_or_else(|| CheckpointError::MissingVariable {
+            path: path.to_path_buf(),
+            name: MANIFEST_VAR.to_string(),
+        })?;
+    let b = match &v.data {
+        VarData::Bytes(b) if b.len() == 24 => b.as_slice(),
+        VarData::Bytes(b) => {
+            return Err(CheckpointError::InvalidMetadata {
+                path: path.to_path_buf(),
+                detail: format!("manifest has {} bytes, expected 24", b.len()),
+            })
+        }
+        _ => {
+            return Err(CheckpointError::WrongType {
+                path: path.to_path_buf(),
+                name: MANIFEST_VAR.to_string(),
+            })
+        }
+    };
+    // audit:allow(no-panic): try_into on a length-4 slice is infallible; offsets are bounds-checked against the manifest length above
+    let u32_at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+    // audit:allow(no-panic): try_into on a length-8 slice is infallible; offsets are bounds-checked against the manifest length above
+    let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+    let mismatch = |field: &'static str, expected: u64, found: u64| {
+        Err(CheckpointError::LayoutMismatch {
+            path: path.to_path_buf(),
+            field,
+            expected,
+            found,
+        })
+    };
+    if u32_at(0) != MANIFEST_VERSION {
+        return mismatch("version", MANIFEST_VERSION as u64, u32_at(0) as u64);
+    }
+    if u64_at(4) != mesh_hash {
+        return mismatch("mesh_hash", mesh_hash, u64_at(4));
+    }
+    if u64_at(12) != nelem_global as u64 {
+        return mismatch("nelem_global", nelem_global as u64, u64_at(12));
+    }
+    if u32_at(20) as usize != order {
+        return mismatch("order", order as u64, u32_at(20) as u64);
+    }
+    Ok(())
+}
+
+/// The per-rank field inventory in the fixed global serialization order.
+/// Every rank computes the same list structure (depths and the projection
+/// count evolve collectively), so the packed gather needs no per-field
+/// framing.
+fn local_field_list<'a>(
+    s: &'a FlowState,
+    basis: &'a [Vec<f64>],
+    images: &'a [Vec<f64>],
+) -> Vec<(String, &'a [f64])> {
+    let mut out: Vec<(String, &[f64])> = vec![
+        ("u0".to_string(), &s.u[0]),
+        ("u1".to_string(), &s.u[1]),
+        ("u2".to_string(), &s.u[2]),
+        ("p".to_string(), &s.p),
+        ("t".to_string(), &s.t),
     ];
     for (i, ul) in s.u_lag.iter().enumerate() {
         for d in 0..3 {
-            vars.push(var(&format!("u_lag{i}_{d}"), &ul[d]));
+            out.push((format!("u_lag{i}_{d}"), &ul[d][..]));
         }
     }
     for (i, tl) in s.t_lag.iter().enumerate() {
-        vars.push(var(&format!("t_lag{i}"), tl));
+        out.push((format!("t_lag{i}"), &tl[..]));
     }
     for (i, fl) in s.f_lag.iter().enumerate() {
         for d in 0..3 {
-            vars.push(var(&format!("f_lag{i}_{d}"), &fl[d]));
+            out.push((format!("f_lag{i}_{d}"), &fl[d][..]));
         }
     }
     for (i, ftl) in s.ft_lag.iter().enumerate() {
-        vars.push(var(&format!("ft_lag{i}"), ftl));
+        out.push((format!("ft_lag{i}"), &ftl[..]));
     }
-    vars.push(integrity_var(s.istep as u64, s.time, &vars));
-    write_bpl_atomic(
-        path,
-        &[StepData {
-            step: s.istep as u64,
-            time: s.time,
-            vars,
-        }],
-    )
-    .map_err(|source| CheckpointError::Io {
-        path: path.to_path_buf(),
-        source,
-    })
+    for (i, bv) in basis.iter().enumerate() {
+        out.push((format!("proj_basis{i}"), &bv[..]));
+    }
+    for (i, iv) in images.iter().enumerate() {
+        out.push((format!("proj_image{i}"), &iv[..]));
+    }
+    out
 }
 
-/// Restore a checkpoint written by [`write_checkpoint`] into `sim` (which
-/// must have been built with the same mesh/partition/order).
+/// Copy per-element blocks of `local` into their global slots.
+fn scatter_elems(global: &mut [f64], local: &[f64], elems: &[usize], n_per: usize) {
+    for (le, &ge) in elems.iter().enumerate() {
+        global[ge * n_per..(ge + 1) * n_per].copy_from_slice(&local[le * n_per..(le + 1) * n_per]);
+    }
+}
+
+/// Extract this rank's element blocks from a global field.
+fn extract_elems(global: &[f64], elems: &[usize], n_per: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(elems.len() * n_per);
+    for &ge in elems {
+        out.extend_from_slice(&global[ge * n_per..(ge + 1) * n_per]);
+    }
+    out
+}
+
+/// Write a checkpoint of the *global* simulation state to `path`.
 ///
-/// The checkpoint is fully verified — integrity checksums, variable
-/// presence/type/length, finite payloads, metadata consistency against
-/// the configured time order — and the new state is assembled off to the
-/// side before being committed, so on *any* error `sim.state` is exactly
-/// what it was before the call. On success the pressure projection space
-/// is cleared (it belongs to the trajectory being abandoned).
+/// This is a collective: every rank ships its element blocks to rank 0
+/// over bit-preserving point-to-point messages (a floating-point
+/// reduction would canonicalize `-0.0` and break bitwise restarts), rank
+/// 0 assembles the fields in global element order and writes atomically
+/// with the embedded integrity table, and a trailing barrier holds all
+/// ranks until the generation is durable. The file carries no trace of
+/// the writing rank count.
+pub fn write_checkpoint(sim: &Simulation<'_>, path: &Path) -> Result<(), CheckpointError> {
+    let comm = sim.comm;
+    let io_err = |detail: String| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source: std::io::Error::other(detail),
+    };
+    let n_per = sim.elem_layout.n_per;
+    let nelem_global = sim.elem_layout.nelem_global;
+    let (basis, images) = sim.projection_state();
+    let s = &sim.state;
+    let locals = local_field_list(s, basis, images);
+
+    let result = if comm.size() > 1 && comm.rank() != 0 {
+        let elems: Vec<u64> = sim.my_elems.iter().map(|&e| e as u64).collect();
+        comm.send(0, CHK_TAG, Payload::U64(elems));
+        let mut packed = Vec::with_capacity(locals.len() * sim.my_elems.len() * n_per);
+        for (_, f) in &locals {
+            packed.extend_from_slice(f);
+        }
+        comm.send(0, CHK_TAG, Payload::F64(packed));
+        Ok(())
+    } else {
+        let nglob = nelem_global * n_per;
+        let mut globals: Vec<(String, Vec<f64>)> = locals
+            .iter()
+            .map(|(name, f)| {
+                let mut g = vec![0.0; nglob];
+                scatter_elems(&mut g, f, &sim.my_elems, n_per);
+                (name.clone(), g)
+            })
+            .collect();
+        let timeout = comm.tuning().recv_timeout;
+        let mut gather_err: Option<CommError> = None;
+        'ranks: for r in 1..comm.size() {
+            let elems = match comm
+                .recv_deadline(r, CHK_TAG, timeout)
+                .and_then(Payload::try_into_u64)
+            {
+                Ok(v) => v,
+                Err(e) => {
+                    gather_err = Some(e);
+                    break 'ranks;
+                }
+            };
+            let packed = match comm
+                .recv_deadline(r, CHK_TAG, timeout)
+                .and_then(Payload::try_into_f64)
+            {
+                Ok(v) => v,
+                Err(e) => {
+                    gather_err = Some(e);
+                    break 'ranks;
+                }
+            };
+            let nr = elems.len() * n_per;
+            if packed.len() != globals.len() * nr
+                || elems.iter().any(|&ge| ge as usize >= nelem_global)
+            {
+                gather_err = Some(CommError::Protocol {
+                    detail: format!(
+                        "checkpoint gather from rank {r}: {} values for {} elements ({} fields expected)",
+                        packed.len(),
+                        elems.len(),
+                        globals.len()
+                    ),
+                });
+                break 'ranks;
+            }
+            let relems: Vec<usize> = elems.iter().map(|&ge| ge as usize).collect();
+            for (fi, (_, g)) in globals.iter_mut().enumerate() {
+                scatter_elems(g, &packed[fi * nr..(fi + 1) * nr], &relems, n_per);
+            }
+        }
+        match gather_err {
+            Some(e) => {
+                // Unwind the peers too: they are headed for the barrier.
+                comm.poison(&e);
+                comm.set_fault(e.clone());
+                Err(io_err(format!("checkpoint gather failed: {e}")))
+            }
+            None => {
+                let mut globals = globals.into_iter();
+                let mut vars = Vec::new();
+                // u0..t first (the on-disk offset of u0 is load-bearing
+                // for corruption tests), then scalar metadata, then the
+                // remaining global fields.
+                for _ in 0..5 {
+                    // audit:allow(no-panic): the inventory is built by global_field_inventory, whose first five entries are always u0..u2, p, t
+                    let (name, g) = globals.next().expect("field inventory starts with u0..t");
+                    vars.push(Variable::f64(&name, vec![g.len() as u64], g));
+                }
+                vars.push(Variable::f64("meta", vec![2], vec![s.time, s.istep as f64]));
+                vars.push(Variable::f64(
+                    "lag_depths",
+                    vec![3],
+                    vec![
+                        s.u_lag.len() as f64,
+                        s.f_lag.len() as f64,
+                        s.t_lag.len() as f64,
+                    ],
+                ));
+                vars.push(Variable::f64(
+                    "dt_hist",
+                    vec![s.dt_hist.len() as u64],
+                    s.dt_hist.clone(),
+                ));
+                vars.push(Variable::f64(
+                    "proj_meta",
+                    vec![1],
+                    vec![basis.len() as f64],
+                ));
+                for (name, g) in globals {
+                    vars.push(Variable::f64(&name, vec![g.len() as u64], g));
+                }
+                vars.push(manifest_var(
+                    mesh_content_hash(sim.mesh),
+                    nelem_global,
+                    sim.cfg.order,
+                ));
+                vars.push(integrity_var(s.istep as u64, s.time, &vars));
+                write_bpl_atomic(
+                    path,
+                    &[StepData {
+                        step: s.istep as u64,
+                        time: s.time,
+                        vars,
+                    }],
+                )
+                .map_err(|source| CheckpointError::Io {
+                    path: path.to_path_buf(),
+                    source,
+                })
+            }
+        }
+    };
+    // No rank may proceed (and possibly try to restore) before the
+    // generation is visible — or the failure is known — everywhere.
+    if comm.size() > 1 {
+        if let Err(e) = comm.try_barrier() {
+            comm.set_fault(e.clone());
+            return Err(io_err(format!("checkpoint barrier failed: {e}")));
+        }
+    }
+    result
+}
+
+/// Restore a checkpoint written by [`write_checkpoint`] into `sim`.
+///
+/// The mesh and polynomial order must match the checkpoint (enforced by
+/// the manifest), but the rank count and partition are free: each rank
+/// reads the shared file locally — no communication — and extracts
+/// exactly the element blocks it owns, so an N-rank checkpoint restores
+/// on M ranks.
+///
+/// The checkpoint is fully verified — integrity checksums, the layout
+/// manifest, variable presence/type/length, finite payloads, metadata
+/// consistency against the configured time order — and the new state is
+/// assembled off to the side before being committed, so on *any* error
+/// `sim.state` is exactly what it was before the call. The pressure
+/// projection space is restored too (it is part of the bitwise restart
+/// contract); when the stored space doesn't fit the restoring
+/// configuration it is cleared and rebuilds over a few solves.
 pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), CheckpointError> {
     let steps = read_bpl(path).map_err(|source| CheckpointError::Io {
         path: path.to_path_buf(),
@@ -426,14 +742,27 @@ pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), Chec
     let step = &steps[0];
     verify_integrity(path, step)?;
 
+    let n_per = sim.elem_layout.n_per;
+    let nelem_global = sim.elem_layout.nelem_global;
+    let nglob = nelem_global * n_per;
+    check_manifest(
+        path,
+        step,
+        mesh_content_hash(sim.mesh),
+        nelem_global,
+        sim.cfg.order,
+    )?;
     let n = sim.n_local();
     let max_order = sim.cfg.time_order;
     let mut new = FlowState::new(n);
+    // Fields are stored globally; pull out this rank's element blocks.
+    let my = sim.my_elems.clone();
+    let local = |g: Vec<f64>| extract_elems(&g, &my, n_per);
     for d in 0..3 {
-        new.u[d] = take(path, step, &format!("u{d}"), n)?;
+        new.u[d] = local(take(path, step, &format!("u{d}"), nglob)?);
     }
-    new.p = take(path, step, "p", n)?;
-    new.t = take(path, step, "t", n)?;
+    new.p = local(take(path, step, "p", nglob)?);
+    new.t = local(take(path, step, "t", nglob)?);
     let meta = take(path, step, "meta", 2)?;
     new.time = meta[0];
     new.istep = take_count(path, meta[1], "step counter", u32::MAX as usize)?;
@@ -458,27 +787,38 @@ pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), Chec
     new.u_lag = (0..du)
         .map(|i| {
             Ok([
-                take(path, step, &format!("u_lag{i}_0"), n)?,
-                take(path, step, &format!("u_lag{i}_1"), n)?,
-                take(path, step, &format!("u_lag{i}_2"), n)?,
+                local(take(path, step, &format!("u_lag{i}_0"), nglob)?),
+                local(take(path, step, &format!("u_lag{i}_1"), nglob)?),
+                local(take(path, step, &format!("u_lag{i}_2"), nglob)?),
             ])
         })
         .collect::<Result<_, CheckpointError>>()?;
     new.t_lag = (0..dt_)
-        .map(|i| take(path, step, &format!("t_lag{i}"), n))
+        .map(|i| take(path, step, &format!("t_lag{i}"), nglob).map(&local))
         .collect::<Result<_, CheckpointError>>()?;
     new.f_lag = (0..df)
         .map(|i| {
             Ok([
-                take(path, step, &format!("f_lag{i}_0"), n)?,
-                take(path, step, &format!("f_lag{i}_1"), n)?,
-                take(path, step, &format!("f_lag{i}_2"), n)?,
+                local(take(path, step, &format!("f_lag{i}_0"), nglob)?),
+                local(take(path, step, &format!("f_lag{i}_1"), nglob)?),
+                local(take(path, step, &format!("f_lag{i}_2"), nglob)?),
             ])
         })
         .collect::<Result<_, CheckpointError>>()?;
     new.ft_lag = (0..df)
-        .map(|i| take(path, step, &format!("ft_lag{i}"), n))
+        .map(|i| take(path, step, &format!("ft_lag{i}"), nglob).map(&local))
         .collect::<Result<_, CheckpointError>>()?;
+
+    // Projection space: stored globally like everything else; restored so
+    // a mid-run restart replays the original Krylov trajectory bitwise.
+    let proj_meta = take(path, step, "proj_meta", 1)?;
+    let nproj = take_count(path, proj_meta[0], "projection count", MAX_PROJ_VECS)?;
+    let mut proj_basis = Vec::with_capacity(nproj);
+    let mut proj_images = Vec::with_capacity(nproj);
+    for i in 0..nproj {
+        proj_basis.push(local(take(path, step, &format!("proj_basis{i}"), nglob)?));
+        proj_images.push(local(take(path, step, &format!("proj_image{i}"), nglob)?));
+    }
 
     let dt_var = step
         .var("dt_hist")
@@ -512,10 +852,14 @@ pub fn read_checkpoint(sim: &mut Simulation<'_>, path: &Path) -> Result<(), Chec
     }
     new.dt_hist = dt_hist;
 
-    // Everything verified: commit in one move and drop the stale
-    // projection basis.
+    // Everything verified: commit in one move. The projection space is
+    // part of the restart contract; if the stored space doesn't fit this
+    // configuration (e.g. a smaller `p_projection`), fall back to an
+    // empty space that rebuilds over the next few solves.
     sim.state = new;
-    sim.reset_projection();
+    if !sim.restore_projection(proj_basis, proj_images) {
+        sim.reset_projection();
+    }
     Ok(())
 }
 
@@ -578,6 +922,9 @@ impl CheckpointSet {
 
     /// Checkpoint `sim` as a new generation, then prune old generations
     /// beyond `keep`. Returns the path written.
+    ///
+    /// Collective (via [`write_checkpoint`]): all ranks call this with the
+    /// *same shared directory*; rank 0 performs the write and the pruning.
     pub fn write(&self, sim: &Simulation<'_>) -> Result<PathBuf, CheckpointError> {
         std::fs::create_dir_all(&self.dir).map_err(|source| CheckpointError::Io {
             path: self.dir.clone(),
@@ -586,9 +933,12 @@ impl CheckpointSet {
         let path = self.path_for_step(sim.state.istep);
         write_checkpoint(sim, &path)?;
         // Pruning is best-effort: a failed unlink must not fail the
-        // checkpoint that just landed safely.
-        for old in self.generations().into_iter().skip(self.keep) {
-            let _ = std::fs::remove_file(old);
+        // checkpoint that just landed safely. Only the writing rank
+        // prunes, so readers never race a disappearing generation.
+        if sim.comm.rank() == 0 {
+            for old in self.generations().into_iter().skip(self.keep) {
+                let _ = std::fs::remove_file(old);
+            }
         }
         Ok(path)
     }
@@ -675,18 +1025,76 @@ mod tests {
             assert!(b.step().converged);
         }
 
-        // Trajectories agree to solver tolerance (the projection space is
-        // rebuilt, so not bitwise).
-        let mut max_d = 0.0f64;
+        // Trajectories agree *bitwise*: the checkpoint captures the full
+        // solver state including the pressure-projection space, so the
+        // restarted run replays the exact Krylov trajectory.
         for (x, y) in a.state.t.iter().zip(&b.state.t) {
-            max_d = max_d.max((x - y).abs());
+            assert_eq!(x.to_bits(), y.to_bits(), "restart diverged (t)");
         }
         for d in 0..3 {
             for (x, y) in a.state.u[d].iter().zip(&b.state.u[d]) {
-                max_d = max_d.max((x - y).abs());
+                assert_eq!(x.to_bits(), y.to_bits(), "restart diverged (u{d})");
             }
         }
-        assert!(max_d < 1e-7, "restart diverged: {max_d:.3e}");
+    }
+
+    #[test]
+    fn wrong_mesh_is_layout_mismatch() {
+        // Same element count, different geometry: only the manifest's mesh
+        // fingerprint can tell these apart.
+        let mesh_a = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let mesh_b = box_mesh(2, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let path = tmpdir("layoutmesh").join("chk.bpl");
+        let mut a = Simulation::new(cfg(), &mesh_a, &part, vec![0, 1], &comm);
+        a.init_rbc();
+        a.step();
+        write_checkpoint(&a, &path).unwrap();
+        let mut b = Simulation::new(cfg(), &mesh_b, &part, vec![0, 1], &comm);
+        b.init_rbc();
+        let t0 = b.state.t.clone();
+        let err = read_checkpoint(&mut b, &path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::LayoutMismatch {
+                    field: "mesh_hash",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("layout mismatch"), "{err}");
+        assert_state_untouched(&b, &t0, 0);
+    }
+
+    #[test]
+    fn wrong_order_is_layout_mismatch() {
+        let mesh = box_mesh(1, 1, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let comm = SingleComm::new();
+        let part = vec![0; 2];
+        let path = tmpdir("layoutorder").join("chk.bpl");
+        let mut a = Simulation::new(cfg(), &mesh, &part, vec![0, 1], &comm);
+        a.init_rbc();
+        a.step();
+        write_checkpoint(&a, &path).unwrap();
+        let cfg2 = SolverConfig { order: 2, ..cfg() };
+        let mut b = Simulation::new(cfg2, &mesh, &part, vec![0, 1], &comm);
+        b.init_rbc();
+        let err = read_checkpoint(&mut b, &path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::LayoutMismatch {
+                    field: "order",
+                    expected: 2,
+                    found: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -770,7 +1178,7 @@ mod tests {
         let t0 = sim.state.t.clone();
         let err = read_checkpoint(&mut sim, &path).unwrap_err();
         assert!(
-            matches!(err, CheckpointError::MissingVariable { ref name, .. } if name == "u0"),
+            matches!(err, CheckpointError::MissingVariable { ref name, .. } if name == MANIFEST_VAR),
             "{err}"
         );
         assert!(err.to_string().contains("missing"), "{err}");

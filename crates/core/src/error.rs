@@ -154,6 +154,19 @@ pub enum SimError {
         /// The final underlying failure.
         last: String,
     },
+    /// An invalid run configuration (rank count, partition shape, CLI).
+    Config {
+        /// What was wrong with it.
+        what: String,
+    },
+    /// This rank was voted out by the shrink protocol: the survivors
+    /// continue without it and it must exit cleanly.
+    Evicted {
+        /// Step the run had reached when the rank was declared dead.
+        istep: usize,
+        /// Surviving rank count.
+        survivors: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -170,6 +183,13 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "recovery exhausted after {retries} rollbacks; last error: {last}"
+                )
+            }
+            SimError::Config { what } => write!(f, "invalid configuration: {what}"),
+            SimError::Evicted { istep, survivors } => {
+                write!(
+                    f,
+                    "rank evicted at step {istep}; {survivors} survivors continue without it"
                 )
             }
         }

@@ -21,11 +21,13 @@ pub mod case;
 pub mod checkpoint;
 pub mod config;
 pub mod diffops;
+pub mod elastic;
 pub mod error;
 pub mod faultinject;
 pub mod fields;
 pub mod observables;
 pub mod recovery;
+pub mod repartition;
 pub mod resolution;
 pub mod sim;
 pub mod slice;
@@ -39,11 +41,13 @@ pub use checkpoint::{
 };
 pub use config::SolverConfig;
 pub use diffops::Dealias;
+pub use elastic::{agree_on_survivors, ElasticOutcome, ElasticReport, ElasticRunner};
 pub use error::{SimError, StepFault, StepPhase, StepVerdict};
 pub use faultinject::{FaultAction, FaultPlan};
 pub use fields::FlowState;
 pub use observables::Observables;
 pub use recovery::{RecoveryEvent, RecoveryPolicy, ResilientRunner, RunReport};
+pub use repartition::{plan_repartition, RepartitionPlan};
 pub use resolution::{ElementResolution, SpectralIndicator};
 pub use sim::Simulation;
 pub use stats::{RunStatistics, RunningMean, ZProfiles};

@@ -106,6 +106,19 @@ pub enum RecoveryEvent {
         /// The fresh communication epoch.
         epoch: u64,
     },
+    /// Permanent rank death survived: the remaining ranks agreed on a
+    /// shrink epoch, repartitioned the dead ranks' elements, and resumed
+    /// from the last verified checkpoint at the smaller width.
+    Shrink {
+        /// Rank count before the shrink.
+        from_ranks: usize,
+        /// Rank count after the shrink.
+        to_ranks: usize,
+        /// Global ranks declared dead, ascending.
+        dead: Vec<usize>,
+        /// Step the run resumes from.
+        istep: usize,
+    },
     /// State was rolled back and the time step reduced.
     RolledBack {
         /// Step the run had reached when it diverged.
@@ -133,6 +146,7 @@ impl RecoveryEvent {
             RecoveryEvent::Divergence { .. } => "divergence",
             RecoveryEvent::GenerationRejected { .. } => "generation_rejected",
             RecoveryEvent::CommRecovered { .. } => "comm_recovered",
+            RecoveryEvent::Shrink { .. } => "shrink",
             RecoveryEvent::RolledBack { .. } => "rolled_back",
         }
     }
@@ -145,7 +159,8 @@ impl RecoveryEvent {
             | RecoveryEvent::CheckpointWriteFailed { istep, .. }
             | RecoveryEvent::DegradedStep { istep, .. }
             | RecoveryEvent::Divergence { istep, .. }
-            | RecoveryEvent::CommRecovered { istep, .. } => Some(*istep),
+            | RecoveryEvent::CommRecovered { istep, .. }
+            | RecoveryEvent::Shrink { istep, .. } => Some(*istep),
             RecoveryEvent::RolledBack { from_step, .. } => Some(*from_step),
             RecoveryEvent::GenerationRejected { .. } => None,
         };
@@ -184,6 +199,17 @@ impl fmt::Display for RecoveryEvent {
                 write!(
                     f,
                     "comm fault ({kind}) healed: resuming from step {istep} in epoch {epoch}"
+                )
+            }
+            RecoveryEvent::Shrink {
+                from_ranks,
+                to_ranks,
+                dead,
+                istep,
+            } => {
+                write!(
+                    f,
+                    "shrink {from_ranks} → {to_ranks} ranks (dead: {dead:?}); resuming from step {istep}"
                 )
             }
             RecoveryEvent::RolledBack {
@@ -316,6 +342,19 @@ impl ResilientRunner {
                     }
                 }
                 Err(SimError::Diverged { istep, fault, .. }) => {
+                    // A peer has installed the shrink sentinel: the
+                    // elastic layer owns the epoch from here. Exit
+                    // immediately — recovering would tear the sentinel
+                    // down mid-summons, and rolling back would burn
+                    // budget on a fault that is not ours to heal.
+                    if let Some(e) = sim.comm.poisoned() {
+                        if crate::elastic::is_shrink_sentinel(&e) {
+                            return Err(SimError::RecoveryExhausted {
+                                retries: rollbacks,
+                                last: crate::elastic::SHRINK_REASON.to_string(),
+                            });
+                        }
+                    }
                     log_event(
                         sim,
                         &mut events,
@@ -444,6 +483,19 @@ impl ResilientRunner {
             let mut v = [sim.state.istep as f64, -(sim.state.istep as f64)];
             sim.comm.allreduce_min(&mut v);
             if sim.comm.take_fault().is_some() || !v[0].is_finite() || !v[1].is_finite() {
+                // The shrink sentinel takes precedence over healing: once
+                // a peer has summoned the survivor vote, recovering here
+                // would tear the sentinel down (or block in a rendezvous
+                // the voting peer will never join). Hand control to the
+                // elastic layer instead.
+                if let Some(e) = sim.comm.poisoned() {
+                    if crate::elastic::is_shrink_sentinel(&e) {
+                        return Err(SimError::RecoveryExhausted {
+                            retries: rollbacks,
+                            last: crate::elastic::SHRINK_REASON.to_string(),
+                        });
+                    }
+                }
                 // The alignment collective itself hit a fault (chaos can
                 // strike here too): heal the epoch and retry the round.
                 sim.comm.recover_epoch();

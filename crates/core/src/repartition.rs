@@ -1,0 +1,169 @@
+//! Restart repartitioner: rebalance a mesh over a *different* rank count.
+//!
+//! Checkpoints are topology-independent (per-element data keyed by global
+//! element id), so the only thing standing between an N-rank checkpoint
+//! and an M-rank continuation is a fresh partition and the rank-local
+//! structures derived from it. This module produces that partition — the
+//! same recursive coordinate bisection used at case setup, evaluated over
+//! the surviving (or requested) rank count — plus the bookkeeping the
+//! resilience and CLI layers report: how many elements changed owner and
+//! what the cost model predicts for a step at the new width.
+//!
+//! The canonical-reduction contract in `rbx-la`/`rbx-gs` makes the
+//! *physics* independent of the partition, so the plan here only affects
+//! performance, never bits.
+
+use crate::error::SimError;
+use rbx_mesh::partition::{part_elements, partition_rcb};
+use rbx_mesh::HexMesh;
+use rbx_perf::{lumi, CaseSize, CostModel, SolverMix};
+use rbx_telemetry::Telemetry;
+
+/// A partition of the mesh over a new rank count, with balance and churn
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct RepartitionPlan {
+    /// Rank count the plan targets.
+    pub nparts: usize,
+    /// Owner rank per global element id.
+    pub part: Vec<usize>,
+    /// Ascending global element ids per rank (index = rank).
+    pub elems: Vec<Vec<usize>>,
+    /// Elements whose owner changed vs. the previous partition (0 when no
+    /// previous partition was supplied).
+    pub moved_elements: usize,
+    /// Largest per-rank element count.
+    pub max_elems: usize,
+    /// Smallest per-rank element count.
+    pub min_elems: usize,
+    /// Cost-model estimate of seconds per step at `nparts` ranks
+    /// (LUMI-G calibration; relative numbers are what matter here).
+    pub predicted_step_seconds: f64,
+}
+
+impl RepartitionPlan {
+    /// Load imbalance `max/mean - 1` (0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.part.len() as f64 / self.nparts as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_elems as f64 / mean - 1.0
+        }
+    }
+}
+
+/// Build a load-balanced partition of `mesh` over `nparts` ranks.
+///
+/// `old_part` (owner per global element id at the previous width) feeds
+/// the `moved_elements` churn count; pass `None` on a cold start. When a
+/// telemetry handle is supplied the planning runs under the
+/// `repartition/plan` span and the churn lands on the
+/// `rbx_repartition_moved_elements` counter.
+pub fn plan_repartition(
+    mesh: &HexMesh,
+    order: usize,
+    nparts: usize,
+    old_part: Option<&[usize]>,
+    tel: Option<&Telemetry>,
+) -> Result<RepartitionPlan, SimError> {
+    let tel = tel.filter(|t| t.is_enabled());
+    let _span = tel.map(|t| t.span_abs("repartition/plan"));
+    let nelem = mesh.num_elements();
+    if nparts == 0 || nparts > nelem {
+        return Err(SimError::Config {
+            what: format!("cannot partition {nelem} elements over {nparts} ranks"),
+        });
+    }
+    let part = partition_rcb(mesh, nparts);
+    let elems = part_elements(&part, nparts);
+    let moved_elements = match old_part {
+        Some(old) => {
+            debug_assert_eq!(old.len(), part.len());
+            part.iter()
+                .zip(old.iter())
+                .filter(|(new, old)| new != old)
+                .count()
+        }
+        None => 0,
+    };
+    if let (Some(t), Some(_)) = (tel, old_part) {
+        t.counter_add("rbx_repartition_moved_elements", moved_elements as u64);
+    }
+    let max_elems = elems.iter().map(Vec::len).max().unwrap_or(0);
+    let min_elems = elems.iter().map(Vec::len).min().unwrap_or(0);
+    let model = CostModel::new(lumi(), CaseSize { nelem, order }, SolverMix::default());
+    let predicted_step_seconds = model.time_per_step(nparts).total();
+    Ok(RepartitionPlan {
+        nparts,
+        part,
+        elems,
+        moved_elements,
+        max_elems,
+        min_elems,
+        predicted_step_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_mesh::box_mesh;
+
+    #[test]
+    fn covers_every_element_exactly_once() {
+        let mesh = box_mesh(4, 3, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let plan = plan_repartition(&mesh, 7, 5, None, None).unwrap();
+        let mut seen = vec![0usize; mesh.num_elements()];
+        for (r, es) in plan.elems.iter().enumerate() {
+            for &e in es {
+                assert_eq!(plan.part[e], r);
+                seen[e] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        assert_eq!(plan.nparts, 5);
+    }
+
+    #[test]
+    fn balance_is_proportional() {
+        let mesh = box_mesh(4, 4, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        for nparts in [1, 2, 3, 4, 7] {
+            let plan = plan_repartition(&mesh, 7, nparts, None, None).unwrap();
+            let mean = mesh.num_elements() as f64 / nparts as f64;
+            assert!(
+                (plan.max_elems as f64) <= mean.ceil() + 1.0,
+                "{nparts} parts: max {} vs mean {mean}",
+                plan.max_elems
+            );
+            assert!(plan.min_elems >= 1);
+            assert!(plan.predicted_step_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_partition_moves_nothing() {
+        let mesh = box_mesh(4, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let a = plan_repartition(&mesh, 7, 4, None, None).unwrap();
+        let b = plan_repartition(&mesh, 7, 4, Some(&a.part), None).unwrap();
+        assert_eq!(b.moved_elements, 0);
+        assert_eq!(b.imbalance(), a.imbalance());
+    }
+
+    #[test]
+    fn shrink_counts_churn() {
+        let mesh = box_mesh(4, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+        let four = plan_repartition(&mesh, 7, 4, None, None).unwrap();
+        let two = plan_repartition(&mesh, 7, 2, Some(&four.part), None).unwrap();
+        // Going 4 → 2 must reassign at least the elements of the two
+        // retired parts.
+        assert!(two.moved_elements >= mesh.num_elements() / 2);
+    }
+
+    #[test]
+    fn zero_or_oversubscribed_ranks_is_a_config_error() {
+        let mesh = box_mesh(2, 1, 1, [0., 1.], [0., 1.], [0., 1.], false, false);
+        assert!(plan_repartition(&mesh, 7, 0, None, None).is_err());
+        assert!(plan_repartition(&mesh, 7, 3, None, None).is_err());
+    }
+}

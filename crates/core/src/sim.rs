@@ -31,7 +31,7 @@ use rbx_la::bc::{dirichlet_mask, set_on_tagged_faces};
 use rbx_la::helmholtz::{HelmholtzOp, HelmholtzScratch};
 use rbx_la::jacobi::{assembled_diagonal, jacobi_apply};
 use rbx_la::krylov::{fgmres, pcg, ResidualHistory, SolveStats};
-use rbx_la::ops::{hadamard, ortho_project_mean, DotProduct};
+use rbx_la::ops::{hadamard, ortho_project_mean_layout, DotProduct, ElemLayout};
 use rbx_la::{record_solve, CoarseGrid, ElementFdm, SchwarzMg, SolutionProjection, SolveHealth};
 use rbx_mesh::{BoundaryTag, GeomFactors, HexMesh};
 use rbx_telemetry::json::Value;
@@ -88,8 +88,11 @@ pub struct Simulation<'a> {
     pub gs: Arc<GatherScatter>,
     /// Node multiplicities.
     pub mult: Vec<f64>,
-    /// Globally consistent inner product.
+    /// Globally consistent inner product (canonical: the reduction bits
+    /// are independent of the rank count — elastic-restart contract).
     pub dp: DotProduct,
+    /// Element layout of the fine space (global ids, ascending).
+    pub elem_layout: Arc<ElemLayout>,
     /// Velocity Dirichlet mask.
     pub mask_v: Vec<f64>,
     /// Temperature Dirichlet mask.
@@ -146,7 +149,13 @@ impl<'a> Simulation<'a> {
         let geom = GeomFactors::new(&sub, p);
         let gs = Arc::new(GatherScatter::build(mesh, p, part, &my_elems, comm));
         let mult = gs.multiplicity(comm);
-        let dp = DotProduct::new(&mult);
+        let n1 = p + 1;
+        let elem_layout = Arc::new(ElemLayout::new(
+            n1 * n1 * n1,
+            my_elems.clone(),
+            mesh.num_elements(),
+        ));
+        let dp = DotProduct::with_layout(&mult, elem_layout.clone());
         let mask_v = dirichlet_mask(mesh, p, &my_elems, &VELOCITY_WALLS, &gs, comm);
         // Thermal Dirichlet set depends on the plate condition: a flux-
         // heated bottom plate has no temperature constraint there.
@@ -187,7 +196,7 @@ impl<'a> Simulation<'a> {
         let fdm = ElementFdm::new(&geom);
         let coarse =
             CoarseGrid::build_with_order(mesh, p, cfg.coarse_order, part, &my_elems, &[], comm);
-        let schwarz = SchwarzMg::new(
+        let mut schwarz = SchwarzMg::new(
             fdm,
             coarse,
             gs.clone(),
@@ -197,6 +206,7 @@ impl<'a> Simulation<'a> {
             1.0,
             0.0,
         );
+        schwarz.set_elem_layout(elem_layout.clone());
 
         let diag_a = assembled_diagonal(&geom, &gs, 1.0, 0.0, comm);
         let diag_b = assembled_diagonal(&geom, &gs, 0.0, 1.0, comm);
@@ -213,6 +223,7 @@ impl<'a> Simulation<'a> {
             gs,
             mult,
             dp,
+            elem_layout,
             mask_v,
             mask_t,
             mask_p,
@@ -266,6 +277,22 @@ impl<'a> Simulation<'a> {
         self.timers = PhaseTimers::with_telemetry(tel.clone(), barrier);
         self.schwarz.set_telemetry(tel);
         self.gs.set_telemetry(tel);
+    }
+
+    /// Pressure-projection recycling state (basis vectors and their images
+    /// under the pressure operator), exposed so checkpoints can capture it:
+    /// a restart that cold-starts the projection space takes a different
+    /// Krylov trajectory from the uninterrupted run and breaks bitwise
+    /// reproducibility.
+    pub fn projection_state(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
+        (self.p_proj.basis(), self.p_proj.images())
+    }
+
+    /// Restore the pressure-projection space from checkpointed data.
+    /// Returns `false` (leaving the space empty) when the shapes don't
+    /// match this simulation's local layout.
+    pub fn restore_projection(&mut self, basis: Vec<Vec<f64>>, images: Vec<Vec<f64>>) -> bool {
+        self.p_proj.restore(basis, images)
     }
 
     /// Change the time-step size; subsequent steps use variable-step
@@ -751,7 +778,7 @@ impl<'a> Simulation<'a> {
         // ⟨rhs, 1⟩ = 0 in the *unique-dof* inner product, so the weights
         // are the inverse multiplicities (mass weighting here would break
         // solvability).
-        ortho_project_mean(&mut rhs, self.dp.weights(), self.comm);
+        ortho_project_mean_layout(&mut rhs, self.dp.weights(), &self.elem_layout, self.comm);
 
         let op = HelmholtzOp {
             geom: &self.geom,
@@ -769,6 +796,7 @@ impl<'a> Simulation<'a> {
         let diag_a = &self.diag_a;
         let mask_p = &self.mask_p;
         let mass = &self.geom.mass;
+        let layout = &self.elem_layout;
         let pool = self.pool.as_ref();
         let tel = &self.tel;
 
@@ -791,7 +819,7 @@ impl<'a> Simulation<'a> {
                         schwarz.apply(r, z, mode, comm);
                     } else {
                         jacobi_apply(diag_a, mask_p, r, z);
-                        ortho_project_mean(z, mass, comm);
+                        ortho_project_mean_layout(z, mass, layout, comm);
                     }
                 },
                 |a, b| match pool {
@@ -827,7 +855,7 @@ impl<'a> Simulation<'a> {
             for i in 0..n {
                 p[i] = x0[i] + dx[i];
             }
-            ortho_project_mean(p, mass, comm);
+            ortho_project_mean_layout(p, mass, layout, comm);
             // Absorb the *full* solution, not just the correction: when the
             // space restarts (Fischer's policy clears it once full), the
             // first stored direction must carry the dominant pressure
@@ -847,7 +875,7 @@ impl<'a> Simulation<'a> {
             stats
         } else {
             let p = &mut self.state.p;
-            ortho_project_mean(p, mass, comm);
+            ortho_project_mean_layout(p, mass, layout, comm);
             let stats = fgmres(
                 |x, y| match pool {
                     Some(pool) => {
@@ -862,7 +890,7 @@ impl<'a> Simulation<'a> {
                     } else {
                         jacobi_apply(diag_a, mask_p, r, z);
                         // Jacobi on pure Neumann: deflate constants.
-                        ortho_project_mean(z, mass, comm);
+                        ortho_project_mean_layout(z, mass, layout, comm);
                     }
                 },
                 |a, b| match pool {
@@ -879,7 +907,7 @@ impl<'a> Simulation<'a> {
                 self.cfg.p_maxit,
                 self.cfg.p_restart,
             );
-            ortho_project_mean(p, mass, comm);
+            ortho_project_mean_layout(p, mass, layout, comm);
             stats
         }
     }

@@ -145,6 +145,23 @@ pub struct GatherScatter {
     group_ptr: Vec<u32>,
     /// Per neighbour rank: `(rank, group indices in shared-key order)`.
     shared: Vec<(usize, Vec<u32>)>,
+    /// Groups with remote members, in shared-key order.
+    shared_groups: Vec<u32>,
+    /// CSR offsets into `fold_kind`/`fold_idx`, one per shared group + 1.
+    /// Each shared group's entries enumerate *all* member instances of the
+    /// group — local and remote — in global `(element id, node)` order, so
+    /// the reduction folds identically on every rank count (the canonical
+    /// combine the elastic-restart contract requires).
+    fold_ptr: Vec<u32>,
+    /// Per fold entry: `u32::MAX` = local member, else neighbour slot.
+    fold_kind: Vec<u32>,
+    /// Per fold entry: local node index (local member) or offset into that
+    /// neighbour's incoming value buffer (remote member).
+    fold_idx: Vec<u32>,
+    /// Expected incoming value count per neighbour slot.
+    recv_counts: Vec<usize>,
+    /// Total member values sent to neighbours per apply.
+    send_values: usize,
     /// Communication tag for this operator's shared phase.
     tag: u64,
     /// Observability handle, settable once through a shared reference
@@ -178,6 +195,13 @@ impl GatherScatter {
             // audit:allow(hot-panic): construction-time partition validation, runs once per setup
             assert_eq!(part[e], rank, "my_elems inconsistent with partition");
         }
+        // Canonical shared-phase combine relies on every rank's local
+        // member lists ascending in global element id (build scan order is
+        // element-major), which every production partitioner guarantees.
+        debug_assert!(
+            my_elems.windows(2).all(|w| w[0] < w[1]),
+            "my_elems must be strictly ascending for the canonical combine"
+        );
         let n = p + 1;
         let nn = n * n * n;
         let n_local = my_elems.len() * nn;
@@ -224,8 +248,12 @@ impl GatherScatter {
         }
 
         // 2. Determine which other ranks touch each of *my* keys by scanning
-        //    the remote elements' boundary nodes.
+        //    the remote elements' boundary nodes, recording every remote
+        //    member instance `(owner, global element, node)` — the sweep is
+        //    element-major and node-scan-ordered, so each key's instance
+        //    list arrives already in canonical (element, node) order.
         let mut key_ranks: HashMap<Key, Vec<usize>> = HashMap::new();
+        let mut remote_members: HashMap<Key, Vec<(usize, usize, usize)>> = HashMap::new();
         if comm.size() > 1 {
             for ge in 0..mesh.num_elements() {
                 let owner = part[ge];
@@ -241,6 +269,11 @@ impl GatherScatter {
                                     if !ranks.contains(&owner) {
                                         ranks.push(owner);
                                     }
+                                    let scan = i + n * (j + n * k);
+                                    remote_members
+                                        .entry(key)
+                                        .or_default()
+                                        .push((owner, ge, scan));
                                 }
                             }
                         }
@@ -254,6 +287,8 @@ impl GatherScatter {
         let mut members = Vec::new();
         let mut group_ptr = vec![0u32];
         let mut shared_map: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        // Shared groups in key order, with their keys for the fold build.
+        let mut shared_keys: Vec<(Key, u32)> = Vec::new();
         for (key, group) in &local_groups {
             let remote = key_ranks.get(key);
             if group.len() == 1 && remote.is_none() {
@@ -266,15 +301,76 @@ impl GatherScatter {
                 for &r in ranks {
                     shared_map.entry(r).or_default().push(gi);
                 }
+                shared_keys.push((*key, gi));
             }
         }
         let shared: Vec<(usize, Vec<u32>)> = shared_map.into_iter().collect();
+
+        // 4. Canonical fold metadata for the shared groups: merge each
+        //    group's local and remote member instances into one list sorted
+        //    by global (element, node), so every touching rank combines the
+        //    same values in the same order. Remote entries index into the
+        //    neighbour's incoming message, whose layout both sides derive
+        //    identically: shared keys in key order, the sender's members of
+        //    each key in the sender's (element, node) scan order.
+        let mut gi_to_si: HashMap<u32, usize> = HashMap::new();
+        for (si, &(_, gi)) in shared_keys.iter().enumerate() {
+            gi_to_si.insert(gi, si);
+        }
+        // Entries: (global element, node scan, kind, idx).
+        let mut fold_entries: Vec<Vec<(usize, usize, u32, u32)>> =
+            vec![Vec::new(); shared_keys.len()];
+        for (si, &(_, gi)) in shared_keys.iter().enumerate() {
+            let lo = group_ptr[gi as usize] as usize;
+            let hi = group_ptr[gi as usize + 1] as usize;
+            for &m in &members[lo..hi] {
+                let le = m as usize / nn;
+                let scan = m as usize % nn;
+                fold_entries[si].push((my_elems[le], scan, u32::MAX, m));
+            }
+        }
+        let mut recv_counts = vec![0usize; shared.len()];
+        let mut send_values = 0usize;
+        for (slot, (r, gids)) in shared.iter().enumerate() {
+            let mut off = 0u32;
+            for &gi in gids {
+                send_values += (group_ptr[gi as usize + 1] - group_ptr[gi as usize]) as usize;
+                let si = gi_to_si[&gi];
+                if let Some(insts) = remote_members.get(&shared_keys[si].0) {
+                    for &(owner, ge, scan) in insts {
+                        if owner == *r {
+                            fold_entries[si].push((ge, scan, slot as u32, off));
+                            off += 1;
+                        }
+                    }
+                }
+            }
+            recv_counts[slot] = off as usize;
+        }
+        let mut fold_ptr = vec![0u32];
+        let mut fold_kind = Vec::new();
+        let mut fold_idx = Vec::new();
+        for entries in &mut fold_entries {
+            entries.sort_unstable_by_key(|&(ge, scan, _, _)| (ge, scan));
+            for &(_, _, kind, idx) in entries.iter() {
+                fold_kind.push(kind);
+                fold_idx.push(idx);
+            }
+            fold_ptr.push(fold_kind.len() as u32);
+        }
+        let shared_groups: Vec<u32> = shared_keys.iter().map(|&(_, gi)| gi).collect();
 
         Self {
             n_local,
             members,
             group_ptr,
             shared,
+            shared_groups,
+            fold_ptr,
+            fold_kind,
+            fold_idx,
+            recv_counts,
+            send_values,
             tag: 0x6753,
             tel: OnceLock::new(),
             pool: OnceLock::new(),
@@ -325,11 +421,12 @@ impl GatherScatter {
         self.shared.iter().map(|(r, _)| *r).collect()
     }
 
-    /// Total number of values exchanged with neighbours per apply (sum of
-    /// shared-list lengths) — the surface traffic the paper's two-phase
-    /// design minimizes.
+    /// Total number of values this rank sends to neighbours per apply
+    /// (member values of every shared group, per touching neighbour) — the
+    /// surface traffic the paper's two-phase design minimizes. Globally,
+    /// sends and receives balance: Σ_ranks sent == Σ_ranks received.
     pub fn shared_values(&self) -> usize {
-        self.shared.iter().map(|(_, g)| g.len()).sum()
+        self.send_values
     }
 
     /// Apply the gather-scatter: reduce over every global-id group with
@@ -411,38 +508,65 @@ impl GatherScatter {
             }
         }
 
-        // Phase 2: shared exchange. Each rank sends its *local* partial for
-        // every shared key; partials from all touching ranks combine into
-        // the global reduction.
+        // Phase 2: shared exchange. Each rank sends the raw *member values*
+        // of every shared group; every touching rank then folds the full
+        // member list — local and remote instances merged in global
+        // (element, node) order — from the operator identity. The combine
+        // order is therefore a property of the global mesh alone, so the
+        // shared-group results are bitwise identical for every rank count
+        // (and equal to the single-rank local fold).
         if !self.shared.is_empty() {
             let mut g = tel.map(|t| t.span_abs("gs/shared"));
-            let values: u64 = self.shared_values() as u64;
+            let sent: u64 = self.send_values as u64;
+            let recvd: u64 = self.recv_counts.iter().sum::<usize>() as u64;
             let messages = self.shared.len() as u64;
             if let Some(g) = g.as_mut() {
-                // Count both directions of the symmetric exchange.
+                // Count both directions of the exchange.
                 g.record("messages", 2 * messages);
-                g.record("bytes", 2 * 8 * values);
+                g.record("bytes", 8 * (sent + recvd));
             }
             if let Some(t) = tel {
                 t.counter_add("rbx_gs_messages_total", 2 * messages);
-                t.counter_add("rbx_gs_bytes_total", 2 * 8 * values);
+                t.counter_add("rbx_gs_bytes_total", 8 * (sent + recvd));
             }
             for (nbr, gids) in &self.shared {
                 // audit:allow(hot-alloc): message assembly — the communicator takes ownership of the payload, so a fresh buffer per neighbour is the send contract
-                let payload: Vec<f64> = gids.iter().map(|&g| gval[g as usize]).collect();
+                let mut payload: Vec<f64> = Vec::new();
+                for &gi in gids {
+                    let lo = self.group_ptr[gi as usize] as usize;
+                    let hi = self.group_ptr[gi as usize + 1] as usize;
+                    for &m in &self.members[lo..hi] {
+                        payload.push(u[m as usize]);
+                    }
+                }
                 comm.send(*nbr, self.tag, Payload::F64(payload));
             }
             let timeout = comm.tuning().recv_timeout;
-            for (nbr, gids) in &self.shared {
-                let incoming = match comm
+            // audit:allow(hot-alloc): per-apply neighbour receive buffers — the canonical fold needs all neighbours' member values before combining
+            let mut incoming: Vec<Vec<f64>> = Vec::with_capacity(self.shared.len());
+            for (slot, (nbr, _)) in self.shared.iter().enumerate() {
+                let vals = match comm
                     .recv_deadline(*nbr, self.tag, timeout)
                     .and_then(Payload::try_into_f64)
-                {
+                    .and_then(|v| {
+                        if v.len() == self.recv_counts[slot] {
+                            Ok(v)
+                        } else {
+                            Err(CommError::Protocol {
+                                // audit:allow(hot-alloc): error path only — allocates when a malformed exchange aborts the apply, never on the healthy fold
+                                detail: format!(
+                                    "gs exchange from rank {nbr}: {} values, expected {}",
+                                    v.len(),
+                                    self.recv_counts[slot]
+                                ),
+                            })
+                        }
+                    }) {
                     Ok(v) => v,
                     Err(e) => {
                         // The exchange is symmetric: peers are blocked on
-                        // our partials too. Poison so they unwind instead
-                        // of timing out one by one.
+                        // our member values too. Poison so they unwind
+                        // instead of timing out one by one.
                         comm.poison(&e);
                         // audit:allow(hot-alloc): cold failure path — one
                         // clone per comm fault, never per step.
@@ -450,12 +574,18 @@ impl GatherScatter {
                         return Err(e);
                     }
                 };
-                // The zip below bounds the combine either way; the debug
-                // check catches neighbour-protocol bugs in test builds.
-                debug_assert_eq!(incoming.len(), gids.len());
-                for (&g, v) in gids.iter().zip(incoming) {
-                    gval[g as usize] = op.combine(gval[g as usize], v);
+                incoming.push(vals);
+            }
+            for (si, &gi) in self.shared_groups.iter().enumerate() {
+                let mut acc = op.identity();
+                for t in self.fold_ptr[si] as usize..self.fold_ptr[si + 1] as usize {
+                    let v = match self.fold_kind[t] {
+                        u32::MAX => u[self.fold_idx[t] as usize],
+                        slot => incoming[slot as usize][self.fold_idx[t] as usize],
+                    };
+                    acc = op.combine(acc, v);
                 }
+                gval[gi as usize] = acc;
             }
         }
 
@@ -689,6 +819,52 @@ mod tests {
             for (le, &ge) in my.iter().enumerate() {
                 for nd in 0..nn {
                     assert_close(u[le * nn + nd], ref_u[ge * nn + nd], 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multirank_combine_is_bitwise_canonical() {
+        // The canonical shared-phase fold makes the gathered field
+        // *bitwise* independent of the rank count — the foundation of the
+        // elastic-restart determinism contract.
+        let p = 3;
+        let mesh = box_mesh(4, 2, 2, [0., 4.], [0., 2.], [0., 2.], false, false);
+        let n = p + 1;
+        let nn = n * n * n;
+        let field = |ge: usize, node: usize| -> f64 {
+            (((ge * 131 + node * 17) % 1009) as f64) * 1.37e-3 - 0.61
+        };
+        let (gs1, comm1) = single_gs(&mesh, p);
+        let mut ref_u: Vec<f64> = (0..mesh.num_elements() * nn)
+            .map(|i| field(i / nn, i % nn))
+            .collect();
+        gs1.apply(&mut ref_u, GsOp::Add, &comm1);
+
+        for nranks in [2usize, 4] {
+            let part = partition_rcb(&mesh, nranks);
+            let lists = part_elements(&part, nranks);
+            let (mesh_ref, part_ref, lists_ref) = (&mesh, &part, &lists);
+            let results = run_on_ranks(nranks, move |comm| {
+                let my = &lists_ref[comm.rank()];
+                let gs = GatherScatter::build(mesh_ref, p, part_ref, my, comm);
+                let mut u: Vec<f64> = my
+                    .iter()
+                    .flat_map(|&ge| (0..nn).map(move |nd| field(ge, nd)))
+                    .collect();
+                gs.apply(&mut u, GsOp::Add, comm);
+                (my.clone(), u)
+            });
+            for (my, u) in results {
+                for (le, &ge) in my.iter().enumerate() {
+                    for nd in 0..nn {
+                        assert_eq!(
+                            u[le * nn + nd].to_bits(),
+                            ref_u[ge * nn + nd].to_bits(),
+                            "nranks={nranks} elem {ge} node {nd}"
+                        );
+                    }
                 }
             }
         }

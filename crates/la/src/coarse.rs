@@ -11,13 +11,14 @@
 use crate::helmholtz::{HelmholtzOp, HelmholtzScratch};
 use crate::jacobi::{assembled_diagonal, jacobi_apply};
 use crate::krylov::pcg;
-use crate::ops::{hadamard, ortho_project_mean, DotProduct};
+use crate::ops::{hadamard, ortho_project_mean_layout, DotProduct, ElemLayout};
 use rbx_basis::tensor::{tensor_apply3, TensorScratch};
 use rbx_basis::{gll, interp_matrix, DMat};
 use rbx_comm::Communicator;
 use rbx_gs::GatherScatter;
 use rbx_mesh::{BoundaryTag, GeomFactors, HexMesh};
 use rbx_telemetry::Telemetry;
+use std::sync::Arc;
 
 /// The degree-1 coarse problem with fixed-iteration PCG solve.
 pub struct CoarseGrid {
@@ -29,8 +30,10 @@ pub struct CoarseGrid {
     pub mask: Vec<f64>,
     /// Assembled coarse operator diagonal (Jacobi preconditioner).
     diag: Vec<f64>,
-    /// Coarse inner product.
+    /// Coarse inner product (canonical: rank-count-invariant bits).
     dp: DotProduct,
+    /// Coarse element layout for canonical mean projections.
+    layout: Arc<ElemLayout>,
     /// Mass × inverse-multiplicity weights for mean projection.
     bw: Vec<f64>,
     /// Prolongation: degree-1 nodes → fine GLL nodes (per dimension,
@@ -95,7 +98,13 @@ impl CoarseGrid {
         };
         let diag = assembled_diagonal(&geom, &gs, 1.0, 0.0, comm);
         let mult = gs.multiplicity(comm);
-        let dp = DotProduct::new(&mult);
+        let nc = coarse_p + 1;
+        let layout = Arc::new(ElemLayout::new(
+            nc * nc * nc,
+            my_elems.to_vec(),
+            mesh.num_elements(),
+        ));
+        let dp = DotProduct::with_layout(&mult, layout.clone());
         let bw: Vec<f64> = geom
             .mass
             .iter()
@@ -114,6 +123,7 @@ impl CoarseGrid {
             mask,
             diag,
             dp,
+            layout,
             bw,
             j_up,
             j_down,
@@ -191,8 +201,9 @@ impl CoarseGrid {
         if self.neumann {
             // Solvability of the singular Neumann system requires
             // ⟨rhs, 1⟩ = 0 in the unique-dof inner product → project with
-            // inverse-multiplicity weights.
-            ortho_project_mean(&mut rhs, self.dp.weights(), comm);
+            // inverse-multiplicity weights (canonical reduction: the
+            // projected rhs bits are identical for every rank count).
+            ortho_project_mean_layout(&mut rhs, self.dp.weights(), &self.layout, comm);
         }
         z_coarse.fill(0.0);
         let op = HelmholtzOp {
@@ -214,7 +225,7 @@ impl CoarseGrid {
             self.iterations,
         );
         if self.neumann {
-            ortho_project_mean(z_coarse, &self.bw, comm);
+            ortho_project_mean_layout(z_coarse, &self.bw, &self.layout, comm);
         }
     }
 

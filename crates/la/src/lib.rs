@@ -47,6 +47,6 @@ pub use helmholtz::HelmholtzOp;
 pub use instrument::record_solve;
 pub use jacobi::assembled_diagonal;
 pub use krylov::{fgmres, pcg, ResidualHistory, SolveStats};
-pub use ops::DotProduct;
+pub use ops::{DotProduct, ElemLayout};
 pub use projection::SolutionProjection;
 pub use schwarz::{SchwarzMg, SchwarzMode};

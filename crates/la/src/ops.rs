@@ -7,6 +7,74 @@
 
 use rbx_comm::Communicator;
 use rbx_device::{loop_chunk, reduce_chunk, RangePtr, WorkerPool};
+use std::sync::Arc;
+
+/// Element-wise layout of a duplicated-node field: which global elements
+/// this rank holds (ascending global ids), how many nodes each carries,
+/// and the global element count.
+///
+/// Canonical reductions built on this layout compute one partial sum per
+/// *global* element, combine them with an element-wise allreduce, and fold
+/// the combined partials sequentially in global-element-id order. Each
+/// global element lives on exactly one rank, so every slot of the
+/// allreduce adds a value to zeros only (`0 + x` reproduces `x`'s bits
+/// exactly), and the final fold visits the same values in the same order
+/// on every rank count. The result bits are therefore *independent of the
+/// partitioning* — the foundation of the elastic-restart determinism
+/// contract (a run restarted on M ranks must be byte-identical to an
+/// uninterrupted M-rank run).
+#[derive(Debug, Clone)]
+pub struct ElemLayout {
+    /// Nodes per element for this discretization (`(p+1)³`).
+    pub n_per: usize,
+    /// Global element id of each local element, ascending.
+    pub gids: Vec<usize>,
+    /// Global element count across all ranks.
+    pub nelem_global: usize,
+}
+
+impl ElemLayout {
+    /// Build a layout; `gids` must be strictly ascending (the local
+    /// element order every production partitioner produces).
+    pub fn new(n_per: usize, gids: Vec<usize>, nelem_global: usize) -> Self {
+        debug_assert!(
+            gids.windows(2).all(|w| w[0] < w[1]),
+            "ElemLayout gids must be strictly ascending"
+        );
+        debug_assert!(gids.iter().all(|&g| g < nelem_global));
+        Self {
+            n_per,
+            gids,
+            nelem_global,
+        }
+    }
+
+    /// Local node count (`n_per · |gids|`).
+    pub fn n_local(&self) -> usize {
+        self.n_per * self.gids.len()
+    }
+
+    /// Canonically reduce `k` simultaneous sums. `partial` is a row-major
+    /// `k × nelem_global` buffer holding this rank's per-element partial
+    /// sums scattered by global element id (zero in every slot this rank
+    /// does not own). Returns the `k` rank-count-invariant totals.
+    pub fn fold_sums(&self, partial: &mut [f64], k: usize, comm: &dyn Communicator) -> Vec<f64> {
+        debug_assert_eq!(partial.len(), k * self.nelem_global);
+        if comm.size() > 1 {
+            comm.allreduce_sum(partial);
+        }
+        (0..k)
+            .map(|row| {
+                let lo = row * self.nelem_global;
+                let mut acc = 0.0;
+                for &v in &partial[lo..lo + self.nelem_global] {
+                    acc += v;
+                }
+                acc
+            })
+            .collect()
+    }
+}
 
 /// `y ← a·x + y`.
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
@@ -93,6 +161,11 @@ pub fn hadamard_with(x: &[f64], y: &mut [f64], pool: &WorkerPool) {
 pub struct DotProduct {
     /// Inverse multiplicity per local node.
     mult_inv: Vec<f64>,
+    /// Optional element layout. When set, [`DotProduct::dot`] reduces
+    /// canonically (per-element partials folded in global-element order),
+    /// making the bits independent of the rank count; when unset it keeps
+    /// the legacy flat local sum + scalar allreduce.
+    layout: Option<Arc<ElemLayout>>,
 }
 
 impl DotProduct {
@@ -101,7 +174,23 @@ impl DotProduct {
     pub fn new(mult: &[f64]) -> Self {
         Self {
             mult_inv: mult.iter().map(|&m| 1.0 / m).collect(),
+            layout: None,
         }
+    }
+
+    /// Build with an element layout for canonical (rank-count-invariant)
+    /// reductions.
+    pub fn with_layout(mult: &[f64], layout: Arc<ElemLayout>) -> Self {
+        debug_assert_eq!(mult.len(), layout.n_local());
+        Self {
+            mult_inv: mult.iter().map(|&m| 1.0 / m).collect(),
+            layout: Some(layout),
+        }
+    }
+
+    /// The element layout, if canonical reductions are enabled.
+    pub fn layout(&self) -> Option<&Arc<ElemLayout>> {
+        self.layout.as_ref()
     }
 
     /// Local length.
@@ -114,17 +203,38 @@ impl DotProduct {
         self.mult_inv.is_empty()
     }
 
-    /// Global `⟨a, b⟩ = Σ_unique a·b`, reduced across ranks.
+    /// Global `⟨a, b⟩ = Σ_unique a·b`, reduced across ranks. With an
+    /// [`ElemLayout`] attached the reduction is canonical: the result bits
+    /// are identical for every partitioning of the same global mesh.
     pub fn dot(&self, a: &[f64], b: &[f64], comm: &dyn Communicator) -> f64 {
         debug_assert_eq!(a.len(), self.mult_inv.len());
         debug_assert_eq!(b.len(), self.mult_inv.len());
-        let local: f64 = a
-            .iter()
-            .zip(b)
-            .zip(&self.mult_inv)
-            .map(|((x, y), w)| x * y * w)
-            .sum();
-        rbx_comm::allreduce_scalar(comm, local)
+        match &self.layout {
+            Some(l) => {
+                let e = l.nelem_global;
+                let np = l.n_per;
+                // audit:allow(hot-alloc): canonical-reduction scatter buffer is sized by the global element count and owned per call; hoisting it into &self would need interior mutability on a handle shared across the Schwarz overlap threads
+                let mut partial = vec![0.0; e];
+                for (le, &ge) in l.gids.iter().enumerate() {
+                    let lo = le * np;
+                    let mut acc = 0.0;
+                    for i in lo..lo + np {
+                        acc += a[i] * b[i] * self.mult_inv[i];
+                    }
+                    partial[ge] = acc;
+                }
+                l.fold_sums(&mut partial, 1, comm)[0]
+            }
+            None => {
+                let local: f64 = a
+                    .iter()
+                    .zip(b)
+                    .zip(&self.mult_inv)
+                    .map(|((x, y), w)| x * y * w)
+                    .sum();
+                rbx_comm::allreduce_scalar(comm, local)
+            }
+        }
     }
 
     /// Global L² norm.
@@ -188,6 +298,39 @@ pub fn ortho_project_mean(x: &mut [f64], bw: &[f64], comm: &dyn Communicator) {
         sums[1] += wi;
     }
     comm.allreduce_sum(&mut sums);
+    let mean = sums[0] / sums[1];
+    for xi in x.iter_mut() {
+        *xi -= mean;
+    }
+}
+
+/// Canonical (rank-count-invariant) variant of [`ortho_project_mean`]:
+/// both sums reduce per-element in global-element order, so the subtracted
+/// mean — and therefore the projected field — has identical bits for every
+/// partitioning of the same global mesh.
+pub fn ortho_project_mean_layout(
+    x: &mut [f64],
+    bw: &[f64],
+    layout: &ElemLayout,
+    comm: &dyn Communicator,
+) {
+    debug_assert_eq!(x.len(), bw.len());
+    debug_assert_eq!(x.len(), layout.n_local());
+    let e = layout.nelem_global;
+    let np = layout.n_per;
+    // audit:allow(hot-alloc): canonical-reduction scatter buffer, one per projection; see DotProduct::dot
+    let mut partial = vec![0.0; 2 * e];
+    for (le, &ge) in layout.gids.iter().enumerate() {
+        let lo = le * np;
+        let (mut s0, mut s1) = (0.0, 0.0);
+        for i in lo..lo + np {
+            s0 += x[i] * bw[i];
+            s1 += bw[i];
+        }
+        partial[ge] = s0;
+        partial[e + ge] = s1;
+    }
+    let sums = layout.fold_sums(&mut partial, 2, comm);
     let mean = sums[0] / sums[1];
     for xi in x.iter_mut() {
         *xi -= mean;
@@ -285,5 +428,40 @@ mod tests {
         let mut y = vec![5.0, 6.0, 7.0];
         hadamard(&m, &mut y);
         assert_eq!(y, vec![5.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn canonical_dot_matches_legacy_value() {
+        let comm = SingleComm::new();
+        let n_per = 8;
+        let nelem = 5;
+        let n = n_per * nelem;
+        let mult = vec![1.0; n];
+        let layout = Arc::new(ElemLayout::new(n_per, (0..nelem).collect(), nelem));
+        let dp_legacy = DotProduct::new(&mult);
+        let dp_canon = DotProduct::with_layout(&mult, layout);
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 % 101) as f64) * 1e-2 - 0.5)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 43 % 97) as f64) * 1e-2 - 0.4)
+            .collect();
+        let legacy = dp_legacy.dot(&a, &b, &comm);
+        let canon = dp_canon.dot(&a, &b, &comm);
+        assert!((legacy - canon).abs() <= 1e-12 * legacy.abs().max(1.0));
+    }
+
+    #[test]
+    fn canonical_ortho_removes_weighted_mean() {
+        let comm = SingleComm::new();
+        let n_per = 4;
+        let nelem = 3;
+        let n = n_per * nelem;
+        let layout = ElemLayout::new(n_per, (0..nelem).collect(), nelem);
+        let bw: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        ortho_project_mean_layout(&mut x, &bw, &layout, &comm);
+        let weighted: f64 = x.iter().zip(&bw).map(|(a, b)| a * b).sum();
+        assert!(weighted.abs() < 1e-12);
     }
 }

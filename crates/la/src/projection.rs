@@ -14,8 +14,38 @@
 //! needed to A-orthonormalize each new entry, which reuses the solve's
 //! final operator application).
 
-use crate::ops::DotProduct;
+use crate::ops::{DotProduct, ElemLayout};
 use rbx_comm::Communicator;
+
+/// Batched weighted pairings `⟨y, v_i⟩_w` for all stored directions in one
+/// canonical reduction: per-element partials scattered by global element
+/// id, one element-wise allreduce, sequential fold in global-element
+/// order. Bits are independent of the rank count (see [`ElemLayout`]).
+fn batched_dots_canonical(
+    vs: &[Vec<f64>],
+    y: &[f64],
+    w: &[f64],
+    layout: &ElemLayout,
+    comm: &dyn Communicator,
+) -> Vec<f64> {
+    let e = layout.nelem_global;
+    let np = layout.n_per;
+    let k = vs.len();
+    // audit:allow(hot-alloc): canonical-reduction scatter buffer, one per projection pass; see DotProduct::dot
+    let mut partial = vec![0.0; k * e];
+    for (row, xi) in vs.iter().enumerate() {
+        let base = row * e;
+        for (le, &ge) in layout.gids.iter().enumerate() {
+            let lo = le * np;
+            let mut acc = 0.0;
+            for i in lo..lo + np {
+                acc += y[i] * xi[i] * w[i];
+            }
+            partial[base + ge] = acc;
+        }
+    }
+    layout.fold_sums(&mut partial, k, comm)
+}
 
 /// A-conjugate projection space for an SPD(-ish) operator.
 pub struct SolutionProjection {
@@ -71,19 +101,27 @@ impl SolutionProjection {
         if b0 == 0.0 {
             return 0.0;
         }
-        // Batch the coefficients into one allreduce.
-        let mut alphas: Vec<f64> = self
-            .basis
-            .iter()
-            .map(|xi| {
-                b.iter()
-                    .zip(xi)
-                    .zip(dp.weights())
-                    .map(|((bv, xv), w)| bv * xv * w)
-                    .sum::<f64>()
-            })
-            .collect();
-        comm.allreduce_sum(&mut alphas);
+        // Batch the coefficients into one allreduce; with a layout on the
+        // inner product the batch reduces canonically (rank-count-
+        // invariant bits — elastic-restart contract).
+        let alphas: Vec<f64> = match dp.layout() {
+            Some(l) => batched_dots_canonical(&self.basis, b, dp.weights(), l, comm),
+            None => {
+                let mut a: Vec<f64> = self
+                    .basis
+                    .iter()
+                    .map(|xi| {
+                        b.iter()
+                            .zip(xi)
+                            .zip(dp.weights())
+                            .map(|((bv, xv), w)| bv * xv * w)
+                            .sum::<f64>()
+                    })
+                    .collect();
+                comm.allreduce_sum(&mut a);
+                a
+            }
+        };
         for (i, &alpha) in alphas.iter().enumerate() {
             for k in 0..self.n {
                 x0[k] += alpha * self.basis[i][k];
@@ -128,18 +166,24 @@ impl SolutionProjection {
             if self.basis.is_empty() {
                 break;
             }
-            let mut betas: Vec<f64> = self
-                .basis
-                .iter()
-                .map(|xi| {
-                    ax.iter()
-                        .zip(xi)
-                        .zip(dp.weights())
-                        .map(|((av, xv), w)| av * xv * w)
-                        .sum::<f64>()
-                })
-                .collect();
-            comm.allreduce_sum(&mut betas);
+            let betas: Vec<f64> = match dp.layout() {
+                Some(l) => batched_dots_canonical(&self.basis, &ax, dp.weights(), l, comm),
+                None => {
+                    let mut bts: Vec<f64> = self
+                        .basis
+                        .iter()
+                        .map(|xi| {
+                            ax.iter()
+                                .zip(xi)
+                                .zip(dp.weights())
+                                .map(|((av, xv), w)| av * xv * w)
+                                .sum::<f64>()
+                        })
+                        .collect();
+                    comm.allreduce_sum(&mut bts);
+                    bts
+                }
+            };
             for (i, &beta) in betas.iter().enumerate() {
                 for k in 0..self.n {
                     x[k] -= beta * self.basis[i][k];
@@ -168,6 +212,36 @@ impl SolutionProjection {
     pub fn clear(&mut self) {
         self.basis.clear();
         self.images.clear();
+    }
+
+    /// Stored basis vectors (checkpoint serialization).
+    pub fn basis(&self) -> &[Vec<f64>] {
+        &self.basis
+    }
+
+    /// Stored operator images (checkpoint serialization).
+    pub fn images(&self) -> &[Vec<f64>] {
+        &self.images
+    }
+
+    /// Maximum number of stored directions.
+    pub fn max_vecs(&self) -> usize {
+        self.max_vecs
+    }
+
+    /// Replace the stored space wholesale (checkpoint restore). Returns
+    /// `false` — leaving the space untouched — when the shapes do not
+    /// match this projection's configuration.
+    pub fn restore(&mut self, basis: Vec<Vec<f64>>, images: Vec<Vec<f64>>) -> bool {
+        if basis.len() != images.len() || basis.len() > self.max_vecs {
+            return false;
+        }
+        if basis.iter().chain(images.iter()).any(|v| v.len() != self.n) {
+            return false;
+        }
+        self.basis = basis;
+        self.images = images;
+        true
     }
 }
 

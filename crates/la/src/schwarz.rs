@@ -20,7 +20,7 @@
 
 use crate::coarse::CoarseGrid;
 use crate::fdm::ElementFdm;
-use crate::ops::{hadamard, ortho_project_mean};
+use crate::ops::{hadamard, ortho_project_mean, ortho_project_mean_layout, ElemLayout};
 use rbx_comm::Communicator;
 use rbx_device::WorkerPool;
 use rbx_gs::{GatherScatter, GsOp};
@@ -65,6 +65,9 @@ pub struct SchwarzMg {
     /// overlapped mode, the coarse∥fine pairing). `None` keeps the legacy
     /// single-threaded sweep with a per-apply `thread::scope` overlap.
     pool: Option<WorkerPool>,
+    /// Optional fine element layout: when set, the final Neumann mean
+    /// projection reduces canonically (rank-count-invariant bits).
+    elem_layout: Option<Arc<ElemLayout>>,
 }
 
 impl SchwarzMg {
@@ -102,7 +105,15 @@ impl SchwarzMg {
             h2,
             tel: Telemetry::disabled(),
             pool: None,
+            elem_layout: None,
         }
+    }
+
+    /// Attach the fine element layout so the final Neumann mean projection
+    /// reduces canonically — required for the elastic-restart contract
+    /// (identical preconditioner bits on every rank count).
+    pub fn set_elem_layout(&mut self, layout: Arc<ElemLayout>) {
+        self.elem_layout = Some(layout);
     }
 
     /// Route the fine-level FDM sweep (and, in overlapped mode, the
@@ -218,7 +229,10 @@ impl SchwarzMg {
         }
         hadamard(&self.mask, z);
         if self.coarse.neumann {
-            ortho_project_mean(z, &self.bw, comm);
+            match &self.elem_layout {
+                Some(l) => ortho_project_mean_layout(z, &self.bw, l, comm),
+                None => ortho_project_mean(z, &self.bw, comm),
+            }
         }
     }
 }

@@ -127,6 +127,18 @@ pub const SPANS: &[SpanDef] = &[
         path: "comm/abort",
         help: "poisoned-epoch abort: collective drain and epoch bump",
     },
+    SpanDef {
+        path: "repartition/plan",
+        help: "restart repartitioner: RCB over the surviving rank count",
+    },
+    SpanDef {
+        path: "repartition/rebuild",
+        help: "rebuild of simulation + gather-scatter on the new partition",
+    },
+    SpanDef {
+        path: "repartition/restore",
+        help: "topology-free checkpoint restore onto the new partition",
+    },
 ];
 
 /// All metric base names production code feeds. Call sites may append
@@ -256,6 +268,16 @@ pub const METRICS: &[MetricDef] = &[
         name: "rbx_comm_pending_highwater",
         kind: MetricKind::Gauge,
         help: "high-water mark of the unmatched-message pending buffer",
+    },
+    MetricDef {
+        name: "rbx_recovery_shrink_total",
+        kind: MetricKind::Counter,
+        help: "shrink-and-continue events (permanent rank death survived)",
+    },
+    MetricDef {
+        name: "rbx_repartition_moved_elements",
+        kind: MetricKind::Counter,
+        help: "elements reassigned to a different rank by the restart repartitioner",
     },
 ];
 

@@ -155,13 +155,14 @@ fn validate_solve(v: &Value) -> Result<(), String> {
 
 fn validate_recovery(v: &Value) -> Result<(), String> {
     let event = require_str(v, "event")?;
-    const EVENTS: [&str; 7] = [
+    const EVENTS: [&str; 8] = [
         "checkpoint_written",
         "checkpoint_write_failed",
         "degraded_step",
         "divergence",
         "generation_rejected",
         "comm_recovered",
+        "shrink",
         "rolled_back",
     ];
     if !EVENTS.contains(&event) {

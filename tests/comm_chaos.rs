@@ -3,18 +3,25 @@
 //! Seeded message-level faults (drop / delay / corruption) are injected
 //! under the production comm stack — `HardenedComm<ChaosComm<ThreadComm>>`
 //! — while a distributed RBC run executes under the `ResilientRunner`.
-//! The acceptance bar from the issue: the run completes via collective
-//! abort-and-rollback with zero panics and zero deadlocks, and the final
-//! checkpoint is **byte-identical** to a fault-free run (comm faults are
-//! transient, so the replayed trajectory must not drift). A persistent
-//! sender crash must exhaust the rollback budget with a typed error, not
-//! a hang.
+//! The acceptance bar: the run completes via collective abort-and-rollback
+//! with zero panics and zero deadlocks, and the final checkpoint is
+//! **byte-identical** to a fault-free run (comm faults are transient, so
+//! the replayed trajectory must not drift). A *persistent* sender crash
+//! no longer merely exhausts the budget: the `ElasticRunner` converts it
+//! into a shrink-and-continue — survivors vote the dead rank out,
+//! repartition its elements from the shared topology-free checkpoint, and
+//! finish the run at the smaller width.
+//!
+//! All ranks share one checkpoint directory: checkpoints are written
+//! collectively into a single topology-independent file, which is what
+//! makes restore-onto-fewer-ranks possible in the first place.
 
 use rbx::comm::{
     run_on_ranks_tuned, ChaosComm, CommFaultPlan, CommTuning, Communicator, HardenedComm,
 };
 use rbx::core::{
-    CheckpointSet, RecoveryEvent, RecoveryPolicy, ResilientRunner, Simulation, SolverConfig,
+    CheckpointSet, ElasticOutcome, ElasticRunner, RecoveryEvent, RecoveryPolicy, ResilientRunner,
+    Simulation, SolverConfig,
 };
 use rbx::telemetry::schema::validate_line;
 use rbx::telemetry::Telemetry;
@@ -67,7 +74,8 @@ struct RankOutcome {
 
 /// Run STEPS resilient steps on `nranks` ranks under the full hardened
 /// stack. `plan: None` runs fault-free (chaos stays disarmed) — the
-/// byte-identity baseline over the *same* stack.
+/// byte-identity baseline over the *same* stack. All ranks checkpoint
+/// into the shared `dir` (collective topology-free writes).
 fn run_chaos_case(nranks: usize, dir: &Path, plan: Option<CommFaultPlan>) -> Vec<RankOutcome> {
     let case = case_for(nranks);
     let cfg = test_cfg();
@@ -89,14 +97,12 @@ fn run_chaos_case(nranks: usize, dir: &Path, plan: Option<CommFaultPlan>) -> Vec
         );
         sim.init_rbc();
 
-        let rankdir = dir.join(format!("rank{}", tc.rank()));
-        std::fs::create_dir_all(&rankdir).unwrap();
         let policy = RecoveryPolicy {
             checkpoint_every: 2,
             max_rollbacks: 6,
             ..Default::default()
         };
-        let mut runner = ResilientRunner::new(CheckpointSet::new(&rankdir, 4), policy);
+        let mut runner = ResilientRunner::new(CheckpointSet::new(dir, 4), policy);
 
         comm.inner().set_armed(armed);
         let report = runner
@@ -179,12 +185,19 @@ fn seeded_fault_matrix_heals_and_matches_fault_free_run() {
     }
 }
 
+/// A permanently crashed sender no longer kills the job: the survivors
+/// vote it out, repartition, restore the shared topology-free checkpoint,
+/// and finish at the smaller width. The dead rank exits with a clean
+/// eviction, the survivor reports exactly one shrink, and nobody sees
+/// `RecoveryExhausted`.
 #[test]
-fn persistent_sender_crash_exhausts_budget_with_typed_error_not_hang() {
+fn persistent_sender_crash_shrinks_and_continues() {
     let nranks = 2;
     let case = case_for(nranks);
     let cfg = test_cfg();
     let dir = tmpdir("crash");
+    let chk = dir.join("chk");
+    std::fs::create_dir_all(&chk).unwrap();
     // Tighter deadlines still: every retry of the crashed rank re-fails,
     // so the run's wall time is bounded by budget x deadline.
     let tuning = CommTuning {
@@ -192,41 +205,81 @@ fn persistent_sender_crash_exhausts_budget_with_typed_error_not_hang() {
         retries: 0,
         ..Default::default()
     };
-    let (case_ref, cfg_ref, dir_ref) = (&case, &cfg, &dir);
-    let errors = run_on_ranks_tuned(nranks, tuning, move |tc| {
-        let chaos = ChaosComm::new(tc, CommFaultPlan::new(7).crash_sends_from(1, 30));
-        chaos.set_armed(false);
-        let comm = HardenedComm::new(chaos);
-        let mut sim = Simulation::new(
-            cfg_ref.clone(),
-            &case_ref.mesh,
-            &case_ref.part,
-            case_ref.elems[tc.rank()].clone(),
-            &comm,
-        );
-        sim.init_rbc();
-        let rankdir = dir_ref.join(format!("rank{}", tc.rank()));
-        std::fs::create_dir_all(&rankdir).unwrap();
+    let calib_chk = dir.join("calib_chk");
+    std::fs::create_dir_all(&calib_chk).unwrap();
+    let (case_ref, cfg_ref, dir_ref, chk_ref, calib_ref) = (&case, &cfg, &dir, &chk, &calib_chk);
+    let outcomes = run_on_ranks_tuned(nranks, tuning, move |tc| {
         let policy = RecoveryPolicy {
             checkpoint_every: 2,
             max_rollbacks: 1,
             ..Default::default()
         };
-        let mut runner = ResilientRunner::new(CheckpointSet::new(&rankdir, 4), policy);
+        // Calibration pass: build the world and write the anchor with a
+        // benign plan, counting armed send ops. The crash threshold then
+        // lands just past setup — the job starts healthy and rank 1 goes
+        // permanently silent early in the stepped run.
+        let setup_ops = {
+            let chaos = ChaosComm::new(&tc, CommFaultPlan::new(7));
+            let comm = HardenedComm::new(chaos);
+            comm.inner().set_armed(true);
+            ElasticRunner::new(calib_ref, 4, policy)
+                .run(cfg_ref, &case_ref.mesh, &comm, None, 0)
+                .unwrap_or_else(|e| panic!("rank {}: calibration errored: {e}", tc.rank()));
+            comm.inner().send_ops()
+        };
+        let plan = CommFaultPlan::new(7).crash_sends_from(1, setup_ops + 50);
+        let chaos = ChaosComm::new(&tc, plan);
+        let comm = HardenedComm::new(chaos);
+        let tel = Telemetry::enabled();
+        let jsonl = dir_ref.join(format!("rank{}.jsonl", tc.rank()));
+        tel.open_jsonl(&jsonl).unwrap();
+        comm.set_telemetry(&tel);
+        let runner = ElasticRunner::new(chk_ref, 4, policy);
         comm.inner().set_armed(true);
-        let err = runner
-            .run(&mut sim, STEPS)
-            .expect_err("a permanently crashed sender must exhaust recovery");
-        err.to_string()
+        let out = runner
+            .run(cfg_ref, &case_ref.mesh, &comm, Some(&tel), STEPS)
+            .unwrap_or_else(|e| panic!("rank {}: elastic run errored: {e}", tc.rank()));
+        let prom = dir_ref.join(format!("rank{}.prom", tc.rank()));
+        tel.write_prometheus(&prom).unwrap();
+        (out, std::fs::read_to_string(&prom).unwrap(), jsonl)
     });
-    // Every rank fails loud with the typed exhaustion error — nobody
-    // hangs in a rendezvous or a recv, and nobody panics.
-    for (r, msg) in errors.iter().enumerate() {
-        assert!(
-            msg.contains("recovery exhausted") || msg.contains("exhausted"),
-            "rank {r}: unexpected error: {msg}"
-        );
+
+    // Rank 1 (the crashed sender) must learn of its own eviction.
+    match &outcomes[1].0 {
+        ElasticOutcome::Evicted { survivors, .. } => assert_eq!(*survivors, 1),
+        other => panic!("rank 1 should be evicted, got {other:?}"),
     }
+    // Rank 0 survives, shrinks exactly once, and finishes all steps solo.
+    let (report, prom, jsonl) = match &outcomes[0] {
+        (ElasticOutcome::Completed(r), prom, jsonl) => (r, prom, jsonl),
+        (other, ..) => panic!("rank 0 should complete via shrink, got {other:?}"),
+    };
+    assert_eq!(report.steps_completed, STEPS);
+    assert_eq!(report.shrinks, 1);
+    assert_eq!(report.initial_ranks, 2);
+    assert_eq!(report.final_ranks, 1);
+    let shrink_events = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, RecoveryEvent::Shrink { .. }))
+        .count();
+    assert_eq!(shrink_events, 1, "events: {:?}", report.events);
+    assert!(
+        prom.contains("rbx_recovery_shrink_total 1"),
+        "prometheus export must count the shrink:\n{prom}"
+    );
+    // The telemetry stream records the shrink as a schema-valid recovery
+    // event.
+    let text = std::fs::read_to_string(jsonl).unwrap();
+    let mut saw_shrink = false;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        validate_line(line)
+            .unwrap_or_else(|e| panic!("invalid telemetry record: {e}\n  line: {line}"));
+        if line.contains("\"shrink\"") {
+            saw_shrink = true;
+        }
+    }
+    assert!(saw_shrink, "telemetry stream must record the shrink event");
 }
 
 #[test]
@@ -235,7 +288,9 @@ fn chaos_run_emits_schema_valid_telemetry() {
     let case = case_for(nranks);
     let cfg = test_cfg();
     let dir = tmpdir("telemetry");
-    let (case_ref, cfg_ref, dir_ref) = (&case, &cfg, &dir);
+    let chk = dir.join("chk");
+    std::fs::create_dir_all(&chk).unwrap();
+    let (case_ref, cfg_ref, dir_ref, chk_ref) = (&case, &cfg, &dir, &chk);
     let outcomes = run_on_ranks_tuned(nranks, chaos_tuning(), move |tc| {
         let chaos = ChaosComm::new(tc, CommFaultPlan::new(11).drop_send_at(0, 60));
         chaos.set_armed(false);
@@ -253,14 +308,12 @@ fn chaos_run_emits_schema_valid_telemetry() {
         );
         sim.init_rbc();
         sim.set_telemetry(&tel);
-        let rankdir = dir_ref.join(format!("rank{}", tc.rank()));
-        std::fs::create_dir_all(&rankdir).unwrap();
         let policy = RecoveryPolicy {
             checkpoint_every: 2,
             max_rollbacks: 6,
             ..Default::default()
         };
-        let mut runner = ResilientRunner::new(CheckpointSet::new(&rankdir, 4), policy);
+        let mut runner = ResilientRunner::new(CheckpointSet::new(chk_ref, 4), policy);
         comm.inner().set_armed(true);
         let report = runner.run(&mut sim, STEPS).expect("telemetry chaos run");
         comm.inner().set_armed(false);
