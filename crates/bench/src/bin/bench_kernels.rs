@@ -15,6 +15,16 @@
 //! slower than `X`× serial at any degree — but only on hosts with at
 //! least 4 cores, so single-core CI runners still validate the schema
 //! and the bitwise agreement without a meaningless performance gate.
+//!
+//! `--compare BASELINE.json` is the regression gate: every (kernel, p)
+//! row is diffed against the baseline record and the run exits non-zero
+//! if any pooled speedup fell by more than `--tolerance` (default 50%).
+//! Absolute `serial_us` is only gated when the baseline was produced on
+//! a host with the same core count — wall microseconds are not
+//! comparable across machine classes, ratios mostly are.
+//!
+//! `--history FILE.jsonl` appends the (dated) record, so successive runs
+//! accumulate a performance trajectory instead of overwriting it.
 
 use rbx::comm::SingleComm;
 use rbx::device::WorkerPool;
@@ -35,6 +45,9 @@ struct Args {
     threads: usize,
     out: PathBuf,
     assert_speedup: Option<f64>,
+    compare: Option<PathBuf>,
+    tolerance: f64,
+    history: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +56,9 @@ fn parse_args() -> Args {
         threads: 4,
         out: PathBuf::from("BENCH_kernels.json"),
         assert_speedup: None,
+        compare: None,
+        tolerance: 0.5,
+        history: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,8 +83,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }))
             }
+            "--compare" => args.compare = Some(PathBuf::from(value("--compare"))),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_kernels: invalid --tolerance");
+                    std::process::exit(2);
+                })
+            }
+            "--history" => args.history = Some(PathBuf::from(value("--history"))),
             "--help" | "-h" => {
-                println!("flags: --quick --threads N --out FILE.json --assert-speedup X");
+                println!(
+                    "flags: --quick --threads N --out FILE.json --assert-speedup X \
+                     --compare BASELINE.json --tolerance F --history FILE.jsonl"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -81,7 +108,113 @@ fn parse_args() -> Args {
         eprintln!("bench_kernels: --threads must be at least 1");
         std::process::exit(2);
     }
+    if !(args.tolerance > 0.0 && args.tolerance < 1.0) {
+        eprintln!("bench_kernels: --tolerance must be in (0, 1)");
+        std::process::exit(2);
+    }
     args
+}
+
+/// UTC calendar date `YYYY-MM-DD` from the system clock (no chrono):
+/// civil-from-days, Hinnant's algorithm.
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `(serial_us, speedup)` keyed by `(kernel, p)`.
+type BenchRows = Vec<((String, u64), (f64, f64))>;
+
+/// Index the `(kernel, p)` rows of a bench record:
+/// `(serial_us, speedup)` per key, plus the host core count from meta.
+fn index_record(v: &Value) -> Result<(BenchRows, Option<u64>), String> {
+    validate_bench(v)?;
+    let columns = v.get("columns").and_then(Value::as_arr).unwrap();
+    let col = |name: &str| {
+        columns
+            .iter()
+            .position(|c| c.as_str() == Some(name))
+            .ok_or_else(|| format!("record has no {name:?} column"))
+    };
+    let (ck, cp, cs, cx) = (
+        col("kernel")?,
+        col("p")?,
+        col("serial_us")?,
+        col("speedup")?,
+    );
+    let rows = v.get("rows").and_then(Value::as_arr).unwrap();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let row = row.as_arr().unwrap();
+        let key = (
+            row[ck].as_str().unwrap_or("?").to_string(),
+            row[cp].as_f64().unwrap_or(0.0) as u64,
+        );
+        let serial = row[cs].as_f64().ok_or("serial_us must be numeric")?;
+        let speedup = row[cx].as_f64().ok_or("speedup must be numeric")?;
+        out.push((key, (serial, speedup)));
+    }
+    let cores = v
+        .get("meta")
+        .and_then(|m| m.get("cores"))
+        .and_then(Value::as_u64);
+    Ok((out, cores))
+}
+
+/// The regression gate: diff `record` against the baseline file. Returns
+/// human-readable regression lines (empty = gate passed).
+fn compare_against(
+    baseline: &std::path::Path,
+    record: &Value,
+    tol: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("reading {}: {e}", baseline.display()))?;
+    let base_v =
+        Value::parse(text.trim()).map_err(|e| format!("parsing {}: {e}", baseline.display()))?;
+    let (base_rows, base_cores) =
+        index_record(&base_v).map_err(|e| format!("{}: {e}", baseline.display()))?;
+    let (now_rows, now_cores) = index_record(record)?;
+    let gate_serial = base_cores.is_some() && base_cores == now_cores;
+    if !gate_serial {
+        println!(
+            "  compare: serial_us gate skipped (baseline cores {:?}, host cores {:?})",
+            base_cores, now_cores
+        );
+    }
+    let mut regressions = Vec::new();
+    for ((kernel, p), (base_serial, base_speedup)) in &base_rows {
+        let Some((_, (serial, speedup))) =
+            now_rows.iter().find(|((k, q), _)| k == kernel && q == p)
+        else {
+            regressions.push(format!("{kernel} p={p}: row missing from current run"));
+            continue;
+        };
+        if *speedup < base_speedup * (1.0 - tol) {
+            regressions.push(format!(
+                "{kernel} p={p}: speedup {speedup:.2}x < baseline {base_speedup:.2}x - {:.0}%",
+                tol * 100.0
+            ));
+        }
+        if gate_serial && *serial > base_serial * (1.0 + tol) {
+            regressions.push(format!(
+                "{kernel} p={p}: serial {serial:.1} us > baseline {base_serial:.1} us + {:.0}%",
+                tol * 100.0
+            ));
+        }
+    }
+    Ok(regressions)
 }
 
 /// Best-of-`reps` wall time of `f`, in microseconds (one warmup call).
@@ -202,6 +335,7 @@ fn main() {
             ("threads", Value::int(pool.threads() as u64)),
             ("reps", Value::int(reps as u64)),
             ("quick", Value::int(u64::from(args.quick))),
+            ("date", Value::str(utc_date())),
         ],
     );
     validate_bench(&record).expect("bench record must self-validate");
@@ -210,6 +344,47 @@ fn main() {
         std::process::exit(1);
     });
     println!("wrote {}", args.out.display());
+
+    if let Some(hist) = &args.history {
+        use std::io::Write;
+        let append = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(hist)
+            .and_then(|mut f| writeln!(f, "{record}"));
+        match append {
+            Ok(()) => println!("appended to history {}", hist.display()),
+            Err(e) => {
+                eprintln!("bench_kernels: cannot append {}: {e}", hist.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(base) = &args.compare {
+        match compare_against(base, &record, args.tolerance) {
+            Ok(regressions) if regressions.is_empty() => println!(
+                "compare gate passed vs {} (tolerance {:.0}%)",
+                base.display(),
+                args.tolerance * 100.0
+            ),
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!("bench_kernels: REGRESSION: {r}");
+                }
+                eprintln!(
+                    "bench_kernels: FAIL: {} regression(s) vs {}",
+                    regressions.len(),
+                    base.display()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench_kernels: cannot compare: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     if let Some(min) = args.assert_speedup {
         if cores >= 4 {

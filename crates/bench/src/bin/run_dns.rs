@@ -40,6 +40,7 @@ use rbx::basis::ModalBasis;
 use rbx::comm::SingleComm;
 use rbx::compress::{compress_field, CompressionConfig};
 use rbx::core::stats::{RunStatistics, ZProfiles};
+use rbx::core::RecoveryEvent;
 use rbx::core::{
     CheckpointSet, FaultPlan, Observables, RecoveryPolicy, ResilientRunner, Simulation,
     SolverConfig,
@@ -47,10 +48,12 @@ use rbx::core::{
 use rbx::insitu::PodConsumer;
 use rbx::io::{staging_channel, AsyncBplWriter, StepData, Variable};
 use rbx::mesh::BoundaryTag;
+use rbx::obs::prom::PromServer;
+use rbx::obs::{HealthConfig, HealthMonitor};
 use rbx::telemetry::json::Value;
 use rbx::telemetry::schema::TELEMETRY_SCHEMA;
 use rbx::telemetry::Telemetry;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 #[derive(Debug)]
 struct Args {
@@ -79,6 +82,9 @@ struct Args {
     telemetry_prom: Option<PathBuf>,
     trace_depth: Option<usize>,
     json_summary: Option<PathBuf>,
+    prom_listen: Option<String>,
+    health_jsonl: Option<PathBuf>,
+    flight: usize,
 }
 
 impl Default for Args {
@@ -109,6 +115,9 @@ impl Default for Args {
             telemetry_prom: None,
             trace_depth: None,
             json_summary: None,
+            prom_listen: None,
+            health_jsonl: None,
+            flight: 0,
         }
     }
 }
@@ -182,6 +191,9 @@ fn parse_args() -> Args {
                 args.trace_depth = Some(parse("--trace-depth", &value("--trace-depth")))
             }
             "--json-summary" => args.json_summary = Some(PathBuf::from(value("--json-summary"))),
+            "--prom-listen" => args.prom_listen = Some(value("--prom-listen")),
+            "--health-jsonl" => args.health_jsonl = Some(PathBuf::from(value("--health-jsonl"))),
+            "--flight" => args.flight = parse("--flight", &value("--flight")),
             "--help" | "-h" => {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
@@ -190,7 +202,8 @@ fn parse_args() -> Args {
                      --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
                      --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR \
                      --telemetry-jsonl FILE.jsonl --telemetry-prom FILE.prom \
-                     --trace-depth N --json-summary FILE.json"
+                     --trace-depth N --json-summary FILE.json \
+                     --prom-listen ADDR:PORT --health-jsonl FILE.jsonl --flight N"
                 );
                 std::process::exit(0);
             }
@@ -213,6 +226,66 @@ fn parse_args() -> Args {
         die("--ranks must be in 1..=64 (survivor masks are 64-bit)");
     }
     args
+}
+
+/// True when any observability surface was requested — telemetry then
+/// runs enabled even without a JSONL sink (the flight ring, health
+/// detectors, and live scrape endpoint all feed off the same emit path).
+fn obs_requested(args: &Args) -> bool {
+    args.telemetry_jsonl.is_some()
+        || args.telemetry_prom.is_some()
+        || args.prom_listen.is_some()
+        || args.health_jsonl.is_some()
+        || args.flight > 0
+}
+
+/// Per-rank JSONL stream path: `tel.jsonl` → `tel.rank3.jsonl`. One
+/// stream per rank is what `rbx-obs merge` expects.
+fn rank_jsonl_path(base: &Path, rank: usize) -> PathBuf {
+    base.with_extension(format!("rank{rank}.jsonl"))
+}
+
+/// Install the online health detectors (tap on the telemetry stream) and
+/// the optional live Prometheus scrape endpoint.
+fn attach_observers(tel: &Telemetry, args: &Args) -> (HealthMonitor, Option<PromServer>) {
+    let mon = HealthMonitor::new(HealthConfig::default(), tel);
+    let mon = match &args.health_jsonl {
+        Some(path) => match mon.with_jsonl(path) {
+            Ok(m) => {
+                println!("  health: detector events -> {}", path.display());
+                m
+            }
+            Err(e) => die(&format!(
+                "cannot create health JSONL {}: {e}",
+                path.display()
+            )),
+        },
+        None => mon,
+    };
+    mon.install(tel);
+    let prom = args
+        .prom_listen
+        .as_deref()
+        .map(|addr| match rbx::obs::prom::serve(tel, addr) {
+            Ok(s) => {
+                println!("  telemetry: live scrape endpoint on http://{}/", s.addr());
+                s
+            }
+            Err(e) => die(&format!("cannot bind --prom-listen {addr}: {e}")),
+        });
+    (mon, prom)
+}
+
+/// Recovery events aggregated by token, for the machine-readable summary.
+fn recovery_totals(events: &[RecoveryEvent]) -> Vec<(&'static str, Value)> {
+    let mut totals: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for e in events {
+        *totals.entry(e.token()).or_insert(0) += 1;
+    }
+    totals
+        .into_iter()
+        .map(|(k, v)| (k, Value::int(v)))
+        .collect()
 }
 
 /// The distributed time loop: `--ranks N` runs the case partitioned over
@@ -284,21 +357,41 @@ fn run_multirank(args: Args) {
             plan_ref.elems[rank].clone(),
             comm,
         );
-        // Telemetry sinks are rank-0-only; other ranks keep the
-        // single-atomic-load disabled path.
+        // Observability is per-rank: every rank gets its own JSONL stream
+        // (`tel.rank{r}.jsonl` — the unit `rbx-obs merge` consumes) and
+        // its own flight ring; the health detectors and live export run
+        // on rank 0, fed out-of-band by the other ranks.
         let tel = Telemetry::disabled();
-        if rank == 0 && (args_ref.telemetry_jsonl.is_some() || args_ref.telemetry_prom.is_some()) {
+        let mut health: Option<HealthMonitor> = None;
+        let mut prom: Option<PromServer> = None;
+        if obs_requested(args_ref) {
             tel.set_enabled(true);
             if let Some(depth) = args_ref.trace_depth {
                 tel.set_trace_depth(depth);
             }
             if let Some(path) = &args_ref.telemetry_jsonl {
-                if let Err(e) = tel.open_jsonl(path) {
+                let rp = rank_jsonl_path(path, rank);
+                if let Err(e) = tel.open_jsonl(&rp) {
                     die(&format!(
                         "cannot create telemetry JSONL {}: {e}",
-                        path.display()
+                        rp.display()
                     ));
                 }
+                if rank == 0 {
+                    println!(
+                        "  telemetry: per-rank JSONL streams -> {} ... ({} ranks)",
+                        rp.display(),
+                        args_ref.ranks
+                    );
+                }
+            }
+            if args_ref.flight > 0 {
+                tel.attach_flight(args_ref.flight);
+            }
+            if rank == 0 {
+                let (mon, server) = attach_observers(&tel, args_ref);
+                health = Some(mon);
+                prom = server;
             }
         }
         sim.set_telemetry(&tel);
@@ -331,13 +424,84 @@ fn run_multirank(args: Args) {
             ..Default::default()
         };
         let mut runner = ResilientRunner::new(checkpoints, policy);
+        if args_ref.flight > 0 {
+            runner = runner.with_flight_dir(args_ref.out.join("flight"));
+        }
         let target_step = sim.state.istep + args_ref.steps;
         let mut last_sampled = sim.state.istep;
         let mut obs_rows = Vec::new();
         let mut stats = RunStatistics::default();
+        // Out-of-band vitals: step → (reports, wall max, wall sum),
+        // folded into the imbalance detector once every rank reported.
+        let obs_on = tel.is_enabled();
+        let mut pending: std::collections::BTreeMap<u64, (usize, f64, f64)> =
+            std::collections::BTreeMap::new();
+        let mut prev_comm = 0.0f64;
+        let mut prev_gs = 0u64;
         let t0 = std::time::Instant::now();
         let report = runner.run_with(&mut sim, target_step, |sim, st| {
             let step = sim.state.istep;
+            if obs_on {
+                // Every step, off the collective path: fire-and-forget
+                // this rank's vitals at rank 0, which drains whatever has
+                // arrived and folds complete step groups into the
+                // cross-rank imbalance detector.
+                let comm_now = tel.tracer().seconds("gs/shared");
+                let gs_now = tel.metrics().counter("rbx_gs_bytes_total");
+                let my = rbx::comm::StepHealthReport {
+                    rank: sim.comm.rank(),
+                    step: step as u64,
+                    wall_s: st.wall_seconds,
+                    cfl: 0.0,
+                    comm_s: (comm_now - prev_comm).max(0.0),
+                    gs_bytes: gs_now.saturating_sub(prev_gs),
+                };
+                prev_comm = comm_now;
+                prev_gs = gs_now;
+                if sim.comm.rank() == 0 {
+                    let mut fold = |r: &rbx::comm::StepHealthReport| {
+                        let e = pending.entry(r.step).or_insert((0, f64::NEG_INFINITY, 0.0));
+                        e.0 += 1;
+                        e.1 = e.1.max(r.wall_s);
+                        e.2 += r.wall_s;
+                    };
+                    fold(&my);
+                    let batch =
+                        rbx::comm::drain_step_health(sim.comm, std::time::Duration::from_millis(1));
+                    for r in &batch {
+                        fold(r);
+                    }
+                    if !batch.is_empty() {
+                        tel.counter_add(
+                            rbx::telemetry::names::OBS_GATHER_REPORTS_TOTAL,
+                            batch.len() as u64,
+                        );
+                    }
+                    let complete: Vec<u64> = pending
+                        .iter()
+                        .filter(|(_, e)| e.0 >= args_ref.ranks)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    for s in complete {
+                        if let Some((c, max, sum)) = pending.remove(&s) {
+                            let mean = sum / c as f64;
+                            if let Some(mon) = &health {
+                                if mean > 0.0 {
+                                    mon.observe_imbalance(s, max / mean);
+                                }
+                            }
+                        }
+                    }
+                    // A report lost on the wire must not pin its step
+                    // group (and the map) forever.
+                    while pending.len() > 256 {
+                        let s = *pending.keys().next().unwrap();
+                        pending.remove(&s);
+                    }
+                } else {
+                    rbx::comm::send_step_health(sim.comm, &my);
+                }
+            }
             if args_ref.sample_every == 0
                 || step % args_ref.sample_every != 0
                 || step <= last_sampled
@@ -379,12 +543,25 @@ fn run_multirank(args: Args) {
                     }
                 }
             }
+            if let Some(mon) = &health {
+                mon.flush();
+            }
             tel.flush();
         }
-        (report, elapsed, obs_rows, stats)
+        let health_events = health.as_ref().map(|m| m.event_count());
+        if let Some(server) = prom {
+            server.shutdown();
+        }
+        (report, elapsed, obs_rows, stats, health_events)
     });
 
-    let (report, elapsed, obs_rows, stats) = results.into_iter().next().expect("rank 0 result");
+    // Flight dumps land per rank; surface all of them, not just rank 0's.
+    let all_dumps: Vec<PathBuf> = results
+        .iter()
+        .flat_map(|(r, ..)| r.flight_dumps.clone())
+        .collect();
+    let (report, elapsed, obs_rows, stats, health_events) =
+        results.into_iter().next().expect("rank 0 result");
     use std::io::Write;
     let csv = std::fs::File::create(args.out.join("observables.csv")).and_then(|mut f| {
         writeln!(f, "step,time,nu_volume,kinetic_energy,p_iters")?;
@@ -411,6 +588,9 @@ fn run_multirank(args: Args) {
     row("rollbacks", format!("{}", report.rollbacks));
     row("final dt", format!("{}", report.final_dt));
     row("recovery events", format!("{}", report.events.len()));
+    if let Some(n) = health_events {
+        row("health events", format!("{n}"));
+    }
     if stats.nu_volume.count() > 0 {
         row(
             "Nu(vol)",
@@ -425,6 +605,9 @@ fn run_multirank(args: Args) {
     row("outputs", args.out.display().to_string());
     for e in &report.events {
         println!("  [recovery] {e}");
+    }
+    for p in &all_dumps {
+        println!("  [flight]   post-mortem ring dump in {}", p.display());
     }
 }
 
@@ -485,9 +668,11 @@ fn main() {
     sim.init_rbc();
 
     // Observability: off (a single relaxed atomic load per hook) unless a
-    // sink was requested.
+    // surface was requested.
     let tel = Telemetry::disabled();
-    if args.telemetry_jsonl.is_some() || args.telemetry_prom.is_some() {
+    let mut health: Option<HealthMonitor> = None;
+    let mut prom: Option<PromServer> = None;
+    if obs_requested(&args) {
         tel.set_enabled(true);
         if let Some(depth) = args.trace_depth {
             tel.set_trace_depth(depth);
@@ -501,6 +686,13 @@ fn main() {
             }
             println!("  telemetry: JSONL stream -> {}", path.display());
         }
+        if args.flight > 0 {
+            tel.attach_flight(args.flight);
+            println!("  telemetry: flight ring of {} records", args.flight);
+        }
+        let (mon, server) = attach_observers(&tel, &args);
+        health = Some(mon);
+        prom = server;
     }
     sim.set_telemetry(&tel);
 
@@ -581,6 +773,9 @@ fn main() {
         ..Default::default()
     };
     let mut runner = ResilientRunner::new(checkpoints, policy).with_faults(faults);
+    if args.flight > 0 {
+        runner = runner.with_flight_dir(args.out.join("flight"));
+    }
 
     let target_step = sim.state.istep + args.steps;
     // After a rollback the runner replays steps already sampled; skip
@@ -722,6 +917,9 @@ fn main() {
     row("rollbacks", format!("{}", report.rollbacks));
     row("final dt", format!("{}", report.final_dt));
     row("recovery events", format!("{}", report.events.len()));
+    if let Some(mon) = &health {
+        row("health events", format!("{}", mon.event_count()));
+    }
     if stats.nu_volume.count() > 0 {
         row(
             "Nu(vol)",
@@ -763,6 +961,9 @@ fn main() {
             println!("  [recovery] {e}");
         }
     }
+    for p in &report.flight_dumps {
+        println!("  [flight]   post-mortem ring dump in {}", p.display());
+    }
 
     // Machine-readable summary: one `kind: "summary"` record, shared by the
     // JSONL stream and the optional standalone --json-summary file.
@@ -789,6 +990,19 @@ fn main() {
             "recovery_events",
             Value::arr(report.events.iter().map(|e| e.telemetry_record())),
         ),
+        (
+            "recovery_totals",
+            Value::obj(recovery_totals(&report.events)),
+        ),
+        (
+            "flight_dumps",
+            Value::arr(
+                report
+                    .flight_dumps
+                    .iter()
+                    .map(|p| Value::str(p.display().to_string())),
+            ),
+        ),
     ]);
     if tel.is_enabled() {
         tel.emit(&summary);
@@ -813,5 +1027,13 @@ fn main() {
         } else {
             println!("  json summary in {}", path.display());
         }
+    }
+    if let Some(mon) = &health {
+        mon.flush();
+    }
+    // Keep the scrape endpoint alive until the very end: the last scrape
+    // sees the final counters, including the summary emit above.
+    if let Some(server) = prom {
+        server.shutdown();
     }
 }

@@ -8,10 +8,15 @@
 //! ```sh
 //! telemetry_check --jsonl out/tel.jsonl --min-lines 10 --expect-kind step
 //! telemetry_check --bench out/fig2_overlap/fig2.json
+//! telemetry_check --flight out/flight/flight_r0_s17_shrink.jsonl
+//! telemetry_check --timeline out/timeline.jsonl --health out/health.jsonl
 //! ```
 
 use rbx::telemetry::json::Value;
-use rbx::telemetry::schema::{validate_bench, validate_line};
+use rbx::telemetry::schema::{
+    validate_bench, validate_flight_header, validate_health, validate_line,
+    validate_timeline_record,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,6 +24,9 @@ use std::process::ExitCode;
 struct Args {
     jsonl: Vec<PathBuf>,
     bench: Vec<PathBuf>,
+    flight: Vec<PathBuf>,
+    timeline: Vec<PathBuf>,
+    health: Vec<PathBuf>,
     expect_kinds: Vec<String>,
     min_lines: usize,
 }
@@ -26,6 +34,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry_check [--jsonl FILE.jsonl]... [--bench FILE.json]... \
+         [--flight FILE.jsonl]... [--timeline FILE.jsonl]... [--health FILE.jsonl]... \
          [--expect-kind KIND]... [--min-lines N]"
     );
     std::process::exit(2);
@@ -35,6 +44,9 @@ fn parse_args() -> Args {
     let mut args = Args {
         jsonl: Vec::new(),
         bench: Vec::new(),
+        flight: Vec::new(),
+        timeline: Vec::new(),
+        health: Vec::new(),
         expect_kinds: Vec::new(),
         min_lines: 1,
     };
@@ -44,6 +56,9 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--jsonl" => args.jsonl.push(PathBuf::from(val())),
             "--bench" => args.bench.push(PathBuf::from(val())),
+            "--flight" => args.flight.push(PathBuf::from(val())),
+            "--timeline" => args.timeline.push(PathBuf::from(val())),
+            "--health" => args.health.push(PathBuf::from(val())),
             "--expect-kind" => args.expect_kinds.push(val()),
             "--min-lines" => {
                 args.min_lines = val().parse().unwrap_or_else(|_| usage());
@@ -55,7 +70,12 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.jsonl.is_empty() && args.bench.is_empty() {
+    if args.jsonl.is_empty()
+        && args.bench.is_empty()
+        && args.flight.is_empty()
+        && args.timeline.is_empty()
+        && args.health.is_empty()
+    {
         usage();
     }
     args
@@ -86,6 +106,63 @@ fn check_jsonl(path: &PathBuf, min_lines: usize) -> Result<BTreeMap<String, usiz
         ));
     }
     Ok(kinds)
+}
+
+/// Validate an `rbx.flight.v1` post-mortem dump: one header line, then
+/// ordinary telemetry records, with the header's count honest.
+fn check_flight(path: &PathBuf) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty flight dump", path.display()))?;
+    let hv = Value::parse(header)
+        .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), i + 1))?;
+    validate_flight_header(&hv).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+    let mut records = 0usize;
+    for (i, line) in lines {
+        validate_line(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        records += 1;
+    }
+    let declared = hv.get("records").and_then(Value::as_u64).unwrap_or(0) as usize;
+    if declared != records {
+        return Err(format!(
+            "{}: header declares {declared} record(s), file has {records}",
+            path.display()
+        ));
+    }
+    Ok(records)
+}
+
+/// Validate every line of a one-schema JSONL stream with `validate`.
+fn check_stream(
+    path: &PathBuf,
+    min_lines: usize,
+    validate: impl Fn(&Value) -> Result<(), String>,
+) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line)
+            .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), i + 1))?;
+        validate(&v).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        lines += 1;
+    }
+    if lines < min_lines {
+        return Err(format!(
+            "{}: only {lines} valid record(s), expected at least {min_lines}",
+            path.display()
+        ));
+    }
+    Ok(lines)
 }
 
 fn check_bench(path: &PathBuf) -> Result<String, String> {
@@ -120,6 +197,37 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for path in &args.flight {
+        match check_flight(path) {
+            Ok(n) => println!("ok   {} (flight dump, {n} records)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for path in &args.timeline {
+        match check_stream(path, args.min_lines, validate_timeline_record) {
+            Ok(n) => println!("ok   {} (timeline, {n} records)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for path in &args.health {
+        // A healthy run emits no events; zero lines is a valid stream.
+        match check_stream(path, 0, validate_health) {
+            Ok(n) => println!("ok   {} (health, {n} events)", path.display()),
             Err(e) => {
                 eprintln!("FAIL {e}");
                 failed = true;

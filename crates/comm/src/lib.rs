@@ -38,6 +38,7 @@ mod collective;
 mod error;
 pub mod frame;
 mod hardened;
+pub mod oob;
 mod single;
 mod subset;
 mod thread;
@@ -45,6 +46,7 @@ mod thread;
 pub use chaos::{ChaosComm, CommFaultPlan};
 pub use error::{CommError, CommErrorKind, CommTuning};
 pub use hardened::HardenedComm;
+pub use oob::{drain_step_health, send_step_health, StepHealthReport, OBS_HEALTH_TAG};
 pub use single::SingleComm;
 pub use subset::SubsetComm;
 pub use thread::{run_on_ranks, run_on_ranks_tuned, ThreadComm};

@@ -126,6 +126,9 @@ pub struct ElasticReport {
     /// Structured event log across all segments, including
     /// [`RecoveryEvent::Shrink`] entries at each width change.
     pub events: Vec<RecoveryEvent>,
+    /// Flight-recorder post-mortem files this rank wrote across all
+    /// segments (shrinks, divergences, exhausted recoveries).
+    pub flight_dumps: Vec<PathBuf>,
 }
 
 /// Decide, collectively, which of `live` (global ranks, all < 64) are
@@ -238,6 +241,8 @@ pub struct ElasticRunner {
     /// Recovery tunables for each width segment; the rollback budget
     /// resets after every shrink — the new world deserves a fresh one.
     pub policy: RecoveryPolicy,
+    /// Directory for flight-recorder post-mortem dumps (`None` disables).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl ElasticRunner {
@@ -247,7 +252,16 @@ impl ElasticRunner {
             dir: dir.into(),
             keep,
             policy,
+            flight_dir: None,
         }
+    }
+
+    /// Dump the telemetry flight ring on every recovery trigger (shrink
+    /// included), so each surviving rank leaves a post-mortem of its last
+    /// K steps.
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
     }
 
     /// Build the simulation, run to `target_step`, and shrink past any
@@ -271,6 +285,7 @@ impl ElasticRunner {
         let mut shrinks = 0usize;
         let mut rollbacks = 0usize;
         let mut events: Vec<RecoveryEvent> = Vec::new();
+        let mut flight_dumps: Vec<PathBuf> = Vec::new();
         let mut pending_shrink: Option<(usize, Vec<usize>)> = None;
         let mut first = true;
         loop {
@@ -307,7 +322,12 @@ impl ElasticRunner {
                 events.push(ev);
             }
             let mut runner = ResilientRunner::new(set, self.policy);
-            match runner.run(&mut sim, target_step) {
+            if let Some(fd) = &self.flight_dir {
+                runner = runner.with_flight_dir(fd.clone());
+            }
+            let outcome = runner.run(&mut sim, target_step);
+            flight_dumps.append(&mut runner.flight_dumps);
+            match outcome {
                 Ok(mut report) => {
                     rollbacks += report.rollbacks;
                     events.append(&mut report.events);
@@ -319,6 +339,7 @@ impl ElasticRunner {
                         final_ranks: live.len(),
                         final_dt: report.final_dt,
                         events,
+                        flight_dumps,
                     }));
                 }
                 Err(SimError::RecoveryExhausted { retries, last }) if live.len() > 1 => {

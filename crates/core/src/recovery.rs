@@ -67,6 +67,9 @@ pub enum RecoveryEvent {
         istep: usize,
         /// Where it was written.
         path: PathBuf,
+        /// Wall-clock seconds the write took (input to the
+        /// checkpoint-latency-growth health detector).
+        write_s: f64,
     },
     /// A checkpoint write failed; the run continued on older generations.
     CheckpointWriteFailed {
@@ -173,6 +176,9 @@ impl RecoveryEvent {
         if let Some(s) = step {
             fields.push(("step", Value::int(s as u64)));
         }
+        if let RecoveryEvent::CheckpointWritten { write_s, .. } = self {
+            fields.push(("write_s", Value::num(*write_s)));
+        }
         Value::obj(fields)
     }
 }
@@ -180,7 +186,7 @@ impl RecoveryEvent {
 impl fmt::Display for RecoveryEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RecoveryEvent::CheckpointWritten { istep, path } => {
+            RecoveryEvent::CheckpointWritten { istep, path, .. } => {
                 write!(f, "step {istep}: checkpoint written to {}", path.display())
             }
             RecoveryEvent::CheckpointWriteFailed { istep, error } => {
@@ -240,6 +246,8 @@ pub struct RunReport {
     pub final_dt: f64,
     /// Full structured event log, in order.
     pub events: Vec<RecoveryEvent>,
+    /// Flight-recorder post-mortem files written during the run.
+    pub flight_dumps: Vec<PathBuf>,
 }
 
 /// Append an event to the run log, mirroring it to the simulation's
@@ -266,6 +274,12 @@ pub struct ResilientRunner {
     /// Fault schedule (defaults to none); drives the same code paths as
     /// real faults.
     pub faults: FaultPlan,
+    /// Directory for flight-recorder post-mortem dumps (`None` disables
+    /// dumping even when the telemetry handle carries a ring).
+    pub flight_dir: Option<PathBuf>,
+    /// Dump files written so far — readable even when `run_with` exits
+    /// with an error (the exhausted-recovery dump is the interesting one).
+    pub flight_dumps: Vec<PathBuf>,
 }
 
 impl ResilientRunner {
@@ -276,6 +290,8 @@ impl ResilientRunner {
             checkpoints,
             policy,
             faults: FaultPlan::none(),
+            flight_dir: None,
+            flight_dumps: Vec::new(),
         }
     }
 
@@ -283,6 +299,38 @@ impl ResilientRunner {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Dump the telemetry flight ring into `dir` on every divergence and
+    /// on recovery exhaustion, so post-mortems carry the last K steps of
+    /// context.
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// Write a flight-recorder dump for the current state, if a flight
+    /// directory is configured and the telemetry ring holds anything.
+    /// Dump failures are swallowed: post-mortem capture must never make a
+    /// bad situation worse.
+    fn dump_flight(&mut self, sim: &Simulation<'_>, reason: &str, istep: usize) {
+        let dir = match &self.flight_dir {
+            Some(d) => d,
+            None => return,
+        };
+        if sim.tel.flight_len() == 0 {
+            return;
+        }
+        let rank = sim.comm.rank();
+        let path = dir.join(format!("flight_r{rank}_s{istep}_{reason}.jsonl"));
+        if std::fs::create_dir_all(dir).is_ok()
+            && sim
+                .tel
+                .dump_flight(&path, rank, sim.comm.size(), reason, istep as u64)
+                .is_ok()
+        {
+            self.flight_dumps.push(path);
+        }
     }
 
     /// Advance `sim` to `target_step`, recovering from divergence by
@@ -308,6 +356,7 @@ impl ResilientRunner {
         let mut rollbacks = 0usize;
         let mut skip_escalation = 0usize;
         let mut last_divergence_step: Option<usize> = None;
+        self.flight_dumps.clear();
 
         // Anchor checkpoint: the first rollback needs a target even if the
         // very first step diverges. Failure here is fatal — a run that
@@ -349,6 +398,7 @@ impl ResilientRunner {
                     // budget on a fault that is not ours to heal.
                     if let Some(e) = sim.comm.poisoned() {
                         if crate::elastic::is_shrink_sentinel(&e) {
+                            self.dump_flight(sim, "shrink", istep);
                             return Err(SimError::RecoveryExhausted {
                                 retries: rollbacks,
                                 last: crate::elastic::SHRINK_REASON.to_string(),
@@ -363,7 +413,9 @@ impl ResilientRunner {
                             fault: fault.to_string(),
                         },
                     );
+                    self.dump_flight(sim, "divergence", istep);
                     if rollbacks >= self.policy.max_rollbacks {
+                        self.dump_flight(sim, "recovery_exhausted", istep);
                         return Err(SimError::RecoveryExhausted {
                             retries: rollbacks,
                             last: fault.to_string(),
@@ -453,6 +505,7 @@ impl ResilientRunner {
             rollbacks,
             final_dt: sim.cfg.dt,
             events,
+            flight_dumps: self.flight_dumps.clone(),
         })
     }
 
@@ -545,13 +598,21 @@ impl ResilientRunner {
             );
             return Err(err);
         }
+        let write_start = std::time::Instant::now();
         match self.checkpoints.write(sim) {
             Ok(path) => {
+                let write_s = write_start.elapsed().as_secs_f64();
+                sim.tel
+                    .histogram_observe("rbx_checkpoint_write_seconds", write_s);
                 self.faults.after_checkpoint_write(istep, &path);
                 log_event(
                     sim,
                     events,
-                    RecoveryEvent::CheckpointWritten { istep, path },
+                    RecoveryEvent::CheckpointWritten {
+                        istep,
+                        path,
+                        write_s,
+                    },
                 );
                 Ok(())
             }
@@ -809,6 +870,7 @@ mod tests {
             RecoveryEvent::CheckpointWritten {
                 istep: 4,
                 path: PathBuf::from("/tmp/chk_4.bpl"),
+                write_s: 0.012,
             },
             RecoveryEvent::CheckpointWriteFailed {
                 istep: 6,

@@ -130,6 +130,12 @@ pub struct Simulation<'a> {
     /// Pool counter snapshot at the end of the previous step, for per-step
     /// telemetry deltas.
     pool_prev: PoolStats,
+    /// Gather-scatter byte counter at the end of the previous step, for
+    /// the per-step `gs_bytes` delta in the step record.
+    obs_prev_gs_bytes: u64,
+    /// Cumulative `gs/shared` span seconds at the end of the previous
+    /// step, for the per-step `comm_s` delta in the step record.
+    obs_prev_comm_s: f64,
 }
 
 impl<'a> Simulation<'a> {
@@ -242,6 +248,8 @@ impl<'a> Simulation<'a> {
             scratch_d: DiffScratch::default(),
             pool: None,
             pool_prev: PoolStats::default(),
+            obs_prev_gs_bytes: 0,
+            obs_prev_comm_s: 0.0,
         }
     }
 
@@ -635,6 +643,16 @@ impl<'a> Simulation<'a> {
         // The pure Other-region measurement stays visible as the
         // `step/other` span.
         let other = (stats.wall_seconds - ph[0] - ph[1] - ph[2]).max(ph[3]);
+        // Observability extensions: per-step deltas of cumulative
+        // gather-scatter traffic and inter-rank exchange time, so the
+        // cross-rank aggregator can derive comm-vs-compute ratio and
+        // bytes skew without access to this rank's registry.
+        let gs_bytes_now = self.tel.metrics().counter("rbx_gs_bytes_total");
+        let gs_bytes = gs_bytes_now.saturating_sub(self.obs_prev_gs_bytes);
+        self.obs_prev_gs_bytes = gs_bytes_now;
+        let comm_now = self.tel.tracer().seconds("gs/shared");
+        let comm_s = (comm_now - self.obs_prev_comm_s).max(0.0);
+        self.obs_prev_comm_s = comm_now;
         self.tel.emit(&Value::obj([
             ("schema", Value::str(TELEMETRY_SCHEMA)),
             ("kind", Value::str("step")),
@@ -658,6 +676,10 @@ impl<'a> Simulation<'a> {
             ),
             ("t_iters", Value::int(stats.t_iters as u64)),
             ("verdict", Value::str(verdict)),
+            ("rank", Value::int(self.comm.rank() as u64)),
+            ("cfl", Value::num(cfl)),
+            ("gs_bytes", Value::int(gs_bytes)),
+            ("comm_s", Value::num(comm_s)),
         ]));
     }
 

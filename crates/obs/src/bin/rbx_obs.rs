@@ -1,0 +1,84 @@
+//! `rbx-obs` — cross-rank observability CLI.
+//!
+//! ```text
+//! rbx-obs merge --out timeline.jsonl rank0.jsonl rank1.jsonl ...
+//! ```
+//!
+//! Merges per-rank `rbx.telemetry.v1` JSONL streams into one
+//! `rbx.timeline.v1` timeline with derived per-step metrics (imbalance,
+//! straggler, comm ratio, gather-scatter skew), re-verifying the
+//! phase-sum invariant along the way. Exits 0 on success, 1 on any
+//! phase-gap violation when `--strict-phases` is given, 2 on usage or
+//! I/O errors.
+
+use rbx_obs::timeline::merge_files;
+use std::path::PathBuf;
+
+fn die(msg: &str) -> ! {
+    eprintln!("rbx-obs: {msg}");
+    eprintln!("usage: rbx-obs merge --out <timeline.jsonl> [--strict-phases] <rank.jsonl>...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") => merge(&args[1..]),
+        Some(other) => die(&format!("unknown command {other:?}")),
+        None => die("missing command"),
+    }
+}
+
+fn merge(args: &[String]) {
+    let mut out: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--out needs a path")),
+                ))
+            }
+            "--strict-phases" => strict = true,
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    let out = out.unwrap_or_else(|| die("--out is required"));
+    if inputs.is_empty() {
+        die("no input streams");
+    }
+    let tl = match merge_files(&inputs, None) {
+        Ok(tl) => tl,
+        Err(e) => die(&format!("reading inputs: {e}")),
+    };
+    let file = match std::fs::File::create(&out) {
+        Ok(f) => f,
+        Err(e) => die(&format!("creating {}: {e}", out.display())),
+    };
+    if let Err(e) = tl.write_jsonl(std::io::BufWriter::new(file)) {
+        die(&format!("writing {}: {e}", out.display()));
+    }
+    eprintln!(
+        "rbx-obs: merged {} stream(s), {} rank(s), {} step(s) -> {} \
+         (imbalance mean {}, max {}; phase gaps {}; replays {})",
+        tl.streams,
+        tl.ranks,
+        tl.steps.len(),
+        out.display(),
+        tl.imbalance_mean()
+            .map_or("-".into(), |x| format!("{x:.3}")),
+        tl.imbalance_max().map_or("-".into(), |x| format!("{x:.3}")),
+        tl.phase_gap_total,
+        tl.replayed_records,
+    );
+    if strict && tl.phase_gap_total > 0 {
+        eprintln!(
+            "rbx-obs: FAIL: {} phase-gap violation(s) under --strict-phases",
+            tl.phase_gap_total
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,175 @@
+//! `rbx-top` — live per-rank/per-phase view of a merged timeline.
+//!
+//! ```text
+//! rbx-top timeline.jsonl              # render once and exit
+//! rbx-top --follow timeline.jsonl     # re-render as the file grows
+//! ```
+//!
+//! Tails a `rbx.timeline.v1` file (re-merged periodically by the driver
+//! or a cron loop) and renders the most recent steps as a table: wall
+//! time, load imbalance, straggler rank, comm fraction, and the four
+//! phase bins. Follow mode polls the file; a shrinking or unchanged file
+//! is simply re-read (the merge rewrites it atomically enough for a
+//! line-oriented reader — partial trailing lines are skipped).
+
+use rbx_telemetry::json::Value;
+use std::time::Duration;
+
+const SHOW_STEPS: usize = 12;
+
+fn die(msg: &str) -> ! {
+    eprintln!("rbx-top: {msg}");
+    eprintln!("usage: rbx-top [--follow] [--interval-ms N] <timeline.jsonl>");
+    std::process::exit(2);
+}
+
+struct Row {
+    step: u64,
+    ranks: u64,
+    wall_max: f64,
+    imbalance: f64,
+    straggler: u64,
+    comm: Option<f64>,
+    gaps: u64,
+    phases: [f64; 4],
+}
+
+fn parse(text: &str) -> (Vec<Row>, Option<String>) {
+    let mut rows = Vec::new();
+    let mut summary = None;
+    for line in text.lines() {
+        let v = match Value::parse(line) {
+            Ok(v) => v,
+            Err(_) => continue, // partial trailing line mid-rewrite
+        };
+        match v.get("kind").and_then(Value::as_str) {
+            Some("tstep") => {
+                let g = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                let gi = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+                let ph = v.get("phases");
+                let phase = |k: &str| {
+                    ph.and_then(|p| p.get(k))
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0)
+                };
+                rows.push(Row {
+                    step: gi("step"),
+                    ranks: gi("ranks_seen"),
+                    wall_max: g("wall_max_s"),
+                    imbalance: g("imbalance"),
+                    straggler: gi("straggler"),
+                    comm: v.get("comm_ratio").and_then(Value::as_f64),
+                    gaps: gi("phase_gap_ranks"),
+                    phases: [
+                        phase("pressure"),
+                        phase("velocity"),
+                        phase("temperature"),
+                        phase("other"),
+                    ],
+                });
+            }
+            Some("tsummary") => {
+                let imb = v
+                    .get("imbalance_mean")
+                    .and_then(Value::as_f64)
+                    .map_or("-".into(), |x| format!("{x:.3}"));
+                summary = Some(format!(
+                    "steps {}  ranks {}  imbalance(mean) {}  phase gaps {}  replays {}",
+                    v.get("steps").and_then(Value::as_u64).unwrap_or(0),
+                    v.get("ranks").and_then(Value::as_u64).unwrap_or(0),
+                    imb,
+                    v.get("phase_gap_total")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                    v.get("replayed_records")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                ));
+            }
+            _ => {}
+        }
+    }
+    (rows, summary)
+}
+
+fn render(rows: &[Row], summary: Option<&str>, clear: bool) {
+    let mut out = String::new();
+    if clear {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    out.push_str(
+        "  step ranks   wall(ms)  imbal  strag  comm%  gaps |  press%   vel%  temp% other%\n",
+    );
+    let start = rows.len().saturating_sub(SHOW_STEPS);
+    for r in &rows[start..] {
+        let psum: f64 = r.phases.iter().sum();
+        let pct = |x: f64| if psum > 0.0 { 100.0 * x / psum } else { 0.0 };
+        out.push_str(&format!(
+            "{:>6} {:>5} {:>10.3} {:>6.3} {:>6} {:>6} {:>5} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}\n",
+            r.step,
+            r.ranks,
+            r.wall_max * 1e3,
+            r.imbalance,
+            r.straggler,
+            r.comm
+                .map_or("-".to_string(), |c| format!("{:.1}", 100.0 * c)),
+            r.gaps,
+            pct(r.phases[0]),
+            pct(r.phases[1]),
+            pct(r.phases[2]),
+            pct(r.phases[3]),
+        ));
+    }
+    if let Some(s) = summary {
+        out.push_str(s);
+        out.push('\n');
+    }
+    print!("{out}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+fn main() {
+    let mut follow = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--follow" => follow = true,
+            "--interval-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--interval-ms needs a value"));
+                interval = Duration::from_millis(
+                    v.parse().unwrap_or_else(|_| die("bad --interval-ms value")),
+                );
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            p => path = Some(p.to_string()),
+        }
+    }
+    let path = path.unwrap_or_else(|| die("missing timeline path"));
+    let mut last_len = usize::MAX;
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                if text.len() != last_len {
+                    last_len = text.len();
+                    let (rows, summary) = parse(&text);
+                    render(&rows, summary.as_deref(), follow);
+                }
+            }
+            Err(e) => {
+                if !follow {
+                    die(&format!("reading {path}: {e}"));
+                }
+            }
+        }
+        if !follow {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+}

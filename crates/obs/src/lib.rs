@@ -1,0 +1,31 @@
+//! # rbx-obs — the cross-rank observability plane
+//!
+//! `rbx-telemetry` gives every rank a private stream of spans, metrics
+//! and JSONL records; this crate turns N of those streams into one
+//! observable system, in four pieces:
+//!
+//! * **Flight recorder** (substrate in `rbx-telemetry::ring`, hooks in
+//!   `rbx-core::recovery`/`elastic`): every `RecoveryEvent` leaves a
+//!   schema-versioned `rbx.flight.v1` post-mortem with the last K steps
+//!   of context from each surviving rank.
+//! * **Cross-rank aggregator** ([`timeline`], `rbx-obs merge`): aligns
+//!   per-rank step records on (rank, step) and derives what no single
+//!   rank can know — load-imbalance fraction, straggler rank,
+//!   comm-vs-compute ratio, gather-scatter bytes skew — as
+//!   `rbx.timeline.v1`.
+//! * **Online health detectors** ([`health`]): streaming detectors with
+//!   hysteresis over the live record stream, emitting typed
+//!   `rbx.health.v1` events so a degrading run says *why* before it dies.
+//! * **Live export**: a Prometheus text scrape endpoint ([`prom`]) on
+//!   rank 0 and the `rbx-top` bin tailing the merged timeline.
+//!
+//! Overhead contract: full observability (flight ring + health tap +
+//! per-step extensions) costs **< 2% of step wall time**, asserted by
+//! `tests/overhead.rs`.
+
+pub mod health;
+pub mod prom;
+pub mod timeline;
+
+pub use health::{HealthConfig, HealthMonitor};
+pub use timeline::{merge_files, merge_streams, Timeline, TimelineStep};

@@ -1,0 +1,127 @@
+//! Live export: a minimal Prometheus text-exposition scrape endpoint.
+//!
+//! Rank 0 binds a TCP listener and answers every HTTP GET with the
+//! current metrics registry + span aggregates in text exposition format
+//! (the same bytes `Telemetry::write_prometheus` puts in a file). One
+//! background thread, nonblocking accepts, no HTTP library: a scraper
+//! sends one GET and reads one response — anything fancier belongs in a
+//! real exporter, not inside a solver.
+
+use rbx_telemetry::Telemetry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running scrape endpoint. Dropping it (or calling
+/// [`PromServer::shutdown`]) stops the accept loop.
+pub struct PromServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PromServer {
+    /// The bound address (useful when listening on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        // ordering: a lone stop flag polled by the accept loop; the join
+        // below is the synchronization point.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PromServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn render(tel: &Telemetry) -> String {
+    let mut out = tel.metrics().render_prometheus();
+    out.push_str(&tel.tracer().render_prometheus());
+    out
+}
+
+/// Bind `listen` (e.g. `127.0.0.1:9090`, or port 0 for an ephemeral
+/// port) and serve the telemetry handle's metrics to every GET.
+pub fn serve(tel: &Telemetry, listen: &str) -> std::io::Result<PromServer> {
+    let listener = TcpListener::bind(listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_thread = Arc::clone(&stop);
+    let tel = tel.clone();
+    let handle = std::thread::Builder::new()
+        .name("rbx-prom".into())
+        .spawn(move || {
+            // ordering: see PromServer::stop_and_join.
+            while !stop_thread.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        // Drain whatever request line arrived; the reply is
+                        // the same regardless. Short timeout so a stalled
+                        // client cannot wedge the exporter.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                        let mut buf = [0u8; 1024];
+                        let _ = stream.read(&mut buf);
+                        let body = render(&tel);
+                        let resp = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                        let _ = stream.write_all(resp.as_bytes());
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+        })?;
+    Ok(PromServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn scrape_returns_current_metrics() {
+        let tel = Telemetry::enabled();
+        tel.counter_add("rbx_steps_total", 7);
+        let server = serve(&tel, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("rbx_steps_total 7"), "{resp}");
+        // The endpoint serves *live* state: a second scrape sees updates.
+        tel.counter_add("rbx_steps_total", 1);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.contains("rbx_steps_total 8"), "{resp}");
+        server.shutdown();
+    }
+}

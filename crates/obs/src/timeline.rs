@@ -1,0 +1,456 @@
+//! Cross-rank aggregator: N per-rank JSONL streams → one causally
+//! ordered `rbx.timeline.v1` timeline with derived per-step metrics.
+//!
+//! Each rank's telemetry stream only knows its own wall clock and its own
+//! phase breakdown; the questions that matter at scale — *which rank is
+//! the straggler, how bad is the load imbalance, how much of the step is
+//! communication* — only exist across streams. The merge aligns step
+//! records on (rank, step), keeping the **last** record per key: a
+//! rollback replays steps, and the replay is the one that survived into
+//! the trajectory (replaced records are counted, not dropped silently).
+//!
+//! The aggregator also re-verifies the producer's phase-sum invariant
+//! ("the four Fig. 4 bins account for wall time within 1%") per rank per
+//! step and counts violations on `rbx_obs_phase_gap_total` — trusting the
+//! producer is how dashboards end up lying.
+
+use rbx_telemetry::json::Value;
+use rbx_telemetry::schema::{TELEMETRY_SCHEMA, TIMELINE_SCHEMA};
+use rbx_telemetry::Telemetry;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Fraction of wall time the four phase bins may miss before a step
+/// counts as a phase-gap violation.
+pub const PHASE_GAP_TOLERANCE: f64 = 0.01;
+
+/// One rank's (deduplicated) record of one step.
+#[derive(Debug, Clone)]
+struct RankStep {
+    rank: usize,
+    wall_s: f64,
+    phases: [f64; 4],
+    comm_s: Option<f64>,
+    gs_bytes: Option<f64>,
+    phase_gap: bool,
+}
+
+/// Per-step derived metrics across ranks, in step order.
+#[derive(Debug, Clone)]
+pub struct TimelineStep {
+    /// Global step index.
+    pub step: u64,
+    /// Ranks contributing a record for this step.
+    pub ranks_seen: usize,
+    /// Slowest rank's wall time.
+    pub wall_max_s: f64,
+    /// Mean wall time across contributing ranks.
+    pub wall_mean_s: f64,
+    /// Load-imbalance fraction: max/mean wall time (1.0 = perfect).
+    pub imbalance: f64,
+    /// Rank id of the slowest rank.
+    pub straggler: usize,
+    /// Communication fraction: Σ comm_s / Σ wall_s (None without comm_s).
+    pub comm_ratio: Option<f64>,
+    /// Gather-scatter bytes skew: max/mean across ranks (None without
+    /// gs_bytes or when no rank moved any bytes).
+    pub gs_skew: Option<f64>,
+    /// Ranks whose phase bins missed wall time by more than the tolerance.
+    pub phase_gap_ranks: usize,
+    /// Mean phase bins across ranks: pressure, velocity, temperature,
+    /// other.
+    pub phases: [f64; 4],
+}
+
+/// Everything the merge produced.
+#[derive(Debug)]
+pub struct Timeline {
+    /// Number of input streams.
+    pub streams: usize,
+    /// Distinct ranks observed.
+    pub ranks: usize,
+    /// Per-step rows, ascending step order.
+    pub steps: Vec<TimelineStep>,
+    /// Total phase-gap violations (rank-steps) across the run.
+    pub phase_gap_total: u64,
+    /// Step records replaced by a later record for the same (rank, step)
+    /// — rollback replays.
+    pub replayed_records: u64,
+    /// Input lines that failed to parse as JSON (skipped).
+    pub malformed_lines: u64,
+}
+
+impl Timeline {
+    /// Mean imbalance over all steps (None for an empty timeline).
+    pub fn imbalance_mean(&self) -> Option<f64> {
+        if self.steps.is_empty() {
+            return None;
+        }
+        Some(self.steps.iter().map(|s| s.imbalance).sum::<f64>() / self.steps.len() as f64)
+    }
+
+    /// Worst imbalance over all steps.
+    pub fn imbalance_max(&self) -> Option<f64> {
+        self.steps
+            .iter()
+            .map(|s| s.imbalance)
+            .fold(None, |m, x| Some(m.map_or(x, |m: f64| m.max(x))))
+    }
+}
+
+fn parse_rank_step(v: &Value, stream_idx: usize) -> Option<(u64, RankStep)> {
+    if v.get("schema").and_then(Value::as_str) != Some(TELEMETRY_SCHEMA)
+        || v.get("kind").and_then(Value::as_str) != Some("step")
+    {
+        return None;
+    }
+    let step = v.get("step").and_then(Value::as_u64)?;
+    let wall_s = v.get("wall_s").and_then(Value::as_f64)?;
+    let phases = v.get("phases")?;
+    let mut ph = [0.0; 4];
+    for (i, name) in ["pressure", "velocity", "temperature", "other"]
+        .iter()
+        .enumerate()
+    {
+        ph[i] = phases.get(name).and_then(Value::as_f64)?;
+    }
+    // Pre-multirank streams carry no rank field; the stream index is the
+    // only identity available then.
+    let rank = v
+        .get("rank")
+        .and_then(Value::as_u64)
+        .map_or(stream_idx, |r| r as usize);
+    let gap = (wall_s - ph.iter().sum::<f64>()).abs() > PHASE_GAP_TOLERANCE * wall_s.max(1e-12);
+    Some((
+        step,
+        RankStep {
+            rank,
+            wall_s,
+            phases: ph,
+            comm_s: v.get("comm_s").and_then(Value::as_f64),
+            gs_bytes: v.get("gs_bytes").and_then(Value::as_f64),
+            phase_gap: gap,
+        },
+    ))
+}
+
+/// Merge per-rank JSONL streams (as text) into a [`Timeline`]. When a
+/// telemetry handle is given, phase-gap violations are counted on
+/// `rbx_obs_phase_gap_total`.
+pub fn merge_streams(streams: &[String], tel: Option<&Telemetry>) -> Timeline {
+    // (step, rank) → latest record; BTreeMap gives causal (step-major)
+    // order for free.
+    let mut latest: BTreeMap<(u64, usize), RankStep> = BTreeMap::new();
+    let mut replayed = 0u64;
+    let mut malformed = 0u64;
+    for (idx, text) in streams.iter().enumerate() {
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = match Value::parse(line) {
+                Ok(v) => v,
+                Err(_) => {
+                    malformed += 1;
+                    continue;
+                }
+            };
+            if let Some((step, rs)) = parse_rank_step(&v, idx) {
+                if latest.insert((step, rs.rank), rs).is_some() {
+                    replayed += 1;
+                }
+            }
+        }
+    }
+
+    let mut ranks_seen: Vec<usize> = latest.keys().map(|&(_, r)| r).collect();
+    ranks_seen.sort_unstable();
+    ranks_seen.dedup();
+
+    let mut steps: Vec<TimelineStep> = Vec::new();
+    let mut phase_gap_total = 0u64;
+    let mut cur: Vec<&RankStep> = Vec::new();
+    let mut cur_step: Option<u64> = None;
+    let flush = |step: u64, group: &[&RankStep], gap_total: &mut u64| {
+        let n = group.len();
+        let wall_mean = group.iter().map(|r| r.wall_s).sum::<f64>() / n as f64;
+        let (straggler, wall_max) = group.iter().map(|r| (r.rank, r.wall_s)).fold(
+            (0usize, f64::NEG_INFINITY),
+            |acc, (rk, w)| {
+                if w > acc.1 {
+                    (rk, w)
+                } else {
+                    acc
+                }
+            },
+        );
+        let comm_sum: Option<f64> = group.iter().map(|r| r.comm_s).sum();
+        let comm_ratio = comm_sum.map(|c| {
+            let w = group.iter().map(|r| r.wall_s).sum::<f64>();
+            if w > 0.0 {
+                c / w
+            } else {
+                0.0
+            }
+        });
+        let gs: Option<Vec<f64>> = group.iter().map(|r| r.gs_bytes).collect();
+        let gs_skew = gs.and_then(|b| {
+            let mean = b.iter().sum::<f64>() / b.len() as f64;
+            let max = b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            (mean > 0.0).then_some(max / mean)
+        });
+        let gaps = group.iter().filter(|r| r.phase_gap).count();
+        *gap_total += gaps as u64;
+        let mut phases = [0.0; 4];
+        for r in group {
+            for (p, rp) in phases.iter_mut().zip(r.phases.iter()) {
+                *p += rp / n as f64;
+            }
+        }
+        TimelineStep {
+            step,
+            ranks_seen: n,
+            wall_max_s: wall_max,
+            wall_mean_s: wall_mean,
+            imbalance: if wall_mean > 0.0 {
+                wall_max / wall_mean
+            } else {
+                1.0
+            },
+            straggler,
+            comm_ratio,
+            gs_skew,
+            phase_gap_ranks: gaps,
+            phases,
+        }
+    };
+    for ((step, _), rs) in &latest {
+        if cur_step != Some(*step) {
+            if let Some(s) = cur_step {
+                steps.push(flush(s, &cur, &mut phase_gap_total));
+            }
+            cur.clear();
+            cur_step = Some(*step);
+        }
+        cur.push(rs);
+    }
+    if let Some(s) = cur_step {
+        steps.push(flush(s, &cur, &mut phase_gap_total));
+    }
+
+    if let Some(t) = tel {
+        if phase_gap_total > 0 {
+            t.counter_add("rbx_obs_phase_gap_total", phase_gap_total);
+        }
+    }
+
+    Timeline {
+        streams: streams.len(),
+        ranks: ranks_seen.len(),
+        steps,
+        phase_gap_total,
+        replayed_records: replayed,
+        malformed_lines: malformed,
+    }
+}
+
+/// [`merge_streams`] over files on disk.
+pub fn merge_files<P: AsRef<Path>>(
+    paths: &[P],
+    tel: Option<&Telemetry>,
+) -> std::io::Result<Timeline> {
+    let mut streams = Vec::with_capacity(paths.len());
+    for p in paths {
+        streams.push(std::fs::read_to_string(p)?);
+    }
+    Ok(merge_streams(&streams, tel))
+}
+
+impl TimelineStep {
+    /// The step as a `rbx.timeline.v1` `tstep` record.
+    pub fn record(&self) -> Value {
+        Value::obj([
+            ("schema", Value::str(TIMELINE_SCHEMA)),
+            ("kind", Value::str("tstep")),
+            ("step", Value::int(self.step)),
+            ("ranks_seen", Value::int(self.ranks_seen as u64)),
+            ("wall_max_s", Value::num(self.wall_max_s)),
+            ("wall_mean_s", Value::num(self.wall_mean_s)),
+            ("imbalance", Value::num(self.imbalance)),
+            ("straggler", Value::int(self.straggler as u64)),
+            (
+                "comm_ratio",
+                self.comm_ratio.map_or(Value::Null, Value::num),
+            ),
+            ("gs_skew", self.gs_skew.map_or(Value::Null, Value::num)),
+            ("phase_gap_ranks", Value::int(self.phase_gap_ranks as u64)),
+            (
+                "phases",
+                Value::obj([
+                    ("pressure", Value::num(self.phases[0])),
+                    ("velocity", Value::num(self.phases[1])),
+                    ("temperature", Value::num(self.phases[2])),
+                    ("other", Value::num(self.phases[3])),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Timeline {
+    /// The timeline as `rbx.timeline.v1` JSONL: header, one `tstep` per
+    /// step, one trailing `tsummary`.
+    pub fn write_jsonl<W: Write>(&self, mut out: W) -> std::io::Result<()> {
+        let header = Value::obj([
+            ("schema", Value::str(TIMELINE_SCHEMA)),
+            ("kind", Value::str("timeline_header")),
+            ("ranks", Value::int(self.ranks.max(1) as u64)),
+            ("streams", Value::int(self.streams as u64)),
+        ]);
+        writeln!(out, "{header}")?;
+        for s in &self.steps {
+            writeln!(out, "{}", s.record())?;
+        }
+        let summary = Value::obj([
+            ("schema", Value::str(TIMELINE_SCHEMA)),
+            ("kind", Value::str("tsummary")),
+            ("steps", Value::int(self.steps.len() as u64)),
+            ("ranks", Value::int(self.ranks as u64)),
+            (
+                "imbalance_mean",
+                self.imbalance_mean().map_or(Value::Null, Value::num),
+            ),
+            (
+                "imbalance_max",
+                self.imbalance_max().map_or(Value::Null, Value::num),
+            ),
+            ("phase_gap_total", Value::int(self.phase_gap_total)),
+            ("replayed_records", Value::int(self.replayed_records)),
+            ("malformed_lines", Value::int(self.malformed_lines)),
+        ]);
+        writeln!(out, "{summary}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_telemetry::schema::validate_timeline_record;
+
+    fn step_line(rank: usize, step: u64, wall: f64, comm: f64, bytes: u64) -> String {
+        let p = wall * 0.6;
+        let v = wall * 0.2;
+        let t = wall * 0.1;
+        let o = wall - p - v - t;
+        format!(
+            concat!(
+                r#"{{"schema":"rbx.telemetry.v1","kind":"step","step":{},"time":0.1,"dt":0.001,"#,
+                r#""wall_s":{},"phases":{{"pressure":{},"velocity":{},"temperature":{},"other":{}}},"#,
+                r#""p_iters":10,"v_iters":[3,3,3],"t_iters":3,"verdict":"healthy","#,
+                r#""rank":{},"cfl":0.4,"gs_bytes":{},"comm_s":{}}}"#
+            ),
+            step, wall, p, v, t, o, rank, bytes, comm
+        )
+    }
+
+    #[test]
+    fn merge_derives_imbalance_and_straggler() {
+        let streams: Vec<String> = (0..4)
+            .map(|r| {
+                let mut s = String::new();
+                for step in 1..=3u64 {
+                    // Rank 2 is the straggler: 2x everyone else's wall.
+                    let wall = if r == 2 { 0.02 } else { 0.01 };
+                    s.push_str(&step_line(r, step, wall, 0.002, 1000 + 500 * r as u64));
+                    s.push('\n');
+                }
+                s
+            })
+            .collect();
+        let tl = merge_streams(&streams, None);
+        assert_eq!(tl.ranks, 4);
+        assert_eq!(tl.steps.len(), 3);
+        for s in &tl.steps {
+            assert_eq!(s.ranks_seen, 4);
+            assert_eq!(s.straggler, 2);
+            let expect = 0.02 / (0.05 / 4.0);
+            assert!((s.imbalance - expect).abs() < 1e-12, "{}", s.imbalance);
+            assert!(s.comm_ratio.unwrap() > 0.0);
+            assert!(s.gs_skew.unwrap() > 1.0);
+            assert_eq!(s.phase_gap_ranks, 0);
+        }
+        assert_eq!(tl.phase_gap_total, 0);
+        assert_eq!(tl.replayed_records, 0);
+    }
+
+    #[test]
+    fn rollback_replays_keep_last_record() {
+        let mut s0 = String::new();
+        s0.push_str(&step_line(0, 1, 0.01, 0.001, 100));
+        s0.push('\n');
+        s0.push_str(&step_line(0, 2, 0.01, 0.001, 100));
+        s0.push('\n');
+        // Rollback: steps 1-2 replayed with different wall times.
+        s0.push_str(&step_line(0, 1, 0.03, 0.001, 100));
+        s0.push('\n');
+        s0.push_str(&step_line(0, 2, 0.03, 0.001, 100));
+        s0.push('\n');
+        let tl = merge_streams(&[s0], None);
+        assert_eq!(tl.replayed_records, 2);
+        assert_eq!(tl.steps.len(), 2);
+        assert!((tl.steps[0].wall_max_s - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_gap_reverified_not_trusted() {
+        // A producer claiming phases that sum to half the wall time.
+        let bad = concat!(
+            r#"{"schema":"rbx.telemetry.v1","kind":"step","step":1,"time":0.1,"dt":0.001,"#,
+            r#""wall_s":0.02,"phases":{"pressure":0.005,"velocity":0.003,"temperature":0.001,"other":0.001},"#,
+            r#""p_iters":10,"v_iters":[3,3,3],"t_iters":3,"verdict":"healthy","rank":0}"#,
+        )
+        .to_string();
+        let tel = Telemetry::enabled();
+        let tl = merge_streams(
+            &[bad + "\n" + &step_line(1, 1, 0.02, 0.001, 100)],
+            Some(&tel),
+        );
+        assert_eq!(tl.phase_gap_total, 1);
+        assert_eq!(tl.steps[0].phase_gap_ranks, 1);
+        assert_eq!(tel.metrics().counter("rbx_obs_phase_gap_total"), 1);
+    }
+
+    #[test]
+    fn jsonl_output_is_schema_valid() {
+        let streams: Vec<String> = (0..2)
+            .map(|r| step_line(r, 1, 0.01, 0.001, 100) + "\n")
+            .collect();
+        let tl = merge_streams(&streams, None);
+        let mut buf = Vec::new();
+        tl.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let v = Value::parse(line).unwrap();
+            validate_timeline_record(&v).unwrap_or_else(|e| panic!("{e}: {line}"));
+            kinds.push(v.get("kind").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(kinds.first().map(String::as_str), Some("timeline_header"));
+        assert_eq!(kinds.last().map(String::as_str), Some("tsummary"));
+        assert!(kinds.iter().filter(|k| *k == "tstep").count() == 1);
+    }
+
+    #[test]
+    fn streams_without_rank_field_use_stream_index() {
+        let line = concat!(
+            r#"{"schema":"rbx.telemetry.v1","kind":"step","step":1,"time":0.1,"dt":0.001,"#,
+            r#""wall_s":0.01,"phases":{"pressure":0.006,"velocity":0.002,"temperature":0.001,"other":0.001},"#,
+            r#""p_iters":10,"v_iters":[3,3,3],"t_iters":3,"verdict":"healthy"}"#,
+        );
+        let streams = vec![format!("{line}\n"), format!("{line}\n")];
+        let tl = merge_streams(&streams, None);
+        assert_eq!(tl.ranks, 2);
+        assert_eq!(tl.steps[0].ranks_seen, 2);
+    }
+}

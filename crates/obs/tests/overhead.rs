@@ -1,0 +1,112 @@
+//! The observability overhead contract: full observability on — JSONL
+//! sink, flight ring, health-detector tap, per-step metric deltas — must
+//! cost less than 2% of step wall time.
+//!
+//! Methodology: two identical simulations (same config, same
+//! deterministic trajectory, so the same arithmetic work), one with
+//! telemetry fully off (the single-relaxed-load path), one with
+//! everything on. Per-step wall times are reduced to a median per run
+//! (robust to OS preemption outliers), and the contract is checked on
+//! the *minimum* median accumulated across attempts for each side:
+//! scheduler noise only ever adds time, so the minima estimate true
+//! cost, and one noisy CI machine moment cannot flake the build.
+
+use rbx_comm::SingleComm;
+use rbx_core::config::SolverConfig;
+use rbx_core::sim::Simulation;
+use rbx_mesh::generators::box_mesh;
+use rbx_obs::{HealthConfig, HealthMonitor};
+use rbx_telemetry::Telemetry;
+use std::time::Instant;
+
+const WARMUP: usize = 3;
+const MEASURED: usize = 21;
+const ATTEMPTS: usize = 5;
+// The 2% contract is a release-build statement (CI's obs-smoke job runs
+// this test with --release). Debug builds keep the same harness as a
+// loose sanity bound: unoptimized stepping is slow enough that timing
+// ratios are dominated by scheduler noise, not observability cost.
+const MAX_OVERHEAD: f64 = if cfg!(debug_assertions) { 0.15 } else { 0.02 };
+
+fn cfg() -> SolverConfig {
+    SolverConfig {
+        ra: 1e5,
+        order: 5,
+        dt: 1e-3,
+        ic_noise: 1e-2,
+        ..Default::default()
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Median per-step seconds for a fresh run under `tel`.
+fn measure(tel: &Telemetry) -> f64 {
+    let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+    let comm = SingleComm::new();
+    let part = vec![0; mesh.num_elements()];
+    let my: Vec<usize> = (0..mesh.num_elements()).collect();
+    let mut sim = Simulation::new(cfg(), &mesh, &part, my, &comm);
+    sim.init_rbc();
+    sim.set_telemetry(tel);
+    for _ in 0..WARMUP {
+        sim.step();
+    }
+    let mut times = Vec::with_capacity(MEASURED);
+    for _ in 0..MEASURED {
+        let t0 = Instant::now();
+        sim.step();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    median(times)
+}
+
+#[test]
+fn full_observability_costs_under_two_percent() {
+    let dir = std::env::temp_dir().join(format!("rbx_obs_overhead_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    for attempt in 0..ATTEMPTS {
+        let off = measure(&Telemetry::disabled());
+
+        // Everything on: sink, flight ring, health monitor tap.
+        let tel = Telemetry::enabled();
+        tel.open_jsonl(&dir.join(format!("overhead_{attempt}.jsonl")))
+            .unwrap();
+        tel.attach_flight(256);
+        let mon = HealthMonitor::new(HealthConfig::default(), &tel)
+            .with_jsonl(&dir.join(format!("health_{attempt}.jsonl")))
+            .unwrap();
+        mon.install(&tel);
+        let on = measure(&tel);
+
+        // Contract sanity: the instrumented run actually observed.
+        assert!(tel.jsonl_lines() > 0, "instrumented run emitted nothing");
+        assert!(tel.flight_len() > 0, "flight ring stayed empty");
+
+        off_best = off_best.min(off);
+        on_best = on_best.min(on);
+        let overhead = (on_best - off_best) / off_best;
+        eprintln!(
+            "attempt {attempt}: off {:.3}ms on {:.3}ms best-so-far overhead {:+.2}%",
+            off * 1e3,
+            on * 1e3,
+            overhead * 100.0
+        );
+        if overhead < MAX_OVERHEAD {
+            std::fs::remove_dir_all(&dir).ok();
+            return;
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    panic!(
+        "observability overhead {:.2}% exceeds the {:.0}% contract after {ATTEMPTS} attempts",
+        (on_best - off_best) / off_best * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}

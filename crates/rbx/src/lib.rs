@@ -24,6 +24,7 @@
 //! | [`insitu`] | `rbx-insitu` | streaming POD |
 //! | [`perf`] | `rbx-perf` | LUMI/Leonardo models, scaling, Nu(Ra) regimes |
 //! | [`telemetry`] | `rbx-telemetry` | span tracer, metrics registry, JSONL/Prometheus export |
+//! | [`obs`] | `rbx-obs` | cross-rank timeline merge, health detectors, live export |
 //!
 //! ## Quickstart
 //!
@@ -50,5 +51,6 @@ pub use rbx_insitu as insitu;
 pub use rbx_io as io;
 pub use rbx_la as la;
 pub use rbx_mesh as mesh;
+pub use rbx_obs as obs;
 pub use rbx_perf as perf;
 pub use rbx_telemetry as telemetry;

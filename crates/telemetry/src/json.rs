@@ -101,6 +101,15 @@ impl Value {
         Value::Arr(items.into_iter().collect())
     }
 
+    /// Serialize into a caller-owned buffer (cleared first). The buffer's
+    /// capacity is retained across calls, which is what lets the flight
+    /// ring re-record into the same slots with zero steady-state
+    /// allocation once every slot has grown to its working size.
+    pub fn write_into(&self, out: &mut String) {
+        out.clear();
+        write_value(self, out);
+    }
+
     /// Parse a JSON document (the whole string must be one value plus
     /// optional surrounding whitespace).
     pub fn parse(text: &str) -> Result<Value, String> {

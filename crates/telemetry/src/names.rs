@@ -279,7 +279,43 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Counter,
         help: "elements reassigned to a different rank by the restart repartitioner",
     },
+    MetricDef {
+        name: "rbx_flight_dumps_total",
+        kind: MetricKind::Counter,
+        help: "flight-recorder post-mortem dumps written",
+    },
+    MetricDef {
+        name: "rbx_obs_phase_gap_total",
+        kind: MetricKind::Counter,
+        help: "steps whose phase spans failed to sum to wall time within 1%",
+    },
+    MetricDef {
+        name: "rbx_health_events_total",
+        kind: MetricKind::Counter,
+        help: "online health-detector events by detector label",
+    },
+    MetricDef {
+        name: "rbx_checkpoint_write_seconds",
+        kind: MetricKind::Histogram,
+        help: "wall-clock seconds per checkpoint write (latency-growth detector input)",
+    },
+    MetricDef {
+        name: "rbx_obs_gather_reports_total",
+        kind: MetricKind::Counter,
+        help: "out-of-band step-health reports drained by rank 0",
+    },
 ];
+
+/// Metric fed by [`crate::Telemetry::dump_flight`].
+pub const FLIGHT_DUMPS_TOTAL: &str = "rbx_flight_dumps_total";
+/// Metric fed by the cross-rank aggregator's phase-sum re-verification.
+pub const OBS_PHASE_GAP_TOTAL: &str = "rbx_obs_phase_gap_total";
+/// Metric fed by the online health monitor (label: detector name).
+pub const HEALTH_EVENTS_TOTAL: &str = "rbx_health_events_total";
+/// Histogram fed by the resilient runner around checkpoint writes.
+pub const CHECKPOINT_WRITE_SECONDS: &str = "rbx_checkpoint_write_seconds";
+/// Metric fed by rank 0 when draining out-of-band step-health reports.
+pub const OBS_GATHER_REPORTS_TOTAL: &str = "rbx_obs_gather_reports_total";
 
 /// Strip a `{label=...}` suffix from a metric name, returning the base
 /// name the registry is keyed by.

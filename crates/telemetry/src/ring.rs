@@ -1,0 +1,173 @@
+//! Flight recorder: a bounded in-memory ring of recently emitted records.
+//!
+//! Post-mortem observability for the paper's scale of run: when a rank
+//! crashes, rolls back, aborts an epoch or is shrunk out of the job, the
+//! question is always "what were the last K steps doing?". The ring keeps
+//! the answer resident with **zero steady-state allocation**: each slot is
+//! a reusable `String` that records are serialized into via
+//! [`crate::json::Value::write_into`], so once every slot has grown to its
+//! working size, recording touches no allocator at all (pool-discipline
+//! clean — same contract as the worker pool's reused partials buffer).
+//!
+//! The ring holds *serialized* lines rather than `Value` trees: a `Value`
+//! tree owns heap nodes per field, so retaining trees would allocate per
+//! record forever. A flat `String` per slot amortizes to nothing.
+
+use crate::json::Value;
+
+/// Bounded ring of serialized telemetry records, oldest overwritten first.
+pub struct FlightRing {
+    /// Fixed-size slot array; each slot's capacity only grows.
+    slots: Vec<String>,
+    /// Next slot index to write.
+    head: usize,
+    /// Number of slots holding a valid record (saturates at capacity).
+    len: usize,
+    /// Records overwritten since construction (total pushed - retained).
+    overwritten: u64,
+}
+
+impl FlightRing {
+    /// A ring retaining the last `capacity` records. All slot strings are
+    /// created empty; they grow on first use and are then reused.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: vec![String::new(); capacity],
+            head: 0,
+            len: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Record one value, overwriting the oldest retained record when full.
+    /// Steady-state this reuses the slot's existing capacity.
+    pub fn push(&mut self, record: &Value) {
+        let cap = self.slots.len();
+        record.write_into(&mut self.slots[self.head]);
+        self.head = (self.head + 1) % cap;
+        if self.len < cap {
+            self.len += 1;
+        } else {
+            self.overwritten += 1;
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot count (the K in "last K records").
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records evicted by wraparound since construction.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Sum of the slot strings' heap capacities. A steady-state workload
+    /// must leave this constant — asserted by the zero-allocation test.
+    pub fn slot_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Iterate retained records oldest-first (causal order for the dump).
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        let cap = self.slots.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| self.slots[(start + i) % cap].as_str())
+    }
+
+    /// Drop all retained records, keeping slot capacity for reuse.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        for s in &mut self.slots {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> Value {
+        Value::obj([
+            ("schema", Value::str(crate::schema::TELEMETRY_SCHEMA)),
+            ("kind", Value::str("step")),
+            ("step", Value::int(i)),
+            ("wall_s", Value::num(0.001 * i as f64)),
+        ])
+    }
+
+    #[test]
+    fn retains_last_k_in_order() {
+        let mut ring = FlightRing::new(4);
+        for i in 0..10 {
+            ring.push(&rec(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.overwritten(), 6);
+        let steps: Vec<u64> = ring
+            .iter()
+            .map(|line| {
+                Value::parse(line)
+                    .unwrap()
+                    .get("step")
+                    .and_then(Value::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(steps, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_fill_iterates_all() {
+        let mut ring = FlightRing::new(8);
+        for i in 0..3 {
+            ring.push(&rec(i));
+        }
+        assert_eq!(ring.iter().count(), 3);
+        assert_eq!(ring.overwritten(), 0);
+    }
+
+    #[test]
+    fn steady_state_reuses_slot_capacity() {
+        let mut ring = FlightRing::new(16);
+        // Warm up: every slot sees a record of the working shape.
+        for i in 0..32 {
+            ring.push(&rec(i));
+        }
+        let warm = ring.slot_bytes();
+        // Steady state: same-shape records must not grow any slot.
+        for i in 32..4096 {
+            ring.push(&rec(i));
+        }
+        assert_eq!(
+            ring.slot_bytes(),
+            warm,
+            "flight ring allocated in steady state"
+        );
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut ring = FlightRing::new(4);
+        for i in 0..8 {
+            ring.push(&rec(i));
+        }
+        let warm = ring.slot_bytes();
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.slot_bytes(), warm);
+    }
+}

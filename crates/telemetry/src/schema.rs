@@ -19,6 +19,20 @@ pub const TELEMETRY_SCHEMA: &str = "rbx.telemetry.v1";
 /// Benchmark record schema identifier.
 pub const BENCH_SCHEMA: &str = "rbx.bench.v1";
 
+/// Flight-recorder post-mortem dump schema identifier. A dump file is one
+/// `flight_header` line followed by the retained `rbx.telemetry.v1`
+/// records oldest-first.
+pub const FLIGHT_SCHEMA: &str = "rbx.flight.v1";
+
+/// Cross-rank merged timeline schema identifier: one `timeline_header`
+/// line, one `tstep` line per aligned step with derived metrics, one
+/// trailing `tsummary` line.
+pub const TIMELINE_SCHEMA: &str = "rbx.timeline.v1";
+
+/// Online health-event schema identifier (one `health` record per
+/// detector raise/clear transition).
+pub const HEALTH_SCHEMA: &str = "rbx.health.v1";
+
 fn require<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
     v.get(key).ok_or_else(|| format!("missing field {key:?}"))
 }
@@ -120,6 +134,21 @@ fn validate_step(v: &Value) -> Result<(), String> {
     }
     require_int(v, "t_iters")?;
     require_str(v, "verdict")?;
+    // Multirank / observability extensions: optional, but typed when
+    // present. `cfl` may be null — a diverged step has no finite CFL and
+    // non-finite numbers serialize as null.
+    for key in ["rank", "gs_bytes", "comm_s"] {
+        if let Some(f) = v.get(key) {
+            if f.as_f64().is_none() {
+                return Err(format!("field {key:?} must be a number when present"));
+            }
+        }
+    }
+    if let Some(f) = v.get("cfl") {
+        if f.as_f64().is_none() && !matches!(f, Value::Null) {
+            return Err("field \"cfl\" must be a number or null when present".to_string());
+        }
+    }
     Ok(())
 }
 
@@ -179,6 +208,170 @@ fn validate_summary(v: &Value) -> Result<(), String> {
         .as_arr()
         .ok_or_else(|| "field \"recovery_events\" must be an array".to_string())?;
     Ok(())
+}
+
+/// Validate the header line of a `rbx.flight.v1` post-mortem dump. The
+/// remaining lines of a dump file are ordinary `rbx.telemetry.v1` records
+/// (validate each with [`validate_line`]).
+pub fn validate_flight_header(v: &Value) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != FLIGHT_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?} (expected {FLIGHT_SCHEMA:?})"
+        ));
+    }
+    let kind = require_str(v, "kind")?;
+    if kind != "flight_header" {
+        return Err(format!(
+            "flight dump must open with flight_header, got {kind:?}"
+        ));
+    }
+    let rank = require_int(v, "rank")?;
+    let ranks = require_int(v, "ranks")?;
+    if ranks == 0 || rank >= ranks {
+        return Err(format!("rank {rank} out of range for {ranks} ranks"));
+    }
+    let reason = require_str(v, "reason")?;
+    if reason.is_empty() {
+        return Err("reason must be non-empty".to_string());
+    }
+    require_int(v, "step")?;
+    require_int(v, "records")?;
+    require_int(v, "overwritten")?;
+    Ok(())
+}
+
+/// Validate one line of a `rbx.timeline.v1` merged timeline.
+pub fn validate_timeline_record(v: &Value) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != TIMELINE_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?} (expected {TIMELINE_SCHEMA:?})"
+        ));
+    }
+    let kind = require_str(v, "kind")?;
+    match kind {
+        "timeline_header" => {
+            let ranks = require_int(v, "ranks")?;
+            if ranks == 0 {
+                return Err("ranks must be positive".to_string());
+            }
+            require_int(v, "streams")?;
+            Ok(())
+        }
+        "tstep" => {
+            require_int(v, "step")?;
+            let ranks_seen = require_int(v, "ranks_seen")?;
+            if ranks_seen == 0 {
+                return Err("ranks_seen must be positive".to_string());
+            }
+            let wall_max = require_num(v, "wall_max_s")?;
+            let wall_mean = require_num(v, "wall_mean_s")?;
+            if wall_max < 0.0 || wall_mean < 0.0 {
+                return Err("wall times must be non-negative".to_string());
+            }
+            let imb = require_num(v, "imbalance")?;
+            if imb.is_finite() && imb < 1.0 - 1e-9 {
+                return Err(format!("imbalance is max/mean, must be >= 1, got {imb}"));
+            }
+            let straggler = require_int(v, "straggler")?;
+            if straggler >= ranks_seen {
+                return Err(format!(
+                    "straggler rank {straggler} out of range for {ranks_seen} ranks seen"
+                ));
+            }
+            require_num_or_null(v, "comm_ratio")?;
+            require_num_or_null(v, "gs_skew")?;
+            require_int(v, "phase_gap_ranks")?;
+            let phases = require(v, "phases")?;
+            phases
+                .as_obj()
+                .ok_or_else(|| "field \"phases\" must be an object".to_string())?;
+            for name in ["pressure", "velocity", "temperature", "other"] {
+                phases
+                    .get(name)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("phases.{name} must be a number"))?;
+            }
+            Ok(())
+        }
+        "tsummary" => {
+            require_int(v, "steps")?;
+            require_int(v, "ranks")?;
+            require_num_or_null(v, "imbalance_mean")?;
+            require_num_or_null(v, "imbalance_max")?;
+            require_int(v, "phase_gap_total")?;
+            require_int(v, "replayed_records")?;
+            Ok(())
+        }
+        other => Err(format!("unknown timeline record kind {other:?}")),
+    }
+}
+
+/// Detector names the health schema admits.
+pub const HEALTH_DETECTORS: [&str; 6] = [
+    "cfl_spike",
+    "residual_stall",
+    "iteration_drift",
+    "imbalance",
+    "checkpoint_latency",
+    "shrink",
+];
+
+/// Validate one `rbx.health.v1` event record.
+pub fn validate_health(v: &Value) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != HEALTH_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?} (expected {HEALTH_SCHEMA:?})"
+        ));
+    }
+    let kind = require_str(v, "kind")?;
+    if kind != "health" {
+        return Err(format!(
+            "health record kind must be \"health\", got {kind:?}"
+        ));
+    }
+    let detector = require_str(v, "detector")?;
+    if !HEALTH_DETECTORS.contains(&detector) {
+        return Err(format!("unknown detector {detector:?}"));
+    }
+    let severity = require_str(v, "severity")?;
+    if !matches!(severity, "info" | "warn" | "critical") {
+        return Err(format!("unknown severity {severity:?}"));
+    }
+    let state = require_str(v, "state")?;
+    if !matches!(state, "raise" | "clear") {
+        return Err(format!("state must be raise|clear, got {state:?}"));
+    }
+    require_int(v, "step")?;
+    require_num_or_null(v, "value")?;
+    require_num_or_null(v, "threshold")?;
+    require_str(v, "detail")?;
+    Ok(())
+}
+
+/// Build a `rbx.health.v1` event record.
+pub fn health_record(
+    detector: &str,
+    severity: &str,
+    state: &str,
+    step: u64,
+    value: f64,
+    threshold: f64,
+    detail: &str,
+) -> Value {
+    Value::obj([
+        ("schema", Value::str(HEALTH_SCHEMA)),
+        ("kind", Value::str("health")),
+        ("detector", Value::str(detector)),
+        ("severity", Value::str(severity)),
+        ("state", Value::str(state)),
+        ("step", Value::int(step)),
+        ("value", Value::num(value)),
+        ("threshold", Value::num(threshold)),
+        ("detail", Value::str(detail)),
+    ])
 }
 
 /// Validate a `rbx.bench.v1` benchmark record.
@@ -377,6 +570,170 @@ mod tests {
             ("detail", Value::str("boom")),
         ]);
         assert!(validate_record(&bad).is_err());
+    }
+
+    #[test]
+    fn step_optional_obs_fields_typed() {
+        let mut rec = step_record();
+        if let Value::Obj(fields) = &mut rec {
+            fields.push(("rank".to_string(), Value::int(2)));
+            fields.push(("cfl".to_string(), Value::num(0.31)));
+            fields.push(("gs_bytes".to_string(), Value::int(8192)));
+            fields.push(("comm_s".to_string(), Value::num(0.004)));
+        }
+        validate_record(&rec).unwrap();
+        validate_line(&rec.to_string()).unwrap();
+        if let Value::Obj(fields) = &mut rec {
+            for (k, v) in fields.iter_mut() {
+                if k == "cfl" {
+                    *v = Value::str("fast");
+                }
+            }
+        }
+        assert!(validate_record(&rec).is_err());
+    }
+
+    fn flight_header() -> Value {
+        Value::obj([
+            ("schema", Value::str(FLIGHT_SCHEMA)),
+            ("kind", Value::str("flight_header")),
+            ("rank", Value::int(1)),
+            ("ranks", Value::int(4)),
+            ("reason", Value::str("shrink")),
+            ("step", Value::int(57)),
+            ("records", Value::int(64)),
+            ("overwritten", Value::int(120)),
+        ])
+    }
+
+    #[test]
+    fn flight_header_roundtrips() {
+        let rec = flight_header();
+        validate_flight_header(&rec).unwrap();
+        let parsed = Value::parse(&rec.to_string()).unwrap();
+        validate_flight_header(&parsed).unwrap();
+    }
+
+    #[test]
+    fn flight_header_rank_range_checked() {
+        let mut rec = flight_header();
+        if let Value::Obj(fields) = &mut rec {
+            for (k, v) in fields.iter_mut() {
+                if k == "rank" {
+                    *v = Value::int(4);
+                }
+            }
+        }
+        let err = validate_flight_header(&rec).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let mut rec = flight_header();
+        if let Value::Obj(fields) = &mut rec {
+            for (k, v) in fields.iter_mut() {
+                if k == "reason" {
+                    *v = Value::str("");
+                }
+            }
+        }
+        assert!(validate_flight_header(&rec).is_err());
+    }
+
+    fn tstep_record() -> Value {
+        Value::obj([
+            ("schema", Value::str(TIMELINE_SCHEMA)),
+            ("kind", Value::str("tstep")),
+            ("step", Value::int(9)),
+            ("ranks_seen", Value::int(4)),
+            ("wall_max_s", Value::num(0.031)),
+            ("wall_mean_s", Value::num(0.027)),
+            ("imbalance", Value::num(0.031 / 0.027)),
+            ("straggler", Value::int(2)),
+            ("comm_ratio", Value::num(0.18)),
+            ("gs_skew", Value::num(1.4)),
+            ("phase_gap_ranks", Value::int(0)),
+            (
+                "phases",
+                Value::obj([
+                    ("pressure", Value::num(0.02)),
+                    ("velocity", Value::num(0.004)),
+                    ("temperature", Value::num(0.002)),
+                    ("other", Value::num(0.001)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn timeline_records_roundtrip() {
+        let header = Value::obj([
+            ("schema", Value::str(TIMELINE_SCHEMA)),
+            ("kind", Value::str("timeline_header")),
+            ("ranks", Value::int(4)),
+            ("streams", Value::int(4)),
+        ]);
+        validate_timeline_record(&header).unwrap();
+        validate_timeline_record(&Value::parse(&header.to_string()).unwrap()).unwrap();
+
+        let tstep = tstep_record();
+        validate_timeline_record(&tstep).unwrap();
+        validate_timeline_record(&Value::parse(&tstep.to_string()).unwrap()).unwrap();
+
+        let summary = Value::obj([
+            ("schema", Value::str(TIMELINE_SCHEMA)),
+            ("kind", Value::str("tsummary")),
+            ("steps", Value::int(40)),
+            ("ranks", Value::int(4)),
+            ("imbalance_mean", Value::num(1.12)),
+            ("imbalance_max", Value::num(1.55)),
+            ("phase_gap_total", Value::int(1)),
+            ("replayed_records", Value::int(3)),
+        ]);
+        validate_timeline_record(&summary).unwrap();
+        validate_timeline_record(&Value::parse(&summary.to_string()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn timeline_tstep_invariants_checked() {
+        // imbalance below 1 is impossible for max/mean.
+        let mut rec = tstep_record();
+        if let Value::Obj(fields) = &mut rec {
+            for (k, v) in fields.iter_mut() {
+                if k == "imbalance" {
+                    *v = Value::num(0.5);
+                }
+            }
+        }
+        assert!(validate_timeline_record(&rec).is_err());
+        // straggler must index a seen rank.
+        let mut rec = tstep_record();
+        if let Value::Obj(fields) = &mut rec {
+            for (k, v) in fields.iter_mut() {
+                if k == "straggler" {
+                    *v = Value::int(9);
+                }
+            }
+        }
+        assert!(validate_timeline_record(&rec).is_err());
+    }
+
+    #[test]
+    fn health_record_roundtrips_and_rejects_unknown_detector() {
+        let rec = health_record(
+            "cfl_spike",
+            "warn",
+            "raise",
+            42,
+            0.92,
+            0.65,
+            "cfl 0.92 > 2x median",
+        );
+        validate_health(&rec).unwrap();
+        validate_health(&Value::parse(&rec.to_string()).unwrap()).unwrap();
+        let bad = health_record("vibes", "warn", "raise", 1, 0.0, 0.0, "");
+        assert!(validate_health(&bad).is_err());
+        let bad_sev = health_record("imbalance", "catastrophic", "raise", 1, 2.0, 1.5, "x");
+        assert!(validate_health(&bad_sev).is_err());
+        let bad_state = health_record("imbalance", "warn", "flap", 1, 2.0, 1.5, "x");
+        assert!(validate_health(&bad_state).is_err());
     }
 
     #[test]
