@@ -1,0 +1,521 @@
+//! Workspace call graph and transitive hot-set inference.
+//!
+//! Nodes are every [`crate::parse::FnDef`] in the workspace; edges come
+//! from syntactic call sites with name-based resolution:
+//!
+//! * `Qual::name(…)` resolves against `Owner::name` qualified keys
+//!   (module qualifiers fall back to the bare name). A qualified call
+//!   that matches nothing — `Vec::new`, `f64::max` — produces no edge,
+//!   which keeps std calls from polluting the graph.
+//! * `.name(…)` and `name(…)` resolve by bare name against every
+//!   workspace definition, **unless** the name is ambiguous beyond
+//!   `[callgraph] ambiguous_cap` (think `new`, `len`): such promiscuous
+//!   names only resolve through a qualified path. This is the
+//!   over-approximation/precision dial: reachability must never silently
+//!   lose a hot helper, but `.clone()` must not drag the whole workspace
+//!   into the hot set.
+//!
+//! The hot set is the transitive closure from the `[roots]` declarations
+//! in `audit.toml`. Root/stop specs use the grammar
+//! `Owner::fn`, `fn`, `path/to/file.rs::fn` or `path/to/file.rs::*`;
+//! stops are subtracted before traversal (a stop function is neither
+//! analyzed nor expanded — telemetry recording is the canonical stop),
+//! and `stop_crates` prunes whole path prefixes.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::FileIr;
+
+/// Method names that collide with ubiquitous std/foreign-type methods
+/// (`scope.spawn`, `file.write`, `tx.send`, `iter.for_each`, …). A
+/// method call on a **non-`self` receiver** with one of these names
+/// produces no edge — without receiver types, linking `up.write(…)` to
+/// `CheckpointSet::write` would drag unrelated subsystems into the hot
+/// set. Functions behind such dispatch boundaries are declared as
+/// `[roots]` instead (comm send/recv paths, checkpoint write/restore,
+/// the WorkerPool fan-out methods), which is the v2 contract: inference
+/// never *silently* loses them because the unmatched-root check fails
+/// loudly when a declared root disappears.
+const STD_METHOD_COLLISIONS: &[&str] = &[
+    "clone",
+    "close",
+    "contains",
+    "create",
+    "drain",
+    "elapsed",
+    "extend",
+    "finish",
+    "flush",
+    "for_each",
+    "get",
+    "insert",
+    "join",
+    "len",
+    "load",
+    "lock",
+    "next",
+    "open",
+    "push",
+    "rank",
+    "read",
+    "record",
+    "recv",
+    "run",
+    "send",
+    "size",
+    "spawn",
+    "start",
+    "stop",
+    "store",
+    "sum",
+    "take",
+    "update",
+    "wait",
+    "write",
+    "write_all",
+];
+
+/// One function node: `(file, index into that file's IR)` plus the
+/// resolution keys, flattened for the whole workspace.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub file: String,
+    /// Index into the owning file's `FileIr::fns`.
+    pub fn_idx: usize,
+    pub name: String,
+    pub qual: String,
+    pub decl_line: usize,
+}
+
+impl Node {
+    /// Stable display id: `file::Owner::fn`.
+    pub fn id(&self) -> String {
+        format!("{}::{}", self.file, self.qual)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// Bare name → node indices.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// `Owner::name` → node indices.
+    by_qual: BTreeMap<String, Vec<usize>>,
+    /// Resolved adjacency (deduplicated, sorted).
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// A reach set with provenance: for every member, the node it was first
+/// reached from (`None` for roots) — the audit report uses this to print
+/// *why* a function is hot.
+#[derive(Debug, Default)]
+pub struct ReachSet {
+    pub member: BTreeMap<usize, Option<usize>>,
+}
+
+impl ReachSet {
+    pub fn contains(&self, node: usize) -> bool {
+        self.member.contains_key(&node)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.member.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Root-ward chain `node ← parent ← … ← root` as display ids.
+    pub fn chain(&self, graph: &CallGraph, node: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            out.push(graph.nodes[n].id());
+            cur = self.member.get(&n).copied().flatten();
+            if out.len() > graph.nodes.len() {
+                break; // defensive: provenance cannot cycle, but never loop
+            }
+        }
+        out
+    }
+}
+
+impl CallGraph {
+    /// Build the graph over `files`: `(path, ir)` pairs, with edge
+    /// resolution capped at `ambiguous_cap` candidates for unqualified
+    /// names.
+    pub fn build(files: &[(String, &FileIr)], ambiguous_cap: usize) -> Self {
+        let mut g = CallGraph::default();
+        for (path, ir) in files {
+            for (fi, f) in ir.fns.iter().enumerate() {
+                let idx = g.nodes.len();
+                g.nodes.push(Node {
+                    file: path.clone(),
+                    fn_idx: fi,
+                    name: f.name.clone(),
+                    qual: f.qual_name(),
+                    decl_line: f.decl_line,
+                });
+                g.by_name.entry(f.name.clone()).or_default().push(idx);
+                g.by_qual.entry(f.qual_name()).or_default().push(idx);
+            }
+        }
+        let mut edges = vec![Vec::new(); g.nodes.len()];
+        let mut node_iter = 0usize;
+        for (_, ir) in files {
+            for f in &ir.fns {
+                let me = node_iter;
+                node_iter += 1;
+                let mut targets = BTreeSet::new();
+                for c in &f.calls {
+                    match &c.qual {
+                        Some(q) => {
+                            let key = format!("{q}::{}", c.name);
+                            if let Some(hits) = g.by_qual.get(&key) {
+                                targets.extend(hits.iter().copied());
+                            } else if let Some(hits) = g.by_name.get(&c.name) {
+                                // Module-qualified free fn (`detail::inner`):
+                                // the qualifier is not an impl owner, so
+                                // fall back to the bare name under the cap.
+                                if hits.len() <= ambiguous_cap {
+                                    targets.extend(hits.iter().copied());
+                                }
+                            }
+                        }
+                        None if c.method => {
+                            // `self.name(…)`: prefer a same-owner method —
+                            // the overwhelmingly likely target.
+                            let mut resolved = false;
+                            if c.recv_self {
+                                if let Some(owner) = &f.owner {
+                                    if let Some(hits) =
+                                        g.by_qual.get(&format!("{owner}::{}", c.name))
+                                    {
+                                        targets.extend(hits.iter().copied());
+                                        resolved = true;
+                                    }
+                                }
+                            }
+                            if !resolved && !STD_METHOD_COLLISIONS.contains(&c.name.as_str()) {
+                                if let Some(hits) = g.by_name.get(&c.name) {
+                                    if hits.len() <= ambiguous_cap {
+                                        targets.extend(hits.iter().copied());
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            if let Some(hits) = g.by_name.get(&c.name) {
+                                if hits.len() <= ambiguous_cap {
+                                    targets.extend(hits.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                }
+                targets.remove(&me); // self-recursion adds nothing
+                edges[me] = targets.into_iter().collect();
+            }
+        }
+        g.edges = edges;
+        g
+    }
+
+    /// Node indices matching a root/stop spec:
+    /// `file.rs::*`, `file.rs::fn`, `Owner::fn`, or bare `fn`.
+    pub fn resolve_spec(&self, spec: &str) -> Vec<usize> {
+        if let Some((file, rest)) = spec.split_once(".rs::") {
+            let file = format!("{file}.rs");
+            return self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.file == file && (rest == "*" || n.qual == rest || n.name == rest)
+                })
+                .map(|(i, _)| i)
+                .collect();
+        }
+        if spec.contains("::") {
+            return self.by_qual.get(spec).cloned().unwrap_or_default();
+        }
+        // Bare name: union qualified and bare hits. A trait default
+        // method parses with no owner, so its qual name *is* the bare
+        // name — qual-first-with-early-return would shadow every impl
+        // of the method and silently shrink the spec's match set.
+        let mut hits: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        if let Some(h) = self.by_qual.get(spec) {
+            hits.extend(h.iter().copied());
+        }
+        if let Some(h) = self.by_name.get(spec) {
+            hits.extend(h.iter().copied());
+        }
+        hits.into_iter().collect()
+    }
+
+    /// BFS closure from `roots`, never entering `stops` or any node whose
+    /// file starts with one of `stop_crates` — except that an explicit
+    /// root of *this* traversal overrides any stop (explicit beats
+    /// inferred: declaring `recv_deadline` a no-panic root while also
+    /// stopping it keeps the comm subgraph out of the *hot* closure but
+    /// fully covered by the soft tier). Returns the reach set with
+    /// provenance and the list of root specs that matched nothing (a
+    /// config-drift error for the caller to report).
+    pub fn reach(
+        &self,
+        roots: &[String],
+        stops: &[String],
+        stop_crates: &[String],
+    ) -> (ReachSet, Vec<String>) {
+        let mut stopped: BTreeSet<usize> = BTreeSet::new();
+        for s in stops {
+            stopped.extend(self.resolve_spec(s));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if stop_crates.iter().any(|p| n.file.starts_with(p.as_str())) {
+                stopped.insert(i);
+            }
+        }
+        let mut set = ReachSet::default();
+        let mut queue = VecDeque::new();
+        let mut unmatched = Vec::new();
+        for spec in roots {
+            let hits = self.resolve_spec(spec);
+            if hits.is_empty() {
+                unmatched.push(spec.clone());
+            }
+            for h in hits {
+                stopped.remove(&h);
+                if !set.contains(h) {
+                    set.member.insert(h, None);
+                    queue.push_back(h);
+                }
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &t in &self.edges[n] {
+                if !stopped.contains(&t) && !set.contains(t) {
+                    set.member.insert(t, Some(n));
+                    queue.push_back(t);
+                }
+            }
+        }
+        (set, unmatched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse;
+
+    fn graph(files: &[(&str, &str)]) -> (CallGraph, Vec<(String, FileIr)>) {
+        let irs: Vec<(String, FileIr)> = files
+            .iter()
+            .map(|(p, src)| (p.to_string(), parse::parse(&lex(src).tokens)))
+            .collect();
+        let refs: Vec<(String, &FileIr)> = irs.iter().map(|(p, ir)| (p.clone(), ir)).collect();
+        (CallGraph::build(&refs, 8), irs)
+    }
+
+    #[test]
+    fn cross_module_calls_resolve() {
+        let (g, _) = graph(&[
+            ("a.rs", "pub fn root() { crate::b::helper(); }\n"),
+            ("b.rs", "pub fn helper() { leaf(); }\npub fn leaf() {}\n"),
+        ]);
+        let (set, unmatched) = g.reach(&["root".into()], &[], &[]);
+        assert!(unmatched.is_empty());
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let (g, _) = graph(&[
+            (
+                "sim.rs",
+                "impl Sim { pub fn step(&mut self) { self.solve(); } }\n",
+            ),
+            (
+                "la.rs",
+                "impl Solver { pub fn solve(&self) { kernel(); } }\nfn kernel() {}\n",
+            ),
+        ]);
+        let (set, _) = g.reach(&["Sim::step".into()], &[], &[]);
+        let ids: Vec<String> = set.member.keys().map(|&i| g.nodes[i].id()).collect();
+        assert!(ids.contains(&"la.rs::Solver::solve".to_string()), "{ids:?}");
+        assert!(ids.contains(&"la.rs::kernel".to_string()));
+    }
+
+    #[test]
+    fn closures_as_jobs_are_reached() {
+        let (g, _) = graph(&[
+            (
+                "hot.rs",
+                "pub fn dispatch(pool: &Pool) { pool.for_each(4, 1, |i| job_kernel(i)); }\n",
+            ),
+            (
+                "k.rs",
+                "pub fn job_kernel(i: usize) { inner(i); }\nfn inner(_i: usize) {}\n",
+            ),
+        ]);
+        let (set, _) = g.reach(&["dispatch".into()], &[], &[]);
+        let ids: Vec<String> = set.member.keys().map(|&i| g.nodes[i].id()).collect();
+        assert!(ids.contains(&"k.rs::job_kernel".to_string()));
+        assert!(ids.contains(&"k.rs::inner".to_string()));
+    }
+
+    #[test]
+    fn ambiguous_names_need_qualification() {
+        let files: Vec<(String, String)> = (0..10)
+            .map(|i| {
+                (
+                    format!("f{i}.rs"),
+                    format!("impl T{i} {{ pub fn new() {{ panic!(); }} }}\n"),
+                )
+            })
+            .collect();
+        let mut all: Vec<(&str, &str)> = files
+            .iter()
+            .map(|(p, s)| (p.as_str(), s.as_str()))
+            .collect();
+        let root_src = "pub fn root() { let a = T3::new(); let b = helper(); }\nfn helper() {}\n";
+        all.push(("root.rs", root_src));
+        let (g, _) = graph(&all);
+        let (set, _) = g.reach(&["root".into()], &[], &[]);
+        let ids: Vec<String> = set.member.keys().map(|&i| g.nodes[i].id()).collect();
+        // `new` has 10 candidates — over the cap — so only the qualified
+        // `T3::new` edge resolves.
+        assert!(ids.contains(&"f3.rs::T3::new".to_string()), "{ids:?}");
+        assert_eq!(ids.iter().filter(|s| s.ends_with("::new")).count(), 1);
+        assert!(ids.contains(&"root.rs::helper".to_string()));
+    }
+
+    #[test]
+    fn std_colliding_method_names_do_not_link_on_foreign_receivers() {
+        let (g, _) = graph(&[
+            (
+                "la.rs",
+                "impl SchwarzMg { pub fn apply(&self) { scope.spawn(|| {}); up.write(1, 2.0); } }\n",
+            ),
+            ("insitu.rs", "impl PodConsumer { pub fn spawn() { heavy(); } }\nfn heavy() {}\n"),
+            ("ckpt.rs", "impl CheckpointSet { pub fn write(&self) { disk(); } }\nfn disk() {}\n"),
+        ]);
+        let (set, _) = g.reach(&["SchwarzMg::apply".into()], &[], &[]);
+        assert_eq!(set.len(), 1, "scope.spawn / up.write must not link");
+    }
+
+    #[test]
+    fn self_receiver_prefers_same_owner_method() {
+        let (g, _) = graph(&[
+            (
+                "a.rs",
+                "impl Sim { pub fn step(&mut self) { self.solve(); } pub fn solve(&self) {} }\n",
+            ),
+            (
+                "b.rs",
+                "impl Other { pub fn solve(&self) { bad(); } }\nfn bad() {}\n",
+            ),
+        ]);
+        let (set, _) = g.reach(&["Sim::step".into()], &[], &[]);
+        let ids: Vec<String> = set.member.keys().map(|&i| g.nodes[i].id()).collect();
+        assert!(ids.contains(&"a.rs::Sim::solve".to_string()));
+        assert!(!ids.contains(&"b.rs::Other::solve".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn stops_prune_traversal() {
+        let (g, _) = graph(&[(
+            "a.rs",
+            "pub fn root() { record(); solve(); }\npub fn record() { fmt(); }\npub fn fmt() {}\npub fn solve() {}\n",
+        )]);
+        let (set, _) = g.reach(&["root".into()], &["record".into()], &[]);
+        let ids: Vec<String> = set.member.keys().map(|&i| g.nodes[i].id()).collect();
+        assert!(!ids.contains(&"a.rs::record".to_string()));
+        assert!(!ids.contains(&"a.rs::fmt".to_string()));
+        assert!(ids.contains(&"a.rs::solve".to_string()));
+    }
+
+    #[test]
+    fn roots_override_stops() {
+        // `recv_deadline` is stopped for every traversal, but declaring
+        // it a root of this one re-enables it *and* its expansion.
+        let (g, _) = graph(&[(
+            "comm.rs",
+            "pub fn recv_deadline() { recv_attempt(); }\nfn recv_attempt() {}\npub fn hot_root() { recv_deadline(); }\n",
+        )]);
+        let (hot, _) = g.reach(&["hot_root".into()], &["recv_deadline".into()], &[]);
+        assert_eq!(hot.len(), 1, "stop prunes the inferred closure");
+        let (np, _) = g.reach(&["recv_deadline".into()], &["recv_deadline".into()], &[]);
+        assert_eq!(np.len(), 2, "explicit root beats the stop and expands");
+    }
+
+    #[test]
+    fn bare_spec_matches_trait_default_and_impls() {
+        // A trait default method named `recv_deadline` has no owner, so
+        // its qual name is the bare name. The bare spec must still match
+        // *every* impl method too, or a stop on `recv_deadline` leaves
+        // the impls wide open to hot-closure expansion.
+        let (g, _) = graph(&[(
+            "comm.rs",
+            "pub trait Comm { fn recv_deadline(&self) {} }\n\
+             impl ChaosComm { pub fn recv_deadline(&self) { self.flush_held(); } fn flush_held(&self) {} }\n\
+             impl GatherScatter { pub fn try_apply(&self, c: &dyn Comm) { c.recv_deadline(); } }\n",
+        )]);
+        assert_eq!(g.resolve_spec("recv_deadline").len(), 2);
+        let (hot, _) = g.reach(
+            &["GatherScatter::try_apply".into()],
+            &["recv_deadline".into()],
+            &[],
+        );
+        assert_eq!(
+            hot.len(),
+            1,
+            "both defs stopped, hot closure is the root alone"
+        );
+    }
+
+    #[test]
+    fn stop_crates_prune_by_prefix() {
+        let (g, _) = graph(&[
+            ("crates/core/src/sim.rs", "pub fn root() { emit(); }\n"),
+            (
+                "crates/telemetry/src/lib.rs",
+                "pub fn emit() { fanout(); }\nfn fanout() {}\n",
+            ),
+        ]);
+        let (set, _) = g.reach(&["root".into()], &[], &["crates/telemetry".into()]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_roots_are_reported() {
+        let (g, _) = graph(&[("a.rs", "pub fn root() {}\n")]);
+        let (_, unmatched) = g.reach(&["no_such_fn".into()], &[], &[]);
+        assert_eq!(unmatched, vec!["no_such_fn".to_string()]);
+    }
+
+    #[test]
+    fn file_star_spec_roots_every_fn() {
+        let (g, _) = graph(&[(
+            "io.rs",
+            "pub fn write() {}\npub fn read() { helper(); }\nfn helper() {}\n",
+        )]);
+        let (set, _) = g.reach(&["io.rs::*".into()], &[], &[]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn provenance_chain_reaches_a_root() {
+        let (g, _) = graph(&[(
+            "a.rs",
+            "pub fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let (set, _) = g.reach(&["root".into()], &[], &[]);
+        let leaf = g.nodes.iter().position(|n| n.name == "leaf").unwrap();
+        let chain = set.chain(&g, leaf);
+        assert_eq!(chain, vec!["a.rs::leaf", "a.rs::mid", "a.rs::root"]);
+    }
+}

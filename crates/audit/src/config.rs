@@ -1,29 +1,62 @@
-//! Typed view of `audit.toml`.
+//! Typed view of `audit.toml` (schema `rbx.audit.v2`).
+//!
+//! v1 drove the panic/alloc rules with hand-listed file paths; v2
+//! replaces those brittle lists with **declared roots** (`[roots]`) from
+//! which the call graph infers the hot set — any helper reachable from
+//! `Simulation::step`, the worker-pool job machinery, the hardened comm
+//! receive paths or checkpoint write/restore inherits the hot-path rules
+//! without being listed anywhere. The remaining per-site inventories
+//! (indexing budgets, lossy casts) stay, but the indexing budget is now
+//! keyed **per function** (`file.rs::Owner::fn`), matching the
+//! reachability granularity.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::toml::{self, Document, Table, Value};
 
-pub const SCHEMA: &str = "rbx.audit.v1";
+pub const SCHEMA: &str = "rbx.audit.v2";
+
+/// Default ambiguity cap: unqualified names with more workspace
+/// definitions than this resolve only through a qualified path.
+pub const DEFAULT_AMBIGUOUS_CAP: usize = 8;
 
 /// Workspace audit configuration (see `audit.toml` at the repo root).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AuditConfig {
-    /// Files where panic paths (`unwrap/expect/panic!/assert!` and bare
-    /// slice indexing budgets) are denied: the per-step kernels.
-    pub hot_panic_paths: Vec<String>,
-    /// Files held to the weaker "no `unwrap()`/`expect()`/`panic!`"
-    /// contract (the old grep-based panic-audit scope: checkpoint + io).
-    pub no_panic_paths: Vec<String>,
-    /// Audited bare-indexing site count per hot file. More sites than the
-    /// budget is an error; fewer means the budget is stale (a note).
+    /// Strict-tier roots: every function reachable from one of these
+    /// inherits `hot-panic` (no panics, no asserts), `hot-alloc` and the
+    /// per-function `hot-index` budget.
+    pub roots_hot: Vec<String>,
+    /// Soft-tier roots: reachable functions inherit `no-panic` (no
+    /// unwrap/expect/panic macros; asserts allowed — persistence code
+    /// validates untrusted bytes but may assert caller contracts).
+    pub roots_no_panic: Vec<String>,
+    /// Extra roots for the determinism taint domain (topology/manifest
+    /// construction that runs at setup time but fixes orderings the
+    /// bitwise-determinism contract depends on). The domain is the union
+    /// of hot, no-panic and these.
+    pub roots_determinism: Vec<String>,
+    /// Functions the traversal never enters (telemetry recording is the
+    /// canonical stop: it may allocate and read wall clocks freely).
+    pub roots_stop: Vec<String>,
+    /// Path prefixes pruned wholesale from every reach set.
+    pub stop_crates: Vec<String>,
+    /// Unqualified-name resolution cap (see `callgraph`).
+    pub ambiguous_cap: usize,
+    /// Audited bare-indexing site count per hot **function**
+    /// (`file.rs::Owner::fn`). More sites than the budget is an error;
+    /// fewer means the budget is stale (a note).
     pub hot_index_budget: BTreeMap<String, usize>,
-    /// Per-file list of per-step kernel functions in which allocation
-    /// (`Vec::new/vec!/to_vec/clone/collect/format!/…`) is flagged.
-    pub hot_alloc_fns: BTreeMap<String, Vec<String>>,
     /// Audited `as`-cast site count per file (the lossy-cast inventory).
     pub cast_budget: BTreeMap<String, usize>,
+    /// Files holding the blessed chunk-ordered reducers: `det-reduce`
+    /// does not fire inside them.
+    pub det_blessed: Vec<String>,
+    /// Identifiers that name parallel-chunk partial buffers: a bare
+    /// `.sum()/.fold()/.reduce()` over one of these outside a blessed
+    /// file is a `det-reduce` error.
+    pub det_unordered_idents: Vec<String>,
     /// Crate directories whose span/metric name literals are checked
     /// against the `rbx.telemetry.v1` registry.
     pub telemetry_crates: Vec<String>,
@@ -39,6 +72,27 @@ pub struct AuditConfig {
     /// checkpoints are topology-independent (keyed by global element id),
     /// so layout math from the rank would break N→M restarts.
     pub rank_offset_paths: Vec<String>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            roots_hot: Vec::new(),
+            roots_no_panic: Vec::new(),
+            roots_determinism: Vec::new(),
+            roots_stop: Vec::new(),
+            stop_crates: Vec::new(),
+            ambiguous_cap: DEFAULT_AMBIGUOUS_CAP,
+            hot_index_budget: BTreeMap::new(),
+            cast_budget: BTreeMap::new(),
+            det_blessed: Vec::new(),
+            det_unordered_idents: Vec::new(),
+            telemetry_crates: Vec::new(),
+            pool_discipline_paths: Vec::new(),
+            recv_deadline_paths: Vec::new(),
+            rank_offset_paths: Vec::new(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -78,25 +132,6 @@ fn budget_map(table: Option<&Table>) -> Result<BTreeMap<String, usize>, ConfigEr
     Ok(out)
 }
 
-fn fn_map(table: Option<&Table>) -> Result<BTreeMap<String, Vec<String>>, ConfigError> {
-    let mut out = BTreeMap::new();
-    if let Some(t) = table {
-        for (k, v) in &t.entries {
-            match v {
-                Value::StrArray(fns) => {
-                    out.insert(k.clone(), fns.clone());
-                }
-                _ => {
-                    return Err(ConfigError(format!(
-                        "entry `{k}` must be an array of function names"
-                    )))
-                }
-            }
-        }
-    }
-    Ok(out)
-}
-
 impl AuditConfig {
     pub fn parse(src: &str) -> Result<Self, ConfigError> {
         let doc = toml::parse(src).map_err(|e| ConfigError(e.to_string()))?;
@@ -109,12 +144,33 @@ impl AuditConfig {
             }
             _ => return Err(ConfigError("missing `schema` key".into())),
         }
+        let roots = doc.table("roots");
+        if roots.is_none() {
+            return Err(ConfigError(
+                "missing `[roots]` — v2 infers the hot set from declared roots".into(),
+            ));
+        }
+        let ambiguous_cap = match doc.get("callgraph", "ambiguous_cap") {
+            Some(Value::Int(n)) if *n >= 1 => *n as usize,
+            Some(_) => {
+                return Err(ConfigError(
+                    "`callgraph.ambiguous_cap` must be a positive integer".into(),
+                ))
+            }
+            None => DEFAULT_AMBIGUOUS_CAP,
+        };
+        let det = doc.table("rules.determinism");
         Ok(Self {
-            hot_panic_paths: str_array(doc.table("rules.hot_panic"), "paths"),
-            no_panic_paths: str_array(doc.table("rules.no_panic"), "paths"),
+            roots_hot: str_array(roots, "hot"),
+            roots_no_panic: str_array(roots, "no_panic"),
+            roots_determinism: str_array(roots, "determinism"),
+            roots_stop: str_array(roots, "stop"),
+            stop_crates: str_array(roots, "stop_crates"),
+            ambiguous_cap,
             hot_index_budget: budget_map(doc.table("rules.hot_index"))?,
-            hot_alloc_fns: fn_map(doc.table("rules.hot_alloc"))?,
             cast_budget: budget_map(doc.table("rules.casts"))?,
+            det_blessed: str_array(det, "blessed"),
+            det_unordered_idents: str_array(det, "unordered"),
             telemetry_crates: str_array(doc.table("rules.telemetry_names"), "crates"),
             pool_discipline_paths: str_array(doc.table("rules.pool_discipline"), "paths"),
             recv_deadline_paths: str_array(doc.table("rules.recv_deadline"), "paths"),
@@ -131,15 +187,30 @@ impl AuditConfig {
             entries: vec![("schema".into(), Value::Str(SCHEMA.into()))],
         });
         doc.tables.push(Table {
-            name: "rules.hot_panic".into(),
+            name: "callgraph".into(),
             entries: vec![(
-                "paths".into(),
-                Value::StrArray(self.hot_panic_paths.clone()),
+                "ambiguous_cap".into(),
+                Value::Int(self.ambiguous_cap as i64),
             )],
         });
         doc.tables.push(Table {
-            name: "rules.no_panic".into(),
-            entries: vec![("paths".into(), Value::StrArray(self.no_panic_paths.clone()))],
+            name: "roots".into(),
+            entries: vec![
+                ("hot".into(), Value::StrArray(self.roots_hot.clone())),
+                (
+                    "no_panic".into(),
+                    Value::StrArray(self.roots_no_panic.clone()),
+                ),
+                (
+                    "determinism".into(),
+                    Value::StrArray(self.roots_determinism.clone()),
+                ),
+                ("stop".into(), Value::StrArray(self.roots_stop.clone())),
+                (
+                    "stop_crates".into(),
+                    Value::StrArray(self.stop_crates.clone()),
+                ),
+            ],
         });
         doc.tables.push(Table {
             name: "rules.hot_index".into(),
@@ -150,20 +221,22 @@ impl AuditConfig {
                 .collect(),
         });
         doc.tables.push(Table {
-            name: "rules.hot_alloc".into(),
-            entries: self
-                .hot_alloc_fns
-                .iter()
-                .map(|(k, v)| (k.clone(), Value::StrArray(v.clone())))
-                .collect(),
-        });
-        doc.tables.push(Table {
             name: "rules.casts".into(),
             entries: self
                 .cast_budget
                 .iter()
                 .map(|(k, v)| (k.clone(), Value::Int(*v as i64)))
                 .collect(),
+        });
+        doc.tables.push(Table {
+            name: "rules.determinism".into(),
+            entries: vec![
+                ("blessed".into(), Value::StrArray(self.det_blessed.clone())),
+                (
+                    "unordered".into(),
+                    Value::StrArray(self.det_unordered_idents.clone()),
+                ),
+            ],
         });
         doc.tables.push(Table {
             name: "rules.telemetry_names".into(),
@@ -204,15 +277,19 @@ mod tests {
     #[test]
     fn parse_and_round_trip() {
         let mut cfg = AuditConfig {
-            hot_panic_paths: vec!["crates/la/src/fdm.rs".into()],
-            no_panic_paths: vec!["crates/io/src/engine.rs".into()],
+            roots_hot: vec!["Simulation::step".into()],
+            roots_no_panic: vec!["crates/io/src/engine.rs::*".into()],
+            roots_determinism: vec!["GatherScatter::build".into()],
+            roots_stop: vec!["Simulation::record_step_telemetry".into()],
+            stop_crates: vec!["crates/telemetry".into()],
+            ambiguous_cap: 6,
             ..Default::default()
         };
         cfg.hot_index_budget
-            .insert("crates/la/src/fdm.rs".into(), 7);
-        cfg.hot_alloc_fns
-            .insert("crates/la/src/fdm.rs".into(), vec!["apply_add".into()]);
+            .insert("crates/la/src/fdm.rs::FdmSolver::apply_add".into(), 7);
         cfg.cast_budget.insert("crates/gs/src/lib.rs".into(), 25);
+        cfg.det_blessed.push("crates/la/src/ops.rs".into());
+        cfg.det_unordered_idents.push("partials".into());
         cfg.telemetry_crates.push("crates/core".into());
         cfg.pool_discipline_paths
             .push("crates/la/src/schwarz.rs".into());
@@ -225,8 +302,22 @@ mod tests {
     }
 
     #[test]
-    fn schema_is_enforced() {
+    fn schema_and_roots_are_enforced() {
+        assert!(AuditConfig::parse("schema = \"rbx.audit.v1\"\n[roots]\nhot = []\n").is_err());
         assert!(AuditConfig::parse("schema = \"rbx.audit.v2\"\n").is_err());
-        assert!(AuditConfig::parse("[rules.hot_panic]\npaths = []\n").is_err());
+        assert!(AuditConfig::parse(
+            "schema = \"rbx.audit.v2\"\n[roots]\nhot = [\"Simulation::step\"]\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn ambiguous_cap_defaults_and_validates() {
+        let ok = AuditConfig::parse("schema = \"rbx.audit.v2\"\n[roots]\nhot = []\n").unwrap();
+        assert_eq!(ok.ambiguous_cap, DEFAULT_AMBIGUOUS_CAP);
+        assert!(AuditConfig::parse(
+            "schema = \"rbx.audit.v2\"\n[callgraph]\nambiguous_cap = 0\n[roots]\nhot = []\n"
+        )
+        .is_err());
     }
 }

@@ -2,25 +2,45 @@
 //!
 //! Generic tooling (clippy, grep) cannot express the invariants that
 //! actually matter for this codebase: panic-free and allocation-free
-//! element kernels, justified atomic orderings in the task-parallel
-//! Schwarz/worker-pool machinery, an audited lossy-cast inventory, and
-//! telemetry instrumentation that cannot drift from its schema registry.
-//! This crate is a dependency-light (no `syn`; the build is offline and
-//! vendored) lexer-based analyzer enforcing exactly those rules, driven
-//! by the checked-in `audit.toml` and an inline waiver grammar:
+//! element kernels, bitwise-deterministic solver state, justified atomic
+//! orderings in the task-parallel Schwarz/worker-pool machinery, an
+//! audited lossy-cast inventory, and telemetry instrumentation that
+//! cannot drift from its schema registry. This crate is a
+//! dependency-light (no `syn`; the build is offline and vendored)
+//! analyzer enforcing exactly those rules.
+//!
+//! v2 architecture (see DESIGN.md §14):
+//!
+//! 1. [`lexer`] tokenizes each file and strips `#[cfg(test)]` sections;
+//! 2. [`parse`] builds a per-file IR: modules, impl owners, fn bodies
+//!    and call sites (closures attributed to the enclosing fn);
+//! 3. [`callgraph`] links the workspace and infers the **hot set** by
+//!    transitive reachability from the `[roots]` declared in
+//!    `audit.toml` — replacing v1's brittle per-rule file lists;
+//! 4. reachability rules ([`rules::reach`]) and determinism taint rules
+//!    ([`rules::determinism`]) run over those sets; per-file rules
+//!    (atomics, casts, pool/recv/rank discipline, telemetry names,
+//!    `unsafe` inventory) run everywhere.
+//!
+//! Waiver grammar, inline next to the site or on the `fn` declaration
+//! (covering the whole body):
 //!
 //! ```text
 //! // audit:allow(<rule>): <reason>
 //! ```
 //!
-//! Run `rbx-audit check` from the repo root (CI does, in the `audit`
-//! job); `rbx-audit inventory` regenerates the cast/index budget tables.
-//! See DESIGN.md §9 for the rule catalogue and the rationale.
+//! Run `rbx-audit check` from the repo root (CI runs
+//! `check --deny-drift`, which also fails on notes); `rbx-audit
+//! inventory` regenerates the cast/index budget tables; `rbx-audit
+//! hotset` prints every inferred-hot function with its reach chain.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod toml;
 pub mod waiver;
 pub mod workspace;
@@ -30,46 +50,82 @@ pub use report::{Finding, Report, Severity};
 
 use std::path::Path;
 
-/// Load `audit.toml` from `root` and run the full audit.
-pub fn run_check(root: &Path) -> Result<Report, String> {
+fn load_config(root: &Path) -> Result<AuditConfig, String> {
     let cfg_path = root.join("audit.toml");
     let src = std::fs::read_to_string(&cfg_path)
         .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
-    let cfg = AuditConfig::parse(&src).map_err(|e| e.to_string())?;
+    AuditConfig::parse(&src).map_err(|e| e.to_string())
+}
+
+/// Load `audit.toml` from `root` and run the full audit.
+pub fn run_check(root: &Path) -> Result<Report, String> {
+    let cfg = load_config(root)?;
     workspace::run(root, &cfg).map_err(|e| format!("scan failed: {e}"))
 }
 
-/// Regenerate the budget tables (`[rules.hot_index]`, `[rules.casts]`)
-/// from the current source, keeping the rest of the config as-is, and
-/// return the full serialized `audit.toml` text.
+/// Regenerate the budget tables (`[rules.hot_index]` per hot function,
+/// `[rules.casts]` per file) from the current source, keeping the rest
+/// of the config as-is, and return the full serialized `audit.toml`.
 pub fn run_inventory(root: &Path) -> Result<String, String> {
-    let cfg_path = root.join("audit.toml");
-    let src = std::fs::read_to_string(&cfg_path)
-        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
-    let mut cfg = AuditConfig::parse(&src).map_err(|e| e.to_string())?;
+    let mut cfg = load_config(root)?;
+    let files = workspace::load(root).map_err(|e| format!("scan failed: {e}"))?;
+    let refs: Vec<(String, &parse::FileIr)> =
+        files.iter().map(|(f, _)| (f.path.clone(), &f.ir)).collect();
+    let graph = callgraph::CallGraph::build(&refs, cfg.ambiguous_cap);
+    let (hot, _) = graph.reach(&cfg.roots_hot, &cfg.roots_stop, &cfg.stop_crates);
+
     cfg.hot_index_budget.clear();
     cfg.cast_budget.clear();
-    let files = workspace::discover(root).map_err(|e| format!("scan failed: {e}"))?;
-    for path in files {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("read failed: {e}"))?;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let (file, _) = workspace::SourceFile::from_source(&rel, &text);
-        if cfg.hot_panic_paths.iter().any(|p| p == &rel) {
-            let n = rules::index::count(&file);
+    for (file, _) in &files {
+        let toks = file.prod_tokens();
+        for (node_idx, node) in graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == file.path)
+        {
+            if !hot.contains(node_idx) {
+                continue;
+            }
+            let def = &file.ir.fns[node.fn_idx];
+            let body = &toks[def.body_tokens.0..def.body_tokens.1.min(toks.len())];
+            let n = rules::index::count_tokens(body);
             if n > 0 {
-                cfg.hot_index_budget.insert(rel.clone(), n);
+                cfg.hot_index_budget
+                    .insert(format!("{}::{}", file.path, node.qual), n);
             }
         }
-        let casts = rules::casts::count(&file);
+        let casts = rules::casts::count(file);
         if casts > 0 {
-            cfg.cast_budget.insert(rel, casts);
+            cfg.cast_budget.insert(file.path.clone(), casts);
         }
     }
     Ok(cfg.serialize())
+}
+
+/// Render the inferred reach sets: every member function with the call
+/// chain that pulled it in. The debugging view for "why is this hot?".
+pub fn run_hotset(root: &Path) -> Result<String, String> {
+    let cfg = load_config(root)?;
+    let files = workspace::load(root).map_err(|e| format!("scan failed: {e}"))?;
+    let refs: Vec<(String, &parse::FileIr)> =
+        files.iter().map(|(f, _)| (f.path.clone(), &f.ir)).collect();
+    let graph = callgraph::CallGraph::build(&refs, cfg.ambiguous_cap);
+    let mut out = String::new();
+    for (title, roots) in [
+        ("hot", &cfg.roots_hot),
+        ("no_panic", &cfg.roots_no_panic),
+        ("determinism", &cfg.roots_determinism),
+    ] {
+        let (set, unmatched) = graph.reach(roots, &cfg.roots_stop, &cfg.stop_crates);
+        out.push_str(&format!("[{title}] {} fn(s)\n", set.len()));
+        for spec in &unmatched {
+            out.push_str(&format!("  !! unmatched root spec `{spec}`\n"));
+        }
+        for &node in set.member.keys() {
+            let chain = set.chain(&graph, node);
+            out.push_str(&format!("  {}\n", chain.join("  <-  ")));
+        }
+    }
+    Ok(out)
 }

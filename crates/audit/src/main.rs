@@ -1,10 +1,15 @@
 //! `rbx-audit` CLI.
 //!
 //! ```text
-//! rbx-audit check      [--root DIR]   run the audit; exit 1 on errors
-//! rbx-audit inventory  [--root DIR]   print audit.toml with regenerated
-//!                                     cast/index budgets
-//! rbx-audit waivers    [--root DIR]   list active waivers with reasons
+//! rbx-audit check      [--root DIR] [--deny-drift]
+//!                                    run the audit; exit 1 on errors
+//!                                    (--deny-drift: notes fail too — CI
+//!                                    keeps budgets/registries tight)
+//! rbx-audit inventory  [--root DIR]  print audit.toml with regenerated
+//!                                    cast/index budgets
+//! rbx-audit hotset     [--root DIR]  print the inferred reach sets with
+//!                                    provenance chains
+//! rbx-audit waivers    [--root DIR]  list active waivers with reasons
 //! ```
 
 use std::path::PathBuf;
@@ -29,13 +34,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let root = parse_root(&args);
+    let deny_drift = args.iter().any(|a| a == "--deny-drift");
     match cmd {
         "check" => match rbx_audit::run_check(&root) {
             Ok(report) => {
                 print!("{}", report.render());
-                if report.is_clean() {
+                let clean = report.is_clean() && (!deny_drift || report.notes() == 0);
+                if clean {
                     ExitCode::SUCCESS
                 } else {
+                    if deny_drift && report.is_clean() {
+                        eprintln!(
+                            "rbx-audit: notes present and --deny-drift set — tighten the budgets/registries"
+                        );
+                    }
                     ExitCode::FAILURE
                 }
             }
@@ -45,6 +57,16 @@ fn main() -> ExitCode {
             }
         },
         "inventory" => match rbx_audit::run_inventory(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rbx-audit: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "hotset" => match rbx_audit::run_hotset(&root) {
             Ok(text) => {
                 print!("{text}");
                 ExitCode::SUCCESS
@@ -66,8 +88,8 @@ fn main() -> ExitCode {
         },
         _ => {
             eprintln!(
-                "usage: rbx-audit <check|inventory|waivers> [--root DIR]\n\
-                 see DESIGN.md §9 for the rule catalogue"
+                "usage: rbx-audit <check|inventory|hotset|waivers> [--root DIR] [--deny-drift]\n\
+                 see DESIGN.md §14 for the analyzer architecture and §9 for the rule catalogue"
             );
             ExitCode::FAILURE
         }
@@ -76,21 +98,12 @@ fn main() -> ExitCode {
 
 fn list_waivers(root: &std::path::Path) -> Result<String, String> {
     let mut out = String::new();
-    let files = rbx_audit::workspace::discover(root).map_err(|e| e.to_string())?;
-    for path in files {
-        let src = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let (file, _) = rbx_audit::workspace::SourceFile::from_source(&rel, &src);
+    let files = rbx_audit::workspace::load(root).map_err(|e| e.to_string())?;
+    for (file, _) in &files {
         for w in &file.waivers {
             out.push_str(&format!(
-                "{rel}:{} [{}] {}\n",
-                w.target_line, w.rule, w.reason
+                "{}:{} [{}] {}\n",
+                file.path, w.target_line, w.rule, w.reason
             ));
         }
     }

@@ -1,0 +1,407 @@
+//! Recursive-descent item parser: the analyzer's IR.
+//!
+//! The v1 rules operated on a flat token stream per file; the v2 passes
+//! (call-graph reachability, determinism taint) need to know *which
+//! function* a token belongs to and *what that function calls*. This
+//! module builds exactly that from the [`crate::lexer`] output — no
+//! `syn`, the build stays offline: a module tree is tracked through
+//! `mod name { … }` nesting, `impl` blocks contribute an owner type, and
+//! every `fn` yields a [`FnDef`] with its body token range and the call
+//! sites found inside it. Closures are *not* separate nodes: a call made
+//! inside a closure is attributed to the enclosing named function, which
+//! is what makes worker-pool job closures (`pool.for_each(n, c, |i| …)`)
+//! participate in reachability from the function that spawns them.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A call site inside a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSite {
+    /// Callee name (`step`, `apply`, …).
+    pub name: String,
+    /// Last path qualifier before the name for `Qual::name(…)` calls
+    /// (`Simulation`, `checkpoint`, …); `Self` is resolved to the
+    /// enclosing impl type by the parser. `None` for plain and method
+    /// calls.
+    pub qual: Option<String>,
+    /// `true` for `.name(…)` method calls.
+    pub method: bool,
+    /// `true` for `self.name(…)` — the receiver is literally `self`, so
+    /// the callee very likely lives on the enclosing impl type. The call
+    /// graph uses this to prefer same-owner resolution.
+    pub recv_self: bool,
+    pub line: usize,
+}
+
+/// One `fn` item with its location, body extent and call sites.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing impl type (`Simulation`) when defined in an `impl`
+    /// block, else `None` for free functions.
+    pub owner: Option<String>,
+    /// Enclosing module path inside the file (`["detail"]` for
+    /// `mod detail { fn f … }`); empty at file scope.
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub decl_line: usize,
+    /// First and last line of the body (inclusive).
+    pub body_lines: (usize, usize),
+    /// Half-open token range of the body (including the braces) in the
+    /// file's production token stream.
+    pub body_tokens: (usize, usize),
+    pub calls: Vec<CallSite>,
+}
+
+impl FnDef {
+    /// `Owner::name` when the fn lives in an impl block, else the bare
+    /// name. This is the resolution key used by the call graph and the
+    /// `[roots]` grammar.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// `true` when `line` falls inside this fn (declaration or body).
+    pub fn contains_line(&self, line: usize) -> bool {
+        line >= self.decl_line && line <= self.body_lines.1
+    }
+}
+
+/// Parsed view of one file: every function defined in it.
+#[derive(Debug, Clone, Default)]
+pub struct FileIr {
+    pub fns: Vec<FnDef>,
+}
+
+impl FileIr {
+    /// The fn whose extent covers `line`, preferring the innermost
+    /// (latest-declared) match so nested fns win over their parent.
+    pub fn fn_at_line(&self, line: usize) -> Option<&FnDef> {
+        self.fns
+            .iter()
+            .filter(|f| f.contains_line(line))
+            .max_by_key(|f| f.decl_line)
+    }
+}
+
+/// Keywords that look like callees but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "ref", "move",
+    "in", "as", "where", "impl", "dyn", "pub", "use", "mod", "struct", "enum", "trait", "type",
+    "const", "static", "unsafe", "extern", "crate", "super", "self", "Self", "break", "continue",
+    "await",
+];
+
+/// Build the IR for one file's production tokens.
+pub fn parse(tokens: &[Token]) -> FileIr {
+    let mut ir = FileIr::default();
+    let mut ctx = Ctx {
+        module: Vec::new(),
+        owner: None,
+    };
+    parse_items(tokens, 0, tokens.len(), &mut ctx, &mut ir);
+    ir
+}
+
+struct Ctx {
+    module: Vec<String>,
+    owner: Option<String>,
+}
+
+/// Index just past the brace-matched block starting at `open` (which
+/// must point at `{`); saturates at `end` for unbalanced input.
+fn skip_block(tokens: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < end {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// First `{` at angle-bracket/paren depth zero in `[from, end)` — the
+/// body opener for `fn`/`impl`/`mod` headers (skips `where` clauses,
+/// generic defaults, `-> Foo<Bar>` returns). Stops early at `;`
+/// (declarations without bodies: trait methods, extern fns).
+fn find_body_open(tokens: &[Token], from: usize, end: usize) -> Option<usize> {
+    let mut angle = 0i64;
+    let mut paren = 0i64;
+    let mut i = from;
+    while i < end {
+        match &tokens[i].kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = (angle - 1).max(0),
+            TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => paren -= 1,
+            TokenKind::Punct(';') if angle == 0 && paren == 0 => return None,
+            TokenKind::Punct('{') if angle == 0 && paren == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The impl target type: the first type ident after `for` if present
+/// (`impl Trait for Type`), else the first ident following the `impl`
+/// generics (`impl<T> Type<T>`).
+fn impl_owner(tokens: &[Token], from: usize, body_open: usize) -> Option<String> {
+    let mut i = from;
+    // Skip the generic parameter list right after `impl`.
+    if i < body_open && tokens[i].is_punct('<') {
+        let mut depth = 0i64;
+        while i < body_open {
+            if tokens[i].is_punct('<') {
+                depth += 1;
+            } else if tokens[i].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // `for` splits trait from type.
+    let for_at = (i..body_open).rfind(|&j| tokens[j].is_ident("for"));
+    let start = for_at.map(|j| j + 1).unwrap_or(i);
+    // The owner is the *last* path segment before generics: `io::Engine`
+    // → `Engine`.
+    let mut owner = None;
+    let mut j = start;
+    while j < body_open {
+        match &tokens[j].kind {
+            TokenKind::Ident(id) if id != "dyn" && id != "where" => {
+                owner = Some(id.clone());
+                // A `<` right after ends the path.
+                if tokens.get(j + 1).is_some_and(|t| t.is_punct('<'))
+                    || tokens.get(j + 1).is_some_and(|t| t.is_punct('{'))
+                {
+                    break;
+                }
+            }
+            TokenKind::Punct(':') => {}
+            TokenKind::Punct('&') | TokenKind::Lifetime => {}
+            TokenKind::Ident(_) => {}
+            _ => break,
+        }
+        j += 1;
+    }
+    owner
+}
+
+fn parse_items(tokens: &[Token], start: usize, end: usize, ctx: &mut Ctx, ir: &mut FileIr) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_ident("mod") {
+            if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                if let Some(open) = find_body_open(tokens, i + 2, end) {
+                    let close = skip_block(tokens, open, end);
+                    ctx.module.push(name.clone());
+                    parse_items(tokens, open + 1, close.saturating_sub(1), ctx, ir);
+                    ctx.module.pop();
+                    i = close;
+                    continue;
+                }
+            }
+            i += 1;
+        } else if t.is_ident("impl") {
+            if let Some(open) = find_body_open(tokens, i + 1, end) {
+                let close = skip_block(tokens, open, end);
+                let prev_owner = ctx.owner.take();
+                ctx.owner = impl_owner(tokens, i + 1, open);
+                parse_items(tokens, open + 1, close.saturating_sub(1), ctx, ir);
+                ctx.owner = prev_owner;
+                i = close;
+                continue;
+            }
+            i += 1;
+        } else if t.is_ident("fn") {
+            let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) else {
+                i += 1;
+                continue;
+            };
+            let name = name.clone();
+            let decl_line = t.line;
+            match find_body_open(tokens, i + 2, end) {
+                Some(open) => {
+                    let close = skip_block(tokens, open, end);
+                    let body = &tokens[open..close];
+                    let calls = collect_calls(body, ctx.owner.as_deref());
+                    ir.fns.push(FnDef {
+                        name,
+                        owner: ctx.owner.clone(),
+                        module: ctx.module.clone(),
+                        decl_line,
+                        body_lines: (
+                            tokens[open].line,
+                            tokens
+                                .get(close.saturating_sub(1))
+                                .map_or(t.line, |t| t.line),
+                        ),
+                        body_tokens: (open, close),
+                        calls,
+                    });
+                    // Recurse for nested fns (they get their own defs and
+                    // shadow the parent for line attribution).
+                    parse_items(tokens, open + 1, close.saturating_sub(1), ctx, ir);
+                    i = close;
+                }
+                None => i += 2, // bodyless declaration (trait method)
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Extract call sites from a body token slice. `owner` resolves `Self::`.
+fn collect_calls(body: &[Token], owner: Option<&str>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let TokenKind::Ident(name) = &body[i].kind else {
+            i += 1;
+            continue;
+        };
+        // Skip nested `fn` headers — the nested def collects its own
+        // calls, and double-attribution would fake an edge from the
+        // parent. (The parent *defining* a nested fn does not call it.)
+        if body[i].is_ident("fn") {
+            if let Some(open) = find_body_open(body, i + 1, body.len()) {
+                i = skip_block(body, open, body.len());
+                continue;
+            }
+        }
+        let next_paren = body.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !next_paren || NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &body[j]);
+        let method = prev.is_some_and(|t| t.is_punct('.'));
+        let recv_self = method && i >= 2 && body[i - 2].is_ident("self");
+        // `Qual::name(` — walk back over `::`.
+        let mut qual = None;
+        if !method && i >= 3 && body[i - 1].is_punct(':') && body[i - 2].is_punct(':') {
+            if let TokenKind::Ident(q) = &body[i - 3].kind {
+                qual = if q == "Self" {
+                    owner.map(str::to_string)
+                } else {
+                    Some(q.clone())
+                };
+            }
+        }
+        out.push(CallSite {
+            name: name.clone(),
+            qual,
+            method,
+            recv_self,
+            line: body[i].line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ir(src: &str) -> FileIr {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fns_and_impl_methods() {
+        let src = concat!(
+            "fn free() { helper(); }\n",
+            "impl<'a> Simulation<'a> {\n",
+            "  pub fn step(&mut self) { self.pressure_solve(); Self::assoc(); }\n",
+            "  fn assoc() {}\n",
+            "}\n",
+        );
+        let ir = ir(src);
+        let names: Vec<String> = ir.fns.iter().map(|f| f.qual_name()).collect();
+        assert_eq!(names, vec!["free", "Simulation::step", "Simulation::assoc"]);
+        let step = &ir.fns[1];
+        assert_eq!(step.calls.len(), 2);
+        assert!(step.calls[0].method && step.calls[0].name == "pressure_solve");
+        assert_eq!(step.calls[1].qual.as_deref(), Some("Simulation"));
+    }
+
+    #[test]
+    fn trait_impls_use_the_target_type() {
+        let src = "impl Communicator for HardenedComm<C> { fn recv(&self) { self.inner(); } }\n";
+        let ir = ir(src);
+        assert_eq!(ir.fns[0].qual_name(), "HardenedComm::recv");
+    }
+
+    #[test]
+    fn modules_nest_and_close() {
+        let src = concat!(
+            "mod detail { pub fn inner() { leaf(); } }\n",
+            "fn outer() { detail::inner(); }\n",
+        );
+        let ir = ir(src);
+        assert_eq!(ir.fns[0].module, vec!["detail".to_string()]);
+        assert!(ir.fns[1].module.is_empty());
+        assert_eq!(ir.fns[1].calls[0].qual.as_deref(), Some("detail"));
+    }
+
+    #[test]
+    fn closure_calls_attribute_to_enclosing_fn() {
+        let src = "fn spawn(pool: &WorkerPool) { pool.for_each(8, 1, |i| kernel(i)); }\n";
+        let ir = ir(src);
+        let calls: Vec<&str> = ir.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(calls.contains(&"for_each"));
+        assert!(calls.contains(&"kernel"));
+    }
+
+    #[test]
+    fn nested_fn_calls_not_attributed_to_parent() {
+        let src = "fn outer() { fn inner() { secret(); } inner(); }\n";
+        let ir = ir(src);
+        let outer = ir.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.calls.iter().all(|c| c.name != "secret"));
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+        let inner = ir.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(inner.calls.iter().any(|c| c.name == "secret"));
+        // Line attribution prefers the innermost fn.
+        assert_eq!(ir.fn_at_line(1).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn where_clauses_and_returns_do_not_confuse_the_body() {
+        let src = concat!(
+            "fn generic<T: Clone>(x: T) -> Vec<T> where T: Send { make(x) }\n",
+            "trait T { fn decl(&self); }\n",
+        );
+        let ir = ir(src);
+        assert_eq!(ir.fns.len(), 1);
+        assert_eq!(ir.fns[0].calls[0].name, "make");
+    }
+
+    #[test]
+    fn control_keywords_are_not_calls() {
+        let src = "fn f(x: u8) { if (x > 0) { g(); } while (x > 0) { break; } match (x) { _ => h(), } }\n";
+        let ir = ir(src);
+        let calls: Vec<&str> = ir.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(calls, vec!["g", "h"]);
+    }
+}

@@ -66,6 +66,12 @@ pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
     pub waivers_used: usize,
+    /// Size of the inferred strict hot set.
+    pub hot_fns: usize,
+    /// Size of the inferred soft no-panic set.
+    pub no_panic_fns: usize,
+    /// Size of the determinism taint domain (hot ∪ no-panic ∪ extra).
+    pub det_fns: usize,
 }
 
 impl Report {
@@ -97,8 +103,12 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "audit: {} file(s) scanned, {} error(s), {} note(s), {} waiver(s) in effect\n",
+            "audit: {} file(s) scanned, {} hot / {} no-panic / {} determinism fn(s), \
+             {} error(s), {} note(s), {} waiver(s) in effect\n",
             self.files_scanned,
+            self.hot_fns,
+            self.no_panic_fns,
+            self.det_fns,
             self.errors(),
             self.notes(),
             self.waivers_used,

@@ -1,17 +1,16 @@
-//! `hot-alloc`: allocation sites inside per-step kernel functions.
+//! `hot-alloc`: allocation site detector for hot-set function bodies.
 //!
-//! The functions listed in `[rules.hot_alloc]` run every time step (often
-//! every Krylov iteration); heap traffic there is either a perf bug or a
-//! consciously amortized cost. The rule flags the usual allocation
-//! idioms inside those function bodies; each surviving site carries an
-//! inline waiver explaining why it is acceptable (or a scratch-buffer fix
-//! removes it).
+//! Functions in the inferred hot set run every time step (often every
+//! Krylov iteration); heap traffic there is either a perf bug or a
+//! consciously amortized cost. The detector flags the usual allocation
+//! idioms inside a body; each surviving site carries an inline waiver
+//! explaining why it is acceptable (or a scratch-buffer fix removes it).
+//! v2: [`crate::rules::reach`] decides *which* bodies get scanned — the
+//! old `[rules.hot_alloc]` function list is gone.
 
-use crate::config::AuditConfig;
 use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
 use crate::rules::HOT_ALLOC;
-use crate::workspace::SourceFile;
 
 /// `Type::ctor` pairs that allocate.
 const ALLOC_CTOR_TYPES: &[&str] = &[
@@ -23,53 +22,9 @@ const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone", "co
 /// Allocating macros.
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
-/// Token ranges (half-open) of the bodies of functions named `name`.
-fn body_ranges(toks: &[Token], name: &str) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < toks.len() {
-        if toks[i].is_ident("fn") && toks[i + 1].is_ident(name) {
-            // Find the body's opening brace, then match braces to its end.
-            let mut j = i + 2;
-            while j < toks.len() && !toks[j].is_punct('{') {
-                j += 1;
-            }
-            let start = j;
-            let mut depth = 0i32;
-            while j < toks.len() {
-                if toks[j].is_punct('{') {
-                    depth += 1;
-                } else if toks[j].is_punct('}') {
-                    depth -= 1;
-                    if depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                j += 1;
-            }
-            out.push((start, j));
-            i = j;
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
-    let Some(fns) = cfg.hot_alloc_fns.get(&file.path) else {
-        return;
-    };
-    let toks = file.prod_tokens();
-    for fname in fns {
-        for (start, end) in body_ranges(toks, fname) {
-            scan_body(file, fname, &toks[start..end], out);
-        }
-    }
-}
-
-fn scan_body(file: &SourceFile, fname: &str, toks: &[Token], out: &mut Vec<Finding>) {
+/// Scan one function body for allocation sites; `fname` names the hot
+/// function in the message.
+pub fn scan_body(path: &str, fname: &str, toks: &[Token], out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         let TokenKind::Ident(name) = &t.kind else {
             continue;
@@ -97,9 +52,9 @@ fn scan_body(file: &SourceFile, fname: &str, toks: &[Token], out: &mut Vec<Findi
         if let Some(c) = construct {
             out.push(Finding::error(
                 HOT_ALLOC,
-                &file.path,
+                path,
                 t.line,
-                format!("{c} allocates inside per-step kernel `{fname}` — hoist to a scratch buffer or waive with the amortization argument"),
+                format!("{c} allocates inside hot-path fn `{fname}` — hoist to a scratch buffer or waive with the amortization argument"),
             ));
         }
     }
@@ -108,19 +63,26 @@ fn scan_body(file: &SourceFile, fname: &str, toks: &[Token], out: &mut Vec<Findi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
+    use crate::parse;
 
-    fn run(src: &str, fns: &[&str]) -> Vec<Finding> {
-        let mut cfg = AuditConfig::default();
-        cfg.hot_alloc_fns
-            .insert("x.rs".into(), fns.iter().map(|s| s.to_string()).collect());
-        let (file, _) = SourceFile::from_source("x.rs", src);
+    fn run(src: &str, fname: &str) -> Vec<Finding> {
+        let toks = lex(src).tokens;
+        let ir = parse::parse(&toks);
         let mut out = Vec::new();
-        check(&file, &cfg, &mut out);
+        for f in ir.fns.iter().filter(|f| f.name == fname) {
+            scan_body(
+                "x.rs",
+                fname,
+                &toks[f.body_tokens.0..f.body_tokens.1],
+                &mut out,
+            );
+        }
         out
     }
 
     #[test]
-    fn flags_alloc_idioms_in_listed_fn_only() {
+    fn flags_alloc_idioms_in_scanned_fn_only() {
         let src = concat!(
             "fn hot(&self, r: &[f64]) {\n",
             "  let a = vec![0.0; 8];\n",
@@ -130,7 +92,7 @@ mod tests {
             "}\n",
             "fn cold() { let z = vec![1]; }\n",
         );
-        let out = run(src, &["hot"]);
+        let out = run(src, "hot");
         assert_eq!(out.len(), 4, "{out:?}");
         assert!(out.iter().all(|f| f.message.contains("`hot`")));
     }
@@ -138,7 +100,7 @@ mod tests {
     #[test]
     fn clone_and_format_are_flagged() {
         let src = "fn hot(x: &Vec<f64>) { let y = x.clone(); let s = format!(\"{}\", 1); }\n";
-        assert_eq!(run(src, &["hot"]).len(), 2);
+        assert_eq!(run(src, "hot").len(), 2);
     }
 
     #[test]
@@ -147,15 +109,6 @@ mod tests {
             "fn hot() { if true { loop { break; } } }\n",
             "fn after() { let v = Vec::new(); }\n",
         );
-        assert!(run(src, &["hot"]).is_empty());
-    }
-
-    #[test]
-    fn unlisted_file_ignored() {
-        let cfg = AuditConfig::default();
-        let (file, _) = SourceFile::from_source("y.rs", "fn hot() { let v = vec![1]; }");
-        let mut out = Vec::new();
-        check(&file, &cfg, &mut out);
-        assert!(out.is_empty());
+        assert!(run(src, "hot").is_empty());
     }
 }

@@ -1,0 +1,246 @@
+//! Determinism taint rules (`det-wallclock`, `det-unordered-iter`,
+//! `det-reduce`).
+//!
+//! The analysis domain is the union of the hot set, the no-panic set and
+//! the extra `[roots] determinism` closure — i.e. everything that
+//! produces solver state, checkpoint bytes, comm payloads or the
+//! orderings they depend on. Inside that domain:
+//!
+//! * `det-wallclock` — `Instant::now()`/`SystemTime::now()` is an error.
+//!   Wall-clock readings may flow into telemetry (telemetry crates are
+//!   stops) but never into state; deadline bookkeeping that provably
+//!   only affects *liveness* (retry/timeout windows) carries a waiver
+//!   saying exactly that.
+//! * `det-unordered-iter` — iterating a `HashMap`/`HashSet` (`.iter()`,
+//!   `.keys()`, `.values()`, `.drain()`, `.retain()`, `for … in &map`)
+//!   is an error: iteration order is randomized per process, so anything
+//!   it feeds — state, a checkpoint manifest, message ordering — varies
+//!   run to run. Use `BTreeMap`/`BTreeSet` or sort explicitly.
+//! * `det-reduce` — a bare `.sum()`/`.fold()`/`.reduce()` whose receiver
+//!   mentions a parallel-partials buffer (`[rules.determinism] unordered`
+//!   idents) or a hash-typed binding is an error outside the blessed
+//!   chunk-ordered reducers (`[rules.determinism] blessed` files:
+//!   `device::pool`, `la::ops`). Sequential in-slice reductions are
+//!   deterministic and stay legal.
+
+use crate::callgraph::{CallGraph, ReachSet};
+use crate::config::AuditConfig;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::{DET_REDUCE, DET_UNORDERED, DET_WALLCLOCK};
+use crate::taint;
+use crate::workspace::SourceFile;
+
+pub fn check_file(
+    file: &SourceFile,
+    cfg: &AuditConfig,
+    graph: &CallGraph,
+    domain: &ReachSet,
+    out: &mut Vec<Finding>,
+) {
+    let toks = file.prod_tokens();
+    let hash_ids = taint::hash_idents(toks);
+    let blessed = cfg.det_blessed.iter().any(|p| p == &file.path);
+    for (node_idx, node) in graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.file == file.path)
+    {
+        if !domain.contains(node_idx) {
+            continue;
+        }
+        let def = &file.ir.fns[node.fn_idx];
+        let (b0, b1) = (def.body_tokens.0, def.body_tokens.1.min(toks.len()));
+        let body = &toks[b0..b1];
+        for i in 0..body.len() {
+            // det-wallclock: Instant::now / SystemTime::now.
+            if taint::is_wallclock_now(body, i) {
+                let ty = match &body[i].kind {
+                    TokenKind::Ident(t) => t.as_str(),
+                    _ => "Instant",
+                };
+                out.push(Finding::error(
+                    DET_WALLCLOCK,
+                    &file.path,
+                    body[i].line,
+                    format!(
+                        "{ty}::now() in determinism-sensitive fn `{}` — wall clock must never reach state/checkpoints/payloads (telemetry is a stop; liveness-only deadlines need a waiver saying so)",
+                        node.qual
+                    ),
+                ));
+            }
+            // det-unordered-iter: hash_ident . iter_method (
+            let TokenKind::Ident(name) = &body[i].kind else {
+                continue;
+            };
+            if taint::ITER_METHODS.contains(&name.as_str())
+                && i >= 2
+                && body[i - 1].is_punct('.')
+                && body.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                if let TokenKind::Ident(recv) = &body[i - 2].kind {
+                    if hash_ids.contains(recv) {
+                        out.push(Finding::error(
+                            DET_UNORDERED,
+                            &file.path,
+                            body[i].line,
+                            format!(
+                                "`{recv}.{name}()` iterates a hash container in determinism-sensitive fn `{}` — HashMap/HashSet order is randomized per process; use BTreeMap/BTreeSet or sort explicitly",
+                                node.qual
+                            ),
+                        ));
+                    }
+                }
+            }
+            // det-unordered-iter: for pat in <expr mentioning hash ident> {
+            if body[i].is_ident("for") {
+                if let Some(bad) = for_loop_hash_source(body, i, &hash_ids) {
+                    out.push(Finding::error(
+                        DET_UNORDERED,
+                        &file.path,
+                        body[i].line,
+                        format!(
+                            "`for … in` over hash container `{bad}` in determinism-sensitive fn `{}` — iteration order is randomized per process; use BTreeMap/BTreeSet or sort explicitly",
+                            node.qual
+                        ),
+                    ));
+                }
+            }
+            // det-reduce: .sum()/.fold()/.reduce() over unordered partials.
+            if !blessed
+                && taint::REDUCE_METHODS.contains(&name.as_str())
+                && i >= 1
+                && body[i - 1].is_punct('.')
+                && body
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+            {
+                let recv = taint::receiver_idents(body, i - 1);
+                let tainted = recv.iter().find(|id| {
+                    cfg.det_unordered_idents.iter().any(|u| u == *id) || hash_ids.contains(*id)
+                });
+                if let Some(id) = tainted {
+                    out.push(Finding::error(
+                        DET_REDUCE,
+                        &file.path,
+                        body[i].line,
+                        format!(
+                            "`.{name}()` over unordered source `{id}` in fn `{}` — float reduction order changes the rounding; use the chunk-ordered reducers in device::pool / la::ops",
+                            node.qual
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For a `for` at `i`, the first hash-typed ident between the matching
+/// top-level `in` and the loop `{`, if any.
+fn for_loop_hash_source(
+    body: &[crate::lexer::Token],
+    i: usize,
+    hash_ids: &std::collections::BTreeSet<String>,
+) -> Option<String> {
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    // Find the `in` of this `for` (patterns may contain parens/brackets).
+    while j < body.len() {
+        match &body[j].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => return None, // `for` of a struct? bail
+            TokenKind::Ident(id) if id == "in" && depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Scan the source expression to the loop body `{`.
+    let mut k = j + 1;
+    let mut d2 = 0i64;
+    while k < body.len() {
+        match &body[k].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => d2 += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => d2 -= 1,
+            TokenKind::Punct('{') if d2 == 0 => return None,
+            TokenKind::Ident(id) if hash_ids.contains(id) => return Some(id.clone()),
+            _ => {}
+        }
+        k += 1;
+        if k - j > 64 {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::parse::FileIr;
+
+    fn run(src: &str, blessed: bool) -> Vec<Finding> {
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let refs: Vec<(String, &FileIr)> = vec![(file.path.clone(), &file.ir)];
+        let graph = CallGraph::build(&refs, 8);
+        let (domain, _) = graph.reach(&["hot".into()], &[], &[]);
+        let mut cfg = AuditConfig::default();
+        cfg.det_unordered_idents.push("partials".into());
+        if blessed {
+            cfg.det_blessed.push("x.rs".into());
+        }
+        let mut out = Vec::new();
+        check_file(&file, &cfg, &graph, &domain, &mut out);
+        out
+    }
+
+    #[test]
+    fn wallclock_in_domain_is_flagged() {
+        let src = "fn hot() { let t = Instant::now(); }\nfn cold() { let t = Instant::now(); }\n";
+        let out = run(src, false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, DET_WALLCLOCK);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_ordered_is_not() {
+        let src = concat!(
+            "fn hot(stash: &HashMap<u64, f64>, sorted: &BTreeMap<u64, f64>) {\n",
+            "  for (k, v) in stash.iter() { use_it(k, v); }\n",
+            "  for (k, v) in sorted.iter() { use_it(k, v); }\n",
+            "  let ks: Vec<u64> = stash.keys().copied().collect();\n",
+            "}\n",
+        );
+        let out = run(src, false);
+        // stash.iter() fires twice (method + for-source), stash.keys() once.
+        assert!(out.iter().all(|f| f.rule == DET_UNORDERED));
+        assert!(out.iter().any(|f| f.line == 2));
+        assert!(out.iter().any(|f| f.line == 4));
+        assert!(out.iter().all(|f| f.line != 3), "{out:?}");
+    }
+
+    #[test]
+    fn partials_reduction_is_flagged_unless_blessed() {
+        let src = "fn hot(partials: &[f64]) -> f64 { partials.iter().map(|x| x * 2.0).sum() }\n";
+        let out = run(src, false);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, DET_REDUCE);
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn sequential_slice_reduction_is_fine() {
+        let src = "fn hot(a: &[f64]) -> f64 { a.iter().zip(a).map(|(x, y)| x * y).sum() }\n";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn turbofish_sum_is_caught() {
+        let src = "fn hot(partials: &[f64]) -> f64 { partials.iter().sum::<f64>() }\n";
+        let out = run(src, false);
+        assert_eq!(out.len(), 1);
+    }
+}

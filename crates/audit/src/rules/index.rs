@@ -1,18 +1,17 @@
-//! `hot-index`: bare slice/array indexing budget for hot modules.
+//! `hot-index`: bare slice/array indexing budget, counted per function.
 //!
 //! Every `expr[...]` site can panic on an out-of-bounds index. Element
 //! kernels index heavily (that is the point of a structured spectral
 //! code), so instead of hundreds of inline waivers the rule keeps an
-//! audited per-file *site count* in `audit.toml`. Growth beyond the
+//! audited per-function *site count* in `audit.toml`
+//! (`[rules.hot_index]`, keyed `file.rs::Owner::fn`). Growth beyond the
 //! audited budget is an error — new indexing must be looked at and the
 //! budget bumped consciously; shrinkage is a note asking to tighten the
-//! budget so it keeps ratcheting down.
+//! budget so it keeps ratcheting down. v2: [`crate::rules::reach`]
+//! drives the counting over hot-set functions; this module only counts
+//! sites in a token range.
 
-use crate::config::AuditConfig;
 use crate::lexer::{Token, TokenKind};
-use crate::report::Finding;
-use crate::rules::HOT_INDEX;
-use crate::workspace::SourceFile;
 
 /// Keywords that may directly precede `[` without forming an index
 /// expression (`let [a, b] = …`, `ref [..]`, …).
@@ -31,45 +30,18 @@ fn is_index_site(toks: &[Token], i: usize) -> bool {
     }
 }
 
-/// Count bare indexing sites in the file's production tokens.
-pub fn count(file: &SourceFile) -> usize {
-    let toks = file.prod_tokens();
+/// Count bare indexing sites in a token range.
+pub fn count_tokens(toks: &[Token]) -> usize {
     (0..toks.len()).filter(|&i| is_index_site(toks, i)).count()
-}
-
-pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
-    if !cfg.hot_panic_paths.iter().any(|p| p == &file.path) {
-        return;
-    }
-    let n = count(file);
-    let budget = cfg.hot_index_budget.get(&file.path).copied().unwrap_or(0);
-    if n > budget {
-        out.push(Finding::error(
-            HOT_INDEX,
-            &file.path,
-            0,
-            format!(
-                "{n} bare indexing site(s), audited budget is {budget} — \
-                 review the new sites and bump `[rules.hot_index]` in audit.toml"
-            ),
-        ));
-    } else if n < budget {
-        out.push(Finding::note(
-            HOT_INDEX,
-            &file.path,
-            0,
-            format!("{n} bare indexing site(s), budget is {budget} — tighten the budget"),
-        ));
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
     fn count_src(src: &str) -> usize {
-        let (file, _) = SourceFile::from_source("x.rs", src);
-        count(&file)
+        count_tokens(&lex(src).tokens)
     }
 
     #[test]
@@ -92,28 +64,5 @@ mod tests {
             "}\n",
         );
         assert_eq!(count_src(src), 0);
-    }
-
-    #[test]
-    fn budget_enforced_both_ways() {
-        let mk = |budget: usize| {
-            let mut cfg = AuditConfig {
-                hot_panic_paths: vec!["x.rs".into()],
-                ..Default::default()
-            };
-            cfg.hot_index_budget.insert("x.rs".into(), budget);
-            let (file, _) = SourceFile::from_source("x.rs", "fn f() { a[0]; a[1]; }\n");
-            let mut out = Vec::new();
-            check(&file, &cfg, &mut out);
-            out
-        };
-        let over = mk(1);
-        assert_eq!(over.len(), 1);
-        assert_eq!(over[0].severity, crate::report::Severity::Error);
-        let exact = mk(2);
-        assert!(exact.is_empty());
-        let stale = mk(5);
-        assert_eq!(stale.len(), 1);
-        assert_eq!(stale[0].severity, crate::report::Severity::Note);
     }
 }

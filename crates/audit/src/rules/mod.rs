@@ -1,16 +1,20 @@
-//! The rule catalogue. Each rule inspects one file's production token
-//! stream (test sections are stripped by the engine) and appends
-//! [`crate::report::Finding`]s.
+//! The rule catalogue. v1 rules inspect one file's production token
+//! stream; the v2 passes ([`reach`], [`determinism`]) additionally see
+//! the workspace call graph and the inferred reach sets. Test sections
+//! are stripped by the engine before any rule runs.
 
 pub mod alloc;
 pub mod atomics;
 pub mod casts;
+pub mod determinism;
 pub mod index;
 pub mod panics;
 pub mod pool;
 pub mod rank_offset;
+pub mod reach;
 pub mod recv;
 pub mod telemetry_names;
+pub mod unsafe_safety;
 
 /// Rule ids, used in waivers (`// audit:allow(<id>): reason`) and reports.
 pub const HOT_PANIC: &str = "hot-panic";
@@ -23,10 +27,17 @@ pub const TELEMETRY: &str = "telemetry-names";
 pub const POOL: &str = "pool-discipline";
 pub const RECV_DEADLINE: &str = "recv-deadline";
 pub const RANK_OFFSET: &str = "rank-offset";
+pub const DET_WALLCLOCK: &str = "det-wallclock";
+pub const DET_UNORDERED: &str = "det-unordered-iter";
+pub const DET_REDUCE: &str = "det-reduce";
+pub const UNSAFE_SAFETY: &str = "unsafe-safety";
 /// Meta-rule for malformed/stale waivers.
 pub const WAIVER: &str = "waiver";
+/// Meta-rule for `[roots]` entries that no longer match any function —
+/// config drift is an error, and deliberately not waivable.
+pub const ROOTS: &str = "roots";
 
-/// Every waivable rule id (the `waiver` meta-rule itself cannot be
+/// Every waivable rule id (the `waiver`/`roots` meta-rules cannot be
 /// waived).
 pub const ALL_RULES: &[&str] = &[
     HOT_PANIC,
@@ -39,4 +50,8 @@ pub const ALL_RULES: &[&str] = &[
     POOL,
     RECV_DEADLINE,
     RANK_OFFSET,
+    DET_WALLCLOCK,
+    DET_UNORDERED,
+    DET_REDUCE,
+    UNSAFE_SAFETY,
 ];

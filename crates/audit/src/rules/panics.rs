@@ -1,34 +1,37 @@
-//! Panic-freedom rules.
+//! Panic-freedom site detectors.
 //!
-//! `hot-panic` (the strict tier, per-step kernels): denies `.unwrap()`,
-//! `.expect(…)`, `panic!/unreachable!/todo!/unimplemented!` and
-//! `assert!/assert_eq!/assert_ne!`. `debug_assert*!` is allowed — debug
-//! builds may check invariants that release kernels must not pay for or
-//! panic on.
+//! `hot-panic` (the strict tier, the inferred hot set): denies
+//! `.unwrap()`, `.expect(…)`, `panic!/unreachable!/todo!/unimplemented!`
+//! and `assert!/assert_eq!/assert_ne!`. `debug_assert*!` is allowed —
+//! debug builds may check invariants that release kernels must not pay
+//! for or panic on.
 //!
-//! `no-panic` (the softer tier, checkpoint/restart + I/O, inherited from
-//! the old grep-based panic-audit CI job): denies `.unwrap()`,
-//! `.expect(…)` and the panic macros, but allows asserts — persistence
-//! code validates untrusted bytes with typed errors, yet may still assert
-//! caller contracts.
+//! `no-panic` (the softer tier, checkpoint/restart + I/O + comm recv):
+//! denies `.unwrap()`, `.expect(…)` and the panic macros, but allows
+//! asserts — persistence code validates untrusted bytes with typed
+//! errors, yet may still assert caller contracts.
+//!
+//! v2: these are no longer file-list rules. [`crate::rules::reach`]
+//! drives the scans over every function in the reachability tiers; this
+//! module only knows how to find the sites in a token range.
 
-use crate::config::AuditConfig;
-use crate::lexer::TokenKind;
+use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
-use crate::rules::{HOT_PANIC, NO_PANIC};
-use crate::workspace::SourceFile;
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
-pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
-    let hot = cfg.hot_panic_paths.iter().any(|p| p == &file.path);
-    let soft = cfg.no_panic_paths.iter().any(|p| p == &file.path);
-    if !hot && !soft {
-        return;
-    }
-    let rule = if hot { HOT_PANIC } else { NO_PANIC };
-    let toks = file.prod_tokens();
+/// Scan `toks` (one function body) for panic sites. `allow_asserts`
+/// distinguishes the soft tier. `context` is appended to messages so a
+/// finding names the hot function it sits in.
+pub fn scan(
+    rule: &'static str,
+    allow_asserts: bool,
+    path: &str,
+    context: &str,
+    toks: &[Token],
+    out: &mut Vec<Finding>,
+) {
     for (i, t) in toks.iter().enumerate() {
         let TokenKind::Ident(name) = &t.kind else {
             continue;
@@ -39,23 +42,25 @@ pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
         if prev_dot && next_paren && (name == "unwrap" || name == "expect") {
             out.push(Finding::error(
                 rule,
-                &file.path,
+                path,
                 t.line,
-                format!(".{name}() can panic — use a typed error or an infallible pattern"),
+                format!(
+                    ".{name}() can panic{context} — use a typed error or an infallible pattern"
+                ),
             ));
         } else if next_bang && PANIC_MACROS.contains(&name.as_str()) {
             out.push(Finding::error(
                 rule,
-                &file.path,
+                path,
                 t.line,
-                format!("{name}! in a panic-free module"),
+                format!("{name}!{context} in a panic-free function"),
             ));
-        } else if hot && next_bang && ASSERT_MACROS.contains(&name.as_str()) {
+        } else if !allow_asserts && next_bang && ASSERT_MACROS.contains(&name.as_str()) {
             out.push(Finding::error(
                 rule,
-                &file.path,
+                path,
                 t.line,
-                format!("{name}! in a hot kernel — use debug_assert or return an error"),
+                format!("{name}!{context} in a hot kernel — use debug_assert or return an error"),
             ));
         }
     }
@@ -64,16 +69,14 @@ pub fn check(file: &SourceFile, cfg: &AuditConfig, out: &mut Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{HOT_PANIC, NO_PANIC};
 
-    fn findings(src: &str, hot: bool) -> Vec<Finding> {
-        let cfg = AuditConfig {
-            hot_panic_paths: if hot { vec!["x.rs".into()] } else { vec![] },
-            no_panic_paths: if hot { vec![] } else { vec!["x.rs".into()] },
-            ..Default::default()
-        };
-        let (file, _) = SourceFile::from_source("x.rs", src);
+    fn findings(src: &str, allow_asserts: bool) -> Vec<Finding> {
+        let toks = lex(src).tokens;
         let mut out = Vec::new();
-        check(&file, &cfg, &mut out);
+        let rule = if allow_asserts { NO_PANIC } else { HOT_PANIC };
+        scan(rule, allow_asserts, "x.rs", "", &toks, &mut out);
         out
     }
 
@@ -88,7 +91,7 @@ mod tests {
             "  assert_eq!(1, 1);\n",
             "}\n",
         );
-        assert_eq!(findings(src, true).len(), 5);
+        assert_eq!(findings(src, false).len(), 5);
     }
 
     #[test]
@@ -101,13 +104,13 @@ mod tests {
             "  let _ = x.unwrap_or_default();\n",
             "}\n",
         );
-        assert!(findings(src, true).is_empty());
+        assert!(findings(src, false).is_empty());
     }
 
     #[test]
     fn soft_tier_allows_asserts_but_not_unwrap() {
         let src = "fn f(x: Option<u8>) { assert!(true); x.unwrap(); }\n";
-        let out = findings(src, false);
+        let out = findings(src, true);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, NO_PANIC);
         assert!(out[0].message.contains("unwrap"));
@@ -116,15 +119,6 @@ mod tests {
     #[test]
     fn strings_and_comments_do_not_trip() {
         let src = "fn f() { let s = \"x.unwrap()\"; } // calls panic!() never\n";
-        assert!(findings(src, true).is_empty());
-    }
-
-    #[test]
-    fn unlisted_file_is_ignored() {
-        let cfg = AuditConfig::default();
-        let (file, _) = SourceFile::from_source("y.rs", "fn f(x: Option<u8>) { x.unwrap(); }");
-        let mut out = Vec::new();
-        check(&file, &cfg, &mut out);
-        assert!(out.is_empty());
+        assert!(findings(src, false).is_empty());
     }
 }

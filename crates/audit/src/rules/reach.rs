@@ -1,0 +1,237 @@
+//! Reachability-driven hot-path rules (the v2 tentpole).
+//!
+//! v1 enforced panic/alloc/indexing discipline on hand-listed files; any
+//! helper called from `Simulation::step` but living outside the list
+//! escaped analysis. v2 walks the call graph instead: every function
+//! transitively reachable from a `[roots] hot` declaration inherits
+//!
+//! * `hot-panic` — no unwrap/expect/panic macros/asserts,
+//! * `hot-alloc` — no allocation idioms (waivable with an amortization
+//!   argument),
+//! * `hot-index` — the audited per-function bare-indexing budget,
+//!
+//! and every function reachable from `[roots] no_panic` inherits the
+//! softer `no-panic` tier (asserts allowed). Findings name the function
+//! and its reach provenance so a surprising member of the hot set can be
+//! traced to the root that pulled it in (`rbx-audit hotset` prints the
+//! full chains).
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{CallGraph, ReachSet};
+use crate::config::AuditConfig;
+use crate::report::Finding;
+use crate::rules::{alloc, index, panics, HOT_INDEX, HOT_PANIC, NO_PANIC};
+use crate::workspace::SourceFile;
+
+/// Short provenance tag for messages: the immediate caller that pulled
+/// the function into the set, or "declared root".
+fn via(set: &ReachSet, graph: &CallGraph, node: usize) -> String {
+    match set.member.get(&node) {
+        Some(Some(parent)) => format!("hot via `{}`", graph.nodes[*parent].qual),
+        _ => "a declared root".to_string(),
+    }
+}
+
+/// Run the reachability tiers over one file. Per-function indexing
+/// counts are accumulated into `index_counts` (keyed `file.rs::qual`)
+/// for the budget pass at the end of the run.
+pub fn check_file(
+    file: &SourceFile,
+    graph: &CallGraph,
+    hot: &ReachSet,
+    no_panic: &ReachSet,
+    index_counts: &mut BTreeMap<String, usize>,
+    out: &mut Vec<Finding>,
+) {
+    let toks = file.prod_tokens();
+    for (node_idx, node) in graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.file == file.path)
+    {
+        let def = &file.ir.fns[node.fn_idx];
+        let body = &toks[def.body_tokens.0..def.body_tokens.1.min(toks.len())];
+        if hot.contains(node_idx) {
+            let context = format!(" in hot fn `{}` ({})", node.qual, via(hot, graph, node_idx));
+            panics::scan(HOT_PANIC, false, &file.path, &context, body, out);
+            alloc::scan_body(&file.path, &node.qual, body, out);
+            *index_counts
+                .entry(format!("{}::{}", file.path, node.qual))
+                .or_insert(0) += index::count_tokens(body);
+        } else if no_panic.contains(node_idx) {
+            let context = format!(
+                " in fn `{}` ({})",
+                node.qual,
+                via(no_panic, graph, node_idx)
+            );
+            panics::scan(NO_PANIC, true, &file.path, &context, body, out);
+        }
+    }
+}
+
+/// Final budget pass: compare accumulated per-function indexing counts
+/// against `[rules.hot_index]`. Over budget is an error, under budget a
+/// note (ratchet down), and budget entries for functions that are no
+/// longer hot (or no longer exist) are stale-config notes.
+pub fn index_budget(cfg: &AuditConfig, counts: &BTreeMap<String, usize>, out: &mut Vec<Finding>) {
+    for (key, &n) in counts {
+        let budget = cfg.hot_index_budget.get(key).copied().unwrap_or(0);
+        let (path, _) = key
+            .split_once(".rs::")
+            .map_or((key.as_str(), ""), |(p, q)| (p, q));
+        let path = format!("{path}.rs");
+        if n > budget {
+            out.push(Finding::error(
+                HOT_INDEX,
+                &path,
+                0,
+                format!(
+                    "`{key}`: {n} bare indexing site(s), audited budget is {budget} — \
+                     review the new sites and bump `[rules.hot_index]` in audit.toml"
+                ),
+            ));
+        } else if n < budget {
+            out.push(Finding::note(
+                HOT_INDEX,
+                &path,
+                0,
+                format!(
+                    "`{key}`: {n} bare indexing site(s), budget is {budget} — tighten the budget"
+                ),
+            ));
+        }
+    }
+    for key in cfg.hot_index_budget.keys() {
+        if !counts.contains_key(key) {
+            out.push(Finding::note(
+                HOT_INDEX,
+                key,
+                0,
+                "budget entry no longer matches a hot function — remove it (rbx-audit inventory regenerates the table)",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::parse::FileIr;
+
+    fn setup(files: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let sfs: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::from_source(p, s).0)
+            .collect();
+        let refs: Vec<(String, &FileIr)> = sfs.iter().map(|f| (f.path.clone(), &f.ir)).collect();
+        let graph = CallGraph::build(&refs, 8);
+        (sfs, graph)
+    }
+
+    /// The v1 regression this whole pass exists for: a helper called
+    /// from the hot root but living in a file no list ever mentioned is
+    /// still analyzed.
+    #[test]
+    fn unlisted_helper_is_caught_by_reachability() {
+        let (sfs, graph) = setup(&[
+            (
+                "crates/core/src/sim.rs",
+                "impl Sim { pub fn step(&mut self) { helper_off_list(); } }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                "pub fn helper_off_list() { let x: Option<u8> = None; x.unwrap(); }\n",
+            ),
+        ]);
+        let (hot, _) = graph.reach(&["Sim::step".into()], &[], &[]);
+        let mut out = Vec::new();
+        let mut counts = BTreeMap::new();
+        for f in &sfs {
+            check_file(f, &graph, &hot, &ReachSet::default(), &mut counts, &mut out);
+        }
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, HOT_PANIC);
+        assert_eq!(out[0].path, "crates/core/src/util.rs");
+        assert!(out[0].message.contains("helper_off_list"));
+        assert!(out[0].message.contains("hot via `Sim::step`"));
+    }
+
+    #[test]
+    fn unreachable_fns_are_not_flagged() {
+        let (sfs, graph) = setup(&[(
+            "a.rs",
+            "pub fn root() {}\npub fn cold() { let x: Option<u8> = None; x.unwrap(); }\n",
+        )]);
+        let (hot, _) = graph.reach(&["root".into()], &[], &[]);
+        let mut out = Vec::new();
+        let mut counts = BTreeMap::new();
+        check_file(
+            &sfs[0],
+            &graph,
+            &hot,
+            &ReachSet::default(),
+            &mut counts,
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn soft_tier_allows_asserts() {
+        let (sfs, graph) = setup(&[(
+            "io.rs",
+            "pub fn write() { assert!(true); bad(); }\nfn bad() { let x: Option<u8> = None; x.unwrap(); }\n",
+        )]);
+        let (np, _) = graph.reach(&["write".into()], &[], &[]);
+        let mut out = Vec::new();
+        let mut counts = BTreeMap::new();
+        check_file(
+            &sfs[0],
+            &graph,
+            &ReachSet::default(),
+            &np,
+            &mut counts,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, NO_PANIC);
+        assert!(counts.is_empty(), "soft tier has no indexing budget");
+    }
+
+    #[test]
+    fn alloc_and_index_apply_to_hot_fns() {
+        let (sfs, graph) = setup(&[(
+            "k.rs",
+            "pub fn kernel(a: &[f64]) -> f64 { let v = a.to_vec(); v[0] + v[1] }\n",
+        )]);
+        let (hot, _) = graph.reach(&["kernel".into()], &[], &[]);
+        let mut out = Vec::new();
+        let mut counts = BTreeMap::new();
+        check_file(
+            &sfs[0],
+            &graph,
+            &hot,
+            &ReachSet::default(),
+            &mut counts,
+            &mut out,
+        );
+        assert!(out.iter().any(|f| f.rule == crate::rules::HOT_ALLOC));
+        assert_eq!(counts.get("k.rs::kernel"), Some(&2));
+        // Budget pass: over, exact, stale-entry.
+        let mut cfg = AuditConfig::default();
+        let mut bud = Vec::new();
+        index_budget(&cfg, &counts, &mut bud);
+        assert_eq!(bud.len(), 1);
+        assert_eq!(bud[0].severity, crate::report::Severity::Error);
+        cfg.hot_index_budget.insert("k.rs::kernel".into(), 2);
+        cfg.hot_index_budget.insert("k.rs::gone".into(), 4);
+        let mut bud2 = Vec::new();
+        index_budget(&cfg, &counts, &mut bud2);
+        assert_eq!(bud2.len(), 1);
+        assert_eq!(bud2[0].severity, crate::report::Severity::Note);
+        assert!(bud2[0].message.contains("no longer matches"));
+    }
+}

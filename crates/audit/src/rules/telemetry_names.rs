@@ -96,21 +96,45 @@ pub fn check(
     out: &mut Vec<Finding>,
     seen: &mut BTreeSet<String>,
 ) {
+    // Reference *collection* is workspace-wide so coverage sees users in
+    // every crate (e.g. the flight recorder bumping its own counter via a
+    // `names::` const); drift *errors* stay scoped to the configured
+    // crates. The registry file itself never counts as a reference —
+    // otherwise every definition would vacuously cover itself.
+    if file.path.ends_with("telemetry/src/names.rs") {
+        return;
+    }
     let in_scope = cfg
         .telemetry_crates
         .iter()
         .any(|c| file.path.starts_with(&format!("{c}/")));
-    if !in_scope {
-        return;
-    }
     let toks = file.prod_tokens();
     // (line, message) dedup: a literal can be found by both mechanisms.
     let mut emitted: BTreeSet<(usize, String)> = BTreeSet::new();
     let mut push = |out: &mut Vec<Finding>, line: usize, msg: String| {
-        if emitted.insert((line, msg.clone())) {
+        if in_scope && emitted.insert((line, msg.clone())) {
             out.push(Finding::error(TELEMETRY, &file.path, line, msg));
         }
     };
+
+    // Const-style references: the registry exports each metric as a
+    // SCREAMING_CASE const (`names::FLIGHT_DUMPS_TOTAL` ↔
+    // "rbx_flight_dumps_total"); count such idents as references.
+    for t in toks {
+        let TokenKind::Ident(id) = &t.kind else {
+            continue;
+        };
+        if id.len() > 3
+            && id
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            let candidate = format!("rbx_{}", id.to_ascii_lowercase());
+            if names::find_metric(&candidate).is_some() {
+                seen.insert(format!("metric:{candidate}"));
+            }
+        }
+    }
 
     // Call-site extraction (kind-aware).
     for (i, t) in toks.iter().enumerate() {

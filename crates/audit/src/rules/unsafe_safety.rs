@@ -1,0 +1,201 @@
+//! `unsafe-safety`: the workspace-wide `unsafe` inventory.
+//!
+//! Every `unsafe` block, fn or impl in production code must carry a
+//! `// SAFETY: …` comment on the same line or within the two lines
+//! above — the argument for why the operation is sound lives next to
+//! the operation, where a reviewer and the next editor will see it.
+//! The rule is workspace-wide (no file list, no reachability tier:
+//! unsoundness does not care how hot the code is) and waivable like any
+//! other rule, with the usual stale-waiver treatment.
+
+use crate::report::Finding;
+use crate::rules::UNSAFE_SAFETY;
+use crate::workspace::SourceFile;
+
+/// How many lines above an `unsafe` token a SAFETY comment may sit.
+const COMMENT_REACH: usize = 2;
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = file.prod_tokens();
+    // A comment line counts as SAFETY documentation if it belongs to a
+    // contiguous comment block any line of which is a safety marker:
+    // `// SAFETY: …` for blocks/impls, or a `/// # Safety` doc section
+    // for `unsafe fn` contracts. Whole-block marking means multi-line
+    // arguments are encouraged, not penalized for pushing the keyword
+    // out of reach of the obligation.
+    let is_marker = |text: &str| {
+        let t = text.trim_start();
+        t.starts_with("SAFETY")
+            || t.trim_start_matches('/')
+                .trim_start()
+                .starts_with("# Safety")
+    };
+    let mut safety_lines: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut block: Vec<usize> = Vec::new();
+    let mut block_has_marker = false;
+    let mut prev_comment_line = usize::MAX;
+    for c in &file.lexed.comments {
+        if prev_comment_line.checked_add(1) != Some(c.line) || c.trailing {
+            if block_has_marker {
+                safety_lines.extend(block.drain(..));
+            }
+            block.clear();
+            block_has_marker = false;
+        }
+        block.push(c.line);
+        block_has_marker |= is_marker(&c.text);
+        prev_comment_line = c.line;
+    }
+    if block_has_marker {
+        safety_lines.extend(block);
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe fn(` with no name between `fn` and `(` is a
+        // fn-pointer *type*: the soundness obligation lives at each
+        // call site, which is its own `unsafe` block. Everything else
+        // (`unsafe fn name`, `unsafe impl`, `unsafe {`) needs its
+        // argument here.
+        if t.is_ident("unsafe")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("fn"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let line = t.line;
+        let documented = safety_lines
+            .range(line.saturating_sub(COMMENT_REACH)..=line)
+            .next()
+            .is_some();
+        if !documented {
+            // A SAFETY comment *inside* the block on the next line does
+            // not count: the argument must precede the obligation.
+            let what = match toks.get(i + 1) {
+                Some(n) if n.is_ident("impl") => "unsafe impl",
+                Some(n) if n.is_ident("fn") => "unsafe fn",
+                _ => "unsafe block",
+            };
+            out.push(Finding::error(
+                UNSAFE_SAFETY,
+                &file.path,
+                line,
+                format!(
+                    "{what} without a `// SAFETY:` comment within {COMMENT_REACH} lines — \
+                     state the invariant that makes this sound"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let (file, _) = SourceFile::from_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let src = concat!(
+            "fn f(p: *const f64) -> f64 {\n",
+            "  // SAFETY: caller guarantees p is valid for reads.\n",
+            "  unsafe { *p }\n",
+            "}\n",
+        );
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_safety_comment_counts() {
+        let src = "fn f(p: *const f64) -> f64 { unsafe { *p } } // SAFETY: p valid by contract\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let src = "fn f(p: *const f64) -> f64 { unsafe { *p } }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn comment_too_far_above_does_not_count() {
+        let src = concat!(
+            "// SAFETY: too far away\n",
+            "\n",
+            "\n",
+            "fn f(p: *const f64) -> f64 { unsafe { *p } }\n",
+        );
+        assert_eq!(findings(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_impl_and_fn_are_classified() {
+        let src = concat!(
+            "unsafe impl Send for RangePtr {}\n",
+            "unsafe fn raw(p: *mut f64) {}\n",
+        );
+        let out = findings(src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("unsafe impl"));
+        assert!(out[1].message.contains("unsafe fn"));
+    }
+
+    #[test]
+    fn multi_line_safety_block_covers_past_the_reach() {
+        let src = concat!(
+            "// SAFETY: the raw pointers are dereferenced only between\n",
+            "// publication and the completion handshake, while the\n",
+            "// dispatcher keeps the pointees alive.\n",
+            "unsafe impl Send for Job {}\n",
+        );
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn non_safety_comment_block_does_not_cover() {
+        let src = concat!(
+            "// Just an ordinary comment that happens to be\n",
+            "// three lines long without any keyword\n",
+            "// in front of the obligation.\n",
+            "unsafe impl Send for Job {}\n",
+        );
+        assert_eq!(findings(src).len(), 1);
+    }
+
+    #[test]
+    fn doc_safety_section_covers_unsafe_fn() {
+        let src = concat!(
+            "/// Read element `i`.\n",
+            "///\n",
+            "/// # Safety\n",
+            "/// `i` must be in bounds and not concurrently written.\n",
+            "pub unsafe fn read(&self, i: usize) -> f64 { *self.ptr.add(i) }\n",
+        );
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_unsafe_site() {
+        let src = "type Shim = unsafe fn(*const (), usize);\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn test_section_is_ignored() {
+        let src = concat!(
+            "fn prod() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests { fn t(p: *const u8) { unsafe { let _ = *p; } } }\n",
+        );
+        assert!(findings(src).is_empty());
+    }
+}

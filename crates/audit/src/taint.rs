@@ -1,0 +1,189 @@
+//! Determinism taint helpers: what the `det-*` rules consider tainted.
+//!
+//! The solver's bitwise-determinism contract (checkpoints byte-identical
+//! across thread counts and N→M restarts) survives only if three taint
+//! sources never reach solver state, checkpoint bytes or comm payloads:
+//!
+//! * **wall clock** — `Instant::now`/`SystemTime::now` values differ per
+//!   run; fine for telemetry, fatal in state;
+//! * **unordered iteration** — `HashMap`/`HashSet` iteration order is
+//!   randomized per process (`RandomState`), so any iteration feeding
+//!   state, a manifest or message ordering varies run to run;
+//! * **unordered float reduction** — summing parallel-chunk partials in
+//!   arrival order changes the rounding; only the chunk-index-ordered
+//!   reducers in `device::pool` / `la::ops` are blessed.
+//!
+//! True data-flow tracking is out of reach for a lexer-level analyzer;
+//! this module provides the conservative approximations the rules share:
+//! per-file identification of hash-typed bindings and backwards
+//! statement scans for reduction receivers. Findings are waivable like
+//! everything else, so the over-approximation costs a reasoned waiver,
+//! never a lie.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Unordered container type names.
+pub const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Iteration-order-visible methods on hash containers.
+pub const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Reduction methods whose result depends on operand order for floats.
+pub const REDUCE_METHODS: &[&str] = &["sum", "fold", "reduce"];
+
+/// Identifiers bound or typed to a hash container anywhere in the token
+/// stream: `x: HashMap<…>` (let ascriptions, fn params, struct fields)
+/// and `x = HashMap::new()` / `let mut x = HashSet::with_capacity(…)`.
+/// File-granular on purpose: a struct field declared `HashMap` in the
+/// type definition taints `self.field` uses in every method of the file.
+pub fn hash_idents(toks: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        let TokenKind::Ident(name) = &toks[i].kind else {
+            continue;
+        };
+        if !HASH_TYPES.contains(&name.as_str()) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::` path prefix.
+        let mut k = i;
+        while k >= 3 {
+            if toks[k - 1].is_punct(':') && toks[k - 2].is_punct(':') {
+                if let TokenKind::Ident(_) = toks[k - 3].kind {
+                    k -= 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        // `ident = HashMap…` (binding) — the ident left of `=`.
+        if k >= 2 && toks[k - 1].is_punct('=') {
+            if let TokenKind::Ident(id) = &toks[k - 2].kind {
+                out.insert(id.clone());
+            }
+        }
+        // `ident : HashMap…` / `ident : &mut HashMap…` (ascription,
+        // param, field) — scan back over type sigils to the `:`.
+        let mut j = k;
+        while j >= 1 {
+            match &toks[j - 1].kind {
+                TokenKind::Punct('&') | TokenKind::Punct('\'') | TokenKind::Lifetime => j -= 1,
+                TokenKind::Ident(id) if id == "mut" => j -= 1,
+                _ => break,
+            }
+        }
+        if j >= 2
+            && toks[j - 1].is_punct(':')
+            && !toks.get(j.wrapping_sub(2)).is_some_and(|t| t.is_punct(':'))
+        {
+            if let TokenKind::Ident(id) = &toks[j - 2].kind {
+                out.insert(id.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Idents appearing in the receiver expression of the method call at
+/// token index `dot` (the `.` before the method name): walks backwards
+/// to the statement boundary (`;`, `{`, `}`, `=`, `,` at bracket depth
+/// zero), collecting identifiers. Used to decide what a `.sum()` sums.
+pub fn receiver_idents(toks: &[Token], dot: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut depth = 0i64;
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth += 1,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';')
+            | TokenKind::Punct('{')
+            | TokenKind::Punct('}')
+            | TokenKind::Punct('=')
+            | TokenKind::Punct(',')
+                if depth == 0 =>
+            {
+                break;
+            }
+            TokenKind::Ident(id) => {
+                out.insert(id.clone());
+            }
+            _ => {}
+        }
+        if dot - j > 64 {
+            break; // bounded scan — statements this long are their own bug
+        }
+    }
+    out
+}
+
+/// `true` when the token at `i` starts a `Type::now` path for a wall
+/// clock type (`Instant::now`, `SystemTime::now`).
+pub fn is_wallclock_now(toks: &[Token], i: usize) -> bool {
+    let TokenKind::Ident(name) = &toks[i].kind else {
+        return false;
+    };
+    (name == "Instant" || name == "SystemTime")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn bindings_ascriptions_and_fields_are_found() {
+        let src = concat!(
+            "struct S { stash: HashMap<(usize, u64), Payload>, n: usize }\n",
+            "fn f(map: &mut std::collections::HashMap<u32, f64>) {\n",
+            "  let mut seen = HashSet::new();\n",
+            "  let ordered: BTreeMap<u32, f64> = BTreeMap::new();\n",
+            "}\n",
+        );
+        let ids = hash_idents(&lex(src).tokens);
+        assert!(ids.contains("stash"));
+        assert!(ids.contains("map"));
+        assert!(ids.contains("seen"));
+        assert!(!ids.contains("ordered"));
+        assert!(!ids.contains("n"));
+    }
+
+    #[test]
+    fn receiver_scan_stops_at_statement_boundary() {
+        let src = "let a = parts.iter().map(|x| x * 2.0).sum();";
+        let toks = lex(src).tokens;
+        let dot = toks.iter().position(|t| t.is_ident("sum")).unwrap() - 1;
+        let ids = receiver_idents(&toks, dot);
+        assert!(ids.contains("parts"));
+        assert!(!ids.contains("a"), "{ids:?}");
+    }
+
+    #[test]
+    fn wallclock_paths_detected() {
+        let toks = lex("let t = Instant::now(); let s = SystemTime::now();").tokens;
+        let hits = (0..toks.len())
+            .filter(|&i| is_wallclock_now(&toks, i))
+            .count();
+        assert_eq!(hits, 2);
+    }
+}

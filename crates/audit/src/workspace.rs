@@ -1,18 +1,27 @@
 //! Workspace scanning and the rule engine: file discovery, test-section
-//! stripping, waiver application, and finding aggregation.
+//! stripping, the two-pass v2 run (parse everything → build the call
+//! graph and reach sets → apply rules), waiver application, and finding
+//! aggregation.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{CallGraph, ReachSet};
 use crate::config::AuditConfig;
 use crate::lexer::{self, Lexed, Token};
+use crate::parse::{self, FileIr};
 use crate::report::{Finding, Report, Severity};
 use crate::rules;
 use crate::waiver::{self, Waiver};
 
-/// One lexed source file with its production cut and waivers.
+/// A waiver placed on a `fn` declaration (within this many lines above
+/// it, to allow attributes in between) covers every finding of its rule
+/// inside that function's body — the v2 per-function waiver grammar.
+const FN_WAIVER_REACH: usize = 2;
+
+/// One lexed source file with its production cut, parsed IR and waivers.
 pub struct SourceFile {
     /// Repo-relative path with `/` separators (the key used by
     /// `audit.toml`).
@@ -21,6 +30,9 @@ pub struct SourceFile {
     /// First line of the `#[cfg(test)]` section (`usize::MAX` if none);
     /// rules ignore tokens at or past this line.
     pub test_line: usize,
+    /// Item/fn/call-site IR over the production tokens (test sections
+    /// contribute no nodes to the call graph).
+    pub ir: FileIr,
     pub waivers: Vec<Waiver>,
 }
 
@@ -44,15 +56,18 @@ impl SourceFile {
                 ));
             }
         }
+        let prod_end = lexed
+            .tokens
+            .iter()
+            .position(|t| t.line >= test_line)
+            .unwrap_or(lexed.tokens.len());
+        let ir = parse::parse(&lexed.tokens[..prod_end]);
         (
             Self {
                 path: path.to_string(),
                 lexed,
-                test_line: if test_line == usize::MAX {
-                    usize::MAX
-                } else {
-                    test_line
-                },
+                test_line,
+                ir,
                 waivers: waivers
                     .into_iter()
                     .filter(|w| w.target_line < test_line)
@@ -62,7 +77,8 @@ impl SourceFile {
         )
     }
 
-    /// Production tokens: everything before the test section.
+    /// Production tokens: everything before the test section. The IR's
+    /// `body_tokens` ranges index into this slice.
     pub fn prod_tokens(&self) -> &[Token] {
         let end = self
             .lexed
@@ -111,44 +127,116 @@ fn rel_path(root: &Path, p: &Path) -> String {
         .join("/")
 }
 
-/// Run every rule over the workspace at `root` with `cfg`, applying
-/// waivers and flagging stale ones.
-pub fn run(root: &Path, cfg: &AuditConfig) -> io::Result<Report> {
-    let mut report = Report::default();
-    let mut telemetry_seen: BTreeSet<String> = BTreeSet::new();
+/// Load and parse every workspace source file, with the waiver-grammar
+/// findings collected during parsing.
+pub fn load(root: &Path) -> io::Result<Vec<(SourceFile, Vec<Finding>)>> {
+    let mut out = Vec::new();
     for path in discover(root)? {
         let src = fs::read_to_string(&path)?;
         let rel = rel_path(root, &path);
-        report.files_scanned += 1;
-        let (file, waiver_findings) = SourceFile::from_source(&rel, &src);
-        report.findings.extend(waiver_findings);
-
-        let mut raw: Vec<Finding> = Vec::new();
-        rules::panics::check(&file, cfg, &mut raw);
-        rules::index::check(&file, cfg, &mut raw);
-        rules::alloc::check(&file, cfg, &mut raw);
-        rules::atomics::check(&file, &mut raw);
-        rules::casts::check(&file, cfg, &mut raw);
-        rules::pool::check(&file, cfg, &mut raw);
-        rules::recv::check(&file, cfg, &mut raw);
-        rules::rank_offset::check(&file, cfg, &mut raw);
-        rules::telemetry_names::check(&file, cfg, &mut raw, &mut telemetry_seen);
-
-        apply_waivers(&file, raw, &mut report);
+        out.push(SourceFile::from_source(&rel, &src));
     }
+    Ok(out)
+}
+
+/// Run the full v2 audit over the workspace at `root`.
+///
+/// Pass 1 parses every file into IR; pass 2 builds the workspace call
+/// graph, infers the reach sets from `[roots]`, and runs every rule with
+/// that context. Waivers are applied per file at the end.
+pub fn run(root: &Path, cfg: &AuditConfig) -> io::Result<Report> {
+    let files = load(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    let refs: Vec<(String, &FileIr)> = files.iter().map(|(f, _)| (f.path.clone(), &f.ir)).collect();
+    let graph = CallGraph::build(&refs, cfg.ambiguous_cap);
+    let (hot, un_hot) = graph.reach(&cfg.roots_hot, &cfg.roots_stop, &cfg.stop_crates);
+    let (no_panic, un_np) = graph.reach(&cfg.roots_no_panic, &cfg.roots_stop, &cfg.stop_crates);
+    let (det_extra, un_det) =
+        graph.reach(&cfg.roots_determinism, &cfg.roots_stop, &cfg.stop_crates);
+
+    // Determinism domain: everything hot or no-panic, plus the extra
+    // determinism roots (setup-time topology/manifest construction).
+    let mut det_domain = ReachSet::default();
+    for set in [&hot, &no_panic, &det_extra] {
+        for (k, v) in &set.member {
+            det_domain.member.entry(*k).or_insert(*v);
+        }
+    }
+    report.hot_fns = hot.len();
+    report.no_panic_fns = no_panic.len();
+    report.det_fns = det_domain.len();
+
+    // A `[roots]` entry matching no function is config drift: the code
+    // moved and the audit silently lost its anchor. Not waivable.
+    for (kind, specs) in [
+        ("hot", un_hot),
+        ("no_panic", un_np),
+        ("determinism", un_det),
+    ] {
+        for spec in specs {
+            report.findings.push(Finding::error(
+                rules::ROOTS,
+                "audit.toml",
+                0,
+                format!("[roots] {kind} spec `{spec}` matches no function — update it to the new location"),
+            ));
+        }
+    }
+
+    let mut telemetry_seen: BTreeSet<String> = BTreeSet::new();
+    let mut index_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (file, waiver_findings) in &files {
+        report.findings.extend(waiver_findings.iter().cloned());
+        let mut raw: Vec<Finding> = Vec::new();
+        rules::reach::check_file(file, &graph, &hot, &no_panic, &mut index_counts, &mut raw);
+        rules::determinism::check_file(file, cfg, &graph, &det_domain, &mut raw);
+        rules::unsafe_safety::check(file, &mut raw);
+        rules::atomics::check(file, &mut raw);
+        rules::casts::check(file, cfg, &mut raw);
+        rules::pool::check(file, cfg, &mut raw);
+        rules::recv::check(file, cfg, &mut raw);
+        rules::rank_offset::check(file, cfg, &mut raw);
+        rules::telemetry_names::check(file, cfg, &mut raw, &mut telemetry_seen);
+        apply_waivers(file, raw, &mut report);
+    }
+    rules::reach::index_budget(cfg, &index_counts, &mut report.findings);
     rules::telemetry_names::coverage(cfg, &telemetry_seen, &mut report.findings);
     Ok(report)
 }
 
-/// Suppress findings covered by a same-line waiver for the same rule;
-/// report stale waivers that suppressed nothing.
+/// Does waiver `w` cover finding `f`? Same-line waivers work as in v1;
+/// a waiver targeting a `fn` declaration (within [`FN_WAIVER_REACH`]
+/// lines above it) covers the whole body for that rule.
+fn waiver_covers(file: &SourceFile, w: &Waiver, f: &Finding) -> bool {
+    if w.rule != f.rule {
+        return false;
+    }
+    if w.target_line == f.line {
+        return true;
+    }
+    // Fn-level: the waiver heads the *nearest* following fn declaration
+    // (attributes may sit in between); it covers that body and no other.
+    file.ir
+        .fns
+        .iter()
+        .filter(|d| d.decl_line >= w.target_line && d.decl_line - w.target_line <= FN_WAIVER_REACH)
+        .min_by_key(|d| d.decl_line)
+        .is_some_and(|d| f.line >= d.decl_line && f.line <= d.body_lines.1)
+}
+
+/// Suppress findings covered by a waiver for the same rule; report stale
+/// waivers that suppressed nothing.
 fn apply_waivers(file: &SourceFile, raw: Vec<Finding>, report: &mut Report) {
     let mut used = vec![false; file.waivers.len()];
     for f in raw {
         let mut waived = false;
         if f.severity == Severity::Error {
             for (i, w) in file.waivers.iter().enumerate() {
-                if w.rule == f.rule && w.target_line == f.line {
+                if waiver_covers(file, w, &f) {
                     used[i] = true;
                     waived = true;
                 }
@@ -167,7 +255,7 @@ fn apply_waivers(file: &SourceFile, raw: Vec<Finding>, report: &mut Report) {
                 &file.path,
                 w.comment_line,
                 format!(
-                    "stale waiver: no `{}` finding on line {} — remove it",
+                    "stale waiver: no `{}` finding on line {} (or in the fn it heads) — remove it",
                     w.rule, w.target_line
                 ),
             ));
@@ -184,6 +272,7 @@ mod tests {
         let src = "fn a() {}\n#[cfg(test)]\nmod t { fn b() { x.unwrap(); } }\n";
         let (f, _) = SourceFile::from_source("x.rs", src);
         assert!(f.prod_tokens().iter().all(|t| !t.is_ident("unwrap")));
+        assert_eq!(f.ir.fns.len(), 1, "test fns contribute no IR nodes");
     }
 
     #[test]
@@ -192,5 +281,54 @@ mod tests {
         let (_, findings) = SourceFile::from_source("x.rs", src);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("unknown rule"));
+    }
+
+    fn file_with(src: &str) -> SourceFile {
+        SourceFile::from_source("x.rs", src).0
+    }
+
+    #[test]
+    fn fn_level_waiver_covers_body_findings() {
+        let file = file_with(concat!(
+            "// audit:allow(hot-panic): scaffolding, see #42\n",
+            "#[inline]\n",
+            "fn hot() {\n",
+            "  let x: Option<u8> = None;\n",
+            "  x.unwrap();\n",
+            "}\n",
+        ));
+        let raw = vec![Finding::error(rules::HOT_PANIC, "x.rs", 5, "boom")];
+        let mut report = Report::default();
+        apply_waivers(&file, raw, &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.waivers_used, 1);
+    }
+
+    #[test]
+    fn fn_level_waiver_does_not_leak_past_the_fn() {
+        let file = file_with(concat!(
+            "// audit:allow(hot-panic): only covers hot\n",
+            "fn hot() {}\n",
+            "fn other() { let x: Option<u8> = None; x.unwrap(); }\n",
+        ));
+        let raw = vec![Finding::error(rules::HOT_PANIC, "x.rs", 3, "boom")];
+        let mut report = Report::default();
+        apply_waivers(&file, raw, &mut report);
+        // The finding in `other` survives, and the waiver is stale.
+        assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == rules::WAIVER && f.message.contains("stale")));
+    }
+
+    #[test]
+    fn stale_waiver_is_an_error() {
+        let file = file_with("// audit:allow(hot-panic): nothing here\nfn fine() {}\n");
+        let mut report = Report::default();
+        apply_waivers(&file, Vec::new(), &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, rules::WAIVER);
+        assert_eq!(report.findings[0].severity, Severity::Error);
     }
 }

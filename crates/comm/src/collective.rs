@@ -51,6 +51,7 @@ fn recv_f64<C: Communicator + ?Sized>(
     }
 }
 
+// audit:allow(hot-alloc): format! sits on the protocol-mismatch error path only
 fn check_len(got: usize, want: usize) -> Result<(), CommError> {
     if got != want {
         return Err(CommError::Protocol {
@@ -63,6 +64,7 @@ fn check_len(got: usize, want: usize) -> Result<(), CommError> {
 /// Recursive-doubling allreduce (⌈log₂P⌉ depth). Non-power-of-two sizes
 /// fold the excess ranks into the power-of-two core first and broadcast
 /// back after.
+// audit:allow(hot-alloc): message passing needs owned payload buffers; counts scale with log2(ranks), not steps times field size
 pub(crate) fn allreduce<C: Communicator + ?Sized>(
     comm: &C,
     x: &mut [f64],

@@ -95,6 +95,7 @@ impl<C: Communicator> HardenedComm<C> {
         self.recv_framed(src, tag, timeout, true)
     }
 
+    // audit:allow(det-wallclock): deadline arithmetic only — the clock bounds the wait, never enters the payload
     fn recv_framed(
         &self,
         src: usize,
@@ -190,6 +191,7 @@ impl<C: Communicator> Communicator for HardenedComm<C> {
     fn recv(&self, src: usize, tag: u64) -> Payload {
         match self.recv_deadline(src, tag, self.tuning().recv_timeout) {
             Ok(p) => p,
+            // audit:allow(no-panic): blocking-recv contract — bounded wait then abort beats an unbounded hang; solver paths use recv_deadline
             Err(e) => panic!("hardened recv(rank {src}, tag {tag}): {e}"),
         }
     }

@@ -545,6 +545,7 @@ pub struct Epoch(Arc<Instant>);
 
 impl Epoch {
     /// Capture a new epoch (time zero).
+    // audit:allow(det-wallclock): epoch feeds `wtime` telemetry only, never solver state or payloads
     pub fn now() -> Self {
         Self(Arc::new(Instant::now()))
     }

@@ -47,6 +47,7 @@ impl Communicator for SingleComm {
             .lock()
             .get_mut(&tag)
             .and_then(|q| q.pop_front())
+            // audit:allow(no-panic): single-rank self-send that never happened is a test-harness bug, not a runtime condition to recover from
             .expect("SingleComm recv with no matching buffered self-send")
     }
 

@@ -193,7 +193,13 @@ impl ByteModel {
             }
             low += f;
         }
-        unreachable!("target below total by construction");
+        // `target < total` by construction of the range coder, so the
+        // loop always returns; clamp to the last symbol rather than
+        // panic inside the hot decode loop if state is ever corrupt.
+        debug_assert!(false, "target below total by construction");
+        let last = self.freq.len() - 1;
+        let f = self.freq[last];
+        (last, low - f, f)
     }
 
     fn update(&mut self, sym: usize) {

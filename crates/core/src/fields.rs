@@ -57,9 +57,32 @@ impl FlowState {
 
     /// Push the current solution into the lag arrays (front = most
     /// recent), keeping at most `depth` levels.
+    // audit:allow(hot-alloc): clones run only until the history fills
+    // (first `depth` steps); steady state recycles the oldest buffers.
     pub fn push_solution_lag(&mut self, depth: usize) {
-        self.u_lag.insert(0, self.u.clone());
-        self.t_lag.insert(0, self.t.clone());
+        if depth == 0 {
+            self.u_lag.clear();
+            self.t_lag.clear();
+            return;
+        }
+        if self.u_lag.len() >= depth {
+            // Recycle the oldest level's buffers instead of allocating
+            // fresh field-sized clones every step.
+            let mut u = self.u_lag.pop().unwrap_or_default();
+            for (dst, src) in u.iter_mut().zip(&self.u) {
+                dst.clone_from(src);
+            }
+            self.u_lag.insert(0, u);
+        } else {
+            self.u_lag.insert(0, self.u.clone());
+        }
+        if self.t_lag.len() >= depth {
+            let mut t = self.t_lag.pop().unwrap_or_default();
+            t.clone_from(&self.t);
+            self.t_lag.insert(0, t);
+        } else {
+            self.t_lag.insert(0, self.t.clone());
+        }
         self.u_lag.truncate(depth);
         self.t_lag.truncate(depth);
     }

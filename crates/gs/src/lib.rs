@@ -188,11 +188,9 @@ impl GatherScatter {
         my_elems: &[usize],
         comm: &dyn Communicator,
     ) -> Self {
-        // audit:allow(hot-panic): construction-time partition validation, runs once per setup
         assert_eq!(part.len(), mesh.num_elements());
         let rank = comm.rank();
         for &e in my_elems {
-            // audit:allow(hot-panic): construction-time partition validation, runs once per setup
             assert_eq!(part[e], rank, "my_elems inconsistent with partition");
         }
         // Canonical shared-phase combine relies on every rank's local

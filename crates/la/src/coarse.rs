@@ -165,8 +165,8 @@ impl CoarseGrid {
         let nc = self.coarse_n;
         let nnc = nc * nc * nc;
         let nelv = self.geom.nelv;
-        assert_eq!(r_weighted.len(), nelv * nnf);
-        assert_eq!(r_coarse.len(), nelv * nnc);
+        debug_assert_eq!(r_weighted.len(), nelv * nnf);
+        debug_assert_eq!(r_coarse.len(), nelv * nnc);
         for e in 0..nelv {
             let rin = &r_weighted[e * nnf..(e + 1) * nnf];
             let rout = &mut r_coarse[e * nnc..(e + 1) * nnc];
@@ -178,6 +178,7 @@ impl CoarseGrid {
 
     /// Prolongate a coarse correction to the fine lattice and add:
     /// `z += R₀ᵀ z₀`.
+    // audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
     pub fn prolong_add(&self, z_coarse: &[f64], z_fine: &mut [f64], scratch: &mut TensorScratch) {
         let nf = self.fine_n;
         let nnf = nf * nf * nf;
@@ -196,6 +197,7 @@ impl CoarseGrid {
 
     /// Approximately solve `A₀ z₀ = r₀` with the fixed-iteration
     /// block-Jacobi PCG. `z₀` is overwritten (starts from zero).
+    // audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
     pub fn solve(&self, r_coarse: &[f64], z_coarse: &mut [f64], comm: &dyn Communicator) {
         let mut rhs = r_coarse.to_vec();
         if self.neumann {
@@ -231,6 +233,7 @@ impl CoarseGrid {
 
     /// Full coarse correction `z += R₀ᵀ A₀⁻¹ R₀ r` from a weighted fine
     /// residual.
+    // audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
     pub fn correct_add(&self, r_weighted: &[f64], z_fine: &mut [f64], comm: &dyn Communicator) {
         let mut rc = vec![0.0; self.len()];
         let mut zc = vec![0.0; self.len()];

@@ -68,6 +68,7 @@ impl ResidualHistory {
     }
 
     /// Retained residuals, oldest first.
+    // audit:allow(hot-alloc): owned snapshot is the fn's contract; called at telemetry cadence, not per iteration
     pub fn to_vec(&self) -> Vec<f64> {
         let len = self.len as usize;
         let head = self.head as usize;

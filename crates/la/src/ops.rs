@@ -58,6 +58,7 @@ impl ElemLayout {
     /// `k × nelem_global` buffer holding this rank's per-element partial
     /// sums scattered by global element id (zero in every slot this rank
     /// does not own). Returns the `k` rank-count-invariant totals.
+    // audit:allow(hot-alloc): k result cells plus comm staging, bounded by vector count not field size
     pub fn fold_sums(&self, partial: &mut [f64], k: usize, comm: &dyn Communicator) -> Vec<f64> {
         debug_assert_eq!(partial.len(), k * self.nelem_global);
         if comm.size() > 1 {

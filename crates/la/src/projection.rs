@@ -84,6 +84,7 @@ impl SolutionProjection {
     /// `x0 = Σ ⟨b, x_i⟩ x_i` (A-orthonormal basis ⇒ coefficients are plain
     /// dual pairings), `b ← b − Σ ⟨b, x_i⟩ A x_i`. Returns the fraction of
     /// `‖b‖` removed.
+    // audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
     pub fn project_out(
         &self,
         b: &mut [f64],
@@ -91,8 +92,8 @@ impl SolutionProjection {
         dp: &DotProduct,
         comm: &dyn Communicator,
     ) -> f64 {
-        assert_eq!(b.len(), self.n);
-        assert_eq!(x0.len(), self.n);
+        debug_assert_eq!(b.len(), self.n);
+        debug_assert_eq!(x0.len(), self.n);
         x0.fill(0.0);
         if self.basis.is_empty() {
             return 0.0;
@@ -136,9 +137,10 @@ impl SolutionProjection {
     /// the space, A-orthonormalizing against the stored basis. When full,
     /// the space restarts from this direction alone (Fischer's restart
     /// strategy).
+    // audit:allow(hot-alloc): coefficient/coarse-space sized buffers, bounded well below field size
     pub fn absorb(&mut self, dx: &[f64], adx: &[f64], dp: &DotProduct, comm: &dyn Communicator) {
-        assert_eq!(dx.len(), self.n);
-        assert_eq!(adx.len(), self.n);
+        debug_assert_eq!(dx.len(), self.n);
+        debug_assert_eq!(adx.len(), self.n);
         if self.max_vecs == 0 {
             return;
         }

@@ -150,7 +150,7 @@ pub fn cylinder_mesh(params: CylinderParams) -> HexMesh {
     // ---- elements ----------------------------------------------------------
     let mut elems = Vec::new();
     let mut face_tags = Vec::new();
-    let mut curves = std::collections::HashMap::new();
+    let mut curves = std::collections::BTreeMap::new();
 
     for k in 0..nz {
         let bot_tag = if k == 0 {

@@ -81,7 +81,9 @@ pub struct HexMesh {
     /// Boundary tag per element face (face order: -x, +x, -y, +y, -z, +z).
     pub face_tags: Vec<[BoundaryTag; 6]>,
     /// Curvature descriptors, keyed by `(element, face)`.
-    pub curves: std::collections::HashMap<(usize, usize), Curve>,
+    // BTreeMap, not HashMap: curve entries feed the mesh content hash
+    // and restart manifests, so iteration order must be deterministic.
+    pub curves: std::collections::BTreeMap<(usize, usize), Curve>,
 }
 
 impl HexMesh {
@@ -168,7 +170,7 @@ impl HexMesh {
         let mut vertices = Vec::new();
         let mut elems = Vec::new();
         let mut face_tags = Vec::new();
-        let mut curves = std::collections::HashMap::new();
+        let mut curves = std::collections::BTreeMap::new();
         for (local_e, &ge) in elems_keep.iter().enumerate() {
             let mut new_elem = [0usize; 8];
             for (slot, &gv) in self.elems[ge].iter().enumerate() {
