@@ -124,6 +124,7 @@ pub fn deriv_x(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
         4 => deriv_x_fixed::<4>(d, u, out),
         6 => deriv_x_fixed::<6>(d, u, out),
         8 => deriv_x_fixed::<8>(d, u, out),
+        10 => deriv_x_fixed::<10>(d, u, out),
         12 => deriv_x_fixed::<12>(d, u, out),
         _ => deriv_x_generic(d, u, out, n),
     }
@@ -181,6 +182,7 @@ pub fn deriv_y(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
         4 => deriv_y_fixed::<4>(d, u, out),
         6 => deriv_y_fixed::<6>(d, u, out),
         8 => deriv_y_fixed::<8>(d, u, out),
+        10 => deriv_y_fixed::<10>(d, u, out),
         12 => deriv_y_fixed::<12>(d, u, out),
         _ => deriv_y_generic(d, u, out, n),
     }
@@ -239,6 +241,7 @@ pub fn deriv_z(d: &DMat, u: &[f64], out: &mut [f64], n: usize) {
         4 => deriv_z_fixed::<4>(d, u, out),
         6 => deriv_z_fixed::<6>(d, u, out),
         8 => deriv_z_fixed::<8>(d, u, out),
+        10 => deriv_z_fixed::<10>(d, u, out),
         12 => deriv_z_fixed::<12>(d, u, out),
         _ => deriv_z_generic(d, u, out, n),
     }
@@ -554,7 +557,7 @@ mod dispatch_tests {
 
     #[test]
     fn specialized_kernels_match_generic_bitwise() {
-        for n in [4usize, 6, 8, 12, 5, 7] {
+        for n in [4usize, 6, 8, 10, 12, 5, 7] {
             let d = deriv_matrix(&gll(n).points);
             let u: Vec<f64> = (0..n * n * n)
                 .map(|i| ((i * 29 % 97) as f64) * 0.07 - 3.0)
@@ -578,7 +581,7 @@ mod yz_dispatch_tests {
 
     #[test]
     fn yz_specializations_match_generic_bitwise() {
-        for n in [4usize, 6, 8, 12, 5, 9] {
+        for n in [4usize, 6, 8, 10, 12, 5, 9] {
             let d = deriv_matrix(&gll(n).points);
             let u: Vec<f64> = (0..n * n * n)
                 .map(|i| ((i * 17 % 89) as f64) * 0.11 - 4.0)

@@ -11,10 +11,14 @@
 //!     --quick --threads 4 --out BENCH_kernels.json --assert-speedup 2.0
 //! ```
 //!
-//! `--assert-speedup X` exits non-zero if the pooled Helmholtz apply is
-//! slower than `X`× serial at any degree — but only on hosts with at
-//! least 4 cores, so single-core CI runners still validate the schema
-//! and the bitwise agreement without a meaningless performance gate.
+//! `--assert-speedup X` exits non-zero unless every kernel that actually
+//! dispatched to the pool reached `X`× serial at every degree — but only
+//! on hosts with at least 4 cores, so single-core CI runners still
+//! validate the schema and the bitwise agreement without a meaningless
+//! performance gate. Kernels whose work size sat below the tuned grain
+//! crossover (detected from the pool's `grained` counter) ran inline by
+//! design; for those the gate only requires parity with serial (≥ 0.8×),
+//! since the grain gate exists precisely because pooling loses there.
 //!
 //! `--compare BASELINE.json` is the regression gate: every (kernel, p)
 //! row is diffed against the baseline record and the run exits non-zero
@@ -243,8 +247,18 @@ fn main() {
     );
 
     let comm = SingleComm::new();
+    println!("  simd level: {}", rbx::basis::simd::level_name());
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    let mut helmholtz_speedups: Vec<(usize, f64)> = Vec::new();
+    // (kernel, p, speedup, dispatched): `dispatched` is false when the
+    // pooled run stayed under the grain crossover and ran inline.
+    let mut gate_rows: Vec<(&'static str, usize, f64, bool)> = Vec::new();
+    // Time a pooled kernel and report whether it truly dispatched to the
+    // worker pool (vs being grain-gated to the inline path).
+    let time_pooled = |reps: usize, pool: &WorkerPool, f: &mut dyn FnMut()| -> (f64, bool) {
+        let before = pool.stats().dispatches;
+        let us = time_us(reps, f);
+        (us, pool.stats().dispatches > before)
+    };
 
     for p in [5usize, 7, 9] {
         let mesh = box_mesh(3, 3, 3, [0., 1.], [0., 1.], [0., 1.], false, false);
@@ -270,10 +284,10 @@ fn main() {
         let mut scratch = HelmholtzScratch::default();
         let serial = time_us(reps, || op.apply_local(&u, &mut y, &mut scratch));
         let y_serial = y.clone();
-        let pooled = time_us(reps, || op.apply_local_with(&u, &mut y, &pool));
+        let (pooled, dispatched) =
+            time_pooled(reps, &pool, &mut || op.apply_local_with(&u, &mut y, &pool));
         assert_eq!(y_serial, y, "pooled Helmholtz apply diverged at p={p}");
-        let speedup = serial / pooled;
-        helmholtz_speedups.push((p, speedup));
+        gate_rows.push(("helmholtz_apply", p, serial / pooled, dispatched));
         rows.push(row("helmholtz_apply", p, serial, pooled));
 
         // Solver dot product (pooled bits are schedule-independent).
@@ -285,9 +299,10 @@ fn main() {
         let serial = time_us(reps, || {
             std::hint::black_box(dp.dot(&u, &b, &comm));
         });
-        let pooled = time_us(reps, || {
+        let (pooled, dispatched) = time_pooled(reps, &pool, &mut || {
             std::hint::black_box(dp.dot_with(&u, &b, &pool, &comm));
         });
+        gate_rows.push(("dot_product", p, serial / pooled, dispatched));
         rows.push(row("dot_product", p, serial, pooled));
 
         // Gather-scatter local phase (pool handle is set-once, so the
@@ -297,7 +312,10 @@ fn main() {
         let mut v = u.clone();
         let serial = time_us(reps, || gs.apply(&mut v, GsOp::Add, &comm));
         let mut v2 = u.clone();
-        let pooled = time_us(reps, || gs_pooled.apply(&mut v2, GsOp::Add, &comm));
+        let (pooled, dispatched) = time_pooled(reps, &pool, &mut || {
+            gs_pooled.apply(&mut v2, GsOp::Add, &comm)
+        });
+        gate_rows.push(("gs_local", p, serial / pooled, dispatched));
         rows.push(row("gs_local", p, serial, pooled));
 
         // Element-FDM batch sweep (the Schwarz fine level).
@@ -308,11 +326,12 @@ fn main() {
             fdm.apply_add(&u, &mut z, 1.0, 0.0);
         });
         let z_serial = z.clone();
-        let pooled = time_us(reps, || {
+        let (pooled, dispatched) = time_pooled(reps, &pool, &mut || {
             z.iter_mut().for_each(|x| *x = 0.0);
             fdm.apply_add_with(&u, &mut z, 1.0, 0.0, &pool);
         });
         assert_eq!(z_serial, z, "pooled FDM sweep diverged at p={p}");
+        gate_rows.push(("fdm_batch", p, serial / pooled, dispatched));
         rows.push(row("fdm_batch", p, serial, pooled));
     }
 
@@ -336,6 +355,7 @@ fn main() {
             ("reps", Value::int(reps as u64)),
             ("quick", Value::int(u64::from(args.quick))),
             ("date", Value::str(utc_date())),
+            ("simd", Value::str(rbx::basis::simd::level_name())),
         ],
     );
     validate_bench(&record).expect("bench record must self-validate");
@@ -388,17 +408,34 @@ fn main() {
 
     if let Some(min) = args.assert_speedup {
         if cores >= 4 {
-            for (p, s) in &helmholtz_speedups {
-                if *s < min {
+            // Grain-gated kernels ran inline by design: the tuned
+            // crossover says pooling loses at this work size, so the gate
+            // only demands near-parity with the serial path there.
+            const GATED_PARITY: f64 = 0.8;
+            let mut failed = false;
+            for (kernel, p, speedup, dispatched) in &gate_rows {
+                let bound = if *dispatched { min } else { GATED_PARITY };
+                if *speedup < bound {
                     eprintln!(
-                        "bench_kernels: FAIL: pooled Helmholtz speedup {s:.2}x < {min}x at p={p} \
-                         ({cores} cores, {} pool threads)",
+                        "bench_kernels: FAIL: {kernel} speedup {speedup:.2}x < {bound}x at p={p} \
+                         ({}, {cores} cores, {} pool threads)",
+                        if *dispatched {
+                            "dispatched"
+                        } else {
+                            "grain-gated"
+                        },
                         pool.threads()
                     );
-                    std::process::exit(1);
+                    failed = true;
                 }
             }
-            println!("speedup gate passed (>= {min}x on {cores} cores)");
+            if failed {
+                std::process::exit(1);
+            }
+            println!(
+                "speedup gate passed (dispatched >= {min}x, gated >= {GATED_PARITY}x parity, \
+                 {cores} cores)"
+            );
         } else {
             println!("speedup gate skipped: only {cores} core(s) available");
         }

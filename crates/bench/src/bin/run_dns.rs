@@ -77,6 +77,7 @@ struct Args {
     fail_checkpoint_at: Vec<usize>,
     pod: bool,
     restart: Option<PathBuf>,
+    tuning: Option<PathBuf>,
     out: PathBuf,
     telemetry_jsonl: Option<PathBuf>,
     telemetry_prom: Option<PathBuf>,
@@ -110,6 +111,7 @@ impl Default for Args {
             fail_checkpoint_at: Vec::new(),
             pod: false,
             restart: None,
+            tuning: None,
             out: PathBuf::from("target/dns_run"),
             telemetry_jsonl: None,
             telemetry_prom: None,
@@ -120,6 +122,22 @@ impl Default for Args {
             flight: 0,
         }
     }
+}
+
+/// Load and globally install the kernel tuning table from `--tuning`
+/// (no-op without the flag: the compiled-in defaults apply). Kernel grain
+/// gating is part of the run configuration, so it is installed exactly
+/// once, before any pooled kernel executes.
+fn install_tuning(args: &Args) {
+    let Some(path) = &args.tuning else { return };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read --tuning {}: {e}", path.display())));
+    let table = rbx::device::KernelTuning::from_json(text.trim())
+        .unwrap_or_else(|e| die(&format!("invalid --tuning {}: {e}", path.display())));
+    if !rbx::device::set_tuning(table) {
+        die("kernel tuning was already fixed before --tuning could install");
+    }
+    println!("  kernel tuning: {} -> {}", path.display(), table.to_json());
 }
 
 /// Report a usage error on stderr and exit nonzero without a panic
@@ -180,6 +198,7 @@ fn parse_args() -> Args {
             )),
             "--pod" => args.pod = true,
             "--restart" => args.restart = Some(PathBuf::from(value("--restart"))),
+            "--tuning" => args.tuning = Some(PathBuf::from(value("--tuning"))),
             "--out" => args.out = PathBuf::from(value("--out")),
             "--telemetry-jsonl" => {
                 args.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")))
@@ -200,7 +219,8 @@ fn parse_args() -> Args {
                      --steps N --ranks N --threads N --resolution R --sample-every N --checkpoint-every N \
                      --checkpoint-keep K --max-rollbacks N --dt-factor F \
                      --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
-                     --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl --out DIR \
+                     --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl \
+                     --tuning TUNING.json --out DIR \
                      --telemetry-jsonl FILE.jsonl --telemetry-prom FILE.prom \
                      --trace-depth N --json-summary FILE.json \
                      --prom-listen ADDR:PORT --health-jsonl FILE.jsonl --flight N"
@@ -619,6 +639,11 @@ fn main() {
             args.out.display()
         ));
     }
+    // Install the per-kernel grain-crossover table before any kernel runs
+    // (first writer wins, so this pins the selection for the whole run —
+    // including elastic restarts, which replay the same table from the run
+    // config and therefore the same serial/pooled decisions).
+    install_tuning(&args);
     if args.ranks > 1 {
         run_multirank(args);
         return;
@@ -910,8 +935,16 @@ fn main() {
     row(
         "worker pool",
         format!(
-            "{} threads, {} dispatches, {} chunks",
-            pstats.threads, pstats.dispatches, pstats.chunks
+            "{} threads, {} dispatches, {} grain-gated, {} chunks",
+            pstats.threads, pstats.dispatches, pstats.grained, pstats.chunks
+        ),
+    );
+    row(
+        "kernels",
+        format!(
+            "simd {}, tuning {}",
+            rbx::basis::simd::level_name(),
+            rbx::device::tuning().to_json()
         ),
     );
     row("rollbacks", format!("{}", report.rollbacks));
@@ -977,6 +1010,13 @@ fn main() {
         ("final_dt", Value::num(report.final_dt)),
         ("threads", Value::int(pstats.threads as u64)),
         ("pool_dispatches", Value::int(pstats.dispatches)),
+        ("pool_grained", Value::int(pstats.grained)),
+        ("simd", Value::str(rbx::basis::simd::level_name())),
+        (
+            "kernel_tuning",
+            Value::parse(&rbx::device::tuning().to_json())
+                .expect("tuning serialization is valid JSON"),
+        ),
         (
             "phase_pct",
             Value::obj([

@@ -8,9 +8,10 @@
 //! finer GLL grid, the nonlinear product is formed there, and the result is
 //! L²-projected back through the diagonal coarse mass.
 
+use rbx_basis::simd;
 use rbx_basis::tensor::{deriv_x, deriv_y, deriv_z, tensor_apply3, TensorScratch};
 use rbx_basis::{dealias_nodes, gll, interp_matrix, DMat};
-use rbx_device::{loop_chunk, RangePtr, WorkerPool};
+use rbx_device::{loop_chunk, tuning, RangePtr, WorkerPool};
 use rbx_mesh::GeomFactors;
 use std::cell::RefCell;
 
@@ -59,13 +60,35 @@ pub fn phys_grad(
         deriv_x(&geom.d, ue, &mut scratch.ur, n);
         deriv_y(&geom.d, ue, &mut scratch.us, n);
         deriv_z(&geom.d, ue, &mut scratch.ut, n);
-        for idx in 0..nn {
-            let gi = base + idx;
-            let (ur, us, ut) = (scratch.ur[idx], scratch.us[idx], scratch.ut[idx]);
-            gx[gi] = geom.dr[0][gi] * ur + geom.dr[3][gi] * us + geom.dr[6][gi] * ut;
-            gy[gi] = geom.dr[1][gi] * ur + geom.dr[4][gi] * us + geom.dr[7][gi] * ut;
-            gz[gi] = geom.dr[2][gi] * ur + geom.dr[5][gi] * us + geom.dr[8][gi] * ut;
-        }
+        let dr = &geom.dr;
+        let (ur, us, ut) = (&scratch.ur[..nn], &scratch.us[..nn], &scratch.ut[..nn]);
+        simd::combine3(
+            &mut gx[base..base + nn],
+            &dr[0][base..base + nn],
+            ur,
+            &dr[3][base..base + nn],
+            us,
+            &dr[6][base..base + nn],
+            ut,
+        );
+        simd::combine3(
+            &mut gy[base..base + nn],
+            &dr[1][base..base + nn],
+            ur,
+            &dr[4][base..base + nn],
+            us,
+            &dr[7][base..base + nn],
+            ut,
+        );
+        simd::combine3(
+            &mut gz[base..base + nn],
+            &dr[2][base..base + nn],
+            ur,
+            &dr[5][base..base + nn],
+            us,
+            &dr[8][base..base + nn],
+            ut,
+        );
     }
 }
 
@@ -87,7 +110,8 @@ pub fn phys_grad_with(
     let gxp = RangePtr::new(gx);
     let gyp = RangePtr::new(gy);
     let gzp = RangePtr::new(gz);
-    pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+    let chunk = loop_chunk(nelv, pool.threads());
+    pool.for_each_range_min(nelv, chunk, tuning().grad_elems, |e0, e1| {
         POOL_SCRATCH.with(|cell| {
             let s = &mut cell.borrow_mut().ds;
             s.ur.resize(nn, 0.0);
@@ -104,13 +128,35 @@ pub fn phys_grad_with(
                 // SAFETY: same disjoint-chunk invariant as `gxs` above.
                 let gys = unsafe { gyp.range_mut(base, base + nn) };
                 let gzs = unsafe { gzp.range_mut(base, base + nn) };
-                for idx in 0..nn {
-                    let gi = base + idx;
-                    let (ur, us, ut) = (s.ur[idx], s.us[idx], s.ut[idx]);
-                    gxs[idx] = geom.dr[0][gi] * ur + geom.dr[3][gi] * us + geom.dr[6][gi] * ut;
-                    gys[idx] = geom.dr[1][gi] * ur + geom.dr[4][gi] * us + geom.dr[7][gi] * ut;
-                    gzs[idx] = geom.dr[2][gi] * ur + geom.dr[5][gi] * us + geom.dr[8][gi] * ut;
-                }
+                let dr = &geom.dr;
+                let (ur, us, ut) = (&s.ur[..nn], &s.us[..nn], &s.ut[..nn]);
+                simd::combine3(
+                    gxs,
+                    &dr[0][base..base + nn],
+                    ur,
+                    &dr[3][base..base + nn],
+                    us,
+                    &dr[6][base..base + nn],
+                    ut,
+                );
+                simd::combine3(
+                    gys,
+                    &dr[1][base..base + nn],
+                    ur,
+                    &dr[4][base..base + nn],
+                    us,
+                    &dr[7][base..base + nn],
+                    ut,
+                );
+                simd::combine3(
+                    gzs,
+                    &dr[2][base..base + nn],
+                    ur,
+                    &dr[5][base..base + nn],
+                    us,
+                    &dr[8][base..base + nn],
+                    ut,
+                );
             }
         });
     });
@@ -171,17 +217,43 @@ pub fn weak_divergence(
     scratch.ut.resize(nn, 0.0);
     for e in 0..geom.nelv {
         let base = e * nn;
-        for idx in 0..nn {
-            let gi = base + idx;
-            let bj = geom.mass[gi];
-            let (vx, vy, vz) = (v[0][gi], v[1][gi], v[2][gi]);
-            scratch.ur[idx] =
-                bj * (geom.dr[0][gi] * vx + geom.dr[1][gi] * vy + geom.dr[2][gi] * vz);
-            scratch.us[idx] =
-                bj * (geom.dr[3][gi] * vx + geom.dr[4][gi] * vy + geom.dr[5][gi] * vz);
-            scratch.ut[idx] =
-                bj * (geom.dr[6][gi] * vx + geom.dr[7][gi] * vy + geom.dr[8][gi] * vz);
-        }
+        let dr = &geom.dr;
+        let bj = &geom.mass[base..base + nn];
+        let (vx, vy, vz) = (
+            &v[0][base..base + nn],
+            &v[1][base..base + nn],
+            &v[2][base..base + nn],
+        );
+        simd::wcombine3(
+            &mut scratch.ur[..nn],
+            bj,
+            &dr[0][base..base + nn],
+            vx,
+            &dr[1][base..base + nn],
+            vy,
+            &dr[2][base..base + nn],
+            vz,
+        );
+        simd::wcombine3(
+            &mut scratch.us[..nn],
+            bj,
+            &dr[3][base..base + nn],
+            vx,
+            &dr[4][base..base + nn],
+            vy,
+            &dr[5][base..base + nn],
+            vz,
+        );
+        simd::wcombine3(
+            &mut scratch.ut[..nn],
+            bj,
+            &dr[6][base..base + nn],
+            vx,
+            &dr[7][base..base + nn],
+            vy,
+            &dr[8][base..base + nn],
+            vz,
+        );
         let oe = &mut out[base..base + nn];
         oe.fill(0.0);
         deriv_x_t_add(&geom.d, &scratch.ur, oe, n);
@@ -203,7 +275,8 @@ pub fn weak_divergence_with(
     let nn = n * n * n;
     let nelv = geom.nelv;
     let op = RangePtr::new(out);
-    pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+    let chunk = loop_chunk(nelv, pool.threads());
+    pool.for_each_range_min(nelv, chunk, tuning().grad_elems, |e0, e1| {
         POOL_SCRATCH.with(|cell| {
             let s = &mut cell.borrow_mut().ds;
             s.ur.resize(nn, 0.0);
@@ -211,17 +284,43 @@ pub fn weak_divergence_with(
             s.ut.resize(nn, 0.0);
             for e in e0..e1 {
                 let base = e * nn;
-                for idx in 0..nn {
-                    let gi = base + idx;
-                    let bj = geom.mass[gi];
-                    let (vx, vy, vz) = (v[0][gi], v[1][gi], v[2][gi]);
-                    s.ur[idx] =
-                        bj * (geom.dr[0][gi] * vx + geom.dr[1][gi] * vy + geom.dr[2][gi] * vz);
-                    s.us[idx] =
-                        bj * (geom.dr[3][gi] * vx + geom.dr[4][gi] * vy + geom.dr[5][gi] * vz);
-                    s.ut[idx] =
-                        bj * (geom.dr[6][gi] * vx + geom.dr[7][gi] * vy + geom.dr[8][gi] * vz);
-                }
+                let dr = &geom.dr;
+                let bj = &geom.mass[base..base + nn];
+                let (vx, vy, vz) = (
+                    &v[0][base..base + nn],
+                    &v[1][base..base + nn],
+                    &v[2][base..base + nn],
+                );
+                simd::wcombine3(
+                    &mut s.ur[..nn],
+                    bj,
+                    &dr[0][base..base + nn],
+                    vx,
+                    &dr[1][base..base + nn],
+                    vy,
+                    &dr[2][base..base + nn],
+                    vz,
+                );
+                simd::wcombine3(
+                    &mut s.us[..nn],
+                    bj,
+                    &dr[3][base..base + nn],
+                    vx,
+                    &dr[4][base..base + nn],
+                    vy,
+                    &dr[5][base..base + nn],
+                    vz,
+                );
+                simd::wcombine3(
+                    &mut s.ut[..nn],
+                    bj,
+                    &dr[6][base..base + nn],
+                    vx,
+                    &dr[7][base..base + nn],
+                    vy,
+                    &dr[8][base..base + nn],
+                    vz,
+                );
                 // SAFETY: element ranges of distinct chunks are disjoint.
                 let oe = unsafe { op.range_mut(base, base + nn) };
                 oe.fill(0.0);
@@ -330,9 +429,7 @@ impl Dealias {
         phys_grad(geom, v, &mut gx, &mut gy, &mut gz, scratch);
 
         if !self.enabled {
-            for i in 0..ntot {
-                out[i] = a[0][i] * gx[i] + a[1][i] * gy[i] + a[2][i] * gz[i];
-            }
+            simd::combine3(&mut out[..ntot], a[0], &gx, a[1], &gy, a[2], &gz);
             return;
         }
 
@@ -367,14 +464,10 @@ impl Dealias {
                     &mut fine_g,
                     &mut ts,
                 );
-                for q in 0..mmf {
-                    prod[q] += fine_a[d][q] * fine_g[q];
-                }
+                simd::fma_acc(&fine_a[d], &fine_g, &mut prod);
             }
             // Weight by the fine mass and project back: B_c·out = Jᵀ(B_f·prod).
-            for q in 0..mmf {
-                prod[q] *= self.bf[e * mmf + q];
-            }
+            simd::hadamard(&self.bf[e * mmf..(e + 1) * mmf], &mut prod);
             let oe = &mut out[base..base + nn];
             tensor_apply3(&jt, &jt, &jt, &prod, oe, &mut ts);
             for (o, m) in oe.iter_mut().zip(&geom.mass[base..base + nn]) {
@@ -405,12 +498,19 @@ impl Dealias {
 
         if !self.enabled {
             let op = RangePtr::new(out);
-            pool.for_each_range(ntot, loop_chunk(ntot, pool.threads()), |i0, i1| {
+            let chunk = loop_chunk(ntot, pool.threads());
+            pool.for_each_range_min(ntot, chunk, tuning().elemwise_len, |i0, i1| {
                 // SAFETY: chunk ranges are pairwise disjoint.
                 let os = unsafe { op.range_mut(i0, i1) };
-                for (idx, o) in (i0..i1).zip(os.iter_mut()) {
-                    *o = a[0][idx] * gx[idx] + a[1][idx] * gy[idx] + a[2][idx] * gz[idx];
-                }
+                simd::combine3(
+                    os,
+                    &a[0][i0..i1],
+                    &gx[i0..i1],
+                    &a[1][i0..i1],
+                    &gy[i0..i1],
+                    &a[2][i0..i1],
+                    &gz[i0..i1],
+                );
             });
             return;
         }
@@ -424,7 +524,8 @@ impl Dealias {
         // (one small alloc per apply, same as the serial path).
         let jt = self.jmat.transpose();
         let op = RangePtr::new(out);
-        pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+        let chunk = loop_chunk(nelv, pool.threads());
+        pool.for_each_range_min(nelv, chunk, tuning().grad_elems, |e0, e1| {
             POOL_SCRATCH.with(|cell| {
                 let s = &mut *cell.borrow_mut();
                 for d in 0..3 {
@@ -454,13 +555,9 @@ impl Dealias {
                             &mut s.fine_g,
                             &mut s.ts,
                         );
-                        for q in 0..mmf {
-                            s.prod[q] += s.fine_a[d][q] * s.fine_g[q];
-                        }
+                        simd::fma_acc(&s.fine_a[d], &s.fine_g, &mut s.prod);
                     }
-                    for q in 0..mmf {
-                        s.prod[q] *= self.bf[e * mmf + q];
-                    }
+                    simd::hadamard(&self.bf[e * mmf..(e + 1) * mmf], &mut s.prod);
                     // SAFETY: element ranges of distinct chunks are disjoint.
                     let oe = unsafe { op.range_mut(base, base + nn) };
                     tensor_apply3(&jt, &jt, &jt, &s.prod, oe, &mut s.ts);

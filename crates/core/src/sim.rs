@@ -611,7 +611,20 @@ impl<'a> Simulation<'a> {
             );
             self.tel
                 .counter_add("rbx_pool_items_total", now.items.saturating_sub(prev.items));
+            self.tel.counter_add(
+                "rbx_pool_grained_total",
+                now.grained.saturating_sub(prev.grained),
+            );
         }
+        // Constant for the whole process (the kernel level is pinned at
+        // first use), but exported every step so any scrape sees it.
+        self.tel.gauge_set(
+            "rbx_kernel_simd_active",
+            match rbx_basis::simd::level() {
+                rbx_basis::simd::SimdLevel::Scalar => 0.0,
+                _ => 1.0,
+            },
+        );
         record_solve(&self.tel, "fgmres", "pressure", p_stats);
         const V_LABELS: [&str; 3] = ["velocity_x", "velocity_y", "velocity_z"];
         for d in 0..3 {

@@ -21,6 +21,7 @@ pub mod desim;
 pub mod explore;
 pub mod host;
 pub mod pool;
+pub mod tuning;
 pub mod vgpu;
 
 pub use desim::{simulate, SimConfig, SimKernel, SimResult};
@@ -28,4 +29,5 @@ pub use host::HostBackend;
 pub use pool::{
     global_pool, loop_chunk, par_for, par_reduce, reduce_chunk, PoolStats, RangePtr, WorkerPool,
 };
+pub use tuning::{set_tuning, tuning, KernelTuning};
 pub use vgpu::{busy_wait, Event, Stream, StreamPriority, TraceEvent, VgpuConfig, VirtualGpu};

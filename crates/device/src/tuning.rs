@@ -1,0 +1,163 @@
+//! Per-kernel dispatch-overhead crossover configuration.
+//!
+//! `BENCH_kernels.json` showed small kernels losing to their serial twins
+//! (dot product: 3.6 µs serial vs 11.6 µs pooled) because pool wake +
+//! reduce costs a fixed ~10 µs regardless of work size. The fix is a
+//! per-kernel *grain gate*: below a tuned problem size the kernel runs
+//! inline on the calling thread through the identical chunk traversal
+//! ([`crate::WorkerPool::for_each_range_min`] /
+//! [`crate::WorkerPool::sum_range_min`]), so the gate is bitwise-invisible
+//! and only removes overhead.
+//!
+//! The thresholds live in one process-wide [`KernelTuning`], set **once**
+//! before the first dispatch (from `run_dns --tuning FILE`, produced by
+//! the `autotune_kernels` sweep) and immutable afterwards — kernel
+//! selection is part of the determinism contract: a run records its
+//! tuning in telemetry and an elastic restart replays with the same
+//! table, so the gate decisions (and therefore the execution, though not
+//! the bits, which never depend on the gate) are reproducible.
+
+use std::sync::OnceLock;
+
+/// Per-kernel serial/pooled crossover points, in the kernel's natural work
+/// unit (elements for element loops, slice length for vector ops, groups
+/// for gather-scatter). Work strictly below the threshold runs inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTuning {
+    /// Helmholtz fused apply: element count below which the sweep is inline.
+    pub helmholtz_elems: usize,
+    /// Element-FDM sweep: element count crossover.
+    pub fdm_elems: usize,
+    /// Gather-scatter local phase: group count crossover.
+    pub gs_groups: usize,
+    /// Global dot products: vector length crossover.
+    pub dot_len: usize,
+    /// Elementwise axpy/xpby/hadamard: vector length crossover.
+    pub elemwise_len: usize,
+    /// Physical gradient / weak divergence / dealiased advection:
+    /// element count crossover.
+    pub grad_elems: usize,
+}
+
+impl Default for KernelTuning {
+    /// Conservative defaults measured on commodity 4–8 core hosts: element
+    /// loops win pooled quickly (a p=7 Helmholtz element is ~5 µs of
+    /// work), while pure bandwidth kernels need tens of thousands of
+    /// entries to amortize the wake.
+    fn default() -> Self {
+        Self {
+            helmholtz_elems: 8,
+            fdm_elems: 8,
+            gs_groups: 2048,
+            dot_len: 32768,
+            elemwise_len: 32768,
+            grad_elems: 8,
+        }
+    }
+}
+
+impl KernelTuning {
+    /// Serialize as a flat JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"helmholtz_elems\":{},\"fdm_elems\":{},\"gs_groups\":{},",
+                "\"dot_len\":{},\"elemwise_len\":{},\"grad_elems\":{}}}"
+            ),
+            self.helmholtz_elems,
+            self.fdm_elems,
+            self.gs_groups,
+            self.dot_len,
+            self.elemwise_len,
+            self.grad_elems
+        )
+    }
+
+    /// Parse the flat JSON object written by [`KernelTuning::to_json`] (or
+    /// the `autotune_kernels` sweep). Unknown keys are ignored; missing
+    /// keys keep their defaults; any malformed field is an error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut t = Self::default();
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| "tuning: expected a JSON object".to_string())?;
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, val) = part
+                .split_once(':')
+                .ok_or_else(|| format!("tuning: malformed entry `{part}`"))?;
+            let key = key.trim().trim_matches('"');
+            let val: usize = val
+                .trim()
+                .parse()
+                .map_err(|_| format!("tuning: `{key}` is not a non-negative integer"))?;
+            match key {
+                "helmholtz_elems" => t.helmholtz_elems = val,
+                "fdm_elems" => t.fdm_elems = val,
+                "gs_groups" => t.gs_groups = val,
+                "dot_len" => t.dot_len = val,
+                "elemwise_len" => t.elemwise_len = val,
+                "grad_elems" => t.grad_elems = val,
+                _ => {}
+            }
+        }
+        Ok(t)
+    }
+}
+
+static TUNING: OnceLock<KernelTuning> = OnceLock::new();
+
+/// Install the process-wide tuning table. Returns `false` (and changes
+/// nothing) if a table was already installed — the first writer wins, and
+/// kernels observed by any dispatch are never re-tuned mid-run.
+pub fn set_tuning(t: KernelTuning) -> bool {
+    TUNING.set(t).is_ok()
+}
+
+/// The process-wide tuning table (defaults until [`set_tuning`] runs;
+/// first read freezes the defaults in).
+pub fn tuning() -> &'static KernelTuning {
+    TUNING.get_or_init(KernelTuning::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_and_defaults() {
+        let t = KernelTuning {
+            helmholtz_elems: 3,
+            fdm_elems: 5,
+            gs_groups: 700,
+            dot_len: 9000,
+            elemwise_len: 11,
+            grad_elems: 2,
+        };
+        assert_eq!(KernelTuning::from_json(&t.to_json()).unwrap(), t);
+        // Missing keys keep defaults; unknown keys are ignored.
+        let partial = KernelTuning::from_json("{\"dot_len\": 42, \"future_knob\": 1}").unwrap();
+        assert_eq!(partial.dot_len, 42);
+        assert_eq!(partial.fdm_elems, KernelTuning::default().fdm_elems);
+        assert!(KernelTuning::from_json("not json").is_err());
+        assert!(KernelTuning::from_json("{\"dot_len\": -3}").is_err());
+    }
+
+    #[test]
+    fn global_table_is_set_once() {
+        // Whichever of set/get runs first freezes the table for the
+        // process; a second set must report failure and change nothing.
+        let first = *tuning();
+        let won = set_tuning(KernelTuning {
+            dot_len: first.dot_len + 1,
+            ..first
+        });
+        assert!(!won);
+        assert_eq!(*tuning(), first);
+    }
+}

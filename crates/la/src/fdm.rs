@@ -19,9 +19,9 @@
 //!   kept for ablation studies (it leaves inter-element nodes to the
 //!   coarse grid alone and is therefore a strictly weaker preconditioner).
 
-use rbx_basis::tensor::{tensor_apply3, TensorScratch};
+use rbx_basis::fused::{tensor3, Tensor3Scratch};
 use rbx_basis::{sym_eig, DMat};
-use rbx_device::{loop_chunk, RangePtr, WorkerPool};
+use rbx_device::{loop_chunk, tuning, RangePtr, WorkerPool};
 use rbx_mesh::GeomFactors;
 use std::cell::RefCell;
 
@@ -31,7 +31,7 @@ use std::cell::RefCell;
 struct FdmScratch {
     rint: Vec<f64>,
     tmp: Vec<f64>,
-    ts: TensorScratch,
+    ts: Tensor3Scratch,
 }
 
 thread_local! {
@@ -180,7 +180,7 @@ impl ElementFdm {
         let mut rint = vec![0.0; mm];
         // audit:allow(hot-alloc): m³ scratch kept local so &self stays Sync for the overlapped phase; amortized over all elements
         let mut tmp = vec![0.0; mm];
-        let mut scratch = TensorScratch::new();
+        let mut scratch = Tensor3Scratch::new();
         self.apply_element_range(
             0,
             self.factors.len(),
@@ -209,7 +209,9 @@ impl ElementFdm {
         debug_assert_eq!(z.len(), r.len());
         let nelv = self.factors.len();
         let zp = RangePtr::new(z);
-        pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+        let gate = tuning().fdm_elems;
+        let chunk = loop_chunk(nelv, pool.threads());
+        pool.for_each_range_min(nelv, chunk, gate, |e0, e1| {
             POOL_SCRATCH.with(|cell| {
                 let s = &mut *cell.borrow_mut();
                 s.rint.resize(mm, 0.0);
@@ -245,7 +247,7 @@ impl ElementFdm {
         h2: f64,
         rint: &mut [f64],
         tmp: &mut [f64],
-        scratch: &mut TensorScratch,
+        scratch: &mut Tensor3Scratch,
     ) {
         let n = self.n;
         let m = self.m;
@@ -257,39 +259,62 @@ impl ElementFdm {
         for (e, f) in self.factors[e0..e1].iter().enumerate() {
             let base = (e0 + e) * nn;
             let zbase = e * nn;
-            // Restrict to the subdomain lattice.
-            for k in 0..m {
-                for j in 0..m {
-                    for i in 0..m {
-                        rint[i + m * (j + m * k)] =
-                            r[base + (i + off) + n * ((j + off) + n * (k + off))];
-                    }
-                }
-            }
-            // w = Sᵀ r
-            tensor_apply3(&f.st[0], &f.st[1], &f.st[2], rint, tmp, scratch);
-            // Scale by the pseudo-inverse of h1·(λx+λy+λz) + h2.
-            let floor = 1e-8 * (h1.abs() * f.lambda_max.max(1e-300) + h2.abs());
-            for k in 0..m {
-                for j in 0..m {
-                    for i in 0..m {
-                        let denom = h1 * (f.lambda[0][i] + f.lambda[1][j] + f.lambda[2][k]) + h2;
-                        let idx = i + m * (j + m * k);
-                        if denom.abs() <= floor {
-                            tmp[idx] = 0.0;
-                        } else {
-                            tmp[idx] /= denom;
+            // w = Sᵀ r — fused square SIMD contraction. In the full-element
+            // mode the subdomain lattice IS the element, so the restriction
+            // copy is skipped and `r` feeds the contraction directly.
+            if m == n {
+                tensor3(
+                    &f.st[0],
+                    &f.st[1],
+                    &f.st[2],
+                    &r[base..base + nn],
+                    tmp,
+                    scratch,
+                );
+            } else {
+                for k in 0..m {
+                    for j in 0..m {
+                        for i in 0..m {
+                            rint[i + m * (j + m * k)] =
+                                r[base + (i + off) + n * ((j + off) + n * (k + off))];
                         }
                     }
                 }
+                tensor3(&f.st[0], &f.st[1], &f.st[2], rint, tmp, scratch);
             }
-            // z_sub += S w
-            tensor_apply3(&f.s[0], &f.s[1], &f.s[2], tmp, rint, scratch);
+            // Scale by the pseudo-inverse of h1·(λx+λy+λz) + h2, branchless
+            // over contiguous x-rows so the divisions vectorize. The select
+            // keeps the exact pre-existing semantics: divide unless the
+            // denominator sits under the pseudo-inverse floor.
+            let floor = 1e-8 * (h1.abs() * f.lambda_max.max(1e-300) + h2.abs());
+            let l0 = &f.lambda[0][..m];
             for k in 0..m {
+                let l2k = f.lambda[2][k];
                 for j in 0..m {
-                    for i in 0..m {
-                        z[zbase + (i + off) + n * ((j + off) + n * (k + off))] +=
-                            rint[i + m * (j + m * k)];
+                    let l1j = f.lambda[1][j];
+                    let row = &mut tmp[m * (j + m * k)..][..m];
+                    for (x, &la) in row.iter_mut().zip(l0) {
+                        let denom = h1 * (la + l1j + l2k) + h2;
+                        *x = if denom.abs() <= floor {
+                            0.0
+                        } else {
+                            *x / denom
+                        };
+                    }
+                }
+            }
+            // z_sub += S w. `axpy(1.0, ..)` is bitwise identical to the
+            // plain add: fma(1·x + y) rounds once over an exact product.
+            tensor3(&f.s[0], &f.s[1], &f.s[2], tmp, rint, scratch);
+            if m == n {
+                rbx_basis::simd::axpy(1.0, &rint[..nn], &mut z[zbase..zbase + nn]);
+            } else {
+                for k in 0..m {
+                    for j in 0..m {
+                        for i in 0..m {
+                            z[zbase + (i + off) + n * ((j + off) + n * (k + off))] +=
+                                rint[i + m * (j + m * k)];
+                        }
                     }
                 }
             }

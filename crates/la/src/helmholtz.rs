@@ -4,13 +4,16 @@
 //! sum-factorized tensor contractions — `w_i = Σ_j G_ij (D_j u)`, then
 //! `Σ_i D_iᵀ w_i` — the "unassembled matrix on a per-element basis"
 //! formulation the paper credits for SEM's high operational intensity.
+//! The element kernel is the degree-specialized fused apply from
+//! [`rbx_basis::fused`]: one pass grad → geometric factors, one pass
+//! gradᵀ → mass, instead of six separate sweeps over element data.
 //! Assembly across elements/ranks is a gather-scatter `Add`, and Dirichlet
 //! conditions are imposed by masking.
 
 use crate::ops::hadamard;
-use rbx_basis::tensor::{deriv_x, deriv_x_t_add, deriv_y, deriv_y_t_add, deriv_z, deriv_z_t_add};
+use rbx_basis::fused::{self, FusedScratch};
 use rbx_comm::Communicator;
-use rbx_device::{loop_chunk, RangePtr, WorkerPool};
+use rbx_device::{loop_chunk, tuning, RangePtr, WorkerPool};
 use rbx_gs::{GatherScatter, GsOp};
 use rbx_mesh::GeomFactors;
 use std::cell::RefCell;
@@ -37,15 +40,12 @@ pub struct HelmholtzOp<'a> {
     pub h2: f64,
 }
 
-/// Reusable per-apply scratch buffers (sized to one element).
+/// Reusable per-apply scratch buffers (sized to one element); wraps the
+/// fused kernel's scratch so the pooled path stays allocation-free in the
+/// steady state.
 #[derive(Debug, Default)]
 pub struct HelmholtzScratch {
-    ur: Vec<f64>,
-    us: Vec<f64>,
-    ut: Vec<f64>,
-    wr: Vec<f64>,
-    ws: Vec<f64>,
-    wt: Vec<f64>,
+    fused: FusedScratch,
 }
 
 impl<'a> HelmholtzOp<'a> {
@@ -70,7 +70,9 @@ impl<'a> HelmholtzOp<'a> {
         debug_assert_eq!(u.len(), nelv * nn);
         debug_assert_eq!(y.len(), nelv * nn);
         let yp = RangePtr::new(y);
-        pool.for_each_range(nelv, loop_chunk(nelv, pool.threads()), |e0, e1| {
+        let gate = tuning().helmholtz_elems;
+        let chunk = loop_chunk(nelv, pool.threads());
+        pool.for_each_range_min(nelv, chunk, gate, |e0, e1| {
             POOL_SCRATCH.with(|cell| {
                 let scratch = &mut *cell.borrow_mut();
                 // SAFETY: element chunks are pairwise disjoint, so the node
@@ -91,7 +93,9 @@ impl<'a> HelmholtzOp<'a> {
     }
 
     /// Apply to a contiguous element range; `e_begin` locates the range in
-    /// the geometry arrays, `u`/`y` hold exactly that range's nodes.
+    /// the geometry arrays, `u`/`y` hold exactly that range's nodes. Each
+    /// element runs the fused two-pass kernel ([`rbx_basis::fused`]),
+    /// degree-specialized for the production node counts.
     fn apply_element_range(
         &self,
         e_begin: usize,
@@ -103,47 +107,31 @@ impl<'a> HelmholtzOp<'a> {
         let nn = n * n * n;
         debug_assert_eq!(u.len() % nn, 0);
         let nelv = u.len() / nn;
-        scratch.ur.resize(nn, 0.0);
-        scratch.us.resize(nn, 0.0);
-        scratch.ut.resize(nn, 0.0);
-        scratch.wr.resize(nn, 0.0);
-        scratch.ws.resize(nn, 0.0);
-        scratch.wt.resize(nn, 0.0);
         let d = &self.geom.d;
+        let g = &self.geom.g;
 
         for e_local in 0..nelv {
             let base = (e_begin + e_local) * nn;
             let ue = &u[e_local * nn..(e_local + 1) * nn];
             let ye = &mut y[e_local * nn..(e_local + 1) * nn];
-            if self.h1 != 0.0 {
-                deriv_x(d, ue, &mut scratch.ur, n);
-                deriv_y(d, ue, &mut scratch.us, n);
-                deriv_z(d, ue, &mut scratch.ut, n);
-                let g = &self.geom.g;
-                for idx in 0..nn {
-                    let gi = base + idx;
-                    let (ur, us, ut) = (scratch.ur[idx], scratch.us[idx], scratch.ut[idx]);
-                    scratch.wr[idx] = g[0][gi] * ur + g[1][gi] * us + g[2][gi] * ut;
-                    scratch.ws[idx] = g[1][gi] * ur + g[3][gi] * us + g[4][gi] * ut;
-                    scratch.wt[idx] = g[2][gi] * ur + g[4][gi] * us + g[5][gi] * ut;
-                }
-                ye.fill(0.0);
-                deriv_x_t_add(d, &scratch.wr, ye, n);
-                deriv_y_t_add(d, &scratch.ws, ye, n);
-                deriv_z_t_add(d, &scratch.wt, ye, n);
-                if self.h1 != 1.0 {
-                    for v in ye.iter_mut() {
-                        *v *= self.h1;
-                    }
-                }
-            } else {
-                ye.fill(0.0);
-            }
-            if self.h2 != 0.0 {
-                for idx in 0..nn {
-                    ye[idx] += self.h2 * self.geom.mass[base + idx] * ue[idx];
-                }
-            }
+            let ge: [&[f64]; 6] = [
+                &g[0][base..base + nn],
+                &g[1][base..base + nn],
+                &g[2][base..base + nn],
+                &g[3][base..base + nn],
+                &g[4][base..base + nn],
+                &g[5][base..base + nn],
+            ];
+            fused::helmholtz_element(
+                d,
+                &ge,
+                &self.geom.mass[base..base + nn],
+                self.h1,
+                self.h2,
+                ue,
+                ye,
+                &mut scratch.fused,
+            );
         }
     }
 

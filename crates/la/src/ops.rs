@@ -5,8 +5,9 @@
 //! multiplicity before the cross-rank reduction — the same `1/mult`
 //! weighting the production code applies in its Krylov kernels.
 
+use rbx_basis::simd;
 use rbx_comm::Communicator;
-use rbx_device::{loop_chunk, reduce_chunk, RangePtr, WorkerPool};
+use rbx_device::{loop_chunk, reduce_chunk, tuning, RangePtr, WorkerPool};
 use std::sync::Arc;
 
 /// Element-wise layout of a duplicated-node field: which global elements
@@ -77,50 +78,46 @@ impl ElemLayout {
     }
 }
 
-/// `y ← a·x + y`.
+/// `y ← a·x + y` (SIMD-dispatched, fused rounding per element).
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
-    }
+    simd::axpy(a, x, y);
 }
 
-/// Pooled `y ← a·x + y`: chunk ranges write disjointly, so the result is
-/// bitwise identical to [`axpy`] for every thread count.
+/// Pooled `y ← a·x + y`: chunk ranges write disjointly and the SIMD
+/// kernel is pointwise (subrange-safe), so the result is bitwise
+/// identical to [`axpy`] for every thread count. Work below the tuned
+/// `elemwise_len` crossover runs inline (same bits, no dispatch cost).
 pub fn axpy_with(a: f64, x: &[f64], y: &mut [f64], pool: &WorkerPool) {
     debug_assert_eq!(x.len(), y.len());
     let n = y.len();
     let yp = RangePtr::new(y);
-    pool.for_each_range(n, loop_chunk(n, pool.threads()), |start, end| {
+    let gate = tuning().elemwise_len;
+    pool.for_each_range_min(n, loop_chunk(n, pool.threads()), gate, |start, end| {
         // SAFETY: chunk ranges are pairwise disjoint.
         let ysub = unsafe { yp.range_mut(start, end) };
-        for (yi, xi) in ysub.iter_mut().zip(&x[start..end]) {
-            *yi += a * xi;
-        }
+        simd::axpy(a, &x[start..end], ysub);
     });
 }
 
 /// Pooled `y ← x + b·y` (see [`xpby`]); bitwise identical to the serial
-/// form for every thread count.
+/// form for every thread count, grain-gated at `elemwise_len`.
 pub fn xpby_with(x: &[f64], b: f64, y: &mut [f64], pool: &WorkerPool) {
     debug_assert_eq!(x.len(), y.len());
     let n = y.len();
     let yp = RangePtr::new(y);
-    pool.for_each_range(n, loop_chunk(n, pool.threads()), |start, end| {
+    let gate = tuning().elemwise_len;
+    pool.for_each_range_min(n, loop_chunk(n, pool.threads()), gate, |start, end| {
         // SAFETY: chunk ranges are pairwise disjoint.
         let ysub = unsafe { yp.range_mut(start, end) };
-        for (yi, xi) in ysub.iter_mut().zip(&x[start..end]) {
-            *yi = xi + b * *yi;
-        }
+        simd::xpby(&x[start..end], b, ysub);
     });
 }
 
-/// `y ← x + b·y` (useful for CG direction updates).
+/// `y ← x + b·y` (useful for CG direction updates; SIMD-dispatched).
 pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + b * *yi;
-    }
+    simd::xpby(x, b, y);
 }
 
 /// `y ← x`.
@@ -135,26 +132,24 @@ pub fn scale(a: f64, x: &mut [f64]) {
     }
 }
 
-/// Element-wise product `y ← x ∘ y`.
+/// Element-wise product `y ← x ∘ y` (SIMD-dispatched).
 pub fn hadamard(x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi *= xi;
-    }
+    simd::hadamard(x, y);
 }
 
 /// Pooled element-wise product `y ← x ∘ y`; bitwise identical to
-/// [`hadamard`] for every thread count (disjoint chunk writes).
+/// [`hadamard`] for every thread count (disjoint chunk writes),
+/// grain-gated at `elemwise_len`.
 pub fn hadamard_with(x: &[f64], y: &mut [f64], pool: &WorkerPool) {
     debug_assert_eq!(x.len(), y.len());
     let n = y.len();
     let yp = RangePtr::new(y);
-    pool.for_each_range(n, loop_chunk(n, pool.threads()), |start, end| {
+    let gate = tuning().elemwise_len;
+    pool.for_each_range_min(n, loop_chunk(n, pool.threads()), gate, |start, end| {
         // SAFETY: chunk ranges are pairwise disjoint.
         let ysub = unsafe { yp.range_mut(start, end) };
-        for (yi, xi) in ysub.iter_mut().zip(&x[start..end]) {
-            *yi *= xi;
-        }
+        simd::hadamard(&x[start..end], ysub);
     });
 }
 
@@ -218,21 +213,16 @@ impl DotProduct {
                 let mut partial = vec![0.0; e];
                 for (le, &ge) in l.gids.iter().enumerate() {
                     let lo = le * np;
-                    let mut acc = 0.0;
-                    for i in lo..lo + np {
-                        acc += a[i] * b[i] * self.mult_inv[i];
-                    }
-                    partial[ge] = acc;
+                    partial[ge] = simd::dot3(
+                        &a[lo..lo + np],
+                        &b[lo..lo + np],
+                        &self.mult_inv[lo..lo + np],
+                    );
                 }
                 l.fold_sums(&mut partial, 1, comm)[0]
             }
             None => {
-                let local: f64 = a
-                    .iter()
-                    .zip(b)
-                    .zip(&self.mult_inv)
-                    .map(|((x, y), w)| x * y * w)
-                    .sum();
+                let local = simd::dot3(a, b, &self.mult_inv);
                 rbx_comm::allreduce_scalar(comm, local)
             }
         }
@@ -260,12 +250,8 @@ impl DotProduct {
         debug_assert_eq!(b.len(), self.mult_inv.len());
         let n = self.mult_inv.len();
         let w = &self.mult_inv;
-        let local = pool.sum_range(n, reduce_chunk(n), |start, end| {
-            let mut acc = 0.0;
-            for ((x, y), wi) in a[start..end].iter().zip(&b[start..end]).zip(&w[start..end]) {
-                acc += x * y * wi;
-            }
-            acc
+        let local = pool.sum_range_min(n, reduce_chunk(n), tuning().dot_len, |start, end| {
+            simd::dot3(&a[start..end], &b[start..end], &w[start..end])
         });
         rbx_comm::allreduce_scalar(comm, local)
     }

@@ -230,6 +230,16 @@ pub const METRICS: &[MetricDef] = &[
         help: "self-scheduled chunks claimed across pool dispatches",
     },
     MetricDef {
+        name: "rbx_pool_grained_total",
+        kind: MetricKind::Counter,
+        help: "parallel regions run inline because the work sat below the tuned grain crossover",
+    },
+    MetricDef {
+        name: "rbx_kernel_simd_active",
+        kind: MetricKind::Gauge,
+        help: "active SIMD kernel level (0 = scalar, 1 = avx2+fma); fixed for a whole run",
+    },
+    MetricDef {
         name: "rbx_pool_items_total",
         kind: MetricKind::Counter,
         help: "loop iterations covered by pool dispatches",
