@@ -37,6 +37,9 @@ impl ModalBasis {
         let v = DMat::from_fn(n, n, |i, m| legendre_all(n - 1, q.points[i])[m]);
         let v_inv = v
             .inverse()
+            // audit:allow(no-panic): setup-time construction invariant — the GLL
+            // Vandermonde of distinct nodes is provably nonsingular; reached from
+            // the analysis plane only while building a basis at startup.
             .expect("GLL Vandermonde is provably nonsingular");
         let discrete_norms: Vec<f64> = (0..n)
             .map(|m| {

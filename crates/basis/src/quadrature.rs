@@ -71,6 +71,9 @@ pub fn gll(n: usize) -> Quadrature {
         }
         points[j] = x;
     }
+    // audit:allow(no-panic): setup-time construction invariant — Newton on the
+    // Legendre derivative converges to finite nodes; a non-finite node is an
+    // implementation bug, not a runtime condition.
     points.sort_by(|a, b| a.partial_cmp(b).expect("non-finite GLL node"));
     let nf = n as f64;
     let weights: Vec<f64> = points

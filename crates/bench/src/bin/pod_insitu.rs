@@ -35,7 +35,8 @@ fn main() {
     let weights = sim.geom.mass.clone();
     let comm = rbx::comm::SingleComm::new();
     let (writer, reader) = staging_channel(4);
-    let consumer = PodConsumer::spawn(reader, "uz", weights.clone(), 16);
+    let consumer =
+        PodConsumer::spawn(reader, "uz", weights.clone(), 16).expect("spawn POD consumer");
     let mut kept = Vec::new();
     let t0 = std::time::Instant::now();
     for step in 1..=STEPS {
@@ -52,7 +53,7 @@ fn main() {
     }
     writer.close();
     let with_insitu = t0.elapsed().as_secs_f64();
-    let pod = consumer.join();
+    let pod = consumer.join().expect("POD consumer finished cleanly");
 
     println!("overhead of in-situ processing:");
     println!("  solver only     : {:.2} s for {STEPS} steps", solver_only);

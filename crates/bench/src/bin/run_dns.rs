@@ -35,10 +35,21 @@
 //! run_dns --ranks 2 --steps 100 \
 //!     --restart target/dns_run/checkpoints/chk_0000000200.bpl  # restart at 2
 //! ```
+//!
+//! `--analysis-ranks K` dedicates K extra ranks to the asynchronous
+//! in-situ analysis plane (DESIGN.md §16): solver ranks ship compressed
+//! field slabs over a bounded best-effort channel and never block on
+//! analysis — a full queue or a dead analysis rank degrades to
+//! drop-with-counter (`rbx_insitu_dropped_total`), and the solver
+//! trajectory stays byte-identical to an analysis-free run:
+//!
+//! ```sh
+//! run_dns --ranks 4 --analysis-ranks 2 --steps 200 --sample-every 10 \
+//!     --telemetry-jsonl target/dns_run/tel.jsonl
+//! ```
 
-use rbx::basis::ModalBasis;
 use rbx::comm::SingleComm;
-use rbx::compress::{compress_field, CompressionConfig};
+use rbx::compress::{AsyncFieldCompressor, CompressionConfig};
 use rbx::core::stats::{RunStatistics, ZProfiles};
 use rbx::core::RecoveryEvent;
 use rbx::core::{
@@ -64,6 +75,7 @@ struct Args {
     dt: f64,
     steps: usize,
     ranks: usize,
+    analysis_ranks: usize,
     threads: usize,
     resolution: usize,
     sample_every: usize,
@@ -98,6 +110,7 @@ impl Default for Args {
             dt: 2e-3,
             steps: 300,
             ranks: 1,
+            analysis_ranks: 0,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             resolution: 3,
             sample_every: 20,
@@ -169,6 +182,9 @@ fn parse_args() -> Args {
             "--dt" => args.dt = parse("--dt", &value("--dt")),
             "--steps" => args.steps = parse("--steps", &value("--steps")),
             "--ranks" => args.ranks = parse("--ranks", &value("--ranks")),
+            "--analysis-ranks" => {
+                args.analysis_ranks = parse("--analysis-ranks", &value("--analysis-ranks"))
+            }
             "--threads" => args.threads = parse("--threads", &value("--threads")),
             "--resolution" => args.resolution = parse("--resolution", &value("--resolution")),
             "--sample-every" => {
@@ -216,7 +232,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "flags: --case box|cylinder --gamma G --ra RA --order P --dt DT \
-                     --steps N --ranks N --threads N --resolution R --sample-every N --checkpoint-every N \
+                     --steps N --ranks N --analysis-ranks K --threads N --resolution R \
+                     --sample-every N --checkpoint-every N \
                      --checkpoint-keep K --max-rollbacks N --dt-factor F \
                      --fault-seed S --inject-nan-at STEP --corrupt-checkpoint-at STEP \
                      --fail-checkpoint-at STEP --pod --restart CHECKPOINT.bpl \
@@ -244,6 +261,12 @@ fn parse_args() -> Args {
     }
     if args.ranks == 0 || args.ranks > 64 {
         die("--ranks must be in 1..=64 (survivor masks are 64-bit)");
+    }
+    if args.ranks + args.analysis_ranks > 64 {
+        die("--ranks plus --analysis-ranks must not exceed 64");
+    }
+    if args.analysis_ranks > 0 && args.sample_every == 0 {
+        die("--analysis-ranks needs --sample-every > 0 (slabs ship on sample steps)");
     }
     args
 }
@@ -308,6 +331,31 @@ fn recovery_totals(events: &[RecoveryEvent]) -> Vec<(&'static str, Value)> {
         .collect()
 }
 
+/// Sender-side in-situ vitals of one solver rank, for the run summary.
+struct InsituSenderSummary {
+    dest: usize,
+    stats: rbx::comm::SlabSenderStats,
+    compress_busy: u64,
+    stalled: bool,
+}
+
+/// One rank's result from the distributed run: a solver rank's report
+/// bundle, or what a dedicated analysis rank saw.
+enum RankOut {
+    Solver {
+        report: Box<rbx::core::RunReport>,
+        elapsed: f64,
+        obs_rows: Vec<String>,
+        stats: RunStatistics,
+        health_events: Option<usize>,
+        insitu: Option<InsituSenderSummary>,
+    },
+    Analysis {
+        rank: usize,
+        outcome: Result<rbx::insitu::AnalysisOutcome, rbx::insitu::InsituError>,
+    },
+}
+
 /// The distributed time loop: `--ranks N` runs the case partitioned over
 /// N in-process ranks. The partition comes from the restart
 /// repartitioner's cost model, not from whatever layout a restart
@@ -316,6 +364,12 @@ fn recovery_totals(events: &[RecoveryEvent]) -> Vec<(&'static str, Value)> {
 /// output set (observables CSV, checkpoints, telemetry, summary) keeps
 /// the rank-local paths honest; the field/POD pipelines stay
 /// single-rank.
+///
+/// `--analysis-ranks K` appends K dedicated analysis ranks to the world.
+/// Solver collectives run on a [`rbx::comm::SubsetComm`] restricted to
+/// the solver ranks, so the trajectory is byte-identical with or without
+/// the analysis plane; slabs travel solver rank `r` → analysis rank
+/// `N + (r mod K)` over the best-effort slab channel.
 fn run_multirank(args: Args) {
     use rbx::comm::{run_on_ranks, Communicator};
     use rbx::core::plan_repartition;
@@ -330,7 +384,9 @@ fn run_multirank(args: Args) {
         ("--fail-checkpoint-at", !args.fail_checkpoint_at.is_empty()),
     ] {
         if set {
-            die(&format!("{flag} is single-rank only (drop --ranks)"));
+            die(&format!(
+                "{flag} is single-rank only (drop --ranks/--analysis-ranks)"
+            ));
         }
     }
 
@@ -362,20 +418,70 @@ fn run_multirank(args: Args) {
         plan.max_elems,
         args.steps
     );
+    let solver_n = args.ranks;
+    let analysis_k = args.analysis_ranks;
+    if analysis_k > 0 {
+        println!(
+            "  in-situ analysis: {analysis_k} dedicated rank{} (world {}..{}), \
+             best-effort slab channel, drop-with-counter degradation",
+            if analysis_k == 1 { "" } else { "s" },
+            solver_n,
+            solver_n + analysis_k - 1
+        );
+    }
 
     let checkpoint_dir = args.out.join("checkpoints");
     let cfg_ref = &cfg;
     let case_ref = &case;
     let plan_ref = &plan;
     let args_ref = &args;
-    let results = run_on_ranks(args.ranks, move |comm| {
+    let results = run_on_ranks(solver_n + analysis_k, move |comm| {
         let rank = comm.rank();
+        if rank >= solver_n {
+            // Dedicated analysis rank: never joins a solver collective,
+            // never touches the checkpoint set. It drains slab channels
+            // from its assigned solver peers until they close (or die —
+            // the idle deadline covers a world that stopped sending).
+            let tel = Telemetry::disabled();
+            if obs_requested(args_ref) {
+                tel.set_enabled(true);
+                if let Some(path) = &args_ref.telemetry_jsonl {
+                    let rp = rank_jsonl_path(path, rank);
+                    if let Err(e) = tel.open_jsonl(&rp) {
+                        die(&format!(
+                            "cannot create telemetry JSONL {}: {e}",
+                            rp.display()
+                        ));
+                    }
+                }
+            }
+            let me = rank - solver_n;
+            let cfg = rbx::insitu::AnalysisConfig {
+                senders: (0..solver_n).filter(|s| s % analysis_k == me).collect(),
+                idle_timeout: std::time::Duration::from_secs(60),
+                ..Default::default()
+            };
+            let outcome = rbx::insitu::run_analysis_rank(comm, &cfg, &tel);
+            tel.flush();
+            return RankOut::Analysis { rank, outcome };
+        }
+        // Solver rank. With an analysis plane the simulation communicates
+        // over a subset communicator covering exactly the solver ranks:
+        // collectives (and hence the trajectory) are unchanged by K.
+        let subset;
+        let solver_comm: &dyn Communicator = if analysis_k > 0 {
+            subset = rbx::comm::SubsetComm::new(comm, (0..solver_n).collect())
+                .expect("solver rank is in the solver subset");
+            &subset
+        } else {
+            comm
+        };
         let mut sim = Simulation::new(
             cfg_ref.clone(),
             &case_ref.mesh,
             &plan_ref.part,
             plan_ref.elems[rank].clone(),
-            comm,
+            solver_comm,
         );
         // Observability is per-rank: every rank gets its own JSONL stream
         // (`tel.rank{r}.jsonl` — the unit `rbx-obs merge` consumes) and
@@ -415,6 +521,21 @@ fn run_multirank(args: Args) {
             }
         }
         sim.set_telemetry(&tel);
+
+        // In-situ tap: a bounded best-effort slab channel to this rank's
+        // analysis peer plus an off-thread double-buffered encoder. Both
+        // run on the world communicator (the destination is outside the
+        // solver subset) and both degrade by dropping-with-counter, never
+        // by blocking the step loop.
+        let insitu_dest = (analysis_k > 0).then(|| solver_n + rank % analysis_k);
+        let mut slab_tx = insitu_dest.map(|dest| {
+            let mut tx = rbx::comm::SlabSender::new(comm, dest, 8);
+            tx.set_telemetry(&tel);
+            tx
+        });
+        let mut encoder = insitu_dest.map(|_| {
+            AsyncFieldCompressor::new(&sim.geom, args_ref.order + 1, CompressionConfig::default())
+        });
 
         let checkpoints = CheckpointSet::new(&checkpoint_dir, args_ref.checkpoint_keep);
         if let Some(chk) = &args_ref.restart {
@@ -548,11 +669,65 @@ fn run_multirank(args: Args) {
                     sim.state.time, st.p_iters
                 );
             }
+            // In-situ ship: snapshot into the encoder (drop-if-busy),
+            // forward finished encodings onto the slab channel
+            // (drop-if-full), and publish the sender vitals. Nothing on
+            // this path can block or fail the step.
+            if let (Some(enc), Some(tx)) = (encoder.as_mut(), slab_tx.as_mut()) {
+                if !enc.try_submit(step as u64, sim.state.time, "uz", &sim.state.u[2]) {
+                    tel.counter_add(rbx::telemetry::names::INSITU_COMPRESS_BUSY_TOTAL, 1);
+                }
+                while let Some(done) = enc.poll() {
+                    let body = rbx::io::encode_slab_body(
+                        done.step,
+                        done.time,
+                        &done.var,
+                        &done.compressed.to_bytes(),
+                    );
+                    let _ = tx.offer(&body);
+                }
+                let s = tx.stats();
+                tel.emit(&rbx::telemetry::schema::insitu_sender_record(
+                    step as u64,
+                    rank as u64,
+                    insitu_dest.unwrap_or(0) as u64,
+                    s.sent,
+                    s.dropped,
+                    s.acked,
+                    s.inflight_highwater,
+                    tx.is_stalled(),
+                ));
+            }
         });
         let elapsed = t0.elapsed().as_secs_f64();
         let report = match report {
             Ok(r) => r,
             Err(e) => die(&format!("simulation failed on rank {rank}: {e}")),
+        };
+        // Drain the encoder tail and close the slab channel; the CLOSE
+        // frame lets the analysis peer exit cleanly instead of waiting
+        // out its idle deadline.
+        let insitu = match (encoder, slab_tx) {
+            (Some(enc), Some(mut tx)) => {
+                let (rest, enc_stats) = enc.finish();
+                for done in rest {
+                    let body = rbx::io::encode_slab_body(
+                        done.step,
+                        done.time,
+                        &done.var,
+                        &done.compressed.to_bytes(),
+                    );
+                    let _ = tx.offer(&body);
+                }
+                tx.close();
+                Some(InsituSenderSummary {
+                    dest: insitu_dest.unwrap_or(0),
+                    stats: tx.stats(),
+                    compress_busy: enc_stats.busy_dropped,
+                    stalled: tx.is_stalled(),
+                })
+            }
+            _ => None,
         };
         if rank == 0 {
             if let Some(path) = &args_ref.telemetry_prom {
@@ -572,16 +747,48 @@ fn run_multirank(args: Args) {
         if let Some(server) = prom {
             server.shutdown();
         }
-        (report, elapsed, obs_rows, stats, health_events)
+        RankOut::Solver {
+            report: Box::new(report),
+            elapsed,
+            obs_rows,
+            stats,
+            health_events,
+            insitu,
+        }
     });
 
     // Flight dumps land per rank; surface all of them, not just rank 0's.
     let all_dumps: Vec<PathBuf> = results
         .iter()
-        .flat_map(|(r, ..)| r.flight_dumps.clone())
+        .flat_map(|r| match r {
+            RankOut::Solver { report, .. } => report.flight_dumps.clone(),
+            RankOut::Analysis { .. } => Vec::new(),
+        })
         .collect();
-    let (report, elapsed, obs_rows, stats, health_events) =
-        results.into_iter().next().expect("rank 0 result");
+    let mut analysis_rows = Vec::new();
+    let mut insitu_senders = Vec::new();
+    let mut rank0 = None;
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            RankOut::Solver {
+                report,
+                elapsed,
+                obs_rows,
+                stats,
+                health_events,
+                insitu,
+            } => {
+                if let Some(s) = insitu {
+                    insitu_senders.push((i, s));
+                }
+                if i == 0 {
+                    rank0 = Some((report, elapsed, obs_rows, stats, health_events));
+                }
+            }
+            RankOut::Analysis { rank, outcome } => analysis_rows.push((rank, outcome)),
+        }
+    }
+    let (report, elapsed, obs_rows, stats, health_events) = rank0.expect("rank 0 result");
     use std::io::Write;
     let csv = std::fs::File::create(args.out.join("observables.csv")).and_then(|mut f| {
         writeln!(f, "step,time,nu_volume,kinetic_energy,p_iters")?;
@@ -597,6 +804,25 @@ fn run_multirank(args: Args) {
     println!("\n── run summary ───────────────────────────────────────────");
     let row = |k: &str, v: String| println!("  {k:<22} {v}");
     row("ranks", format!("{}", args.ranks));
+    if analysis_k > 0 {
+        row("analysis ranks", format!("{analysis_k}"));
+        let sent: u64 = insitu_senders.iter().map(|(_, s)| s.stats.sent).sum();
+        let dropped: u64 = insitu_senders.iter().map(|(_, s)| s.stats.dropped).sum();
+        let busy: u64 = insitu_senders.iter().map(|(_, s)| s.compress_busy).sum();
+        row(
+            "in-situ slabs",
+            format!("{sent} sent, {dropped} dropped (window full), {busy} dropped (encoder busy)"),
+        );
+        for (rank, s) in &insitu_senders {
+            if s.stalled {
+                println!(
+                    "  [insitu]   solver rank {rank}: analysis rank {} stalled or dead \
+                     (degraded to drop-with-counter)",
+                    s.dest
+                );
+            }
+        }
+    }
     row("steps completed", format!("{}", report.steps_completed));
     row(
         "wall time",
@@ -626,6 +852,31 @@ fn run_multirank(args: Args) {
     for e in &report.events {
         println!("  [recovery] {e}");
     }
+    for (rank, outcome) in &analysis_rows {
+        match outcome {
+            Ok(o) => {
+                let pods = o
+                    .pods
+                    .iter()
+                    .map(|p| format!("r{}:{} snaps rank {}", p.src, p.count, p.rank))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!(
+                    "  [insitu]   analysis rank {rank}: {} slabs, {} corrupt, {} gaps{}{}",
+                    o.received,
+                    o.corrupt,
+                    o.gaps,
+                    if o.idle_exit { ", idle exit" } else { "" },
+                    if pods.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" | pod {pods}")
+                    }
+                );
+            }
+            Err(e) => eprintln!("run_dns: warning: analysis rank {rank} failed: {e}"),
+        }
+    }
     for p in &all_dumps {
         println!("  [flight]   post-mortem ring dump in {}", p.display());
     }
@@ -644,7 +895,7 @@ fn main() {
     // including elastic restarts, which replay the same table from the run
     // config and therefore the same serial/pooled decisions).
     install_tuning(&args);
-    if args.ranks > 1 {
+    if args.ranks > 1 || args.analysis_ranks > 0 {
         run_multirank(args);
         return;
     }
@@ -768,11 +1019,17 @@ fn main() {
         Ok(f) => f,
         Err(e) => die(&format!("cannot create field file: {e}")),
     };
-    let basis = ModalBasis::new(args.order + 1);
-    let comp_cfg = CompressionConfig::default();
+    // Field compression runs off the critical path: the sample callback
+    // only snapshots into the double-buffered encoder (drop-if-busy) and
+    // forwards finished encodings to the async file engine.
+    let mut encoder =
+        AsyncFieldCompressor::new(&sim.geom, args.order + 1, CompressionConfig::default());
     let pod = if args.pod {
         let (w, r) = staging_channel(4);
-        Some((w, PodConsumer::spawn(r, "uz", sim.geom.mass.clone(), 12)))
+        match PodConsumer::spawn(r, "uz", sim.geom.mass.clone(), 12) {
+            Ok(c) => Some((w, c)),
+            Err(e) => die(&format!("cannot start in-situ POD consumer: {e}")),
+        }
     } else {
         None
     };
@@ -844,17 +1101,20 @@ fn main() {
             sim.state.time, st.p_iters
         );
 
-        // Compressed field sample to the async file engine.
-        let c = compress_field(&sim.state.u[2], &sim.geom, &basis, &comp_cfg);
-        fields.put(StepData {
-            step: step as u64,
-            time: sim.state.time,
-            vars: vec![Variable::bytes(
-                "uz_compressed",
-                vec![c.data.len() as u64],
-                c.data,
-            )],
-        });
+        // Compressed field sample: snapshot into the async encoder
+        // (drop-and-count when both buffers are busy — the step loop
+        // never waits), then forward whatever finished encoding.
+        if !encoder.try_submit(step as u64, sim.state.time, "uz", &sim.state.u[2]) {
+            tel.counter_add(rbx::telemetry::names::INSITU_COMPRESS_BUSY_TOTAL, 1);
+        }
+        while let Some(done) = encoder.poll() {
+            let shape = vec![done.compressed.data.len() as u64];
+            fields.put(StepData {
+                step: done.step,
+                time: done.time,
+                vars: vec![Variable::bytes("uz_compressed", shape, done.compressed.data)],
+            });
+        }
         if let Some((w, _)) = &pod {
             w.put(StepData {
                 step: step as u64,
@@ -895,6 +1155,21 @@ fn main() {
     if let Err(e) = profiles.write_csv(&comm, &args.out.join("z_profiles.csv")) {
         eprintln!("run_dns: warning: could not write z_profiles.csv: {e}");
     }
+    // Drain the encoder tail (snapshots still in flight when the loop
+    // ended) into the field file before closing it.
+    let (tail, comp_stats) = encoder.finish();
+    for done in tail {
+        let shape = vec![done.compressed.data.len() as u64];
+        fields.put(StepData {
+            step: done.step,
+            time: done.time,
+            vars: vec![Variable::bytes(
+                "uz_compressed",
+                shape,
+                done.compressed.data,
+            )],
+        });
+    }
     let written = match fields.close() {
         Ok(n) => n,
         Err(e) => {
@@ -904,17 +1179,26 @@ fn main() {
     };
 
     // Optional POD drain (prints its own lines before the summary table).
-    let pod_summary = pod.map(|(w, consumer)| {
+    // A crashed consumer degrades to a warning — the run's outputs are
+    // already on disk and must not be lost to an analysis failure.
+    let pod_summary = pod.and_then(|(w, consumer)| {
         w.close();
-        let p = consumer.join();
-        let sv = p.singular_values();
-        let lead = if sv.is_empty() {
-            0.0
-        } else {
-            let total: f64 = sv.iter().map(|s| s * s).sum();
-            sv[0] * sv[0] / total
-        };
-        (p.count(), p.rank(), lead)
+        match consumer.join() {
+            Ok(p) => {
+                let sv = p.singular_values();
+                let lead = if sv.is_empty() {
+                    0.0
+                } else {
+                    let total: f64 = sv.iter().map(|s| s * s).sum();
+                    sv[0] * sv[0] / total
+                };
+                Some((p.count(), p.rank(), lead))
+            }
+            Err(e) => {
+                eprintln!("run_dns: warning: in-situ POD consumer failed: {e}");
+                None
+            }
+        }
     });
 
     // Post-run resolution check (spectral tail energy of the temperature).
@@ -964,7 +1248,13 @@ fn main() {
             ),
         );
     }
-    row("field samples", format!("{written} in fields.bpl"));
+    row(
+        "field samples",
+        format!(
+            "{written} in fields.bpl ({} encoded async, {} dropped busy)",
+            comp_stats.submitted, comp_stats.busy_dropped
+        ),
+    );
     if let Some((count, rank, lead)) = pod_summary {
         row(
             "in-situ POD",

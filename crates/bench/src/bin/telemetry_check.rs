@@ -10,12 +10,13 @@
 //! telemetry_check --bench out/fig2_overlap/fig2.json
 //! telemetry_check --flight out/flight/flight_r0_s17_shrink.jsonl
 //! telemetry_check --timeline out/timeline.jsonl --health out/health.jsonl
+//! telemetry_check --insitu out/tel.rank2.jsonl
 //! ```
 
 use rbx::telemetry::json::Value;
 use rbx::telemetry::schema::{
-    validate_bench, validate_flight_header, validate_health, validate_line,
-    validate_timeline_record,
+    validate_bench, validate_flight_header, validate_health, validate_insitu, validate_line,
+    validate_timeline_record, INSITU_SCHEMA,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -27,6 +28,7 @@ struct Args {
     flight: Vec<PathBuf>,
     timeline: Vec<PathBuf>,
     health: Vec<PathBuf>,
+    insitu: Vec<PathBuf>,
     expect_kinds: Vec<String>,
     min_lines: usize,
 }
@@ -35,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: telemetry_check [--jsonl FILE.jsonl]... [--bench FILE.json]... \
          [--flight FILE.jsonl]... [--timeline FILE.jsonl]... [--health FILE.jsonl]... \
-         [--expect-kind KIND]... [--min-lines N]"
+         [--insitu FILE.jsonl]... [--expect-kind KIND]... [--min-lines N]"
     );
     std::process::exit(2);
 }
@@ -47,6 +49,7 @@ fn parse_args() -> Args {
         flight: Vec::new(),
         timeline: Vec::new(),
         health: Vec::new(),
+        insitu: Vec::new(),
         expect_kinds: Vec::new(),
         min_lines: 1,
     };
@@ -59,6 +62,7 @@ fn parse_args() -> Args {
             "--flight" => args.flight.push(PathBuf::from(val())),
             "--timeline" => args.timeline.push(PathBuf::from(val())),
             "--health" => args.health.push(PathBuf::from(val())),
+            "--insitu" => args.insitu.push(PathBuf::from(val())),
             "--expect-kind" => args.expect_kinds.push(val()),
             "--min-lines" => {
                 args.min_lines = val().parse().unwrap_or_else(|_| usage());
@@ -75,6 +79,7 @@ fn parse_args() -> Args {
         && args.flight.is_empty()
         && args.timeline.is_empty()
         && args.health.is_empty()
+        && args.insitu.is_empty()
     {
         usage();
     }
@@ -228,6 +233,44 @@ fn main() -> ExitCode {
         // A healthy run emits no events; zero lines is a valid stream.
         match check_stream(path, 0, validate_health) {
             Ok(n) => println!("ok   {} (health, {n} events)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for path in &args.insitu {
+        // A mixed per-rank stream is fine: only `rbx.insitu.v1` records
+        // are held to the in-situ schema, but at least `--min-lines` of
+        // them must be present (a silent analysis plane is a failure).
+        let check = |path: &PathBuf| -> Result<usize, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+            let mut insitu_lines = 0usize;
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let v = Value::parse(line)
+                    .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), i + 1))?;
+                if v.get("schema").and_then(Value::as_str) == Some(INSITU_SCHEMA) {
+                    validate_insitu(&v)
+                        .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+                    insitu_lines += 1;
+                }
+            }
+            if insitu_lines < args.min_lines {
+                return Err(format!(
+                    "{}: only {insitu_lines} in-situ record(s), expected at least {}",
+                    path.display(),
+                    args.min_lines
+                ));
+            }
+            Ok(insitu_lines)
+        };
+        match check(path) {
+            Ok(n) => println!("ok   {} (in-situ, {n} records)", path.display()),
             Err(e) => {
                 eprintln!("FAIL {e}");
                 failed = true;

@@ -40,6 +40,7 @@ pub mod frame;
 mod hardened;
 pub mod oob;
 mod single;
+pub mod slab;
 mod subset;
 mod thread;
 
@@ -48,6 +49,10 @@ pub use error::{CommError, CommErrorKind, CommTuning};
 pub use hardened::HardenedComm;
 pub use oob::{drain_step_health, send_step_health, StepHealthReport, OBS_HEALTH_TAG};
 pub use single::SingleComm;
+pub use slab::{
+    SlabOffer, SlabPoll, SlabReceiver, SlabReceiverStats, SlabSender, SlabSenderStats,
+    SLAB_ACK_TAG, SLAB_DATA_TAG,
+};
 pub use subset::SubsetComm;
 pub use thread::{run_on_ranks, run_on_ranks_tuned, ThreadComm};
 

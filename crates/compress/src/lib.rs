@@ -17,9 +17,11 @@
 //! The decompression path reconstructs the nodal field; the weighted-L²
 //! (RMS) error measure of the paper's §6.2 is provided for evaluation.
 
+pub mod async_stage;
 pub mod codec;
 pub mod pipeline;
 
+pub use async_stage::{AsyncCompressorStats, AsyncFieldCompressor, CompressedField};
 pub use codec::{lossless_decode, lossless_encode, Codec};
 pub use pipeline::{
     compress_field, decompress_field, weighted_l2_error, Compressed, CompressionConfig,

@@ -1,7 +1,9 @@
 //! The compression pipeline: modal transform → truncation → quantization →
 //! lossless encode, and the exact inverse.
 
-use crate::codec::{lossless_decode, lossless_encode, read_varint, write_varint, Codec};
+use crate::codec::{
+    lossless_decode, lossless_encode, read_varint, try_read_varint, write_varint, Codec,
+};
 use rbx_basis::tensor::TensorScratch;
 use rbx_basis::ModalBasis;
 use rbx_mesh::GeomFactors;
@@ -49,6 +51,51 @@ impl Compressed {
     /// Size of the original field in bytes (`nelv · n³ · 8`).
     pub fn original_bytes(&self) -> usize {
         self.nelv * self.n * self.n * self.n * 8
+    }
+
+    /// Serialize into a self-describing byte blob (the slab payload the
+    /// in-situ analysis plane ships between ranks). Layout:
+    /// `[n varint][nelv varint][codec u8][kept_fraction f64][data ...]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() + 32);
+        write_varint(&mut out, self.n as u64);
+        write_varint(&mut out, self.nelv as u64);
+        out.push(self.codec.id());
+        out.extend_from_slice(&self.kept_fraction.to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserialize a blob produced by [`Compressed::to_bytes`]. Returns
+    /// `None` on anything malformed — the analysis plane counts and
+    /// skips bad slabs instead of unwinding.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (n, used) = try_read_varint(bytes)?;
+        let mut pos = used;
+        if pos >= bytes.len() {
+            return None;
+        }
+        let (nelv, used) = try_read_varint(&bytes[pos..])?;
+        pos += used;
+        if pos + 9 > bytes.len() {
+            return None;
+        }
+        let codec = Codec::from_id(bytes[pos])?;
+        pos += 1;
+        let mut f = [0u8; 8];
+        f.copy_from_slice(&bytes[pos..pos + 8]);
+        let kept_fraction = f64::from_le_bytes(f);
+        pos += 8;
+        if n == 0 || nelv == 0 || !kept_fraction.is_finite() {
+            return None;
+        }
+        Some(Self {
+            data: bytes[pos..].to_vec(),
+            n: n as usize,
+            nelv: nelv as usize,
+            codec,
+            kept_fraction,
+        })
     }
 
     /// Compression ratio `compressed/original` (smaller is better).
@@ -134,6 +181,9 @@ pub fn compress_field(
     // 2. Optimal greedy truncation: drop the smallest contributions until
     //    the error budget ε²·‖u‖² is exhausted.
     let budget = cfg.error_bound * cfg.error_bound * total_energy;
+    // audit:allow(no-panic): energies are sums of squares of finite modal
+    // coefficients; a NaN here means the input field itself was non-finite,
+    // which the solver's own guards catch long before compression.
     contributions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite energy"));
     let mut dropped = 0.0;
     let mut kept = vec![true; nelv * nn];
@@ -436,6 +486,30 @@ mod tests {
         let back = decompress_field(&c, &basis);
         let err = weighted_l2_error(&field, &back, &geom.mass);
         assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn compressed_byte_blob_round_trips() {
+        let (geom, basis) = setup(4, 2);
+        let field = smooth_field(&geom);
+        let c = compress_field(&field, &geom, &basis, &CompressionConfig::default());
+        let blob = c.to_bytes();
+        let back = Compressed::from_bytes(&blob).expect("valid blob");
+        assert_eq!(back.n, c.n);
+        assert_eq!(back.nelv, c.nelv);
+        assert_eq!(back.codec, c.codec);
+        assert_eq!(back.data, c.data);
+        assert!((back.kept_fraction - c.kept_fraction).abs() < 1e-15);
+        let a = decompress_field(&c, &basis);
+        let b = decompress_field(&back, &basis);
+        assert_eq!(a, b);
+        // Malformed blobs are rejected, not panicked on.
+        assert!(Compressed::from_bytes(&[]).is_none());
+        assert!(Compressed::from_bytes(&[6]).is_none());
+        assert!(Compressed::from_bytes(&blob[..8]).is_none());
+        let mut bad_codec = blob.clone();
+        bad_codec[2] = 0xEE;
+        assert!(Compressed::from_bytes(&bad_codec).is_none());
     }
 
     #[test]

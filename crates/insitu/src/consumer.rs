@@ -6,25 +6,32 @@
 //! subscribes to an [`rbx_io`] staging stream on its own thread, extracts
 //! one named variable per step, and feeds the [`StreamingPod`], all while
 //! the producing solver keeps running.
+//!
+//! Failure is typed, not panicking: a spawn failure or a panicked
+//! consumer surfaces as [`InsituError`] at the `spawn`/`join` seams, and
+//! a producer that drops its sender simply ends the stream — the
+//! consumer thread exits cleanly with whatever it accumulated.
 
+use crate::error::{panic_detail, InsituError};
 use crate::streaming::StreamingPod;
 use rbx_io::{StagingReader, VarData};
 
 /// Handle to the background POD thread.
 pub struct PodConsumer {
-    handle: std::thread::JoinHandle<StreamingPod>,
+    handle: Option<std::thread::JoinHandle<StreamingPod>>,
 }
 
 impl PodConsumer {
     /// Spawn a consumer that ingests variable `var_name` from every step
     /// of `reader` into a [`StreamingPod`] with the given weights and rank
-    /// cap. The thread ends when the producer closes the stream.
+    /// cap. The thread ends when the producer closes (or drops) the
+    /// stream. Spawn failure is reported, not panicked.
     pub fn spawn(
         reader: StagingReader,
         var_name: impl Into<String>,
         weights: Vec<f64>,
         k_max: usize,
-    ) -> Self {
+    ) -> Result<Self, InsituError> {
         let var_name = var_name.into();
         let handle = std::thread::Builder::new()
             .name("rbx-insitu-pod".into())
@@ -44,13 +51,24 @@ impl PodConsumer {
                 }
                 pod
             })
-            .expect("spawn POD consumer");
-        Self { handle }
+            .map_err(|e| InsituError::Spawn {
+                detail: e.to_string(),
+            })?;
+        Ok(Self {
+            handle: Some(handle),
+        })
     }
 
-    /// Wait for the stream to end and return the final POD state.
-    pub fn join(self) -> StreamingPod {
-        self.handle.join().expect("POD consumer panicked")
+    /// Wait for the stream to end and return the final POD state. A
+    /// panicked consumer is reported as a typed error instead of
+    /// unwinding the caller (the solver side).
+    pub fn join(mut self) -> Result<StreamingPod, InsituError> {
+        match self.handle.take() {
+            Some(handle) => handle.join().map_err(|p| InsituError::ConsumerPanicked {
+                detail: panic_detail(p),
+            }),
+            None => Err(InsituError::QueueClosed),
+        }
     }
 }
 
@@ -78,7 +96,7 @@ mod tests {
             .collect();
 
         let (writer, reader) = staging_channel(4);
-        let consumer = PodConsumer::spawn(reader, "temperature", w.clone(), 6);
+        let consumer = PodConsumer::spawn(reader, "temperature", w.clone(), 6).unwrap();
         // Produce concurrently (back-pressure exercises the async path).
         for (t, x) in snaps.iter().enumerate() {
             writer.put(StepData {
@@ -91,7 +109,7 @@ mod tests {
             });
         }
         writer.close();
-        let pod = consumer.join();
+        let pod = consumer.join().unwrap();
         assert_eq!(pod.count(), 12);
 
         let comm = SingleComm::new();
@@ -107,7 +125,7 @@ mod tests {
     #[test]
     fn missing_variable_steps_are_skipped() {
         let (writer, reader) = staging_channel(2);
-        let consumer = PodConsumer::spawn(reader, "wanted", vec![1.0; 4], 3);
+        let consumer = PodConsumer::spawn(reader, "wanted", vec![1.0; 4], 3).unwrap();
         writer.put(StepData {
             step: 0,
             time: 0.0,
@@ -119,8 +137,24 @@ mod tests {
             vars: vec![Variable::f64("wanted", vec![4], vec![1.0, 2.0, 3.0, 4.0])],
         });
         writer.close();
-        let pod = consumer.join();
+        let pod = consumer.join().unwrap();
         assert_eq!(pod.count(), 1);
         assert_eq!(pod.rank(), 1);
+    }
+
+    #[test]
+    fn dropped_sender_ends_the_consumer_cleanly() {
+        let (writer, reader) = staging_channel(2);
+        let consumer = PodConsumer::spawn(reader, "uz", vec![0.25; 4], 2).unwrap();
+        writer.put(StepData {
+            step: 0,
+            time: 0.0,
+            vars: vec![Variable::f64("uz", vec![4], vec![1.0; 4])],
+        });
+        // Drop without close(): the reader sees end-of-stream, the thread
+        // must exit with its partial state instead of unwinding.
+        drop(writer);
+        let pod = consumer.join().unwrap();
+        assert_eq!(pod.count(), 1);
     }
 }

@@ -1,0 +1,93 @@
+//! Typed failure modes of the in-situ analysis plane.
+//!
+//! Analysis is advisory: nothing in this module may unwind into the
+//! solver. Every fallible seam — thread spawn, consumer join, queue
+//! handoff, slab transport, payload decode — reports through
+//! [`InsituError`] so callers decide whether to degrade (drop and
+//! count) or surface the failure at end of run.
+
+use rbx_comm::CommError;
+use std::fmt;
+
+/// Error type of the in-situ analysis plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsituError {
+    /// The consumer thread could not be spawned (resource exhaustion).
+    Spawn {
+        /// OS error description.
+        detail: String,
+    },
+    /// The consumer thread panicked; its partial state is lost.
+    ConsumerPanicked {
+        /// Panic payload when it was a string, or a placeholder.
+        detail: String,
+    },
+    /// The staging queue closed before the consumer finished.
+    QueueClosed,
+    /// Transport failure underneath the slab channel.
+    Comm(CommError),
+    /// A slab body or compressed payload failed to decode.
+    Decode {
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for InsituError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsituError::Spawn { detail } => {
+                write!(f, "failed to spawn in-situ consumer thread: {detail}")
+            }
+            InsituError::ConsumerPanicked { detail } => {
+                write!(f, "in-situ consumer thread panicked: {detail}")
+            }
+            InsituError::QueueClosed => write!(f, "in-situ staging queue closed early"),
+            InsituError::Comm(e) => write!(f, "in-situ transport error: {e}"),
+            InsituError::Decode { detail } => write!(f, "in-situ payload decode failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for InsituError {}
+
+impl From<CommError> for InsituError {
+    fn from(e: CommError) -> Self {
+        InsituError::Comm(e)
+    }
+}
+
+/// Render a `JoinHandle::join` panic payload for error reporting.
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = InsituError::Spawn {
+            detail: "EAGAIN".into(),
+        };
+        assert!(e.to_string().contains("EAGAIN"));
+        assert!(InsituError::QueueClosed.to_string().contains("queue"));
+        let e: InsituError = CommError::RankUnreachable { rank: 3 }.into();
+        assert!(matches!(e, InsituError::Comm(_)));
+        assert!(e.to_string().contains("transport"));
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        assert_eq!(panic_detail(Box::new("boom")), "boom");
+        assert_eq!(panic_detail(Box::new(String::from("bang"))), "bang");
+        assert_eq!(panic_detail(Box::new(17u32)), "<non-string panic payload>");
+    }
+}

@@ -18,12 +18,22 @@
 //!   history;
 //! * [`PodConsumer`] — an asynchronous in-situ runner that subscribes to
 //!   an [`rbx_io`] staging stream on a CPU thread and feeds the streaming
-//!   POD while the solver keeps running.
+//!   POD while the solver keeps running;
+//! * [`run_analysis_rank`] — the dedicated analysis-rank runtime of the
+//!   crash-tolerant in-situ plane (DESIGN.md §16): it receives compressed
+//!   slabs over the best-effort slab channel, reconstructs fields, feeds
+//!   per-sender streaming PODs, and emits `rbx.insitu.v1` records;
+//! * [`InsituError`] — the typed failure modes of all of the above.
+//!   Analysis is advisory: nothing in this crate panics into the solver.
 
 mod batch;
 mod consumer;
+mod error;
+mod plane;
 mod streaming;
 
 pub use batch::{PodBatch, PodResult};
 pub use consumer::PodConsumer;
+pub use error::InsituError;
+pub use plane::{run_analysis_rank, AnalysisConfig, AnalysisOutcome, PodSummary};
 pub use streaming::StreamingPod;

@@ -1,0 +1,399 @@
+//! Analysis-rank runtime: the receiving end of the in-situ plane.
+//!
+//! A run started with `--analysis-ranks K` dedicates its last K ranks to
+//! this loop. Each analysis rank polls a [`SlabReceiver`] per assigned
+//! solver rank, decodes the CRC-sealed slab bodies (step stamp + variable
+//! name + compressed payload), reconstructs the field, feeds a
+//! per-sender [`StreamingPod`], and emits schema-versioned
+//! `rbx.insitu.v1` records.
+//!
+//! Everything here is advisory and failure-isolated (DESIGN.md §16):
+//! malformed bodies are counted and skipped, never panicked on; a solver
+//! that dies without closing its channel is handled by the idle deadline;
+//! and nothing in this loop can poison a solver epoch — the transport is
+//! single-attempt probes and best-effort acks only.
+
+use crate::error::InsituError;
+use crate::streaming::StreamingPod;
+use rbx_basis::ModalBasis;
+use rbx_comm::{Communicator, SlabPoll, SlabReceiver};
+use rbx_compress::{decompress_field, Compressed};
+use rbx_io::decode_slab_body;
+use rbx_telemetry::schema::{insitu_slab_record, insitu_summary_record};
+use rbx_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of one analysis rank.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Global ranks of the solver peers shipping slabs to this rank.
+    pub senders: Vec<usize>,
+    /// Rank cap of each per-sender streaming POD.
+    pub k_max: usize,
+    /// Per-receiver poll window. Short: the loop round-robins senders.
+    pub poll: Duration,
+    /// Give up after this much total silence once no channel has closed
+    /// cleanly — covers solver ranks that died without sending CLOSE.
+    pub idle_timeout: Duration,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            senders: Vec::new(),
+            k_max: 8,
+            poll: Duration::from_millis(2),
+            idle_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Final POD state of one sender's snapshot stream.
+#[derive(Debug)]
+pub struct PodSummary {
+    /// Global solver rank the snapshots came from.
+    pub src: usize,
+    /// Snapshots ingested.
+    pub count: usize,
+    /// Retained POD rank.
+    pub rank: usize,
+    /// Leading singular value (0 when no snapshot arrived).
+    pub top_singular: f64,
+}
+
+/// What one analysis rank saw over a run.
+#[derive(Debug, Default)]
+pub struct AnalysisOutcome {
+    /// Slabs decoded and analyzed.
+    pub received: u64,
+    /// Slabs rejected at any decode layer (body, payload, shape).
+    pub corrupt: u64,
+    /// Sequence gaps observed (slabs dropped upstream).
+    pub gaps: u64,
+    /// `rbx.insitu.v1` records emitted.
+    pub records: u64,
+    /// True when the loop exited on the idle deadline instead of clean
+    /// CLOSE frames from every sender.
+    pub idle_exit: bool,
+    /// Per-sender POD results.
+    pub pods: Vec<PodSummary>,
+}
+
+/// Per-sender analysis state, created lazily from the first decoded slab
+/// (its length fixes the POD weights).
+struct SenderState {
+    pod: Option<StreamingPod>,
+    points: usize,
+}
+
+/// Run the analysis loop on a dedicated rank until every sender has
+/// closed its channel or the idle deadline expires. Never blocks the
+/// senders: acks are best-effort, receives are single-attempt probes.
+pub fn run_analysis_rank(
+    comm: &dyn Communicator,
+    cfg: &AnalysisConfig,
+    tel: &Telemetry,
+) -> Result<AnalysisOutcome, InsituError> {
+    let mut out = AnalysisOutcome::default();
+    if cfg.senders.is_empty() {
+        return Ok(out);
+    }
+    let mut receivers: Vec<SlabReceiver<'_>> = cfg
+        .senders
+        .iter()
+        .map(|&src| SlabReceiver::new(comm, src))
+        .collect();
+    let mut states: HashMap<usize, SenderState> = HashMap::new();
+    let mut bases: HashMap<usize, ModalBasis> = HashMap::new();
+    // audit:allow(det-wallclock): liveness-only idle deadline — decides when
+    // an abandoned analysis rank gives up waiting; never reaches field data,
+    // POD state, or any solver-visible value.
+    let mut last_activity = Instant::now();
+
+    // Per-receiver counters already folded into `out` (the receiver's
+    // own stats are cumulative; only deltas may be re-added).
+    let mut folded = vec![(0u64, 0u64); receivers.len()];
+
+    loop {
+        let mut progress = false;
+        for (i, rx) in receivers.iter_mut().enumerate() {
+            if rx.is_closed() {
+                continue;
+            }
+            match rx.poll(cfg.poll) {
+                SlabPoll::Body(body) => {
+                    progress = true;
+                    ingest(
+                        rx.src(),
+                        &body,
+                        cfg.k_max,
+                        &mut states,
+                        &mut bases,
+                        tel,
+                        &mut out,
+                    );
+                }
+                SlabPoll::Closed => progress = true,
+                SlabPoll::Idle => {}
+            }
+            // Fold the receiver's own framing counters in as they grow.
+            let st = rx.stats();
+            let (ref mut corrupt_seen, ref mut gaps_seen) = folded[i];
+            if st.corrupt > *corrupt_seen {
+                let d = st.corrupt - *corrupt_seen;
+                *corrupt_seen = st.corrupt;
+                out.corrupt += d;
+                tel.counter_add("rbx_insitu_corrupt_total", d);
+            }
+            if st.gaps > *gaps_seen {
+                let d = st.gaps - *gaps_seen;
+                *gaps_seen = st.gaps;
+                out.gaps += d;
+                tel.counter_add("rbx_insitu_gap_total", d);
+            }
+        }
+        if receivers.iter().all(|r| r.is_closed()) {
+            break;
+        }
+        if progress {
+            // audit:allow(det-wallclock): liveness-only idle deadline refresh
+            // (see above); never influences analysis results.
+            last_activity = Instant::now();
+        } else if last_activity.elapsed() >= cfg.idle_timeout {
+            out.idle_exit = true;
+            break;
+        }
+    }
+
+    for &src in &cfg.senders {
+        let (count, rank, top) = match states.get(&src).and_then(|s| s.pod.as_ref()) {
+            Some(pod) => (
+                pod.count(),
+                pod.rank(),
+                pod.singular_values().first().copied().unwrap_or(0.0),
+            ),
+            None => (0, 0, 0.0),
+        };
+        out.pods.push(PodSummary {
+            src,
+            count,
+            rank,
+            top_singular: top,
+        });
+    }
+    let pod_count: usize = out.pods.iter().map(|p| p.count).sum();
+    let pod_rank = out.pods.iter().map(|p| p.rank).max().unwrap_or(0);
+    let summary = insitu_summary_record(
+        comm.rank() as u64,
+        out.received,
+        out.corrupt,
+        out.gaps,
+        pod_count as u64,
+        pod_rank as u64,
+    );
+    tel.emit(&summary);
+    out.records += 1;
+    tel.counter_add("rbx_insitu_records_total", 1);
+    Ok(out)
+}
+
+/// Decode one slab body end-to-end and fold it into the per-sender POD.
+fn ingest(
+    src: usize,
+    body: &[u8],
+    k_max: usize,
+    states: &mut HashMap<usize, SenderState>,
+    bases: &mut HashMap<usize, ModalBasis>,
+    tel: &Telemetry,
+    out: &mut AnalysisOutcome,
+) {
+    let (step, time, var, blob) = match decode_slab_body(body) {
+        Ok(parts) => parts,
+        Err(_) => {
+            out.corrupt += 1;
+            tel.counter_add("rbx_insitu_corrupt_total", 1);
+            return;
+        }
+    };
+    let Some(compressed) = Compressed::from_bytes(&blob) else {
+        out.corrupt += 1;
+        tel.counter_add("rbx_insitu_corrupt_total", 1);
+        return;
+    };
+    let basis = bases
+        .entry(compressed.n)
+        .or_insert_with(|| ModalBasis::new(compressed.n));
+    let field = decompress_field(&compressed, basis);
+    let points = field.len();
+    if points == 0 {
+        out.corrupt += 1;
+        tel.counter_add("rbx_insitu_corrupt_total", 1);
+        return;
+    }
+
+    let state = states
+        .entry(src)
+        .or_insert(SenderState { pod: None, points });
+    if state.pod.is_none() {
+        state.points = points;
+        let w = vec![1.0 / points as f64; points];
+        state.pod = Some(StreamingPod::new(&w, k_max));
+    }
+    if state.points == points {
+        if let Some(pod) = state.pod.as_mut() {
+            pod.update(&field);
+        }
+    } else {
+        // A sender changing slab size mid-run is a protocol violation;
+        // the statistics below are still valid, the POD skips it.
+        out.corrupt += 1;
+        tel.counter_add("rbx_insitu_corrupt_total", 1);
+    }
+
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut sq = 0.0;
+    for &x in &field {
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+        sq += x * x;
+    }
+    let mean = sum / points as f64;
+    let l2 = (sq / points as f64).sqrt();
+    let rec = insitu_slab_record(
+        step,
+        src as u64,
+        time,
+        &var,
+        points as u64,
+        min,
+        max,
+        mean,
+        l2,
+    );
+    tel.emit(&rec);
+    out.received += 1;
+    out.records += 1;
+    tel.counter_add("rbx_insitu_slabs_received_total", 1);
+    tel.counter_add("rbx_insitu_records_total", 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbx_comm::{run_on_ranks, SlabSender};
+    use rbx_compress::{compress_field, CompressionConfig};
+    use rbx_io::encode_slab_body;
+    use rbx_mesh::generators::box_mesh;
+    use rbx_mesh::GeomFactors;
+
+    fn compressed_blob(geom: &GeomFactors, basis: &ModalBasis, phase: f64) -> Vec<u8> {
+        let field: Vec<f64> = (0..geom.total_nodes())
+            .map(|i| {
+                let (x, y, z) = (geom.coords[0][i], geom.coords[1][i], geom.coords[2][i]);
+                (3.0 * x + phase).sin() * (2.0 * y).cos() + 0.5 * (4.0 * z).sin()
+            })
+            .collect();
+        compress_field(&field, geom, basis, &CompressionConfig::default()).to_bytes()
+    }
+
+    #[test]
+    fn analysis_rank_ingests_slabs_and_builds_a_pod() {
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                let mesh = box_mesh(2, 2, 2, [0., 1.], [0., 1.], [0., 1.], false, false);
+                let geom = GeomFactors::new(&mesh, 4);
+                let basis = ModalBasis::new(5);
+                let mut tx = SlabSender::new(&c, 1, 8);
+                for t in 0..6u64 {
+                    let blob = compressed_blob(&geom, &basis, t as f64 * 0.4);
+                    let body = encode_slab_body(t, t as f64 * 0.01, "uz", &blob);
+                    tx.offer(&body);
+                }
+                tx.close();
+                None
+            } else {
+                let cfg = AnalysisConfig {
+                    senders: vec![0],
+                    k_max: 4,
+                    ..Default::default()
+                };
+                let tel = Telemetry::disabled();
+                Some(run_analysis_rank(&c, &cfg, &tel).unwrap())
+            }
+        });
+        let got = out[1].as_ref().unwrap();
+        assert!(!got.idle_exit, "clean CLOSE must end the loop");
+        assert_eq!(got.corrupt, 0);
+        assert!(got.received + got.gaps == 6, "every slab accounted for");
+        assert_eq!(got.pods.len(), 1);
+        assert_eq!(got.pods[0].count as u64, got.received);
+        if got.received > 0 {
+            assert!(got.pods[0].rank >= 1);
+            assert!(got.pods[0].top_singular > 0.0);
+        }
+        // slab records + one summary
+        assert_eq!(got.records, got.received + 1);
+    }
+
+    #[test]
+    fn malformed_bodies_are_counted_not_fatal() {
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                let mut tx = SlabSender::new(&c, 1, 8);
+                tx.offer(&[1, 2, 3]); // truncated body
+                let body = encode_slab_body(0, 0.0, "uz", &[0xFF; 9]); // junk payload
+                tx.offer(&body);
+                tx.close();
+                None
+            } else {
+                let cfg = AnalysisConfig {
+                    senders: vec![0],
+                    ..Default::default()
+                };
+                let tel = Telemetry::disabled();
+                Some(run_analysis_rank(&c, &cfg, &tel).unwrap())
+            }
+        });
+        let got = out[1].as_ref().unwrap();
+        assert_eq!(got.received, 0);
+        assert!(got.corrupt >= 1, "junk must be counted");
+        assert!(!got.idle_exit);
+    }
+
+    #[test]
+    fn dead_sender_hits_the_idle_deadline_instead_of_hanging() {
+        let out = run_on_ranks(2, |c| {
+            if c.rank() == 0 {
+                // Send one valid-framing slab with a junk payload, then
+                // vanish without CLOSE (a crashed solver rank).
+                let mut tx = SlabSender::new(&c, 1, 8);
+                let body = encode_slab_body(0, 0.0, "uz", &[]);
+                tx.offer(&body);
+                None
+            } else {
+                let cfg = AnalysisConfig {
+                    senders: vec![0],
+                    idle_timeout: Duration::from_millis(200),
+                    ..Default::default()
+                };
+                let tel = Telemetry::disabled();
+                Some(run_analysis_rank(&c, &cfg, &tel).unwrap())
+            }
+        });
+        let got = out[1].as_ref().unwrap();
+        assert!(got.idle_exit, "no CLOSE must end via the idle deadline");
+    }
+
+    #[test]
+    fn empty_sender_list_returns_immediately() {
+        let c = rbx_comm::SingleComm::new();
+        let tel = Telemetry::disabled();
+        let got = run_analysis_rank(&c, &AnalysisConfig::default(), &tel).unwrap();
+        assert_eq!(got.received, 0);
+        assert!(got.pods.is_empty());
+    }
+}

@@ -26,5 +26,5 @@ pub use format::{
     read_bpl, write_bpl, write_bpl_atomic, BplReader, BplWriter, StepData, VarData, Variable,
 };
 pub use integrity::{crc64, crc64_f64s, Crc64};
-pub use shipping::{bcast_bytes, gather_bytes_to_root};
+pub use shipping::{bcast_bytes, decode_slab_body, encode_slab_body, gather_bytes_to_root};
 pub use vtk::write_vtk;

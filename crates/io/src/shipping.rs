@@ -69,6 +69,52 @@ pub fn bcast_bytes(
     p.try_into_bytes()
 }
 
+/// Encode one in-situ slab body: a step-stamped, named, opaque blob.
+///
+/// This is the wire schema carried *inside* the CRC-sealed frames of
+/// `rbx_comm::slab` (DESIGN.md §16): the channel moves opaque bodies,
+/// this layer gives them meaning. Layout (little-endian):
+///
+/// ```text
+/// [step u64][time f64][var_len u16][var utf-8][blob ...]
+/// ```
+pub fn encode_slab_body(step: u64, time: f64, var: &str, blob: &[u8]) -> Vec<u8> {
+    let name = var.as_bytes();
+    debug_assert!(name.len() <= u16::MAX as usize, "variable name too long");
+    let mut out = Vec::with_capacity(8 + 8 + 2 + name.len() + blob.len());
+    out.extend_from_slice(&step.to_le_bytes());
+    out.extend_from_slice(&time.to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(blob);
+    out
+}
+
+/// Decode a slab body produced by [`encode_slab_body`]. Malformed input
+/// is reported as [`CommError::Protocol`] — the analysis plane counts
+/// it and keeps polling; nothing here may panic or poison an epoch.
+pub fn decode_slab_body(body: &[u8]) -> Result<(u64, f64, String, Vec<u8>), CommError> {
+    let malformed = |detail: &str| CommError::Protocol {
+        detail: format!("slab body: {detail}"),
+    };
+    if body.len() < 8 + 8 + 2 {
+        return Err(malformed(&format!("truncated header ({}B)", body.len())));
+    }
+    let mut u = [0u8; 8];
+    u.copy_from_slice(&body[0..8]);
+    let step = u64::from_le_bytes(u);
+    u.copy_from_slice(&body[8..16]);
+    let time = f64::from_le_bytes(u);
+    let name_len = u16::from_le_bytes([body[16], body[17]]) as usize;
+    if body.len() < 18 + name_len {
+        return Err(malformed("name overruns body"));
+    }
+    let var = std::str::from_utf8(&body[18..18 + name_len])
+        .map_err(|_| malformed("variable name is not utf-8"))?
+        .to_string();
+    Ok((step, time, var, body[18 + name_len..].to_vec()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +171,34 @@ mod tests {
             }
         });
         assert_eq!(out[0], Some(rbx_comm::CommErrorKind::Timeout));
+    }
+
+    #[test]
+    fn slab_body_round_trips() {
+        let body = encode_slab_body(42, 1.25, "uz", &[9, 8, 7]);
+        let (step, time, var, blob) = decode_slab_body(&body).unwrap();
+        assert_eq!(step, 42);
+        assert_eq!(time, 1.25);
+        assert_eq!(var, "uz");
+        assert_eq!(blob, vec![9, 8, 7]);
+        // Empty blob and empty name are legal.
+        let (s, _, v, b) = decode_slab_body(&encode_slab_body(0, 0.0, "", &[])).unwrap();
+        assert_eq!((s, v.as_str(), b.len()), (0, "", 0));
+    }
+
+    #[test]
+    fn malformed_slab_body_is_a_typed_error() {
+        assert!(decode_slab_body(&[1, 2, 3]).is_err());
+        // Name length field pointing past the end.
+        let mut body = encode_slab_body(1, 1.0, "t", &[]);
+        body[16] = 0xFF;
+        body[17] = 0xFF;
+        assert!(decode_slab_body(&body).is_err());
+        // Invalid utf-8 in the name.
+        let mut body = encode_slab_body(1, 1.0, "ab", &[]);
+        body[18] = 0xFF;
+        body[19] = 0xFE;
+        assert!(decode_slab_body(&body).is_err());
     }
 
     #[test]

@@ -21,6 +21,17 @@
 //! A sixth, `shrink`, fires immediately (no hysteresis) when a shrink
 //! recovery event passes through — rank death is not a trend.
 //!
+//! The in-situ analysis plane (DESIGN.md §16) adds two more, fed by the
+//! `rbx.insitu.v1` `sender` records the solver-side slab tap emits:
+//!
+//! * `insitu_drops` — the drop counter is still growing after the
+//!   hysteresis window (sustained backpressure: analysis is falling
+//!   behind and slabs are being shed).
+//! * `insitu_dead` — a sender's stall latch is set (consecutive drops
+//!   with zero acks): the analysis rank is gone and the plane has
+//!   degraded to drop-with-counter. Fires immediately, once per dead
+//!   analysis rank — like `shrink`, death is not a trend.
+//!
 //! Every raise/clear transition becomes a typed `rbx.health.v1` record,
 //! appended to an optional JSONL file and counted on
 //! `rbx_health_events_total{detector=...}`. Hysteresis (N consecutive bad
@@ -137,6 +148,9 @@ struct MonitorState {
     imb_hyst: Hysteresis,
     ckpt_base: Baseline,
     ckpt_hyst: Hysteresis,
+    insitu_drop_hyst: Hysteresis,
+    insitu_last_dropped: u64,
+    insitu_dead_fired: std::collections::HashSet<u64>,
     events: Vec<Value>,
     sink: Option<std::fs::File>,
     sink_failed: bool,
@@ -187,7 +201,56 @@ impl HealthMonitor {
             Some("step") => self.observe_step(v),
             Some("solve") => self.observe_solve(v),
             Some("recovery") => self.observe_recovery(v),
+            Some("sender") => self.observe_insitu_sender(v),
             _ => {}
+        }
+    }
+
+    /// Feed one `rbx.insitu.v1` `sender` record (the solver-side slab
+    /// tap's counters). Sustained drop growth raises `insitu_drops`; a
+    /// set stall latch raises `insitu_dead` immediately, once per dead
+    /// analysis rank.
+    fn observe_insitu_sender(&self, v: &Value) {
+        let cfg = self.cfg;
+        let mut st = self.lock();
+        let step = v
+            .get("step")
+            .and_then(Value::as_u64)
+            .unwrap_or(st.last_step);
+        st.last_step = st.last_step.max(step);
+        let dropped = v.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+        let growing = dropped > st.insitu_last_dropped;
+        st.insitu_last_dropped = st.insitu_last_dropped.max(dropped);
+        if let Some(tr) = st
+            .insitu_drop_hyst
+            .feed(growing, cfg.raise_after, cfg.clear_after)
+        {
+            self.event(
+                &mut st,
+                "insitu_drops",
+                "warn",
+                tr,
+                step,
+                dropped as f64,
+                0.0,
+                "analysis slabs being shed (backpressure or dead analysis rank)",
+            );
+        }
+        let stalled = matches!(v.get("stalled"), Some(Value::Bool(true)));
+        if stalled {
+            let dest = v.get("dest").and_then(Value::as_u64).unwrap_or(u64::MAX);
+            if st.insitu_dead_fired.insert(dest) {
+                self.event(
+                    &mut st,
+                    "insitu_dead",
+                    "critical",
+                    Transition::Raise,
+                    step,
+                    dest as f64,
+                    0.0,
+                    &format!("analysis rank {dest} unresponsive; degraded to drop-with-counter"),
+                );
+            }
         }
     }
 
@@ -557,6 +620,53 @@ mod tests {
             events[0].get("detector").and_then(Value::as_str),
             Some("checkpoint_latency")
         );
+    }
+
+    #[test]
+    fn insitu_drops_raise_on_sustained_growth_and_dead_fires_once() {
+        let (mon, _tel) = monitor();
+        let sender = |step: u64, dropped: u64, stalled: bool| {
+            rbx_telemetry::schema::insitu_sender_record(step, 0, 4, 10, dropped, 5, 2, stalled)
+        };
+        // One growing sample does not raise (raise_after = 2).
+        mon.observe_record(&sender(1, 1, false));
+        assert_eq!(mon.event_count(), 0);
+        mon.observe_record(&sender(2, 3, false));
+        let events = mon.events();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(
+            events[0].get("detector").and_then(Value::as_str),
+            Some("insitu_drops")
+        );
+        assert_eq!(
+            events[0].get("severity").and_then(Value::as_str),
+            Some("warn")
+        );
+        // Flat counters clear the detector again.
+        mon.observe_record(&sender(3, 3, false));
+        mon.observe_record(&sender(4, 3, false));
+        let events = mon.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1].get("state").and_then(Value::as_str),
+            Some("clear")
+        );
+        // Stall latch: critical, immediately, once per analysis rank.
+        mon.observe_record(&sender(5, 3, true));
+        mon.observe_record(&sender(6, 3, true));
+        let events = mon.events();
+        assert_eq!(events.len(), 3, "{events:?}");
+        assert_eq!(
+            events[2].get("detector").and_then(Value::as_str),
+            Some("insitu_dead")
+        );
+        assert_eq!(
+            events[2].get("severity").and_then(Value::as_str),
+            Some("critical")
+        );
+        for e in &events {
+            validate_health(e).unwrap();
+        }
     }
 
     #[test]

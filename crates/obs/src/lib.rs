@@ -12,10 +12,15 @@
 //!   per-rank step records on (rank, step) and derives what no single
 //!   rank can know — load-imbalance fraction, straggler rank,
 //!   comm-vs-compute ratio, gather-scatter bytes skew — as
-//!   `rbx.timeline.v1`.
+//!   `rbx.timeline.v1`. Streams carrying `rbx.insitu.v1` `sender`
+//!   records additionally yield analysis-plane vitals
+//!   ([`timeline::InsituVitals`]): drop totals, queue high-water, dead
+//!   analysis ranks.
 //! * **Online health detectors** ([`health`]): streaming detectors with
 //!   hysteresis over the live record stream, emitting typed
-//!   `rbx.health.v1` events so a degrading run says *why* before it dies.
+//!   `rbx.health.v1` events so a degrading run says *why* before it dies
+//!   — including `insitu_drops` (sustained slab shedding) and
+//!   `insitu_dead` (analysis rank gone, critical).
 //! * **Live export**: a Prometheus text scrape endpoint ([`prom`]) on
 //!   rank 0 and the `rbx-top` bin tailing the merged timeline.
 //!
@@ -28,4 +33,4 @@ pub mod prom;
 pub mod timeline;
 
 pub use health::{HealthConfig, HealthMonitor};
-pub use timeline::{merge_files, merge_streams, Timeline, TimelineStep};
+pub use timeline::{merge_files, merge_streams, InsituVitals, Timeline, TimelineStep};

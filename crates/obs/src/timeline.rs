@@ -15,7 +15,7 @@
 //! producer is how dashboards end up lying.
 
 use rbx_telemetry::json::Value;
-use rbx_telemetry::schema::{TELEMETRY_SCHEMA, TIMELINE_SCHEMA};
+use rbx_telemetry::schema::{INSITU_SCHEMA, TELEMETRY_SCHEMA, TIMELINE_SCHEMA};
 use rbx_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -63,6 +63,24 @@ pub struct TimelineStep {
     pub phases: [f64; 4],
 }
 
+/// Aggregated analysis-plane vitals from `rbx.insitu.v1` `sender`
+/// records found in the merged streams (DESIGN.md §16). Counters are
+/// cumulative per (solver rank, analysis rank) channel; the merge keeps
+/// each channel's final value and sums across channels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InsituVitals {
+    /// Distinct (solver rank, analysis rank) slab channels observed.
+    pub channels: usize,
+    /// Slabs accepted into the channels, end-of-run total.
+    pub sent_total: u64,
+    /// Slabs dropped by the solver-side tap, end-of-run total.
+    pub dropped_total: u64,
+    /// Worst in-flight high-water mark across channels.
+    pub queue_highwater: u64,
+    /// Analysis ranks whose stall latch was ever set (presumed dead).
+    pub dead_analysis_ranks: Vec<u64>,
+}
+
 /// Everything the merge produced.
 #[derive(Debug)]
 pub struct Timeline {
@@ -79,6 +97,9 @@ pub struct Timeline {
     pub replayed_records: u64,
     /// Input lines that failed to parse as JSON (skipped).
     pub malformed_lines: u64,
+    /// Analysis-plane vitals; `None` when no stream carried `sender`
+    /// records (analysis-free run).
+    pub insitu: Option<InsituVitals>,
 }
 
 impl Timeline {
@@ -135,6 +156,27 @@ fn parse_rank_step(v: &Value, stream_idx: usize) -> Option<(u64, RankStep)> {
     ))
 }
 
+/// Slab-channel counters of one sender record:
+/// `((rank, dest), sent, dropped, inflight_hw, stalled)`.
+type InsituSenderCounters = ((u64, u64), u64, u64, u64, bool);
+
+/// Extract the slab-channel counters of one `rbx.insitu.v1` `sender`
+/// record.
+fn parse_insitu_sender(v: &Value) -> Option<InsituSenderCounters> {
+    if v.get("schema").and_then(Value::as_str) != Some(INSITU_SCHEMA)
+        || v.get("kind").and_then(Value::as_str) != Some("sender")
+    {
+        return None;
+    }
+    let rank = v.get("rank").and_then(Value::as_u64)?;
+    let dest = v.get("dest").and_then(Value::as_u64)?;
+    let sent = v.get("sent").and_then(Value::as_u64)?;
+    let dropped = v.get("dropped").and_then(Value::as_u64)?;
+    let hw = v.get("inflight_hw").and_then(Value::as_u64)?;
+    let stalled = matches!(v.get("stalled"), Some(Value::Bool(true)));
+    Some(((rank, dest), sent, dropped, hw, stalled))
+}
+
 /// Merge per-rank JSONL streams (as text) into a [`Timeline`]. When a
 /// telemetry handle is given, phase-gap violations are counted on
 /// `rbx_obs_phase_gap_total`.
@@ -144,6 +186,9 @@ pub fn merge_streams(streams: &[String], tel: Option<&Telemetry>) -> Timeline {
     let mut latest: BTreeMap<(u64, usize), RankStep> = BTreeMap::new();
     let mut replayed = 0u64;
     let mut malformed = 0u64;
+    // (solver rank, analysis rank) → (sent, dropped, inflight_hw,
+    // stalled); counters are cumulative, keep the channel's final value.
+    let mut channels: BTreeMap<(u64, u64), (u64, u64, u64, bool)> = BTreeMap::new();
     for (idx, text) in streams.iter().enumerate() {
         for line in text.lines() {
             if line.trim().is_empty() {
@@ -160,9 +205,31 @@ pub fn merge_streams(streams: &[String], tel: Option<&Telemetry>) -> Timeline {
                 if latest.insert((step, rs.rank), rs).is_some() {
                     replayed += 1;
                 }
+            } else if let Some((key, sent, dropped, hw, stalled)) = parse_insitu_sender(&v) {
+                let e = channels.entry(key).or_default();
+                e.0 = e.0.max(sent);
+                e.1 = e.1.max(dropped);
+                e.2 = e.2.max(hw);
+                e.3 |= stalled;
             }
         }
     }
+    let insitu = (!channels.is_empty()).then(|| {
+        let mut dead: Vec<u64> = channels
+            .iter()
+            .filter(|(_, c)| c.3)
+            .map(|(&(_, dest), _)| dest)
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        InsituVitals {
+            channels: channels.len(),
+            sent_total: channels.values().map(|c| c.0).sum(),
+            dropped_total: channels.values().map(|c| c.1).sum(),
+            queue_highwater: channels.values().map(|c| c.2).max().unwrap_or(0),
+            dead_analysis_ranks: dead,
+        }
+    });
 
     let mut ranks_seen: Vec<usize> = latest.keys().map(|&(_, r)| r).collect();
     ranks_seen.sort_unstable();
@@ -252,6 +319,7 @@ pub fn merge_streams(streams: &[String], tel: Option<&Telemetry>) -> Timeline {
         phase_gap_total,
         replayed_records: replayed,
         malformed_lines: malformed,
+        insitu,
     }
 }
 
@@ -312,7 +380,7 @@ impl Timeline {
         for s in &self.steps {
             writeln!(out, "{}", s.record())?;
         }
-        let summary = Value::obj([
+        let mut fields = vec![
             ("schema", Value::str(TIMELINE_SCHEMA)),
             ("kind", Value::str("tsummary")),
             ("steps", Value::int(self.steps.len() as u64)),
@@ -328,7 +396,18 @@ impl Timeline {
             ("phase_gap_total", Value::int(self.phase_gap_total)),
             ("replayed_records", Value::int(self.replayed_records)),
             ("malformed_lines", Value::int(self.malformed_lines)),
-        ]);
+        ];
+        if let Some(vitals) = &self.insitu {
+            fields.push(("insitu_channels", Value::int(vitals.channels as u64)));
+            fields.push(("insitu_sent", Value::int(vitals.sent_total)));
+            fields.push(("insitu_dropped", Value::int(vitals.dropped_total)));
+            fields.push(("insitu_queue_hw", Value::int(vitals.queue_highwater)));
+            fields.push((
+                "insitu_dead_ranks",
+                Value::arr(vitals.dead_analysis_ranks.iter().map(|&r| Value::int(r))),
+            ));
+        }
+        let summary = Value::obj(fields);
         writeln!(out, "{summary}")
     }
 }
@@ -439,6 +518,44 @@ mod tests {
         assert_eq!(kinds.first().map(String::as_str), Some("timeline_header"));
         assert_eq!(kinds.last().map(String::as_str), Some("tsummary"));
         assert!(kinds.iter().filter(|k| *k == "tstep").count() == 1);
+    }
+
+    #[test]
+    fn insitu_sender_records_aggregate_into_vitals() {
+        let sender = |rank: u64, dest: u64, step: u64, sent: u64, dropped: u64, stalled: bool| {
+            rbx_telemetry::schema::insitu_sender_record(
+                step, rank, dest, sent, dropped, sent, 3, stalled,
+            )
+            .to_string()
+        };
+        let mut s0 = step_line(0, 1, 0.01, 0.001, 100);
+        s0.push('\n');
+        s0.push_str(&sender(0, 4, 1, 2, 0, false));
+        s0.push('\n');
+        s0.push_str(&sender(0, 4, 2, 5, 1, false));
+        s0.push('\n');
+        let mut s1 = step_line(1, 1, 0.01, 0.001, 100);
+        s1.push('\n');
+        s1.push_str(&sender(1, 5, 2, 0, 7, true));
+        s1.push('\n');
+        let tl = merge_streams(&[s0, s1], None);
+        let vitals = tl.insitu.as_ref().expect("sender records present");
+        assert_eq!(vitals.channels, 2);
+        assert_eq!(vitals.sent_total, 5); // final cumulative value, not a sum of samples
+        assert_eq!(vitals.dropped_total, 8);
+        assert_eq!(vitals.queue_highwater, 3);
+        assert_eq!(vitals.dead_analysis_ranks, vec![5]);
+        // Vitals surface in the tsummary line, still schema-valid.
+        let mut buf = Vec::new();
+        tl.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let last = text.lines().last().unwrap();
+        validate_timeline_record(&Value::parse(last).unwrap()).unwrap();
+        assert!(last.contains("\"insitu_dropped\":8"), "{last}");
+        assert!(last.contains("\"insitu_dead_ranks\":[5]"), "{last}");
+        // Analysis-free streams produce no vitals.
+        let tl = merge_streams(&[step_line(0, 1, 0.01, 0.001, 100)], None);
+        assert!(tl.insitu.is_none());
     }
 
     #[test]

@@ -314,6 +314,46 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Counter,
         help: "out-of-band step-health reports drained by rank 0",
     },
+    MetricDef {
+        name: "rbx_insitu_dropped_total",
+        kind: MetricKind::Counter,
+        help: "analysis slabs dropped by the solver-side tap (full window or dead analysis rank)",
+    },
+    MetricDef {
+        name: "rbx_insitu_slabs_sent_total",
+        kind: MetricKind::Counter,
+        help: "analysis slabs accepted into the best-effort slab channel",
+    },
+    MetricDef {
+        name: "rbx_insitu_queue_highwater",
+        kind: MetricKind::Gauge,
+        help: "high-water mark of unacked slabs in flight to the analysis plane",
+    },
+    MetricDef {
+        name: "rbx_insitu_slabs_received_total",
+        kind: MetricKind::Counter,
+        help: "slabs decoded and analyzed by the analysis ranks",
+    },
+    MetricDef {
+        name: "rbx_insitu_corrupt_total",
+        kind: MetricKind::Counter,
+        help: "slabs rejected by the analysis plane (framing, body, or payload decode)",
+    },
+    MetricDef {
+        name: "rbx_insitu_gap_total",
+        kind: MetricKind::Counter,
+        help: "sequence gaps observed by analysis ranks (slabs dropped upstream)",
+    },
+    MetricDef {
+        name: "rbx_insitu_compress_busy_total",
+        kind: MetricKind::Counter,
+        help: "field snapshots dropped because both async-compressor buffer slots were busy",
+    },
+    MetricDef {
+        name: "rbx_insitu_records_total",
+        kind: MetricKind::Counter,
+        help: "rbx.insitu.v1 records emitted by the analysis plane",
+    },
 ];
 
 /// Metric fed by [`crate::Telemetry::dump_flight`].
@@ -326,6 +366,22 @@ pub const HEALTH_EVENTS_TOTAL: &str = "rbx_health_events_total";
 pub const CHECKPOINT_WRITE_SECONDS: &str = "rbx_checkpoint_write_seconds";
 /// Metric fed by rank 0 when draining out-of-band step-health reports.
 pub const OBS_GATHER_REPORTS_TOTAL: &str = "rbx_obs_gather_reports_total";
+/// Metric fed by the solver-side slab tap on every dropped slab.
+pub const INSITU_DROPPED_TOTAL: &str = "rbx_insitu_dropped_total";
+/// Metric fed by the solver-side slab tap on every accepted slab.
+pub const INSITU_SLABS_SENT_TOTAL: &str = "rbx_insitu_slabs_sent_total";
+/// Gauge fed by the solver-side slab tap: unacked slabs in flight.
+pub const INSITU_QUEUE_HIGHWATER: &str = "rbx_insitu_queue_highwater";
+/// Metric fed by the analysis-rank runtime per decoded slab.
+pub const INSITU_SLABS_RECEIVED_TOTAL: &str = "rbx_insitu_slabs_received_total";
+/// Metric fed by the analysis-rank runtime per rejected slab.
+pub const INSITU_CORRUPT_TOTAL: &str = "rbx_insitu_corrupt_total";
+/// Metric fed by the analysis-rank runtime on observed sequence gaps.
+pub const INSITU_GAP_TOTAL: &str = "rbx_insitu_gap_total";
+/// Metric fed at the async-compressor call site on busy drops.
+pub const INSITU_COMPRESS_BUSY_TOTAL: &str = "rbx_insitu_compress_busy_total";
+/// Metric fed by the analysis-rank runtime per emitted record.
+pub const INSITU_RECORDS_TOTAL: &str = "rbx_insitu_records_total";
 
 /// Strip a `{label=...}` suffix from a metric name, returning the base
 /// name the registry is keyed by.

@@ -33,6 +33,11 @@ pub const TIMELINE_SCHEMA: &str = "rbx.timeline.v1";
 /// detector raise/clear transition).
 pub const HEALTH_SCHEMA: &str = "rbx.health.v1";
 
+/// In-situ analysis-plane schema identifier: `sender` records from the
+/// solver-side slab tap, `slab` records from the analysis ranks, one
+/// `analysis_summary` per analysis rank at end of run.
+pub const INSITU_SCHEMA: &str = "rbx.insitu.v1";
+
 fn require<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
     v.get(key).ok_or_else(|| format!("missing field {key:?}"))
 }
@@ -79,10 +84,17 @@ fn require_num_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
     Ok(arr)
 }
 
-/// Validate one line of a `rbx.telemetry.v1` JSONL stream.
+/// Validate one line of a run's JSONL stream. Solver streams are mostly
+/// `rbx.telemetry.v1` records but may interleave `rbx.health.v1` events
+/// and `rbx.insitu.v1` analysis-plane records (they share the sink);
+/// dispatch on the `schema` field so mixed streams stay valid.
 pub fn validate_line(line: &str) -> Result<(), String> {
     let v = Value::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
-    validate_record(&v)
+    match require_str(&v, "schema")? {
+        HEALTH_SCHEMA => validate_health(&v),
+        INSITU_SCHEMA => validate_insitu(&v),
+        _ => validate_record(&v),
+    }
 }
 
 /// Validate one parsed `rbx.telemetry.v1` record.
@@ -309,13 +321,15 @@ pub fn validate_timeline_record(v: &Value) -> Result<(), String> {
 }
 
 /// Detector names the health schema admits.
-pub const HEALTH_DETECTORS: [&str; 6] = [
+pub const HEALTH_DETECTORS: [&str; 8] = [
     "cfl_spike",
     "residual_stall",
     "iteration_drift",
     "imbalance",
     "checkpoint_latency",
     "shrink",
+    "insitu_drops",
+    "insitu_dead",
 ];
 
 /// Validate one `rbx.health.v1` event record.
@@ -371,6 +385,135 @@ pub fn health_record(
         ("value", Value::num(value)),
         ("threshold", Value::num(threshold)),
         ("detail", Value::str(detail)),
+    ])
+}
+
+/// Validate one `rbx.insitu.v1` record.
+pub fn validate_insitu(v: &Value) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != INSITU_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?} (expected {INSITU_SCHEMA:?})"
+        ));
+    }
+    match require_str(v, "kind")? {
+        "sender" => {
+            require_int(v, "step")?;
+            require_int(v, "rank")?;
+            require_int(v, "dest")?;
+            let sent = require_int(v, "sent")?;
+            require_int(v, "dropped")?;
+            let acked = require_int(v, "acked")?;
+            if acked > sent {
+                return Err(format!("acked {acked} exceeds sent {sent}"));
+            }
+            require_int(v, "inflight_hw")?;
+            require(v, "stalled")?
+                .as_bool()
+                .ok_or_else(|| "field \"stalled\" must be a boolean".to_string())?;
+            Ok(())
+        }
+        "slab" => {
+            require_int(v, "step")?;
+            require_int(v, "src")?;
+            require_num(v, "time")?;
+            require_str(v, "var")?;
+            let points = require_int(v, "points")?;
+            if points == 0 {
+                return Err("points must be positive".to_string());
+            }
+            for key in ["min", "max", "mean", "l2"] {
+                require_num_or_null(v, key)?;
+            }
+            Ok(())
+        }
+        "analysis_summary" => {
+            require_int(v, "rank")?;
+            require_int(v, "received")?;
+            require_int(v, "corrupt")?;
+            require_int(v, "gaps")?;
+            require_int(v, "pod_count")?;
+            require_int(v, "pod_rank")?;
+            Ok(())
+        }
+        other => Err(format!("unknown insitu record kind {other:?}")),
+    }
+}
+
+/// Build the solver-side `sender` record of `rbx.insitu.v1`: slab-channel
+/// counters of one solver rank at one sample point.
+#[allow(clippy::too_many_arguments)]
+pub fn insitu_sender_record(
+    step: u64,
+    rank: u64,
+    dest: u64,
+    sent: u64,
+    dropped: u64,
+    acked: u64,
+    inflight_hw: u64,
+    stalled: bool,
+) -> Value {
+    Value::obj([
+        ("schema", Value::str(INSITU_SCHEMA)),
+        ("kind", Value::str("sender")),
+        ("step", Value::int(step)),
+        ("rank", Value::int(rank)),
+        ("dest", Value::int(dest)),
+        ("sent", Value::int(sent)),
+        ("dropped", Value::int(dropped)),
+        ("acked", Value::int(acked)),
+        ("inflight_hw", Value::int(inflight_hw)),
+        ("stalled", Value::Bool(stalled)),
+    ])
+}
+
+/// Build the analysis-side `slab` record of `rbx.insitu.v1`: one decoded
+/// slab with its field statistics.
+#[allow(clippy::too_many_arguments)]
+pub fn insitu_slab_record(
+    step: u64,
+    src: u64,
+    time: f64,
+    var: &str,
+    points: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    l2: f64,
+) -> Value {
+    Value::obj([
+        ("schema", Value::str(INSITU_SCHEMA)),
+        ("kind", Value::str("slab")),
+        ("step", Value::int(step)),
+        ("src", Value::int(src)),
+        ("time", Value::num(time)),
+        ("var", Value::str(var)),
+        ("points", Value::int(points)),
+        ("min", Value::num(min)),
+        ("max", Value::num(max)),
+        ("mean", Value::num(mean)),
+        ("l2", Value::num(l2)),
+    ])
+}
+
+/// Build the end-of-run `analysis_summary` record of `rbx.insitu.v1`.
+pub fn insitu_summary_record(
+    rank: u64,
+    received: u64,
+    corrupt: u64,
+    gaps: u64,
+    pod_count: u64,
+    pod_rank: u64,
+) -> Value {
+    Value::obj([
+        ("schema", Value::str(INSITU_SCHEMA)),
+        ("kind", Value::str("analysis_summary")),
+        ("rank", Value::int(rank)),
+        ("received", Value::int(received)),
+        ("corrupt", Value::int(corrupt)),
+        ("gaps", Value::int(gaps)),
+        ("pod_count", Value::int(pod_count)),
+        ("pod_rank", Value::int(pod_rank)),
     ])
 }
 
@@ -734,6 +877,46 @@ mod tests {
         assert!(validate_health(&bad_sev).is_err());
         let bad_state = health_record("imbalance", "warn", "flap", 1, 2.0, 1.5, "x");
         assert!(validate_health(&bad_state).is_err());
+    }
+
+    #[test]
+    fn insitu_records_roundtrip_and_reject_bad_shapes() {
+        let sender = insitu_sender_record(7, 1, 4, 20, 3, 18, 2, false);
+        validate_insitu(&sender).unwrap();
+        validate_line(&sender.to_string()).unwrap();
+
+        let slab = insitu_slab_record(7, 1, 0.014, "uz", 4096, -0.9, 1.1, 0.02, 0.4);
+        validate_insitu(&slab).unwrap();
+        validate_line(&slab.to_string()).unwrap();
+
+        let summary = insitu_summary_record(4, 57, 1, 2, 19, 6);
+        validate_insitu(&summary).unwrap();
+        validate_line(&summary.to_string()).unwrap();
+
+        // acked can never exceed sent.
+        let bad = insitu_sender_record(7, 1, 4, 5, 0, 9, 2, false);
+        assert!(validate_insitu(&bad).is_err());
+        // Empty slabs are impossible.
+        let bad = insitu_slab_record(7, 1, 0.0, "uz", 0, 0.0, 0.0, 0.0, 0.0);
+        assert!(validate_insitu(&bad).is_err());
+        let bad = Value::obj([
+            ("schema", Value::str(INSITU_SCHEMA)),
+            ("kind", Value::str("vibes")),
+        ]);
+        assert!(validate_insitu(&bad).is_err());
+    }
+
+    #[test]
+    fn mixed_streams_dispatch_by_schema() {
+        // A health event and an insitu record in a telemetry stream both
+        // validate line-by-line.
+        let health = health_record("insitu_drops", "warn", "raise", 9, 12.0, 5.0, "drops");
+        validate_line(&health.to_string()).unwrap();
+        let new_detectors = ["insitu_drops", "insitu_dead"];
+        for d in new_detectors {
+            validate_health(&health_record(d, "critical", "raise", 1, 1.0, 0.0, "x")).unwrap();
+        }
+        assert!(validate_line("{\"schema\":\"rbx.insitu.v1\",\"kind\":\"nope\"}").is_err());
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Chaos acceptance tests for the in-situ analysis plane.
+//!
+//! The contract under test (DESIGN.md §16): the analysis plane is
+//! *load-bearing for nothing*. Solver ranks ship compressed slabs to
+//! dedicated analysis ranks over a bounded best-effort channel, and any
+//! misbehavior on the analysis side — a crashed rank, a wedged rank, a
+//! consumer that never drains — degrades to drop-with-counter on the
+//! solver side. Specifically:
+//!
+//! * the solver trajectory is **byte-identical** to an analysis-free
+//!   baseline (final checkpoints compared bit for bit), fault or no
+//!   fault;
+//! * no analysis fault provokes a rollback, a panic, or a deadlock;
+//! * shed slabs are counted (`rbx_insitu_dropped_total`) and the
+//!   per-step `rbx.insitu.v1` sender records carry a monotone dropped
+//!   counter;
+//! * a dead analysis rank raises the `insitu_dead` critical health
+//!   event on rank 0;
+//! * the step loop never blocks on a slow consumer (bounded wall time
+//!   for a burst of offers at a comatose peer).
+
+use rbx::comm::{
+    run_on_ranks, run_on_ranks_tuned, ChaosComm, CommFaultPlan, CommTuning, Communicator,
+    HardenedComm, SlabOffer, SlabSender, SubsetComm,
+};
+use rbx::compress::{AsyncFieldCompressor, CompressionConfig};
+use rbx::core::{CheckpointSet, RecoveryPolicy, ResilientRunner, Simulation, SolverConfig};
+use rbx::insitu::{run_analysis_rank, AnalysisConfig, AnalysisOutcome};
+use rbx::io::encode_slab_body;
+use rbx::obs::{HealthConfig, HealthMonitor};
+use rbx::telemetry::json::Value;
+use rbx::telemetry::schema::{insitu_sender_record, validate_line};
+use rbx::telemetry::Telemetry;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const STEPS: usize = 8;
+const SOLVER: usize = 2;
+
+fn test_cfg() -> SolverConfig {
+    SolverConfig {
+        ra: 2e4,
+        order: 3,
+        dt: 2e-3,
+        ic_noise: 1e-2,
+        ..Default::default()
+    }
+}
+
+fn chaos_tuning() -> CommTuning {
+    CommTuning {
+        recv_timeout: Duration::from_millis(120),
+        retries: 1,
+        ..Default::default()
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbx_insitu_chaos_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One rank's view of a chaos run.
+enum Out {
+    Solver {
+        rollbacks: usize,
+        checkpoint: Vec<u8>,
+        sent: u64,
+        dropped: u64,
+        stalled: bool,
+        jsonl: PathBuf,
+        health: Vec<String>,
+    },
+    Analysis {
+        outcome: AnalysisOutcome,
+        jsonl: PathBuf,
+    },
+}
+
+/// Run `STEPS` resilient solver steps on `SOLVER` ranks plus
+/// `analysis_k` dedicated analysis ranks, all over the chaos-hardened
+/// stack. `plan: None` leaves chaos disarmed; `analysis_k == 0` is the
+/// analysis-free baseline (same solver stack, no subset wrap, no slab
+/// traffic — the byte-identity reference).
+fn run_case(analysis_k: usize, dir: &Path, plan: Option<CommFaultPlan>) -> Vec<Out> {
+    let case = rbx::core::rbc_box_case(1.0, 2, 2, false, SOLVER);
+    let cfg = test_cfg();
+    let chk = dir.join("chk");
+    std::fs::create_dir_all(&chk).unwrap();
+    let (case_ref, cfg_ref, plan_ref, chk_ref) = (&case, &cfg, &plan, &chk);
+    run_on_ranks_tuned(SOLVER + analysis_k, chaos_tuning(), move |tc| {
+        let rank = tc.rank();
+        let armed = plan_ref.is_some();
+        let chaos = ChaosComm::new(
+            tc,
+            plan_ref.clone().unwrap_or_else(|| CommFaultPlan::new(0)),
+        );
+        // Setup traffic (partition handshakes) is not the target.
+        chaos.set_armed(false);
+        let comm = HardenedComm::new(chaos);
+        let tel = Telemetry::enabled();
+        let jsonl = dir.join(format!("rank{rank}.jsonl"));
+        tel.open_jsonl(&jsonl).unwrap();
+
+        if rank >= SOLVER {
+            // Analysis rank: drains its solver peers until their CLOSE
+            // frames arrive (or the idle deadline covers a dead world).
+            let me = rank - SOLVER;
+            let acfg = AnalysisConfig {
+                senders: (0..SOLVER).filter(|s| s % analysis_k == me).collect(),
+                k_max: 4,
+                poll: Duration::from_millis(1),
+                idle_timeout: Duration::from_secs(5),
+            };
+            comm.inner().set_armed(armed);
+            let outcome = run_analysis_rank(&comm, &acfg, &tel)
+                .unwrap_or_else(|e| panic!("analysis rank {rank} errored: {e}"));
+            tel.flush();
+            return Out::Analysis { outcome, jsonl };
+        }
+
+        // Solver rank: with an analysis plane attached, collectives run
+        // on the solver-only subset — the trajectory must not see K.
+        let subset;
+        let solver_comm: &dyn Communicator = if analysis_k > 0 {
+            subset = SubsetComm::new(&comm, (0..SOLVER).collect())
+                .expect("solver rank is in the solver subset");
+            &subset
+        } else {
+            &comm
+        };
+        let mut sim = Simulation::new(
+            cfg_ref.clone(),
+            &case_ref.mesh,
+            &case_ref.part,
+            case_ref.elems[rank].clone(),
+            solver_comm,
+        );
+        sim.init_rbc();
+        sim.set_telemetry(&tel);
+        let mut health_mon = None;
+        if rank == 0 {
+            let mon = HealthMonitor::new(HealthConfig::default(), &tel);
+            mon.install(&tel);
+            health_mon = Some(mon);
+        }
+        let dest = SOLVER + rank % analysis_k.max(1);
+        let mut slab_tx = (analysis_k > 0).then(|| {
+            let mut tx = SlabSender::new(&comm, dest, 2);
+            tx.set_telemetry(&tel);
+            tx
+        });
+        let mut encoder = (analysis_k > 0).then(|| {
+            AsyncFieldCompressor::new(&sim.geom, cfg_ref.order + 1, CompressionConfig::default())
+        });
+
+        let policy = RecoveryPolicy {
+            checkpoint_every: 2,
+            max_rollbacks: 4,
+            ..Default::default()
+        };
+        let mut runner = ResilientRunner::new(CheckpointSet::new(chk_ref, 8), policy);
+        comm.inner().set_armed(armed);
+        let report = runner
+            .run_with(&mut sim, STEPS, |sim, _st| {
+                // Ship every step: snapshot into the encoder, forward
+                // finished encodings, publish sender vitals. Nothing here
+                // may block or fail the step.
+                let step = sim.state.istep;
+                if let (Some(enc), Some(tx)) = (encoder.as_mut(), slab_tx.as_mut()) {
+                    let _ = enc.try_submit(step as u64, sim.state.time, "uz", &sim.state.u[2]);
+                    while let Some(done) = enc.poll() {
+                        let body = encode_slab_body(
+                            done.step,
+                            done.time,
+                            &done.var,
+                            &done.compressed.to_bytes(),
+                        );
+                        let _ = tx.offer(&body);
+                    }
+                    let s = tx.stats();
+                    tel.emit(&insitu_sender_record(
+                        step as u64,
+                        rank as u64,
+                        dest as u64,
+                        s.sent,
+                        s.dropped,
+                        s.acked,
+                        s.inflight_highwater,
+                        tx.is_stalled(),
+                    ));
+                }
+            })
+            .unwrap_or_else(|e| panic!("rank {rank}: solver failed under analysis faults: {e}"));
+        comm.inner().set_armed(false);
+        assert_eq!(sim.state.istep, STEPS, "rank {rank}: run fell short");
+        assert_eq!(sim.find_non_finite(), None, "rank {rank}");
+
+        let (sent, dropped, stalled) = match (encoder.take(), slab_tx.take()) {
+            (Some(enc), Some(mut tx)) => {
+                let (tail, _) = enc.finish();
+                for done in tail {
+                    let body = encode_slab_body(
+                        done.step,
+                        done.time,
+                        &done.var,
+                        &done.compressed.to_bytes(),
+                    );
+                    let _ = tx.offer(&body);
+                }
+                tx.close();
+                let s = tx.stats();
+                (s.sent, s.dropped, tx.is_stalled())
+            }
+            _ => (0, 0, false),
+        };
+        tel.flush();
+        let health = health_mon
+            .map(|m| m.events().iter().map(|v| v.to_string()).collect())
+            .unwrap_or_default();
+        let final_path = runner.checkpoints.path_for_step(STEPS);
+        Out::Solver {
+            rollbacks: report.rollbacks,
+            checkpoint: std::fs::read(&final_path)
+                .unwrap_or_else(|e| panic!("rank {rank}: final checkpoint: {e}")),
+            sent,
+            dropped,
+            stalled,
+            jsonl,
+            health,
+        }
+    })
+}
+
+fn solver_outs(outs: &[Out]) -> Vec<&Out> {
+    outs.iter()
+        .filter(|o| matches!(o, Out::Solver { .. }))
+        .collect()
+}
+
+/// Every line of every stream must be schema-valid, and within each
+/// solver stream the sender records' dropped counter must be monotone.
+fn check_streams(outs: &[Out], tag: &str) {
+    for out in outs {
+        let jsonl = match out {
+            Out::Solver { jsonl, .. } | Out::Analysis { jsonl, .. } => jsonl,
+        };
+        let text = std::fs::read_to_string(jsonl).unwrap();
+        let mut last_dropped = 0u64;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            validate_line(line)
+                .unwrap_or_else(|e| panic!("{tag}: invalid record: {e}\n  line: {line}"));
+            let v = Value::parse(line).unwrap();
+            if v.get("kind").and_then(Value::as_str) == Some("sender") {
+                let d = v.get("dropped").and_then(Value::as_u64).unwrap();
+                assert!(
+                    d >= last_dropped,
+                    "{tag}: dropped counter went backwards in {}",
+                    jsonl.display()
+                );
+                last_dropped = d;
+            }
+        }
+    }
+}
+
+/// The core matrix: a healthy analysis plane, a crashed analysis rank
+/// (its acks vanish mid-run), and a stalled one (wedged for most of the
+/// run) — in every case the solver's final checkpoint is byte-identical
+/// to the analysis-free baseline, with zero rollbacks.
+#[test]
+fn analysis_faults_leave_solver_byte_identical() {
+    let base = run_case(0, &tmpdir("base"), None);
+    let baseline: Vec<&Vec<u8>> = base
+        .iter()
+        .map(|o| match o {
+            Out::Solver { checkpoint, .. } => checkpoint,
+            Out::Analysis { .. } => unreachable!("baseline has no analysis ranks"),
+        })
+        .collect();
+
+    // (tag, fault plan targeting only analysis ranks, expect shed slabs)
+    let matrix: Vec<(&str, Option<CommFaultPlan>, bool)> = vec![
+        ("clean", None, false),
+        (
+            // The analysis rank's sends (its acks) vanish from op 0: a
+            // dead peer. The window fills, then every offer drops.
+            "crash",
+            Some(CommFaultPlan::new(21).crash_sends_from(SOLVER, 0)),
+            true,
+        ),
+        (
+            // The analysis rank wedges for most of the run on its first
+            // acks: a live-but-stuck peer.
+            "stall",
+            Some(
+                CommFaultPlan::new(22)
+                    .stall_at(SOLVER, 0, Duration::from_millis(400))
+                    .stall_at(SOLVER, 1, Duration::from_millis(400)),
+            ),
+            false,
+        ),
+    ];
+    for (tag, plan, want_drops) in matrix {
+        let outs = run_case(1, &tmpdir(tag), plan);
+        let solvers = solver_outs(&outs);
+        assert_eq!(solvers.len(), SOLVER);
+        let mut total_sent = 0;
+        let mut total_dropped = 0;
+        let mut any_stalled = false;
+        for (r, out) in solvers.iter().enumerate() {
+            let Out::Solver {
+                rollbacks,
+                checkpoint,
+                sent,
+                dropped,
+                stalled,
+                ..
+            } = out
+            else {
+                unreachable!()
+            };
+            assert_eq!(
+                *rollbacks, 0,
+                "{tag} rank {r}: analysis fault must not trip a rollback"
+            );
+            assert!(
+                checkpoint == baseline[r],
+                "{tag} rank {r}: solver checkpoint differs from analysis-free baseline"
+            );
+            total_sent += sent;
+            total_dropped += dropped;
+            any_stalled |= stalled;
+        }
+        assert!(total_sent >= 1, "{tag}: no slab ever left a solver rank");
+        if want_drops {
+            assert!(
+                total_dropped >= 1,
+                "{tag}: a dead analysis rank must shed slabs (counted), got 0 drops"
+            );
+            assert!(any_stalled, "{tag}: the dead peer must be reported stalled");
+            let dead_event = solvers.iter().any(|o| match o {
+                Out::Solver { health, .. } => health.iter().any(|e| e.contains("insitu_dead")),
+                Out::Analysis { .. } => false,
+            });
+            assert!(
+                dead_event,
+                "{tag}: rank 0 must raise the insitu_dead critical health event"
+            );
+        }
+        if tag == "clean" {
+            // Healthy plane: slabs arrive, the POD accumulates, and the
+            // loop exits on CLOSE frames, not the idle deadline.
+            for out in &outs {
+                if let Out::Analysis { outcome, .. } = out {
+                    assert!(outcome.received >= 1, "clean: analysis rank saw no slabs");
+                    assert!(!outcome.idle_exit, "clean: exit must come from CLOSE");
+                    assert!(!outcome.pods.is_empty(), "clean: no POD was built");
+                }
+            }
+        }
+        check_streams(&outs, tag);
+    }
+}
+
+/// Killing *every* analysis rank of a K=2 plane mid-run: both channels
+/// degrade to drop-with-counter, nobody deadlocks, and the solver
+/// trajectory still matches the analysis-free baseline bit for bit.
+#[test]
+fn killing_every_analysis_rank_degrades_to_drops() {
+    let base = run_case(0, &tmpdir("base_k2"), None);
+    let plan = CommFaultPlan::new(33)
+        .crash_sends_from(SOLVER, 0)
+        .crash_sends_from(SOLVER + 1, 0);
+    let outs = run_case(2, &tmpdir("crash_k2"), Some(plan));
+    let solvers = solver_outs(&outs);
+    let mut total_dropped = 0;
+    for (r, out) in solvers.iter().enumerate() {
+        let Out::Solver {
+            rollbacks,
+            checkpoint,
+            dropped,
+            ..
+        } = out
+        else {
+            unreachable!()
+        };
+        assert_eq!(*rollbacks, 0, "rank {r}: rollback under analysis crash");
+        let Out::Solver {
+            checkpoint: base_chk,
+            ..
+        } = &base[r]
+        else {
+            unreachable!()
+        };
+        assert!(
+            checkpoint == base_chk,
+            "rank {r}: trajectory perturbed by crashed analysis plane"
+        );
+        total_dropped += dropped;
+    }
+    assert!(
+        total_dropped >= 1,
+        "with every analysis rank dead, slabs must be shed and counted"
+    );
+    check_streams(&outs, "crash_k2");
+}
+
+/// Backpressure, not blocking: a burst of offers at a comatose consumer
+/// (never polls, never acks) completes in bounded wall time — each
+/// window-full offer costs at most one bounded ack probe — and everything
+/// past the window is dropped and counted.
+#[test]
+fn slow_consumer_never_blocks_the_sender() {
+    const OFFERS: usize = 200;
+    const WINDOW: usize = 2;
+    run_on_ranks(2, |tc| {
+        if tc.rank() == 0 {
+            let mut tx = SlabSender::new(tc, 1, WINDOW);
+            let body = vec![7u8; 64 * 1024];
+            let t0 = std::time::Instant::now();
+            let mut dropped = 0;
+            for _ in 0..OFFERS {
+                if matches!(tx.offer(&body), SlabOffer::DroppedFull) {
+                    dropped += 1;
+                }
+            }
+            let elapsed = t0.elapsed();
+            tx.close();
+            assert!(
+                dropped >= (OFFERS - WINDOW) as u64,
+                "expected ≥ {} drops at a dead consumer, got {dropped}",
+                OFFERS - WINDOW
+            );
+            assert!(tx.is_stalled(), "a never-acking peer must read as stalled");
+            // Generous bound: the worst case is one 500 µs ack probe per
+            // offer (~100 ms total); anything near seconds means the
+            // sender blocked on the consumer.
+            assert!(
+                elapsed < Duration::from_secs(2),
+                "{OFFERS} offers took {elapsed:?} — the sender blocked"
+            );
+        } else {
+            // The consumer: alive but comatose. It never polls.
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    });
+}

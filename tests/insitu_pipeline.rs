@@ -24,7 +24,8 @@ fn insitu_pod_matches_offline_on_solver_data() {
     let weights = sim.geom.mass.clone();
 
     let (writer, reader) = staging_channel(3);
-    let consumer = PodConsumer::spawn(reader, "uz", weights.clone(), 12);
+    let consumer =
+        PodConsumer::spawn(reader, "uz", weights.clone(), 12).expect("spawn POD consumer");
 
     // Run and stream; also keep copies for the offline reference.
     let mut kept = Vec::new();
@@ -41,7 +42,7 @@ fn insitu_pod_matches_offline_on_solver_data() {
         }
     }
     writer.close();
-    let streaming = consumer.join();
+    let streaming = consumer.join().expect("POD consumer finished cleanly");
     assert_eq!(streaming.count(), kept.len());
 
     let offline = PodBatch::new(weights).compute(&kept, &comm);
